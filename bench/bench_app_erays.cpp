@@ -1,0 +1,37 @@
+// §6.3: Erays+ readability improvement over plain Erays lifting.
+//
+// Paper (per contract, averaged over 53,166 open-source contracts): 5.5
+// types added, 15 parameter names added, 3.4 num names added, 15 lines of
+// parameter-access code removed; readability improved for every contract.
+#include "apps/erays.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace sigrec;
+  corpus::Corpus ds = corpus::make_open_source_corpus(150, 53166);
+  auto codes = corpus::compile_corpus(ds);
+
+  core::SigRec sigrec;
+  double types = 0, names = 0, nums = 0, removed = 0;
+  std::size_t improved = 0;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    core::RecoveryResult recovery = sigrec.recover(codes[i]);
+    apps::ErayPlusStats stats;
+    apps::LiftedContract plain = apps::lift_contract(codes[i]);
+    apps::LiftedContract plus = apps::erays_plus(codes[i], recovery, &stats);
+    types += stats.types_added;
+    names += stats.names_added;
+    nums += stats.num_names_added;
+    removed += stats.lines_removed;
+    improved += plus.line_count() < plain.line_count() ? 1 : 0;
+  }
+  double n = static_cast<double>(codes.size());
+
+  bench::print_header("§6.3: Erays+ readability metrics (averages per contract)");
+  bench::print_row("types added", types / n, "", "5.5");
+  bench::print_row("parameter names added", names / n, "", "15");
+  bench::print_row("num names added", nums / n, "", "3.4");
+  bench::print_row("access-code lines removed", removed / n, "", "15");
+  std::printf("  contracts improved: %zu / %zu (paper: all)\n", improved, codes.size());
+  return 0;
+}

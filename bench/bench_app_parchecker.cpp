@@ -1,0 +1,38 @@
+// §6.1: ParChecker over a transaction stream, using SigRec-recovered
+// signatures (not ground truth — that is the application's point).
+//
+// Paper: 1,024,974 of 91,257,261 transactions (~1.1%) carry invalid actual
+// arguments; 73 of them are short address attacks against 25 contracts.
+#include "apps/txstream.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace sigrec;
+
+  // A token-ish population: every contract has a transfer(address,uint256)
+  // so short-address attacks have targets, plus random other functions.
+  corpus::Corpus ds = corpus::make_open_source_corpus(120, 6625132);
+  for (auto& spec : ds.specs) {
+    spec.functions.push_back(compiler::make_function("transfer", {"address", "uint256"}));
+  }
+  auto codes = corpus::compile_corpus(ds);
+
+  apps::TxStreamOptions opt;
+  opt.count = 30000;
+  opt.seed = 42;
+  std::vector<apps::Transaction> stream = apps::make_transaction_stream(ds, opt);
+  apps::ScanReport report = apps::scan_transactions(ds, codes, stream);
+
+  bench::print_header("§6.1: ParChecker over a transaction stream");
+  std::printf("  transactions checked:        %zu   (paper: 91,257,261)\n", report.checked);
+  std::printf("  invalid actual arguments:    %zu (%.2f%%)   (paper: 1,024,974 ~= 1.1%%)\n",
+              report.invalid, 100.0 * report.invalid_rate());
+  std::printf("  short address attacks:       %zu   (paper: 73)\n",
+              report.short_address_attacks);
+  std::printf("  contracts attacked:          %zu   (paper: 25)\n",
+              report.attacked_contracts.size());
+  std::printf("  scanner quality vs injected ground truth:\n");
+  std::printf("    true positives  %zu, false positives %zu, false negatives %zu\n",
+              report.true_positives, report.false_positives, report.false_negatives);
+  return 0;
+}

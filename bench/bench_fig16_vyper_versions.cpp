@@ -1,0 +1,20 @@
+// Fig. 16 (RQ2): accuracy per Vyper compiler version. Paper: > 90% for 12 of
+// 15 versions (the misses were tiny-sample versions, not compiler features).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace sigrec;
+  bench::print_header("Fig. 16: accuracy per Vyper compiler version (paper: > 90% for most)");
+  std::printf("  %-12s %10s %10s\n", "version", "functions", "accuracy");
+
+  for (const compiler::CompilerVersion& version : corpus::vyper_versions()) {
+    corpus::Corpus ds =
+        corpus::make_vyper_corpus(50, 2000 + version.minor * 17 + version.patch);
+    for (auto& spec : ds.specs) spec.config.version = version;
+    auto codes = corpus::compile_corpus(ds);
+    corpus::Score s = corpus::score_sigrec(ds, codes);
+    std::printf("  0.%u.%-9u %10zu %9.2f%%\n", version.minor, version.patch, s.total,
+                100.0 * s.accuracy());
+  }
+  return 0;
+}

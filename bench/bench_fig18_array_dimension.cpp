@@ -1,0 +1,65 @@
+// Fig. 18 (RQ3): recovery time vs array dimension, 1..20.
+//
+// Paper: time grows linearly with the dimension, because each extra
+// dimension adds a bound check and another level to the nested read loop.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace sigrec;
+
+// A uint256 array with `dims` dimensions: uint256[2][2]...[] — top dynamic,
+// lower static — accessed in an external function (the paper's setup).
+compiler::ContractSpec dim_spec(unsigned dims) {
+  abi::TypePtr t = abi::uint_type(256);
+  for (unsigned i = 0; i + 1 < dims; ++i) t = abi::array_type(t, 2);
+  t = abi::array_type(t, std::nullopt);
+  compiler::FunctionSpec fn;
+  fn.signature.name = "fn";
+  fn.signature.parameters = {t};
+  fn.external = true;
+  return compiler::make_contract("t", {}, {fn});
+}
+
+void report_series() {
+  bench::print_header("Fig. 18: recovery time vs array dimension (paper: linear growth)");
+  std::printf("  %-6s %-22s %12s %10s\n", "dims", "recovered type", "time", "ok");
+  for (unsigned dims = 1; dims <= 20; ++dims) {
+    auto spec = dim_spec(dims);
+    evm::Bytecode code = compiler::compile_contract(spec);
+    core::SigRec tool;
+    auto start = std::chrono::steady_clock::now();
+    core::RecoveredFunction fn =
+        tool.recover_function(code, spec.functions[0].signature.selector());
+    double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    bool ok = spec.functions[0].signature.same_parameters(fn.parameters);
+    std::string shown = fn.type_list();
+    if (shown.size() > 20) shown = shown.substr(0, 17) + "...";
+    std::printf("  %-6u %-22s %10.3e s %10s\n", dims, shown.c_str(), secs,
+                ok ? "yes" : "NO");
+  }
+}
+
+void BM_RecoverByDimension(benchmark::State& state) {
+  auto spec = dim_spec(static_cast<unsigned>(state.range(0)));
+  evm::Bytecode code = compiler::compile_contract(spec);
+  std::uint32_t selector = spec.functions[0].signature.selector();
+  core::SigRec tool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tool.recover_function(code, selector));
+  }
+}
+BENCHMARK(BM_RecoverByDimension)->DenseRange(1, 20, 1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 19 (RQ4): how often each of the 31 rules fires during recovery.
+//
+// Paper: all rules are used; R4 (basic-type default) is the most frequent
+// because basic types dominate; R9 (multi-dim static arrays in public
+// functions) is the least frequent.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace sigrec;
+  core::RuleStats stats;
+
+  // A broad mixed population: Solidity open-source-like, Vyper, and the
+  // struct/nested corpus so the V2 rules fire too.
+  {
+    corpus::Corpus ds = corpus::make_open_source_corpus(400, 31337);
+    auto codes = corpus::compile_corpus(ds);
+    corpus::score_sigrec(ds, codes, &stats);
+  }
+  {
+    corpus::Corpus ds = corpus::make_vyper_corpus(150, 31338);
+    auto codes = corpus::compile_corpus(ds);
+    corpus::score_sigrec(ds, codes, &stats);
+  }
+  {
+    corpus::Corpus ds = corpus::make_struct_nested_corpus(100, 31339);
+    auto codes = corpus::compile_corpus(ds);
+    corpus::score_sigrec(ds, codes, &stats);
+  }
+
+  bench::print_header("Fig. 19: rule usage counts (paper: all rules used; R4 max, R9 min)");
+  std::uint64_t total = 0;
+  for (unsigned i = 1; i < static_cast<unsigned>(core::RuleId::kCount); ++i) {
+    total += stats.count(static_cast<core::RuleId>(i));
+  }
+  core::RuleId max_rule = core::RuleId::R1;
+  std::uint64_t max_count = 0;
+  for (unsigned i = 1; i < static_cast<unsigned>(core::RuleId::kCount); ++i) {
+    auto id = static_cast<core::RuleId>(i);
+    std::uint64_t c = stats.count(id);
+    if (c > max_count) {
+      max_count = c;
+      max_rule = id;
+    }
+    std::string bar(static_cast<std::size_t>(60.0 * static_cast<double>(c) /
+                                             static_cast<double>(std::max<std::uint64_t>(
+                                                 1, max_count))),
+                    '#');
+    std::printf("  %-4s %8llu\n", core::rule_name(id).data(),
+                static_cast<unsigned long long>(c));
+  }
+  std::printf("  total rule applications: %llu\n", static_cast<unsigned long long>(total));
+  std::printf("  most frequent: %s (paper: R4)\n", core::rule_name(max_rule).data());
+  unsigned unused = 0;
+  for (unsigned i = 1; i < static_cast<unsigned>(core::RuleId::kCount); ++i) {
+    if (stats.count(static_cast<core::RuleId>(i)) == 0) {
+      ++unused;
+      std::printf("  NOTE: %s never fired on this corpus\n",
+                  core::rule_name(static_cast<core::RuleId>(i)).data());
+    }
+  }
+  if (unused == 0) std::printf("  all rules used (matches the paper)\n");
+  return 0;
+}

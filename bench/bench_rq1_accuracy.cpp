@@ -1,0 +1,79 @@
+// RQ1 (§5.2): overall recovery accuracy for Solidity and Vyper, with the
+// five-case error breakdown.
+//
+// Paper: 98.7% overall — 98.743% on 210,869 Solidity signatures, 97.770% on
+// 1,076 Vyper signatures; errors split into cases 1/2/4/5.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace sigrec;
+
+  bench::print_header("RQ1: recovery accuracy (paper Table: 98.7% overall)");
+
+  corpus::Corpus sol = corpus::make_open_source_corpus(/*contracts=*/400, /*seed=*/101);
+  auto sol_codes = corpus::compile_corpus(sol);
+  corpus::Score sol_score = corpus::score_sigrec(sol, sol_codes);
+  bench::print_row("Solidity accuracy", 100.0 * sol_score.accuracy(), "%", "98.743 %");
+  std::printf("    functions=%zu correct=%zu wrong-type=%zu wrong-count=%zu missing=%zu\n",
+              sol_score.total, sol_score.correct, sol_score.wrong_type,
+              sol_score.wrong_count, sol_score.missing);
+
+  corpus::Corpus vy = corpus::make_vyper_corpus(/*contracts=*/200, /*seed=*/103);
+  auto vy_codes = corpus::compile_corpus(vy);
+  corpus::Score vy_score = corpus::score_sigrec(vy, vy_codes);
+  bench::print_row("Vyper accuracy", 100.0 * vy_score.accuracy(), "%", "97.770 %");
+  std::printf("    functions=%zu correct=%zu wrong-type=%zu wrong-count=%zu missing=%zu\n",
+              vy_score.total, vy_score.correct, vy_score.wrong_type, vy_score.wrong_count,
+              vy_score.missing);
+
+  double overall = 100.0 *
+                   static_cast<double>(sol_score.correct + vy_score.correct) /
+                   static_cast<double>(sol_score.total + vy_score.total);
+  bench::print_row("Overall accuracy", overall, "%", "98.738 %");
+
+  // Error-case attribution (§5.2): rerun with one injection at a time to
+  // show each case's contribution.
+  bench::print_header("RQ1: error-case attribution (paper: case1 498, case2 387, "
+                      "case4 602, case5 1123 of 210,869)");
+  struct CaseProbe {
+    const char* name;
+    corpus::ErrorRates rates;
+    const char* paper;
+  };
+  corpus::ErrorRates none{0, 0, 0, 0, 0, 0};
+  std::vector<CaseProbe> probes;
+  {
+    CaseProbe p{"baseline (no injected cases)", none, "-"};
+    probes.push_back(p);
+  }
+  {
+    corpus::ErrorRates r = none;
+    r.case1_inline_assembly_bp = 300;
+    probes.push_back({"case 1: inline-assembly reads", r, "498 (0.24%)"});
+  }
+  {
+    corpus::ErrorRates r = none;
+    r.case2_type_conversion_bp = 300;
+    probes.push_back({"case 2: type conversions", r, "387 (0.18%)"});
+  }
+  {
+    corpus::ErrorRates r = none;
+    r.case4_storage_ref_bp = 300;
+    probes.push_back({"case 4: storage-ref params", r, "602 (0.29%)"});
+  }
+  {
+    corpus::ErrorRates r = none;
+    r.case5_no_byte_access_bp = 150;
+    r.case5_const_index_bp = 100;
+    r.case5_no_signed_op_bp = 50;
+    probes.push_back({"case 5: insufficient clues", r, "1123 (0.53%)"});
+  }
+  for (const CaseProbe& probe : probes) {
+    corpus::Corpus ds = corpus::make_open_source_corpus(200, 777, probe.rates);
+    auto codes = corpus::compile_corpus(ds);
+    corpus::Score s = corpus::score_sigrec(ds, codes);
+    std::printf("  %-34s errors %4zu / %zu  (paper: %s)\n", probe.name,
+                s.total - s.correct, s.total, probe.paper);
+  }
+  return 0;
+}

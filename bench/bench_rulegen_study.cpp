@@ -1,0 +1,52 @@
+// §3.1's rule-generation study, regenerated: for each type family the paper
+// enumerates, print every variant's accessing pattern reduced to its common
+// core — the raw material from which R1-R31 were summarized (step 5 is the
+// human step; this output is what the human read).
+#include <cstdio>
+
+#include "rulegen/rulegen.hpp"
+
+namespace {
+
+void report(const sigrec::rulegen::FamilyStudy& study) {
+  std::printf("\n==== family: %s (%zu variants) ====\n", study.family.c_str(),
+              study.variants.size());
+  std::printf("  common accessing pattern:\n    %s\n",
+              sigrec::rulegen::pattern_to_string(study.common).c_str());
+  // Show how the first and last variants diverge from the core — the part a
+  // refinement rule keys on.
+  if (!study.variants.empty()) {
+    auto show_delta = [&](std::size_t i) {
+      sigrec::rulegen::Pattern delta =
+          sigrec::rulegen::pattern_minus(study.variants[i], study.common);
+      std::printf("  %-12s adds: %s\n", study.variant_names[i].c_str(),
+                  delta.empty() ? "(nothing)"
+                                : sigrec::rulegen::pattern_to_string(delta).c_str());
+    };
+    show_delta(0);
+    show_delta(study.variants.size() - 1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace sigrec::rulegen;
+  std::printf("Rule-generation study (paper §3.1, steps 1-4 automated)\n");
+
+  report(study_uint_family(false));
+  report(study_int_family(false));
+  report(study_fixed_bytes_family(false));
+  report(study_static_array_family(/*external=*/true, 1));
+  report(study_static_array_family(/*external=*/false, 1));
+  report(study_static_array_family(/*external=*/true, 2));
+  report(study_dynamic_array_family(/*external=*/true));
+  report(study_dynamic_array_family(/*external=*/false));
+  report(study_bytes_string_family(false));
+  report(study_vyper_bounded_family());
+
+  std::printf("\nStep 5 (manual in the paper): summarize each family's common core and\n"
+              "per-variant deltas into the decision-tree rules — see docs/RULES.md for\n"
+              "the summaries this implementation uses.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Table 1 (§5.6, dataset 1): closed-source contracts. No ground truth is
+// assumed available to the tools (the database covers only what leaked into
+// it); the paper reports each tool's agreement with SigRec and its abort
+// rate. We additionally print true accuracy, which the paper could not
+// measure on this dataset but our synthetic ground truth allows.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace sigrec;
+  corpus::Corpus ds = corpus::make_closed_source_corpus(/*contracts=*/250, /*seed=*/555);
+  auto codes = corpus::compile_corpus(ds);
+
+  // SigRec first — the reference the other tools are compared against.
+  std::vector<core::RecoveryResult> sigrec_results;
+  core::SigRec sigrec;
+  for (const auto& code : codes) sigrec_results.push_back(sigrec.recover(code));
+  corpus::Score sig_score = corpus::score_sigrec(ds, codes);
+
+  bench::print_header("Table 1: closed-source contracts (dataset 1)");
+  std::printf("  SigRec accuracy (ground truth): %.1f%%\n", 100.0 * sig_score.accuracy());
+  std::printf("  %-12s %18s %12s %12s\n", "tool", "same-as-SigRec", "aborts", "accuracy");
+
+  // Closed-source signatures leak into databases at a much lower rate.
+  bench::ToolLineup lineup = bench::make_lineup(ds, /*efsd_coverage_pct=*/35);
+  for (const auto& tool : lineup.tools) {
+    bench::ToolScore s = bench::score_tool(*tool, ds, codes, &sigrec_results);
+    std::printf("  %-12s %17.1f%% %11.1f%% %11.1f%%\n", tool->name().c_str(),
+                s.agreement_pct(), s.abort_pct(), s.accuracy());
+  }
+  std::printf("  (paper: Gigahorse aborts on 3.4%% of signatures; every tool agrees with\n"
+              "   SigRec on far fewer signatures than SigRec recovers correctly)\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Table 4 (§5.6): functions taking struct or nested-array parameters
+// (ABIEncoderV2 types, from solc 0.4.19).
+//
+// Paper: SigRec 61.3%; Gigahorse/Eveem 10.1% (database hits only — their
+// rules cannot handle these types); the SigRec misses are all §5.2 case 5
+// (static structs flatten irrecoverably).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace sigrec;
+  corpus::Corpus ds = corpus::make_struct_nested_corpus(/*contracts=*/200, /*seed=*/404);
+  auto codes = corpus::compile_corpus(ds);
+
+  corpus::Score sig_score = corpus::score_sigrec(ds, codes);
+
+  bench::print_header("Table 4: struct & nested-array parameters");
+  std::printf("  %-12s %12s   paper\n", "tool", "accuracy");
+  std::printf("  %-12s %11.1f%%   61.3%%\n", "SigRec", 100.0 * sig_score.accuracy());
+
+  bench::ToolLineup lineup = bench::make_lineup(ds, /*efsd_coverage_pct=*/10);
+  for (const auto& tool : lineup.tools) {
+    bench::ToolScore s = bench::score_tool(*tool, ds, codes);
+    std::printf("  %-12s %11.1f%%   <= 11%%\n", tool->name().c_str(), s.accuracy());
+  }
+  std::printf("  (struct/nested parameters are ~0.5%% of all signatures in the paper's\n"
+              "   population; the gap to SigRec's overall accuracy is the flattening limit)\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Shared helpers for the per-table / per-figure benchmark binaries: table
+// rendering and baseline-tool scoring. Every binary prints the same rows or
+// series the paper reports, next to the paper's published number.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/db_tools.hpp"
+#include "corpus/scoring.hpp"
+
+namespace sigrec::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void print_row(const std::string& label, double ours, const std::string& unit,
+                      const std::string& paper) {
+  std::printf("  %-34s %10.3f %-8s (paper: %s)\n", label.c_str(), ours, unit.c_str(),
+              paper.c_str());
+}
+
+// Scores a baseline tool against corpus ground truth.
+struct ToolScore {
+  std::size_t total = 0;
+  std::size_t correct = 0;
+  std::size_t produced = 0;        // tool emitted some signature
+  std::size_t aborted_functions = 0;
+  std::size_t agree_with_sigrec = 0;
+
+  [[nodiscard]] double accuracy() const {
+    return total == 0 ? 0 : 100.0 * static_cast<double>(correct) / static_cast<double>(total);
+  }
+  [[nodiscard]] double abort_pct() const {
+    return total == 0 ? 0
+                      : 100.0 * static_cast<double>(aborted_functions) / static_cast<double>(total);
+  }
+  [[nodiscard]] double agreement_pct() const {
+    return total == 0
+               ? 0
+               : 100.0 * static_cast<double>(agree_with_sigrec) / static_cast<double>(total);
+  }
+};
+
+inline ToolScore score_tool(const baselines::BaselineTool& tool, const corpus::Corpus& corpus,
+                            const std::vector<evm::Bytecode>& bytecodes,
+                            const std::vector<core::RecoveryResult>* sigrec_results = nullptr) {
+  ToolScore score;
+  for (std::size_t i = 0; i < corpus.specs.size(); ++i) {
+    baselines::BaselineOutput out = tool.recover(bytecodes[i]);
+    std::map<std::uint32_t, const std::vector<abi::TypePtr>*> by_selector;
+    for (const auto& fn : out.functions) {
+      if (fn.parameters.has_value()) by_selector[fn.selector] = &*fn.parameters;
+    }
+    for (const auto& fn : corpus.specs[i].functions) {
+      ++score.total;
+      if (out.aborted) {
+        ++score.aborted_functions;
+        continue;
+      }
+      auto it = by_selector.find(fn.signature.selector());
+      if (it == by_selector.end()) continue;
+      ++score.produced;
+      if (fn.signature.same_parameters(*it->second)) ++score.correct;
+      if (sigrec_results != nullptr) {
+        for (const auto& sr : (*sigrec_results)[i].functions) {
+          if (sr.selector == fn.signature.selector() &&
+              sr.parameters.size() == it->second->size()) {
+            bool same = true;
+            for (std::size_t k = 0; k < sr.parameters.size(); ++k) {
+              same &= sr.parameters[k]->canonical_equal(*(*it->second)[k]);
+            }
+            if (same) ++score.agree_with_sigrec;
+          }
+        }
+      }
+    }
+  }
+  return score;
+}
+
+// Standard tool lineup for the §5.6 comparisons: databases seeded from the
+// corpus at the coverage levels the paper measured.
+struct ToolLineup {
+  std::vector<std::unique_ptr<baselines::BaselineTool>> tools;
+};
+
+inline ToolLineup make_lineup(const corpus::Corpus& corpus, unsigned efsd_coverage_pct) {
+  ToolLineup lineup;
+  baselines::SignatureDb efsd = baselines::SignatureDb::from_corpus(corpus, efsd_coverage_pct);
+  // EBD and JEB keep their own, smaller databases.
+  baselines::SignatureDb ebd =
+      baselines::SignatureDb::from_corpus(corpus, efsd_coverage_pct * 4 / 5, /*salt=*/17);
+  baselines::SignatureDb jeb =
+      baselines::SignatureDb::from_corpus(corpus, efsd_coverage_pct * 3 / 5, /*salt=*/29);
+  lineup.tools.push_back(baselines::make_gigahorse_like(efsd));
+  lineup.tools.push_back(baselines::make_eveem_like(efsd));
+  lineup.tools.push_back(baselines::make_db_tool("OSD", efsd, /*abort_per_mille=*/1));
+  lineup.tools.push_back(baselines::make_db_tool("EBD", std::move(ebd), 2));
+  lineup.tools.push_back(baselines::make_db_tool("JEB", std::move(jeb), 2));
+  return lineup;
+}
+
+}  // namespace sigrec::bench

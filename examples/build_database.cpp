@@ -1,0 +1,56 @@
+// Database bootstrap: what EFSD-style databases cannot do for closed-source
+// contracts, SigRec does at scale — sweep a population of bytecode, recover
+// every signature, aggregate across deployments of the same interface, and
+// export an EFSD-format database file.
+#include <cstdio>
+#include <fstream>
+
+#include "baselines/signature_db.hpp"
+#include "corpus/datasets.hpp"
+#include "sigrec/aggregate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sigrec;
+
+  // Stand-in for "bytecode scraped from a node": a seeded closed-source
+  // population.
+  corpus::Corpus population = corpus::make_closed_source_corpus(60, 20260706);
+  auto bytecodes = corpus::compile_corpus(population);
+  std::printf("population: %zu contracts, %zu declared functions\n",
+              population.specs.size(), population.function_count());
+
+  // Recover everything; aggregate recoveries of selectors that appear in
+  // several contracts (the §7 one-signature-many-bodies effect).
+  core::SigRec tool;
+  std::vector<core::RecoveredFunction> merged = core::recover_aggregated(tool, bytecodes);
+  std::printf("recovered %zu unique function signatures\n", merged.size());
+
+  // Export in the EFSD text format.
+  baselines::SignatureDb db;
+  for (const auto& fn : merged) {
+    abi::FunctionSignature sig;
+    sig.name = "func_" + abi::selector_to_hex(fn.selector).substr(2);
+    sig.parameters = fn.parameters;
+    db.insert(sig);
+  }
+  // NOTE: insert() keys by the synthetic name's selector; for an exported
+  // database we want the *recovered* ids, so write the file directly.
+  std::string path = argc > 1 ? argv[1] : "recovered_signatures.txt";
+  std::ofstream out(path);
+  for (const auto& fn : merged) {
+    out << abi::selector_to_hex(fn.selector) << ": func_"
+        << abi::selector_to_hex(fn.selector).substr(2) << "(" << fn.type_list() << ")\n";
+  }
+  out.close();
+  std::printf("wrote %s\n", path.c_str());
+
+  // Round-trip sanity: re-import and spot-check.
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  baselines::SignatureDb reimported;
+  std::size_t n = reimported.import_text(text);
+  std::printf("re-imported %zu entries; lookup of first selector: %s\n", n,
+              merged.empty() ? "n/a"
+              : reimported.lookup(merged.front().selector).has_value() ? "hit" : "miss");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fuzzing boost (§6.2): show, on one vulnerable contract, why a fuzzer armed
+// with recovered signatures reaches bugs a type-blind fuzzer cannot.
+//
+// The contract's bug sits *after* the parameter-decoding code of a function
+// taking `(uint256[] amounts, address to)`. Random byte sequences read a
+// garbage offset, see a zero-length array and never satisfy the trigger; a
+// type-aware fuzzer always constructs a well-formed non-empty array.
+#include <cstdio>
+
+#include "apps/fuzzer.hpp"
+#include "compiler/compile.hpp"
+
+int main() {
+  using namespace sigrec;
+
+  corpus::Corpus corpus;
+  compiler::ContractSpec spec;
+  spec.name = "Airdrop";
+  compiler::FunctionSpec fn =
+      compiler::make_function("airdrop", {"uint256[]", "address"}, /*external=*/false);
+  fn.plant_vulnerability = true;  // block-state dependency after decoding
+  spec.functions.push_back(std::move(fn));
+  corpus.specs.push_back(spec);
+  auto bytecodes = corpus::compile_corpus(corpus);
+
+  std::printf("target: airdrop(uint256[],address) with a timestamp-dependency bug\n");
+  std::printf("        reachable only when the array argument decodes non-empty\n\n");
+
+  for (bool use_signatures : {true, false}) {
+    apps::FuzzOptions opt;
+    opt.use_signatures = use_signatures;
+    opt.iterations_per_function = 64;
+    opt.seed = 99;
+    apps::FuzzReport report = apps::fuzz_corpus(corpus, bytecodes, opt);
+    std::printf("%-38s bugs found: %zu   clean runs: %zu/%zu\n",
+                use_signatures ? "ContractFuzzer (SigRec signatures):"
+                               : "ContractFuzzer- (random bytes):",
+                report.bugs_found, report.clean_runs, report.executions);
+  }
+
+  std::printf("\nThe paper's §6.2 experiment scales this to 1,000 contracts: with\n"
+              "recovered signatures ContractFuzzer finds 23%% more vulnerabilities\n"
+              "and 25%% more vulnerable contracts. Run bench_app_fuzzer for the\n"
+              "full reproduction.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Quickstart: recover the function signatures of a contract from its
+// runtime bytecode.
+//
+// The contract here is produced by the bundled synthetic compiler so the
+// example is self-contained, but SigRec itself sees nothing except the final
+// bytecode — point `SigRec::recover` at any hex string of runtime code.
+#include <cstdio>
+
+#include "compiler/compile.hpp"
+#include "sigrec/sigrec.hpp"
+
+int main() {
+  using namespace sigrec;
+
+  // 1. Build a little ERC-20-flavoured contract and compile it to EVM
+  //    bytecode. In real use you would fetch this hex from a node.
+  compiler::ContractSpec spec = compiler::make_contract(
+      "Token", {},
+      {
+          compiler::make_function("transfer", {"address", "uint256"}),
+          compiler::make_function("batchSend", {"address[]", "uint256"}),
+          compiler::make_function("setMeta", {"bytes", "bool"}),
+      });
+  evm::Bytecode code = compiler::compile_contract(spec);
+  std::printf("runtime bytecode (%zu bytes): %.60s...\n\n", code.size(),
+              code.to_hex().c_str());
+
+  // 2. Recover every public/external function signature from the bytecode.
+  core::SigRec tool;
+  core::RecoveryResult result = tool.recover(code);
+
+  std::printf("recovered %zu function signature(s) in %.3f ms:\n",
+              result.functions.size(), 1000.0 * result.seconds);
+  for (const core::RecoveredFunction& fn : result.functions) {
+    std::printf("  %s   [%s, %.3f ms]\n", fn.to_string().c_str(),
+                fn.dialect == abi::Dialect::Solidity ? "Solidity" : "Vyper",
+                1000.0 * fn.seconds);
+  }
+
+  // 3. Compare with the ground truth the compiler had.
+  std::printf("\nground truth:\n");
+  for (const compiler::FunctionSpec& fn : spec.functions) {
+    std::printf("  %s %s\n", abi::selector_to_hex(fn.signature.selector()).c_str(),
+                fn.signature.display().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+#include "abi/decoder.hpp"
+
+#include "evm/u256.hpp"
+
+namespace sigrec::abi {
+
+using evm::U256;
+
+namespace {
+
+constexpr std::size_t kMaxDecodedItems = 1 << 20;  // refuse absurd num fields
+
+struct Cursor {
+  std::span<const std::uint8_t> data;
+
+  [[nodiscard]] std::optional<U256> word_at(std::size_t off) const {
+    if (off + 32 > data.size()) return std::nullopt;
+    return U256::from_be_bytes(data.subspan(off, 32));
+  }
+};
+
+bool decode_one(const Cursor& cur, const Type& type, std::size_t off, Value& out);
+
+// Decodes a head/tail sequence rooted at `base` (offsets inside are relative
+// to `base`).
+bool decode_sequence(const Cursor& cur, const std::vector<TypePtr>& types,
+                     std::size_t base, Value::List& out) {
+  std::size_t head = base;
+  for (const TypePtr& t : types) {
+    Value v;
+    if (t->is_dynamic()) {
+      auto offset = cur.word_at(head);
+      if (!offset || !offset->fits_u64()) return false;
+      std::size_t tail_pos = base + offset->as_u64();
+      if (tail_pos >= cur.data.size() + 32) return false;  // allow empty tail at end
+      if (!decode_one(cur, *t, tail_pos, v)) return false;
+      head += 32;
+    } else {
+      if (!decode_one(cur, *t, head, v)) return false;
+      head += t->head_size();
+    }
+    out.push_back(std::move(v));
+  }
+  return true;
+}
+
+bool decode_one(const Cursor& cur, const Type& type, std::size_t off, Value& out) {
+  switch (type.kind) {
+    case TypeKind::Uint:
+    case TypeKind::Int:
+    case TypeKind::Address:
+    case TypeKind::Bool:
+    case TypeKind::Decimal: {
+      auto w = cur.word_at(off);
+      if (!w) return false;
+      out = Value(*w);
+      return true;
+    }
+    case TypeKind::FixedBytes: {
+      auto w = cur.word_at(off);
+      if (!w) return false;
+      out = Value(w->shr(8 * (32 - type.byte_width)));
+      return true;
+    }
+    case TypeKind::Bytes:
+    case TypeKind::String:
+    case TypeKind::BoundedBytes:
+    case TypeKind::BoundedString: {
+      auto len = cur.word_at(off);
+      if (!len || !len->fits_u64()) return false;
+      std::size_t n = len->as_u64();
+      if (n > kMaxDecodedItems || off + 32 + n > cur.data.size()) return false;
+      out = Value(std::vector<std::uint8_t>(cur.data.begin() + static_cast<std::ptrdiff_t>(off + 32),
+                                            cur.data.begin() + static_cast<std::ptrdiff_t>(off + 32 + n)));
+      return true;
+    }
+    case TypeKind::Array: {
+      std::size_t n;
+      std::size_t base;
+      if (type.array_size.has_value()) {
+        n = *type.array_size;
+        base = off;
+      } else {
+        auto num = cur.word_at(off);
+        if (!num || !num->fits_u64() || num->as_u64() > kMaxDecodedItems) return false;
+        n = num->as_u64();
+        base = off + 32;
+      }
+      Value::List items;
+      items.reserve(n);
+      std::vector<TypePtr> elem_types(n, type.element);
+      if (!decode_sequence(cur, elem_types, base, items)) return false;
+      out = Value(std::move(items));
+      return true;
+    }
+    case TypeKind::Tuple: {
+      Value::List items;
+      if (!decode_sequence(cur, type.members, off, items)) return false;
+      out = Value(std::move(items));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<DecodeResult> decode_arguments(const std::vector<TypePtr>& types,
+                                             std::span<const std::uint8_t> args) {
+  Cursor cur{args};
+  DecodeResult result;
+  Value::List list;
+  if (!decode_sequence(cur, types, 0, list)) return std::nullopt;
+  result.values.assign(list.begin(), list.end());
+  return result;
+}
+
+std::optional<DecodeResult> decode_call(const FunctionSignature& sig,
+                                        std::span<const std::uint8_t> calldata) {
+  if (calldata.size() < 4) return std::nullopt;
+  return decode_arguments(sig.parameters, calldata.subspan(4));
+}
+
+}  // namespace sigrec::abi

@@ -1,0 +1,28 @@
+// ABI decoder: call data -> typed values, given a signature. Strict about
+// structure (offsets and lengths in range) but deliberately tolerant of
+// padding garbage — padding validation is ParChecker's job (§6.1), which
+// needs to *detect* malformed padding rather than fail to parse it.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "abi/signature.hpp"
+#include "abi/value.hpp"
+
+namespace sigrec::abi {
+
+struct DecodeResult {
+  std::vector<Value> values;
+};
+
+// `calldata` includes the 4-byte selector; decoding starts at byte 4.
+std::optional<DecodeResult> decode_call(const FunctionSignature& sig,
+                                        std::span<const std::uint8_t> calldata);
+
+// Decodes an argument block that has no selector prefix.
+std::optional<DecodeResult> decode_arguments(const std::vector<TypePtr>& types,
+                                             std::span<const std::uint8_t> args);
+
+}  // namespace sigrec::abi

@@ -1,0 +1,119 @@
+#include "abi/encoder.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sigrec::abi {
+
+using evm::Bytes;
+using evm::U256;
+
+namespace {
+
+void append_word(Bytes& out, const U256& w) {
+  std::array<std::uint8_t, 32> buf;
+  w.to_be_bytes(buf);
+  out.insert(out.end(), buf.begin(), buf.end());
+}
+
+void encode_single(const Type& type, const Value& value, Bytes& out);
+
+// Head/tail encoding of a component sequence (top-level args, dynamic array
+// elements, tuple members all share this shape).
+void encode_sequence(const std::vector<TypePtr>& types, const Value::List& values,
+                     Bytes& out) {
+  assert(types.size() == values.size());
+  std::size_t head_size = 0;
+  for (const TypePtr& t : types) head_size += t->head_size();
+
+  Bytes tail;
+  std::size_t base = out.size();
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    if (types[i]->is_dynamic()) {
+      append_word(out, U256(head_size + tail.size()));
+      encode_single(*types[i], values[i], tail);
+    } else {
+      encode_single(*types[i], values[i], out);
+    }
+  }
+  assert(out.size() - base <= head_size);
+  (void)base;
+  out.insert(out.end(), tail.begin(), tail.end());
+}
+
+void encode_single(const Type& type, const Value& value, Bytes& out) {
+  switch (type.kind) {
+    case TypeKind::Uint:
+    case TypeKind::Int:
+    case TypeKind::Address:
+    case TypeKind::Bool:
+    case TypeKind::Decimal:
+      // Already a canonical 256-bit representation (sign-extended for
+      // negatives), right-aligned.
+      append_word(out, value.word());
+      break;
+    case TypeKind::FixedBytes:
+      // bytesM is left-aligned: data sits in the high-order bytes.
+      append_word(out, value.word().shl(8 * (32 - type.byte_width)));
+      break;
+    case TypeKind::Bytes:
+    case TypeKind::String:
+    case TypeKind::BoundedBytes:
+    case TypeKind::BoundedString: {
+      const auto& data = value.bytes();
+      append_word(out, U256(data.size()));
+      out.insert(out.end(), data.begin(), data.end());
+      // Right-pad to a 32-byte boundary.
+      std::size_t pad = (32 - data.size() % 32) % 32;
+      out.insert(out.end(), pad, 0);
+      break;
+    }
+    case TypeKind::Array: {
+      const auto& items = value.list();
+      if (!type.array_size.has_value()) {
+        // Dynamic dimension: num field first.
+        append_word(out, U256(items.size()));
+      } else if (items.size() != *type.array_size) {
+        throw std::invalid_argument("static array size mismatch");
+      }
+      std::vector<TypePtr> elem_types(items.size(), type.element);
+      encode_sequence(elem_types, items, out);
+      break;
+    }
+    case TypeKind::Tuple:
+      encode_sequence(type.members, value.list(), out);
+      break;
+  }
+}
+
+}  // namespace
+
+Bytes encode_arguments(const std::vector<TypePtr>& types, const std::vector<Value>& values) {
+  if (types.size() != values.size()) {
+    throw std::invalid_argument("argument count mismatch");
+  }
+  Bytes out;
+  Value::List list(values.begin(), values.end());
+  encode_sequence(types, list, out);
+  return out;
+}
+
+Bytes encode_call(const FunctionSignature& sig, const std::vector<Value>& values) {
+  std::uint32_t sel = sig.selector();
+  Bytes out = {static_cast<std::uint8_t>(sel >> 24), static_cast<std::uint8_t>(sel >> 16),
+               static_cast<std::uint8_t>(sel >> 8), static_cast<std::uint8_t>(sel)};
+  Bytes args = encode_arguments(sig.parameters, values);
+  out.insert(out.end(), args.begin(), args.end());
+  return out;
+}
+
+Bytes encode_sample_call(const FunctionSignature& sig, std::uint64_t salt) {
+  std::vector<Value> values;
+  values.reserve(sig.parameters.size());
+  for (std::size_t i = 0; i < sig.parameters.size(); ++i) {
+    values.push_back(sample_value(*sig.parameters[i], salt + 31 * (i + 1)));
+  }
+  return encode_call(sig, values);
+}
+
+}  // namespace sigrec::abi

@@ -1,0 +1,25 @@
+// ABI encoder: typed values -> call data, per the contract ABI specification
+// (head/tail encoding). This is what Web3 does on the caller side; the
+// synthetic compiler's generated contracts read call data produced here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "abi/signature.hpp"
+#include "abi/value.hpp"
+#include "evm/bytecode.hpp"
+
+namespace sigrec::abi {
+
+// Encodes the argument block (without the 4-byte selector).
+evm::Bytes encode_arguments(const std::vector<TypePtr>& types,
+                            const std::vector<Value>& values);
+
+// Full call data: selector followed by the encoded arguments.
+evm::Bytes encode_call(const FunctionSignature& sig, const std::vector<Value>& values);
+
+// Call data with deterministic sample arguments — convenient in tests.
+evm::Bytes encode_sample_call(const FunctionSignature& sig, std::uint64_t salt = 0);
+
+}  // namespace sigrec::abi

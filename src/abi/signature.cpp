@@ -1,0 +1,70 @@
+#include "abi/signature.hpp"
+
+#include <cstdio>
+
+#include "evm/keccak.hpp"
+
+namespace sigrec::abi {
+
+std::string FunctionSignature::canonical() const {
+  std::string s = name + "(";
+  for (std::size_t i = 0; i < parameters.size(); ++i) {
+    if (i) s += ',';
+    s += parameters[i]->canonical_name();
+  }
+  return s + ")";
+}
+
+std::string FunctionSignature::display() const {
+  std::string s = name + "(";
+  for (std::size_t i = 0; i < parameters.size(); ++i) {
+    if (i) s += ',';
+    s += parameters[i]->display_name();
+  }
+  return s + ")";
+}
+
+std::uint32_t FunctionSignature::selector() const {
+  return evm::function_selector(canonical());
+}
+
+bool FunctionSignature::same_parameters(const std::vector<TypePtr>& other) const {
+  if (parameters.size() != other.size()) return false;
+  for (std::size_t i = 0; i < parameters.size(); ++i) {
+    if (!parameters[i]->canonical_equal(*other[i])) return false;
+  }
+  return true;
+}
+
+bool parse_signature(const std::string& text, FunctionSignature& out) {
+  std::size_t open = text.find('(');
+  if (open == std::string::npos || text.back() != ')') return false;
+  out.name = text.substr(0, open);
+  out.parameters.clear();
+  std::string inner = text.substr(open + 1, text.size() - open - 2);
+  if (inner.empty()) return true;
+  // Split at commas not inside () or [].
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= inner.size(); ++i) {
+    if (i == inner.size() || (inner[i] == ',' && depth == 0)) {
+      TypePtr t = parse_type(inner.substr(start, i - start));
+      if (t == nullptr) return false;
+      out.parameters.push_back(std::move(t));
+      start = i + 1;
+    } else if (inner[i] == '(' || inner[i] == '[') {
+      ++depth;
+    } else if (inner[i] == ')' || inner[i] == ']') {
+      --depth;
+    }
+  }
+  return true;
+}
+
+std::string selector_to_hex(std::uint32_t selector) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08x", selector);
+  return buf;
+}
+
+}  // namespace sigrec::abi

@@ -1,0 +1,35 @@
+// Function signatures: canonical text and 4-byte function ids (selectors).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "abi/types.hpp"
+
+namespace sigrec::abi {
+
+struct FunctionSignature {
+  std::string name;
+  std::vector<TypePtr> parameters;
+
+  // "transfer(address,uint256)" — the string that is keccak-hashed.
+  [[nodiscard]] std::string canonical() const;
+  // Human-readable form keeping Vyper bounds ("bytes[50]").
+  [[nodiscard]] std::string display() const;
+  // First 4 bytes of keccak256(canonical()).
+  [[nodiscard]] std::uint32_t selector() const;
+
+  // Structural equality of the parameter type list (the accuracy criterion of
+  // RQ1: id + number + order + types).
+  [[nodiscard]] bool same_parameters(const std::vector<TypePtr>& other) const;
+};
+
+// Parses "name(type,type,...)" back into a signature. Returns false on
+// malformed input.
+bool parse_signature(const std::string& text, FunctionSignature& out);
+
+// Formats a selector as "0xa9059cbb".
+std::string selector_to_hex(std::uint32_t selector);
+
+}  // namespace sigrec::abi

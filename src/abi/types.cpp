@@ -1,0 +1,363 @@
+#include "abi/types.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace sigrec::abi {
+
+namespace {
+
+TypePtr make(Type t) { return std::make_shared<const Type>(std::move(t)); }
+
+}  // namespace
+
+std::string Type::canonical_name() const {
+  switch (kind) {
+    case TypeKind::Uint: return "uint" + std::to_string(bits);
+    case TypeKind::Int: return "int" + std::to_string(bits);
+    case TypeKind::Address: return "address";
+    case TypeKind::Bool: return "bool";
+    case TypeKind::FixedBytes: return "bytes" + std::to_string(byte_width);
+    case TypeKind::Bytes: return "bytes";
+    case TypeKind::String: return "string";
+    case TypeKind::Array:
+      return element->canonical_name() +
+             (array_size ? "[" + std::to_string(*array_size) + "]" : "[]");
+    case TypeKind::Tuple: {
+      std::string s = "(";
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i) s += ',';
+        s += members[i]->canonical_name();
+      }
+      return s + ")";
+    }
+    case TypeKind::Decimal: return "fixed168x10";  // Vyper's ABI mapping
+    case TypeKind::BoundedBytes: return "bytes";
+    case TypeKind::BoundedString: return "string";
+  }
+  return "?";
+}
+
+std::string Type::display_name() const {
+  switch (kind) {
+    case TypeKind::Decimal: return "decimal";
+    case TypeKind::BoundedBytes: return "bytes[" + std::to_string(max_len) + "]";
+    case TypeKind::BoundedString: return "string[" + std::to_string(max_len) + "]";
+    case TypeKind::Array:
+      return element->display_name() +
+             (array_size ? "[" + std::to_string(*array_size) + "]" : "[]");
+    case TypeKind::Tuple: {
+      std::string s = "(";
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i) s += ',';
+        s += members[i]->display_name();
+      }
+      return s + ")";
+    }
+    default: return canonical_name();
+  }
+}
+
+bool Type::is_dynamic() const {
+  switch (kind) {
+    case TypeKind::Bytes:
+    case TypeKind::String:
+    case TypeKind::BoundedBytes:
+    case TypeKind::BoundedString:
+      return true;
+    case TypeKind::Array:
+      return !array_size.has_value() || element->is_dynamic();
+    case TypeKind::Tuple:
+      for (const TypePtr& m : members) {
+        if (m->is_dynamic()) return true;
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+std::size_t Type::head_size() const {
+  if (is_dynamic()) return 32;
+  return static_words() * 32;
+}
+
+bool Type::is_static_array() const {
+  if (kind != TypeKind::Array || !array_size.has_value()) return false;
+  return element->is_array() ? element->is_static_array() : true;
+}
+
+bool Type::is_dynamic_array() const {
+  if (kind != TypeKind::Array || array_size.has_value()) return false;
+  return element->is_array() ? element->is_static_array() : true;
+}
+
+bool Type::is_nested_array() const {
+  if (kind != TypeKind::Array) return false;
+  // Some dimension below the top is dynamic.
+  const Type* t = element.get();
+  while (t != nullptr && t->kind == TypeKind::Array) {
+    if (!t->array_size.has_value()) return true;
+    t = t->element.get();
+  }
+  return false;
+}
+
+unsigned Type::dimensions() const {
+  unsigned n = 0;
+  const Type* t = this;
+  while (t->kind == TypeKind::Array) {
+    ++n;
+    t = t->element.get();
+  }
+  return n;
+}
+
+TypePtr Type::base_element() const {
+  assert(kind == TypeKind::Array);
+  TypePtr t = element;
+  while (t->kind == TypeKind::Array) t = t->element;
+  return t;
+}
+
+std::size_t Type::static_words() const {
+  assert(!is_dynamic());
+  switch (kind) {
+    case TypeKind::Array:
+      return *array_size * element->static_words();
+    case TypeKind::Tuple: {
+      std::size_t n = 0;
+      for (const TypePtr& m : members) n += m->static_words();
+      return n;
+    }
+    default:
+      return 1;
+  }
+}
+
+bool Type::canonical_equal(const Type& other) const {
+  if (kind != other.kind) {
+    return false;
+  }
+  switch (kind) {
+    case TypeKind::Uint:
+    case TypeKind::Int:
+      return bits == other.bits;
+    case TypeKind::FixedBytes:
+      return byte_width == other.byte_width;
+    case TypeKind::Array:
+      return array_size == other.array_size && element->canonical_equal(*other.element);
+    case TypeKind::Tuple: {
+      if (members.size() != other.members.size()) return false;
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (!members[i]->canonical_equal(*other.members[i])) return false;
+      }
+      return true;
+    }
+    case TypeKind::BoundedBytes:
+    case TypeKind::BoundedString:
+      return max_len == other.max_len;
+    default:
+      return true;
+  }
+}
+
+TypePtr uint_type(unsigned bits) {
+  assert(bits >= 8 && bits <= 256 && bits % 8 == 0);
+  Type t;
+  t.kind = TypeKind::Uint;
+  t.bits = bits;
+  return make(std::move(t));
+}
+
+TypePtr int_type(unsigned bits) {
+  assert(bits >= 8 && bits <= 256 && bits % 8 == 0);
+  Type t;
+  t.kind = TypeKind::Int;
+  t.bits = bits;
+  return make(std::move(t));
+}
+
+TypePtr address_type() {
+  Type t;
+  t.kind = TypeKind::Address;
+  return make(std::move(t)); }
+TypePtr bool_type() {
+  Type t;
+  t.kind = TypeKind::Bool;
+  return make(std::move(t)); }
+
+TypePtr fixed_bytes_type(unsigned m) {
+  assert(m >= 1 && m <= 32);
+  Type t;
+  t.kind = TypeKind::FixedBytes;
+  t.byte_width = m;
+  return make(std::move(t));
+}
+
+TypePtr bytes_type() {
+  Type t;
+  t.kind = TypeKind::Bytes;
+  return make(std::move(t)); }
+TypePtr string_type() {
+  Type t;
+  t.kind = TypeKind::String;
+  return make(std::move(t)); }
+
+TypePtr array_type(TypePtr element, std::optional<std::size_t> size) {
+  assert(element != nullptr);
+  Type t;
+  t.kind = TypeKind::Array;
+  t.array_size = size;
+  t.element = std::move(element);
+  return make(std::move(t));
+}
+
+TypePtr tuple_type(std::vector<TypePtr> members) {
+  Type t;
+  t.kind = TypeKind::Tuple;
+  t.members = std::move(members);
+  return make(std::move(t));
+}
+
+TypePtr decimal_type() {
+  Type t;
+  t.kind = TypeKind::Decimal;
+  return make(std::move(t)); }
+
+TypePtr bounded_bytes_type(std::size_t max_len) {
+  Type t;
+  t.kind = TypeKind::BoundedBytes;
+  t.max_len = max_len;
+  return make(std::move(t));
+}
+
+TypePtr bounded_string_type(std::size_t max_len) {
+  Type t;
+  t.kind = TypeKind::BoundedString;
+  t.max_len = max_len;
+  return make(std::move(t));
+}
+
+namespace {
+
+// Recursive-descent parser for type names.
+struct Parser {
+  const std::string& s;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool eof() const { return pos >= s.size(); }
+  [[nodiscard]] char peek() const { return s[pos]; }
+
+  TypePtr parse() {
+    TypePtr base = parse_base();
+    if (base == nullptr) return nullptr;
+    // Array suffixes, left to right: uint8[3][] is dynamic array of uint8[3].
+    while (!eof() && peek() == '[') {
+      ++pos;
+      if (!eof() && peek() == ']') {
+        ++pos;
+        base = array_type(base, std::nullopt);
+        continue;
+      }
+      std::size_t n = 0;
+      bool any = false;
+      while (!eof() && peek() >= '0' && peek() <= '9') {
+        n = n * 10 + static_cast<std::size_t>(peek() - '0');
+        ++pos;
+        any = true;
+      }
+      if (!any || eof() || peek() != ']') return nullptr;
+      ++pos;
+      // "bytes[50]" / "string[50]" display forms are Vyper bounded types,
+      // not arrays of `bytes`.
+      if (base->kind == TypeKind::Bytes && !base->is_array()) {
+        base = bounded_bytes_type(n);
+      } else if (base->kind == TypeKind::String && !base->is_array()) {
+        base = bounded_string_type(n);
+      } else {
+        base = array_type(base, n);
+      }
+    }
+    return base;
+  }
+
+  TypePtr parse_base() {
+    if (eof()) return nullptr;
+    if (peek() == '(') {
+      ++pos;
+      std::vector<TypePtr> members;
+      if (!eof() && peek() == ')') {
+        ++pos;
+        return tuple_type({});
+      }
+      while (true) {
+        TypePtr m = parse();
+        if (m == nullptr) return nullptr;
+        members.push_back(std::move(m));
+        if (eof()) return nullptr;
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        if (peek() == ')') {
+          ++pos;
+          return tuple_type(std::move(members));
+        }
+        return nullptr;
+      }
+    }
+    std::size_t start = pos;
+    while (!eof() && ((peek() >= 'a' && peek() <= 'z') || (peek() >= '0' && peek() <= '9'))) ++pos;
+    std::string word = s.substr(start, pos - start);
+    auto num_suffix = [&](const std::string& prefix) -> std::optional<unsigned> {
+      if (word.size() <= prefix.size() || word.compare(0, prefix.size(), prefix) != 0) {
+        return std::nullopt;
+      }
+      unsigned n = 0;
+      for (std::size_t i = prefix.size(); i < word.size(); ++i) {
+        if (word[i] < '0' || word[i] > '9') return std::nullopt;
+        n = n * 10 + static_cast<unsigned>(word[i] - '0');
+      }
+      return n;
+    };
+    if (word == "address") return address_type();
+    if (word == "bool") return bool_type();
+    if (word == "bytes") return bytes_type();
+    if (word == "string") return string_type();
+    if (word == "uint") return uint_type(256);
+    if (word == "int") return int_type(256);
+    if (word == "decimal" || word == "fixed168x10") return decimal_type();
+    if (auto n = num_suffix("uint")) {
+      return (*n >= 8 && *n <= 256 && *n % 8 == 0) ? uint_type(*n) : nullptr;
+    }
+    if (auto n = num_suffix("int")) {
+      return (*n >= 8 && *n <= 256 && *n % 8 == 0) ? int_type(*n) : nullptr;
+    }
+    if (auto n = num_suffix("bytes")) {
+      return (*n >= 1 && *n <= 32) ? fixed_bytes_type(*n) : nullptr;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace
+
+TypePtr parse_type(const std::string& name) {
+  Parser p{name};
+  TypePtr t = p.parse();
+  if (t == nullptr || !p.eof()) return nullptr;
+  return t;
+}
+
+std::string type_list_to_string(const std::vector<TypePtr>& types) {
+  std::string s;
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    if (i) s += ',';
+    s += types[i]->display_name();
+  }
+  return s;
+}
+
+}  // namespace sigrec::abi

@@ -1,0 +1,112 @@
+// Parameter type model covering both languages the paper handles.
+//
+// Solidity (§2.3.1): uintM/intM/address/bool/bytesM (basic), static arrays,
+// dynamic arrays, nested arrays, bytes, string, struct (tuple).
+// Vyper (§2.3.2): bool/int128/uint256/address/bytes32/decimal, fixed-size
+// list, fixed-size byte array bytes[maxLen], fixed-size string
+// string[maxLen], struct.
+//
+// Types are immutable and shared (TypePtr); construct via the factory
+// functions at the bottom.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sigrec::abi {
+
+enum class Dialect { Solidity, Vyper };
+
+enum class TypeKind {
+  Uint,         // uintM, 8 <= M <= 256, M % 8 == 0
+  Int,          // intM
+  Address,      // 20-byte account address
+  Bool,
+  FixedBytes,   // bytesM, 1 <= M <= 32
+  Bytes,        // dynamic byte sequence
+  String,       // dynamic UTF-8 string
+  Array,        // element type + optional static size (nullopt = dynamic dim)
+  Tuple,        // struct
+  Decimal,      // Vyper fixed-point, int128 range, 10 decimals
+  BoundedBytes,   // Vyper bytes[maxLen]
+  BoundedString,  // Vyper string[maxLen]
+};
+
+struct Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+struct Type {
+  TypeKind kind;
+  unsigned bits = 0;                      // Uint/Int: bit width
+  unsigned byte_width = 0;                // FixedBytes: M
+  std::optional<std::size_t> array_size;  // Array: nullopt for dynamic
+  TypePtr element;                        // Array element
+  std::vector<TypePtr> members;           // Tuple members
+  std::size_t max_len = 0;                // BoundedBytes/BoundedString
+
+  // Canonical ABI name used for selector computation and equality:
+  // "uint256", "uint8[3][]", "(uint256,bytes)". Vyper decimal canonicalizes
+  // to "fixed168x10" (its ABI representation), bounded bytes/string to
+  // "bytes"/"string" (their ABI representation drops the bound).
+  [[nodiscard]] std::string canonical_name() const;
+
+  // Human-readable name keeping Vyper bounds: "bytes[50]", "decimal".
+  [[nodiscard]] std::string display_name() const;
+
+  // True if ABI encoding of this type has no compile-time-known size
+  // (dynamic arrays, bytes, string, tuples with dynamic members, ...).
+  [[nodiscard]] bool is_dynamic() const;
+
+  // Size in bytes this type occupies in the head section of the encoding
+  // (32 for any dynamic type — its offset word).
+  [[nodiscard]] std::size_t head_size() const;
+
+  // Convenience classification.
+  [[nodiscard]] bool is_basic() const {
+    return kind == TypeKind::Uint || kind == TypeKind::Int || kind == TypeKind::Address ||
+           kind == TypeKind::Bool || kind == TypeKind::FixedBytes || kind == TypeKind::Decimal;
+  }
+  [[nodiscard]] bool is_array() const { return kind == TypeKind::Array; }
+  [[nodiscard]] bool is_static_array() const;   // every dimension static
+  [[nodiscard]] bool is_dynamic_array() const;  // top dim dynamic, lower dims static
+  [[nodiscard]] bool is_nested_array() const;   // some lower dim dynamic
+
+  // For arrays: dimension count and the innermost (non-array) element type.
+  [[nodiscard]] unsigned dimensions() const;
+  [[nodiscard]] TypePtr base_element() const;
+
+  // Total number of 32-byte words a *static* type occupies inline.
+  [[nodiscard]] std::size_t static_words() const;
+
+  friend bool operator==(const Type& a, const Type& b) {
+    return a.canonical_equal(b);
+  }
+  [[nodiscard]] bool canonical_equal(const Type& other) const;
+};
+
+// Factories.
+TypePtr uint_type(unsigned bits);           // uint8..uint256
+TypePtr int_type(unsigned bits);            // int8..int256
+TypePtr address_type();
+TypePtr bool_type();
+TypePtr fixed_bytes_type(unsigned m);       // bytes1..bytes32
+TypePtr bytes_type();
+TypePtr string_type();
+TypePtr array_type(TypePtr element, std::optional<std::size_t> size);
+TypePtr tuple_type(std::vector<TypePtr> members);
+TypePtr decimal_type();                     // Vyper
+TypePtr bounded_bytes_type(std::size_t max_len);   // Vyper bytes[N]
+TypePtr bounded_string_type(std::size_t max_len);  // Vyper string[N]
+
+// Parses a canonical/display name back into a type ("uint8[3][]",
+// "(uint256,bytes)", "bytes[50]" in Vyper display form). Returns nullptr on
+// malformed input.
+TypePtr parse_type(const std::string& name);
+
+// Renders a comma-separated parameter list: "uint8[],address".
+std::string type_list_to_string(const std::vector<TypePtr>& types);
+
+}  // namespace sigrec::abi

@@ -1,0 +1,109 @@
+#include "abi/value.hpp"
+
+#include <sstream>
+
+#include "evm/bytecode.hpp"
+
+namespace sigrec::abi {
+
+using evm::U256;
+
+std::string Value::to_string() const {
+  if (is_word()) return word().to_hex();
+  if (is_bytes()) return evm::bytes_to_hex(bytes());
+  std::ostringstream os;
+  os << '[';
+  const List& items = list();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) os << ',';
+    os << items[i].to_string();
+  }
+  os << ']';
+  return os.str();
+}
+
+namespace {
+
+// xorshift-style mixing so different salts give different content.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+Value sample_value(const Type& type, std::uint64_t salt) {
+  std::uint64_t m = mix(salt + 0x9e3779b97f4a7c15ULL);
+  switch (type.kind) {
+    case TypeKind::Uint: {
+      // Keep the value within the declared width.
+      U256 v(m);
+      if (type.bits < 64) v = v & U256::ones(type.bits);
+      return Value(v);
+    }
+    case TypeKind::Int: {
+      // Alternate sign by salt; value must fit the width after sign-extension.
+      U256 mag(m & ((type.bits >= 64) ? 0x7fffffffffffffffULL
+                                      : ((1ULL << (type.bits - 1)) - 1)));
+      if (salt % 2 == 1) return Value(mag.negate());
+      return Value(mag);
+    }
+    case TypeKind::Address:
+      return Value(U256(m) & U256::ones(160));
+    case TypeKind::Bool:
+      return Value(U256(m % 2));
+    case TypeKind::FixedBytes: {
+      // Data in the low `byte_width` bytes (encoder left-aligns).
+      U256 v(m);
+      v = v & U256::ones(8 * std::min(type.byte_width, 8u));
+      if (v.is_zero()) v = U256(0xab);
+      return Value(v);
+    }
+    case TypeKind::Decimal: {
+      U256 mag(m % 1000000007ULL);
+      return salt % 2 == 1 ? Value(mag.negate()) : Value(mag);
+    }
+    case TypeKind::Bytes:
+    case TypeKind::String: {
+      std::size_t len = 1 + m % 67;  // cross 32-byte boundaries sometimes
+      std::vector<std::uint8_t> data(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        data[i] = static_cast<std::uint8_t>('a' + (m + i) % 26);
+      }
+      return Value(std::move(data));
+    }
+    case TypeKind::BoundedBytes:
+    case TypeKind::BoundedString: {
+      std::size_t len = type.max_len == 0 ? 0 : 1 + m % type.max_len;
+      std::vector<std::uint8_t> data(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        data[i] = static_cast<std::uint8_t>('A' + (m + i) % 26);
+      }
+      return Value(std::move(data));
+    }
+    case TypeKind::Array: {
+      std::size_t n = type.array_size ? *type.array_size : 1 + m % 4;
+      Value::List items;
+      items.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        items.push_back(sample_value(*type.element, mix(salt) + i + 1));
+      }
+      return Value(std::move(items));
+    }
+    case TypeKind::Tuple: {
+      Value::List items;
+      items.reserve(type.members.size());
+      for (std::size_t i = 0; i < type.members.size(); ++i) {
+        items.push_back(sample_value(*type.members[i], mix(salt) + 101 * (i + 1)));
+      }
+      return Value(std::move(items));
+    }
+  }
+  return Value();
+}
+
+}  // namespace sigrec::abi

@@ -1,0 +1,49 @@
+// Runtime values paired with a Type, used by the ABI encoder/decoder, the
+// fuzzer (typed mutation) and ParChecker tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "abi/types.hpp"
+#include "evm/u256.hpp"
+
+namespace sigrec::abi {
+
+struct Value;
+
+// Word: any basic type (uint/int/address/bool/bytesM/decimal), already in its
+// canonical 256-bit representation (sign-extended for intM, right-aligned for
+// uintM, left-aligned for bytesM is NOT done here — the encoder handles
+// alignment; Word for bytesM holds the M data bytes in the *low* M bytes).
+struct Value {
+  using List = std::vector<Value>;
+  std::variant<evm::U256, std::vector<std::uint8_t>, List> data;
+
+  Value() : data(evm::U256(0)) {}
+  explicit Value(evm::U256 word) : data(std::move(word)) {}
+  explicit Value(std::vector<std::uint8_t> bytes) : data(std::move(bytes)) {}
+  explicit Value(List items) : data(std::move(items)) {}
+
+  [[nodiscard]] bool is_word() const { return std::holds_alternative<evm::U256>(data); }
+  [[nodiscard]] bool is_bytes() const {
+    return std::holds_alternative<std::vector<std::uint8_t>>(data);
+  }
+  [[nodiscard]] bool is_list() const { return std::holds_alternative<List>(data); }
+
+  [[nodiscard]] const evm::U256& word() const { return std::get<evm::U256>(data); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return std::get<std::vector<std::uint8_t>>(data);
+  }
+  [[nodiscard]] const List& list() const { return std::get<List>(data); }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Deterministic sample value for a type — used to build call data in tests
+// and benchmarks. `salt` varies the content; dynamic lengths derive from it.
+Value sample_value(const Type& type, std::uint64_t salt);
+
+}  // namespace sigrec::abi

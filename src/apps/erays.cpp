@@ -1,0 +1,304 @@
+#include "apps/erays.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "abi/signature.hpp"
+#include "evm/disassembler.hpp"
+
+namespace sigrec::apps {
+
+using evm::Disassembly;
+using evm::Instruction;
+using evm::Opcode;
+
+namespace {
+
+// Maps selector -> body entry pc by pattern-matching dispatcher arms.
+std::map<std::uint64_t, std::uint32_t> entry_points(const Disassembly& dis) {
+  std::map<std::uint64_t, std::uint32_t> entries;  // pc -> selector
+  const auto& insts = dis.instructions();
+  for (std::size_t i = 0; i + 2 < insts.size(); ++i) {
+    if (insts[i].op != evm::push_op(4)) continue;
+    for (std::size_t j = i + 1; j < insts.size() && j <= i + 3; ++j) {
+      if (insts[j].op == evm::push_op(2) && j + 1 < insts.size() &&
+          insts[j + 1].op == Opcode::JUMPI) {
+        entries[insts[j].immediate.as_u64()] =
+            static_cast<std::uint32_t>(insts[i].immediate.as_u64());
+      }
+    }
+  }
+  return entries;
+}
+
+// Signature knowledge for Erays+ rewriting.
+struct ArgInfo {
+  std::size_t index;  // 1-based argK
+  std::string type_name;
+};
+
+struct Lifter {
+  const Disassembly& dis;
+  // selector -> (head offset -> arg info); empty for plain Erays.
+  std::map<std::uint32_t, std::map<std::uint64_t, ArgInfo>> args_by_selector;
+  ErayPlusStats* stats = nullptr;
+
+  LiftedContract lift() {
+    LiftedContract out;
+    auto entries = entry_points(dis);
+    const auto& insts = dis.instructions();
+
+    // Region boundaries: dispatcher = [0, first entry).
+    std::vector<std::string> stack;
+    std::map<std::string, std::string> mem_forward;  // store-to-load forwarding
+    unsigned next_var = 1;
+    std::vector<std::string>* sink = &out.header;
+    const std::map<std::uint64_t, ArgInfo>* current_args = nullptr;
+    std::set<std::size_t> named_args;     // argK already introduced
+    std::set<std::size_t> named_nums;     // num(argK) already introduced
+    std::uint32_t current_selector = 0;
+
+    auto emit = [&](const std::string& line) { sink->push_back("  " + line); };
+    auto fresh = [&](const std::string& rhs) {
+      std::string v = "v" + std::to_string(next_var++);
+      emit(v + " = " + rhs);
+      return v;
+    };
+    auto pop = [&]() -> std::string {
+      if (stack.empty()) return "s?";
+      std::string v = stack.back();
+      stack.pop_back();
+      return v;
+    };
+
+    for (const Instruction& inst : insts) {
+      auto entry_it = entries.find(inst.pc);
+      if (entry_it != entries.end()) {
+        // New function region.
+        current_selector = entry_it->second;
+        out.functions.push_back(LiftedFunction{current_selector, {}});
+        sink = &out.functions.back().lines;
+        stack.clear();
+        mem_forward.clear();
+        named_args.clear();
+        named_nums.clear();
+        auto ai = args_by_selector.find(current_selector);
+        current_args = ai == args_by_selector.end() ? nullptr : &ai->second;
+        if (current_args != nullptr) {
+          // Function header with the recovered signature.
+          std::ostringstream os;
+          os << "function " << abi::selector_to_hex(current_selector) << '(';
+          bool first = true;
+          for (const auto& [head, info] : *current_args) {
+            if (!first) os << ", ";
+            os << info.type_name << " arg" << info.index;
+            if (stats != nullptr) stats->types_added++;
+            first = false;
+          }
+          os << ')';
+          sink->push_back(os.str());
+        }
+        continue;  // the JUMPDEST itself
+      }
+
+      const auto& info = inst.info();
+      std::string name(info.name);
+      for (char& c : name) c = static_cast<char>(std::tolower(c));
+
+      if (inst.is_push()) {
+        stack.push_back(inst.immediate.to_hex());
+        continue;
+      }
+      std::uint8_t byte = static_cast<std::uint8_t>(inst.op);
+      if (evm::is_dup(byte)) {
+        unsigned d = evm::dup_depth(byte);
+        stack.push_back(d <= stack.size() ? stack[stack.size() - d] : "s?");
+        continue;
+      }
+      if (evm::is_swap(byte)) {
+        unsigned d = evm::swap_depth(byte);
+        if (d < stack.size()) std::swap(stack.back(), stack[stack.size() - 1 - d]);
+        continue;
+      }
+
+      switch (inst.op) {
+        case Opcode::CALLDATALOAD: {
+          std::string loc = pop();
+          // Erays+: a head read becomes the named parameter; an offset-
+          // relative read becomes num(argK); later boilerplate reads drop.
+          if (current_args != nullptr) {
+            auto head = evm::U256::from_hex(loc);
+            if (head && head->fits_u64()) {
+              auto it = current_args->find(head->as_u64());
+              if (it != current_args->end()) {
+                if (named_args.insert(it->second.index).second && stats != nullptr) {
+                  stats->names_added++;
+                }
+                stack.push_back("arg" + std::to_string(it->second.index));
+                continue;
+              }
+            }
+            // Re-reads through a parameter expression: num field.
+            for (const auto& [h, ai] : *current_args) {
+              std::string tag = "arg" + std::to_string(ai.index);
+              if (loc.find(tag) != std::string::npos) {
+                if (named_nums.insert(ai.index).second) {
+                  if (stats != nullptr) stats->num_names_added++;
+                  emit("num(" + tag + ") = length of " + tag);
+                } else if (stats != nullptr) {
+                  stats->lines_removed++;
+                }
+                stack.push_back("num(" + tag + ")");
+                goto handled;
+              }
+            }
+          }
+          stack.push_back(fresh("calldataload(" + loc + ")"));
+        handled:
+          break;
+        }
+        case Opcode::CALLDATACOPY: {
+          std::string dst = pop();
+          std::string src = pop();
+          std::string len = pop();
+          if (current_args != nullptr) {
+            // Access boilerplate collapses into the header assignment.
+            if (stats != nullptr) stats->lines_removed++;
+            break;
+          }
+          emit("mem[" + dst + " .. +" + len + "] = calldata[" + src + " .. +" + len + "]");
+          break;
+        }
+        case Opcode::MSTORE: {
+          std::string addr = pop();
+          std::string val = pop();
+          mem_forward[addr] = val;  // forward stores to later loads
+          if (current_args != nullptr &&
+              (val.find("arg") != std::string::npos || addr.find("arg") != std::string::npos)) {
+            if (stats != nullptr) stats->lines_removed++;
+            break;
+          }
+          emit("mem[" + addr + "] = " + val);
+          break;
+        }
+        case Opcode::MLOAD: {
+          std::string addr = pop();
+          auto fwd = mem_forward.find(addr);
+          if (fwd != mem_forward.end()) {
+            stack.push_back(fwd->second);
+          } else {
+            stack.push_back(fresh("mem[" + addr + "]"));
+          }
+          break;
+        }
+        case Opcode::SSTORE: {
+          std::string addr = pop();
+          std::string val = pop();
+          emit("storage[" + addr + "] = " + val);
+          break;
+        }
+        case Opcode::SLOAD:
+          stack.push_back(fresh("storage[" + pop() + "]"));
+          break;
+        case Opcode::JUMP:
+          emit("goto " + pop());
+          stack.clear();
+          break;
+        case Opcode::JUMPI: {
+          std::string dst = pop();
+          std::string cond = pop();
+          emit("if (" + cond + ") goto " + dst);
+          break;
+        }
+        case Opcode::JUMPDEST:
+          emit("label_" + evm::U256(inst.pc).to_hex() + ":");
+          break;
+        case Opcode::STOP:
+          emit("stop");
+          stack.clear();
+          break;
+        case Opcode::RETURN: {
+          std::string off = pop();
+          std::string len = pop();
+          emit("return mem[" + off + " .. +" + len + "]");
+          break;
+        }
+        case Opcode::REVERT: {
+          std::string off = pop();
+          std::string len = pop();
+          emit("revert mem[" + off + " .. +" + len + "]");
+          break;
+        }
+        case Opcode::POP:
+          pop();
+          break;
+        default: {
+          // Generic value-producing / effect-free instruction.
+          std::vector<std::string> operands;
+          for (unsigned i = 0; i < info.inputs; ++i) operands.push_back(pop());
+          if (info.outputs > 0) {
+            std::string rhs = name + "(";
+            for (std::size_t i = 0; i < operands.size(); ++i) {
+              if (i) rhs += ", ";
+              rhs += operands[i];
+            }
+            rhs += ")";
+            if (operands.empty()) rhs = name + "()";
+            // Keep simple binary expressions inline for readability.
+            stack.push_back(operands.size() == 2 ? "(" + operands[0] + " " + name + " " +
+                                                        operands[1] + ")"
+                                                 : fresh(rhs));
+          } else {
+            emit(name + "(...)");
+          }
+          break;
+        }
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::string LiftedContract::to_string() const {
+  std::ostringstream os;
+  os << "dispatcher:\n";
+  for (const auto& l : header) os << l << '\n';
+  for (const auto& fn : functions) {
+    os << "func_" << abi::selector_to_hex(fn.selector) << ":\n";
+    for (const auto& l : fn.lines) os << l << '\n';
+  }
+  return os.str();
+}
+
+std::size_t LiftedContract::line_count() const {
+  std::size_t n = header.size();
+  for (const auto& fn : functions) n += fn.lines.size();
+  return n;
+}
+
+LiftedContract lift_contract(const evm::Bytecode& code) {
+  Disassembly dis(code);
+  Lifter lifter{dis, {}, nullptr};
+  return lifter.lift();
+}
+
+LiftedContract erays_plus(const evm::Bytecode& code, const core::RecoveryResult& recovery,
+                          ErayPlusStats* stats) {
+  Disassembly dis(code);
+  Lifter lifter{dis, {}, stats};
+  for (const auto& fn : recovery.functions) {
+    std::map<std::uint64_t, ArgInfo> heads;
+    std::uint64_t head = 4;
+    for (std::size_t i = 0; i < fn.parameters.size(); ++i) {
+      heads[head] = ArgInfo{i + 1, fn.parameters[i]->display_name()};
+      head += fn.parameters[i]->head_size();
+    }
+    lifter.args_by_selector[fn.selector] = std::move(heads);
+  }
+  return lifter.lift();
+}
+
+}  // namespace sigrec::apps

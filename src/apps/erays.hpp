@@ -1,0 +1,47 @@
+// §6.3: Erays-style lifting and the Erays+ signature-aware improvement.
+//
+// `lift_contract` produces register-based three-address statements from EVM
+// bytecode (one `vN = expr` line per value-producing instruction sequence,
+// like Erays). `erays_plus` rewrites that output with SigRec's recovered
+// signatures: typed parameter names replace raw calldataload expressions,
+// num-field reads get num(argK) names, and compiler-generated
+// parameter-access code collapses into single assignments. The stats struct
+// carries the paper's four readability metrics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "evm/bytecode.hpp"
+#include "sigrec/sigrec.hpp"
+
+namespace sigrec::apps {
+
+struct LiftedFunction {
+  std::uint32_t selector = 0;
+  std::vector<std::string> lines;
+};
+
+struct LiftedContract {
+  std::vector<std::string> header;  // dispatcher statements
+  std::vector<LiftedFunction> functions;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::size_t line_count() const;
+};
+
+// Plain Erays: lift without any signature knowledge.
+LiftedContract lift_contract(const evm::Bytecode& code);
+
+struct ErayPlusStats {
+  unsigned types_added = 0;       // parameter types annotated
+  unsigned names_added = 0;       // argK names substituted for expressions
+  unsigned num_names_added = 0;   // num(argK) names for num-field reads
+  unsigned lines_removed = 0;     // access boilerplate collapsed
+};
+
+// Erays+: the same lift, improved with recovered signatures.
+LiftedContract erays_plus(const evm::Bytecode& code, const core::RecoveryResult& recovery,
+                          ErayPlusStats* stats = nullptr);
+
+}  // namespace sigrec::apps

@@ -1,0 +1,102 @@
+#include "apps/fuzzer.hpp"
+
+#include <random>
+
+#include "abi/encoder.hpp"
+#include "apps/typed_mutation.hpp"
+#include "evm/interpreter.hpp"
+
+namespace sigrec::apps {
+
+using evm::Bytes;
+using evm::U256;
+
+namespace {
+
+Bytes selector_prefix(std::uint32_t selector) {
+  return {static_cast<std::uint8_t>(selector >> 24), static_cast<std::uint8_t>(selector >> 16),
+          static_cast<std::uint8_t>(selector >> 8), static_cast<std::uint8_t>(selector)};
+}
+
+// Type-aware input: selector + well-formed ABI encoding of mutated values
+// (boundary cases, magic constants, length extremes — ContractFuzzer's
+// per-type strategies).
+Bytes typed_input(std::uint32_t selector, const std::vector<abi::TypePtr>& params,
+                  TypedMutator& mutator) {
+  Bytes out = selector_prefix(selector);
+  std::vector<abi::Value> values;
+  values.reserve(params.size());
+  for (const abi::TypePtr& p : params) values.push_back(mutator.mutate(*p));
+  Bytes args = abi::encode_arguments(params, values);
+  out.insert(out.end(), args.begin(), args.end());
+  return out;
+}
+
+// Type-blind input: selector + random byte soup.
+Bytes random_input(std::uint32_t selector, std::mt19937_64& rng) {
+  Bytes out = selector_prefix(selector);
+  std::size_t len = rng() % 256;
+  for (std::size_t i = 0; i < len; ++i) out.push_back(static_cast<std::uint8_t>(rng()));
+  return out;
+}
+
+bool hit_planted_bug(const evm::ExecResult& result, const evm::Env& env) {
+  auto it = result.storage_writes.find(U256(0xdead));
+  return it != result.storage_writes.end() && it->second == env.timestamp;
+}
+
+}  // namespace
+
+FuzzReport fuzz_corpus(const corpus::Corpus& corpus,
+                       const std::vector<evm::Bytecode>& bytecodes,
+                       const FuzzOptions& options) {
+  FuzzReport report;
+  std::mt19937_64 rng(options.seed);
+  TypedMutator mutator(options.seed ^ 0x5eedULL);
+  core::SigRec sigrec;
+  evm::Env env;
+
+  for (std::size_t ci = 0; ci < corpus.specs.size(); ++ci) {
+    const evm::Bytecode& code = bytecodes[ci];
+    bool contract_hit = false;
+
+    // The type-aware fuzzer's type knowledge comes from SigRec over the
+    // bytecode — the experiment's whole point.
+    core::RecoveryResult recovered;
+    if (options.use_signatures) recovered = sigrec.recover(code);
+
+    for (const compiler::FunctionSpec& fn : corpus.specs[ci].functions) {
+      std::uint32_t selector = fn.signature.selector();
+      const std::vector<abi::TypePtr>* params = nullptr;
+      for (const auto& r : recovered.functions) {
+        if (r.selector == selector) params = &r.parameters;
+      }
+
+      bool fn_hit = false;
+      for (unsigned it = 0; it < options.iterations_per_function && !fn_hit; ++it) {
+        Bytes input;
+        if (options.use_signatures && params != nullptr) {
+          input = typed_input(selector, *params, mutator);
+        } else {
+          input = random_input(selector, rng);
+        }
+        evm::Interpreter interp(code);
+        interp.with_env(env).with_step_limit(options.step_limit);
+        evm::ExecResult result = interp.execute(input);
+        ++report.executions;
+        if (result.halt == evm::Halt::Stop || result.halt == evm::Halt::Return) {
+          ++report.clean_runs;
+        }
+        fn_hit = hit_planted_bug(result, env);
+      }
+      if (fn_hit) {
+        ++report.bugs_found;
+        contract_hit = true;
+      }
+    }
+    if (contract_hit) ++report.vulnerable_contracts;
+  }
+  return report;
+}
+
+}  // namespace sigrec::apps

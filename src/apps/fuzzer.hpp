@@ -1,0 +1,41 @@
+// §6.2: ContractFuzzer vs ContractFuzzer−.
+//
+// Both fuzzers drive the concrete EVM interpreter. The type-aware fuzzer
+// encodes well-formed arguments from signatures recovered by SigRec and
+// mutates values within their types; the type-blind fuzzer (ContractFuzzer−)
+// appends random byte sequences after the selector. Planted bugs (SSTORE of
+// TIMESTAMP at slot 0xdead, see FunctionSpec::plant_vulnerability) sit past
+// the parameter-access code, so reaching them requires structurally valid
+// call data.
+#pragma once
+
+#include <cstdint>
+
+#include "corpus/datasets.hpp"
+#include "evm/bytecode.hpp"
+#include "sigrec/sigrec.hpp"
+
+namespace sigrec::apps {
+
+struct FuzzOptions {
+  unsigned iterations_per_function = 48;
+  std::uint64_t seed = 1;
+  bool use_signatures = true;  // false = ContractFuzzer−
+  std::uint64_t step_limit = 60000;
+};
+
+struct FuzzReport {
+  std::size_t bugs_found = 0;            // (contract, function) pairs hit
+  std::size_t vulnerable_contracts = 0;  // contracts with >= 1 bug hit
+  std::size_t executions = 0;
+  std::size_t clean_runs = 0;            // executions completing without fault
+};
+
+// Fuzzes every function of every compiled contract in the corpus. When
+// use_signatures is set, parameter types come from SigRec recoveries over
+// the bytecode (not from the ground-truth specs).
+FuzzReport fuzz_corpus(const corpus::Corpus& corpus,
+                       const std::vector<evm::Bytecode>& bytecodes,
+                       const FuzzOptions& options);
+
+}  // namespace sigrec::apps

@@ -1,0 +1,232 @@
+#include "apps/parchecker.hpp"
+
+#include "evm/u256.hpp"
+
+namespace sigrec::apps {
+
+using abi::Type;
+using abi::TypeKind;
+using evm::U256;
+
+namespace {
+
+struct Checker {
+  std::span<const std::uint8_t> args;  // after the selector
+  CheckResult result;
+  std::size_t current_arg = 0;
+
+  bool fail(ArgIssue issue) {
+    if (result.valid) {
+      result.valid = false;
+      result.issue = issue;
+      result.argument_index = current_arg;
+    }
+    return false;
+  }
+
+  std::optional<U256> word_at(std::size_t off) const {
+    if (off + 32 > args.size()) return std::nullopt;
+    return U256::from_be_bytes(args.subspan(off, 32));
+  }
+
+  // Table 6: per-basic-type padding rules.
+  bool check_basic(const Type& t, std::size_t off) {
+    auto w = word_at(off);
+    if (!w) return fail(ArgIssue::TooShort);
+    switch (t.kind) {
+      case TypeKind::Uint:
+        if (t.bits < 256 && !(*w <= U256::ones(t.bits))) return fail(ArgIssue::BadUintPadding);
+        return true;
+      case TypeKind::Int: {
+        if (t.bits == 256) return true;
+        // The word must equal the sign extension of its low `bits` bits.
+        U256 low = *w & U256::ones(t.bits);
+        U256 extended = low.signextend(U256(t.bits / 8 - 1));
+        if (extended != *w) return fail(ArgIssue::BadIntPadding);
+        return true;
+      }
+      case TypeKind::Address:
+        if (!(*w <= U256::ones(160))) return fail(ArgIssue::BadAddressPadding);
+        return true;
+      case TypeKind::Bool:
+        if (!(*w <= U256(1))) return fail(ArgIssue::BadBoolValue);
+        return true;
+      case TypeKind::FixedBytes:
+        // Left-aligned: the low 32-M bytes must be zero.
+        if (t.byte_width < 32 && !(*w & U256::ones(8 * (32 - t.byte_width))).is_zero()) {
+          return fail(ArgIssue::BadBytesPadding);
+        }
+        return true;
+      case TypeKind::Decimal: {
+        // Vyper clamps decimals to ±2^127·10^10 at runtime; flag anything a
+        // deployed contract would revert on (the §6.1 future-work extension).
+        const U256 hi = U256::pow2(127) * U256(10000000000ULL);
+        bool in_range = w->slt(hi) && !w->slt(hi.negate());
+        if (!in_range) return fail(ArgIssue::BadDecimalRange);
+        return true;
+      }
+      default:
+        return true;
+    }
+  }
+
+  bool check_bytes_tail(std::size_t pos) {
+    auto len = word_at(pos);
+    if (!len) return fail(ArgIssue::TooShort);
+    if (!len->fits_u64() || len->as_u64() > args.size()) return fail(ArgIssue::BadLength);
+    std::size_t n = len->as_u64();
+    std::size_t padded = (n + 31) / 32 * 32;
+    if (pos + 32 + padded > args.size()) return fail(ArgIssue::TooShort);
+    // The zero padding after the content must actually be zero.
+    for (std::size_t i = pos + 32 + n; i < pos + 32 + padded; ++i) {
+      if (args[i] != 0) return fail(ArgIssue::BadBytesPadding);
+    }
+    return true;
+  }
+
+  bool check_one(const Type& t, std::size_t off);
+
+  // Decodes a head/tail sequence rooted at `base`.
+  bool check_sequence(const std::vector<abi::TypePtr>& types, std::size_t base) {
+    std::size_t head = base;
+    for (const abi::TypePtr& t : types) {
+      if (t->is_dynamic()) {
+        auto offset = word_at(head);
+        if (!offset) return fail(ArgIssue::TooShort);
+        if (!offset->fits_u64() || offset->as_u64() % 32 != 0 ||
+            base + offset->as_u64() >= args.size() + 32) {
+          return fail(ArgIssue::BadOffset);
+        }
+        if (!check_one(*t, base + offset->as_u64())) return false;
+        head += 32;
+      } else {
+        if (!check_one(*t, head)) return false;
+        head += t->head_size();
+      }
+    }
+    return true;
+  }
+};
+
+bool Checker::check_one(const Type& t, std::size_t off) {
+  switch (t.kind) {
+    case TypeKind::Bytes:
+    case TypeKind::String:
+    case TypeKind::BoundedBytes:
+    case TypeKind::BoundedString:
+      return check_bytes_tail(off);
+    case TypeKind::Array: {
+      std::size_t n;
+      std::size_t base;
+      if (t.array_size.has_value()) {
+        n = *t.array_size;
+        base = off;
+      } else {
+        auto num = word_at(off);
+        if (!num) return fail(ArgIssue::TooShort);
+        if (!num->fits_u64() || num->as_u64() * 32 > args.size()) {
+          return fail(ArgIssue::BadLength);
+        }
+        n = num->as_u64();
+        base = off + 32;
+      }
+      std::vector<abi::TypePtr> elems(n, t.element);
+      return check_sequence(elems, base);
+    }
+    case TypeKind::Tuple:
+      return check_sequence(t.members, off);
+    default:
+      return check_basic(t, off);
+  }
+}
+
+}  // namespace
+
+std::string CheckResult::to_string() const {
+  if (valid) return "valid";
+  static constexpr const char* kIssues[] = {
+      "none",        "too-short",       "bad-uint-padding", "bad-int-padding",
+      "bad-address", "bad-bool-value",  "bad-bytes-padding", "bad-offset",
+      "bad-length",  "bad-decimal-range",
+  };
+  std::string s = "invalid arg#" + std::to_string(argument_index) + " (" +
+                  kIssues[static_cast<int>(issue)] + ")";
+  if (short_address_attack) s += " [short address attack]";
+  return s;
+}
+
+CheckResult check_arguments(const abi::FunctionSignature& sig,
+                            std::span<const std::uint8_t> calldata) {
+  CheckResult bad;
+  bad.valid = false;
+  bad.issue = ArgIssue::TooShort;
+  if (calldata.size() < 4) return bad;
+
+  std::uint32_t got = (std::uint32_t(calldata[0]) << 24) | (std::uint32_t(calldata[1]) << 16) |
+                      (std::uint32_t(calldata[2]) << 8) | std::uint32_t(calldata[3]);
+  if (got != sig.selector()) return bad;
+
+  CheckResult result = check_arguments(sig.parameters, calldata);
+  result.short_address_attack = is_short_address_attack(sig, calldata);
+  return result;
+}
+
+CheckResult check_arguments(const std::vector<abi::TypePtr>& parameters,
+                            std::span<const std::uint8_t> calldata) {
+  CheckResult bad;
+  bad.valid = false;
+  bad.issue = ArgIssue::TooShort;
+  if (calldata.size() < 4) return bad;
+
+  Checker checker{calldata.subspan(4), {}, 0};
+  std::size_t head = 0;
+  for (std::size_t i = 0; i < parameters.size(); ++i) {
+    checker.current_arg = i;
+    const Type& t = *parameters[i];
+    if (t.is_dynamic()) {
+      auto offset = checker.word_at(head);
+      if (!offset) {
+        checker.fail(ArgIssue::TooShort);
+        break;
+      }
+      if (!offset->fits_u64() || offset->as_u64() % 32 != 0 ||
+          offset->as_u64() >= checker.args.size() + 32) {
+        checker.fail(ArgIssue::BadOffset);
+        break;
+      }
+      if (!checker.check_one(t, offset->as_u64())) break;
+      head += 32;
+    } else {
+      if (!checker.check_one(t, head)) break;
+      head += t.head_size();
+    }
+  }
+  return checker.result;
+}
+
+bool is_short_address_attack(const abi::FunctionSignature& sig,
+                             std::span<const std::uint8_t> calldata) {
+  // The attack targets functions whose last-but-one parameter is an address
+  // followed by a value (transfer(address,uint256) being the canonical
+  // case): the sender strips trailing zero bytes of the address and the EVM
+  // realigns, shifting value bits left.
+  if (sig.parameters.size() != 2) return false;
+  if (sig.parameters[0]->kind != TypeKind::Address) return false;
+  if (sig.parameters[1]->kind != TypeKind::Uint) return false;
+  if (calldata.size() <= 4) return false;
+  std::size_t len = calldata.size() - 4;  // actual argument bytes provided
+  // A valid address+uint256 needs 64 bytes; the attack strips trailing
+  // address zeros, so 33..63 bytes arrive.
+  if (len >= 64 || len < 33) return false;
+  std::size_t missing = 64 - len;
+  // Per §6.1: the highest `missing` bytes of the last 32 argument bytes must
+  // be zero — the EVM consumes them to complete the short address, shifting
+  // the value left.
+  std::span<const std::uint8_t> last = calldata.subspan(4 + len - 32, 32);
+  for (std::size_t i = 0; i < missing; ++i) {
+    if (last[i] != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace sigrec::apps

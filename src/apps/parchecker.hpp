@@ -1,0 +1,57 @@
+// ParChecker (§6.1): validates the actual arguments of a function invocation
+// against a recovered signature, and detects short address attacks.
+//
+// An invocation's arguments are *invalid* when they are not encoded per the
+// ABI specification — wrong padding for a basic type, out-of-range offsets,
+// or truncated call data (the short address attack's signature).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "abi/signature.hpp"
+
+namespace sigrec::apps {
+
+enum class ArgIssue {
+  None,
+  TooShort,          // call data shorter than the static layout requires
+  BadUintPadding,    // uintM high-order extension bytes not zero
+  BadIntPadding,     // intM not sign-extended
+  BadAddressPadding, // top 12 bytes of an address word not zero
+  BadBoolValue,      // bool word not 0/1
+  BadBytesPadding,   // bytesM / bytes tail padding not zero
+  BadOffset,         // dynamic offset out of range or misaligned
+  BadLength,         // num field implausible for the call data size
+  BadDecimalRange,   // Vyper decimal outside ±2^127·10^10
+};
+
+struct CheckResult {
+  bool valid = true;
+  ArgIssue issue = ArgIssue::None;
+  std::size_t argument_index = 0;  // first offending parameter
+  bool short_address_attack = false;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Checks one invocation: `calldata` includes the 4-byte function id, which
+// must match `sig.selector()` (mismatches count as invalid).
+CheckResult check_arguments(const abi::FunctionSignature& sig,
+                            std::span<const std::uint8_t> calldata);
+
+// Variant for recovered signatures, whose function *name* is unknown: the
+// caller already matched the 4-byte id against the dispatcher, so only the
+// parameter layout is validated.
+CheckResult check_arguments(const std::vector<abi::TypePtr>& parameters,
+                            std::span<const std::uint8_t> calldata);
+
+// Detects the §6.1 short address attack against a transfer(address,uint256)-
+// style function: call data shorter than 4+64 whose tail would be
+// zero-completed into the address.
+bool is_short_address_attack(const abi::FunctionSignature& sig,
+                             std::span<const std::uint8_t> calldata);
+
+}  // namespace sigrec::apps

@@ -1,0 +1,123 @@
+#include "apps/txstream.hpp"
+
+#include <random>
+
+#include "abi/encoder.hpp"
+#include "apps/parchecker.hpp"
+
+namespace sigrec::apps {
+
+namespace {
+
+bool is_transfer_shaped(const abi::FunctionSignature& sig) {
+  return sig.parameters.size() == 2 &&
+         sig.parameters[0]->kind == abi::TypeKind::Address &&
+         sig.parameters[1]->kind == abi::TypeKind::Uint;
+}
+
+// Where (and whether) flipping a byte of the first parameter's head word
+// provably breaks the ABI encoding. Full-width words (uint256, bytes32, ...)
+// have no padding to violate — flipping them just changes the value.
+enum class DirtySpot { None, HighPadding, LowPadding };
+
+DirtySpot dirty_spot(const abi::Type& t) {
+  if (t.is_dynamic()) return DirtySpot::HighPadding;  // breaks the offset word
+  switch (t.kind) {
+    case abi::TypeKind::Uint:
+    case abi::TypeKind::Int:
+      return t.bits < 256 ? DirtySpot::HighPadding : DirtySpot::None;
+    case abi::TypeKind::Address:
+    case abi::TypeKind::Bool:
+      return DirtySpot::HighPadding;
+    case abi::TypeKind::FixedBytes:
+      return t.byte_width < 32 ? DirtySpot::LowPadding : DirtySpot::None;
+    case abi::TypeKind::Array:
+      return dirty_spot(*t.base_element());
+    case abi::TypeKind::Tuple:
+      return t.members.empty() ? DirtySpot::None : dirty_spot(*t.members.front());
+    default:
+      return DirtySpot::None;
+  }
+}
+
+}  // namespace
+
+std::vector<Transaction> make_transaction_stream(const corpus::Corpus& corpus,
+                                                 const TxStreamOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  std::vector<Transaction> stream;
+  stream.reserve(options.count);
+
+  for (std::size_t t = 0; t < options.count; ++t) {
+    Transaction tx;
+    tx.contract_index = rng() % corpus.specs.size();
+    const auto& spec = corpus.specs[tx.contract_index];
+    const auto& fn = spec.functions[rng() % spec.functions.size()];
+
+    tx.calldata = abi::encode_sample_call(fn.signature, rng());
+    std::uint64_t roll = rng() % 1000;
+    DirtySpot spot = fn.signature.parameters.empty()
+                         ? DirtySpot::None
+                         : dirty_spot(*fn.signature.parameters.front());
+    if (roll < options.malformed_per_mille && tx.calldata.size() >= 36 &&
+        spot != DirtySpot::None) {
+      // Dirty a padding byte of the first parameter — provably malformed.
+      tx.calldata[spot == DirtySpot::HighPadding ? 4 : 35] ^= 0x80;
+      tx.injected_malformed = true;
+    } else if (roll < options.malformed_per_mille + options.short_address_per_mille &&
+               is_transfer_shaped(fn.signature) && tx.calldata.size() == 68) {
+      // Canonical short address attack: the address's tail bytes are zero,
+      // the value's high bytes are zero, trailing bytes stripped.
+      for (std::size_t k = 33; k < 36; ++k) tx.calldata[k] = 0;
+      for (std::size_t k = 36; k < 44; ++k) tx.calldata[k] = 0;
+      tx.calldata.resize(tx.calldata.size() - (1 + rng() % 3));
+      tx.injected_short_address = true;
+    }
+    stream.push_back(std::move(tx));
+  }
+  return stream;
+}
+
+ScanReport scan_transactions(const corpus::Corpus& corpus,
+                             const std::vector<evm::Bytecode>& bytecodes,
+                             const std::vector<Transaction>& stream) {
+  // Recover once per contract.
+  core::SigRec sigrec;
+  std::vector<std::map<std::uint32_t, core::RecoveredFunction>> recovered(corpus.specs.size());
+  for (std::size_t i = 0; i < bytecodes.size(); ++i) {
+    for (auto& fn : sigrec.recover(bytecodes[i]).functions) {
+      recovered[i].emplace(fn.selector, std::move(fn));
+    }
+  }
+
+  ScanReport report;
+  for (const Transaction& tx : stream) {
+    if (tx.calldata.size() < 4) continue;
+    std::uint32_t sel = (std::uint32_t(tx.calldata[0]) << 24) |
+                        (std::uint32_t(tx.calldata[1]) << 16) |
+                        (std::uint32_t(tx.calldata[2]) << 8) | std::uint32_t(tx.calldata[3]);
+    auto it = recovered[tx.contract_index].find(sel);
+    if (it == recovered[tx.contract_index].end()) continue;
+    const core::RecoveredFunction& fn = it->second;
+
+    ++report.checked;
+    CheckResult r = check_arguments(fn.parameters, tx.calldata);
+    abi::FunctionSignature shape;
+    shape.parameters = fn.parameters;
+    bool attack = is_short_address_attack(shape, tx.calldata);
+    bool flagged = !r.valid || attack;
+    if (flagged) ++report.invalid;
+    if (attack) {
+      ++report.short_address_attacks;
+      report.attacked_contracts.insert(tx.contract_index);
+    }
+
+    bool injected = tx.injected_malformed || tx.injected_short_address;
+    if (flagged && injected) ++report.true_positives;
+    if (flagged && !injected) ++report.false_positives;
+    if (!flagged && injected) ++report.false_negatives;
+  }
+  return report;
+}
+
+}  // namespace sigrec::apps

@@ -1,0 +1,110 @@
+#include "apps/typed_mutation.hpp"
+
+namespace sigrec::apps {
+
+using abi::Type;
+using abi::TypeKind;
+using abi::Value;
+using evm::U256;
+
+U256 TypedMutator::interesting_word(const Type& type) {
+  std::uint64_t roll = rng_() % 8;
+  switch (type.kind) {
+    case TypeKind::Uint: {
+      U256 max = U256::ones(type.bits);
+      switch (roll) {
+        case 0: return U256(0);
+        case 1: return U256(1);
+        case 2: return max;                       // type max
+        case 3: return max.shr(1u);               // half range
+        case 4: return U256(0x42);                // a magic byte
+        default: return U256(rng_()) & max;
+      }
+    }
+    case TypeKind::Int: {
+      U256 hi = U256::ones(type.bits - 1);        // INT_MAX for the width
+      switch (roll) {
+        case 0: return U256(0);
+        case 1: return U256(1).negate();          // -1 (all bits set)
+        case 2: return hi;                        // INT_MAX
+        case 3: return (hi + U256(1)).negate();   // INT_MIN, sign-extended
+        case 4: return (U256(rng_()) & hi).negate();  // random negative in range
+        default: return U256(rng_()) & hi;            // random positive in range
+      }
+    }
+    case TypeKind::Address:
+      switch (roll) {
+        case 0: return U256(0);                   // the zero address
+        case 1: return U256::ones(160);           // max address
+        default: return U256(rng_()) & U256::ones(160);
+      }
+    case TypeKind::Bool:
+      return U256(rng_() % 2);
+    case TypeKind::FixedBytes: {
+      U256 mask = U256::ones(8 * std::min(type.byte_width, 8u));
+      switch (roll) {
+        case 0: return U256(0);
+        case 1: return mask;
+        default: return U256(rng_()) & mask;
+      }
+    }
+    case TypeKind::Decimal: {
+      // Stay inside Vyper's clamp so the input is not rejected at the door.
+      U256 hi = U256::pow2(127) * U256(10000000000ULL) - U256(1);
+      switch (roll) {
+        case 0: return U256(0);
+        case 1: return hi;
+        case 2: return hi.negate();
+        case 3: return U256(rng_() % 1000000).negate();
+        default: return U256(rng_());
+      }
+    }
+    default:
+      return U256(rng_());
+  }
+}
+
+Value TypedMutator::mutate(const Type& type) {
+  switch (type.kind) {
+    case TypeKind::Bytes:
+    case TypeKind::String: {
+      // Length extremes: empty, one byte, straddle a word boundary, long.
+      static constexpr std::size_t kLens[] = {0, 1, 31, 32, 33, 64, 100};
+      std::size_t len = kLens[rng_() % std::size(kLens)];
+      std::vector<std::uint8_t> data(len);
+      for (auto& b : data) b = static_cast<std::uint8_t>(rng_());
+      return Value(std::move(data));
+    }
+    case TypeKind::BoundedBytes:
+    case TypeKind::BoundedString: {
+      // Hug the declared bound (the clamp's edge).
+      std::size_t len = rng_() % 3 == 0 ? type.max_len : rng_() % (type.max_len + 1);
+      std::vector<std::uint8_t> data(len);
+      for (auto& b : data) b = static_cast<std::uint8_t>('A' + rng_() % 26);
+      return Value(std::move(data));
+    }
+    case TypeKind::Array: {
+      std::size_t n;
+      if (type.array_size.has_value()) {
+        n = *type.array_size;
+      } else {
+        static constexpr std::size_t kCounts[] = {0, 1, 2, 5};
+        n = kCounts[rng_() % std::size(kCounts)];
+      }
+      Value::List items;
+      items.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) items.push_back(mutate(*type.element));
+      return Value(std::move(items));
+    }
+    case TypeKind::Tuple: {
+      Value::List items;
+      items.reserve(type.members.size());
+      for (const abi::TypePtr& m : type.members) items.push_back(mutate(*m));
+      return Value(std::move(items));
+    }
+    default:
+      return Value(interesting_word(type));
+  }
+}
+
+}  // namespace sigrec::apps

@@ -1,0 +1,31 @@
+// Type-aware input mutation for the §6.2 fuzzer: given a parameter type,
+// produce interesting values — boundary cases, magic constants, structure
+// extremes — the way ContractFuzzer's per-type strategies do, instead of
+// uniformly random sampling.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "abi/value.hpp"
+
+namespace sigrec::apps {
+
+class TypedMutator {
+ public:
+  explicit TypedMutator(std::uint64_t seed) : rng_(seed) {}
+
+  // An "interesting" value of the given type: boundaries (0, 1, max, min),
+  // sign edges for ints, empty/one/huge lengths for dynamic types, valid
+  // clamp-range edges for Vyper types, or a plain random sample.
+  abi::Value mutate(const abi::Type& type);
+
+  std::mt19937_64& rng() { return rng_; }
+
+ private:
+  evm::U256 interesting_word(const abi::Type& type);
+
+  std::mt19937_64 rng_;
+};
+
+}  // namespace sigrec::apps

@@ -1,0 +1,82 @@
+#include "baselines/db_tools.hpp"
+
+#include "baselines/heuristic_recovery.hpp"
+#include "sigrec/function_extractor.hpp"
+
+namespace sigrec::baselines {
+
+namespace {
+
+std::uint64_t code_hash(const evm::Bytecode& code) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : code.bytes()) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+class DbTool : public BaselineTool {
+ public:
+  DbTool(std::string name, SignatureDb db, unsigned abort_per_mille, bool use_heuristics,
+         bool mangle_on_fallback)
+      : name_(std::move(name)),
+        db_(std::move(db)),
+        abort_per_mille_(abort_per_mille),
+        use_heuristics_(use_heuristics),
+        mangle_on_fallback_(mangle_on_fallback) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] BaselineOutput recover(const evm::Bytecode& code) const override {
+    BaselineOutput out;
+    if (abort_per_mille_ != 0 && code_hash(code) % 1000 < abort_per_mille_) {
+      out.aborted = true;  // the tool crashes on this contract
+      return out;
+    }
+    for (std::uint32_t selector : core::extract_function_ids(code)) {
+      BaselineRecovered rec;
+      rec.selector = selector;
+      if (auto hit = db_.lookup(selector)) {
+        rec.parameters = std::move(*hit);
+      } else if (use_heuristics_) {
+        rec.parameters = heuristic_parameters(code, selector);
+        if (mangle_on_fallback_ && rec.parameters && rec.parameters->size() > 1) {
+          // The Gigahorse failure mode §5.6 documents: several consecutive
+          // parameters merged into one (with a width that doesn't exist).
+          rec.parameters = std::vector<abi::TypePtr>{abi::uint_type(256)};
+        }
+      }
+      out.functions.push_back(std::move(rec));
+    }
+    return out;
+  }
+
+ private:
+  std::string name_;
+  SignatureDb db_;
+  unsigned abort_per_mille_;
+  bool use_heuristics_;
+  bool mangle_on_fallback_;
+};
+
+}  // namespace
+
+std::unique_ptr<BaselineTool> make_db_tool(std::string name, SignatureDb db,
+                                           unsigned abort_per_mille) {
+  return std::make_unique<DbTool>(std::move(name), std::move(db), abort_per_mille,
+                                  /*use_heuristics=*/false, /*mangle=*/false);
+}
+
+std::unique_ptr<BaselineTool> make_eveem_like(SignatureDb db) {
+  return std::make_unique<DbTool>("Eveem", std::move(db), /*abort_per_mille=*/2,
+                                  /*use_heuristics=*/true, /*mangle=*/false);
+}
+
+std::unique_ptr<BaselineTool> make_gigahorse_like(SignatureDb db) {
+  // The paper measures Gigahorse aborting on 3.4% of function signatures.
+  return std::make_unique<DbTool>("Gigahorse", std::move(db), /*abort_per_mille=*/34,
+                                  /*use_heuristics=*/true, /*mangle=*/true);
+}
+
+}  // namespace sigrec::baselines

@@ -1,0 +1,49 @@
+// Baseline recovery tools (§5.6 comparison set).
+//
+// All baselines share one output shape so the benchmark harness can score
+// them uniformly against SigRec and the ground truth.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/signature_db.hpp"
+#include "evm/bytecode.hpp"
+
+namespace sigrec::baselines {
+
+struct BaselineRecovered {
+  std::uint32_t selector = 0;
+  // nullopt = the tool produced nothing for this function.
+  std::optional<std::vector<abi::TypePtr>> parameters;
+};
+
+struct BaselineOutput {
+  bool aborted = false;  // tool crashed on this contract
+  std::vector<BaselineRecovered> functions;
+};
+
+class BaselineTool {
+ public:
+  virtual ~BaselineTool() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual BaselineOutput recover(const evm::Bytecode& code) const = 0;
+};
+
+// Pure database lookup (OSD / EBD / JEB): extract function ids, look each up,
+// output nothing for misses. `abort_per_mille` models tool instability.
+std::unique_ptr<BaselineTool> make_db_tool(std::string name, SignatureDb db,
+                                           unsigned abort_per_mille = 0);
+
+// Eveem-like: database lookup first, simple linear-scan heuristics as a
+// fallback (see heuristic_recovery.hpp).
+std::unique_ptr<BaselineTool> make_eveem_like(SignatureDb db);
+
+// Gigahorse-like: database lookup with a higher abort rate and the
+// type-mangling failure modes §5.6 reports (merged parameters, nonexistent
+// widths) on heuristic fallbacks.
+std::unique_ptr<BaselineTool> make_gigahorse_like(SignatureDb db);
+
+}  // namespace sigrec::baselines

@@ -1,0 +1,113 @@
+#include "baselines/heuristic_recovery.hpp"
+
+#include <map>
+
+#include "evm/disassembler.hpp"
+
+namespace sigrec::baselines {
+
+using abi::TypePtr;
+using evm::Disassembly;
+using evm::Instruction;
+using evm::Opcode;
+
+namespace {
+
+// Finds the body entry pc for a selector by pattern-matching the dispatcher
+// arm `PUSH4 <id> EQ PUSH2 <entry> JUMPI`.
+std::optional<std::size_t> find_entry(const Disassembly& dis, std::uint32_t selector) {
+  const auto& insts = dis.instructions();
+  for (std::size_t i = 0; i + 2 < insts.size(); ++i) {
+    if (insts[i].op != evm::push_op(4)) continue;
+    if (insts[i].immediate.as_u64() != selector) continue;
+    for (std::size_t j = i + 1; j < insts.size() && j <= i + 3; ++j) {
+      if (insts[j].op == evm::push_op(2) && j + 1 < insts.size() &&
+          insts[j + 1].op == Opcode::JUMPI) {
+        return insts[j].immediate.as_u64();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+unsigned low_mask_bits(const evm::U256& mask) {
+  for (unsigned k = 8; k <= 256; k += 8) {
+    if (mask == evm::U256::ones(k)) return k;
+  }
+  return 0;
+}
+
+unsigned high_mask_bytes(const evm::U256& mask) {
+  for (unsigned m = 1; m < 32; ++m) {
+    if (mask == evm::U256::ones(8 * m).shl(256 - 8 * m)) return m;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::optional<std::vector<TypePtr>> heuristic_parameters(const evm::Bytecode& code,
+                                                         std::uint32_t selector) {
+  Disassembly dis(code);
+  auto entry = find_entry(dis, selector);
+  if (!entry) return std::nullopt;
+  std::size_t start = dis.index_of_pc(*entry);
+  if (start == Disassembly::npos) return std::nullopt;
+
+  const auto& insts = dis.instructions();
+  // head offset -> type guess; the scan is purely local, so loop-indexed
+  // reads produce phantom parameters and dynamic types are guessed crudely —
+  // the documented Eveem failure modes.
+  std::map<std::uint64_t, TypePtr> params;
+
+  for (std::size_t i = start; i < insts.size(); ++i) {
+    const Instruction& inst = insts[i];
+    if (inst.op == Opcode::STOP || inst.op == Opcode::RETURN) break;
+
+    if (!inst.is_push() || i + 1 >= insts.size()) continue;
+    if (insts[i + 1].op != Opcode::CALLDATALOAD) continue;
+    if (!inst.immediate.fits_u64()) continue;
+    std::uint64_t head = inst.immediate.as_u64();
+    if (head < 4 || (head - 4) % 32 != 0) continue;
+
+    // Look a couple of instructions ahead for a local type clue.
+    TypePtr guess = abi::uint_type(256);
+    for (std::size_t j = i + 2; j < insts.size() && j <= i + 5; ++j) {
+      const Instruction& next = insts[j];
+      if (next.is_push() && j + 1 < insts.size() && insts[j + 1].op == Opcode::AND) {
+        if (unsigned k = low_mask_bits(next.immediate); k != 0 && k < 256) {
+          guess = (k == 160) ? abi::address_type() : abi::uint_type(k);
+        } else if (unsigned m = high_mask_bytes(next.immediate); m != 0) {
+          guess = abi::fixed_bytes_type(m);
+        }
+        break;
+      }
+      if (next.is_push() && j + 1 < insts.size() &&
+          insts[j + 1].op == Opcode::SIGNEXTEND && next.immediate.fits_u64()) {
+        guess = abi::int_type(static_cast<unsigned>((next.immediate.as_u64() + 1) * 8));
+        break;
+      }
+      if (next.op == Opcode::ISZERO && j + 1 < insts.size() &&
+          insts[j + 1].op == Opcode::ISZERO) {
+        guess = abi::bool_type();
+        break;
+      }
+      if (next.is_push() && next.immediate == evm::U256(4) && j + 1 < insts.size() &&
+          insts[j + 1].op == Opcode::ADD) {
+        // Offset-field shape: guess a plain uint256[] — right only when the
+        // parameter really is a one-dimensional uint256 array.
+        guess = abi::array_type(abi::uint_type(256), std::nullopt);
+        break;
+      }
+    }
+    params.emplace(head, guess);
+  }
+
+  if (params.empty()) return std::nullopt;
+  std::vector<TypePtr> out;
+  out.reserve(params.size());
+  for (const auto& [head, t] : params) out.push_back(t);
+  return out;
+}
+
+}  // namespace sigrec::baselines

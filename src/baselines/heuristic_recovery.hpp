@@ -1,0 +1,21 @@
+// Eveem-style heuristic recovery: a linear scan over the disassembly with a
+// handful of local patterns — no control flow, no symbolic execution, no
+// loop analysis. Deliberately reproduces the failure modes the paper
+// documents for rule-based baselines: multi-dimensional arrays, structs,
+// nested arrays and Vyper types are beyond its rules.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "abi/types.hpp"
+#include "evm/bytecode.hpp"
+
+namespace sigrec::baselines {
+
+// Best-effort parameter list for one function id; nullopt when the scan
+// finds nothing attributable.
+std::optional<std::vector<abi::TypePtr>> heuristic_parameters(const evm::Bytecode& code,
+                                                              std::uint32_t selector);
+
+}  // namespace sigrec::baselines

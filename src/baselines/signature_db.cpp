@@ -1,0 +1,70 @@
+#include "baselines/signature_db.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "evm/u256.hpp"
+
+namespace sigrec::baselines {
+
+void SignatureDb::insert(const abi::FunctionSignature& sig) {
+  entries_.emplace(sig.selector(), sig.parameters);
+}
+
+std::optional<std::vector<abi::TypePtr>> SignatureDb::lookup(std::uint32_t selector) const {
+  auto it = entries_.find(selector);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string SignatureDb::export_text() const {
+  // Deterministic order for diff-friendliness.
+  std::vector<std::uint32_t> selectors;
+  selectors.reserve(entries_.size());
+  for (const auto& [sel, params] : entries_) selectors.push_back(sel);
+  std::sort(selectors.begin(), selectors.end());
+
+  std::ostringstream os;
+  for (std::uint32_t sel : selectors) {
+    abi::FunctionSignature sig;
+    sig.name = "func_" + abi::selector_to_hex(sel).substr(2);
+    sig.parameters = entries_.at(sel);
+    os << abi::selector_to_hex(sel) << ": " << sig.display() << '\n';
+  }
+  return os.str();
+}
+
+std::size_t SignatureDb::import_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::size_t imported = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    auto sel = evm::U256::from_hex(line.substr(0, colon));
+    if (!sel || !sel->fits_u64() || sel->as_u64() > 0xffffffffULL) continue;
+    std::size_t start = line.find_first_not_of(' ', colon + 1);
+    if (start == std::string::npos) continue;
+    abi::FunctionSignature sig;
+    if (!abi::parse_signature(line.substr(start), sig)) continue;
+    entries_[static_cast<std::uint32_t>(sel->as_u64())] = sig.parameters;
+    ++imported;
+  }
+  return imported;
+}
+
+SignatureDb SignatureDb::from_corpus(const corpus::Corpus& corpus, unsigned coverage_pct,
+                                     std::uint64_t salt) {
+  SignatureDb db;
+  for (const auto& spec : corpus.specs) {
+    for (const auto& fn : spec.functions) {
+      std::uint64_t h = fn.signature.selector() * 0x9e3779b97f4a7c15ULL + salt;
+      h ^= h >> 29;
+      if (h % 100 < coverage_pct) db.insert(fn.signature);
+    }
+  }
+  return db;
+}
+
+}  // namespace sigrec::baselines

@@ -1,0 +1,60 @@
+#include "compiler/asm_builder.hpp"
+
+#include <stdexcept>
+
+namespace sigrec::compiler {
+
+using evm::Opcode;
+using evm::U256;
+
+AsmBuilder& AsmBuilder::op(Opcode opcode) {
+  code_.push_back(static_cast<std::uint8_t>(opcode));
+  return *this;
+}
+
+AsmBuilder& AsmBuilder::push(const U256& value) {
+  int hb = value.highest_bit();
+  unsigned bytes = hb < 0 ? 1 : static_cast<unsigned>(hb / 8 + 1);
+  return push_width(value, bytes);
+}
+
+AsmBuilder& AsmBuilder::push_width(const U256& value, unsigned width) {
+  if (width < 1 || width > 32) throw std::logic_error("push width out of range");
+  code_.push_back(static_cast<std::uint8_t>(evm::push_op(width)));
+  auto be = value.be_bytes();
+  for (unsigned i = 32 - width; i < 32; ++i) code_.push_back(be[i]);
+  return *this;
+}
+
+AsmBuilder& AsmBuilder::push_label(Label l) {
+  code_.push_back(static_cast<std::uint8_t>(evm::push_op(2)));
+  fixups_.push_back(Fixup{code_.size(), l.id});
+  code_.push_back(0);
+  code_.push_back(0);
+  return *this;
+}
+
+Label AsmBuilder::make_label() {
+  label_pcs_.push_back(-1);
+  return Label{label_pcs_.size() - 1};
+}
+
+AsmBuilder& AsmBuilder::place(Label l) {
+  if (label_pcs_.at(l.id) != -1) throw std::logic_error("label placed twice");
+  label_pcs_[l.id] = static_cast<std::ptrdiff_t>(code_.size());
+  return op(Opcode::JUMPDEST);
+}
+
+evm::Bytecode AsmBuilder::assemble() const {
+  evm::Bytes out = code_;
+  for (const Fixup& f : fixups_) {
+    std::ptrdiff_t target = label_pcs_.at(f.label_id);
+    if (target < 0) throw std::logic_error("unplaced label referenced");
+    if (target > 0xffff) throw std::logic_error("jump target exceeds 2 bytes");
+    out[f.code_offset] = static_cast<std::uint8_t>(target >> 8);
+    out[f.code_offset + 1] = static_cast<std::uint8_t>(target & 0xff);
+  }
+  return evm::Bytecode(std::move(out));
+}
+
+}  // namespace sigrec::compiler

@@ -1,0 +1,62 @@
+// A tiny EVM assembler with labels and fix-ups, used by the synthetic
+// Solidity/Vyper code generators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "evm/bytecode.hpp"
+#include "evm/opcodes.hpp"
+#include "evm/u256.hpp"
+
+namespace sigrec::compiler {
+
+// Opaque label handle. Labels are placed once and may be referenced any
+// number of times (before or after placement).
+struct Label {
+  std::size_t id;
+};
+
+class AsmBuilder {
+ public:
+  // Raw opcode.
+  AsmBuilder& op(evm::Opcode opcode);
+
+  // PUSHn with the smallest n that fits `value` (minimum 1 byte) — what a
+  // real compiler emits.
+  AsmBuilder& push(const evm::U256& value);
+  // PUSHn with an explicit width, for patterns where the width itself is a
+  // signal (e.g. PUSH20 of an address mask, PUSH29 of the selector divisor).
+  AsmBuilder& push_width(const evm::U256& value, unsigned width);
+
+  // PUSH2 <label>, patched at assembly time.
+  AsmBuilder& push_label(Label l);
+
+  Label make_label();
+  // Emits JUMPDEST here and binds the label to its pc.
+  AsmBuilder& place(Label l);
+
+  // Convenience composites.
+  AsmBuilder& jump_to(Label l) { return push_label(l).op(evm::Opcode::JUMP); }
+  AsmBuilder& jumpi_to(Label l) { return push_label(l).op(evm::Opcode::JUMPI); }
+  AsmBuilder& dup(unsigned n) { return op(evm::dup_op(n)); }
+  AsmBuilder& swap(unsigned n) { return op(evm::swap_op(n)); }
+
+  // Current byte offset (next instruction's pc).
+  [[nodiscard]] std::size_t pc() const { return code_.size(); }
+
+  // Resolves all label references; throws std::logic_error on unplaced labels
+  // or targets that do not fit in 2 bytes.
+  [[nodiscard]] evm::Bytecode assemble() const;
+
+ private:
+  evm::Bytes code_;
+  std::vector<std::ptrdiff_t> label_pcs_;  // -1 = unplaced
+  struct Fixup {
+    std::size_t code_offset;  // where the 2 target bytes go
+    std::size_t label_id;
+  };
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace sigrec::compiler

@@ -1,0 +1,109 @@
+#include "compiler/codegen_common.hpp"
+
+#include <cassert>
+
+namespace sigrec::compiler {
+
+using abi::Type;
+using abi::TypeKind;
+using evm::Opcode;
+using evm::U256;
+
+void store_slot(Ctx& ctx, std::size_t slot) {
+  ctx.b.push(U256(slot)).op(Opcode::MSTORE);
+}
+
+void load_slot(Ctx& ctx, std::size_t slot) {
+  ctx.b.push(U256(slot)).op(Opcode::MLOAD);
+}
+
+void emit_word_clue(Ctx& ctx, const Type& type) {
+  AsmBuilder& b = ctx.b;
+  switch (type.kind) {
+    case TypeKind::Uint:
+      if (type.bits < 256) {
+        if (ctx.cfg.obfuscate_masks) {
+          // Same semantics as AND ones(bits): shift the high bits out and
+          // back (§7's obfuscation example).
+          b.push(U256(256 - type.bits)).op(Opcode::SHL);
+          b.push(U256(256 - type.bits)).op(Opcode::SHR);
+        } else {
+          // CALLDATALOAD result is zero-extended on the left; solc masks it
+          // back down (R11). PUSH width M/8 is the width a compiler emits.
+          b.push_width(U256::ones(type.bits), type.bits / 8).op(Opcode::AND);
+        }
+      }
+      if (ctx.clues.arithmetic_on_ints) {
+        // Arithmetic confirms "integer, not address" (R4/R16 distinction).
+        b.push(U256(1)).op(Opcode::ADD);
+      }
+      b.op(Opcode::POP);
+      break;
+    case TypeKind::Int:
+      if (type.bits < 256) {
+        // SIGNEXTEND k re-extends the sign of the (k+1)-byte value (R13).
+        b.push(U256(type.bits / 8 - 1)).op(Opcode::SIGNEXTEND).op(Opcode::POP);
+      } else if (ctx.clues.signed_op_on_int256) {
+        // A signed operation is the only clue separating int256 from uint256
+        // (R15).
+        b.push(U256(2)).op(Opcode::SDIV).op(Opcode::POP);
+      } else {
+        b.op(Opcode::POP);
+      }
+      break;
+    case TypeKind::Address:
+      // Same 20-byte mask as uint160, but never used in arithmetic (R16).
+      if (ctx.cfg.obfuscate_masks) {
+        b.push(U256(96)).op(Opcode::SHL).push(U256(96)).op(Opcode::SHR).op(Opcode::POP);
+      } else {
+        b.push_width(U256::ones(160), 20).op(Opcode::AND).op(Opcode::POP);
+      }
+      break;
+    case TypeKind::Bool:
+      // Double ISZERO normalizes to 0/1 (R14).
+      b.op(Opcode::ISZERO).op(Opcode::ISZERO).op(Opcode::POP);
+      break;
+    case TypeKind::FixedBytes:
+      if (type.byte_width < 32) {
+        if (ctx.cfg.obfuscate_masks) {
+          // Clear the low bytes by shifting them out and back.
+          unsigned k = 256 - 8 * type.byte_width;
+          b.push(U256(k)).op(Opcode::SHR).push(U256(k)).op(Opcode::SHL).op(Opcode::POP);
+        } else {
+          // bytesM is left-aligned, so the mask keeps the HIGH M bytes (R12).
+          b.push_width(U256::ones(8 * type.byte_width).shl(256 - 8 * type.byte_width), 32)
+              .op(Opcode::AND)
+              .op(Opcode::POP);
+        }
+      } else if (ctx.clues.byte_access_on_bytes) {
+        // Reading one byte of a bytes32 uses BYTE; a uint256 would be masked
+        // with AND instead (R18).
+        b.push(U256(0)).op(Opcode::BYTE).op(Opcode::POP);
+      } else {
+        b.op(Opcode::POP);
+      }
+      break;
+    default:
+      // Dynamic types never reach here; the array/bytes emitters call this
+      // only with basic types.
+      b.op(Opcode::POP);
+      break;
+  }
+}
+
+std::vector<std::optional<std::size_t>> array_dims(const Type& type) {
+  std::vector<std::optional<std::size_t>> dims;
+  const Type* t = &type;
+  while (t->kind == TypeKind::Array) {
+    dims.push_back(t->array_size);
+    t = t->element.get();
+  }
+  return dims;
+}
+
+std::size_t inline_stride_bytes(const Type& level_type) {
+  assert(!level_type.is_dynamic());
+  return level_type.static_words() * 32;
+}
+
+}  // namespace sigrec::compiler

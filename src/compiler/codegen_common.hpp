@@ -1,0 +1,70 @@
+// Shared helpers for the Solidity and Vyper code generators.
+#pragma once
+
+#include <cstddef>
+
+#include "abi/types.hpp"
+#include "compiler/asm_builder.hpp"
+#include "compiler/contract_spec.hpp"
+
+namespace sigrec::compiler {
+
+// Per-function emission context.
+struct Ctx {
+  AsmBuilder& b;
+  const CompilerConfig& cfg;
+  const BodyClues& clues;
+  Label fail;  // shared revert/INVALID label, placed by the contract emitter
+
+  // Scratch memory slots for loop counters / cached pointers. Placed far
+  // above the Solidity free-memory area so generated allocations never
+  // collide with them.
+  std::size_t scratch_next = 0x8000;
+  std::size_t alloc_slot() {
+    std::size_t s = scratch_next;
+    scratch_next += 32;
+    return s;
+  }
+};
+
+// Emits `mem[slot] = <stack top>`; consumes the value.
+void store_slot(Ctx& ctx, std::size_t slot);
+// Pushes `mem[slot]`.
+void load_slot(Ctx& ctx, std::size_t slot);
+
+// Emits a counted loop `for (mem[counter] = 0; mem[counter] < bound; ++)`.
+// `push_bound` must leave exactly one value (the bound) on the stack;
+// `body` must be stack-neutral. The loop guard compiles to the paper's
+// LT-ISZERO-JUMPI shape so bound checks are visible to TASE.
+template <typename PushBound, typename Body>
+void emit_loop(Ctx& ctx, std::size_t counter, PushBound push_bound, Body body) {
+  using evm::Opcode;
+  ctx.b.push(evm::U256(0));
+  ctx.b.push(evm::U256(counter)).op(Opcode::MSTORE);
+  Label loop = ctx.b.make_label();
+  Label end = ctx.b.make_label();
+  ctx.b.place(loop);
+  push_bound();                                       // [bound]
+  load_slot(ctx, counter);                            // [bound, i]
+  ctx.b.op(Opcode::LT);                               // [i < bound]
+  ctx.b.op(Opcode::ISZERO).jumpi_to(end);
+  body();
+  load_slot(ctx, counter);
+  ctx.b.push(evm::U256(1)).op(Opcode::ADD);
+  store_slot(ctx, counter);
+  ctx.b.jump_to(loop);
+  ctx.b.place(end);
+}
+
+// Emits the type-revealing "body use" of a basic-type value sitting on the
+// stack top; always consumes it. This is where R11-R18's clues come from.
+void emit_word_clue(Ctx& ctx, const abi::Type& type);
+
+// Array dimension sizes, outermost first; nullopt = dynamic dimension.
+std::vector<std::optional<std::size_t>> array_dims(const abi::Type& type);
+
+// Bytes occupied by one element of the given array level when encoded
+// inline (static lower dims only).
+std::size_t inline_stride_bytes(const abi::Type& level_type);
+
+}  // namespace sigrec::compiler

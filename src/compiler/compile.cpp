@@ -1,0 +1,66 @@
+#include "compiler/compile.hpp"
+
+#include <stdexcept>
+
+#include "compiler/dispatcher.hpp"
+#include "compiler/solidity_codegen.hpp"
+#include "compiler/vyper_codegen.hpp"
+#include "evm/keccak.hpp"
+
+namespace sigrec::compiler {
+
+using evm::Opcode;
+using evm::U256;
+
+evm::Bytecode compile_contract(const ContractSpec& spec) {
+  AsmBuilder b;
+  Label fail = b.make_label();
+
+  std::vector<std::uint32_t> selectors;
+  selectors.reserve(spec.functions.size());
+  for (const FunctionSpec& fn : spec.functions) {
+    if (spec.config.dialect == abi::Dialect::Solidity &&
+        !spec.config.version.supports_abiencoderv2()) {
+      for (const abi::TypePtr& p : fn.accessed_parameters()) {
+        if (p->kind == abi::TypeKind::Tuple || p->is_nested_array()) {
+          throw std::logic_error(
+              "struct/nested array parameters require ABIEncoderV2 (solc >= 0.4.19)");
+        }
+      }
+    }
+    selectors.push_back(fn.signature.selector());
+  }
+
+  std::vector<Label> entries = emit_dispatcher(b, spec.config, selectors, fail);
+
+  for (std::size_t i = 0; i < spec.functions.size(); ++i) {
+    b.place(entries[i]);
+    b.op(Opcode::POP);  // drop the selector copy left by the dispatcher
+    if (spec.config.dialect == abi::Dialect::Solidity) {
+      emit_solidity_function(b, spec.functions[i], spec.config, fail);
+    } else {
+      emit_vyper_function(b, spec.functions[i], spec.config, fail);
+    }
+  }
+
+  b.place(fail);
+  b.push(U256(0)).op(Opcode::DUP1).op(Opcode::REVERT);
+
+  evm::Bytecode code = b.assemble();
+  if (!spec.config.emit_metadata) return code;
+
+  // Append the solc-style CBOR metadata trailer:
+  //   0xa1 0x65 'bzzr0' 0x58 0x20 <32-byte hash> 0x00 0x29
+  // It sits after the terminal REVERT, so execution never reaches it; tools
+  // reading deployed bytecode must simply not be confused by it.
+  evm::Bytes out(code.bytes().begin(), code.bytes().end());
+  const std::uint8_t prefix[] = {0xa1, 0x65, 'b', 'z', 'z', 'r', '0', 0x58, 0x20};
+  out.insert(out.end(), std::begin(prefix), std::end(prefix));
+  evm::Hash256 h = evm::keccak256(spec.name);
+  out.insert(out.end(), h.begin(), h.end());
+  out.push_back(0x00);
+  out.push_back(0x29);
+  return evm::Bytecode(std::move(out));
+}
+
+}  // namespace sigrec::compiler

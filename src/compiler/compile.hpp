@@ -1,0 +1,14 @@
+// Top-level synthetic compiler: ContractSpec -> runtime bytecode.
+#pragma once
+
+#include "compiler/contract_spec.hpp"
+#include "evm/bytecode.hpp"
+
+namespace sigrec::compiler {
+
+// Compiles a contract: prologue, function dispatcher, one body per
+// public/external function, shared revert block. Throws std::logic_error on
+// malformed specs (e.g. struct parameters with a pre-ABIEncoderV2 version).
+[[nodiscard]] evm::Bytecode compile_contract(const ContractSpec& spec);
+
+}  // namespace sigrec::compiler

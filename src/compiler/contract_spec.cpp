@@ -1,0 +1,33 @@
+#include "compiler/contract_spec.hpp"
+
+#include <stdexcept>
+
+namespace sigrec::compiler {
+
+// (Definitions live in the header; this TU anchors the vtable-free types and
+// provides spec convenience builders used across tests and benchmarks.)
+
+FunctionSpec make_function(const std::string& name,
+                           const std::vector<std::string>& param_types,
+                           bool external) {
+  FunctionSpec fn;
+  fn.signature.name = name;
+  fn.external = external;
+  for (const std::string& t : param_types) {
+    abi::TypePtr p = abi::parse_type(t);
+    if (p == nullptr) throw std::invalid_argument("bad type name: " + t);
+    fn.signature.parameters.push_back(std::move(p));
+  }
+  return fn;
+}
+
+ContractSpec make_contract(const std::string& name, CompilerConfig config,
+                           std::vector<FunctionSpec> functions) {
+  ContractSpec spec;
+  spec.name = name;
+  spec.config = config;
+  spec.functions = std::move(functions);
+  return spec;
+}
+
+}  // namespace sigrec::compiler

@@ -1,0 +1,115 @@
+// Contract specifications — the ground truth the synthetic compiler consumes
+// and SigRec's recovered signatures are scored against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "abi/signature.hpp"
+
+namespace sigrec::compiler {
+
+// A synthetic compiler version. Maps to the feature eras the paper's 155
+// Solidity / 17 Vyper versions span.
+struct CompilerVersion {
+  unsigned major = 0;
+  unsigned minor = 5;
+  unsigned patch = 5;
+
+  // Era-dependent code shape.
+  // Solidity < 0.5 extracts the selector with DIV (and < 0.4 additionally
+  // masks it with AND 0xffffffff); >= 0.5 uses SHR 0xe0.
+  [[nodiscard]] bool selector_uses_shr() const { return minor >= 5; }
+  [[nodiscard]] bool selector_masks_after_div() const { return minor < 4; }
+  // ABIEncoderV2 (structs / nested arrays as parameters) exists from 0.4.19.
+  [[nodiscard]] bool supports_abiencoderv2() const {
+    return minor > 4 || (minor == 4 && patch >= 19);
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(major) + "." + std::to_string(minor) + "." + std::to_string(patch);
+  }
+  friend bool operator==(const CompilerVersion&, const CompilerVersion&) = default;
+};
+
+struct CompilerConfig {
+  abi::Dialect dialect = abi::Dialect::Solidity;
+  CompilerVersion version;
+  bool optimize = false;
+  // §7: emit semantically-equivalent but syntactically different masking
+  // (SHL/SHR pairs instead of AND) — the obfuscation the paper anticipates.
+  bool obfuscate_masks = false;
+  // Deployed bytecode carries a CBOR metadata trailer (the Swarm/IPFS hash
+  // solc appends); recovery must tolerate those non-code bytes.
+  bool emit_metadata = true;
+};
+
+// Which type-revealing operations the function body performs on each
+// parameter. The paper's rule derivation (§3.1) generates bodies that access
+// every parameter; real-world contracts sometimes don't, producing the §5.2
+// case-5 inaccuracies. Turning clues off reproduces those cases.
+struct BodyClues {
+  // Arithmetic on integer parameters (distinguishes uint160 from address,
+  // R16; confirms uint256, R4).
+  bool arithmetic_on_ints = true;
+  // Signed operation on int256 (R15); without it an int256 reads as uint256.
+  bool signed_op_on_int256 = true;
+  // Single-byte access on bytes/bytes32 (R17/R18/R26); without it a bytes is
+  // indistinguishable from a string and a bytes32 from a uint256.
+  bool byte_access_on_bytes = true;
+  // Read an item of each array parameter (required to type array elements).
+  bool access_array_items = true;
+  // Access array items through a *variable* index. With a constant index and
+  // optimization on, external static arrays lose their bound checks and
+  // become unrecoverable (§5.2 case 5).
+  bool variable_index = true;
+};
+
+struct FunctionSpec {
+  abi::FunctionSignature signature;  // declared signature = ground truth
+  bool external = false;             // public otherwise; ignored for Vyper
+  BodyClues clues;
+
+  // §5.2 case 2: the body converts parameters before use, so the *accessed*
+  // types differ from the declared ones. When set, codegen emits access
+  // patterns for these types instead; recovery then "fails" against the
+  // declared ground truth exactly as the paper describes.
+  std::vector<abi::TypePtr> effective_parameters;
+
+  // §5.2 case 1: the body reads extra undeclared parameters via inline
+  // assembly (calldataload at fixed offsets past the declared ones).
+  unsigned undeclared_assembly_words = 0;
+
+  // §5.2 case 4: parameters with the `storage` modifier are passed as a
+  // single storage-slot word regardless of their declared type. Indices into
+  // signature.parameters.
+  std::vector<std::size_t> storage_ref_params;
+
+  // §6.2 fuzzing experiment: plant a detectable block-state-dependency bug
+  // (SSTORE of TIMESTAMP at slot 0xdead) at the end of the body. Reaching it
+  // requires every parameter access — bound checks, clamps, copies — to
+  // succeed, which is what well-formed (type-aware) inputs buy a fuzzer.
+  bool plant_vulnerability = false;
+
+  [[nodiscard]] const std::vector<abi::TypePtr>& accessed_parameters() const {
+    return effective_parameters.empty() ? signature.parameters : effective_parameters;
+  }
+};
+
+struct ContractSpec {
+  std::string name;
+  CompilerConfig config;
+  std::vector<FunctionSpec> functions;
+};
+
+// Convenience builders. `param_types` uses display names ("uint8[]",
+// "bytes[50]", "(uint256,bytes)"); throws std::invalid_argument on a name
+// that does not parse.
+FunctionSpec make_function(const std::string& name,
+                           const std::vector<std::string>& param_types,
+                           bool external = false);
+ContractSpec make_contract(const std::string& name, CompilerConfig config,
+                           std::vector<FunctionSpec> functions);
+
+}  // namespace sigrec::compiler

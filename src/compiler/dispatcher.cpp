@@ -1,0 +1,88 @@
+#include "compiler/dispatcher.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace sigrec::compiler {
+
+using evm::Opcode;
+using evm::U256;
+
+std::vector<Label> emit_dispatcher(AsmBuilder& b, const CompilerConfig& cfg,
+                                   const std::vector<std::uint32_t>& selectors,
+                                   Label fail) {
+  if (cfg.dialect == abi::Dialect::Solidity) {
+    // Free-memory-pointer initialization — the Solidity fingerprint (R20's
+    // negative signal).
+    b.push(U256(0x80)).push(U256(0x40)).op(Opcode::MSTORE);
+    // Short-call-data guard (solc >= 0.4).
+    if (cfg.version.minor >= 4) {
+      b.push(U256(4)).op(Opcode::CALLDATASIZE).op(Opcode::LT).jumpi_to(fail);
+    }
+  }
+
+  // Selector extraction: CALLDATALOAD(0) then DIV 2^224 (old) or SHR 224.
+  b.push(U256(0)).op(Opcode::CALLDATALOAD);
+  bool use_shr = cfg.dialect == abi::Dialect::Solidity
+                     ? cfg.version.selector_uses_shr()
+                     : cfg.version.minor >= 2;  // Vyper 0.2.x
+  if (use_shr) {
+    b.push(U256(0xe0)).op(Opcode::SHR);
+  } else {
+    b.push_width(U256::pow2(224), 29).op(Opcode::SWAP1).op(Opcode::DIV);
+    if (cfg.dialect == abi::Dialect::Solidity && cfg.version.selector_masks_after_div()) {
+      b.push_width(U256::ones(32), 4).op(Opcode::AND);
+    }
+  }
+
+  std::vector<Label> entries;
+  entries.reserve(selectors.size());
+  for (std::size_t i = 0; i < selectors.size(); ++i) entries.push_back(b.make_label());
+
+  // Large Solidity contracts get a binary-search dispatcher (solc splits the
+  // comparison chain with GT pivots); small ones and Vyper use the linear
+  // EQ chain. Both end in `PUSH4 id EQ ... JUMPI` leaves, which is what the
+  // id extractor and the symbolic executor key on.
+  bool binary_search = cfg.dialect == abi::Dialect::Solidity && selectors.size() > 6 &&
+                       cfg.version.minor >= 4;
+  if (!binary_search) {
+    for (std::size_t i = 0; i < selectors.size(); ++i) {
+      b.op(Opcode::DUP1).push_width(U256(selectors[i]), 4).op(Opcode::EQ);
+      b.jumpi_to(entries[i]);
+    }
+    b.jump_to(fail);
+    return entries;
+  }
+
+  // Sort selector indices; emit a split tree over the sorted order.
+  std::vector<std::size_t> order(selectors.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t z) {
+    return selectors[a] < selectors[z];
+  });
+
+  std::function<void(std::size_t, std::size_t)> emit_node = [&](std::size_t lo,
+                                                                std::size_t hi) {
+    if (hi - lo <= 3) {
+      for (std::size_t k = lo; k < hi; ++k) {
+        b.op(Opcode::DUP1).push_width(U256(selectors[order[k]]), 4).op(Opcode::EQ);
+        b.jumpi_to(entries[order[k]]);
+      }
+      b.jump_to(fail);
+      return;
+    }
+    std::size_t mid = lo + (hi - lo) / 2;
+    Label right = b.make_label();
+    // if (selector > pivot) goto right — pivot = last selector of the left half.
+    b.op(Opcode::DUP1).push_width(U256(selectors[order[mid - 1]]), 4);
+    b.op(Opcode::SWAP1).op(Opcode::GT);  // [sel, sel > pivot]
+    b.jumpi_to(right);
+    emit_node(lo, mid);
+    b.place(right);
+    emit_node(mid, hi);
+  };
+  emit_node(0, order.size());
+  return entries;
+}
+
+}  // namespace sigrec::compiler

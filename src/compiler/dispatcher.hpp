@@ -1,0 +1,19 @@
+// Function dispatcher emission: selector extraction + EQ/JUMPI chain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/asm_builder.hpp"
+#include "compiler/contract_spec.hpp"
+
+namespace sigrec::compiler {
+
+// Emits the contract prologue and dispatcher. Returns one entry label per
+// selector (same order); the caller places them and emits bodies. Also
+// emits the jump to `fail` for unmatched selectors.
+std::vector<Label> emit_dispatcher(AsmBuilder& b, const CompilerConfig& cfg,
+                                   const std::vector<std::uint32_t>& selectors,
+                                   Label fail);
+
+}  // namespace sigrec::compiler

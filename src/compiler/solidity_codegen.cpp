@@ -1,0 +1,571 @@
+#include "compiler/solidity_codegen.hpp"
+
+#include <cassert>
+#include <functional>
+
+namespace sigrec::compiler {
+
+using abi::Type;
+using abi::TypeKind;
+using abi::TypePtr;
+using evm::Opcode;
+using evm::U256;
+
+namespace {
+
+constexpr std::size_t kFreePtr = 0x40;
+
+// --- copy-based emitters (public-mode arrays / bytes / string) -------------
+
+// Nested copy loops shared by static and dynamic arrays in public mode
+// (paper Listing 1): loops over every dimension but the lowest, the
+// innermost body CALLDATACOPYing one lowest-dimension array.
+//
+// `bounds[i]` pushes the bound of loop level i; `strides[i]` is the byte
+// stride of level i. The innermost body copies `len_bytes` from
+// `src_base + rel (+ src_extra)` to `mem[ptr_slot] + rel (+ dst_extra)`.
+struct CopyLoopPlan {
+  std::vector<std::function<void()>> bounds;
+  std::vector<std::size_t> strides;
+  std::size_t len_bytes;
+  std::function<void()> push_src_base;  // leaves absolute source base
+  std::size_t ptr_slot;                 // memory destination base
+  std::size_t dst_extra = 0;            // e.g. 32 to skip the stored num
+};
+
+void emit_copy_loops(Ctx& ctx, const CopyLoopPlan& plan) {
+  AsmBuilder& b = ctx.b;
+  std::vector<std::size_t> counters;
+  counters.reserve(plan.bounds.size());
+  for (std::size_t i = 0; i < plan.bounds.size(); ++i) counters.push_back(ctx.alloc_slot());
+
+  std::function<void(std::size_t)> level = [&](std::size_t l) {
+    if (l == plan.bounds.size()) {
+      // Innermost: CALLDATACOPY(dst, src, len) with rel = sum of counters.
+      b.push(U256(plan.len_bytes));  // [len]
+      b.push(U256(0));
+      for (std::size_t i = 0; i < counters.size(); ++i) {
+        load_slot(ctx, counters[i]);
+        b.push(U256(plan.strides[i])).op(Opcode::MUL).op(Opcode::ADD);
+      }                              // [len, rel]
+      b.op(Opcode::DUP1);            // [len, rel, rel]
+      plan.push_src_base();
+      b.op(Opcode::ADD);             // [len, rel, src]
+      b.op(Opcode::SWAP1);           // [len, src, rel]
+      load_slot(ctx, plan.ptr_slot);
+      b.op(Opcode::ADD);             // [len, src, dst]
+      if (plan.dst_extra != 0) b.push(U256(plan.dst_extra)).op(Opcode::ADD);
+      b.op(Opcode::CALLDATACOPY);
+      return;
+    }
+    emit_loop(ctx, counters[l], plan.bounds[l], [&] { level(l + 1); });
+  };
+  level(0);
+}
+
+// Reads mem[ptr + extra] and runs the element clue — the MLOAD item access
+// that lets step 4 type array elements.
+void emit_mload_item_clue(Ctx& ctx, std::size_t ptr_slot, std::size_t extra,
+                          const Type& elem) {
+  load_slot(ctx, ptr_slot);
+  if (extra != 0) ctx.b.push(U256(extra)).op(Opcode::ADD);
+  ctx.b.op(Opcode::MLOAD);
+  emit_word_clue(ctx, elem);
+}
+
+// T[N1]..[Nk] in a public function: nested copy loops from a constant
+// source offset, then MLOAD-based item use.
+void emit_static_array_public(Ctx& ctx, const Type& type, std::size_t head) {
+  AsmBuilder& b = ctx.b;
+  auto dims = array_dims(type);
+  std::size_t total = type.static_words() * 32;
+
+  std::size_t ptr_slot = ctx.alloc_slot();
+  b.push(U256(kFreePtr)).op(Opcode::MLOAD);
+  store_slot(ctx, ptr_slot);
+  // Bump the free-memory pointer past the copy.
+  load_slot(ctx, ptr_slot);
+  b.push(U256(total)).op(Opcode::ADD).push(U256(kFreePtr)).op(Opcode::MSTORE);
+
+  if (dims.size() == 1) {
+    // One CALLDATACOPY reads a one-dimensional static array (R6).
+    b.push(U256(total)).push(U256(head));
+    load_slot(ctx, ptr_slot);
+    b.op(Opcode::CALLDATACOPY);
+  } else {
+    CopyLoopPlan plan;
+    std::size_t stride = total;
+    for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+      std::size_t n = *dims[l];
+      stride /= n;
+      std::size_t s = stride;
+      plan.bounds.push_back([&b, n] { b.push(U256(n)); });
+      plan.strides.push_back(s);
+    }
+    plan.len_bytes = *dims.back() * 32;
+    plan.push_src_base = [&b, head] { b.push(U256(head)); };
+    plan.ptr_slot = ptr_slot;
+    emit_copy_loops(ctx, plan);
+  }
+  if (ctx.clues.access_array_items) {
+    emit_mload_item_clue(ctx, ptr_slot, 0, *type.base_element());
+  }
+}
+
+// T[N1]..[Nk-1][] in a public function: offset + num CALLDATALOADs, MSTORE
+// of num, then copy loops with the symbolic top bound.
+void emit_dynamic_array_public(Ctx& ctx, const Type& type, std::size_t head) {
+  AsmBuilder& b = ctx.b;
+  auto dims = array_dims(type);
+
+  std::size_t pos_slot = ctx.alloc_slot();  // absolute position of the num field
+  std::size_t num_slot = ctx.alloc_slot();
+  std::size_t ptr_slot = ctx.alloc_slot();
+
+  b.push(U256(head)).op(Opcode::CALLDATALOAD);  // offset field (R1's first load)
+  b.push(U256(4)).op(Opcode::ADD);
+  store_slot(ctx, pos_slot);
+  load_slot(ctx, pos_slot);
+  b.op(Opcode::CALLDATALOAD);  // num field (R1's second load)
+  store_slot(ctx, num_slot);
+
+  b.push(U256(kFreePtr)).op(Opcode::MLOAD);
+  store_slot(ctx, ptr_slot);
+  load_slot(ctx, num_slot);
+  load_slot(ctx, ptr_slot);
+  b.op(Opcode::MSTORE);  // mem[ptr] = num
+
+  // Bytes per item of the top dimension (lower dims are static).
+  std::size_t item_bytes = type.element->is_array()
+                               ? inline_stride_bytes(*type.element)
+                               : 32;
+  if (dims.size() == 1) {
+    // One CALLDATACOPY of num*32 bytes (R7): the length is the symbolic num
+    // times 32.
+    load_slot(ctx, num_slot);
+    b.push(U256(32)).op(Opcode::MUL);            // [len]
+    load_slot(ctx, pos_slot);
+    b.push(U256(32)).op(Opcode::ADD);            // [len, src]
+    load_slot(ctx, ptr_slot);
+    b.push(U256(32)).op(Opcode::ADD);            // [len, src, dst]
+    b.op(Opcode::CALLDATACOPY);
+  } else {
+    CopyLoopPlan plan;
+    plan.bounds.push_back([&ctx, num_slot] { load_slot(ctx, num_slot); });
+    plan.strides.push_back(item_bytes);
+    // Loops over the static middle dimensions, innermost copy of the lowest.
+    std::size_t stride = item_bytes;
+    for (std::size_t l = 1; l + 1 < dims.size(); ++l) {
+      std::size_t n = *dims[l];
+      stride /= n;
+      std::size_t s = stride;
+      plan.bounds.push_back([&b, n] { b.push(U256(n)); });
+      plan.strides.push_back(s);
+    }
+    plan.len_bytes = *dims.back() * 32;
+    plan.push_src_base = [&ctx, pos_slot] {
+      load_slot(ctx, pos_slot);
+      ctx.b.push(U256(32)).op(Opcode::ADD);
+    };
+    plan.ptr_slot = ptr_slot;
+    plan.dst_extra = 32;
+    emit_copy_loops(ctx, plan);
+  }
+
+  // Free-memory pointer bump: ptr + 32 + num*item_bytes.
+  load_slot(ctx, num_slot);
+  b.push(U256(item_bytes)).op(Opcode::MUL);
+  b.push(U256(32)).op(Opcode::ADD);
+  load_slot(ctx, ptr_slot);
+  b.op(Opcode::ADD).push(U256(kFreePtr)).op(Opcode::MSTORE);
+
+  if (ctx.clues.access_array_items) {
+    emit_mload_item_clue(ctx, ptr_slot, 32, *type.base_element());
+  }
+}
+
+// bytes / string in a public function: like a 1-dim dynamic array, except
+// the copy length is ceil(num/32)*32 rather than num*32 (R8).
+void emit_bytes_public(Ctx& ctx, const Type& type, std::size_t head) {
+  AsmBuilder& b = ctx.b;
+  std::size_t pos_slot = ctx.alloc_slot();
+  std::size_t len_slot = ctx.alloc_slot();
+  std::size_t ptr_slot = ctx.alloc_slot();
+
+  b.push(U256(head)).op(Opcode::CALLDATALOAD);
+  b.push(U256(4)).op(Opcode::ADD);
+  store_slot(ctx, pos_slot);
+  load_slot(ctx, pos_slot);
+  b.op(Opcode::CALLDATALOAD);
+  store_slot(ctx, len_slot);
+
+  b.push(U256(kFreePtr)).op(Opcode::MLOAD);
+  store_slot(ctx, ptr_slot);
+  load_slot(ctx, len_slot);
+  load_slot(ctx, ptr_slot);
+  b.op(Opcode::MSTORE);
+
+  auto push_rounded_len = [&] {
+    // (len + 31) / 32 * 32 — the rounding that distinguishes a bytes/string
+    // copy from a dynamic-array copy.
+    load_slot(ctx, len_slot);
+    b.push(U256(31)).op(Opcode::ADD);
+    b.push(U256(32)).op(Opcode::SWAP1).op(Opcode::DIV);
+    b.push(U256(32)).op(Opcode::MUL);
+  };
+
+  push_rounded_len();                          // [len32]
+  load_slot(ctx, pos_slot);
+  b.push(U256(32)).op(Opcode::ADD);            // [len32, src]
+  load_slot(ctx, ptr_slot);
+  b.push(U256(32)).op(Opcode::ADD);            // [len32, src, dst]
+  b.op(Opcode::CALLDATACOPY);
+
+  push_rounded_len();
+  b.push(U256(32)).op(Opcode::ADD);
+  load_slot(ctx, ptr_slot);
+  b.op(Opcode::ADD).push(U256(kFreePtr)).op(Opcode::MSTORE);
+
+  if (type.kind == TypeKind::Bytes && ctx.clues.byte_access_on_bytes) {
+    // Reading an individual byte is what tells bytes from string (R17).
+    load_slot(ctx, ptr_slot);
+    b.push(U256(32)).op(Opcode::ADD).op(Opcode::MLOAD);
+    b.push(U256(0)).op(Opcode::BYTE).op(Opcode::POP);
+  } else {
+    // Use only the length (string-compatible behaviour).
+    load_slot(ctx, len_slot);
+    b.push(U256(1)).op(Opcode::ADD).op(Opcode::POP);
+  }
+}
+
+// --- load-based emitters (external arrays, nested arrays, structs) ---------
+
+// Reads the items of an array level by level with CALLDATALOAD, emitting the
+// bound checks the paper's R2/R3/R19/R22 depend on. `push_base` pushes the
+// absolute call-data position of this level (for a dynamic level it points
+// at the num field; for a static level at the first item).
+void emit_array_loads_level(Ctx& ctx, const Type& level, std::size_t base_slot) {
+  AsmBuilder& b = ctx.b;
+  assert(level.kind == TypeKind::Array);
+
+  std::size_t items_slot = ctx.alloc_slot();
+  std::size_t num_slot = 0;
+  bool dynamic = !level.array_size.has_value();
+  if (dynamic) {
+    num_slot = ctx.alloc_slot();
+    load_slot(ctx, base_slot);
+    b.op(Opcode::CALLDATALOAD);  // num field
+    store_slot(ctx, num_slot);
+    load_slot(ctx, base_slot);
+    b.push(U256(32)).op(Opcode::ADD);
+    store_slot(ctx, items_slot);
+  } else {
+    load_slot(ctx, base_slot);
+    store_slot(ctx, items_slot);
+  }
+  if (!ctx.clues.access_array_items) return;
+
+  auto push_bound = [&] {
+    if (dynamic) {
+      load_slot(ctx, num_slot);
+    } else {
+      b.push(U256(*level.array_size));
+    }
+  };
+
+  std::size_t counter = ctx.alloc_slot();
+  emit_loop(ctx, counter, push_bound, [&] {
+    const Type& elem = *level.element;
+    if (elem.is_dynamic()) {
+      // Items are offsets relative to the start of this level's item area.
+      std::size_t child_slot = ctx.alloc_slot();
+      load_slot(ctx, items_slot);
+      load_slot(ctx, counter);
+      b.push(U256(32)).op(Opcode::MUL).op(Opcode::ADD);
+      b.op(Opcode::CALLDATALOAD);  // offset of item i
+      load_slot(ctx, items_slot);
+      b.op(Opcode::ADD);
+      store_slot(ctx, child_slot);
+      emit_array_loads_level(ctx, elem, child_slot);
+    } else if (elem.is_array()) {
+      // Inline static sub-array: child base = items + i*stride.
+      std::size_t child_slot = ctx.alloc_slot();
+      std::size_t stride = inline_stride_bytes(elem);
+      load_slot(ctx, items_slot);
+      load_slot(ctx, counter);
+      b.push(U256(stride)).op(Opcode::MUL).op(Opcode::ADD);
+      store_slot(ctx, child_slot);
+      emit_array_loads_level(ctx, elem, child_slot);
+    } else {
+      // Basic item: CALLDATALOAD(items + i*32) then the type clue.
+      load_slot(ctx, items_slot);
+      load_slot(ctx, counter);
+      b.push(U256(32)).op(Opcode::MUL).op(Opcode::ADD);
+      b.op(Opcode::CALLDATALOAD);
+      emit_word_clue(ctx, elem);
+    }
+  });
+}
+
+// Array parameter accessed through CALLDATALOADs (external static/dynamic
+// arrays, and nested arrays in both modes).
+void emit_array_loads(Ctx& ctx, const Type& type, std::size_t head) {
+  AsmBuilder& b = ctx.b;
+  std::size_t base_slot = ctx.alloc_slot();
+  if (type.is_dynamic()) {
+    // Offset field at the head (R1/R2's "exp(loc) contains offset +").
+    b.push(U256(head)).op(Opcode::CALLDATALOAD);
+    b.push(U256(4)).op(Opcode::ADD);
+    store_slot(ctx, base_slot);
+  } else {
+    b.push(U256(head));
+    store_slot(ctx, base_slot);
+  }
+  emit_array_loads_level(ctx, type, base_slot);
+}
+
+// External static array accessed only at constant indices. With
+// optimization the compile-time bound check removes the runtime LT chain,
+// which is exactly the §5.2 case-5 scenario SigRec cannot recover.
+void emit_static_array_external_const_index(Ctx& ctx, const Type& type,
+                                            std::size_t head) {
+  AsmBuilder& b = ctx.b;
+  auto dims = array_dims(type);
+  const Type& elem = *type.base_element();
+  if (!ctx.cfg.optimize) {
+    // Unoptimized code still emits the runtime bound checks even though the
+    // index is a constant, so recovery works (R3).
+    for (std::size_t l = 0; l < dims.size(); ++l) {
+      b.push(U256(*dims[l]));  // bound
+      b.push(U256(0));         // constant index
+      b.op(Opcode::LT).op(Opcode::ISZERO).jumpi_to(ctx.fail);
+    }
+  }
+  b.push(U256(head)).op(Opcode::CALLDATALOAD);
+  emit_word_clue(ctx, elem);
+}
+
+// bytes / string in an external function: offset + num loads; individual
+// byte reads (bytes only) go straight from the call data without the
+// multiplication by 32.
+void emit_bytes_external(Ctx& ctx, const Type& type, std::size_t head) {
+  AsmBuilder& b = ctx.b;
+  std::size_t pos_slot = ctx.alloc_slot();
+  std::size_t len_slot = ctx.alloc_slot();
+  b.push(U256(head)).op(Opcode::CALLDATALOAD);
+  b.push(U256(4)).op(Opcode::ADD);
+  store_slot(ctx, pos_slot);
+  load_slot(ctx, pos_slot);
+  b.op(Opcode::CALLDATALOAD);
+  store_slot(ctx, len_slot);
+
+  if (type.kind == TypeKind::Bytes && ctx.clues.byte_access_on_bytes) {
+    std::size_t counter = ctx.alloc_slot();
+    emit_loop(ctx, counter, [&] { load_slot(ctx, len_slot); }, [&] {
+      // loc = pos + 32 + i — no ×32, single byte access.
+      load_slot(ctx, pos_slot);
+      b.push(U256(32)).op(Opcode::ADD);
+      load_slot(ctx, counter);
+      b.op(Opcode::ADD).op(Opcode::CALLDATALOAD);
+      b.push(U256(0)).op(Opcode::BYTE).op(Opcode::POP);
+    });
+  } else {
+    load_slot(ctx, len_slot);
+    b.push(U256(1)).op(Opcode::ADD).op(Opcode::POP);
+  }
+}
+
+// Dynamic struct (ABIEncoderV2): one offset field at the head; member heads
+// live at base+0, base+32, ... with their own relative offsets for dynamic
+// members (R21).
+void emit_dynamic_struct(Ctx& ctx, const Type& type, std::size_t head) {
+  AsmBuilder& b = ctx.b;
+  std::size_t base_slot = ctx.alloc_slot();
+  b.push(U256(head)).op(Opcode::CALLDATALOAD);
+  b.push(U256(4)).op(Opcode::ADD);
+  store_slot(ctx, base_slot);
+
+  std::size_t mhead = 0;
+  for (const TypePtr& m : type.members) {
+    if (m->is_dynamic()) {
+      std::size_t child_slot = ctx.alloc_slot();
+      load_slot(ctx, base_slot);
+      b.push(U256(mhead)).op(Opcode::ADD).op(Opcode::CALLDATALOAD);  // member offset
+      load_slot(ctx, base_slot);
+      b.op(Opcode::ADD);
+      store_slot(ctx, child_slot);
+      if (m->is_array()) {
+        emit_array_loads_level(ctx, *m, child_slot);
+      } else {
+        // bytes / string member: read num, then byte-access clue.
+        std::size_t len_slot = ctx.alloc_slot();
+        load_slot(ctx, child_slot);
+        b.op(Opcode::CALLDATALOAD);
+        store_slot(ctx, len_slot);
+        if (m->kind == TypeKind::Bytes && ctx.clues.byte_access_on_bytes) {
+          load_slot(ctx, child_slot);
+          b.push(U256(32)).op(Opcode::ADD).op(Opcode::CALLDATALOAD);
+          b.push(U256(0)).op(Opcode::BYTE).op(Opcode::POP);
+        } else {
+          load_slot(ctx, len_slot);
+          b.push(U256(1)).op(Opcode::ADD).op(Opcode::POP);
+        }
+      }
+      mhead += 32;
+    } else if (m->is_array()) {
+      // Inline static array member.
+      std::size_t child_slot = ctx.alloc_slot();
+      load_slot(ctx, base_slot);
+      b.push(U256(mhead)).op(Opcode::ADD);
+      store_slot(ctx, child_slot);
+      emit_array_loads_level(ctx, *m, child_slot);
+      mhead += m->static_words() * 32;
+    } else {
+      // Basic member.
+      load_slot(ctx, base_slot);
+      b.push(U256(mhead)).op(Opcode::ADD).op(Opcode::CALLDATALOAD);
+      emit_word_clue(ctx, *m);
+      mhead += 32;
+    }
+  }
+}
+
+void emit_parameter(Ctx& ctx, const Type& type, std::size_t head, bool external);
+
+// Static struct: the layout and bytecode are identical to its members
+// emitted as individual parameters (§2.3.1 — unrecoverable by design).
+void emit_static_struct(Ctx& ctx, const Type& type, std::size_t head, bool external) {
+  std::size_t mhead = head;
+  for (const TypePtr& m : type.members) {
+    emit_parameter(ctx, *m, mhead, external);
+    mhead += m->static_words() * 32;
+  }
+}
+
+void emit_parameter(Ctx& ctx, const Type& type, std::size_t head, bool external) {
+  AsmBuilder& b = ctx.b;
+  switch (type.kind) {
+    case TypeKind::Uint:
+    case TypeKind::Int:
+    case TypeKind::Address:
+    case TypeKind::Bool:
+    case TypeKind::FixedBytes:
+    case TypeKind::Decimal:
+      b.push(U256(head)).op(Opcode::CALLDATALOAD);
+      emit_word_clue(ctx, type);
+      break;
+    case TypeKind::Bytes:
+    case TypeKind::String:
+    case TypeKind::BoundedBytes:
+    case TypeKind::BoundedString:
+      if (external) {
+        emit_bytes_external(ctx, type, head);
+      } else {
+        emit_bytes_public(ctx, type, head);
+      }
+      break;
+    case TypeKind::Array:
+      if (type.is_nested_array()) {
+        // Nested arrays read item-by-item in both modes.
+        emit_array_loads(ctx, type, head);
+      } else if (type.is_static_array()) {
+        if (!external) {
+          emit_static_array_public(ctx, type, head);
+        } else if (!ctx.clues.variable_index) {
+          emit_static_array_external_const_index(ctx, type, head);
+        } else {
+          emit_array_loads(ctx, type, head);
+        }
+      } else {  // dynamic array
+        if (external) {
+          emit_array_loads(ctx, type, head);
+        } else {
+          emit_dynamic_array_public(ctx, type, head);
+        }
+      }
+      break;
+    case TypeKind::Tuple:
+      if (type.is_dynamic()) {
+        emit_dynamic_struct(ctx, type, head);
+      } else {
+        emit_static_struct(ctx, type, head, external);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+void emit_solidity_function(AsmBuilder& b, const FunctionSpec& fn,
+                            const CompilerConfig& cfg, Label fail) {
+  Ctx ctx{b, cfg, fn.clues, fail};
+  const auto& params = fn.accessed_parameters();
+
+  std::size_t head = 4;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const Type& t = *params[i];
+    bool storage_ref = false;
+    for (std::size_t idx : fn.storage_ref_params) storage_ref |= (idx == i);
+    if (storage_ref) {
+      // `storage`-modifier parameter: only the slot word crosses the call
+      // boundary (§5.2 case 4) — read as a plain integer.
+      b.push(U256(head)).op(Opcode::CALLDATALOAD);
+      b.push(U256(1)).op(Opcode::ADD).op(Opcode::POP);
+      head += 32;
+      continue;
+    }
+    emit_parameter(ctx, t, head, fn.external);
+    head += t.head_size();
+
+    if (!cfg.optimize) {
+      // Unoptimized solc output is famously redundant; sprinkle in the kind
+      // of stack-neutral noise it leaves between statements so "optimized"
+      // and "unoptimized" corpora genuinely differ and recovery has to be
+      // insensitive to it.
+      switch (i % 3) {
+        case 0: b.push(U256(0)).op(Opcode::POP); break;
+        case 1: b.push(U256(1)).op(Opcode::DUP1).op(Opcode::POP).op(Opcode::POP); break;
+        default: b.push(U256(0)).push(U256(0)).op(Opcode::ADD).op(Opcode::POP); break;
+      }
+    }
+  }
+
+  // §5.2 case 1: inline assembly reading undeclared words past the declared
+  // parameters.
+  for (unsigned k = 0; k < fn.undeclared_assembly_words; ++k) {
+    b.push(U256(head + 32 * k)).op(Opcode::CALLDATALOAD);
+    b.push(U256(1)).op(Opcode::ADD).op(Opcode::POP);
+  }
+
+  if (fn.plant_vulnerability) {
+    // §6.2: the planted bug fires only for *structurally meaningful* inputs —
+    // a dynamic parameter whose num field is non-zero. Random byte soup
+    // reads a huge offset, the num load zero-pads past the call data, and
+    // the condition fails; type-aware inputs always satisfy it.
+    std::size_t h = 4;
+    std::size_t dyn_head = 0;
+    bool have_dyn = false;
+    for (const abi::TypePtr& p : params) {
+      if (!have_dyn && p->is_dynamic()) {
+        dyn_head = h;
+        have_dyn = true;
+      }
+      h += p->head_size();
+    }
+    Label skip = b.make_label();
+    if (have_dyn) {
+      b.push(U256(dyn_head)).op(Opcode::CALLDATALOAD);
+      b.push(U256(4)).op(Opcode::ADD).op(Opcode::CALLDATALOAD);  // num field
+    } else if (!params.empty()) {
+      b.push(U256(4)).op(Opcode::CALLDATALOAD);
+    } else {
+      b.push(U256(1));
+    }
+    b.op(Opcode::ISZERO).jumpi_to(skip);
+    b.op(Opcode::TIMESTAMP).push(U256(0xdead)).op(Opcode::SSTORE);
+    b.place(skip);
+  }
+  b.op(Opcode::STOP);
+}
+
+}  // namespace sigrec::compiler

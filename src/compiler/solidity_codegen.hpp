@@ -1,0 +1,14 @@
+// Emits the §2.3.1 Solidity parameter-access patterns for one function.
+#pragma once
+
+#include "compiler/codegen_common.hpp"
+
+namespace sigrec::compiler {
+
+// Emits the full body of a Solidity public/external function: parameter
+// reads per the paper's accessing patterns, the body "clue" uses, and a
+// trailing STOP. `fail` is the contract-wide revert label.
+void emit_solidity_function(AsmBuilder& b, const FunctionSpec& fn,
+                            const CompilerConfig& cfg, Label fail);
+
+}  // namespace sigrec::compiler

@@ -1,0 +1,247 @@
+#include "compiler/vyper_codegen.hpp"
+
+#include <cassert>
+#include <functional>
+
+namespace sigrec::compiler {
+
+using abi::Type;
+using abi::TypeKind;
+using abi::TypePtr;
+using evm::Opcode;
+using evm::U256;
+
+U256 vyper_address_bound() { return U256::pow2(160); }
+U256 vyper_int128_hi() { return U256::pow2(127); }
+U256 vyper_decimal_hi() { return U256::pow2(127) * U256(10000000000ULL); }
+
+namespace {
+
+// Vyper keeps decoded parameters in statically allocated memory; model that
+// with a bump allocator starting past the scratch slots.
+constexpr std::size_t kVyperDataBase = 0x10000;
+
+// Asserts `<top> < bound` (unsigned), clamping the parameter value into its
+// valid range — the Vyper idiom R20 keys on. Consumes nothing (uses DUP).
+void clamp_lt(Ctx& ctx, const U256& bound, unsigned push_width) {
+  AsmBuilder& b = ctx.b;
+  b.op(Opcode::DUP1);
+  b.push_width(bound, push_width);
+  b.op(Opcode::SWAP1);  // [.., v, bound, v]
+  b.op(Opcode::LT);     // v < bound
+  b.op(Opcode::ISZERO).jumpi_to(ctx.fail);
+}
+
+// Asserts NOT (<top> < bound) for the signed lower clamp: jump to fail when
+// SLT says the value is below the lower bound.
+void clamp_not_slt(Ctx& ctx, const U256& bound) {
+  AsmBuilder& b = ctx.b;
+  b.op(Opcode::DUP1);
+  b.push_width(bound, 32);
+  b.op(Opcode::SWAP1);  // [.., v, bound, v]
+  b.op(Opcode::SLT);    // v < bound (signed)
+  b.jumpi_to(ctx.fail);
+}
+
+// Asserts `<top> < bound` signed for the upper clamp.
+void clamp_slt(Ctx& ctx, const U256& bound) {
+  AsmBuilder& b = ctx.b;
+  b.op(Opcode::DUP1);
+  b.push_width(bound, 32);
+  b.op(Opcode::SWAP1);
+  b.op(Opcode::SLT);
+  b.op(Opcode::ISZERO).jumpi_to(ctx.fail);
+}
+
+// Body use of a Vyper basic value on the stack top; consumes it. Emits the
+// clamp sequence first (the R27-R30 signal), then the use clue.
+void emit_vyper_word_clue(Ctx& ctx, const Type& type) {
+  AsmBuilder& b = ctx.b;
+  switch (type.kind) {
+    case TypeKind::Bool:
+      clamp_lt(ctx, U256(2), 1);  // R30: bound 2
+      b.op(Opcode::POP);
+      break;
+    case TypeKind::Address:
+      clamp_lt(ctx, vyper_address_bound(), 21);  // R27: bound 2^160
+      b.op(Opcode::POP);
+      break;
+    case TypeKind::Int:
+      assert(type.bits == 128);
+      clamp_slt(ctx, vyper_int128_hi());            // v < 2^127
+      clamp_not_slt(ctx, vyper_int128_hi().negate());  // v >= -2^127  (R28)
+      b.op(Opcode::POP);
+      break;
+    case TypeKind::Decimal:
+      clamp_slt(ctx, vyper_decimal_hi());              // R29: scaled bounds
+      clamp_not_slt(ctx, vyper_decimal_hi().negate());
+      b.op(Opcode::POP);
+      break;
+    case TypeKind::FixedBytes:
+      assert(type.byte_width == 32);
+      if (ctx.clues.byte_access_on_bytes) {
+        b.push(U256(0)).op(Opcode::BYTE).op(Opcode::POP);  // R31
+      } else {
+        b.op(Opcode::POP);
+      }
+      break;
+    case TypeKind::Uint:
+      assert(type.bits == 256);
+      if (ctx.clues.arithmetic_on_ints) {
+        b.push(U256(1)).op(Opcode::ADD);  // R25 default confirmed by math
+      }
+      b.op(Opcode::POP);
+      break;
+    default:
+      b.op(Opcode::POP);
+      break;
+  }
+}
+
+// Fixed-size list T[N1]...[Nk]: same shape as a Solidity static array in an
+// external function — CALLDATALOAD per item behind constant bound checks
+// (R24).
+void emit_fixed_list(Ctx& ctx, const Type& type, std::size_t head) {
+  AsmBuilder& b = ctx.b;
+  std::size_t items_slot = ctx.alloc_slot();
+  b.push(U256(head));
+  store_slot(ctx, items_slot);
+
+  std::function<void(const Type&, std::size_t)> level = [&](const Type& lt,
+                                                            std::size_t base_slot) {
+    assert(lt.kind == TypeKind::Array && lt.array_size.has_value());
+    if (!ctx.clues.access_array_items) return;
+    std::size_t counter = ctx.alloc_slot();
+    std::size_t n = *lt.array_size;
+    emit_loop(ctx, counter, [&b, n] { b.push(U256(n)); }, [&] {
+      const Type& elem = *lt.element;
+      if (elem.is_array()) {
+        std::size_t child_slot = ctx.alloc_slot();
+        std::size_t stride = inline_stride_bytes(elem);
+        load_slot(ctx, base_slot);
+        load_slot(ctx, counter);
+        b.push(U256(stride)).op(Opcode::MUL).op(Opcode::ADD);
+        store_slot(ctx, child_slot);
+        level(elem, child_slot);
+      } else {
+        load_slot(ctx, base_slot);
+        load_slot(ctx, counter);
+        b.push(U256(32)).op(Opcode::MUL).op(Opcode::ADD);
+        b.op(Opcode::CALLDATALOAD);
+        emit_vyper_word_clue(ctx, elem);
+      }
+    });
+  };
+  level(type, items_slot);
+}
+
+// bytes[maxLen] / string[maxLen]: one CALLDATACOPY of the num field plus
+// maxLen bytes — a *constant* copy length from an offset-derived source
+// (R23); a length clamp; a byte access for bytes (R26).
+void emit_bounded_bytes(Ctx& ctx, const Type& type, std::size_t head,
+                        std::size_t data_slot_base) {
+  AsmBuilder& b = ctx.b;
+  std::size_t pos_slot = ctx.alloc_slot();
+  b.push(U256(head)).op(Opcode::CALLDATALOAD);
+  b.push(U256(4)).op(Opcode::ADD);
+  store_slot(ctx, pos_slot);
+
+  b.push(U256(32 + type.max_len));  // constant length incl. the num field
+  load_slot(ctx, pos_slot);         // src
+  b.push(U256(data_slot_base));     // fixed destination
+  b.op(Opcode::CALLDATACOPY);
+
+  // Clamp: stored length must be <= maxLen.
+  b.push(U256(data_slot_base)).op(Opcode::MLOAD);
+  clamp_lt(ctx, U256(type.max_len + 1), 32);
+  b.op(Opcode::POP);
+
+  if (type.kind == TypeKind::BoundedBytes && ctx.clues.byte_access_on_bytes) {
+    b.push(U256(data_slot_base + 32)).op(Opcode::MLOAD);
+    b.push(U256(0)).op(Opcode::BYTE).op(Opcode::POP);
+  }
+}
+
+}  // namespace
+
+void emit_vyper_function(AsmBuilder& b, const FunctionSpec& fn,
+                         const CompilerConfig& cfg, Label fail) {
+  Ctx ctx{b, cfg, fn.clues, fail};
+  const auto& params = fn.accessed_parameters();
+
+  std::size_t data_next = kVyperDataBase;
+  std::size_t head = 4;
+
+  std::function<void(const Type&, std::size_t)> emit_one = [&](const Type& t,
+                                                               std::size_t h) {
+    switch (t.kind) {
+      case TypeKind::Uint:
+      case TypeKind::Int:
+      case TypeKind::Address:
+      case TypeKind::Bool:
+      case TypeKind::FixedBytes:
+      case TypeKind::Decimal:
+        b.push(U256(h)).op(Opcode::CALLDATALOAD);
+        emit_vyper_word_clue(ctx, t);
+        break;
+      case TypeKind::Array:
+        emit_fixed_list(ctx, t, h);
+        break;
+      case TypeKind::BoundedBytes:
+      case TypeKind::BoundedString: {
+        std::size_t dst = data_next;
+        data_next += 32 + ((t.max_len + 31) / 32) * 32;
+        emit_bounded_bytes(ctx, t, h, dst);
+        break;
+      }
+      case TypeKind::Tuple: {
+        // Vyper struct: flattened, indistinguishable from loose members.
+        std::size_t mh = h;
+        for (const TypePtr& m : t.members) {
+          emit_one(*m, mh);
+          mh += m->static_words() * 32;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  };
+
+  for (const TypePtr& p : params) {
+    emit_one(*p, head);
+    head += p->head_size();
+  }
+  for (unsigned k = 0; k < fn.undeclared_assembly_words; ++k) {
+    b.push(U256(head + 32 * k)).op(Opcode::CALLDATALOAD);
+    b.push(U256(1)).op(Opcode::ADD).op(Opcode::POP);
+  }
+  if (fn.plant_vulnerability) {
+    // Same reachability condition as the Solidity emitter (§6.2).
+    std::size_t h = 4;
+    std::size_t dyn_head = 0;
+    bool have_dyn = false;
+    for (const abi::TypePtr& p : params) {
+      if (!have_dyn && p->is_dynamic()) {
+        dyn_head = h;
+        have_dyn = true;
+      }
+      h += p->head_size();
+    }
+    Label skip = b.make_label();
+    if (have_dyn) {
+      b.push(U256(dyn_head)).op(Opcode::CALLDATALOAD);
+      b.push(U256(4)).op(Opcode::ADD).op(Opcode::CALLDATALOAD);
+    } else if (!params.empty()) {
+      b.push(U256(4)).op(Opcode::CALLDATALOAD);
+    } else {
+      b.push(U256(1));
+    }
+    b.op(Opcode::ISZERO).jumpi_to(skip);
+    b.op(Opcode::TIMESTAMP).push(U256(0xdead)).op(Opcode::SSTORE);
+    b.place(skip);
+  }
+  b.op(Opcode::STOP);
+}
+
+}  // namespace sigrec::compiler

@@ -1,0 +1,18 @@
+// Emits the §2.3.2 Vyper parameter-access patterns (range-check clamps
+// instead of masks; identical code for public and external functions).
+#pragma once
+
+#include "compiler/codegen_common.hpp"
+
+namespace sigrec::compiler {
+
+void emit_vyper_function(AsmBuilder& b, const FunctionSpec& fn,
+                         const CompilerConfig& cfg, Label fail);
+
+// Clamp bounds the Vyper patterns compare against; the fine-grained rules
+// R27-R30 recognize these exact constants.
+evm::U256 vyper_address_bound();  // 2^160
+evm::U256 vyper_int128_hi();      // 2^127
+evm::U256 vyper_decimal_hi();     // 2^127 * 10^10
+
+}  // namespace sigrec::compiler

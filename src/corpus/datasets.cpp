@@ -1,0 +1,214 @@
+#include "corpus/datasets.hpp"
+
+#include <random>
+
+#include "corpus/random_types.hpp"
+
+namespace sigrec::corpus {
+
+using abi::Dialect;
+using compiler::CompilerConfig;
+using compiler::CompilerVersion;
+using compiler::ContractSpec;
+using compiler::FunctionSpec;
+
+std::vector<CompilerVersion> solidity_versions() {
+  return {
+      {0, 1, 1}, {0, 2, 0}, {0, 3, 6},  {0, 4, 0},  {0, 4, 11}, {0, 4, 19},
+      {0, 4, 24}, {0, 5, 0}, {0, 5, 5}, {0, 5, 16}, {0, 6, 0},  {0, 6, 12},
+      {0, 7, 0},  {0, 7, 6}, {0, 8, 0},
+  };
+}
+
+std::vector<CompilerVersion> vyper_versions() {
+  // Vyper 0.1.0b4 .. 0.2.8 — we model the 0.1 (DIV selector) and 0.2 (SHR
+  // selector) eras with several patch levels each.
+  return {
+      {0, 1, 4}, {0, 1, 8}, {0, 1, 13}, {0, 1, 16}, {0, 2, 1}, {0, 2, 4}, {0, 2, 8},
+  };
+}
+
+namespace {
+
+bool roll_bp(std::mt19937_64& rng, unsigned basis_points) {
+  return rng() % 10000 < basis_points;
+}
+
+// Applies the §5.2 error-case injections to a function spec.
+void inject_errors(FunctionSpec& fn, const ErrorRates& rates, std::mt19937_64& rng) {
+  if (roll_bp(rng, rates.case1_inline_assembly_bp)) {
+    fn.undeclared_assembly_words = 1 + rng() % 2;
+  }
+  if (roll_bp(rng, rates.case2_type_conversion_bp)) {
+    // The body converts each uint256-family parameter to uint8 before use.
+    std::vector<abi::TypePtr> effective = fn.signature.parameters;
+    bool changed = false;
+    for (abi::TypePtr& p : effective) {
+      if (p->kind == abi::TypeKind::Uint && p->bits > 8) {
+        p = abi::uint_type(8);
+        changed = true;
+      } else if (p->is_static_array() && p->base_element()->kind == abi::TypeKind::Uint &&
+                 p->base_element()->bits > 8) {
+        // uint256[N] accessed as uint8[N] (the paper's setGen0Stat example).
+        abi::TypePtr t = abi::uint_type(8);
+        std::vector<std::optional<std::size_t>> dims;
+        const abi::Type* cur = p.get();
+        while (cur->kind == abi::TypeKind::Array) {
+          dims.push_back(cur->array_size);
+          cur = cur->element.get();
+        }
+        for (auto it = dims.rbegin(); it != dims.rend(); ++it) t = abi::array_type(t, *it);
+        p = t;
+        changed = true;
+      }
+    }
+    if (changed) fn.effective_parameters = std::move(effective);
+  }
+  if (roll_bp(rng, rates.case4_storage_ref_bp)) {
+    // Mark the first dynamic parameter as a storage reference.
+    for (std::size_t i = 0; i < fn.signature.parameters.size(); ++i) {
+      if (fn.signature.parameters[i]->is_dynamic()) {
+        fn.storage_ref_params.push_back(i);
+        break;
+      }
+    }
+  }
+  if (roll_bp(rng, rates.case5_no_byte_access_bp)) fn.clues.byte_access_on_bytes = false;
+  if (roll_bp(rng, rates.case5_const_index_bp)) fn.clues.variable_index = false;
+  if (roll_bp(rng, rates.case5_no_signed_op_bp)) fn.clues.signed_op_on_int256 = false;
+}
+
+Corpus make_solidity_corpus(std::size_t contracts, std::uint64_t seed, const ErrorRates& rates,
+                            unsigned max_params) {
+  Corpus corpus;
+  std::mt19937_64 rng(seed);
+  const auto versions = solidity_versions();
+  for (std::size_t i = 0; i < contracts; ++i) {
+    ContractSpec spec;
+    spec.name = "contract" + std::to_string(i);
+    spec.config.dialect = Dialect::Solidity;
+    spec.config.version = versions[rng() % versions.size()];
+    spec.config.optimize = rng() % 2 == 0;
+
+    TypeSampler sampler(Dialect::Solidity, rng(),
+                        spec.config.version.supports_abiencoderv2());
+    std::size_t nfuncs = 1 + rng() % 5;
+    for (std::size_t f = 0; f < nfuncs; ++f) {
+      FunctionSpec fn = random_function(sampler, max_params);
+      inject_errors(fn, rates, rng);
+      spec.functions.push_back(std::move(fn));
+    }
+    corpus.specs.push_back(std::move(spec));
+  }
+  return corpus;
+}
+
+}  // namespace
+
+Corpus make_dataset2(std::uint64_t seed) {
+  Corpus corpus;
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < 100; ++i) {
+    ContractSpec spec;
+    spec.name = "synth" + std::to_string(i);
+    spec.config.dialect = Dialect::Solidity;
+    spec.config.version = CompilerVersion{0, 5, 5};
+    spec.config.optimize = rng() % 2 == 0;
+
+    // Dataset 2 has no struct/nested parameters; arrays have at most three
+    // dimensions and five items (§5.6).
+    TypeSampler sampler(Dialect::Solidity, rng(), /*allow_abiencoderv2=*/false);
+    for (std::size_t f = 0; f < 10; ++f) {
+      FunctionSpec fn = random_function(sampler, 5);
+      // The paper found 8/1000 case-5 misses: optimized constant-index
+      // static array accesses. A miss needs const-index AND optimization AND
+      // an external static array, so the nominal rate here is higher.
+      if (rng() % 100 < 15) fn.clues.variable_index = false;
+      spec.functions.push_back(std::move(fn));
+    }
+    corpus.specs.push_back(std::move(spec));
+  }
+  return corpus;
+}
+
+Corpus make_open_source_corpus(std::size_t contracts, std::uint64_t seed, ErrorRates rates) {
+  return make_solidity_corpus(contracts, seed, rates, 5);
+}
+
+Corpus make_closed_source_corpus(std::size_t contracts, std::uint64_t seed) {
+  ErrorRates rates;
+  // Closed-source contracts skew slightly more adversarial (more inline
+  // assembly, more conversions).
+  rates.case1_inline_assembly_bp *= 2;
+  rates.case2_type_conversion_bp *= 2;
+  return make_solidity_corpus(contracts, seed ^ 0xc105edULL, rates, 5);
+}
+
+Corpus make_vyper_corpus(std::size_t contracts, std::uint64_t seed) {
+  Corpus corpus;
+  std::mt19937_64 rng(seed);
+  const auto versions = vyper_versions();
+  for (std::size_t i = 0; i < contracts; ++i) {
+    ContractSpec spec;
+    spec.name = "vyper" + std::to_string(i);
+    spec.config.dialect = Dialect::Vyper;
+    spec.config.version = versions[rng() % versions.size()];
+    spec.config.optimize = false;  // Vyper has no optimizer knob in this era
+
+    TypeSampler sampler(Dialect::Vyper, rng());
+    std::size_t nfuncs = 1 + rng() % 4;
+    for (std::size_t f = 0; f < nfuncs; ++f) {
+      FunctionSpec fn = random_function(sampler, 4);
+      if (rng() % 100 < 2) fn.clues.byte_access_on_bytes = false;
+      spec.functions.push_back(std::move(fn));
+    }
+    corpus.specs.push_back(std::move(spec));
+  }
+  return corpus;
+}
+
+Corpus make_struct_nested_corpus(std::size_t contracts, std::uint64_t seed) {
+  Corpus corpus;
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < contracts; ++i) {
+    ContractSpec spec;
+    spec.name = "structs" + std::to_string(i);
+    spec.config.dialect = Dialect::Solidity;
+    spec.config.version = CompilerVersion{0, 6, 12};  // ABIEncoderV2 era
+    spec.config.optimize = rng() % 2 == 0;
+
+    TypeSampler sampler(Dialect::Solidity, rng());
+    std::size_t nfuncs = 1 + rng() % 3;
+    for (std::size_t f = 0; f < nfuncs; ++f) {
+      FunctionSpec fn;
+      fn.signature.name = random_name(sampler.rng());
+      fn.external = rng() % 2 == 0;
+      // Every function takes at least one struct or nested-array parameter.
+      // Static structs flatten irrecoverably (§2.3.1), which is where the
+      // paper's 61.3% ceiling on this population comes from.
+      std::uint64_t roll = rng() % 100;
+      if (roll < 35) {
+        fn.signature.parameters.push_back(sampler.sample_struct());
+      } else if (roll < 70) {
+        fn.signature.parameters.push_back(sampler.sample_static_struct());
+      } else {
+        fn.signature.parameters.push_back(sampler.sample_nested_array());
+      }
+      if (rng() % 2 == 0) fn.signature.parameters.push_back(sampler.sample_basic());
+      spec.functions.push_back(std::move(fn));
+    }
+    corpus.specs.push_back(std::move(spec));
+  }
+  return corpus;
+}
+
+std::vector<evm::Bytecode> compile_corpus(const Corpus& corpus) {
+  std::vector<evm::Bytecode> out;
+  out.reserve(corpus.specs.size());
+  for (const ContractSpec& spec : corpus.specs) {
+    out.push_back(compiler::compile_contract(spec));
+  }
+  return out;
+}
+
+}  // namespace sigrec::corpus

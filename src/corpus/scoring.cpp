@@ -1,0 +1,47 @@
+#include "corpus/scoring.hpp"
+
+namespace sigrec::corpus {
+
+Score score_contract(const compiler::ContractSpec& spec, const RecoveredMap& recovered) {
+  Score score;
+  for (const compiler::FunctionSpec& fn : spec.functions) {
+    ++score.total;
+    auto it = recovered.find(fn.signature.selector());
+    if (it == recovered.end()) {
+      ++score.missing;
+      continue;
+    }
+    if (fn.signature.same_parameters(it->second)) {
+      ++score.correct;
+    } else if (fn.signature.parameters.size() != it->second.size()) {
+      ++score.wrong_count;
+    } else {
+      ++score.wrong_type;
+    }
+  }
+  return score;
+}
+
+Score score_sigrec(const Corpus& corpus, const std::vector<evm::Bytecode>& bytecodes,
+                   core::RuleStats* stats, std::vector<double>* per_function_seconds) {
+  core::SigRec tool;
+  Score score;
+  for (std::size_t i = 0; i < corpus.specs.size(); ++i) {
+    core::RecoveryResult result = tool.recover(bytecodes[i]);
+    if (stats != nullptr) stats->merge(result.stats);
+    RecoveredMap map;
+    for (const auto& fn : result.functions) {
+      map.emplace(fn.selector, fn.parameters);
+      if (per_function_seconds != nullptr) per_function_seconds->push_back(fn.seconds);
+    }
+    Score s = score_contract(corpus.specs[i], map);
+    score.total += s.total;
+    score.correct += s.correct;
+    score.missing += s.missing;
+    score.wrong_count += s.wrong_count;
+    score.wrong_type += s.wrong_type;
+  }
+  return score;
+}
+
+}  // namespace sigrec::corpus

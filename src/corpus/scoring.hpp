@@ -1,0 +1,40 @@
+// Accuracy scoring: recovered signatures vs corpus ground truth, per the
+// paper's criterion (§5.2): a recovery is correct iff the function id, the
+// number, the order, and the types of all parameters match the declaration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "corpus/datasets.hpp"
+#include "sigrec/sigrec.hpp"
+
+namespace sigrec::corpus {
+
+struct Score {
+  std::size_t total = 0;
+  std::size_t correct = 0;
+  std::size_t missing = 0;      // function id never produced
+  std::size_t wrong_count = 0;  // parameter number differs
+  std::size_t wrong_type = 0;   // count right, some type differs
+
+  [[nodiscard]] double accuracy() const {
+    return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+  }
+};
+
+// One recovered function per ground-truth function; absent = missing.
+using RecoveredMap = std::map<std::uint32_t, std::vector<abi::TypePtr>>;
+
+// Scores one contract's recovery against its spec.
+Score score_contract(const compiler::ContractSpec& spec, const RecoveredMap& recovered);
+
+// Runs SigRec over the whole corpus and scores it. Also accumulates rule
+// stats and per-function times when out-params are given.
+Score score_sigrec(const Corpus& corpus, const std::vector<evm::Bytecode>& bytecodes,
+                   core::RuleStats* stats = nullptr,
+                   std::vector<double>* per_function_seconds = nullptr);
+
+}  // namespace sigrec::corpus

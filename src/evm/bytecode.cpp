@@ -1,0 +1,65 @@
+#include "evm/bytecode.hpp"
+
+#include "evm/opcodes.hpp"
+
+namespace sigrec::evm {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::optional<Bytes> bytes_from_hex(std::string_view hex) {
+  if (hex.starts_with("0x") || hex.starts_with("0X")) hex.remove_prefix(2);
+  if (hex.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = hex_digit(hex[i]);
+    int lo = hex_digit(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+std::string bytes_to_hex(std::span<const std::uint8_t> data, bool prefix) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string s;
+  if (prefix) s = "0x";
+  s.reserve(s.size() + data.size() * 2);
+  for (std::uint8_t b : data) {
+    s.push_back(kDigits[b >> 4]);
+    s.push_back(kDigits[b & 0xf]);
+  }
+  return s;
+}
+
+std::optional<Bytecode> Bytecode::from_hex(std::string_view hex) {
+  auto bytes = bytes_from_hex(hex);
+  if (!bytes) return std::nullopt;
+  return Bytecode(std::move(*bytes));
+}
+
+void Bytecode::compute_jumpdests() const {
+  jumpdests_.assign(code_.size(), false);
+  for (std::size_t pc = 0; pc < code_.size();) {
+    std::uint8_t byte = code_[pc];
+    if (byte == static_cast<std::uint8_t>(Opcode::JUMPDEST)) jumpdests_[pc] = true;
+    pc += 1 + push_size(byte);  // skip PUSH immediates so data bytes don't count
+  }
+  jumpdests_ready_ = true;
+}
+
+bool Bytecode::is_jumpdest(std::size_t pc) const {
+  if (!jumpdests_ready_) compute_jumpdests();
+  return pc < jumpdests_.size() && jumpdests_[pc];
+}
+
+}  // namespace sigrec::evm

@@ -1,0 +1,46 @@
+// Bytecode container and hex codec.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sigrec::evm {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// Parses an optionally 0x-prefixed even-length hex string.
+[[nodiscard]] std::optional<Bytes> bytes_from_hex(std::string_view hex);
+[[nodiscard]] std::string bytes_to_hex(std::span<const std::uint8_t> data,
+                                       bool prefix = true);
+
+// Runtime bytecode of a deployed contract.
+class Bytecode {
+ public:
+  Bytecode() = default;
+  explicit Bytecode(Bytes code) : code_(std::move(code)) {}
+
+  static std::optional<Bytecode> from_hex(std::string_view hex);
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return code_; }
+  [[nodiscard]] std::size_t size() const { return code_.size(); }
+  [[nodiscard]] bool empty() const { return code_.empty(); }
+  [[nodiscard]] std::uint8_t operator[](std::size_t i) const { return code_[i]; }
+  [[nodiscard]] std::string to_hex() const { return bytes_to_hex(code_); }
+
+  // True iff `pc` is a JUMPDEST that is real code, i.e. not the immediate
+  // data of an earlier PUSH. The valid-destination set is computed lazily.
+  [[nodiscard]] bool is_jumpdest(std::size_t pc) const;
+
+ private:
+  void compute_jumpdests() const;
+
+  Bytes code_;
+  mutable std::vector<bool> jumpdests_;  // lazily sized to code_.size()
+  mutable bool jumpdests_ready_ = false;
+};
+
+}  // namespace sigrec::evm

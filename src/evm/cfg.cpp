@@ -1,0 +1,106 @@
+#include "evm/cfg.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace sigrec::evm {
+
+Cfg::Cfg(const Disassembly& dis) {
+  const auto& insts = dis.instructions();
+  if (insts.empty()) return;
+
+  // Pass 1: find leaders.
+  std::vector<bool> leader(insts.size(), false);
+  leader[0] = true;
+  for (std::size_t i = 0; i < insts.size(); ++i) {
+    const Instruction& inst = insts[i];
+    if (inst.op == Opcode::JUMPDEST) leader[i] = true;
+    if (inst.info().terminator && i + 1 < insts.size()) leader[i + 1] = true;
+  }
+
+  // Pass 2: build blocks.
+  index_to_block_.assign(insts.size(), npos);
+  for (std::size_t i = 0; i < insts.size();) {
+    std::size_t start = i;
+    ++i;
+    while (i < insts.size() && !leader[i]) ++i;
+    BasicBlock bb;
+    bb.id = blocks_.size();
+    bb.first = start;
+    bb.last = i - 1;
+    bb.start_pc = insts[start].pc;
+    blocks_.push_back(bb);
+    for (std::size_t j = start; j < i; ++j) index_to_block_[j] = bb.id;
+  }
+
+  // Pass 3: edges.
+  std::map<std::size_t, std::size_t> pc_to_block;
+  for (const BasicBlock& bb : blocks_) pc_to_block.emplace(bb.start_pc, bb.id);
+
+  auto add_edge = [&](std::size_t from, std::size_t to) {
+    blocks_[from].successors.push_back(to);
+    blocks_[to].predecessors.push_back(from);
+  };
+  auto jump_target_block = [&](std::size_t term_idx) -> std::size_t {
+    // Resolve `PUSHn target` immediately before the jump.
+    if (term_idx == 0) return npos;
+    const Instruction& prev = insts[term_idx - 1];
+    if (!prev.is_push() || !prev.immediate.fits_u64()) return npos;
+    auto it = pc_to_block.find(prev.immediate.as_u64());
+    return it == pc_to_block.end() ? npos : it->second;
+  };
+
+  for (BasicBlock& bb : blocks_) {
+    const Instruction& last = insts[bb.last];
+    switch (last.op) {
+      case Opcode::JUMP: {
+        std::size_t t = jump_target_block(bb.last);
+        if (t != npos) add_edge(bb.id, t);
+        break;
+      }
+      case Opcode::JUMPI: {
+        std::size_t t = jump_target_block(bb.last);
+        if (t != npos) add_edge(bb.id, t);
+        if (bb.id + 1 < blocks_.size()) {
+          bb.has_fallthrough = true;
+          add_edge(bb.id, bb.id + 1);
+        }
+        break;
+      }
+      default:
+        if (!last.info().terminator && bb.id + 1 < blocks_.size()) {
+          bb.has_fallthrough = true;
+          add_edge(bb.id, bb.id + 1);
+        }
+        break;
+    }
+  }
+}
+
+std::size_t Cfg::block_at_pc(std::size_t pc) const {
+  for (const BasicBlock& bb : blocks_) {
+    if (bb.start_pc == pc) return bb.id;
+  }
+  return npos;
+}
+
+std::size_t Cfg::block_of_index(std::size_t idx) const {
+  return idx < index_to_block_.size() ? index_to_block_[idx] : npos;
+}
+
+std::string Cfg::to_string(const Disassembly& dis) const {
+  std::ostringstream os;
+  const auto& insts = dis.instructions();
+  for (const BasicBlock& bb : blocks_) {
+    os << "block " << bb.id << " @0x" << std::hex << bb.start_pc << std::dec << " ->";
+    for (std::size_t s : bb.successors) os << ' ' << s;
+    os << '\n';
+    for (std::size_t i = bb.first; i <= bb.last; ++i) {
+      os << "  " << insts[i].to_string() << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace sigrec::evm

@@ -1,0 +1,46 @@
+// Basic-block recognition and control-flow graph over a disassembly.
+//
+// Blocks are split at JUMPDESTs and after block terminators. Edges are
+// resolved statically for the common `PUSHn target; JUMP[I]` idiom, which is
+// all the dispatcher and parameter-access code emitted by solc/vyper uses;
+// jumps whose target is computed stay unresolved (the symbolic executor
+// resolves those on the fly from the concrete stack).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "evm/disassembler.hpp"
+
+namespace sigrec::evm {
+
+struct BasicBlock {
+  std::size_t id = 0;
+  std::size_t first = 0;  // index into Disassembly::instructions()
+  std::size_t last = 0;   // inclusive
+  std::size_t start_pc = 0;
+  std::vector<std::size_t> successors;  // block ids
+  std::vector<std::size_t> predecessors;
+  bool has_fallthrough = false;  // true if last instruction may fall through
+};
+
+class Cfg {
+ public:
+  explicit Cfg(const Disassembly& dis);
+
+  [[nodiscard]] const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  // Block that starts at `pc`, or npos.
+  [[nodiscard]] std::size_t block_at_pc(std::size_t pc) const;
+  // Block containing the instruction at index `idx`.
+  [[nodiscard]] std::size_t block_of_index(std::size_t idx) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::string to_string(const Disassembly& dis) const;
+
+ private:
+  std::vector<BasicBlock> blocks_;
+  std::vector<std::size_t> index_to_block_;
+};
+
+}  // namespace sigrec::evm

@@ -1,0 +1,197 @@
+#include "evm/cfg_analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace sigrec::evm {
+
+namespace {
+
+// Reverse post-order over `succ`, starting from `roots`.
+std::vector<std::size_t> reverse_postorder(
+    std::size_t n, const std::vector<std::size_t>& roots,
+    const std::vector<std::vector<std::size_t>>& succ) {
+  std::vector<int> state(n, 0);  // 0 unseen, 1 in progress, 2 done
+  std::vector<std::size_t> postorder;
+  // Iterative DFS with an explicit stack of (node, next-child-index).
+  for (std::size_t root : roots) {
+    if (state[root] != 0) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{root, 0}};
+    state[root] = 1;
+    while (!stack.empty()) {
+      auto& [node, idx] = stack.back();
+      if (idx < succ[node].size()) {
+        std::size_t next = succ[node][idx++];
+        if (state[next] == 0) {
+          state[next] = 1;
+          stack.emplace_back(next, 0);
+        }
+      } else {
+        state[node] = 2;
+        postorder.push_back(node);
+        stack.pop_back();
+      }
+    }
+  }
+  std::reverse(postorder.begin(), postorder.end());
+  return postorder;
+}
+
+// Cooper-Harvey-Kennedy iterative dominator computation.
+std::vector<std::size_t> compute_idom(std::size_t n, const std::vector<std::size_t>& roots,
+                                      const std::vector<std::vector<std::size_t>>& succ,
+                                      const std::vector<std::vector<std::size_t>>& pred) {
+  constexpr std::size_t npos = CfgAnalysis::npos;
+  std::vector<std::size_t> order = reverse_postorder(n, roots, succ);
+  std::vector<std::size_t> rpo_index(n, npos);
+  for (std::size_t i = 0; i < order.size(); ++i) rpo_index[order[i]] = i;
+
+  std::vector<std::size_t> idom(n, npos);
+  for (std::size_t root : roots) idom[root] = root;
+
+  auto intersect = [&](std::size_t a, std::size_t b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) a = idom[a];
+      while (rpo_index[b] > rpo_index[a]) b = idom[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t node : order) {
+      bool is_root = false;
+      for (std::size_t root : roots) is_root |= (node == root);
+      if (is_root) continue;
+      std::size_t new_idom = npos;
+      for (std::size_t p : pred[node]) {
+        if (idom[p] == npos) continue;  // unprocessed or unreachable
+        new_idom = new_idom == npos ? p : intersect(p, new_idom);
+      }
+      if (new_idom != npos && idom[node] != new_idom) {
+        idom[node] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  // Roots report npos (no strict dominator).
+  for (std::size_t root : roots) idom[root] = npos;
+  return idom;
+}
+
+}  // namespace
+
+CfgAnalysis::CfgAnalysis(const Cfg& cfg) {
+  compute_dominators(cfg);
+  compute_postdominators(cfg);
+  find_loops(cfg);
+}
+
+void CfgAnalysis::compute_dominators(const Cfg& cfg) {
+  std::size_t n = cfg.blocks().size();
+  idom_.assign(n, npos);
+  reachable_.assign(n, false);
+  if (n == 0) return;
+
+  std::vector<std::vector<std::size_t>> succ(n), pred(n);
+  for (const BasicBlock& bb : cfg.blocks()) {
+    succ[bb.id] = bb.successors;
+    pred[bb.id] = bb.predecessors;
+  }
+  idom_ = compute_idom(n, {0}, succ, pred);
+
+  // Reachability from the entry.
+  std::deque<std::size_t> work{0};
+  reachable_[0] = true;
+  while (!work.empty()) {
+    std::size_t cur = work.front();
+    work.pop_front();
+    for (std::size_t s : succ[cur]) {
+      if (!reachable_[s]) {
+        reachable_[s] = true;
+        work.push_back(s);
+      }
+    }
+  }
+}
+
+void CfgAnalysis::compute_postdominators(const Cfg& cfg) {
+  std::size_t n = cfg.blocks().size();
+  ipdom_.assign(n, npos);
+  if (n == 0) return;
+
+  // Reverse graph with a single virtual exit (index n) as the root: the CHK
+  // intersect walk needs one root, or chains rooted at different real exits
+  // would spin between them.
+  std::vector<std::vector<std::size_t>> succ(n + 1), pred(n + 1);
+  bool any_exit = false;
+  for (const BasicBlock& bb : cfg.blocks()) {
+    succ[bb.id] = bb.predecessors;  // reversed
+    pred[bb.id] = bb.successors;
+    if (bb.successors.empty()) {
+      any_exit = true;
+      succ[n].push_back(bb.id);  // virtual exit "precedes" each real exit
+      pred[bb.id].push_back(n);
+    }
+  }
+  if (!any_exit) return;  // a pure cycle has no postdominators
+  std::vector<std::size_t> result = compute_idom(n + 1, {n}, succ, pred);
+  for (std::size_t i = 0; i < n; ++i) {
+    ipdom_[i] = result[i] == n ? npos : result[i];
+  }
+}
+
+bool CfgAnalysis::dominates(std::size_t a, std::size_t b) const {
+  // Walk b's dominator chain.
+  for (std::size_t cur = b; cur != npos;) {
+    if (cur == a) return true;
+    cur = idom_[cur];
+  }
+  return false;
+}
+
+bool CfgAnalysis::postdominates(std::size_t a, std::size_t b) const {
+  for (std::size_t cur = b; cur != npos;) {
+    if (cur == a) return true;
+    cur = ipdom_[cur];
+  }
+  return false;
+}
+
+void CfgAnalysis::find_loops(const Cfg& cfg) {
+  // A back edge t->h exists when h dominates t; the loop body is everything
+  // that reaches t without passing h.
+  for (const BasicBlock& bb : cfg.blocks()) {
+    if (!reachable(bb.id)) continue;
+    for (std::size_t h : bb.successors) {
+      if (!dominates(h, bb.id)) continue;
+      Loop loop;
+      loop.header = h;
+      loop.back_edge_tail = bb.id;
+      std::vector<bool> in_loop(cfg.blocks().size(), false);
+      in_loop[h] = true;
+      std::deque<std::size_t> work;
+      if (!in_loop[bb.id]) {
+        in_loop[bb.id] = true;
+        work.push_back(bb.id);
+      }
+      while (!work.empty()) {
+        std::size_t cur = work.front();
+        work.pop_front();
+        for (std::size_t p : cfg.blocks()[cur].predecessors) {
+          if (!in_loop[p]) {
+            in_loop[p] = true;
+            work.push_back(p);
+          }
+        }
+      }
+      for (std::size_t i = 0; i < in_loop.size(); ++i) {
+        if (in_loop[i]) loop.blocks.push_back(i);
+      }
+      loops_.push_back(std::move(loop));
+    }
+  }
+}
+
+}  // namespace sigrec::evm

@@ -1,0 +1,58 @@
+// Classical CFG analyses over the EVM control-flow graph: dominators,
+// postdominators, and natural-loop detection. Used by the reverse-
+// engineering application to structure its output and by diagnostics; the
+// algorithms are the standard iterative data-flow formulations
+// (Cooper-Harvey-Kennedy).
+#pragma once
+
+#include <vector>
+
+#include "evm/cfg.hpp"
+
+namespace sigrec::evm {
+
+class CfgAnalysis {
+ public:
+  explicit CfgAnalysis(const Cfg& cfg);
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  // Immediate dominator of each block (npos for the entry and unreachable
+  // blocks).
+  [[nodiscard]] const std::vector<std::size_t>& immediate_dominators() const {
+    return idom_;
+  }
+  // Immediate postdominator (npos for exit blocks / blocks that reach none).
+  [[nodiscard]] const std::vector<std::size_t>& immediate_postdominators() const {
+    return ipdom_;
+  }
+
+  [[nodiscard]] bool dominates(std::size_t a, std::size_t b) const;
+  [[nodiscard]] bool postdominates(std::size_t a, std::size_t b) const;
+
+  // Natural loops: one entry per back edge (tail -> header), with the set of
+  // blocks in the loop body.
+  struct Loop {
+    std::size_t header = 0;
+    std::size_t back_edge_tail = 0;
+    std::vector<std::size_t> blocks;  // includes header and tail
+  };
+  [[nodiscard]] const std::vector<Loop>& loops() const { return loops_; }
+
+  // Blocks reachable from the entry.
+  [[nodiscard]] bool reachable(std::size_t block) const {
+    return block < reachable_.size() && reachable_[block];
+  }
+
+ private:
+  void compute_dominators(const Cfg& cfg);
+  void compute_postdominators(const Cfg& cfg);
+  void find_loops(const Cfg& cfg);
+
+  std::vector<std::size_t> idom_;
+  std::vector<std::size_t> ipdom_;
+  std::vector<bool> reachable_;
+  std::vector<Loop> loops_;
+};
+
+}  // namespace sigrec::evm

@@ -1,0 +1,57 @@
+#include "evm/disassembler.hpp"
+
+#include <sstream>
+
+namespace sigrec::evm {
+
+std::string Instruction::to_string() const {
+  std::string s(info().name);
+  if (is_push()) {
+    s += ' ';
+    s += immediate.to_hex();
+  }
+  return s;
+}
+
+Disassembly::Disassembly(const Bytecode& code) {
+  const auto bytes = code.bytes();
+  pc_to_index_.assign(bytes.size(), npos);
+  for (std::size_t pc = 0; pc < bytes.size();) {
+    Instruction inst;
+    inst.pc = pc;
+    inst.op = static_cast<Opcode>(bytes[pc]);
+    unsigned imm = push_size(bytes[pc]);
+    // A PUSH whose immediate runs off the end is padded with zeros, exactly
+    // like the EVM treats out-of-code reads.
+    std::size_t avail = std::min<std::size_t>(imm, bytes.size() - pc - 1);
+    if (imm > 0) {
+      inst.immediate = U256::from_be_bytes(bytes.subspan(pc + 1, avail));
+      // Zero-pad on the right for truncated trailing PUSH.
+      if (avail < imm) inst.immediate = inst.immediate.shl(8 * static_cast<unsigned>(imm - avail));
+    }
+    inst.size = static_cast<std::uint8_t>(1 + imm);
+    pc_to_index_[pc] = insts_.size();
+    insts_.push_back(inst);
+    pc += 1 + imm;
+  }
+}
+
+const Instruction* Disassembly::at_pc(std::size_t pc) const {
+  std::size_t idx = index_of_pc(pc);
+  return idx == npos ? nullptr : &insts_[idx];
+}
+
+std::size_t Disassembly::index_of_pc(std::size_t pc) const {
+  if (pc >= pc_to_index_.size()) return npos;
+  return pc_to_index_[pc];
+}
+
+std::string Disassembly::to_string() const {
+  std::ostringstream os;
+  for (const Instruction& inst : insts_) {
+    os << std::hex << "0x" << inst.pc << std::dec << ": " << inst.to_string() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sigrec::evm

@@ -1,0 +1,46 @@
+// Linear-sweep disassembler (the strategy Geth's disassembler uses, which is
+// what the paper feeds into SigRec).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "evm/bytecode.hpp"
+#include "evm/opcodes.hpp"
+#include "evm/u256.hpp"
+
+namespace sigrec::evm {
+
+struct Instruction {
+  std::size_t pc = 0;   // byte offset of the opcode
+  Opcode op = Opcode::STOP;
+  U256 immediate;       // PUSH payload (zero-extended), 0 otherwise
+  std::uint8_t size = 1;  // total length incl. immediate bytes
+
+  [[nodiscard]] const OpInfo& info() const { return op_info(op); }
+  [[nodiscard]] bool is_push() const { return evm::is_push(op); }
+  [[nodiscard]] std::size_t next_pc() const { return pc + size; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+class Disassembly {
+ public:
+  explicit Disassembly(const Bytecode& code);
+
+  [[nodiscard]] const std::vector<Instruction>& instructions() const { return insts_; }
+  // Instruction starting at byte offset `pc`, or nullptr when pc falls inside
+  // an immediate / past the end.
+  [[nodiscard]] const Instruction* at_pc(std::size_t pc) const;
+  // Index into instructions() for byte offset `pc`, or npos.
+  [[nodiscard]] std::size_t index_of_pc(std::size_t pc) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Instruction> insts_;
+  std::vector<std::size_t> pc_to_index_;  // npos for non-instruction offsets
+};
+
+}  // namespace sigrec::evm

@@ -1,0 +1,312 @@
+#include "evm/interpreter.hpp"
+
+#include <algorithm>
+
+#include "evm/keccak.hpp"
+#include "evm/opcodes.hpp"
+
+namespace sigrec::evm {
+
+namespace {
+
+constexpr std::size_t kMaxStack = 1024;
+constexpr std::size_t kMaxMemory = 1 << 22;  // 4 MiB cap; the EVM has gas, we have this
+
+class Machine {
+ public:
+  Machine(const Bytecode& code, const Env& env, std::span<const std::uint8_t> calldata,
+          std::uint64_t step_limit, std::unordered_map<U256, U256> storage)
+      : code_(code),
+        env_(env),
+        calldata_(calldata),
+        step_limit_(step_limit),
+        storage_(std::move(storage)) {}
+
+  ExecResult run();
+
+ private:
+  bool push(const U256& v) {
+    if (stack_.size() >= kMaxStack) return false;
+    stack_.push_back(v);
+    return true;
+  }
+  bool pop(U256& out) {
+    if (stack_.empty()) return false;
+    out = stack_.back();
+    stack_.pop_back();
+    return true;
+  }
+  bool ensure_memory(std::size_t end) {
+    if (end > kMaxMemory) return false;
+    if (end > memory_.size()) memory_.resize(((end + 31) / 32) * 32, 0);
+    return true;
+  }
+  U256 mload(std::size_t off) {
+    if (!ensure_memory(off + 32)) return U256(0);
+    return U256::from_be_bytes(std::span<const std::uint8_t>(memory_).subspan(off, 32));
+  }
+  bool mstore(std::size_t off, const U256& v) {
+    if (!ensure_memory(off + 32)) return false;
+    v.to_be_bytes(std::span<std::uint8_t, 32>(memory_.data() + off, 32));
+    return true;
+  }
+  // Reads 32 bytes of call data at `off`, zero-padded past the end.
+  U256 calldataload(const U256& off) const {
+    std::array<std::uint8_t, 32> buf{};
+    if (off.fits_u64()) {
+      std::uint64_t o = off.as_u64();
+      for (std::size_t i = 0; i < 32; ++i) {
+        if (o + i < calldata_.size()) buf[i] = calldata_[o + i];
+      }
+    }
+    return U256::from_be_bytes(buf);
+  }
+
+  const Bytecode& code_;
+  const Env& env_;
+  std::span<const std::uint8_t> calldata_;
+  std::uint64_t step_limit_;
+  std::unordered_map<U256, U256> storage_;
+
+  std::vector<U256> stack_;
+  Bytes memory_;
+  ExecResult result_;
+};
+
+ExecResult Machine::run() {
+  const auto code = code_.bytes();
+  std::size_t pc = 0;
+  auto fail = [&]() {
+    result_.halt = Halt::Invalid;
+    return std::move(result_);
+  };
+
+  while (true) {
+    if (pc >= code.size()) {
+      result_.halt = Halt::Stop;
+      return std::move(result_);
+    }
+    if (++result_.steps > step_limit_) {
+      result_.halt = Halt::StepLimit;
+      return std::move(result_);
+    }
+    result_.coverage.insert(pc);
+
+    std::uint8_t byte = code[pc];
+    const OpInfo& info = op_info(byte);
+    if (!info.defined) return fail();
+    if (stack_.size() < info.inputs) return fail();
+
+    Opcode op = static_cast<Opcode>(byte);
+    std::size_t next = pc + 1 + push_size(byte);
+
+    if (is_push(byte)) {
+      unsigned n = push_size(byte);
+      std::size_t avail = std::min<std::size_t>(n, code.size() - pc - 1);
+      U256 v = U256::from_be_bytes(code.subspan(pc + 1, avail));
+      if (avail < n) v = v.shl(8 * static_cast<unsigned>(n - avail));
+      if (!push(v)) return fail();
+      pc = next;
+      continue;
+    }
+    if (is_dup(byte)) {
+      unsigned d = dup_depth(byte);
+      if (!push(stack_[stack_.size() - d])) return fail();
+      pc = next;
+      continue;
+    }
+    if (is_swap(byte)) {
+      unsigned d = swap_depth(byte);
+      std::swap(stack_.back(), stack_[stack_.size() - 1 - d]);
+      pc = next;
+      continue;
+    }
+
+    U256 a, b, c;
+    switch (op) {
+      case Opcode::STOP:
+        result_.halt = Halt::Stop;
+        return std::move(result_);
+      case Opcode::ADD: pop(a); pop(b); push(a + b); break;
+      case Opcode::MUL: pop(a); pop(b); push(a * b); break;
+      case Opcode::SUB: pop(a); pop(b); push(a - b); break;
+      case Opcode::DIV: pop(a); pop(b); push(a / b); break;
+      case Opcode::SDIV: pop(a); pop(b); push(a.sdiv(b)); break;
+      case Opcode::MOD: pop(a); pop(b); push(a % b); break;
+      case Opcode::SMOD: pop(a); pop(b); push(a.smod(b)); break;
+      case Opcode::ADDMOD: pop(a); pop(b); pop(c); push(a.addmod(b, c)); break;
+      case Opcode::MULMOD: pop(a); pop(b); pop(c); push(a.mulmod(b, c)); break;
+      case Opcode::EXP: pop(a); pop(b); push(a.exp(b)); break;
+      case Opcode::SIGNEXTEND: pop(a); pop(b); push(b.signextend(a)); break;
+      case Opcode::LT: pop(a); pop(b); push(U256(a < b ? 1 : 0)); break;
+      case Opcode::GT: pop(a); pop(b); push(U256(a > b ? 1 : 0)); break;
+      case Opcode::SLT: pop(a); pop(b); push(U256(a.slt(b) ? 1 : 0)); break;
+      case Opcode::SGT: pop(a); pop(b); push(U256(a.sgt(b) ? 1 : 0)); break;
+      case Opcode::EQ: pop(a); pop(b); push(U256(a == b ? 1 : 0)); break;
+      case Opcode::ISZERO: pop(a); push(U256(a.is_zero() ? 1 : 0)); break;
+      case Opcode::AND: pop(a); pop(b); push(a & b); break;
+      case Opcode::OR: pop(a); pop(b); push(a | b); break;
+      case Opcode::XOR: pop(a); pop(b); push(a ^ b); break;
+      case Opcode::NOT: pop(a); push(~a); break;
+      case Opcode::BYTE: pop(a); pop(b); push(b.byte(a)); break;
+      case Opcode::SHL: pop(a); pop(b); push(b.shl(a)); break;
+      case Opcode::SHR: pop(a); pop(b); push(b.shr(a)); break;
+      case Opcode::SAR: pop(a); pop(b); push(b.sar(a)); break;
+      case Opcode::SHA3: {
+        pop(a); pop(b);
+        if (!a.fits_u64() || !b.fits_u64()) return fail();
+        std::size_t off = a.as_u64(), len = b.as_u64();
+        if (!ensure_memory(off + len)) return fail();
+        Hash256 h = keccak256(std::span<const std::uint8_t>(memory_).subspan(off, len));
+        push(U256::from_be_bytes(h));
+        break;
+      }
+      case Opcode::ADDRESS: push(env_.address); break;
+      case Opcode::BALANCE: pop(a); push(U256(1)); break;
+      case Opcode::ORIGIN: push(env_.origin); break;
+      case Opcode::CALLER: push(env_.caller); break;
+      case Opcode::CALLVALUE: push(env_.callvalue); break;
+      case Opcode::CALLDATALOAD: pop(a); push(calldataload(a)); break;
+      case Opcode::CALLDATASIZE: push(U256(calldata_.size())); break;
+      case Opcode::CALLDATACOPY: {
+        pop(a); pop(b); pop(c);  // destOffset, offset, length
+        if (!a.fits_u64() || !c.fits_u64()) return fail();
+        std::size_t dst = a.as_u64(), len = c.as_u64();
+        if (!ensure_memory(dst + len)) return fail();
+        for (std::size_t i = 0; i < len; ++i) {
+          std::uint64_t src = b.fits_u64() ? b.as_u64() + i : ~0ULL;
+          memory_[dst + i] = src < calldata_.size() ? calldata_[src] : 0;
+        }
+        break;
+      }
+      case Opcode::CODESIZE: push(U256(code.size())); break;
+      case Opcode::CODECOPY: {
+        pop(a); pop(b); pop(c);
+        if (!a.fits_u64() || !c.fits_u64()) return fail();
+        std::size_t dst = a.as_u64(), len = c.as_u64();
+        if (!ensure_memory(dst + len)) return fail();
+        for (std::size_t i = 0; i < len; ++i) {
+          std::uint64_t src = b.fits_u64() ? b.as_u64() + i : ~0ULL;
+          memory_[dst + i] = src < code.size() ? code[src] : 0;
+        }
+        break;
+      }
+      case Opcode::GASPRICE: push(env_.gasprice); break;
+      case Opcode::EXTCODESIZE: pop(a); push(U256(0)); break;
+      case Opcode::EXTCODECOPY: pop(a); pop(a); pop(a); pop(a); break;
+      case Opcode::RETURNDATASIZE: push(U256(0)); break;
+      case Opcode::RETURNDATACOPY: pop(a); pop(b); pop(c); break;
+      case Opcode::EXTCODEHASH: pop(a); push(U256(0)); break;
+      case Opcode::BLOCKHASH: pop(a); push(U256(0)); break;
+      case Opcode::COINBASE: push(U256(0)); break;
+      case Opcode::TIMESTAMP: push(env_.timestamp); break;
+      case Opcode::NUMBER: push(env_.number); break;
+      case Opcode::DIFFICULTY: push(U256(0)); break;
+      case Opcode::GASLIMIT: push(U256(30000000)); break;
+      case Opcode::CHAINID: push(env_.chainid); break;
+      case Opcode::SELFBALANCE: push(U256(1)); break;
+      case Opcode::POP: pop(a); break;
+      case Opcode::MLOAD:
+        pop(a);
+        if (!a.fits_u64()) return fail();
+        push(mload(a.as_u64()));
+        break;
+      case Opcode::MSTORE:
+        pop(a); pop(b);
+        if (!a.fits_u64() || !mstore(a.as_u64(), b)) return fail();
+        break;
+      case Opcode::MSTORE8:
+        pop(a); pop(b);
+        if (!a.fits_u64() || !ensure_memory(a.as_u64() + 1)) return fail();
+        memory_[a.as_u64()] = static_cast<std::uint8_t>(b.as_u64() & 0xff);
+        break;
+      case Opcode::SLOAD: {
+        pop(a);
+        auto it = storage_.find(a);
+        push(it == storage_.end() ? U256(0) : it->second);
+        break;
+      }
+      case Opcode::SSTORE:
+        pop(a); pop(b);
+        storage_[a] = b;
+        result_.storage_writes[a] = b;
+        break;
+      case Opcode::JUMP:
+        pop(a);
+        if (!a.fits_u64() || !code_.is_jumpdest(a.as_u64())) return fail();
+        pc = a.as_u64();
+        continue;
+      case Opcode::JUMPI:
+        pop(a); pop(b);
+        if (!b.is_zero()) {
+          if (!a.fits_u64() || !code_.is_jumpdest(a.as_u64())) return fail();
+          pc = a.as_u64();
+          continue;
+        }
+        break;
+      case Opcode::PC: push(U256(pc)); break;
+      case Opcode::MSIZE: push(U256(memory_.size())); break;
+      case Opcode::GAS: push(U256(1000000)); break;
+      case Opcode::JUMPDEST: break;
+      case Opcode::LOG0:
+      case Opcode::LOG1:
+      case Opcode::LOG2:
+      case Opcode::LOG3:
+      case Opcode::LOG4: {
+        unsigned topics = byte - static_cast<std::uint8_t>(Opcode::LOG0);
+        pop(a); pop(b);  // offset, length — data ignored
+        for (unsigned i = 0; i < topics; ++i) {
+          pop(c);
+          result_.log_topics.push_back(c);
+        }
+        break;
+      }
+      case Opcode::CREATE:
+      case Opcode::CREATE2:
+        for (unsigned i = 0; i < info.inputs; ++i) pop(a);
+        push(U256(0));
+        break;
+      case Opcode::CALL:
+      case Opcode::CALLCODE:
+      case Opcode::DELEGATECALL:
+      case Opcode::STATICCALL:
+        for (unsigned i = 0; i < info.inputs; ++i) pop(a);
+        push(U256(1));  // external calls vacuously succeed
+        break;
+      case Opcode::RETURN: {
+        pop(a); pop(b);
+        if (a.fits_u64() && b.fits_u64() && ensure_memory(a.as_u64() + b.as_u64())) {
+          result_.return_data.assign(memory_.begin() + static_cast<std::ptrdiff_t>(a.as_u64()),
+                                     memory_.begin() + static_cast<std::ptrdiff_t>(a.as_u64() + b.as_u64()));
+        }
+        result_.halt = Halt::Return;
+        return std::move(result_);
+      }
+      case Opcode::REVERT: {
+        pop(a); pop(b);
+        if (a.fits_u64() && b.fits_u64() && ensure_memory(a.as_u64() + b.as_u64())) {
+          result_.return_data.assign(memory_.begin() + static_cast<std::ptrdiff_t>(a.as_u64()),
+                                     memory_.begin() + static_cast<std::ptrdiff_t>(a.as_u64() + b.as_u64()));
+        }
+        result_.halt = Halt::Revert;
+        return std::move(result_);
+      }
+      case Opcode::INVALID:
+      case Opcode::SELFDESTRUCT:
+        result_.halt = Halt::Invalid;
+        return std::move(result_);
+      default:
+        return fail();
+    }
+    pc = next;
+  }
+}
+
+}  // namespace
+
+ExecResult Interpreter::execute(std::span<const std::uint8_t> calldata) const {
+  Machine m(code_, env_, calldata, step_limit_, storage_seed_);
+  return m.run();
+}
+
+}  // namespace sigrec::evm

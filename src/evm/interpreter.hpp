@@ -1,0 +1,79 @@
+// Concrete EVM interpreter.
+//
+// Executes runtime bytecode against concrete call data. Gas is not metered
+// (irrelevant to signature recovery); instead a step limit bounds execution.
+// Environment opcodes (CALLER, TIMESTAMP, ...) return fixed values from an
+// Env struct, and external calls succeed vacuously — the interpreter exists
+// to drive the fuzzing application (§6.2) and to differentially test the
+// symbolic executor, not to be a full node.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "evm/bytecode.hpp"
+#include "evm/u256.hpp"
+
+namespace sigrec::evm {
+
+struct Env {
+  U256 caller = U256::from_hex("0xca11e4").value();
+  U256 address = U256::from_hex("0xc0de").value();
+  U256 callvalue = 0;
+  U256 timestamp = 1700000000;
+  U256 number = 17000000;
+  U256 origin = U256::from_hex("0x04191a").value();
+  U256 gasprice = 1;
+  U256 chainid = 1;
+};
+
+enum class Halt {
+  Stop,        // STOP or fell off the end of the code
+  Return,      // RETURN
+  Revert,      // REVERT
+  Invalid,     // INVALID opcode, bad jump, stack underflow/overflow, undefined op
+  StepLimit,   // exceeded the step budget
+};
+
+struct ExecResult {
+  Halt halt = Halt::Stop;
+  Bytes return_data;
+  std::uint64_t steps = 0;
+  // Program counters of executed instructions — the fuzzer's coverage signal.
+  std::set<std::size_t> coverage;
+  // SSTOREs performed, for observing state-changing behaviour.
+  std::unordered_map<U256, U256> storage_writes;
+  // Values logged via LOG* (topics flattened), handy for test assertions.
+  std::vector<U256> log_topics;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(const Bytecode& code) : code_(code) {}
+
+  Interpreter& with_env(const Env& env) {
+    env_ = env;
+    return *this;
+  }
+  Interpreter& with_step_limit(std::uint64_t limit) {
+    step_limit_ = limit;
+    return *this;
+  }
+  // Pre-populates contract storage (persists only within one execute call).
+  Interpreter& with_storage(U256 key, U256 value) {
+    storage_seed_.emplace(key, value);
+    return *this;
+  }
+
+  [[nodiscard]] ExecResult execute(std::span<const std::uint8_t> calldata) const;
+
+ private:
+  const Bytecode& code_;
+  Env env_;
+  std::uint64_t step_limit_ = 200000;
+  std::unordered_map<U256, U256> storage_seed_;
+};
+
+}  // namespace sigrec::evm

@@ -1,0 +1,113 @@
+#include "evm/keccak.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace sigrec::evm {
+
+namespace {
+
+constexpr int kRounds = 24;
+constexpr std::size_t kRate = 136;  // bytes, for 256-bit output
+
+constexpr std::array<std::uint64_t, kRounds> kRoundConstants = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL,
+};
+
+constexpr std::array<int, 25> kRotations = {
+    0,  1,  62, 28, 27, 36, 44, 6,  55, 20, 3,  10, 43,
+    25, 39, 41, 45, 15, 21, 8,  18, 2,  61, 56, 14,
+};
+
+void keccak_f1600(std::array<std::uint64_t, 25>& a) {
+  for (int round = 0; round < kRounds; ++round) {
+    // Theta.
+    std::uint64_t c[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = a[static_cast<std::size_t>(x)] ^ a[static_cast<std::size_t>(x + 5)] ^
+             a[static_cast<std::size_t>(x + 10)] ^ a[static_cast<std::size_t>(x + 15)] ^
+             a[static_cast<std::size_t>(x + 20)];
+    }
+    for (int x = 0; x < 5; ++x) {
+      std::uint64_t d = c[(x + 4) % 5] ^ std::rotl(c[(x + 1) % 5], 1);
+      for (int y = 0; y < 5; ++y) a[static_cast<std::size_t>(x + 5 * y)] ^= d;
+    }
+    // Rho and Pi.
+    std::uint64_t b[25];
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        int src = x + 5 * y;
+        int dst = y + 5 * ((2 * x + 3 * y) % 5);
+        b[dst] = std::rotl(a[static_cast<std::size_t>(src)],
+                           kRotations[static_cast<std::size_t>(src)]);
+      }
+    }
+    // Chi.
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) {
+        a[static_cast<std::size_t>(x + 5 * y)] =
+            b[x + 5 * y] ^ (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+      }
+    }
+    // Iota.
+    a[0] ^= kRoundConstants[static_cast<std::size_t>(round)];
+  }
+}
+
+}  // namespace
+
+void Keccak256::absorb_block() {
+  for (std::size_t i = 0; i < kRate / 8; ++i) {
+    std::uint64_t lane;
+    std::memcpy(&lane, buffer_.data() + 8 * i, 8);  // little-endian lanes
+    state_[i] ^= lane;
+  }
+  keccak_f1600(state_);
+  buffered_ = 0;
+}
+
+void Keccak256::update(std::span<const std::uint8_t> data) {
+  for (std::uint8_t byte : data) {
+    buffer_[buffered_++] = byte;
+    if (buffered_ == kRate) absorb_block();
+  }
+}
+
+Hash256 Keccak256::finalize() {
+  // Original Keccak padding: 0x01 ... 0x80 (multi-rate pad10*1).
+  std::memset(buffer_.data() + buffered_, 0, kRate - buffered_);
+  buffer_[buffered_] ^= 0x01;
+  buffer_[kRate - 1] ^= 0x80;
+  buffered_ = kRate;
+  absorb_block();
+
+  Hash256 out;
+  std::memcpy(out.data(), state_.data(), 32);
+  return out;
+}
+
+Hash256 keccak256(std::span<const std::uint8_t> data) {
+  Keccak256 h;
+  h.update(data);
+  return h.finalize();
+}
+
+Hash256 keccak256(std::string_view text) {
+  return keccak256(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+std::uint32_t function_selector(std::string_view canonical_signature) {
+  Hash256 h = keccak256(canonical_signature);
+  return (static_cast<std::uint32_t>(h[0]) << 24) | (static_cast<std::uint32_t>(h[1]) << 16) |
+         (static_cast<std::uint32_t>(h[2]) << 8) | static_cast<std::uint32_t>(h[3]);
+}
+
+}  // namespace sigrec::evm

@@ -1,0 +1,39 @@
+// Keccak-256 as used by Ethereum (the original Keccak submission padding
+// 0x01, *not* the NIST SHA-3 padding 0x06). Function ids are the first four
+// bytes of keccak256(canonical_signature).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace sigrec::evm {
+
+using Hash256 = std::array<std::uint8_t, 32>;
+
+// One-shot hash of a byte buffer.
+[[nodiscard]] Hash256 keccak256(std::span<const std::uint8_t> data);
+[[nodiscard]] Hash256 keccak256(std::string_view text);
+
+// The first 4 bytes of keccak256(signature), big-endian — the "function id"
+// (a.k.a. selector) used in contract dispatchers.
+[[nodiscard]] std::uint32_t function_selector(std::string_view canonical_signature);
+
+// Incremental interface, useful when hashing streamed bytecode.
+class Keccak256 {
+ public:
+  void update(std::span<const std::uint8_t> data);
+  // Finalizes and returns the digest; the object must not be reused after.
+  [[nodiscard]] Hash256 finalize();
+
+ private:
+  void absorb_block();
+
+  std::array<std::uint64_t, 25> state_{};
+  std::array<std::uint8_t, 136> buffer_{};  // rate = 1088 bits for Keccak-256
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace sigrec::evm

@@ -1,0 +1,171 @@
+#include "evm/opcodes.hpp"
+
+#include <array>
+#include <cassert>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+namespace sigrec::evm {
+
+namespace {
+
+struct Entry {
+  std::uint8_t byte;
+  std::string_view name;
+  std::uint8_t inputs;
+  std::uint8_t outputs;
+  bool terminator = false;
+};
+
+constexpr Entry kDefined[] = {
+    {0x00, "STOP", 0, 0, true},
+    {0x01, "ADD", 2, 1},
+    {0x02, "MUL", 2, 1},
+    {0x03, "SUB", 2, 1},
+    {0x04, "DIV", 2, 1},
+    {0x05, "SDIV", 2, 1},
+    {0x06, "MOD", 2, 1},
+    {0x07, "SMOD", 2, 1},
+    {0x08, "ADDMOD", 3, 1},
+    {0x09, "MULMOD", 3, 1},
+    {0x0a, "EXP", 2, 1},
+    {0x0b, "SIGNEXTEND", 2, 1},
+    {0x10, "LT", 2, 1},
+    {0x11, "GT", 2, 1},
+    {0x12, "SLT", 2, 1},
+    {0x13, "SGT", 2, 1},
+    {0x14, "EQ", 2, 1},
+    {0x15, "ISZERO", 1, 1},
+    {0x16, "AND", 2, 1},
+    {0x17, "OR", 2, 1},
+    {0x18, "XOR", 2, 1},
+    {0x19, "NOT", 1, 1},
+    {0x1a, "BYTE", 2, 1},
+    {0x1b, "SHL", 2, 1},
+    {0x1c, "SHR", 2, 1},
+    {0x1d, "SAR", 2, 1},
+    {0x20, "SHA3", 2, 1},
+    {0x30, "ADDRESS", 0, 1},
+    {0x31, "BALANCE", 1, 1},
+    {0x32, "ORIGIN", 0, 1},
+    {0x33, "CALLER", 0, 1},
+    {0x34, "CALLVALUE", 0, 1},
+    {0x35, "CALLDATALOAD", 1, 1},
+    {0x36, "CALLDATASIZE", 0, 1},
+    {0x37, "CALLDATACOPY", 3, 0},
+    {0x38, "CODESIZE", 0, 1},
+    {0x39, "CODECOPY", 3, 0},
+    {0x3a, "GASPRICE", 0, 1},
+    {0x3b, "EXTCODESIZE", 1, 1},
+    {0x3c, "EXTCODECOPY", 4, 0},
+    {0x3d, "RETURNDATASIZE", 0, 1},
+    {0x3e, "RETURNDATACOPY", 3, 0},
+    {0x3f, "EXTCODEHASH", 1, 1},
+    {0x40, "BLOCKHASH", 1, 1},
+    {0x41, "COINBASE", 0, 1},
+    {0x42, "TIMESTAMP", 0, 1},
+    {0x43, "NUMBER", 0, 1},
+    {0x44, "DIFFICULTY", 0, 1},
+    {0x45, "GASLIMIT", 0, 1},
+    {0x46, "CHAINID", 0, 1},
+    {0x47, "SELFBALANCE", 0, 1},
+    {0x50, "POP", 1, 0},
+    {0x51, "MLOAD", 1, 1},
+    {0x52, "MSTORE", 2, 0},
+    {0x53, "MSTORE8", 2, 0},
+    {0x54, "SLOAD", 1, 1},
+    {0x55, "SSTORE", 2, 0},
+    {0x56, "JUMP", 1, 0, true},
+    {0x57, "JUMPI", 2, 0, true},
+    {0x58, "PC", 0, 1},
+    {0x59, "MSIZE", 0, 1},
+    {0x5a, "GAS", 0, 1},
+    {0x5b, "JUMPDEST", 0, 0},
+    {0xa0, "LOG0", 2, 0},
+    {0xa1, "LOG1", 3, 0},
+    {0xa2, "LOG2", 4, 0},
+    {0xa3, "LOG3", 5, 0},
+    {0xa4, "LOG4", 6, 0},
+    {0xf0, "CREATE", 3, 1},
+    {0xf1, "CALL", 7, 1},
+    {0xf2, "CALLCODE", 7, 1},
+    {0xf3, "RETURN", 2, 0, true},
+    {0xf4, "DELEGATECALL", 6, 1},
+    {0xf5, "CREATE2", 4, 1},
+    {0xfa, "STATICCALL", 6, 1},
+    {0xfd, "REVERT", 2, 0, true},
+    {0xfe, "INVALID", 0, 0, true},
+    {0xff, "SELFDESTRUCT", 1, 0, true},
+};
+
+// Names for PUSH/DUP/SWAP and UNKNOWN_xx need storage; build everything once.
+struct Tables {
+  std::array<OpInfo, 256> info;
+  std::array<std::string, 256> names;
+  std::unordered_map<std::string_view, Opcode> by_name;
+
+  Tables() {
+    for (unsigned b = 0; b < 256; ++b) {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "UNKNOWN_%02x", b);
+      names[b] = buf;
+      info[b] = OpInfo{names[b], 0, 0, 0, /*defined=*/false, /*terminator=*/true};
+    }
+    for (const Entry& e : kDefined) {
+      names[e.byte] = std::string(e.name);
+      info[e.byte] = OpInfo{names[e.byte], e.inputs, e.outputs, 0, true, e.terminator};
+    }
+    for (unsigned n = 1; n <= 32; ++n) {
+      unsigned b = 0x5f + n;
+      names[b] = "PUSH" + std::to_string(n);
+      info[b] = OpInfo{names[b], 0, 1, static_cast<std::uint8_t>(n), true, false};
+    }
+    for (unsigned n = 1; n <= 16; ++n) {
+      unsigned b = 0x7f + n;
+      names[b] = "DUP" + std::to_string(n);
+      info[b] = OpInfo{names[b], static_cast<std::uint8_t>(n), static_cast<std::uint8_t>(n + 1),
+                       0, true, false};
+      b = 0x8f + n;
+      names[b] = "SWAP" + std::to_string(n);
+      info[b] = OpInfo{names[b], static_cast<std::uint8_t>(n + 1),
+                       static_cast<std::uint8_t>(n + 1), 0, true, false};
+    }
+    for (unsigned b = 0; b < 256; ++b) {
+      if (info[b].defined) by_name.emplace(names[b], static_cast<Opcode>(b));
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+const OpInfo& op_info(std::uint8_t byte) { return tables().info[byte]; }
+
+Opcode push_op(unsigned n) {
+  assert(n >= 1 && n <= 32);
+  return static_cast<Opcode>(0x5f + n);
+}
+
+Opcode dup_op(unsigned n) {
+  assert(n >= 1 && n <= 16);
+  return static_cast<Opcode>(0x7f + n);
+}
+
+Opcode swap_op(unsigned n) {
+  assert(n >= 1 && n <= 16);
+  return static_cast<Opcode>(0x8f + n);
+}
+
+std::optional<Opcode> opcode_from_name(std::string_view name) {
+  const auto& m = tables().by_name;
+  auto it = m.find(name);
+  if (it == m.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace sigrec::evm

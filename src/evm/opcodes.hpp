@@ -1,0 +1,147 @@
+// The EVM instruction set (Byzantium..Istanbul era, which covers every
+// pattern SigRec needs: SHR/SHL/SAR exist from Constantinople on, and the
+// paper's dispatchers use either DIV or SHR depending on compiler version).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace sigrec::evm {
+
+enum class Opcode : std::uint8_t {
+  STOP = 0x00,
+  ADD = 0x01,
+  MUL = 0x02,
+  SUB = 0x03,
+  DIV = 0x04,
+  SDIV = 0x05,
+  MOD = 0x06,
+  SMOD = 0x07,
+  ADDMOD = 0x08,
+  MULMOD = 0x09,
+  EXP = 0x0a,
+  SIGNEXTEND = 0x0b,
+
+  LT = 0x10,
+  GT = 0x11,
+  SLT = 0x12,
+  SGT = 0x13,
+  EQ = 0x14,
+  ISZERO = 0x15,
+  AND = 0x16,
+  OR = 0x17,
+  XOR = 0x18,
+  NOT = 0x19,
+  BYTE = 0x1a,
+  SHL = 0x1b,
+  SHR = 0x1c,
+  SAR = 0x1d,
+
+  SHA3 = 0x20,
+
+  ADDRESS = 0x30,
+  BALANCE = 0x31,
+  ORIGIN = 0x32,
+  CALLER = 0x33,
+  CALLVALUE = 0x34,
+  CALLDATALOAD = 0x35,
+  CALLDATASIZE = 0x36,
+  CALLDATACOPY = 0x37,
+  CODESIZE = 0x38,
+  CODECOPY = 0x39,
+  GASPRICE = 0x3a,
+  EXTCODESIZE = 0x3b,
+  EXTCODECOPY = 0x3c,
+  RETURNDATASIZE = 0x3d,
+  RETURNDATACOPY = 0x3e,
+  EXTCODEHASH = 0x3f,
+
+  BLOCKHASH = 0x40,
+  COINBASE = 0x41,
+  TIMESTAMP = 0x42,
+  NUMBER = 0x43,
+  DIFFICULTY = 0x44,
+  GASLIMIT = 0x45,
+  CHAINID = 0x46,
+  SELFBALANCE = 0x47,
+
+  POP = 0x50,
+  MLOAD = 0x51,
+  MSTORE = 0x52,
+  MSTORE8 = 0x53,
+  SLOAD = 0x54,
+  SSTORE = 0x55,
+  JUMP = 0x56,
+  JUMPI = 0x57,
+  PC = 0x58,
+  MSIZE = 0x59,
+  GAS = 0x5a,
+  JUMPDEST = 0x5b,
+
+  PUSH1 = 0x60,
+  // PUSH2..PUSH32 are 0x61..0x7f.
+  PUSH32 = 0x7f,
+  DUP1 = 0x80,
+  // DUP2..DUP16 are 0x81..0x8f.
+  DUP16 = 0x8f,
+  SWAP1 = 0x90,
+  // SWAP2..SWAP16 are 0x91..0x9f.
+  SWAP16 = 0x9f,
+
+  LOG0 = 0xa0,
+  LOG1 = 0xa1,
+  LOG2 = 0xa2,
+  LOG3 = 0xa3,
+  LOG4 = 0xa4,
+
+  CREATE = 0xf0,
+  CALL = 0xf1,
+  CALLCODE = 0xf2,
+  RETURN = 0xf3,
+  DELEGATECALL = 0xf4,
+  CREATE2 = 0xf5,
+  STATICCALL = 0xfa,
+  REVERT = 0xfd,
+  INVALID = 0xfe,
+  SELFDESTRUCT = 0xff,
+};
+
+struct OpInfo {
+  std::string_view name;   // mnemonic, "UNKNOWN_xx" for undefined bytes
+  std::uint8_t inputs;     // stack items consumed
+  std::uint8_t outputs;    // stack items produced
+  std::uint8_t immediate;  // trailing immediate bytes (PUSHn only)
+  bool defined;            // false for holes in the opcode map
+  bool terminator;         // ends a basic block (JUMP/RETURN/STOP/...)
+};
+
+// Info for any byte value; undefined bytes get a synthetic UNKNOWN entry with
+// defined == false (executing one halts with an exception, like the EVM).
+[[nodiscard]] const OpInfo& op_info(std::uint8_t byte);
+[[nodiscard]] inline const OpInfo& op_info(Opcode op) {
+  return op_info(static_cast<std::uint8_t>(op));
+}
+
+[[nodiscard]] inline bool is_push(std::uint8_t byte) { return byte >= 0x60 && byte <= 0x7f; }
+[[nodiscard]] inline bool is_push(Opcode op) { return is_push(static_cast<std::uint8_t>(op)); }
+// Number of immediate bytes for PUSHn (1..32); 0 for anything else.
+[[nodiscard]] inline unsigned push_size(std::uint8_t byte) {
+  return is_push(byte) ? byte - 0x5f : 0u;
+}
+[[nodiscard]] inline bool is_dup(std::uint8_t byte) { return byte >= 0x80 && byte <= 0x8f; }
+[[nodiscard]] inline bool is_swap(std::uint8_t byte) { return byte >= 0x90 && byte <= 0x9f; }
+// DUPn / SWAPn depth (1-based).
+[[nodiscard]] inline unsigned dup_depth(std::uint8_t byte) { return byte - 0x7f; }
+[[nodiscard]] inline unsigned swap_depth(std::uint8_t byte) { return byte - 0x8f; }
+
+// PUSHn opcode carrying n immediate bytes (1 <= n <= 32).
+[[nodiscard]] Opcode push_op(unsigned n);
+// DUPn / SWAPn opcode (1 <= n <= 16).
+[[nodiscard]] Opcode dup_op(unsigned n);
+[[nodiscard]] Opcode swap_op(unsigned n);
+
+// Reverse lookup by mnemonic (exact match, including PUSH5 etc.).
+[[nodiscard]] std::optional<Opcode> opcode_from_name(std::string_view name);
+
+}  // namespace sigrec::evm

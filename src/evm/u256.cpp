@@ -1,0 +1,332 @@
+#include "evm/u256.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace sigrec::evm {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::optional<U256> U256::from_hex(std::string_view hex) {
+  if (hex.starts_with("0x") || hex.starts_with("0X")) hex.remove_prefix(2);
+  if (hex.empty() || hex.size() > 64) return std::nullopt;
+  U256 r;
+  for (char c : hex) {
+    int d = hex_digit(c);
+    if (d < 0) return std::nullopt;
+    r = r.shl(4u) | U256(static_cast<std::uint64_t>(d));
+  }
+  return r;
+}
+
+U256 U256::from_be_bytes(std::span<const std::uint8_t> bytes) {
+  assert(bytes.size() <= 32);
+  U256 r;
+  for (std::uint8_t b : bytes) r = r.shl(8u) | U256(b);
+  return r;
+}
+
+void U256::to_be_bytes(std::span<std::uint8_t, 32> out) const {
+  for (int i = 0; i < 32; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(limbs_[static_cast<std::size_t>(3 - i / 8)] >> (56 - 8 * (i % 8)));
+  }
+}
+
+std::array<std::uint8_t, 32> U256::be_bytes() const {
+  std::array<std::uint8_t, 32> out{};
+  to_be_bytes(out);
+  return out;
+}
+
+std::string U256::to_hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string s;
+  bool started = false;
+  for (int i = 63; i >= 0; --i) {
+    unsigned nibble = static_cast<unsigned>(
+        (limbs_[static_cast<std::size_t>(i / 16)] >> (4 * (i % 16))) & 0xf);
+    if (nibble != 0) started = true;
+    if (started) s.push_back(kDigits[nibble]);
+  }
+  if (!started) s = "0";
+  return "0x" + s;
+}
+
+std::string U256::to_dec() const {
+  if (is_zero()) return "0";
+  std::string digits;
+  U256 v = *this;
+  const U256 ten(10);
+  while (!v.is_zero()) {
+    U256 q = v / ten;
+    U256 r = v - q * ten;
+    digits.push_back(static_cast<char>('0' + r.as_u64()));
+    v = q;
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+int U256::highest_bit() const {
+  for (int i = 3; i >= 0; --i) {
+    if (limbs_[static_cast<std::size_t>(i)] != 0) {
+      return 64 * i + 63 - std::countl_zero(limbs_[static_cast<std::size_t>(i)]);
+    }
+  }
+  return -1;
+}
+
+std::strong_ordering operator<=>(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    auto ai = a.limbs_[static_cast<std::size_t>(i)];
+    auto bi = b.limbs_[static_cast<std::size_t>(i)];
+    if (ai != bi) return ai < bi ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  return std::strong_ordering::equal;
+}
+
+bool U256::slt(const U256& other) const {
+  bool sa = sign_bit();
+  bool sb = other.sign_bit();
+  if (sa != sb) return sa;  // negative < non-negative
+  return *this < other;
+}
+
+U256 operator+(const U256& a, const U256& b) {
+  U256 r;
+  u128 carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    u128 s = static_cast<u128>(a.limbs_[i]) + b.limbs_[i] + carry;
+    r.limbs_[i] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  return r;
+}
+
+U256 operator-(const U256& a, const U256& b) { return a + (~b + U256(1)); }
+
+U256 operator*(const U256& a, const U256& b) {
+  // Schoolbook multiplication on 64-bit limbs, truncated to 256 bits.
+  std::array<std::uint64_t, 4> r{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    u128 carry = 0;
+    for (std::size_t j = 0; i + j < 4; ++j) {
+      u128 cur = static_cast<u128>(a.limbs_[i]) * b.limbs_[j] + r[i + j] + carry;
+      r[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+  }
+  return U256::from_limbs(r[0], r[1], r[2], r[3]);
+}
+
+namespace {
+
+// Shift-subtract long division; quotient in q, remainder returned.
+// O(bit-length) — division is rare on EVM hot paths, so clarity wins.
+U256 divmod(const U256& a, const U256& b, U256& q) {
+  q = U256(0);
+  if (b.is_zero()) return U256(0);  // EVM: x / 0 == 0, x % 0 == 0
+  if (a < b) return a;
+  if (b.fits_u64() && a.fits_u64()) {
+    q = U256(a.as_u64() / b.as_u64());
+    return U256(a.as_u64() % b.as_u64());
+  }
+  U256 rem(0);
+  int top = a.highest_bit();
+  for (int i = top; i >= 0; --i) {
+    rem = rem.shl(1u);
+    if (a.bit(static_cast<unsigned>(i))) rem = rem | U256(1);
+    if (!(rem < b)) {
+      rem = rem - b;
+      q = q | U256::pow2(static_cast<unsigned>(i));
+    }
+  }
+  return rem;
+}
+
+}  // namespace
+
+U256 operator/(const U256& a, const U256& b) {
+  U256 q;
+  divmod(a, b, q);
+  return q;
+}
+
+U256 operator%(const U256& a, const U256& b) {
+  U256 q;
+  return divmod(a, b, q);
+}
+
+U256 U256::sdiv(const U256& b) const {
+  if (b.is_zero()) return U256(0);
+  // EVM special case: MIN_INT / -1 == MIN_INT (overflow wraps).
+  const U256 min_int = from_limbs(0, 0, 0, 0x8000000000000000ULL);
+  if (*this == min_int && b == max()) return min_int;
+  U256 ua = sign_bit() ? negate() : *this;
+  U256 ub = b.sign_bit() ? b.negate() : b;
+  U256 q = ua / ub;
+  return (sign_bit() != b.sign_bit()) ? q.negate() : q;
+}
+
+U256 U256::smod(const U256& b) const {
+  if (b.is_zero()) return U256(0);
+  U256 ua = sign_bit() ? negate() : *this;
+  U256 ub = b.sign_bit() ? b.negate() : b;
+  U256 r = ua % ub;
+  return sign_bit() ? r.negate() : r;  // result takes the sign of the dividend
+}
+
+U256 U256::addmod(const U256& b, const U256& n) const {
+  if (n.is_zero()) return U256(0);
+  // Compute (a + b) mod n with the 257-bit intermediate handled via the carry.
+  U256 s = *this + b;
+  bool carry = s < *this;
+  U256 r = s % n;
+  if (carry) {
+    // True sum is s + 2^256; fold in 2^256 mod n.
+    U256 two_pow = (max() % n) + U256(1);
+    if (!(two_pow < n)) two_pow = two_pow - n;
+    U256 sum2 = r + two_pow;
+    // r, two_pow < n so the true value is < 2n; one conditional subtraction
+    // suffices, including when the 256-bit addition itself wrapped.
+    bool wrapped = sum2 < r;
+    if (wrapped || !(sum2 < n)) sum2 = sum2 - n;
+    r = sum2;
+  }
+  return r;
+}
+
+U256 U256::mulmod(const U256& b, const U256& n) const {
+  if (n.is_zero()) return U256(0);
+  // Russian-peasant multiplication mod n; avoids needing a 512-bit product.
+  U256 result(0);
+  U256 x = *this % n;
+  U256 y = b;
+  while (!y.is_zero()) {
+    if (y.bit(0)) {
+      result = result + x;
+      if (result < x || !(result < n)) result = result - n;  // handle wrap
+    }
+    y = y.shr(1u);
+    U256 x2 = x + x;
+    if (x2 < x || !(x2 < n)) x2 = x2 - n;
+    x = x2;
+  }
+  return result % n;
+}
+
+U256 U256::exp(const U256& e) const {
+  U256 base = *this;
+  U256 result(1);
+  U256 ee = e;
+  while (!ee.is_zero()) {
+    if (ee.bit(0)) result = result * base;
+    base = base * base;
+    ee = ee.shr(1u);
+  }
+  return result;
+}
+
+U256 U256::shl(unsigned n) const {
+  if (n >= 256) return U256(0);
+  U256 r;
+  unsigned limb_shift = n / 64;
+  unsigned bit_shift = n % 64;
+  for (int i = 3; i >= 0; --i) {
+    auto idx = static_cast<std::size_t>(i);
+    std::uint64_t v = 0;
+    if (idx >= limb_shift) {
+      v = limbs_[idx - limb_shift] << bit_shift;
+      if (bit_shift != 0 && idx > limb_shift) {
+        v |= limbs_[idx - limb_shift - 1] >> (64 - bit_shift);
+      }
+    }
+    r.limbs_[idx] = v;
+  }
+  return r;
+}
+
+U256 U256::shr(unsigned n) const {
+  if (n >= 256) return U256(0);
+  U256 r;
+  unsigned limb_shift = n / 64;
+  unsigned bit_shift = n % 64;
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t v = 0;
+    if (i + limb_shift < 4) {
+      v = limbs_[i + limb_shift] >> bit_shift;
+      if (bit_shift != 0 && i + limb_shift + 1 < 4) {
+        v |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+      }
+    }
+    r.limbs_[i] = v;
+  }
+  return r;
+}
+
+U256 U256::sar(unsigned n) const {
+  if (!sign_bit()) return shr(n);
+  if (n >= 256) return max();
+  // Arithmetic shift of a negative value: shift then fill the top n bits.
+  return shr(n) | (n == 0 ? U256(0) : ones(n).shl(256 - n));
+}
+
+U256 U256::shl(const U256& n) const { return n.fits_u64() && n.as_u64() < 256 ? shl(static_cast<unsigned>(n.as_u64())) : U256(0); }
+U256 U256::shr(const U256& n) const { return n.fits_u64() && n.as_u64() < 256 ? shr(static_cast<unsigned>(n.as_u64())) : U256(0); }
+U256 U256::sar(const U256& n) const {
+  if (n.fits_u64() && n.as_u64() < 256) return sar(static_cast<unsigned>(n.as_u64()));
+  return sign_bit() ? max() : U256(0);
+}
+
+U256 U256::byte(const U256& i) const {
+  if (!i.fits_u64() || i.as_u64() >= 32) return U256(0);
+  auto idx = static_cast<unsigned>(i.as_u64());
+  return shr(8 * (31 - idx)) & U256(0xff);
+}
+
+U256 U256::signextend(const U256& k) const {
+  if (!k.fits_u64() || k.as_u64() >= 31) return *this;
+  auto kb = static_cast<unsigned>(k.as_u64());
+  unsigned sign_pos = 8 * (kb + 1) - 1;
+  if (bit(sign_pos)) return *this | ones(256 - sign_pos - 1).shl(sign_pos + 1);
+  return *this & ones(sign_pos + 1);
+}
+
+U256 U256::ones(unsigned n) {
+  if (n >= 256) return max();
+  if (n == 0) return U256(0);
+  return pow2(n) - U256(1);
+}
+
+U256 U256::pow2(unsigned n) {
+  assert(n < 256);
+  U256 r;
+  r.limbs_[n / 64] = 1ULL << (n % 64);
+  return r;
+}
+
+std::size_t U256::hash() const {
+  // FNV-style mix over limbs.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint64_t l : limbs_) {
+    h ^= l;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace sigrec::evm

@@ -1,0 +1,142 @@
+// 256-bit unsigned integer arithmetic, the EVM machine word.
+//
+// Semantics follow the EVM exactly: all arithmetic is modulo 2^256, division
+// by zero yields zero (the EVM never traps on DIV/MOD), and signed operations
+// (SDIV, SMOD, SLT, SGT, SAR, SIGNEXTEND) interpret the word as two's
+// complement.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace sigrec::evm {
+
+class U256 {
+ public:
+  constexpr U256() = default;
+  constexpr U256(std::uint64_t v) : limbs_{v, 0, 0, 0} {}  // NOLINT(google-explicit-constructor)
+
+  // Limbs are little-endian: limb(0) holds bits 0..63.
+  static constexpr U256 from_limbs(std::uint64_t l0, std::uint64_t l1,
+                                   std::uint64_t l2, std::uint64_t l3) {
+    U256 r;
+    r.limbs_ = {l0, l1, l2, l3};
+    return r;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t limb(int i) const { return limbs_[static_cast<std::size_t>(i)]; }
+
+  // Parses an optionally 0x-prefixed hex string. Returns nullopt on invalid
+  // characters or overflow (more than 64 hex digits).
+  static std::optional<U256> from_hex(std::string_view hex);
+
+  // Big-endian bytes, at most 32; shorter inputs are left-padded with zeros,
+  // matching how the EVM loads immediates (PUSHn).
+  static U256 from_be_bytes(std::span<const std::uint8_t> bytes);
+
+  // Writes the value as exactly 32 big-endian bytes.
+  void to_be_bytes(std::span<std::uint8_t, 32> out) const;
+  [[nodiscard]] std::array<std::uint8_t, 32> be_bytes() const;
+
+  [[nodiscard]] std::string to_hex() const;          // minimal, 0x-prefixed
+  [[nodiscard]] std::string to_dec() const;          // decimal
+
+  [[nodiscard]] constexpr bool is_zero() const {
+    return (limbs_[0] | limbs_[1] | limbs_[2] | limbs_[3]) == 0;
+  }
+  // True iff the value fits in 64 bits.
+  [[nodiscard]] constexpr bool fits_u64() const {
+    return (limbs_[1] | limbs_[2] | limbs_[3]) == 0;
+  }
+  [[nodiscard]] constexpr std::uint64_t as_u64() const { return limbs_[0]; }
+
+  [[nodiscard]] constexpr bool bit(unsigned i) const {
+    return i < 256 && ((limbs_[i / 64] >> (i % 64)) & 1) != 0;
+  }
+  // Index of the highest set bit, or -1 for zero.
+  [[nodiscard]] int highest_bit() const;
+  [[nodiscard]] constexpr bool sign_bit() const { return (limbs_[3] >> 63) != 0; }
+
+  friend constexpr bool operator==(const U256&, const U256&) = default;
+  friend std::strong_ordering operator<=>(const U256& a, const U256& b);
+
+  // Signed (two's complement) comparison: SLT / SGT.
+  [[nodiscard]] bool slt(const U256& other) const;
+  [[nodiscard]] bool sgt(const U256& other) const { return other.slt(*this); }
+
+  friend U256 operator+(const U256& a, const U256& b);
+  friend U256 operator-(const U256& a, const U256& b);
+  friend U256 operator*(const U256& a, const U256& b);
+  friend U256 operator/(const U256& a, const U256& b);  // 0 if b == 0
+  friend U256 operator%(const U256& a, const U256& b);  // 0 if b == 0
+
+  U256& operator+=(const U256& b) { return *this = *this + b; }
+  U256& operator-=(const U256& b) { return *this = *this - b; }
+
+  [[nodiscard]] U256 sdiv(const U256& b) const;
+  [[nodiscard]] U256 smod(const U256& b) const;
+  [[nodiscard]] U256 addmod(const U256& b, const U256& n) const;
+  [[nodiscard]] U256 mulmod(const U256& b, const U256& n) const;
+  [[nodiscard]] U256 exp(const U256& e) const;
+
+  friend constexpr U256 operator&(const U256& a, const U256& b) {
+    return from_limbs(a.limbs_[0] & b.limbs_[0], a.limbs_[1] & b.limbs_[1],
+                      a.limbs_[2] & b.limbs_[2], a.limbs_[3] & b.limbs_[3]);
+  }
+  friend constexpr U256 operator|(const U256& a, const U256& b) {
+    return from_limbs(a.limbs_[0] | b.limbs_[0], a.limbs_[1] | b.limbs_[1],
+                      a.limbs_[2] | b.limbs_[2], a.limbs_[3] | b.limbs_[3]);
+  }
+  friend constexpr U256 operator^(const U256& a, const U256& b) {
+    return from_limbs(a.limbs_[0] ^ b.limbs_[0], a.limbs_[1] ^ b.limbs_[1],
+                      a.limbs_[2] ^ b.limbs_[2], a.limbs_[3] ^ b.limbs_[3]);
+  }
+  friend constexpr U256 operator~(const U256& a) {
+    return from_limbs(~a.limbs_[0], ~a.limbs_[1], ~a.limbs_[2], ~a.limbs_[3]);
+  }
+
+  // Shifts with EVM semantics: shift amounts >= 256 yield 0 (or all-ones /
+  // sign for SAR of a negative value).
+  [[nodiscard]] U256 shl(unsigned n) const;
+  [[nodiscard]] U256 shr(unsigned n) const;
+  [[nodiscard]] U256 sar(unsigned n) const;
+  // Shift-by-U256 variants used by the interpreter (SHL/SHR/SAR opcodes take
+  // the amount from the stack and it may exceed 255).
+  [[nodiscard]] U256 shl(const U256& n) const;
+  [[nodiscard]] U256 shr(const U256& n) const;
+  [[nodiscard]] U256 sar(const U256& n) const;
+
+  // EVM BYTE opcode: the i-th byte counted from the most significant end;
+  // i >= 32 yields 0.
+  [[nodiscard]] U256 byte(const U256& i) const;
+
+  // EVM SIGNEXTEND: extends the sign of the (k+1)-byte-wide low part over the
+  // full word; k >= 31 returns the value unchanged.
+  [[nodiscard]] U256 signextend(const U256& k) const;
+
+  // Canonical masks. ones(n) has the low n bits set (n <= 256).
+  static U256 ones(unsigned n);
+  static constexpr U256 max() { return from_limbs(~0ULL, ~0ULL, ~0ULL, ~0ULL); }
+  // 2^n, n < 256.
+  static U256 pow2(unsigned n);
+
+  [[nodiscard]] U256 negate() const { return U256(0) - *this; }
+
+  // std::hash support.
+  [[nodiscard]] std::size_t hash() const;
+
+ private:
+  std::array<std::uint64_t, 4> limbs_{};
+};
+
+}  // namespace sigrec::evm
+
+template <>
+struct std::hash<sigrec::evm::U256> {
+  std::size_t operator()(const sigrec::evm::U256& v) const noexcept { return v.hash(); }
+};

@@ -1,0 +1,227 @@
+#include "rulegen/rulegen.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "compiler/compile.hpp"
+#include "symexec/executor.hpp"
+
+namespace sigrec::rulegen {
+
+using evm::U256;
+using symexec::Trace;
+using symexec::UseKind;
+
+namespace {
+
+std::string mask_class(const U256& mask) {
+  for (unsigned k = 8; k < 256; k += 8) {
+    if (mask == U256::ones(k)) return "AND(low)";
+  }
+  for (unsigned m = 1; m < 32; ++m) {
+    if (mask == U256::ones(8 * m).shl(256 - 8 * m)) return "AND(high)";
+  }
+  return "AND(other)";
+}
+
+// Renders a trace into an ordered, coarse token sequence. Events are ordered
+// by pc — the static program order of the accessing code.
+Pattern pattern_of_trace(const Trace& trace) {
+  std::map<std::size_t, std::vector<std::string>> by_pc;
+
+  for (const auto& l : trace.loads) {
+    std::string tok = "CALLDATALOAD";
+    if (!l.loc_prov.loads.empty()) tok += "(offset-derived)";
+    for (const auto& g : l.guards) {
+      by_pc[l.pc].push_back(g.bound_symbolic ? "GUARD(sym)" : "GUARD(const)");
+    }
+    by_pc[l.pc].push_back(tok);
+  }
+  for (const auto& c : trace.copies) {
+    std::string tok = "CALLDATACOPY";
+    if (c.len_const) {
+      tok += "(len=const)";
+    } else if (c.len_prov.div32) {
+      tok += "(len=ceil32)";
+    } else if (c.len_prov.mul32) {
+      tok += "(len=num*32)";
+    }
+    for (const auto& g : c.guards) {
+      by_pc[c.pc].push_back(g.bound_symbolic ? "GUARD(sym)" : "GUARD(const)");
+    }
+    by_pc[c.pc].push_back(tok);
+  }
+  for (const auto& u : trace.uses) {
+    switch (u.kind) {
+      case UseKind::Mask: by_pc[u.pc].push_back(mask_class(u.mask)); break;
+      case UseKind::SignExtend: by_pc[u.pc].push_back("SIGNEXTEND"); break;
+      case UseKind::IsZeroPair: by_pc[u.pc].push_back("ISZERO;ISZERO"); break;
+      case UseKind::ByteOp: by_pc[u.pc].push_back("BYTE"); break;
+      case UseKind::Arithmetic: by_pc[u.pc].push_back("ARITH"); break;
+      case UseKind::SignedOp: by_pc[u.pc].push_back("SIGNED-OP"); break;
+      case UseKind::Compare: by_pc[u.pc].push_back("CLAMP"); break;
+    }
+  }
+
+  Pattern out;
+  for (auto& [pc, toks] : by_pc) {
+    for (auto& t : toks) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+Pattern accessing_pattern(const abi::TypePtr& type, const compiler::CompilerConfig& cfg,
+                          bool external) {
+  compiler::FunctionSpec fn;
+  fn.signature.name = "study";
+  fn.signature.parameters = {type};
+  fn.external = external;
+  compiler::ContractSpec spec = compiler::make_contract("study", cfg, {fn});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  symexec::SymExecutor executor(code);
+  Trace trace = executor.run(fn.signature.selector());
+  return pattern_of_trace(trace);
+}
+
+Pattern common_pattern(const std::vector<Pattern>& patterns) {
+  if (patterns.empty()) return {};
+  Pattern acc = patterns.front();
+  // Pairwise LCS fold.
+  for (std::size_t p = 1; p < patterns.size(); ++p) {
+    const Pattern& b = patterns[p];
+    std::size_t n = acc.size();
+    std::size_t m = b.size();
+    std::vector<std::vector<std::size_t>> dp(n + 1, std::vector<std::size_t>(m + 1, 0));
+    for (std::size_t i = 1; i <= n; ++i) {
+      for (std::size_t j = 1; j <= m; ++j) {
+        dp[i][j] = acc[i - 1] == b[j - 1] ? dp[i - 1][j - 1] + 1
+                                          : std::max(dp[i - 1][j], dp[i][j - 1]);
+      }
+    }
+    Pattern lcs;
+    std::size_t i = n;
+    std::size_t j = m;
+    while (i > 0 && j > 0) {
+      if (acc[i - 1] == b[j - 1]) {
+        lcs.push_back(acc[i - 1]);
+        --i;
+        --j;
+      } else if (dp[i - 1][j] >= dp[i][j - 1]) {
+        --i;
+      } else {
+        --j;
+      }
+    }
+    std::reverse(lcs.begin(), lcs.end());
+    acc = std::move(lcs);
+  }
+  return acc;
+}
+
+Pattern pattern_minus(const Pattern& pattern, const Pattern& base) {
+  std::map<std::string, std::size_t> budget;
+  for (const std::string& t : base) ++budget[t];
+  Pattern out;
+  for (const std::string& t : pattern) {
+    auto it = budget.find(t);
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+    } else {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+FamilyStudy run_family(std::string name, const std::vector<std::pair<std::string, abi::TypePtr>>& variants,
+                       const compiler::CompilerConfig& cfg, bool external) {
+  FamilyStudy study;
+  study.family = std::move(name);
+  for (const auto& [vname, type] : variants) {
+    study.variant_names.push_back(vname);
+    study.variants.push_back(accessing_pattern(type, cfg, external));
+  }
+  study.common = common_pattern(study.variants);
+  return study;
+}
+
+}  // namespace
+
+FamilyStudy study_uint_family(bool external) {
+  std::vector<std::pair<std::string, abi::TypePtr>> variants;
+  for (unsigned bits = 8; bits <= 256; bits += 8) {
+    variants.emplace_back("uint" + std::to_string(bits), abi::uint_type(bits));
+  }
+  return run_family("uint(M)", variants, {}, external);
+}
+
+FamilyStudy study_int_family(bool external) {
+  std::vector<std::pair<std::string, abi::TypePtr>> variants;
+  for (unsigned bits = 8; bits <= 256; bits += 8) {
+    variants.emplace_back("int" + std::to_string(bits), abi::int_type(bits));
+  }
+  return run_family("int(M)", variants, {}, external);
+}
+
+FamilyStudy study_fixed_bytes_family(bool external) {
+  std::vector<std::pair<std::string, abi::TypePtr>> variants;
+  for (unsigned m = 1; m <= 32; ++m) {
+    variants.emplace_back("bytes" + std::to_string(m), abi::fixed_bytes_type(m));
+  }
+  return run_family("bytes(M)", variants, {}, external);
+}
+
+FamilyStudy study_static_array_family(bool external, unsigned dims) {
+  std::vector<std::pair<std::string, abi::TypePtr>> variants;
+  for (std::size_t n = 1; n <= 10; ++n) {
+    abi::TypePtr t = abi::uint_type(8);
+    for (unsigned d = 0; d + 1 < dims; ++d) t = abi::array_type(t, 2);
+    t = abi::array_type(t, n);
+    variants.emplace_back(t->display_name(), t);
+  }
+  return run_family("T[N] (" + std::to_string(dims) + "-dim)", variants, {}, external);
+}
+
+FamilyStudy study_dynamic_array_family(bool external) {
+  std::vector<std::pair<std::string, abi::TypePtr>> variants;
+  for (unsigned bits : {8u, 32u, 128u, 256u}) {
+    abi::TypePtr t = abi::array_type(abi::uint_type(bits), std::nullopt);
+    variants.emplace_back(t->display_name(), t);
+  }
+  return run_family("T[]", variants, {}, external);
+}
+
+FamilyStudy study_bytes_string_family(bool external) {
+  std::vector<std::pair<std::string, abi::TypePtr>> variants;
+  variants.emplace_back("bytes", abi::bytes_type());
+  variants.emplace_back("string", abi::string_type());
+  return run_family("bytes/string", variants, {}, external);
+}
+
+FamilyStudy study_vyper_bounded_family() {
+  compiler::CompilerConfig cfg;
+  cfg.dialect = abi::Dialect::Vyper;
+  cfg.version = compiler::CompilerVersion{0, 2, 4};
+  std::vector<std::pair<std::string, abi::TypePtr>> variants;
+  for (std::size_t n = 1; n <= 50; n += 7) {
+    abi::TypePtr t = abi::bounded_bytes_type(n);
+    variants.emplace_back(t->display_name(), t);
+  }
+  return run_family("bytes[maxLen]", variants, cfg, false);
+}
+
+std::string pattern_to_string(const Pattern& pattern) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    if (i) os << " ; ";
+    os << pattern[i];
+  }
+  return os.str();
+}
+
+}  // namespace sigrec::rulegen

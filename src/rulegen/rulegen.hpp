@@ -1,0 +1,64 @@
+// The paper's rule-generation pipeline (§3.1) — the offline study that
+// produced R1-R31. Steps 1-4 were automated in the paper; so are they here:
+//
+//   step 1  generate single-parameter study contracts per type variant
+//           (all widths 8..256, static sizes 1..10, dimensions 1..5)
+//   step 2  collect each variant's accessing pattern (the ordered sequence
+//           of call-data events and type-revealing uses from the symbolic
+//           trace)
+//   step 3  extract the family's COMMON accessing pattern (the subsequence
+//           present in every variant's pattern)
+//   step 4  expose the result for manual rule summarization (step 5)
+//
+// Running this against the synthetic compiler regenerates the observations
+// the rules encode: e.g. the uint family's common pattern is a single
+// CALLDATALOAD followed by a low AND mask; the dynamic-array family's begins
+// with the offset/num CALLDATALOAD pair.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "abi/types.hpp"
+#include "compiler/contract_spec.hpp"
+
+namespace sigrec::rulegen {
+
+// One token of an accessing pattern — a coarse, position-independent
+// rendering of a trace event ("CALLDATALOAD", "AND(low)", "GUARD(sym)", ...).
+using Pattern = std::vector<std::string>;
+
+// Step 2: the accessing pattern of a one-parameter function compiled from
+// `type` under `cfg` (the body contains the full §3.1 access statements).
+Pattern accessing_pattern(const abi::TypePtr& type, const compiler::CompilerConfig& cfg,
+                          bool external);
+
+// Step 3: the longest common subsequence across the family (pairwise-folded;
+// exact for the pattern shapes the generator emits).
+Pattern common_pattern(const std::vector<Pattern>& patterns);
+
+// Pattern difference: tokens of `pattern` minus one occurrence of each token
+// of `base`, preserving order — §3.1's "retaining the instructions in the
+// common accessing pattern but not in the accessing pattern of uint8".
+Pattern pattern_minus(const Pattern& pattern, const Pattern& base);
+
+// A studied family: its name, the variants' patterns and their common core.
+struct FamilyStudy {
+  std::string family;
+  std::vector<std::string> variant_names;
+  std::vector<Pattern> variants;
+  Pattern common;
+};
+
+// Step 1 + 2 + 3 for the families the paper enumerates.
+FamilyStudy study_uint_family(bool external = false);      // uint8..uint256
+FamilyStudy study_int_family(bool external = false);       // int8..int256
+FamilyStudy study_fixed_bytes_family(bool external = false);  // bytes1..bytes32
+FamilyStudy study_static_array_family(bool external, unsigned dims = 1);  // T[1..10]
+FamilyStudy study_dynamic_array_family(bool external);     // uintM[]
+FamilyStudy study_bytes_string_family(bool external);      // bytes, string
+FamilyStudy study_vyper_bounded_family();                  // bytes[1..50]
+
+std::string pattern_to_string(const Pattern& pattern);
+
+}  // namespace sigrec::rulegen

@@ -1,0 +1,120 @@
+#include "sigrec/aggregate.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace sigrec::core {
+
+using abi::Type;
+using abi::TypeKind;
+using abi::TypePtr;
+
+unsigned type_specificity(const Type& type) {
+  switch (type.kind) {
+    case TypeKind::Uint:
+      // uint256 is the no-clue default (R4/R25); narrower widths required a
+      // mask; uint160 additionally required arithmetic evidence.
+      if (type.bits == 256) return 0;
+      if (type.bits == 160) return 3;
+      return 2;
+    case TypeKind::String:
+      return 1;  // the bytes-or-string default
+    case TypeKind::Bytes:
+      return 2;  // required a byte access (R17)
+    case TypeKind::Address:
+      return 2;  // mask seen, no arithmetic — beats uint256, loses to uint160
+    case TypeKind::Int:
+      return type.bits == 256 ? 2 : 3;  // SDIV / SIGNEXTEND evidence
+    case TypeKind::Bool:
+    case TypeKind::FixedBytes:
+    case TypeKind::Decimal:
+      return 3;
+    case TypeKind::BoundedString:
+      return 2;
+    case TypeKind::BoundedBytes:
+      return 3;
+    case TypeKind::Array: {
+      // Arrays inherit their element's confidence, shifted up: structure
+      // evidence (bound checks) already beat any scalar default.
+      return 4 + type_specificity(*type.element);
+    }
+    case TypeKind::Tuple: {
+      unsigned s = 4;
+      for (const TypePtr& m : type.members) s += type_specificity(*m);
+      return s;
+    }
+  }
+  return 0;
+}
+
+RecoveredFunction aggregate_recoveries(const std::vector<RecoveredFunction>& same_selector) {
+  if (same_selector.empty()) {
+    throw std::invalid_argument("aggregate_recoveries: empty input");
+  }
+  for (const RecoveredFunction& fn : same_selector) {
+    if (fn.selector != same_selector.front().selector) {
+      throw std::invalid_argument("aggregate_recoveries: mixed selectors");
+    }
+  }
+
+  // Majority parameter count first — a body reading undeclared words (§5.2
+  // case 1) should not outvote the common shape.
+  std::map<std::size_t, std::size_t> count_votes;
+  for (const RecoveredFunction& fn : same_selector) ++count_votes[fn.parameters.size()];
+  std::size_t best_count = same_selector.front().parameters.size();
+  std::size_t best_votes = 0;
+  for (const auto& [count, votes] : count_votes) {
+    if (votes > best_votes) {
+      best_votes = votes;
+      best_count = count;
+    }
+  }
+
+  RecoveredFunction out;
+  out.selector = same_selector.front().selector;
+  out.dialect = same_selector.front().dialect;
+  out.parameters.resize(best_count);
+
+  for (std::size_t slot = 0; slot < best_count; ++slot) {
+    // Most specific wins; among equals, the most common.
+    std::map<std::string, std::pair<TypePtr, std::size_t>> votes;
+    for (const RecoveredFunction& fn : same_selector) {
+      if (fn.parameters.size() != best_count) continue;
+      const TypePtr& t = fn.parameters[slot];
+      auto [it, inserted] = votes.emplace(t->canonical_name(), std::make_pair(t, 1u));
+      if (!inserted) ++it->second.second;
+    }
+    TypePtr best;
+    unsigned best_spec = 0;
+    std::size_t best_freq = 0;
+    for (const auto& [name, entry] : votes) {
+      unsigned spec = type_specificity(*entry.first);
+      if (best == nullptr || spec > best_spec ||
+          (spec == best_spec && entry.second > best_freq)) {
+        best = entry.first;
+        best_spec = spec;
+        best_freq = entry.second;
+      }
+    }
+    out.parameters[slot] = best != nullptr ? best : abi::uint_type(256);
+  }
+  return out;
+}
+
+std::vector<RecoveredFunction> recover_aggregated(const SigRec& tool,
+                                                  const std::vector<evm::Bytecode>& bytecodes) {
+  std::map<std::uint32_t, std::vector<RecoveredFunction>> by_selector;
+  for (const evm::Bytecode& code : bytecodes) {
+    for (RecoveredFunction& fn : tool.recover(code).functions) {
+      by_selector[fn.selector].push_back(std::move(fn));
+    }
+  }
+  std::vector<RecoveredFunction> out;
+  out.reserve(by_selector.size());
+  for (const auto& [selector, group] : by_selector) {
+    out.push_back(aggregate_recoveries(group));
+  }
+  return out;
+}
+
+}  // namespace sigrec::core

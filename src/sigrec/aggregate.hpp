@@ -1,0 +1,29 @@
+// §7: one function signature usually appears in many deployed contracts,
+// each with a different body. A body that never touches a byte of a bytes
+// parameter recovers it as string; another body of the *same* signature that
+// does touch one recovers bytes. Aggregating recoveries across bodies keeps
+// the most informative answer per parameter.
+#pragma once
+
+#include <vector>
+
+#include "sigrec/sigrec.hpp"
+
+namespace sigrec::core {
+
+// How informative a recovered type is: default fall-backs (uint256 for a
+// basic word, string for an unaccessed bytes/string) rank below any type
+// whose recovery required a positive clue.
+[[nodiscard]] unsigned type_specificity(const abi::Type& type);
+
+// Merges several recoveries of the same selector (from different contract
+// bodies). Parameter lists of the majority length are merged slot-by-slot,
+// keeping the most specific type seen; ties break toward the majority.
+[[nodiscard]] RecoveredFunction aggregate_recoveries(
+    const std::vector<RecoveredFunction>& same_selector);
+
+// Convenience: runs SigRec over many bytecodes and aggregates per selector.
+[[nodiscard]] std::vector<RecoveredFunction> recover_aggregated(
+    const SigRec& tool, const std::vector<evm::Bytecode>& bytecodes);
+
+}  // namespace sigrec::core

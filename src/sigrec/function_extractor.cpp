@@ -1,0 +1,101 @@
+#include "sigrec/function_extractor.hpp"
+
+#include <deque>
+#include <set>
+
+#include "evm/cfg.hpp"
+#include "evm/disassembler.hpp"
+
+namespace sigrec::core {
+
+using evm::Disassembly;
+using evm::Instruction;
+using evm::Opcode;
+
+std::vector<std::uint32_t> extract_function_ids(const evm::Bytecode& code) {
+  Disassembly dis(code);
+  const auto& insts = dis.instructions();
+
+  std::vector<std::uint32_t> ids;
+  std::set<std::uint32_t> seen;
+
+  // A dispatcher arm is `PUSH4 <id>` followed within a couple of
+  // instructions by EQ (or preceded by DUP1 ... EQ) and a JUMPI. Scanning
+  // for PUSH4+EQ keeps us independent of DIV- vs SHR-style extraction and
+  // of the exact DUP shape different compiler versions emit.
+  for (std::size_t i = 0; i + 1 < insts.size(); ++i) {
+    const Instruction& inst = insts[i];
+    if (inst.op != evm::push_op(4)) continue;
+    bool followed_by_eq = false;
+    for (std::size_t j = i + 1; j < insts.size() && j <= i + 2; ++j) {
+      if (insts[j].op == Opcode::EQ) followed_by_eq = true;
+      // Some dispatchers compare with SUB/XOR + ISZERO instead of EQ.
+      if ((insts[j].op == Opcode::SUB || insts[j].op == Opcode::XOR) && j + 1 < insts.size() &&
+          insts[j + 1].op == Opcode::ISZERO) {
+        followed_by_eq = true;
+      }
+    }
+    if (!followed_by_eq) continue;
+    // The comparison must feed a JUMPI within a few instructions.
+    bool reaches_jumpi = false;
+    for (std::size_t j = i + 1; j < insts.size() && j <= i + 5; ++j) {
+      if (insts[j].op == Opcode::JUMPI) reaches_jumpi = true;
+    }
+    if (!reaches_jumpi) continue;
+
+    std::uint32_t id = static_cast<std::uint32_t>(inst.immediate.as_u64());
+    if (seen.insert(id).second) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<DispatchedFunction> extract_dispatch_table(const evm::Bytecode& code) {
+  Disassembly dis(code);
+  evm::Cfg cfg(dis);
+  const auto& insts = dis.instructions();
+
+  // selector -> entry pc via the `PUSH4 id ... PUSH2 entry JUMPI` arm.
+  std::vector<DispatchedFunction> table;
+  std::set<std::uint32_t> seen;
+  for (std::size_t i = 0; i + 2 < insts.size(); ++i) {
+    if (insts[i].op != evm::push_op(4)) continue;
+    for (std::size_t j = i + 1; j < insts.size() && j <= i + 3; ++j) {
+      if (insts[j].op != evm::push_op(2) || j + 1 >= insts.size() ||
+          insts[j + 1].op != Opcode::JUMPI) {
+        continue;
+      }
+      auto id = static_cast<std::uint32_t>(insts[i].immediate.as_u64());
+      if (!seen.insert(id).second) continue;
+      DispatchedFunction fn;
+      fn.selector = id;
+      fn.entry_pc = insts[j].immediate.as_u64();
+      table.push_back(fn);
+    }
+  }
+
+  // Body extent: blocks reachable from the entry block. Shared revert/fail
+  // blocks naturally appear in several bodies; that mirrors reality.
+  for (DispatchedFunction& fn : table) {
+    std::size_t entry_block = cfg.block_at_pc(fn.entry_pc);
+    if (entry_block == evm::Cfg::npos) continue;
+    std::vector<bool> visited(cfg.blocks().size(), false);
+    std::deque<std::size_t> work{entry_block};
+    visited[entry_block] = true;
+    while (!work.empty()) {
+      std::size_t cur = work.front();
+      work.pop_front();
+      fn.block_ids.push_back(cur);
+      const evm::BasicBlock& bb = cfg.blocks()[cur];
+      fn.instruction_count += bb.last - bb.first + 1;
+      for (std::size_t s : bb.successors) {
+        if (!visited[s]) {
+          visited[s] = true;
+          work.push_back(s);
+        }
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace sigrec::core

@@ -1,0 +1,28 @@
+// Function-id extraction from the dispatcher (Supplementary E): scans the
+// disassembly for the `PUSH4 <id> EQ ... JUMPI` comparison chain every
+// Solidity / Vyper dispatcher compiles to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "evm/bytecode.hpp"
+
+namespace sigrec::core {
+
+// Selectors of all public/external functions, in dispatcher order.
+[[nodiscard]] std::vector<std::uint32_t> extract_function_ids(const evm::Bytecode& code);
+
+// Supplementary E's fuller output: the dispatch table with per-function
+// entry points and body extents (blocks reachable from the entry).
+struct DispatchedFunction {
+  std::uint32_t selector = 0;
+  std::size_t entry_pc = 0;
+  std::size_t instruction_count = 0;  // instructions in reachable body blocks
+  std::vector<std::size_t> block_ids;
+};
+
+[[nodiscard]] std::vector<DispatchedFunction> extract_dispatch_table(
+    const evm::Bytecode& code);
+
+}  // namespace sigrec::core

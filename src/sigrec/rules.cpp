@@ -1,0 +1,131 @@
+#include "sigrec/rules.hpp"
+
+#include "evm/u256.hpp"
+
+namespace sigrec::core {
+
+using abi::TypePtr;
+using evm::U256;
+using symexec::UseEvent;
+using symexec::UseKind;
+
+std::string_view rule_name(RuleId id) {
+  static constexpr std::string_view kNames[] = {
+      "R0",  "R1",  "R2",  "R3",  "R4",  "R5",  "R6",  "R7",  "R8",  "R9",  "R10",
+      "R11", "R12", "R13", "R14", "R15", "R16", "R17", "R18", "R19", "R20", "R21",
+      "R22", "R23", "R24", "R25", "R26", "R27", "R28", "R29", "R30", "R31",
+  };
+  return kNames[static_cast<unsigned>(id)];
+}
+
+namespace {
+
+// Classifies an AND mask: returns bit-width k for a low mask ones(k), or 0.
+unsigned low_mask_bits(const U256& mask) {
+  for (unsigned k = 8; k < 256; k += 8) {
+    if (mask == U256::ones(k)) return k;
+  }
+  return 0;
+}
+
+// Returns byte-width M for a high mask ones(8M) << (256-8M), or 0.
+unsigned high_mask_bytes(const U256& mask) {
+  for (unsigned m = 1; m < 32; ++m) {
+    if (mask == U256::ones(8 * m).shl(256 - 8 * m)) return m;
+  }
+  return 0;
+}
+
+TypePtr refine_solidity(const std::vector<const UseEvent*>& uses, RuleStats& stats) {
+  bool has_arithmetic = false;
+  for (const UseEvent* u : uses) has_arithmetic |= (u->kind == UseKind::Arithmetic);
+
+  for (const UseEvent* u : uses) {
+    switch (u->kind) {
+      case UseKind::SignExtend:
+        if (u->signext_k < 31) {
+          stats.hit(RuleId::R13);
+          return abi::int_type(static_cast<unsigned>((u->signext_k + 1) * 8));
+        }
+        break;
+      case UseKind::Mask: {
+        if (unsigned k = low_mask_bits(u->mask); k != 0) {
+          if (k == 160 && !has_arithmetic) {
+            // A 20-byte mask with no arithmetic: an address, not a uint160.
+            stats.hit(RuleId::R16);
+            return abi::address_type();
+          }
+          stats.hit(RuleId::R11);
+          return abi::uint_type(k);
+        }
+        if (unsigned m = high_mask_bytes(u->mask); m != 0) {
+          stats.hit(RuleId::R12);
+          return abi::fixed_bytes_type(m);
+        }
+        break;
+      }
+      case UseKind::IsZeroPair:
+        stats.hit(RuleId::R14);
+        return abi::bool_type();
+      case UseKind::ByteOp:
+        stats.hit(RuleId::R18);
+        return abi::fixed_bytes_type(32);
+      default:
+        break;
+    }
+  }
+  for (const UseEvent* u : uses) {
+    if (u->kind == UseKind::SignedOp) {
+      stats.hit(RuleId::R15);
+      return abi::int_type(256);
+    }
+  }
+  // No refining clue: a 32-byte word defaults to uint256 (R4's resolution).
+  return abi::uint_type(256);
+}
+
+TypePtr refine_vyper(const std::vector<const UseEvent*>& uses, RuleStats& stats) {
+  const U256 kAddressBound = U256::pow2(160);
+  const U256 kInt128Hi = U256::pow2(127);
+  const U256 kDecimalHi = U256::pow2(127) * U256(10000000000ULL);
+
+  for (const UseEvent* u : uses) {
+    if (u->kind != UseKind::Compare) continue;
+    if (u->cmp_signed) {
+      if (u->bound == kDecimalHi || u->bound == kDecimalHi.negate()) {
+        stats.hit(RuleId::R29);
+        return abi::decimal_type();
+      }
+      if (u->bound == kInt128Hi || u->bound == kInt128Hi.negate()) {
+        stats.hit(RuleId::R28);
+        return abi::int_type(128);
+      }
+    } else {
+      if (u->bound == kAddressBound) {
+        stats.hit(RuleId::R27);
+        return abi::address_type();
+      }
+      if (u->bound == U256(2)) {
+        stats.hit(RuleId::R30);
+        return abi::bool_type();
+      }
+    }
+  }
+  for (const UseEvent* u : uses) {
+    if (u->kind == UseKind::ByteOp) {
+      stats.hit(RuleId::R31);
+      return abi::fixed_bytes_type(32);
+    }
+  }
+  return abi::uint_type(256);  // R25's resolution
+}
+
+}  // namespace
+
+TypePtr refine_basic_type(const std::vector<const UseEvent*>& uses, abi::Dialect dialect,
+                          RuleStats& stats) {
+  return dialect == abi::Dialect::Solidity ? refine_solidity(uses, stats)
+                                           : refine_vyper(uses, stats);
+}
+
+}  // namespace sigrec::core

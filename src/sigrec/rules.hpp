@@ -1,0 +1,75 @@
+// The 31 type-inference rules (§3) — identifiers, usage statistics, and the
+// fine-grained refinement shared by TASE step 4.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "abi/types.hpp"
+#include "symexec/state.hpp"
+
+namespace sigrec::core {
+
+// Rule numbering follows the paper. R1-R4: CALLDATALOAD rules; R5-R10, R23:
+// CALLDATACOPY rules; R11-R18, R26-R31: refinement rules; R19-R22, R24-R25:
+// struct/nested/Vyper coarse rules; R20: dialect discrimination.
+enum class RuleId : unsigned {
+  R1 = 1,   // offset + num load pair -> dynamic array/bytes/string
+  R2,       // n-dim dynamic array, external
+  R3,       // n-dim static array, external
+  R4,       // 32-byte basic parameter, default uint256
+  R5,       // dynamic array/bytes/string read by CALLDATACOPY (public)
+  R6,       // 1-dim static array, public
+  R7,       // 1-dim dynamic array, public (copy length = num*32)
+  R8,       // bytes/string, public (copy length ceil-rounded)
+  R9,       // (n+1)-dim static array, public
+  R10,      // (n+1)-dim dynamic array, public
+  R11,      // uint(256-8x) from a low AND mask
+  R12,      // bytes(32-x) from a high AND mask
+  R13,      // int((x+1)*8) from SIGNEXTEND
+  R14,      // bool from ISZERO;ISZERO
+  R15,      // int256 from a signed-only op
+  R16,      // address: 20-byte mask, never in arithmetic
+  R17,      // bytes vs string: individual byte access
+  R18,      // bytes32 from BYTE
+  R19,      // struct-nested array chaining
+  R20,      // Vyper vs Solidity bytecode
+  R21,      // dynamic struct
+  R22,      // nested array
+  R23,      // Vyper fixed-size byte array / string (constant-length copy)
+  R24,      // Vyper fixed-size list
+  R25,      // Vyper basic parameter, default uint256
+  R26,      // Vyper bytes[N] vs string[N]: byte access
+  R27,      // Vyper address clamp (bound 2^160)
+  R28,      // Vyper int128 clamp (bound ±2^127)
+  R29,      // Vyper decimal clamp (bound ±2^127*10^10)
+  R30,      // Vyper bool clamp (bound 2)
+  R31,      // Vyper bytes32 from BYTE
+  kCount,
+};
+
+[[nodiscard]] std::string_view rule_name(RuleId id);
+
+class RuleStats {
+ public:
+  void hit(RuleId id) { counts_[static_cast<unsigned>(id)]++; }
+  [[nodiscard]] std::uint64_t count(RuleId id) const {
+    return counts_[static_cast<unsigned>(id)];
+  }
+  void merge(const RuleStats& other) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  }
+
+ private:
+  std::array<std::uint64_t, static_cast<unsigned>(RuleId::kCount)> counts_{};
+};
+
+// Fine-grained refinement of a basic parameter (TASE step 4) from the set of
+// type-revealing uses attributed to it. `uses` holds pointers into the
+// trace; `dialect` selects the Solidity (R11-R18) or Vyper (R27-R31) rules.
+abi::TypePtr refine_basic_type(const std::vector<const symexec::UseEvent*>& uses,
+                               abi::Dialect dialect, RuleStats& stats);
+
+}  // namespace sigrec::core

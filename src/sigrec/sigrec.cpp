@@ -1,0 +1,53 @@
+#include "sigrec/sigrec.hpp"
+
+#include <chrono>
+
+#include "abi/signature.hpp"
+#include "sigrec/function_extractor.hpp"
+#include "sigrec/tase.hpp"
+
+namespace sigrec::core {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string RecoveredFunction::to_string() const {
+  return abi::selector_to_hex(selector) + "(" + type_list() + ")";
+}
+
+RecoveredFunction SigRec::recover_function(const evm::Bytecode& code, std::uint32_t selector,
+                                           RuleStats* stats) const {
+  double start = now_seconds();
+  symexec::SymExecutor executor(code, limits_);
+  symexec::Trace trace = executor.run(selector);
+  RuleStats local;
+  TaseResult tase = run_tase(trace, stats != nullptr ? *stats : local);
+
+  RecoveredFunction fn;
+  fn.selector = selector;
+  fn.parameters = std::move(tase.parameters);
+  fn.dialect = tase.dialect;
+  fn.seconds = now_seconds() - start;
+  fn.symbolic_steps = trace.total_steps;
+  fn.paths_explored = trace.paths_explored;
+  return fn;
+}
+
+RecoveryResult SigRec::recover(const evm::Bytecode& code) const {
+  double start = now_seconds();
+  RecoveryResult result;
+  for (std::uint32_t selector : extract_function_ids(code)) {
+    result.functions.push_back(recover_function(code, selector, &result.stats));
+  }
+  result.seconds = now_seconds() - start;
+  return result;
+}
+
+}  // namespace sigrec::core

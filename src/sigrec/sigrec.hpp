@@ -1,0 +1,62 @@
+// SigRec — the public API (§4, Fig. 12): runtime bytecode in, recovered
+// function signatures (function id + ordered parameter type list) out.
+//
+//   sigrec::core::SigRec tool;
+//   auto result = tool.recover(bytecode);
+//   for (const auto& fn : result.functions)
+//     std::cout << fn.to_string() << '\n';   // "0xa9059cbb(address,uint256)"
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "abi/types.hpp"
+#include "evm/bytecode.hpp"
+#include "sigrec/rules.hpp"
+#include "symexec/executor.hpp"
+
+namespace sigrec::core {
+
+struct RecoveredFunction {
+  std::uint32_t selector = 0;
+  std::vector<abi::TypePtr> parameters;
+  abi::Dialect dialect = abi::Dialect::Solidity;
+  double seconds = 0;  // recovery time for this function
+  // Exploration cost (the §5.4 analysis: expensive functions are the ones
+  // with many instructions or with uint256 parameters that must be
+  // confirmed by running the whole body).
+  std::uint64_t symbolic_steps = 0;
+  std::uint64_t paths_explored = 0;
+
+  // Display parameter list, e.g. "uint8[],address".
+  [[nodiscard]] std::string type_list() const { return abi::type_list_to_string(parameters); }
+  // "0x<selector>(<types>)".
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct RecoveryResult {
+  std::vector<RecoveredFunction> functions;
+  RuleStats stats;
+  double seconds = 0;  // whole-contract recovery time
+};
+
+class SigRec {
+ public:
+  explicit SigRec(symexec::Limits limits = {}) : limits_(limits) {}
+
+  // Recovers every public/external function found in the dispatcher.
+  [[nodiscard]] RecoveryResult recover(const evm::Bytecode& code) const;
+
+  // Recovers a single function (the selector need not be in the
+  // dispatcher; the symbolic executor simply follows wherever that
+  // selector's path leads).
+  [[nodiscard]] RecoveredFunction recover_function(const evm::Bytecode& code,
+                                                   std::uint32_t selector,
+                                                   RuleStats* stats = nullptr) const;
+
+ private:
+  symexec::Limits limits_;
+};
+
+}  // namespace sigrec::core

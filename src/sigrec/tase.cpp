@@ -1,0 +1,374 @@
+#include "sigrec/tase.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "sigrec/trace_analysis.hpp"
+
+namespace sigrec::core {
+
+using abi::Dialect;
+using abi::TypePtr;
+using evm::U256;
+using symexec::CopyEvent;
+using symexec::GuardInfo;
+using symexec::LoadEvent;
+using symexec::Trace;
+using symexec::UseEvent;
+using symexec::UseKind;
+
+namespace {
+
+// Dimension sizes, outermost first; nullopt = dynamic dimension.
+using Dims = std::vector<std::optional<std::size_t>>;
+
+TypePtr build_array(const Dims& sizes, TypePtr elem) {
+  TypePtr t = std::move(elem);
+  for (auto it = sizes.rbegin(); it != sizes.rend(); ++it) {
+    t = abi::array_type(std::move(t), *it);
+  }
+  return t;
+}
+
+Dims dims_from_guards(const std::vector<GuardInfo>& guards) {
+  Dims sizes;
+  sizes.reserve(guards.size());
+  for (const GuardInfo& g : guards) {
+    if (g.bound_symbolic) {
+      sizes.push_back(std::nullopt);
+    } else {
+      sizes.push_back(g.bound_const);
+    }
+  }
+  return sizes;
+}
+
+bool has_byte_use(const std::vector<const UseEvent*>& uses) {
+  for (const UseEvent* u : uses) {
+    if (u->kind == UseKind::ByteOp) return true;
+  }
+  return false;
+}
+
+class Classifier {
+ public:
+  Classifier(const Trace& trace, RuleStats& stats)
+      : t_(trace), a_(trace), stats_(stats) {}
+
+  TaseResult run() {
+    TaseResult result;
+    // R20: Vyper bytecode lacks the Solidity free-memory-pointer prologue
+    // and clamps parameters with range comparisons instead of masks.
+    bool vyper = !t_.solidity_prologue || a_.has_vyper_clamp();
+    if (vyper) stats_.hit(RuleId::R20);
+    dialect_ = vyper ? Dialect::Vyper : Dialect::Solidity;
+    result.dialect = dialect_;
+
+    classify_guarded_groups();
+    classify_pointer_params();
+    classify_const_copies();
+    classify_basic_params();
+
+    for (const auto& [head, type] : params_) result.parameters.push_back(type);
+    return result;
+  }
+
+ private:
+  // Marks a pointer parameter's whole dependency cone as consumed.
+  void consume_family(std::uint32_t root) {
+    consumed_loads_.insert(root);
+    for (const LoadEvent& l : t_.loads) {
+      if (l.loc_prov.loads.contains(root)) consumed_loads_.insert(l.id);
+    }
+    for (const CopyEvent& c : t_.copies) {
+      if (c.src_prov.loads.contains(root)) consumed_copies_.insert(c.id);
+    }
+  }
+
+  TypePtr refine(const std::vector<const UseEvent*>& uses) {
+    return refine_basic_type(uses, dialect_, stats_);
+  }
+
+  // --- external static arrays (R3) / Vyper fixed lists (R24) ---------------
+  //
+  // Guarded CALLDATALOADs at constant locations whose location does not
+  // depend on any offset field: group them by bound-check chain; each group
+  // is one static array whose start is the smallest location read.
+  void classify_guarded_groups() {
+    std::map<std::vector<std::uint32_t>, std::vector<std::uint32_t>> groups;
+    for (const LoadEvent& l : t_.loads) {
+      if (!l.loc_const || *l.loc_const < 4 || l.guards.empty() ||
+          !l.loc_prov.loads.empty() || consumed_loads_.contains(l.id)) {
+        continue;
+      }
+      bool all_const = true;
+      std::vector<std::uint32_t> key;
+      for (const GuardInfo& g : l.guards) {
+        all_const &= !g.bound_symbolic;
+        key.push_back(g.id);
+      }
+      if (!all_const) continue;  // cannot be a static array
+      groups[key].push_back(l.id);
+    }
+    for (const auto& [key, ids] : groups) {
+      std::uint64_t head = ~0ULL;
+      for (std::uint32_t id : ids) {
+        head = std::min(head, *t_.loads[id].loc_const);
+        consumed_loads_.insert(id);
+      }
+      Dims sizes = dims_from_guards(t_.loads[ids.front()].guards);
+      TypePtr elem = refine(a_.uses_of_loads(ids));
+      stats_.hit(dialect_ == Dialect::Solidity ? RuleId::R3 : RuleId::R24);
+      params_[head] = build_array(sizes, elem);
+    }
+  }
+
+  // --- dynamic / nested / bytes / string / struct parameters ----------------
+  void classify_pointer_params() {
+    for (const LoadEvent& l : t_.loads) {
+      if (!l.loc_const || *l.loc_const < 4 || consumed_loads_.contains(l.id) ||
+          !a_.is_pointer(l.id)) {
+        continue;
+      }
+      TypePtr type = classify_pointer(l.id, /*allow_struct=*/dialect_ == Dialect::Solidity);
+      params_[*l.loc_const] = type;
+    }
+  }
+
+  TypePtr classify_pointer(std::uint32_t root, bool allow_struct) {
+    consume_family(root);
+    const auto& copies = a_.copies_from(root);
+    const auto& loads = a_.loads_from(root);
+
+    if (!copies.empty()) return classify_copied(root, copies);
+    if (!loads.empty()) return classify_loaded(root, loads, allow_struct);
+    // A pointer with no visible consumers — no hints; fall back to uint256.
+    return abi::uint_type(256);
+  }
+
+  // Public-mode dynamic array / bytes / string (copied to memory), or a
+  // Vyper bounded bytes/string.
+  TypePtr classify_copied(std::uint32_t root, const std::vector<std::uint32_t>& copies) {
+    const CopyEvent& c = t_.copies[copies.front()];
+    auto uses = a_.uses_of_copy(c.id);
+
+    if (dialect_ == Dialect::Vyper) {
+      if (c.len_const && *c.len_const >= 32) {
+        // R23: one constant-length copy of num-field + maxLen bytes.
+        stats_.hit(RuleId::R23);
+        std::size_t max_len = *c.len_const - 32;
+        bool is_bytes = has_byte_use(uses);
+        stats_.hit(RuleId::R26);
+        return is_bytes ? abi::bounded_bytes_type(max_len)
+                        : abi::bounded_string_type(max_len);
+      }
+      return abi::uint_type(256);
+    }
+
+    stats_.hit(RuleId::R1);
+    stats_.hit(RuleId::R5);
+
+    // R7: copy length is exactly num*32 -> one-dimensional dynamic array.
+    const symexec::AffineForm& len_form = t_.pool->affine(c.len);
+    if (len_form.terms.size() == 1 && len_form.constant.is_zero()) {
+      const auto& [atom, coeff] = *len_form.terms.begin();
+      if (coeff == U256(32) && t_.load_by_result.contains(atom)) {
+        stats_.hit(RuleId::R7);
+        return abi::array_type(refine(uses), std::nullopt);
+      }
+    }
+    // R8: ceil-rounded copy length -> bytes or string; R17 disambiguates.
+    if (c.len_prov.div32) {
+      stats_.hit(RuleId::R8);
+      if (has_byte_use(uses)) {
+        stats_.hit(RuleId::R17);
+        return abi::bytes_type();
+      }
+      return abi::string_type();
+    }
+    // R10: constant inner length + bound-checked copy loops -> multi-dim
+    // dynamic array.
+    if (c.len_const && !c.guards.empty()) {
+      stats_.hit(RuleId::R10);
+      Dims sizes = dims_from_guards(c.guards);
+      sizes.push_back(*c.len_const / 32);
+      return build_array(sizes, refine(uses));
+    }
+    return abi::string_type();
+  }
+
+  // External-mode / nested arrays, external bytes/string, dynamic structs.
+  TypePtr classify_loaded(std::uint32_t root, const std::vector<std::uint32_t>& loads,
+                          bool allow_struct) {
+    bool any_bound_child = false;
+    std::vector<std::uint32_t> data;
+    for (std::uint32_t id : loads) {
+      if (a_.is_bound(id)) {
+        any_bound_child = true;
+      } else if (!a_.is_pointer(id)) {
+        data.push_back(id);
+      }
+    }
+    bool any_mul32 = false;
+    for (std::uint32_t id : data) any_mul32 |= t_.loads[id].loc_prov.mul32;
+
+    stats_.hit(RuleId::R1);
+
+    // A struct's member heads sit at fixed slots (base+0, base+32, ...)
+    // outside any loop; an array's direct children are a num field (used as
+    // a bound) and loop-indexed reads. Try the struct shape first — structs
+    // with array members also have bound-checked descendants (R21 vs R2).
+    if (allow_struct) {
+      if (TypePtr s = try_struct(root, loads); s != nullptr) return s;
+    }
+
+    if (any_bound_child || any_mul32) {
+      if (!data.empty() && any_mul32) {
+        // Array family: dimensions/bounds from the deepest data load's
+        // bound-check chain (R2 for plain dynamic arrays, R22/R19 for
+        // nested).
+        const LoadEvent* deepest = &t_.loads[data.front()];
+        for (std::uint32_t id : data) {
+          if (t_.loads[id].guards.size() > deepest->guards.size()) {
+            deepest = &t_.loads[id];
+          }
+        }
+        Dims sizes = dims_from_guards(deepest->guards);
+        if (sizes.empty()) sizes.push_back(std::nullopt);
+        unsigned dynamic_dims = 0;
+        for (const auto& s : sizes) dynamic_dims += !s.has_value();
+        bool nested = (dynamic_dims > 1) || (!sizes.empty() && sizes.front().has_value());
+        stats_.hit(nested ? RuleId::R22 : RuleId::R2);
+        return build_array(sizes, refine(a_.uses_of_loads(data)));
+      }
+      if (!data.empty()) {
+        // Guarded item reads without the ×32: individual bytes of a bytes /
+        // string in an external function.
+        if (has_byte_use(a_.uses_of_loads(data))) {
+          stats_.hit(RuleId::R17);
+          return abi::bytes_type();
+        }
+        return abi::string_type();
+      }
+      // Only the num field is read: a dynamic array/bytes/string with no
+      // item access — undecidable, default to string (§5.2 case 5).
+      return abi::string_type();
+    }
+
+    // Offset + num reads with no loop structure: bytes or string; a
+    // single-byte access marks bytes (R17), otherwise string.
+    if (has_byte_use(a_.uses_of_loads(data))) {
+      stats_.hit(RuleId::R17);
+      return abi::bytes_type();
+    }
+    return abi::string_type();
+  }
+
+  // Dynamic struct (R21): member heads at base+0, base+32, ... — loads whose
+  // location is exactly `value(root) + 4 + 32k`.
+  TypePtr try_struct(std::uint32_t root, const std::vector<std::uint32_t>& loads) {
+    // slot index -> (load id, guards present)
+    std::map<std::uint64_t, std::uint32_t> members;
+    std::map<std::vector<std::uint32_t>, std::vector<std::pair<std::uint64_t, std::uint32_t>>>
+        guarded_groups;
+    for (std::uint32_t id : loads) {
+      const LoadEvent& l = t_.loads[id];
+      if (a_.is_bound(id)) continue;  // a num field, not a member head
+      auto off = a_.offset_from(l.loc, root);
+      if (!off || *off < 4) continue;
+      if (l.guards.empty()) {
+        if ((*off - 4) % 32 == 0 && !l.loc_prov.mul32) members.emplace(*off - 4, id);
+      } else if (!a_.is_pointer(id)) {
+        // Inline static-array member: guarded item reads at fixed offsets.
+        std::vector<std::uint32_t> key;
+        bool all_const = true;
+        for (const GuardInfo& g : l.guards) {
+          key.push_back(g.id);
+          all_const &= !g.bound_symbolic;
+        }
+        if (all_const) guarded_groups[key].emplace_back(*off - 4, id);
+      }
+    }
+    if (members.empty() && guarded_groups.empty()) return nullptr;
+    // A dynamic struct always contains a dynamic member (otherwise it would
+    // be flattened), so require an offset-typed member or several members —
+    // a lone word at slot 0 is a num field, not a struct.
+    bool any_pointer_member = false;
+    for (const auto& [slot, id] : members) any_pointer_member |= a_.is_pointer(id);
+    if (!any_pointer_member && members.size() + guarded_groups.size() < 2) return nullptr;
+
+    // Assemble members in slot order.
+    std::map<std::uint64_t, TypePtr> by_slot;
+    for (const auto& [slot, id] : members) {
+      if (a_.is_pointer(id)) {
+        TypePtr m = classify_pointer(id, /*allow_struct=*/false);
+        if (m->is_array()) stats_.hit(RuleId::R19);
+        by_slot[slot] = m;
+      } else {
+        by_slot[slot] = refine(a_.uses_of_load(id));
+      }
+    }
+    for (const auto& [key, items] : guarded_groups) {
+      std::uint64_t slot = ~0ULL;
+      std::vector<std::uint32_t> ids;
+      for (const auto& [off, id] : items) {
+        slot = std::min(slot, off);
+        ids.push_back(id);
+      }
+      Dims sizes = dims_from_guards(t_.loads[ids.front()].guards);
+      by_slot[slot] = build_array(sizes, refine(a_.uses_of_loads(ids)));
+    }
+
+    stats_.hit(RuleId::R21);
+    std::vector<TypePtr> member_types;
+    member_types.reserve(by_slot.size());
+    for (const auto& [slot, type] : by_slot) member_types.push_back(type);
+    return abi::tuple_type(std::move(member_types));
+  }
+
+  // --- public static arrays (R6/R9) -----------------------------------------
+  void classify_const_copies() {
+    for (const CopyEvent& c : t_.copies) {
+      if (!c.src_const || *c.src_const < 4 || consumed_copies_.contains(c.id)) continue;
+      if (!c.len_const) continue;
+      bool all_const = true;
+      for (const GuardInfo& g : c.guards) all_const &= !g.bound_symbolic;
+      if (!all_const) continue;
+      Dims sizes = dims_from_guards(c.guards);
+      sizes.push_back(*c.len_const / 32);
+      stats_.hit(sizes.size() == 1 ? RuleId::R6 : RuleId::R9);
+      params_[*c.src_const] = build_array(sizes, refine(a_.uses_of_copy(c.id)));
+      consumed_copies_.insert(c.id);
+    }
+  }
+
+  // --- remaining basic parameters (R4/R25 baseline + refinement) -----------
+  void classify_basic_params() {
+    for (const LoadEvent& l : t_.loads) {
+      if (!l.loc_const || *l.loc_const < 4 || consumed_loads_.contains(l.id) ||
+          a_.is_pointer(l.id) || !l.guards.empty() || !l.loc_prov.loads.empty()) {
+        continue;
+      }
+      stats_.hit(dialect_ == Dialect::Solidity ? RuleId::R4 : RuleId::R25);
+      params_[*l.loc_const] = refine(a_.uses_of_load(l.id));
+      consumed_loads_.insert(l.id);
+    }
+  }
+
+  const Trace& t_;
+  TraceAnalysis a_;
+  RuleStats& stats_;
+  Dialect dialect_ = Dialect::Solidity;
+  std::set<std::uint32_t> consumed_loads_;
+  std::set<std::uint32_t> consumed_copies_;
+  std::map<std::uint64_t, TypePtr> params_;
+};
+
+}  // namespace
+
+TaseResult run_tase(const Trace& trace, RuleStats& stats) {
+  Classifier c(trace, stats);
+  return c.run();
+}
+
+}  // namespace sigrec::core

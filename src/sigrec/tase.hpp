@@ -1,0 +1,20 @@
+// TASE — type-aware symbolic execution (§4.2), steps 1-4: coarse type
+// inference, parameter counting/ordering, parameter-symbol attribution, and
+// fine-grained refinement, driven by the decision tree of Fig. 13.
+#pragma once
+
+#include "abi/types.hpp"
+#include "sigrec/rules.hpp"
+#include "symexec/state.hpp"
+
+namespace sigrec::core {
+
+struct TaseResult {
+  std::vector<abi::TypePtr> parameters;  // in call-data order
+  abi::Dialect dialect = abi::Dialect::Solidity;
+};
+
+// Runs type inference over one function's execution trace.
+TaseResult run_tase(const symexec::Trace& trace, RuleStats& stats);
+
+}  // namespace sigrec::core

@@ -1,0 +1,96 @@
+#include "sigrec/trace_analysis.hpp"
+
+#include "evm/u256.hpp"
+
+namespace sigrec::core {
+
+using evm::U256;
+using symexec::CopyEvent;
+using symexec::LoadEvent;
+using symexec::UseEvent;
+using symexec::UseKind;
+
+TraceAnalysis::TraceAnalysis(const symexec::Trace& trace) : trace_(&trace) {
+  for (const LoadEvent& l : trace.loads) {
+    for (std::uint32_t src : l.loc_prov.loads) {
+      pointer_loads_.insert(src);
+      loads_from_[src].push_back(l.id);
+    }
+    for (const symexec::GuardInfo& g : l.guards) {
+      if (g.bound_symbolic) bound_loads_.insert(g.bound_load);
+    }
+  }
+  for (const CopyEvent& c : trace.copies) {
+    for (std::uint32_t src : c.src_prov.loads) {
+      pointer_loads_.insert(src);
+      copies_from_[src].push_back(c.id);
+    }
+    for (const symexec::GuardInfo& g : c.guards) {
+      if (g.bound_symbolic) bound_loads_.insert(g.bound_load);
+    }
+  }
+
+  const U256 clamp_consts[] = {U256::pow2(160), U256::pow2(127),
+                               U256::pow2(127) * U256(10000000000ULL), U256(2)};
+  for (const UseEvent& u : trace.uses) {
+    if (u.kind != UseKind::Compare) continue;
+    for (const U256& c : clamp_consts) {
+      if (u.bound == c || u.bound == c.negate()) has_vyper_clamp_ = true;
+    }
+  }
+}
+
+const std::vector<std::uint32_t>& TraceAnalysis::loads_from(std::uint32_t load_id) const {
+  static const std::vector<std::uint32_t> kEmpty;
+  auto it = loads_from_.find(load_id);
+  return it == loads_from_.end() ? kEmpty : it->second;
+}
+
+const std::vector<std::uint32_t>& TraceAnalysis::copies_from(std::uint32_t load_id) const {
+  static const std::vector<std::uint32_t> kEmpty;
+  auto it = copies_from_.find(load_id);
+  return it == copies_from_.end() ? kEmpty : it->second;
+}
+
+std::optional<std::uint64_t> TraceAnalysis::offset_from(symexec::ExprPtr loc,
+                                                        std::uint32_t load_id) const {
+  const symexec::AffineForm& form = trace_->pool->affine(loc);
+  if (form.terms.size() != 1) return std::nullopt;
+  const auto& [atom, coeff] = *form.terms.begin();
+  if (coeff != U256(1)) return std::nullopt;
+  if (atom != trace_->loads[load_id].result) return std::nullopt;
+  if (!form.constant.fits_u64()) return std::nullopt;
+  return form.constant.as_u64();
+}
+
+std::vector<const UseEvent*> TraceAnalysis::uses_of_load(std::uint32_t id) const {
+  std::vector<const UseEvent*> out;
+  for (const UseEvent& u : trace_->uses) {
+    if (u.value_prov.loads.contains(id)) out.push_back(&u);
+  }
+  return out;
+}
+
+std::vector<const UseEvent*> TraceAnalysis::uses_of_loads(
+    const std::vector<std::uint32_t>& ids) const {
+  std::vector<const UseEvent*> out;
+  for (const UseEvent& u : trace_->uses) {
+    for (std::uint32_t id : ids) {
+      if (u.value_prov.loads.contains(id)) {
+        out.push_back(&u);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<const UseEvent*> TraceAnalysis::uses_of_copy(std::uint32_t id) const {
+  std::vector<const UseEvent*> out;
+  for (const UseEvent& u : trace_->uses) {
+    if (u.value_prov.copies.contains(id)) out.push_back(&u);
+  }
+  return out;
+}
+
+}  // namespace sigrec::core

@@ -1,0 +1,60 @@
+// Indexing layer over a symbolic-execution trace: which loads act as
+// pointers (offset fields), which act as loop bounds (num fields), and which
+// uses belong to which parameter — the queries the §3 rules are phrased in.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "symexec/state.hpp"
+
+namespace sigrec::core {
+
+class TraceAnalysis {
+ public:
+  explicit TraceAnalysis(const symexec::Trace& trace);
+
+  [[nodiscard]] const symexec::Trace& trace() const { return *trace_; }
+
+  // Load ids whose value is used to compute another access location (offset
+  // fields) — R1's first CALLDATALOAD.
+  [[nodiscard]] bool is_pointer(std::uint32_t load_id) const {
+    return pointer_loads_.contains(load_id);
+  }
+  // Load ids used as an LT bound (num fields).
+  [[nodiscard]] bool is_bound(std::uint32_t load_id) const {
+    return bound_loads_.contains(load_id);
+  }
+
+  // Loads whose location depends on the given load's value.
+  [[nodiscard]] const std::vector<std::uint32_t>& loads_from(std::uint32_t load_id) const;
+  // Copies whose source depends on the given load's value.
+  [[nodiscard]] const std::vector<std::uint32_t>& copies_from(std::uint32_t load_id) const;
+
+  // If `loc` is exactly `value(of load) + c` (single affine term, coeff 1),
+  // returns c.
+  [[nodiscard]] std::optional<std::uint64_t> offset_from(symexec::ExprPtr loc,
+                                                         std::uint32_t load_id) const;
+
+  // Type-revealing uses attributed to a load / copy.
+  [[nodiscard]] std::vector<const symexec::UseEvent*> uses_of_load(std::uint32_t id) const;
+  [[nodiscard]] std::vector<const symexec::UseEvent*> uses_of_loads(
+      const std::vector<std::uint32_t>& ids) const;
+  [[nodiscard]] std::vector<const symexec::UseEvent*> uses_of_copy(std::uint32_t id) const;
+
+  // True if any Compare use matches a Vyper clamp constant (R20's positive
+  // signal).
+  [[nodiscard]] bool has_vyper_clamp() const { return has_vyper_clamp_; }
+
+ private:
+  const symexec::Trace* trace_;
+  std::set<std::uint32_t> pointer_loads_;
+  std::set<std::uint32_t> bound_loads_;
+  std::map<std::uint32_t, std::vector<std::uint32_t>> loads_from_;
+  std::map<std::uint32_t, std::vector<std::uint32_t>> copies_from_;
+  bool has_vyper_clamp_ = false;
+};
+
+}  // namespace sigrec::core

@@ -1,0 +1,683 @@
+#include "symexec/executor.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+namespace sigrec::symexec {
+
+using evm::Opcode;
+using evm::U256;
+
+namespace {
+
+constexpr std::size_t kMaxStack = 1024;
+
+struct PathState {
+  std::size_t pc = 0;
+  std::vector<SymValue> stack;
+  std::map<std::uint64_t, SymValue> mem;   // concrete-address words
+  std::map<ExprPtr, SymValue> sym_mem;     // symbolic-address words
+  std::vector<Region> regions;
+  std::vector<std::uint32_t> pending_checks;  // straight-line const-index guards
+  std::map<std::size_t, int> jumpi_taken;
+  std::map<std::size_t, int> jumpi_fallthrough;
+  std::uint64_t steps = 0;
+};
+
+class Runner {
+ public:
+  Runner(const evm::Bytecode& code, const evm::Disassembly& dis, const Limits& limits,
+         std::uint32_t selector)
+      : code_(code), dis_(dis), limits_(limits), pool_holder_(std::make_shared<ExprPool>()), pool_(*pool_holder_) {
+    trace_.pool = pool_holder_;
+    pool_.set_selector(selector);
+    trace_.selector = selector;
+    const auto bytes = code.bytes();
+    trace_.solidity_prologue =
+        bytes.size() >= 5 && bytes[0] == 0x60 && bytes[1] == 0x80 && bytes[2] == 0x60 &&
+        bytes[3] == 0x40 && bytes[4] == 0x52;
+  }
+
+  Trace run() {
+    std::deque<PathState> worklist;
+    worklist.push_back(PathState{});
+    while (!worklist.empty() && trace_.paths_explored < limits_.max_paths &&
+           trace_.total_steps < limits_.max_total_steps) {
+      PathState st = std::move(worklist.back());
+      worklist.pop_back();
+      ++trace_.paths_explored;
+      run_path(std::move(st), worklist);
+    }
+    trace_.exhausted = !worklist.empty() || trace_.total_steps >= limits_.max_total_steps;
+    return std::move(trace_);
+  }
+
+ private:
+  // --- guard bookkeeping ----------------------------------------------------
+
+  std::uint32_t guard_for(const LtOrigin& o) {
+    auto it = guard_by_pc_.find(o.lt_pc);
+    if (it != guard_by_pc_.end()) return it->second;
+    GuardInfo g;
+    g.id = static_cast<std::uint32_t>(guards_.size());
+    g.lt_pc = o.lt_pc;
+    g.bound_symbolic = o.bound_symbolic;
+    g.bound_const = o.bound_const;
+    g.bound_load = o.bound_load;
+    guards_.push_back(g);
+    guard_by_pc_.emplace(o.lt_pc, g.id);
+    return g.id;
+  }
+
+  std::vector<GuardInfo> resolve_guards(const Prov& prov,
+                                        std::vector<std::uint32_t>& pending) {
+    std::set<std::uint32_t> ids(prov.checks.begin(), prov.checks.end());
+    ids.insert(pending.begin(), pending.end());
+    pending.clear();
+    std::vector<GuardInfo> out;
+    out.reserve(ids.size());
+    for (std::uint32_t id : ids) out.push_back(guards_[id]);  // set is id-ordered
+    return out;
+  }
+
+  static void merge_guards(std::vector<GuardInfo>& into, const std::vector<GuardInfo>& add) {
+    for (const GuardInfo& g : add) {
+      bool present = false;
+      for (const GuardInfo& h : into) present |= (h.id == g.id);
+      if (!present) into.push_back(g);
+    }
+    std::sort(into.begin(), into.end(),
+              [](const GuardInfo& a, const GuardInfo& b) { return a.id < b.id; });
+  }
+
+  // --- event recording --------------------------------------------------------
+
+  std::uint32_t record_load(std::size_t pc, const SymValue& loc, ExprPtr result,
+                            std::vector<GuardInfo> guards) {
+    auto key = std::make_pair(pc, loc.expr);
+    auto it = load_dedup_.find(key);
+    if (it != load_dedup_.end()) {
+      merge_guards(trace_.loads[it->second].guards, guards);
+      return trace_.loads[it->second].id;
+    }
+    LoadEvent ev;
+    ev.id = static_cast<std::uint32_t>(trace_.loads.size());
+    ev.pc = pc;
+    ev.loc = loc.expr;
+    ev.loc_const = loc.expr->const_u64();
+    ev.loc_prov = loc.prov;
+    ev.guards = std::move(guards);
+    ev.result = result;
+    load_dedup_.emplace(key, trace_.loads.size());
+    trace_.load_by_result.emplace(result, ev.id);
+    trace_.loads.push_back(std::move(ev));
+    return trace_.loads.back().id;
+  }
+
+  std::uint32_t record_copy(std::size_t pc, const SymValue& dst, const SymValue& src,
+                            const SymValue& len, std::vector<GuardInfo> guards) {
+    auto it = copy_dedup_.find(pc);
+    if (it != copy_dedup_.end()) {
+      merge_guards(trace_.copies[it->second].guards, guards);
+      return trace_.copies[it->second].id;
+    }
+    CopyEvent ev;
+    ev.id = static_cast<std::uint32_t>(trace_.copies.size());
+    ev.pc = pc;
+    ev.src = src.expr;
+    ev.src_const = src.expr->const_u64();
+    ev.src_prov = src.prov;
+    ev.len = len.expr;
+    ev.len_const = len.expr->const_u64();
+    ev.len_prov = len.prov;
+    ev.dst = dst.expr;
+    ev.dst_prov = dst.prov;
+    ev.guards = std::move(guards);
+    copy_dedup_.emplace(pc, trace_.copies.size());
+    trace_.copies.push_back(std::move(ev));
+    return trace_.copies.back().id;
+  }
+
+  void record_use(UseKind kind, std::size_t pc, const Prov& prov, U256 mask = U256(0),
+                  std::uint64_t signext_k = 0, U256 bound = U256(0), bool cmp_signed = false) {
+    if (!prov.touches_calldata()) return;
+    auto key = std::make_tuple(static_cast<int>(kind), pc);
+    if (!use_dedup_.insert(key).second) return;
+    UseEvent ev;
+    ev.kind = kind;
+    ev.pc = pc;
+    ev.value_prov = prov;
+    ev.mask = mask;
+    ev.signext_k = signext_k;
+    ev.bound = bound;
+    ev.cmp_signed = cmp_signed;
+    trace_.uses.push_back(std::move(ev));
+  }
+
+  // --- memory ---------------------------------------------------------------
+
+  SymValue mload(PathState& st, const SymValue& addr) {
+    if (auto a = addr.expr->const_u64()) {
+      auto it = st.mem.find(*a);
+      if (it != st.mem.end()) {
+        SymValue v = it->second;
+        v.source_slot = *a;
+        return v;
+      }
+    } else {
+      auto it = st.sym_mem.find(addr.expr);
+      if (it != st.sym_mem.end()) return it->second;
+    }
+    // Region match: addr - base folds to a constant -> value copied from the
+    // call data by that CALLDATACOPY (step-3 symbol marking).
+    for (auto r = st.regions.rbegin(); r != st.regions.rend(); ++r) {
+      ExprPtr diff = pool_.sub(addr.expr, r->base);
+      if (auto d = diff->const_u64()) {
+        if (auto l = r->len->const_u64(); l.has_value() && *d >= *l) continue;
+        if (!r->len->const_u64() && *d > (1u << 20)) continue;
+        SymValue v;
+        v.expr = pool_.fresh();
+        v.prov.copies.insert(r->copy_id);
+        return v;
+      }
+    }
+    SymValue v;
+    v.expr = pool_.fresh();
+    return v;
+  }
+
+  void mstore(PathState& st, const SymValue& addr, const SymValue& val) {
+    if (auto a = addr.expr->const_u64()) {
+      st.mem[*a] = val;
+    } else {
+      st.sym_mem[addr.expr] = val;
+    }
+  }
+
+  // --- main loop --------------------------------------------------------------
+
+  void run_path(PathState st, std::deque<PathState>& worklist) {
+    const auto& insts = dis_.instructions();
+    while (true) {
+      if (st.steps++ > limits_.max_steps_per_path) return;
+      if (++trace_.total_steps > limits_.max_total_steps) return;
+      std::size_t idx = dis_.index_of_pc(st.pc);
+      if (idx == evm::Disassembly::npos) return;
+      const evm::Instruction& inst = insts[idx];
+      if (!step(st, inst, worklist)) return;
+    }
+  }
+
+  SymValue pop(PathState& st, bool& ok) {
+    if (st.stack.empty()) {
+      ok = false;
+      return SymValue{pool_.constant(U256(0)), {}, {}, {}};
+    }
+    SymValue v = std::move(st.stack.back());
+    st.stack.pop_back();
+    return v;
+  }
+
+  bool push(PathState& st, SymValue v) {
+    if (st.stack.size() >= kMaxStack) return false;
+    st.stack.push_back(std::move(v));
+    return true;
+  }
+
+  SymValue make_const(const U256& v) { return SymValue{pool_.constant(v), {}, {}, {}}; }
+
+  // Executes one instruction. Returns false when the path ends (halt, error,
+  // unresolved jump); pushes forked states onto the worklist.
+  bool step(PathState& st, const evm::Instruction& inst, std::deque<PathState>& worklist);
+
+  const evm::Bytecode& code_;
+  const evm::Disassembly& dis_;
+  Limits limits_;
+  std::shared_ptr<ExprPool> pool_holder_;
+  ExprPool& pool_;
+  Trace trace_;
+
+  std::vector<GuardInfo> guards_;
+  std::map<std::size_t, std::uint32_t> guard_by_pc_;
+  std::map<std::pair<std::size_t, ExprPtr>, std::size_t> load_dedup_;
+  std::map<std::size_t, std::size_t> copy_dedup_;
+  std::set<std::tuple<int, std::size_t>> use_dedup_;
+};
+
+bool Runner::step(PathState& st, const evm::Instruction& inst,
+                  std::deque<PathState>& worklist) {
+  const std::size_t pc = inst.pc;
+  const Opcode op = inst.op;
+  const evm::OpInfo& info = inst.info();
+  if (!info.defined) return false;
+  if (st.stack.size() < info.inputs) return false;
+  std::size_t next = inst.next_pc();
+  bool ok = true;
+
+  if (inst.is_push()) {
+    if (!push(st, make_const(inst.immediate))) return false;
+    st.pc = next;
+    return true;
+  }
+  if (evm::is_dup(static_cast<std::uint8_t>(op))) {
+    unsigned d = evm::dup_depth(static_cast<std::uint8_t>(op));
+    if (!push(st, st.stack[st.stack.size() - d])) return false;
+    st.pc = next;
+    return true;
+  }
+  if (evm::is_swap(static_cast<std::uint8_t>(op))) {
+    unsigned d = evm::swap_depth(static_cast<std::uint8_t>(op));
+    std::swap(st.stack.back(), st.stack[st.stack.size() - 1 - d]);
+    st.pc = next;
+    return true;
+  }
+
+  switch (op) {
+    case Opcode::STOP:
+    case Opcode::RETURN:
+    case Opcode::REVERT:
+    case Opcode::INVALID:
+    case Opcode::SELFDESTRUCT:
+      return false;  // path complete
+
+    case Opcode::ADD:
+    case Opcode::MUL:
+    case Opcode::SUB:
+    case Opcode::DIV:
+    case Opcode::SDIV:
+    case Opcode::MOD:
+    case Opcode::SMOD:
+    case Opcode::EXP:
+    case Opcode::SIGNEXTEND:
+    case Opcode::AND:
+    case Opcode::OR:
+    case Opcode::XOR:
+    case Opcode::BYTE:
+    case Opcode::SHL:
+    case Opcode::SHR:
+    case Opcode::SAR:
+    case Opcode::EQ:
+    case Opcode::LT:
+    case Opcode::GT:
+    case Opcode::SLT:
+    case Opcode::SGT: {
+      SymValue a = pop(st, ok);
+      SymValue b = pop(st, ok);
+      SymValue r;
+      r.expr = pool_.binary(op, a.expr, b.expr);
+      r.prov = a.prov;
+      r.prov.merge(b.prov);
+
+      auto const_of = [](const SymValue& v) { return v.expr->const_u64(); };
+      // Provenance flags the rules key on (disabled in the conventional-SE
+      // ablation).
+      if (limits_.type_aware) {
+        if (op == Opcode::MUL) {
+          auto ca = const_of(a);
+          auto cb = const_of(b);
+          bool m32 = (ca && *ca != 0 && *ca % 32 == 0) || (cb && *cb != 0 && *cb % 32 == 0);
+          r.prov.mul32 |= m32;
+        }
+        if (op == Opcode::DIV && const_of(b) == std::optional<std::uint64_t>(32)) {
+          r.prov.div32 = true;
+        }
+      }
+
+      // Type-revealing uses (§3.4 rules) — recorded only for values derived
+      // from the call data; record_use filters on provenance.
+      switch (op) {
+        case Opcode::ADD:
+        case Opcode::SUB:
+        case Opcode::MUL:
+        case Opcode::DIV:
+        case Opcode::MOD:
+        case Opcode::EXP: {
+          Prov p = a.prov;
+          p.merge(b.prov);
+          record_use(UseKind::Arithmetic, pc, p);
+          break;
+        }
+        case Opcode::SDIV:
+        case Opcode::SMOD: {
+          Prov p = a.prov;
+          p.merge(b.prov);
+          record_use(UseKind::SignedOp, pc, p);
+          break;
+        }
+        case Opcode::AND:
+          if (a.expr->is_const() && b.prov.touches_calldata()) {
+            record_use(UseKind::Mask, pc, b.prov, a.expr->value());
+          } else if (b.expr->is_const() && a.prov.touches_calldata()) {
+            record_use(UseKind::Mask, pc, a.prov, b.expr->value());
+          }
+          break;
+        case Opcode::SIGNEXTEND:
+          if (a.expr->is_const() && a.expr->value().fits_u64()) {
+            record_use(UseKind::SignExtend, pc, b.prov, U256(0), a.expr->value().as_u64());
+          }
+          break;
+        case Opcode::BYTE:
+          if (a.expr->is_const()) record_use(UseKind::ByteOp, pc, b.prov);
+          break;
+        case Opcode::SHR:
+          // §7 obfuscation: SHR(k, SHL(k, x)) == x & ones(256-k) — an AND
+          // mask in disguise. Surface it as a Mask use so R11/R16 still fire.
+          if (limits_.semantic_mask_patterns && a.expr->is_const() &&
+              a.expr->value().fits_u64() && a.expr->value().as_u64() < 256 &&
+              b.expr->kind() == ExprKind::Binary && b.expr->op() == Opcode::SHL &&
+              b.expr->child(0) == a.expr && b.prov.touches_calldata()) {
+            unsigned k = static_cast<unsigned>(a.expr->value().as_u64());
+            record_use(UseKind::Mask, pc, b.prov, U256::ones(256 - k));
+          }
+          break;
+        case Opcode::SHL:
+          // SHL(k, SHR(k, x)) == x & (ones(256-k) << k) — a high mask.
+          if (limits_.semantic_mask_patterns && a.expr->is_const() &&
+              a.expr->value().fits_u64() && a.expr->value().as_u64() < 256 &&
+              b.expr->kind() == ExprKind::Binary && b.expr->op() == Opcode::SHR &&
+              b.expr->child(0) == a.expr && b.prov.touches_calldata()) {
+            unsigned k = static_cast<unsigned>(a.expr->value().as_u64());
+            record_use(UseKind::Mask, pc, b.prov, U256::ones(256 - k).shl(k));
+          }
+          break;
+        case Opcode::LT:
+        case Opcode::GT:
+        case Opcode::SLT:
+        case Opcode::SGT: {
+          bool cmp_signed = (op == Opcode::SLT || op == Opcode::SGT);
+          if (a.prov.touches_calldata()) {
+            // A clamp: the checked value comes from the call data (R27-R30).
+            if (b.expr->is_const()) {
+              record_use(UseKind::Compare, pc, a.prov, U256(0), 0, b.expr->value(), cmp_signed);
+            }
+          } else if (op == Opcode::LT &&
+                     (b.expr->is_const() || trace_.load_by_result.contains(b.expr))) {
+            // Potential array bound check: LT(index, bound) with an index that
+            // carries no call-data value (a loop counter or constant).
+            LtOrigin o;
+            o.lt_pc = pc;
+            o.bound_symbolic = !b.expr->is_const();
+            if (b.expr->is_const() && b.expr->value().fits_u64()) {
+              o.bound_const = b.expr->value().as_u64();
+            }
+            if (o.bound_symbolic) o.bound_load = trace_.load_by_result.at(b.expr);
+            o.index_slot = a.source_slot;
+            o.index_const = a.expr->is_const();
+            r.lt_origin = o;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      if (!ok || !push(st, std::move(r))) return false;
+      st.pc = next;
+      return true;
+    }
+
+    case Opcode::ISZERO:
+    case Opcode::NOT: {
+      SymValue a = pop(st, ok);
+      SymValue r;
+      r.expr = pool_.unary(op, a.expr);
+      r.prov = a.prov;
+      r.lt_origin = a.lt_origin;  // negation keeps the bound-check origin
+      if (op == Opcode::ISZERO && a.expr->kind() == ExprKind::Unary &&
+          a.expr->op() == Opcode::ISZERO) {
+        // Two consecutive ISZEROs — the bool normalization (R14).
+        record_use(UseKind::IsZeroPair, pc, a.prov);
+      }
+      if (!ok || !push(st, std::move(r))) return false;
+      st.pc = next;
+      return true;
+    }
+
+    case Opcode::SHA3: {
+      pop(st, ok);
+      pop(st, ok);
+      if (!ok || !push(st, SymValue{pool_.fresh(), {}, {}, {}})) return false;
+      st.pc = next;
+      return true;
+    }
+
+    case Opcode::ADDRESS:
+    case Opcode::ORIGIN:
+    case Opcode::CALLER:
+    case Opcode::CALLVALUE:
+    case Opcode::GASPRICE:
+    case Opcode::COINBASE:
+    case Opcode::TIMESTAMP:
+    case Opcode::NUMBER:
+    case Opcode::DIFFICULTY:
+    case Opcode::GASLIMIT:
+    case Opcode::CHAINID:
+    case Opcode::SELFBALANCE:
+    case Opcode::RETURNDATASIZE:
+    case Opcode::MSIZE:
+    case Opcode::GAS:
+    case Opcode::CODESIZE: {
+      if (!push(st, SymValue{pool_.env(op), {}, {}, {}})) return false;
+      st.pc = next;
+      return true;
+    }
+    case Opcode::PC:
+      if (!push(st, make_const(U256(pc)))) return false;
+      st.pc = next;
+      return true;
+
+    case Opcode::BALANCE:
+    case Opcode::EXTCODESIZE:
+    case Opcode::EXTCODEHASH:
+    case Opcode::BLOCKHASH:
+    case Opcode::SLOAD: {
+      pop(st, ok);
+      if (!ok || !push(st, SymValue{pool_.fresh(), {}, {}, {}})) return false;
+      st.pc = next;
+      return true;
+    }
+
+    case Opcode::CALLDATASIZE:
+      if (!push(st, SymValue{pool_.calldata_size(), {}, {}, {}})) return false;
+      st.pc = next;
+      return true;
+
+    case Opcode::CALLDATALOAD: {
+      SymValue loc = pop(st, ok);
+      if (!ok) return false;
+      SymValue r;
+      if (loc.expr->const_u64() == std::optional<std::uint64_t>(0)) {
+        r.expr = pool_.selector_word();
+      } else {
+        ExprPtr result = pool_.calldata_word(loc.expr);
+        std::uint32_t id = record_load(pc, loc, result, resolve_guards(loc.prov, st.pending_checks));
+        r.expr = result;
+        r.prov.loads.insert(id);
+        // The value inherits its location's bound checks: dereferencing an
+        // offset read inside a loop keeps the deeper accesses
+        // control-dependent on the loop's bound check (R2/R19/R22 chains).
+        r.prov.checks = loc.prov.checks;
+      }
+      if (!push(st, std::move(r))) return false;
+      st.pc = next;
+      return true;
+    }
+
+    case Opcode::CALLDATACOPY: {
+      SymValue dst = pop(st, ok);
+      SymValue src = pop(st, ok);
+      SymValue len = pop(st, ok);
+      if (!ok) return false;
+      Prov merged = src.prov;
+      merged.merge(dst.prov);
+      merged.merge(len.prov);
+      std::uint32_t id = record_copy(pc, dst, src, len, resolve_guards(merged, st.pending_checks));
+      st.regions.push_back(Region{dst.expr, len.expr, id});
+      st.pc = next;
+      return true;
+    }
+
+    case Opcode::CODECOPY:
+    case Opcode::RETURNDATACOPY: {
+      pop(st, ok);
+      pop(st, ok);
+      pop(st, ok);
+      st.pc = next;
+      return ok;
+    }
+    case Opcode::EXTCODECOPY: {
+      for (int i = 0; i < 4; ++i) pop(st, ok);
+      st.pc = next;
+      return ok;
+    }
+
+    case Opcode::POP:
+      pop(st, ok);
+      st.pc = next;
+      return ok;
+
+    case Opcode::MLOAD: {
+      SymValue addr = pop(st, ok);
+      if (!ok) return false;
+      if (!push(st, mload(st, addr))) return false;
+      st.pc = next;
+      return true;
+    }
+    case Opcode::MSTORE: {
+      SymValue addr = pop(st, ok);
+      SymValue val = pop(st, ok);
+      if (!ok) return false;
+      mstore(st, addr, val);
+      st.pc = next;
+      return true;
+    }
+    case Opcode::MSTORE8: {
+      pop(st, ok);
+      pop(st, ok);
+      st.pc = next;
+      return ok;
+    }
+
+    case Opcode::SSTORE: {
+      pop(st, ok);
+      pop(st, ok);
+      st.pc = next;
+      return ok;
+    }
+
+    case Opcode::JUMPDEST:
+      st.pc = next;
+      return true;
+
+    case Opcode::JUMP: {
+      SymValue dest = pop(st, ok);
+      if (!ok) return false;
+      auto d = dest.expr->const_u64();
+      // Input-dependent jump target: stop the path (§4.2 restriction).
+      if (!d || !code_.is_jumpdest(*d)) return false;
+      st.pc = *d;
+      return true;
+    }
+
+    case Opcode::JUMPI: {
+      SymValue dest = pop(st, ok);
+      SymValue cond = pop(st, ok);
+      if (!ok) return false;
+      auto d = dest.expr->const_u64();
+      bool target_valid = d.has_value() && code_.is_jumpdest(*d);
+
+      // Register the bound check before branching so both sides see it
+      // (skipped entirely in the conventional-SE ablation).
+      if (cond.lt_origin.has_value() && limits_.type_aware) {
+        std::uint32_t gid = guard_for(*cond.lt_origin);
+        if (cond.lt_origin->index_slot.has_value()) {
+          // Tag the loop counter's slot: all later reads of it carry the
+          // check, so item-access locations inherit it (R2/R3's v3).
+          auto it = st.mem.find(*cond.lt_origin->index_slot);
+          if (it != st.mem.end()) it->second.prov.checks.insert(gid);
+        } else if (cond.lt_origin->index_const) {
+          // Straight-line constant-index check: applies to the next
+          // call-data access only.
+          st.pending_checks.push_back(gid);
+        }
+      }
+
+      if (cond.expr->is_const()) {
+        if (cond.expr->value().is_zero()) {
+          st.pc = next;
+        } else {
+          if (!target_valid) return false;
+          st.pc = *d;
+        }
+        return true;
+      }
+      // Symbolic condition: fork, subject to per-pc revisit caps. Once the
+      // caps are spent, follow one branch deterministically rather than
+      // killing the path — a loop guard exits its loop, an assertion falls
+      // through. (Clamp checks inside concrete loops execute many times;
+      // dying there would hide every later parameter.)
+      bool may_take = target_valid && st.jumpi_taken[pc] < limits_.max_jumpi_visits;
+      bool may_fall = st.jumpi_fallthrough[pc] < limits_.max_jumpi_visits;
+      if (may_take && may_fall) {
+        PathState taken = st;  // copy
+        taken.jumpi_taken[pc]++;
+        taken.pc = *d;
+        worklist.push_back(std::move(taken));
+        st.jumpi_fallthrough[pc]++;
+        st.pc = next;
+        return true;
+      }
+      // Loop guards compile to `LT ... ISZERO JUMPI exit`: the taken edge
+      // leaves the loop. Bare comparisons and clamps continue on the
+      // fallthrough edge.
+      bool exit_on_take = cond.lt_origin.has_value() &&
+                          cond.expr->kind() == ExprKind::Unary &&
+                          cond.expr->op() == Opcode::ISZERO;
+      if (exit_on_take && target_valid) {
+        st.jumpi_taken[pc]++;
+        st.pc = *d;
+        return true;
+      }
+      st.jumpi_fallthrough[pc]++;
+      st.pc = next;
+      return true;
+    }
+
+    case Opcode::LOG0:
+    case Opcode::LOG1:
+    case Opcode::LOG2:
+    case Opcode::LOG3:
+    case Opcode::LOG4: {
+      for (unsigned i = 0; i < info.inputs; ++i) pop(st, ok);
+      st.pc = next;
+      return ok;
+    }
+
+    case Opcode::CREATE:
+    case Opcode::CREATE2:
+    case Opcode::CALL:
+    case Opcode::CALLCODE:
+    case Opcode::DELEGATECALL:
+    case Opcode::STATICCALL: {
+      for (unsigned i = 0; i < info.inputs; ++i) pop(st, ok);
+      if (!ok || !push(st, SymValue{pool_.fresh(), {}, {}, {}})) return false;
+      st.pc = next;
+      return true;
+    }
+
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+SymExecutor::SymExecutor(const evm::Bytecode& code, Limits limits)
+    : code_(code), dis_(code), limits_(limits) {}
+
+Trace SymExecutor::run(std::uint32_t selector) {
+  Runner runner(code_, dis_, limits_, selector);
+  return runner.run();
+}
+
+}  // namespace sigrec::symexec

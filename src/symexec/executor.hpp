@@ -1,0 +1,52 @@
+// The symbolic executor underlying TASE.
+//
+// Executes a contract from pc 0 with the call data fully symbolic except the
+// 4-byte selector, which is pinned to the function under analysis — so the
+// dispatcher constant-folds and execution lands in the right function body
+// deterministically. Loops with symbolic bounds are unrolled a bounded
+// number of times; jumps to input-dependent targets end the path (the
+// paper's explicit restriction, §4.2). Every value read from the
+// environment is a free symbol.
+//
+// The output is a Trace: CALLDATALOAD/CALLDATACOPY events annotated with
+// location expressions, provenance, and active bound checks, plus the
+// type-revealing uses (masks, sign-extensions, byte reads, clamps, ...).
+#pragma once
+
+#include "evm/bytecode.hpp"
+#include "evm/disassembler.hpp"
+#include "symexec/state.hpp"
+
+namespace sigrec::symexec {
+
+struct Limits {
+  std::uint64_t max_steps_per_path = 40000;
+  std::uint64_t max_total_steps = 400000;
+  std::uint64_t max_paths = 256;
+  int max_jumpi_visits = 3;  // per direction, per pc, per path
+
+  // TASE's type-awareness (ablation knob): when false the executor behaves
+  // like conventional symbolic execution — no ×32/÷32 provenance flags and
+  // no bound-check tracking — which is what the paper's Supplementary F
+  // argues is insufficient for type recovery.
+  bool type_aware = true;
+
+  // §7 obfuscation resistance: recognize semantically-equivalent mask
+  // encodings (SHL/SHR pairs) in addition to literal AND masks.
+  bool semantic_mask_patterns = true;
+};
+
+class SymExecutor {
+ public:
+  SymExecutor(const evm::Bytecode& code, Limits limits = {});
+
+  // Analyzes the function with the given selector; reusable across calls.
+  [[nodiscard]] Trace run(std::uint32_t selector);
+
+ private:
+  const evm::Bytecode& code_;
+  evm::Disassembly dis_;
+  Limits limits_;
+};
+
+}  // namespace sigrec::symexec

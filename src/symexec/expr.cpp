@@ -1,0 +1,250 @@
+#include "symexec/expr.hpp"
+
+#include <sstream>
+
+namespace sigrec::symexec {
+
+using evm::Opcode;
+using evm::U256;
+
+std::string Expr::to_string() const {
+  switch (kind_) {
+    case ExprKind::Const:
+      return value_.to_hex();
+    case ExprKind::SelectorWord:
+      return "selector_word";
+    case ExprKind::CalldataWord:
+      return "calldata[" + children_[0]->to_string() + "]";
+    case ExprKind::CalldataSize:
+      return "calldatasize";
+    case ExprKind::Env:
+      return std::string("env:") + std::string(evm::op_info(op_).name);
+    case ExprKind::Fresh:
+      return "sym" + std::to_string(fresh_id_);
+    case ExprKind::Unary:
+      return std::string(evm::op_info(op_).name) + "(" + children_[0]->to_string() + ")";
+    case ExprKind::Binary: {
+      std::ostringstream os;
+      os << evm::op_info(op_).name << '(' << children_[0]->to_string() << ", "
+         << children_[1]->to_string() << ')';
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+std::size_t ExprPool::KeyHash::operator()(const Key& k) const {
+  std::size_t h = static_cast<std::size_t>(k.kind) * 0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<std::size_t>(k.op) + (h << 6);
+  h ^= k.value.hash() + (h << 6);
+  h ^= k.fresh_id + (h << 6);
+  for (ExprPtr c : k.children) {
+    h ^= std::hash<const void*>()(c) + 0x9e3779b9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+ExprPtr ExprPool::intern(Expr e) {
+  Key k{e.kind_, e.op_, e.value_, e.fresh_id_, e.children_};
+  auto it = nodes_.find(k);
+  if (it != nodes_.end()) return it->second.get();
+  auto node = std::make_unique<Expr>(std::move(e));
+  ExprPtr p = node.get();
+  nodes_.emplace(std::move(k), std::move(node));
+  return p;
+}
+
+ExprPtr ExprPool::constant(const U256& v) {
+  Expr e;
+  e.kind_ = ExprKind::Const;
+  e.value_ = v;
+  return intern(std::move(e));
+}
+
+ExprPtr ExprPool::selector_word() {
+  Expr e;
+  e.kind_ = ExprKind::SelectorWord;
+  return intern(std::move(e));
+}
+
+ExprPtr ExprPool::calldata_word(ExprPtr loc) {
+  Expr e;
+  e.kind_ = ExprKind::CalldataWord;
+  e.children_ = {loc};
+  return intern(std::move(e));
+}
+
+ExprPtr ExprPool::calldata_size() {
+  Expr e;
+  e.kind_ = ExprKind::CalldataSize;
+  return intern(std::move(e));
+}
+
+ExprPtr ExprPool::env(Opcode op) {
+  Expr e;
+  e.kind_ = ExprKind::Env;
+  e.op_ = op;
+  return intern(std::move(e));
+}
+
+ExprPtr ExprPool::fresh() {
+  Expr e;
+  e.kind_ = ExprKind::Fresh;
+  e.fresh_id_ = next_fresh_++;
+  return intern(std::move(e));
+}
+
+namespace {
+
+// Concrete evaluation for fully-constant operands.
+U256 eval_binary(Opcode op, const U256& a, const U256& b) {
+  switch (op) {
+    case Opcode::ADD: return a + b;
+    case Opcode::MUL: return a * b;
+    case Opcode::SUB: return a - b;
+    case Opcode::DIV: return a / b;
+    case Opcode::SDIV: return a.sdiv(b);
+    case Opcode::MOD: return a % b;
+    case Opcode::SMOD: return a.smod(b);
+    case Opcode::EXP: return a.exp(b);
+    case Opcode::SIGNEXTEND: return b.signextend(a);
+    case Opcode::LT: return U256(a < b ? 1 : 0);
+    case Opcode::GT: return U256(a > b ? 1 : 0);
+    case Opcode::SLT: return U256(a.slt(b) ? 1 : 0);
+    case Opcode::SGT: return U256(a.sgt(b) ? 1 : 0);
+    case Opcode::EQ: return U256(a == b ? 1 : 0);
+    case Opcode::AND: return a & b;
+    case Opcode::OR: return a | b;
+    case Opcode::XOR: return a ^ b;
+    case Opcode::BYTE: return b.byte(a);
+    case Opcode::SHL: return b.shl(a);
+    case Opcode::SHR: return b.shr(a);
+    case Opcode::SAR: return b.sar(a);
+    default: return U256(0);
+  }
+}
+
+}  // namespace
+
+ExprPtr ExprPool::binary(Opcode op, ExprPtr a, ExprPtr b) {
+  // Full constant folding.
+  if (a->is_const() && b->is_const()) {
+    return constant(eval_binary(op, a->value(), b->value()));
+  }
+
+  // Dispatcher idiom: the selector word divided/shifted down to 4 bytes.
+  // DIV(a=word, b=2^224), SHR(a=224, b=word).
+  if (op == Opcode::DIV && a->kind() == ExprKind::SelectorWord && b->is_const() &&
+      b->value() == U256::pow2(224)) {
+    return constant(U256(selector_));
+  }
+  if (op == Opcode::SHR && a->is_const() && a->value() == U256(0xe0) &&
+      b->kind() == ExprKind::SelectorWord) {
+    return constant(U256(selector_));
+  }
+
+  // Identity simplifications that keep location expressions small.
+  if (op == Opcode::ADD) {
+    if (a->is_const() && a->value().is_zero()) return b;
+    if (b->is_const() && b->value().is_zero()) return a;
+    // Canonicalize constants to the right and re-associate
+    // ADD(ADD(x, c1), c2) -> ADD(x, c1+c2) so structurally equal locations
+    // compare equal.
+    if (a->is_const()) std::swap(a, b);
+    if (b->is_const() && a->kind() == ExprKind::Binary && a->op() == Opcode::ADD &&
+        a->child(1)->is_const()) {
+      return binary(Opcode::ADD, a->child(0), constant(a->child(1)->value() + b->value()));
+    }
+  }
+  if (op == Opcode::MUL) {
+    if (a->is_const() && a->value() == U256(1)) return b;
+    if (b->is_const() && b->value() == U256(1)) return a;
+    if ((a->is_const() && a->value().is_zero()) || (b->is_const() && b->value().is_zero())) {
+      return constant(U256(0));
+    }
+    if (a->is_const()) std::swap(a, b);  // canonicalize: symbolic * const
+  }
+  if (op == Opcode::SUB && a == b) return constant(U256(0));
+
+  Expr e;
+  e.kind_ = ExprKind::Binary;
+  e.op_ = op;
+  e.children_ = {a, b};
+  return intern(std::move(e));
+}
+
+ExprPtr ExprPool::unary(Opcode op, ExprPtr a) {
+  if (a->is_const()) {
+    switch (op) {
+      case Opcode::ISZERO: return constant(U256(a->value().is_zero() ? 1 : 0));
+      case Opcode::NOT: return constant(~a->value());
+      default: break;
+    }
+  }
+  // ISZERO(ISZERO(ISZERO(x))) == ISZERO(x).
+  if (op == Opcode::ISZERO && a->kind() == ExprKind::Unary && a->op() == Opcode::ISZERO &&
+      a->child(0)->kind() == ExprKind::Unary && a->child(0)->op() == Opcode::ISZERO) {
+    return a->child(0);
+  }
+  Expr e;
+  e.kind_ = ExprKind::Unary;
+  e.op_ = op;
+  e.children_ = {a};
+  return intern(std::move(e));
+}
+
+const AffineForm& ExprPool::affine(ExprPtr e) {
+  auto it = affine_cache_.find(e);
+  if (it != affine_cache_.end()) return it->second;
+
+  AffineForm form;
+  // Iterative worklist of (expr, multiplier) pairs.
+  std::vector<std::pair<ExprPtr, U256>> work{{e, U256(1)}};
+  while (!work.empty()) {
+    auto [cur, mult] = work.back();
+    work.pop_back();
+    if (cur->is_const()) {
+      form.constant = form.constant + cur->value() * mult;
+      continue;
+    }
+    if (cur->kind() == ExprKind::Binary) {
+      if (cur->op() == Opcode::ADD) {
+        work.emplace_back(cur->child(0), mult);
+        work.emplace_back(cur->child(1), mult);
+        continue;
+      }
+      if (cur->op() == Opcode::SUB) {
+        work.emplace_back(cur->child(0), mult);
+        work.emplace_back(cur->child(1), U256(0) - mult);
+        continue;
+      }
+      if (cur->op() == Opcode::MUL && cur->child(1)->is_const()) {
+        work.emplace_back(cur->child(0), mult * cur->child(1)->value());
+        continue;
+      }
+      if (cur->op() == Opcode::MUL && cur->child(0)->is_const()) {
+        work.emplace_back(cur->child(1), mult * cur->child(0)->value());
+        continue;
+      }
+    }
+    // Opaque atom.
+    auto [slot, inserted] = form.terms.emplace(cur, mult);
+    if (!inserted) slot->second = slot->second + mult;
+  }
+  // Drop zero coefficients.
+  for (auto iter = form.terms.begin(); iter != form.terms.end();) {
+    if (iter->second.is_zero()) {
+      iter = form.terms.erase(iter);
+    } else {
+      ++iter;
+    }
+  }
+  return affine_cache_.emplace(e, std::move(form)).first->second;
+}
+
+bool ExprPool::contains_term(ExprPtr e, ExprPtr atom) {
+  const AffineForm& f = affine(e);
+  return f.terms.contains(atom);
+}
+
+}  // namespace sigrec::symexec

@@ -1,0 +1,129 @@
+// Symbolic expressions over the call data.
+//
+// Expressions are immutable, hash-consed (structural sharing: building the
+// same expression twice yields the same node pointer), and constant-folded
+// on construction. The folder knows the dispatcher idiom — extracting the
+// 4-byte selector from CALLDATALOAD(0) via DIV 2^224 or SHR 224 — so the
+// executor walks dispatchers deterministically when given a target selector.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "evm/opcodes.hpp"
+#include "evm/u256.hpp"
+
+namespace sigrec::symexec {
+
+enum class ExprKind : std::uint8_t {
+  Const,         // value
+  SelectorWord,  // CALLDATALOAD(0): target selector in the top 4 bytes
+  CalldataWord,  // CALLDATALOAD(loc): child(0) = loc
+  CalldataSize,
+  Env,      // environment opcode result (CALLER, TIMESTAMP, ...)
+  Fresh,    // free symbol (SLOAD, SHA3, unknown memory, ...)
+  Binary,   // op(child(0), child(1)) where op is an EVM opcode
+  Unary,    // op(child(0)) — ISZERO, NOT
+};
+
+class Expr;
+using ExprPtr = const Expr*;
+
+class Expr {
+ public:
+  [[nodiscard]] ExprKind kind() const { return kind_; }
+  [[nodiscard]] const evm::U256& value() const { return value_; }  // Const
+  [[nodiscard]] evm::Opcode op() const { return op_; }             // Binary/Unary/Env
+  [[nodiscard]] ExprPtr child(std::size_t i) const { return children_[i]; }
+  [[nodiscard]] std::size_t num_children() const { return children_.size(); }
+  [[nodiscard]] std::uint64_t fresh_id() const { return fresh_id_; }
+
+  [[nodiscard]] bool is_const() const { return kind_ == ExprKind::Const; }
+  // Constant that fits in 64 bits, the common case for locations.
+  [[nodiscard]] std::optional<std::uint64_t> const_u64() const {
+    if (kind_ == ExprKind::Const && value_.fits_u64()) return value_.as_u64();
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  friend class ExprPool;
+  ExprKind kind_ = ExprKind::Const;
+  evm::Opcode op_ = evm::Opcode::STOP;
+  evm::U256 value_;
+  std::uint64_t fresh_id_ = 0;
+  std::vector<ExprPtr> children_;
+};
+
+// Affine decomposition of an expression: constant + sum(coeff * atom).
+// Atoms are non-affine subexpressions (CalldataWord nodes, Fresh symbols,
+// non-linear Binary nodes). Used by the rules to answer structural queries
+// like "is this location exactly offset_load + 4".
+struct AffineForm {
+  evm::U256 constant;
+  std::map<ExprPtr, evm::U256> terms;  // atom -> coefficient
+};
+
+class ExprPool {
+ public:
+  ExprPool() = default;
+  ExprPool(const ExprPool&) = delete;
+  ExprPool& operator=(const ExprPool&) = delete;
+
+  // The analysis selector, embedded into SelectorWord folds.
+  void set_selector(std::uint32_t selector) { selector_ = selector; }
+  [[nodiscard]] std::uint32_t selector() const { return selector_; }
+
+  ExprPtr constant(const evm::U256& v);
+  ExprPtr selector_word();
+  ExprPtr calldata_word(ExprPtr loc);
+  ExprPtr calldata_size();
+  ExprPtr env(evm::Opcode op);
+  ExprPtr fresh();
+
+  // Binary operation with folding (concrete operands fold completely; ADD/
+  // MUL/SUB/AND/OR of mixed operands fold partially; DIV/SHR on SelectorWord
+  // extract the selector).
+  ExprPtr binary(evm::Opcode op, ExprPtr a, ExprPtr b);
+  ExprPtr unary(evm::Opcode op, ExprPtr a);
+
+  // a + b / a - b conveniences for the memory model.
+  ExprPtr add(ExprPtr a, ExprPtr b) { return binary(evm::Opcode::ADD, a, b); }
+  ExprPtr sub(ExprPtr a, ExprPtr b) { return binary(evm::Opcode::SUB, a, b); }
+
+  // Affine decomposition (cached). Depth-limited; atoms beyond the limit
+  // stay opaque.
+  const AffineForm& affine(ExprPtr e);
+
+  // True iff `affine(e)` contains `atom` with a non-zero coefficient.
+  bool contains_term(ExprPtr e, ExprPtr atom);
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+ private:
+  ExprPtr intern(Expr e);
+
+  std::uint32_t selector_ = 0;
+  std::uint64_t next_fresh_ = 1;
+  struct Key {
+    ExprKind kind;
+    evm::Opcode op;
+    evm::U256 value;
+    std::uint64_t fresh_id;
+    std::vector<ExprPtr> children;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  std::unordered_map<Key, std::unique_ptr<Expr>, KeyHash> nodes_;
+  std::unordered_map<ExprPtr, AffineForm> affine_cache_;
+};
+
+}  // namespace sigrec::symexec

@@ -1,0 +1,40 @@
+#include "symexec/state.hpp"
+
+#include <sstream>
+
+namespace sigrec::symexec {
+
+// Debug rendering of a trace — handy when a recovery mismatch needs
+// explaining (used by tools/tests, not by the recovery pipeline).
+std::string trace_to_string(const Trace& trace) {
+  std::ostringstream os;
+  os << "selector 0x" << std::hex << trace.selector << std::dec << ", "
+     << trace.loads.size() << " loads, " << trace.copies.size() << " copies, "
+     << trace.uses.size() << " uses, " << trace.paths_explored << " paths\n";
+  for (const LoadEvent& l : trace.loads) {
+    os << "  load#" << l.id << " @" << l.pc << " loc=" << l.loc->to_string();
+    if (!l.guards.empty()) {
+      os << " guards=[";
+      for (const GuardInfo& g : l.guards) {
+        os << (g.bound_symbolic ? "sym" : std::to_string(g.bound_const)) << ' ';
+      }
+      os << ']';
+    }
+    os << '\n';
+  }
+  for (const CopyEvent& c : trace.copies) {
+    os << "  copy#" << c.id << " @" << c.pc << " src=" << c.src->to_string()
+       << " len=" << c.len->to_string();
+    if (!c.guards.empty()) {
+      os << " guards=[";
+      for (const GuardInfo& g : c.guards) {
+        os << (g.bound_symbolic ? "sym" : std::to_string(g.bound_const)) << ' ';
+      }
+      os << ']';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sigrec::symexec

@@ -1,0 +1,146 @@
+// Symbolic machine state and the event trace the TASE rules consume.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "symexec/expr.hpp"
+
+namespace sigrec::symexec {
+
+// Dataflow provenance carried by every symbolic value. The rules in §3 are
+// phrased over "the symbolic expression of loc contains …"; provenance makes
+// those queries robust to constant folding (e.g. the loop-counter iteration
+// with i == 0, where i*32 folds to 0 but the MUL-by-32 still happened).
+struct Prov {
+  // CALLDATALOAD events whose *value* flowed into this value (additively or
+  // otherwise) — the "exp(loc) ∘ (offset +)" signal of R2.
+  std::set<std::uint32_t> loads;
+  // CALLDATACOPY regions this value was read back out of (via MLOAD) — the
+  // step-3 "parameter-related symbol" marking.
+  std::set<std::uint32_t> copies;
+  // Bound checks (by guard id) that dominate this value's index components —
+  // the "LTn ≺ … ≺ LT1 ≺ CALLDATALOAD" signal of R2/R3.
+  std::set<std::uint32_t> checks;
+  bool mul32 = false;  // multiplied by a non-zero multiple of 32 (R2's ×32)
+  bool div32 = false;  // divided by 32 — the ceil-rounding signature of R8
+
+  void merge(const Prov& other) {
+    loads.insert(other.loads.begin(), other.loads.end());
+    copies.insert(other.copies.begin(), other.copies.end());
+    checks.insert(other.checks.begin(), other.checks.end());
+    mul32 |= other.mul32;
+    div32 |= other.div32;
+  }
+  [[nodiscard]] bool touches_calldata() const { return !loads.empty() || !copies.empty(); }
+};
+
+// Attached to the result of an LT/GT so that a following JUMPI can recognise
+// a bound check and scope it.
+struct LtOrigin {
+  std::size_t lt_pc = 0;
+  bool bound_symbolic = false;
+  std::uint64_t bound_const = 0;     // when !bound_symbolic
+  std::uint32_t bound_load = 0;      // LoadEvent id of the num field, when symbolic
+  // Concrete memory slot the checked index was loaded from, if any; lets the
+  // executor tag the loop counter so later uses carry the check.
+  std::optional<std::uint64_t> index_slot;
+  bool index_const = false;          // straight-line constant-index check
+};
+
+struct SymValue {
+  ExprPtr expr = nullptr;
+  Prov prov;
+  std::optional<LtOrigin> lt_origin;
+  // Concrete memory address this value was MLOADed from (for counter
+  // tagging); cleared by any arithmetic.
+  std::optional<std::uint64_t> source_slot;
+};
+
+// --- trace events -----------------------------------------------------------
+
+// One bound check guarding a call-data access.
+struct GuardInfo {
+  std::uint32_t id = 0;     // creation order — outer loops get smaller ids
+  std::size_t lt_pc = 0;
+  bool bound_symbolic = false;
+  std::uint64_t bound_const = 0;
+  std::uint32_t bound_load = 0;  // num-field LoadEvent id when symbolic
+};
+
+struct LoadEvent {  // CALLDATALOAD
+  std::uint32_t id = 0;
+  std::size_t pc = 0;
+  ExprPtr loc = nullptr;
+  std::optional<std::uint64_t> loc_const;
+  Prov loc_prov;
+  std::vector<GuardInfo> guards;  // ordered outermost-first
+  ExprPtr result = nullptr;
+};
+
+struct CopyEvent {  // CALLDATACOPY
+  std::uint32_t id = 0;
+  std::size_t pc = 0;
+  ExprPtr src = nullptr;
+  std::optional<std::uint64_t> src_const;
+  Prov src_prov;
+  ExprPtr len = nullptr;
+  std::optional<std::uint64_t> len_const;
+  Prov len_prov;
+  ExprPtr dst = nullptr;
+  Prov dst_prov;
+  std::vector<GuardInfo> guards;
+};
+
+// A type-revealing operation applied to a call-data-derived value.
+enum class UseKind {
+  Mask,         // AND with a constant (R11/R12/R16/R18)
+  SignExtend,   // SIGNEXTEND with constant k (R13)
+  IsZeroPair,   // two consecutive ISZEROs (R14)
+  ByteOp,       // BYTE applied to the value (R17/R18/R26/R31)
+  Arithmetic,   // ADD/SUB/MUL/DIV/MOD/EXP involving the value (R4/R16)
+  SignedOp,     // SDIV/SMOD/SLT/SGT (R15)
+  Compare,      // LT/GT/SLT/SGT against a constant — the Vyper clamps (R27-R30)
+};
+
+struct UseEvent {
+  UseKind kind;
+  std::size_t pc = 0;
+  Prov value_prov;             // which loads/copies the touched value came from
+  evm::U256 mask;              // Mask: the AND constant
+  std::uint64_t signext_k = 0; // SignExtend
+  evm::U256 bound;             // Compare: the constant compared against
+  bool cmp_signed = false;     // Compare via SLT/SGT
+};
+
+// Everything the recovery rules need about one function's execution.
+struct Trace {
+  // Owns the expression nodes the events point into.
+  std::shared_ptr<ExprPool> pool;
+  std::uint32_t selector = 0;
+  std::vector<LoadEvent> loads;
+  std::vector<CopyEvent> copies;
+  std::vector<UseEvent> uses;
+  bool solidity_prologue = false;  // free-memory-pointer init at pc 0 (R20)
+  bool exhausted = false;          // hit a path/step cap (diagnostics only)
+  std::uint64_t total_steps = 0;
+  std::uint64_t paths_explored = 0;
+
+  // Lookup: result node of CALLDATALOAD -> event id (for num-field bounds).
+  std::map<ExprPtr, std::uint32_t> load_by_result;
+};
+
+// A CALLDATACOPY-created memory region (for MLOAD marking).
+struct Region {
+  ExprPtr base = nullptr;
+  ExprPtr len = nullptr;
+  std::uint32_t copy_id = 0;
+};
+
+// Debug rendering of a trace (events, guards) for diagnosing recoveries.
+std::string trace_to_string(const Trace& trace);
+
+}  // namespace sigrec::symexec

@@ -1,0 +1,51 @@
+// Shared helpers for recovery tests: compile a one-function spec and compare
+// the recovered signature against the declared ground truth.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hpp"
+#include "sigrec/sigrec.hpp"
+#include "symexec/executor.hpp"
+#include "symexec/state.hpp"
+
+namespace sigrec::testutil {
+
+inline compiler::ContractSpec one_function_spec(const std::vector<std::string>& types,
+                                                bool external,
+                                                compiler::CompilerConfig cfg = {},
+                                                compiler::BodyClues clues = {}) {
+  compiler::FunctionSpec fn = compiler::make_function("fn", types, external);
+  fn.clues = clues;
+  return compiler::make_contract("t", cfg, {std::move(fn)});
+}
+
+inline core::RecoveredFunction recover_one(const compiler::ContractSpec& spec) {
+  evm::Bytecode code = compiler::compile_contract(spec);
+  core::SigRec tool;
+  core::RecoveryResult result = tool.recover(code);
+  EXPECT_EQ(result.functions.size(), spec.functions.size());
+  if (result.functions.empty()) return {};
+  return result.functions.front();
+}
+
+// Asserts that the declared type list round-trips through compile + recover.
+inline void expect_roundtrip(const std::vector<std::string>& types, bool external,
+                             compiler::CompilerConfig cfg = {},
+                             compiler::BodyClues clues = {}) {
+  auto spec = one_function_spec(types, external, cfg, clues);
+  core::RecoveredFunction fn = recover_one(spec);
+  EXPECT_TRUE(spec.functions[0].signature.same_parameters(fn.parameters))
+      << "declared: " << spec.functions[0].signature.display() << "\nrecovered: ("
+      << fn.type_list() << ") [" << (external ? "external" : "public") << "]";
+}
+
+// Debug helper: dump the symbolic trace for a one-function spec.
+inline std::string trace_dump(const compiler::ContractSpec& spec) {
+  evm::Bytecode code = compiler::compile_contract(spec);
+  symexec::SymExecutor ex(code);
+  symexec::Trace trace = ex.run(spec.functions[0].signature.selector());
+  return symexec::trace_to_string(trace);
+}
+
+}  // namespace sigrec::testutil

@@ -1,0 +1,167 @@
+// Encoder/decoder round trips over the full type zoo, plus spot checks of
+// the exact call-data layouts the paper's §2 figures show.
+#include <gtest/gtest.h>
+
+#include "abi/decoder.hpp"
+#include "abi/encoder.hpp"
+
+namespace sigrec::abi {
+namespace {
+
+using evm::U256;
+
+FunctionSignature sig_of(const std::string& text) {
+  FunctionSignature sig;
+  EXPECT_TRUE(parse_signature(text, sig)) << text;
+  return sig;
+}
+
+bool values_equal(const Value& a, const Value& b) {
+  if (a.data.index() != b.data.index()) return false;
+  if (a.is_word()) return a.word() == b.word();
+  if (a.is_bytes()) return a.bytes() == b.bytes();
+  const auto& la = a.list();
+  const auto& lb = b.list();
+  if (la.size() != lb.size()) return false;
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    if (!values_equal(la[i], lb[i])) return false;
+  }
+  return true;
+}
+
+void expect_roundtrip(const std::string& signature, std::uint64_t salt) {
+  FunctionSignature sig = sig_of(signature);
+  std::vector<Value> values;
+  for (std::size_t i = 0; i < sig.parameters.size(); ++i) {
+    values.push_back(sample_value(*sig.parameters[i], salt + i));
+  }
+  evm::Bytes calldata = encode_call(sig, values);
+  ASSERT_GE(calldata.size(), 4u);
+  auto decoded = decode_call(sig, calldata);
+  ASSERT_TRUE(decoded.has_value()) << signature;
+  ASSERT_EQ(decoded->values.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_TRUE(values_equal(values[i], decoded->values[i]))
+        << signature << " param " << i << ": " << values[i].to_string() << " vs "
+        << decoded->values[i].to_string();
+  }
+}
+
+TEST(AbiCodec, BasicTypesRoundTrip) {
+  for (std::uint64_t salt = 0; salt < 5; ++salt) {
+    expect_roundtrip("f(uint256)", salt);
+    expect_roundtrip("f(uint8,int16,address,bool,bytes4)", salt);
+    expect_roundtrip("f(int256,bytes32)", salt);
+  }
+}
+
+TEST(AbiCodec, ArraysRoundTrip) {
+  for (std::uint64_t salt = 0; salt < 5; ++salt) {
+    expect_roundtrip("f(uint256[3])", salt);
+    expect_roundtrip("f(uint8[2][3])", salt);
+    expect_roundtrip("f(uint256[])", salt);
+    expect_roundtrip("f(uint8[3][])", salt);
+    expect_roundtrip("f(uint8[][2])", salt);
+    expect_roundtrip("f(uint8[][])", salt);
+  }
+}
+
+TEST(AbiCodec, BytesStringRoundTrip) {
+  for (std::uint64_t salt = 0; salt < 8; ++salt) {
+    expect_roundtrip("f(bytes)", salt);
+    expect_roundtrip("f(string)", salt);
+    expect_roundtrip("f(bytes,string,bytes)", salt);
+  }
+}
+
+TEST(AbiCodec, TuplesRoundTrip) {
+  for (std::uint64_t salt = 0; salt < 5; ++salt) {
+    expect_roundtrip("f((uint256,uint256))", salt);
+    expect_roundtrip("f((uint256[],uint256))", salt);
+    expect_roundtrip("f((bytes,bool),address)", salt);
+  }
+}
+
+TEST(AbiCodec, MixedSignatures) {
+  for (std::uint64_t salt = 0; salt < 5; ++salt) {
+    expect_roundtrip("f(uint8[],address)", salt);
+    expect_roundtrip("f(uint256,bytes,uint8[2],string,int64)", salt);
+  }
+}
+
+TEST(AbiCodec, Fig3Uint32Layout) {
+  // Fig. 3: one uint32 argument 0x11223344 — selector then the value
+  // left-padded to 32 bytes.
+  FunctionSignature sig = sig_of("f(uint32)");
+  evm::Bytes calldata = encode_call(sig, {Value(U256(0x11223344))});
+  ASSERT_EQ(calldata.size(), 36u);
+  for (std::size_t i = 4; i < 32; ++i) EXPECT_EQ(calldata[i], 0);
+  EXPECT_EQ(calldata[32], 0x11);
+  EXPECT_EQ(calldata[35], 0x44);
+}
+
+TEST(AbiCodec, Fig4Bytes4Layout) {
+  // Fig. 4: bytes4 'abcd' is RIGHT-padded (left-aligned).
+  FunctionSignature sig = sig_of("f(bytes4)");
+  evm::Bytes calldata = encode_call(sig, {Value(U256(0x61626364))});
+  ASSERT_EQ(calldata.size(), 36u);
+  EXPECT_EQ(calldata[4], 'a');
+  EXPECT_EQ(calldata[7], 'd');
+  for (std::size_t i = 8; i < 36; ++i) EXPECT_EQ(calldata[i], 0);
+}
+
+TEST(AbiCodec, Fig6DynamicArrayLayout) {
+  // Fig. 6: uint256[3][] with actual argument of 2 outer items: offset word,
+  // then num == 2, then 6 inline words.
+  FunctionSignature sig = sig_of("f(uint256[3][])");
+  Value inner1(Value::List{Value(U256(1)), Value(U256(2)), Value(U256(3))});
+  Value inner2(Value::List{Value(U256(4)), Value(U256(5)), Value(U256(6))});
+  Value arg(Value::List{inner1, inner2});
+  evm::Bytes calldata = encode_call(sig, {arg});
+  // 4 + 32 (offset) + 32 (num) + 6*32 (items).
+  ASSERT_EQ(calldata.size(), 4u + 32 + 32 + 192);
+  EXPECT_EQ(U256::from_be_bytes(std::span<const std::uint8_t>(calldata).subspan(4, 32)),
+            U256(0x20));  // offset relative to after-selector
+  EXPECT_EQ(U256::from_be_bytes(std::span<const std::uint8_t>(calldata).subspan(36, 32)),
+            U256(2));  // num
+  EXPECT_EQ(U256::from_be_bytes(std::span<const std::uint8_t>(calldata).subspan(68, 32)),
+            U256(1));
+}
+
+TEST(AbiCodec, Fig8StaticStructFlattens) {
+  // Fig. 8: (uint256,uint256) encodes exactly like two uint256 parameters.
+  FunctionSignature struct_sig = sig_of("f((uint256,uint256))");
+  FunctionSignature flat_sig = sig_of("f(uint256,uint256)");
+  Value a(U256(7)), b(U256(9));
+  evm::Bytes struct_call =
+      encode_arguments(struct_sig.parameters, {Value(Value::List{a, b})});
+  evm::Bytes flat_call = encode_arguments(flat_sig.parameters, {a, b});
+  EXPECT_EQ(struct_call, flat_call);
+}
+
+TEST(AbiCodec, DecoderRejectsTruncation) {
+  FunctionSignature sig = sig_of("f(uint256,bytes)");
+  evm::Bytes calldata = encode_sample_call(sig, 3);
+  // Chop the tail: decoding must fail, not crash.
+  for (std::size_t keep : {4u, 36u, 40u}) {
+    evm::Bytes cut(calldata.begin(), calldata.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_FALSE(decode_call(sig, cut).has_value()) << keep;
+  }
+}
+
+TEST(AbiCodec, DecoderRejectsHugeNum) {
+  FunctionSignature sig = sig_of("f(uint256[])");
+  evm::Bytes calldata = encode_sample_call(sig, 1);
+  // Overwrite the num field with an absurd value.
+  for (std::size_t i = 36; i < 68; ++i) calldata[i] = 0xff;
+  EXPECT_FALSE(decode_call(sig, calldata).has_value());
+}
+
+TEST(AbiCodec, StaticArraySizeMismatchThrows) {
+  FunctionSignature sig = sig_of("f(uint256[3])");
+  Value wrong(Value::List{Value(U256(1)), Value(U256(2))});  // only 2 items
+  EXPECT_THROW((void)encode_call(sig, {wrong}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sigrec::abi

@@ -1,0 +1,125 @@
+#include "abi/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sigrec::abi {
+namespace {
+
+TEST(AbiTypes, CanonicalNames) {
+  EXPECT_EQ(uint_type(256)->canonical_name(), "uint256");
+  EXPECT_EQ(uint_type(8)->canonical_name(), "uint8");
+  EXPECT_EQ(int_type(128)->canonical_name(), "int128");
+  EXPECT_EQ(address_type()->canonical_name(), "address");
+  EXPECT_EQ(bool_type()->canonical_name(), "bool");
+  EXPECT_EQ(fixed_bytes_type(4)->canonical_name(), "bytes4");
+  EXPECT_EQ(bytes_type()->canonical_name(), "bytes");
+  EXPECT_EQ(string_type()->canonical_name(), "string");
+}
+
+TEST(AbiTypes, ArrayNames) {
+  // uint256[3][2]: two arrays of three items (§2.3.1's reversed notation).
+  TypePtr t = array_type(array_type(uint_type(256), 3), 2);
+  EXPECT_EQ(t->canonical_name(), "uint256[3][2]");
+  TypePtr dyn = array_type(array_type(uint_type(8), 3), std::nullopt);
+  EXPECT_EQ(dyn->canonical_name(), "uint8[3][]");
+  TypePtr nested = array_type(array_type(uint_type(8), std::nullopt), 2);
+  EXPECT_EQ(nested->canonical_name(), "uint8[][2]");
+}
+
+TEST(AbiTypes, TupleNames) {
+  TypePtr t = tuple_type({array_type(uint_type(256), std::nullopt), uint_type(256)});
+  EXPECT_EQ(t->canonical_name(), "(uint256[],uint256)");
+}
+
+TEST(AbiTypes, VyperDisplayNames) {
+  EXPECT_EQ(decimal_type()->display_name(), "decimal");
+  EXPECT_EQ(decimal_type()->canonical_name(), "fixed168x10");
+  EXPECT_EQ(bounded_bytes_type(50)->display_name(), "bytes[50]");
+  EXPECT_EQ(bounded_string_type(20)->display_name(), "string[20]");
+}
+
+TEST(AbiTypes, DynamicClassification) {
+  EXPECT_FALSE(uint_type(256)->is_dynamic());
+  EXPECT_FALSE(array_type(uint_type(8), 3)->is_dynamic());
+  EXPECT_TRUE(array_type(uint_type(8), std::nullopt)->is_dynamic());
+  EXPECT_TRUE(bytes_type()->is_dynamic());
+  EXPECT_TRUE(string_type()->is_dynamic());
+  EXPECT_TRUE(bounded_bytes_type(10)->is_dynamic());
+  // Static array of dynamic elements is dynamic.
+  EXPECT_TRUE(array_type(array_type(uint_type(8), std::nullopt), 2)->is_dynamic());
+  // Tuple dynamicity follows its members.
+  EXPECT_FALSE(tuple_type({uint_type(8), bool_type()})->is_dynamic());
+  EXPECT_TRUE(tuple_type({bytes_type(), bool_type()})->is_dynamic());
+}
+
+TEST(AbiTypes, ArrayKindClassification) {
+  TypePtr stat = array_type(array_type(uint_type(8), 3), 2);
+  EXPECT_TRUE(stat->is_static_array());
+  EXPECT_FALSE(stat->is_dynamic_array());
+  EXPECT_FALSE(stat->is_nested_array());
+
+  TypePtr dyn = array_type(array_type(uint_type(8), 3), std::nullopt);
+  EXPECT_TRUE(dyn->is_dynamic_array());
+  EXPECT_FALSE(dyn->is_static_array());
+  EXPECT_FALSE(dyn->is_nested_array());
+
+  TypePtr nested = array_type(array_type(uint_type(8), std::nullopt), std::nullopt);
+  EXPECT_TRUE(nested->is_nested_array());
+  EXPECT_FALSE(nested->is_dynamic_array());
+}
+
+TEST(AbiTypes, HeadSizes) {
+  EXPECT_EQ(uint_type(8)->head_size(), 32u);
+  EXPECT_EQ(array_type(uint_type(8), 3)->head_size(), 96u);
+  EXPECT_EQ(array_type(array_type(uint_type(256), 3), 2)->head_size(), 192u);
+  EXPECT_EQ(bytes_type()->head_size(), 32u);  // offset word
+  EXPECT_EQ(array_type(uint_type(8), std::nullopt)->head_size(), 32u);
+  EXPECT_EQ(tuple_type({uint_type(8), bool_type()})->head_size(), 64u);
+}
+
+TEST(AbiTypes, DimensionsAndBaseElement) {
+  TypePtr t = array_type(array_type(array_type(int_type(16), 2), 3), std::nullopt);
+  EXPECT_EQ(t->dimensions(), 3u);
+  EXPECT_EQ(t->base_element()->canonical_name(), "int16");
+}
+
+TEST(AbiTypes, ParseRoundTrip) {
+  for (const char* name : {"uint256", "uint8", "int64", "address", "bool", "bytes7",
+                           "bytes", "string", "uint8[3]", "uint8[]", "uint256[3][2]",
+                           "uint8[][2]", "uint8[3][]", "(uint256[],uint256)",
+                           "(address,bytes)", "decimal", "bytes[50]", "string[7]"}) {
+    TypePtr t = parse_type(name);
+    ASSERT_NE(t, nullptr) << name;
+    EXPECT_EQ(t->display_name(), name);
+  }
+}
+
+TEST(AbiTypes, ParseRejectsMalformed) {
+  EXPECT_EQ(parse_type(""), nullptr);
+  EXPECT_EQ(parse_type("uint7"), nullptr);     // not a multiple of 8
+  EXPECT_EQ(parse_type("uint264"), nullptr);   // too wide
+  EXPECT_EQ(parse_type("bytes33"), nullptr);
+  EXPECT_EQ(parse_type("uint8["), nullptr);
+  EXPECT_EQ(parse_type("uint8[3"), nullptr);
+  EXPECT_EQ(parse_type("(uint8"), nullptr);
+  EXPECT_EQ(parse_type("frob"), nullptr);
+}
+
+TEST(AbiTypes, CanonicalEquality) {
+  EXPECT_TRUE(uint_type(256)->canonical_equal(*uint_type(256)));
+  EXPECT_FALSE(uint_type(256)->canonical_equal(*uint_type(128)));
+  EXPECT_FALSE(uint_type(256)->canonical_equal(*int_type(256)));
+  EXPECT_TRUE(parse_type("uint8[3][]")->canonical_equal(*parse_type("uint8[3][]")));
+  EXPECT_FALSE(parse_type("uint8[3][]")->canonical_equal(*parse_type("uint8[][3]")));
+  EXPECT_FALSE(bounded_bytes_type(5)->canonical_equal(*bounded_bytes_type(6)));
+}
+
+TEST(AbiTypes, StaticWords) {
+  EXPECT_EQ(uint_type(8)->static_words(), 1u);
+  EXPECT_EQ(array_type(uint_type(8), 5)->static_words(), 5u);
+  EXPECT_EQ(array_type(array_type(uint_type(8), 5), 2)->static_words(), 10u);
+  EXPECT_EQ(tuple_type({uint_type(8), array_type(bool_type(), 3)})->static_words(), 4u);
+}
+
+}  // namespace
+}  // namespace sigrec::abi

@@ -1,0 +1,83 @@
+// Property tests for multi-body aggregation: idempotence, permutation
+// invariance, and monotonicity (adding an uninformative body never degrades
+// the merged result).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sigrec/aggregate.hpp"
+
+namespace sigrec::core {
+namespace {
+
+RecoveredFunction fn_with(std::initializer_list<abi::TypePtr> params,
+                          std::uint32_t selector = 7) {
+  RecoveredFunction fn;
+  fn.selector = selector;
+  fn.parameters = params;
+  return fn;
+}
+
+bool same_types(const RecoveredFunction& a, const RecoveredFunction& b) {
+  if (a.parameters.size() != b.parameters.size()) return false;
+  for (std::size_t i = 0; i < a.parameters.size(); ++i) {
+    if (!a.parameters[i]->canonical_equal(*b.parameters[i])) return false;
+  }
+  return true;
+}
+
+TEST(AggregateProperties, SingletonIsIdentity) {
+  RecoveredFunction fn = fn_with({abi::uint_type(8), abi::bytes_type()});
+  RecoveredFunction merged = aggregate_recoveries({fn});
+  EXPECT_TRUE(same_types(merged, fn));
+}
+
+TEST(AggregateProperties, Idempotent) {
+  RecoveredFunction a = fn_with({abi::string_type(), abi::uint_type(256)});
+  RecoveredFunction b = fn_with({abi::bytes_type(), abi::uint_type(8)});
+  RecoveredFunction merged = aggregate_recoveries({a, b});
+  RecoveredFunction again = aggregate_recoveries({merged, merged});
+  EXPECT_TRUE(same_types(merged, again));
+}
+
+TEST(AggregateProperties, PermutationInvariant) {
+  std::vector<RecoveredFunction> fns = {
+      fn_with({abi::string_type(), abi::address_type()}),
+      fn_with({abi::bytes_type(), abi::uint_type(256)}),
+      fn_with({abi::string_type(), abi::uint_type(160)}),
+  };
+  RecoveredFunction base = aggregate_recoveries(fns);
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 10; ++i) {
+    std::shuffle(fns.begin(), fns.end(), rng);
+    EXPECT_TRUE(same_types(aggregate_recoveries(fns), base));
+  }
+  // The merged result keeps the most informative slot types.
+  EXPECT_EQ(base.parameters[0]->canonical_name(), "bytes");
+  EXPECT_EQ(base.parameters[1]->canonical_name(), "uint160");
+}
+
+TEST(AggregateProperties, UninformativeBodyNeverDegrades) {
+  RecoveredFunction informed = fn_with({abi::int_type(64), abi::bytes_type()});
+  RecoveredFunction lazy = fn_with({abi::uint_type(256), abi::string_type()});
+  RecoveredFunction merged = aggregate_recoveries({informed, lazy, lazy, lazy});
+  EXPECT_TRUE(same_types(merged, informed));
+}
+
+TEST(AggregateProperties, MajorityBreaksSpecificityTies) {
+  // Two equally specific but different answers: majority wins.
+  RecoveredFunction a = fn_with({abi::uint_type(8)});
+  RecoveredFunction b = fn_with({abi::uint_type(16)});
+  RecoveredFunction merged = aggregate_recoveries({a, b, b});
+  EXPECT_EQ(merged.parameters[0]->canonical_name(), "uint16");
+}
+
+TEST(AggregateProperties, ArrayElementSpecificityPropagates) {
+  RecoveredFunction generic = fn_with({abi::array_type(abi::uint_type(256), std::nullopt)});
+  RecoveredFunction specific = fn_with({abi::array_type(abi::uint_type(8), std::nullopt)});
+  RecoveredFunction merged = aggregate_recoveries({generic, specific});
+  EXPECT_EQ(merged.parameters[0]->canonical_name(), "uint8[]");
+}
+
+}  // namespace
+}  // namespace sigrec::core

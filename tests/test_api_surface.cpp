@@ -1,0 +1,74 @@
+// Small API surfaces not covered elsewhere: string renderings, metadata on
+// recovered functions, trace debug output.
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hpp"
+#include "sigrec/sigrec.hpp"
+#include "symexec/executor.hpp"
+
+namespace sigrec {
+namespace {
+
+TEST(ApiSurface, RecoveredFunctionToString) {
+  core::RecoveredFunction fn;
+  fn.selector = 0xa9059cbb;
+  fn.parameters = {abi::address_type(), abi::uint_type(256)};
+  EXPECT_EQ(fn.to_string(), "0xa9059cbb(address,uint256)");
+  EXPECT_EQ(fn.type_list(), "address,uint256");
+}
+
+TEST(ApiSurface, RecoveryCarriesCostMetadata) {
+  auto spec = compiler::make_contract(
+      "t", {}, {compiler::make_function("a", {"uint256[]", "bytes"})});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  core::SigRec tool;
+  auto result = tool.recover(code);
+  ASSERT_EQ(result.functions.size(), 1u);
+  EXPECT_GT(result.functions[0].symbolic_steps, 10u);
+  EXPECT_GE(result.functions[0].paths_explored, 1u);
+  EXPECT_GT(result.functions[0].seconds, 0.0);
+  EXPECT_GE(result.seconds, result.functions[0].seconds);
+}
+
+TEST(ApiSurface, TraceDebugRendering) {
+  auto spec = compiler::make_contract(
+      "t", {}, {compiler::make_function("a", {"uint8[]"}, true)});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  symexec::SymExecutor ex(code);
+  symexec::Trace trace = ex.run(spec.functions[0].signature.selector());
+  std::string text = symexec::trace_to_string(trace);
+  EXPECT_NE(text.find("loads"), std::string::npos);
+  EXPECT_NE(text.find("guards=[sym"), std::string::npos);  // the num bound check
+}
+
+TEST(ApiSurface, MoreInstructionsMoreSymbolicSteps) {
+  // §5.4: analysis cost tracks function size.
+  auto small = compiler::make_contract(
+      "s", {}, {compiler::make_function("a", {"uint256"})});
+  auto large = compiler::make_contract(
+      "l", {},
+      {compiler::make_function("a", {"uint8[2][3]", "bytes", "uint256[]", "int64"})});
+  core::SigRec tool;
+  auto rs = tool.recover(compiler::compile_contract(small));
+  auto rl = tool.recover(compiler::compile_contract(large));
+  ASSERT_EQ(rs.functions.size(), 1u);
+  ASSERT_EQ(rl.functions.size(), 1u);
+  EXPECT_GT(rl.functions[0].symbolic_steps, rs.functions[0].symbolic_steps);
+}
+
+TEST(ApiSurface, CustomLimitsRespected) {
+  symexec::Limits limits;
+  limits.max_total_steps = 50;  // absurdly tight
+  core::SigRec strangled(limits);
+  auto spec = compiler::make_contract(
+      "t", {}, {compiler::make_function("a", {"uint256[]", "bytes", "string"})});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  auto result = strangled.recover(code);
+  // It cannot do much, but it must not crash, and must respect the budget.
+  for (const auto& fn : result.functions) {
+    EXPECT_LE(fn.symbolic_steps, 52u);
+  }
+}
+
+}  // namespace
+}  // namespace sigrec

@@ -1,0 +1,76 @@
+#include "compiler/asm_builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sigrec::compiler {
+namespace {
+
+using evm::Opcode;
+using evm::U256;
+
+TEST(AsmBuilder, MinimalPushWidth) {
+  AsmBuilder b;
+  b.push(U256(0));
+  b.push(U256(0xff));
+  b.push(U256(0x100));
+  evm::Bytecode code = b.assemble();
+  // PUSH1 00, PUSH1 ff, PUSH2 0100.
+  EXPECT_EQ(code.to_hex(), "0x600060ff610100");
+}
+
+TEST(AsmBuilder, ExplicitWidth) {
+  AsmBuilder b;
+  b.push_width(U256(0x42), 4);
+  EXPECT_EQ(b.assemble().to_hex(), "0x6300000042");
+}
+
+TEST(AsmBuilder, LabelForwardReference) {
+  AsmBuilder b;
+  Label l = b.make_label();
+  b.jump_to(l);   // PUSH2 ???? JUMP
+  b.place(l);     // JUMPDEST at pc 4
+  b.op(Opcode::STOP);
+  evm::Bytecode code = b.assemble();
+  EXPECT_EQ(code.to_hex(), "0x610004565b00");
+}
+
+TEST(AsmBuilder, LabelBackwardReference) {
+  AsmBuilder b;
+  Label l = b.make_label();
+  b.place(l);
+  b.jump_to(l);
+  evm::Bytecode code = b.assemble();
+  EXPECT_EQ(code.to_hex(), "0x5b61000056");
+}
+
+TEST(AsmBuilder, UnplacedLabelThrows) {
+  AsmBuilder b;
+  Label l = b.make_label();
+  b.push_label(l);
+  EXPECT_THROW((void)b.assemble(), std::logic_error);
+}
+
+TEST(AsmBuilder, DoublePlacementThrows) {
+  AsmBuilder b;
+  Label l = b.make_label();
+  b.place(l);
+  EXPECT_THROW(b.place(l), std::logic_error);
+}
+
+TEST(AsmBuilder, DupSwapHelpers) {
+  AsmBuilder b;
+  b.dup(1).swap(2);
+  EXPECT_EQ(b.assemble().to_hex(), "0x8091");
+}
+
+TEST(AsmBuilder, PcTracksBytes) {
+  AsmBuilder b;
+  EXPECT_EQ(b.pc(), 0u);
+  b.push(U256(1));
+  EXPECT_EQ(b.pc(), 2u);
+  b.op(Opcode::ADD);
+  EXPECT_EQ(b.pc(), 3u);
+}
+
+}  // namespace
+}  // namespace sigrec::compiler

@@ -1,0 +1,140 @@
+#include "baselines/db_tools.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/heuristic_recovery.hpp"
+#include "compiler/compile.hpp"
+
+namespace sigrec::baselines {
+namespace {
+
+using compiler::make_contract;
+using compiler::make_function;
+
+TEST(SignatureDb, InsertAndLookup) {
+  SignatureDb db;
+  abi::FunctionSignature sig;
+  ASSERT_TRUE(abi::parse_signature("transfer(address,uint256)", sig));
+  db.insert(sig);
+  auto hit = db.lookup(0xa9059cbb);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->size(), 2u);
+  EXPECT_FALSE(db.lookup(0xdeadbeef).has_value());
+}
+
+TEST(SignatureDb, CoverageFraction) {
+  corpus::Corpus ds = corpus::make_open_source_corpus(80, 3);
+  SignatureDb full = SignatureDb::from_corpus(ds, 100);
+  SignatureDb half = SignatureDb::from_corpus(ds, 50);
+  SignatureDb none = SignatureDb::from_corpus(ds, 0);
+  EXPECT_EQ(none.size(), 0u);
+  EXPECT_GT(full.size(), half.size());
+  // Half coverage is roughly half (binomial, loose bounds).
+  EXPECT_GT(half.size(), full.size() / 4);
+  EXPECT_LT(half.size(), full.size() * 3 / 4 + 10);
+}
+
+TEST(DbTool, RecoversOnlyWhatTheDbHolds) {
+  auto spec = make_contract("t", {}, {make_function("inDb", {"uint256"}),
+                                      make_function("notInDb", {"address"})});
+  SignatureDb db;
+  db.insert(spec.functions[0].signature);
+  auto tool = make_db_tool("OSD", std::move(db));
+  evm::Bytecode code = compiler::compile_contract(spec);
+  BaselineOutput out = tool->recover(code);
+  ASSERT_EQ(out.functions.size(), 2u);
+  EXPECT_TRUE(out.functions[0].parameters.has_value());
+  EXPECT_FALSE(out.functions[1].parameters.has_value());
+}
+
+TEST(Heuristic, RecoversSimpleBasics) {
+  auto spec = make_contract("t", {}, {make_function("f", {"uint8", "address"})});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  auto params = heuristic_parameters(code, spec.functions[0].signature.selector());
+  ASSERT_TRUE(params.has_value());
+  ASSERT_EQ(params->size(), 2u);
+  EXPECT_EQ((*params)[0]->canonical_name(), "uint8");
+  EXPECT_EQ((*params)[1]->canonical_name(), "address");
+}
+
+TEST(Heuristic, FailsOnComplexTypes) {
+  // The linear scan cannot see multi-dimensional structure — it produces
+  // *something*, but not the right signature (the documented failure mode).
+  auto spec = make_contract("t", {}, {make_function("f", {"uint8[3][]", "bytes"})});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  auto params = heuristic_parameters(code, spec.functions[0].signature.selector());
+  bool correct = params.has_value() &&
+                 spec.functions[0].signature.same_parameters(*params);
+  EXPECT_FALSE(correct);
+}
+
+TEST(EveemLike, FallsBackToHeuristics) {
+  auto spec = make_contract("t", {}, {make_function("f", {"uint8"})});
+  auto tool = make_eveem_like(SignatureDb{});  // empty database
+  evm::Bytecode code = compiler::compile_contract(spec);
+  BaselineOutput out = tool->recover(code);
+  ASSERT_EQ(out.functions.size(), 1u);
+  ASSERT_TRUE(out.functions[0].parameters.has_value());
+  EXPECT_EQ((*out.functions[0].parameters)[0]->canonical_name(), "uint8");
+}
+
+TEST(GigahorseLike, ManglesMultiParamFallbacks) {
+  auto spec = make_contract("t", {}, {make_function("f", {"uint8", "uint16", "uint32"})});
+  auto tool = make_gigahorse_like(SignatureDb{});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  BaselineOutput out = tool->recover(code);
+  if (!out.aborted) {
+    ASSERT_EQ(out.functions.size(), 1u);
+    // Merged into one parameter — the §5.6 error mode.
+    ASSERT_TRUE(out.functions[0].parameters.has_value());
+    EXPECT_EQ(out.functions[0].parameters->size(), 1u);
+  }
+}
+
+TEST(SignatureDb, TextExportImportRoundTrip) {
+  SignatureDb db;
+  for (const char* text : {"transfer(address,uint256)", "mint(bytes,uint8[3])",
+                           "burn(uint256[],(uint256[],uint256))"}) {
+    abi::FunctionSignature sig;
+    ASSERT_TRUE(abi::parse_signature(text, sig));
+    db.insert(sig);
+  }
+  std::string exported = db.export_text();
+  EXPECT_NE(exported.find("0xa9059cbb: "), std::string::npos);
+
+  SignatureDb imported;
+  EXPECT_EQ(imported.import_text(exported), 3u);
+  auto hit = imported.lookup(0xa9059cbb);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->size(), 2u);
+  EXPECT_EQ((*hit)[0]->canonical_name(), "address");
+  EXPECT_EQ((*hit)[1]->canonical_name(), "uint256");
+}
+
+TEST(SignatureDb, ImportSkipsMalformedLines) {
+  SignatureDb db;
+  std::string text =
+      "# a comment\n"
+      "\n"
+      "0xa9059cbb: transfer(address,uint256)\n"
+      "not a line\n"
+      "0xzzzz: broken(uint256)\n"
+      "0x12345678: bad(uint7)\n";
+  EXPECT_EQ(db.import_text(text), 1u);
+  EXPECT_TRUE(db.lookup(0xa9059cbb).has_value());
+}
+
+TEST(Baselines, AbortRateIsDeterministic) {
+  corpus::Corpus ds = corpus::make_open_source_corpus(30, 21);
+  auto bytecodes = corpus::compile_corpus(ds);
+  auto tool = make_gigahorse_like(SignatureDb{});
+  unsigned aborts_a = 0, aborts_b = 0;
+  for (const auto& code : bytecodes) {
+    aborts_a += tool->recover(code).aborted ? 1 : 0;
+    aborts_b += tool->recover(code).aborted ? 1 : 0;
+  }
+  EXPECT_EQ(aborts_a, aborts_b);
+}
+
+}  // namespace
+}  // namespace sigrec::baselines

@@ -1,0 +1,55 @@
+#include "evm/bytecode.hpp"
+
+#include <gtest/gtest.h>
+
+#include "evm/opcodes.hpp"
+
+namespace sigrec::evm {
+namespace {
+
+TEST(Bytecode, HexCodec) {
+  auto bytes = bytes_from_hex("0x60806040");
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(bytes->size(), 4u);
+  EXPECT_EQ((*bytes)[0], 0x60);
+  EXPECT_EQ(bytes_to_hex(*bytes), "0x60806040");
+  EXPECT_EQ(bytes_to_hex(*bytes, false), "60806040");
+}
+
+TEST(Bytecode, HexRejectsMalformed) {
+  EXPECT_FALSE(bytes_from_hex("0x123").has_value());  // odd length
+  EXPECT_FALSE(bytes_from_hex("zz").has_value());
+  EXPECT_TRUE(bytes_from_hex("").has_value());  // empty is valid
+}
+
+TEST(Bytecode, JumpdestValidation) {
+  // 0x5b at pc 0 is a JUMPDEST; 0x5b inside a PUSH immediate is data.
+  auto code = Bytecode::from_hex("0x5b605b");  // JUMPDEST, PUSH1 0x5b
+  ASSERT_TRUE(code.has_value());
+  EXPECT_TRUE(code->is_jumpdest(0));
+  EXPECT_FALSE(code->is_jumpdest(1));  // the PUSH1 opcode
+  EXPECT_FALSE(code->is_jumpdest(2));  // the immediate byte 0x5b
+  EXPECT_FALSE(code->is_jumpdest(99));
+}
+
+TEST(Bytecode, JumpdestAfterWidePush) {
+  // PUSH32 <32 bytes of 0x5b> JUMPDEST.
+  Bytes raw;
+  raw.push_back(0x7f);
+  for (int i = 0; i < 32; ++i) raw.push_back(0x5b);
+  raw.push_back(0x5b);
+  Bytecode code(raw);
+  for (std::size_t pc = 1; pc <= 32; ++pc) EXPECT_FALSE(code.is_jumpdest(pc)) << pc;
+  EXPECT_TRUE(code.is_jumpdest(33));
+}
+
+TEST(Bytecode, RoundTrip) {
+  auto code = Bytecode::from_hex("0x6001600201");
+  ASSERT_TRUE(code.has_value());
+  EXPECT_EQ(code->to_hex(), "0x6001600201");
+  EXPECT_EQ(code->size(), 5u);
+  EXPECT_EQ((*code)[4], 0x01);
+}
+
+}  // namespace
+}  // namespace sigrec::evm

@@ -1,0 +1,110 @@
+#include "evm/cfg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "compiler/asm_builder.hpp"
+
+namespace sigrec::evm {
+namespace {
+
+using compiler::AsmBuilder;
+using compiler::Label;
+
+TEST(Cfg, SingleBlock) {
+  auto code = Bytecode::from_hex("0x6001600201").value();
+  Disassembly dis(code);
+  Cfg cfg(dis);
+  ASSERT_EQ(cfg.blocks().size(), 1u);
+  EXPECT_TRUE(cfg.blocks()[0].successors.empty());
+}
+
+TEST(Cfg, SplitAtTerminator) {
+  // PUSH1 0 STOP JUMPDEST STOP -> two blocks.
+  auto code = Bytecode::from_hex("0x6000005b00").value();
+  Disassembly dis(code);
+  Cfg cfg(dis);
+  ASSERT_EQ(cfg.blocks().size(), 2u);
+  EXPECT_TRUE(cfg.blocks()[0].successors.empty());  // STOP has no fallthrough
+}
+
+TEST(Cfg, ResolvedStaticJump) {
+  AsmBuilder b;
+  Label target = b.make_label();
+  b.jump_to(target);
+  b.op(Opcode::STOP);  // dead block
+  b.place(target);
+  b.op(Opcode::STOP);
+  Bytecode code = b.assemble();
+  Disassembly dis(code);
+  Cfg cfg(dis);
+  // block 0 -> the target block.
+  const auto& blocks = cfg.blocks();
+  ASSERT_GE(blocks.size(), 3u);
+  ASSERT_EQ(blocks[0].successors.size(), 1u);
+  std::size_t target_block = blocks[0].successors[0];
+  EXPECT_EQ(dis.instructions()[blocks[target_block].first].op, Opcode::JUMPDEST);
+}
+
+TEST(Cfg, JumpiHasTwoSuccessors) {
+  AsmBuilder b;
+  Label target = b.make_label();
+  b.push(U256(1));
+  b.jumpi_to(target);
+  b.op(Opcode::STOP);
+  b.place(target);
+  b.op(Opcode::STOP);
+  Bytecode code = b.assemble();
+  Disassembly dis(code);
+  Cfg cfg(dis);
+  EXPECT_EQ(cfg.blocks()[0].successors.size(), 2u);
+  EXPECT_TRUE(cfg.blocks()[0].has_fallthrough);
+}
+
+TEST(Cfg, LoopBackEdge) {
+  AsmBuilder b;
+  Label loop = b.make_label();
+  b.place(loop);
+  b.push(U256(1));
+  b.jumpi_to(loop);
+  b.op(Opcode::STOP);
+  Bytecode code = b.assemble();
+  Disassembly dis(code);
+  Cfg cfg(dis);
+  // The JUMPI block must have a self/back edge to the loop head.
+  std::size_t loop_block = cfg.block_at_pc(0);
+  ASSERT_NE(loop_block, Cfg::npos);
+  bool has_back_edge = false;
+  for (const auto& bb : cfg.blocks()) {
+    for (std::size_t s : bb.successors) has_back_edge |= (s == loop_block && bb.id >= s);
+  }
+  EXPECT_TRUE(has_back_edge);
+}
+
+TEST(Cfg, PredecessorsSymmetric) {
+  AsmBuilder b;
+  Label t = b.make_label();
+  b.push(U256(0)).jumpi_to(t);
+  b.op(Opcode::STOP);
+  b.place(t);
+  b.op(Opcode::STOP);
+  Bytecode code = b.assemble();
+  Disassembly dis(code);
+  Cfg cfg(dis);
+  for (const auto& bb : cfg.blocks()) {
+    for (std::size_t s : bb.successors) {
+      const auto& preds = cfg.blocks()[s].predecessors;
+      EXPECT_NE(std::find(preds.begin(), preds.end(), bb.id), preds.end());
+    }
+  }
+}
+
+TEST(Cfg, BlockOfIndex) {
+  auto code = Bytecode::from_hex("0x60005b00").value();
+  Disassembly dis(code);
+  Cfg cfg(dis);
+  EXPECT_EQ(cfg.block_of_index(0), 0u);
+  EXPECT_EQ(cfg.block_of_index(1), 1u);  // JUMPDEST starts block 1
+}
+
+}  // namespace
+}  // namespace sigrec::evm

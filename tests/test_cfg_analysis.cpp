@@ -1,0 +1,129 @@
+#include "evm/cfg_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "compiler/asm_builder.hpp"
+#include "compiler/compile.hpp"
+#include "sigrec/function_extractor.hpp"
+
+namespace sigrec::evm {
+namespace {
+
+using compiler::AsmBuilder;
+using compiler::Label;
+
+struct Built {
+  Bytecode code;
+  Disassembly dis;
+  Cfg cfg;
+  Built(AsmBuilder& b) : code(b.assemble()), dis(code), cfg(dis) {}
+};
+
+TEST(CfgAnalysis, StraightLineDominance) {
+  AsmBuilder b;
+  b.push(U256(1)).op(Opcode::POP);
+  b.op(Opcode::JUMPDEST);  // block 1
+  b.op(Opcode::STOP);
+  Built built(b);
+  CfgAnalysis an(built.cfg);
+  EXPECT_TRUE(an.dominates(0, 1));
+  EXPECT_FALSE(an.dominates(1, 0));
+  EXPECT_TRUE(an.postdominates(1, 0));
+  EXPECT_EQ(an.immediate_dominators()[1], 0u);
+}
+
+TEST(CfgAnalysis, DiamondDominance) {
+  // entry -> (then | else) -> join
+  AsmBuilder b;
+  Label then_lbl = b.make_label();
+  Label join = b.make_label();
+  b.push(U256(1));
+  b.jumpi_to(then_lbl);    // block 0
+  b.jump_to(join);         // block 1 (else)
+  b.place(then_lbl);       // block 2
+  b.jump_to(join);
+  b.place(join);           // block 3
+  b.op(Opcode::STOP);
+  Built built(b);
+  CfgAnalysis an(built.cfg);
+  std::size_t join_block = built.cfg.block_at_pc(
+      built.dis.instructions()[built.cfg.blocks().back().first].pc);
+  // The join block is postdominator of the entry; neither branch dominates it.
+  EXPECT_TRUE(an.postdominates(join_block, 0));
+  EXPECT_TRUE(an.dominates(0, join_block));
+  EXPECT_FALSE(an.dominates(1, join_block));
+  EXPECT_FALSE(an.dominates(2, join_block));
+  EXPECT_EQ(an.immediate_dominators()[join_block], 0u);
+}
+
+TEST(CfgAnalysis, NaturalLoopDetection) {
+  AsmBuilder b;
+  Label loop = b.make_label();
+  Label end = b.make_label();
+  b.push(U256(0));           // block 0
+  b.place(loop);             // block 1: header
+  b.push(U256(1)).op(Opcode::ADD);
+  b.op(Opcode::DUP1).push(U256(10)).op(Opcode::LT);
+  b.op(Opcode::ISZERO).jumpi_to(end);
+  b.jump_to(loop);           // back edge
+  b.place(end);
+  b.op(Opcode::STOP);
+  Built built(b);
+  CfgAnalysis an(built.cfg);
+  ASSERT_EQ(an.loops().size(), 1u);
+  const CfgAnalysis::Loop& l = an.loops()[0];
+  EXPECT_EQ(built.cfg.blocks()[l.header].start_pc, 2u);  // the JUMPDEST pc
+  EXPECT_GE(l.blocks.size(), 2u);
+}
+
+TEST(CfgAnalysis, CompiledContractLoops) {
+  // A public multi-dim static array produces the Listing-1 copy loop.
+  auto spec = compiler::make_contract(
+      "t", {}, {compiler::make_function("f", {"uint256[3][2]"}, false)});
+  Bytecode code = compiler::compile_contract(spec);
+  Disassembly dis(code);
+  Cfg cfg(dis);
+  CfgAnalysis an(cfg);
+  EXPECT_GE(an.loops().size(), 1u);
+  // Every loop's header dominates its tail.
+  for (const auto& loop : an.loops()) {
+    EXPECT_TRUE(an.dominates(loop.header, loop.back_edge_tail));
+  }
+}
+
+TEST(CfgAnalysis, UnreachableBlocks) {
+  AsmBuilder b;
+  b.op(Opcode::STOP);       // block 0
+  b.op(Opcode::JUMPDEST);   // block 1: unreachable
+  b.op(Opcode::STOP);
+  Built built(b);
+  CfgAnalysis an(built.cfg);
+  EXPECT_TRUE(an.reachable(0));
+  EXPECT_FALSE(an.reachable(1));
+}
+
+TEST(DispatchTable, MapsSelectorsToBodies) {
+  auto spec = compiler::make_contract(
+      "t", {},
+      {compiler::make_function("small", {"uint256"}),
+       compiler::make_function("big", {"uint8[]", "bytes", "uint256[2][3]"})});
+  Bytecode code = compiler::compile_contract(spec);
+  auto table = core::extract_dispatch_table(code);
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_EQ(table[0].selector, spec.functions[0].signature.selector());
+  EXPECT_EQ(table[1].selector, spec.functions[1].signature.selector());
+  // Entry pcs are JUMPDESTs.
+  EXPECT_TRUE(code.is_jumpdest(table[0].entry_pc));
+  EXPECT_TRUE(code.is_jumpdest(table[1].entry_pc));
+  // The function with more parameters has a bigger body.
+  EXPECT_GT(table[1].instruction_count, table[0].instruction_count);
+  EXPECT_FALSE(table[1].block_ids.empty());
+}
+
+TEST(DispatchTable, EmptyForNonDispatcherCode) {
+  auto code = Bytecode::from_hex("0x6001600201").value();
+  EXPECT_TRUE(core::extract_dispatch_table(code).empty());
+}
+
+}  // namespace
+}  // namespace sigrec::evm

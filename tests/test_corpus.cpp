@@ -1,0 +1,121 @@
+// Corpus generator invariants: determinism, size recipes, type population.
+#include "corpus/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corpus/random_types.hpp"
+
+namespace sigrec::corpus {
+namespace {
+
+TEST(Corpus, Dataset2Recipe) {
+  Corpus ds = make_dataset2(1);
+  EXPECT_EQ(ds.specs.size(), 100u);  // 100 contracts
+  for (const auto& spec : ds.specs) {
+    EXPECT_EQ(spec.functions.size(), 10u);  // x 10 functions
+    EXPECT_EQ(spec.config.version, (compiler::CompilerVersion{0, 5, 5}));
+    for (const auto& fn : spec.functions) {
+      EXPECT_GE(fn.signature.parameters.size(), 1u);
+      EXPECT_LE(fn.signature.parameters.size(), 5u);
+      for (const auto& p : fn.signature.parameters) {
+        // No struct/nested in dataset 2.
+        EXPECT_NE(p->kind, abi::TypeKind::Tuple);
+        EXPECT_FALSE(p->is_nested_array());
+      }
+    }
+  }
+}
+
+TEST(Corpus, SeedsAreDeterministic) {
+  Corpus a = make_dataset2(42);
+  Corpus b = make_dataset2(42);
+  ASSERT_EQ(a.specs.size(), b.specs.size());
+  for (std::size_t i = 0; i < a.specs.size(); ++i) {
+    ASSERT_EQ(a.specs[i].functions.size(), b.specs[i].functions.size());
+    for (std::size_t f = 0; f < a.specs[i].functions.size(); ++f) {
+      EXPECT_EQ(a.specs[i].functions[f].signature.canonical(),
+                b.specs[i].functions[f].signature.canonical());
+    }
+  }
+  Corpus c = make_dataset2(43);
+  EXPECT_NE(a.specs[0].functions[0].signature.canonical(),
+            c.specs[0].functions[0].signature.canonical());
+}
+
+TEST(Corpus, AllSpecsCompile) {
+  for (auto& ds : {make_open_source_corpus(25, 2), make_vyper_corpus(25, 2),
+                   make_struct_nested_corpus(25, 2), make_closed_source_corpus(25, 2)}) {
+    auto bytecodes = compile_corpus(ds);
+    EXPECT_EQ(bytecodes.size(), ds.specs.size());
+    for (const auto& code : bytecodes) EXPECT_GT(code.size(), 10u);
+  }
+}
+
+TEST(Corpus, VyperCorpusUsesVyperTypes) {
+  Corpus ds = make_vyper_corpus(30, 9);
+  bool saw_bounded = false;
+  for (const auto& spec : ds.specs) {
+    EXPECT_EQ(spec.config.dialect, abi::Dialect::Vyper);
+    for (const auto& fn : spec.functions) {
+      for (const auto& p : fn.signature.parameters) {
+        saw_bounded |= (p->kind == abi::TypeKind::BoundedBytes ||
+                        p->kind == abi::TypeKind::BoundedString);
+        // Vyper has no dynamic arrays.
+        EXPECT_FALSE(p->is_dynamic_array());
+      }
+    }
+  }
+  EXPECT_TRUE(saw_bounded);
+}
+
+TEST(Corpus, StructNestedCorpusHasOnePerFunction) {
+  Corpus ds = make_struct_nested_corpus(20, 4);
+  for (const auto& spec : ds.specs) {
+    for (const auto& fn : spec.functions) {
+      bool has_target = false;
+      for (const auto& p : fn.signature.parameters) {
+        has_target |= (p->kind == abi::TypeKind::Tuple || p->is_nested_array());
+      }
+      EXPECT_TRUE(has_target);
+    }
+  }
+}
+
+TEST(Corpus, ErrorInjectionRatesRoughlyHold) {
+  ErrorRates rates;
+  rates.case1_inline_assembly_bp = 5000;  // 50% for a visible signal
+  Corpus ds = make_open_source_corpus(100, 6, rates);
+  std::size_t with_asm = 0, total = 0;
+  for (const auto& spec : ds.specs) {
+    for (const auto& fn : spec.functions) {
+      ++total;
+      with_asm += fn.undeclared_assembly_words > 0 ? 1 : 0;
+    }
+  }
+  EXPECT_GT(with_asm, total / 4);
+  EXPECT_LT(with_asm, total * 3 / 4);
+}
+
+TEST(Corpus, TypeSamplerRespectsAbiEncoderV2Gate) {
+  TypeSampler sampler(abi::Dialect::Solidity, 5, /*allow_abiencoderv2=*/false);
+  for (int i = 0; i < 500; ++i) {
+    abi::TypePtr t = sampler.sample();
+    EXPECT_NE(t->kind, abi::TypeKind::Tuple);
+    EXPECT_FALSE(t->is_nested_array());
+  }
+}
+
+TEST(Corpus, VersionListsNonEmpty) {
+  EXPECT_GE(solidity_versions().size(), 10u);
+  EXPECT_GE(vyper_versions().size(), 5u);
+}
+
+TEST(Corpus, FunctionCountSums) {
+  Corpus ds = make_open_source_corpus(10, 8);
+  std::size_t manual = 0;
+  for (const auto& s : ds.specs) manual += s.functions.size();
+  EXPECT_EQ(ds.function_count(), manual);
+}
+
+}  // namespace
+}  // namespace sigrec::corpus

@@ -1,0 +1,72 @@
+#include "evm/disassembler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sigrec::evm {
+namespace {
+
+TEST(Disassembler, SimpleSequence) {
+  auto code = Bytecode::from_hex("0x6001600201").value();  // PUSH1 1 PUSH1 2 ADD
+  Disassembly dis(code);
+  const auto& insts = dis.instructions();
+  ASSERT_EQ(insts.size(), 3u);
+  EXPECT_EQ(insts[0].op, push_op(1));
+  EXPECT_EQ(insts[0].immediate, U256(1));
+  EXPECT_EQ(insts[0].size, 2);
+  EXPECT_EQ(insts[1].pc, 2u);
+  EXPECT_EQ(insts[2].op, Opcode::ADD);
+  EXPECT_EQ(insts[2].pc, 4u);
+}
+
+TEST(Disassembler, WidePushImmediate) {
+  std::string hex = "0x7f";  // PUSH32
+  for (int i = 1; i <= 32; ++i) {
+    char buf[3];
+    std::snprintf(buf, sizeof buf, "%02x", i);
+    hex += buf;
+  }
+  auto code = Bytecode::from_hex(hex).value();
+  Disassembly dis(code);
+  ASSERT_EQ(dis.instructions().size(), 1u);
+  const Instruction& inst = dis.instructions()[0];
+  EXPECT_EQ(inst.size, 33);
+  EXPECT_EQ(inst.immediate.byte(U256(0)), U256(1));
+  EXPECT_EQ(inst.immediate.byte(U256(31)), U256(32));
+}
+
+TEST(Disassembler, TruncatedTrailingPushZeroPads) {
+  // PUSH4 with only 2 immediate bytes available: EVM pads with zeros.
+  auto code = Bytecode::from_hex("0x63aabb").value();
+  Disassembly dis(code);
+  ASSERT_EQ(dis.instructions().size(), 1u);
+  EXPECT_EQ(dis.instructions()[0].immediate, U256(0xaabb0000));
+}
+
+TEST(Disassembler, PcLookup) {
+  auto code = Bytecode::from_hex("0x600160020157").value();
+  Disassembly dis(code);
+  EXPECT_NE(dis.at_pc(0), nullptr);
+  EXPECT_EQ(dis.at_pc(1), nullptr);  // inside an immediate
+  EXPECT_NE(dis.at_pc(2), nullptr);
+  EXPECT_EQ(dis.at_pc(2)->op, push_op(1));
+  EXPECT_EQ(dis.index_of_pc(4), 2u);
+  EXPECT_EQ(dis.index_of_pc(100), Disassembly::npos);
+}
+
+TEST(Disassembler, UndefinedBytesStillDisassemble) {
+  auto code = Bytecode::from_hex("0x0c0d").value();
+  Disassembly dis(code);
+  ASSERT_EQ(dis.instructions().size(), 2u);
+  EXPECT_FALSE(dis.instructions()[0].info().defined);
+}
+
+TEST(Disassembler, ToStringRendersMnemonics) {
+  auto code = Bytecode::from_hex("0x6080604052").value();
+  Disassembly dis(code);
+  std::string text = dis.to_string();
+  EXPECT_NE(text.find("PUSH1 0x80"), std::string::npos);
+  EXPECT_NE(text.find("MSTORE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sigrec::evm

@@ -1,0 +1,79 @@
+// §6.3: the Erays-style lifter and the Erays+ signature-aware improvement.
+#include "apps/erays.hpp"
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hpp"
+
+namespace sigrec::apps {
+namespace {
+
+using compiler::make_contract;
+using compiler::make_function;
+
+TEST(Erays, LiftsEveryFunction) {
+  auto spec = make_contract("t", {}, {make_function("a", {"uint256"}),
+                                      make_function("b", {"address", "bool"})});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  LiftedContract lifted = lift_contract(code);
+  EXPECT_EQ(lifted.functions.size(), 2u);
+  EXPECT_FALSE(lifted.header.empty());
+  EXPECT_GT(lifted.line_count(), 4u);
+}
+
+TEST(Erays, PlainLiftShowsRawCalldataloads) {
+  auto spec = make_contract("t", {}, {make_function("a", {"uint256"})});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  std::string text = lift_contract(code).to_string();
+  EXPECT_NE(text.find("calldataload(0x4)"), std::string::npos) << text;
+}
+
+TEST(ErraysPlus, SubstitutesArgNames) {
+  auto spec = make_contract("t", {}, {make_function("a", {"uint8", "address"})});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  core::SigRec tool;
+  core::RecoveryResult recovery = tool.recover(code);
+  ErayPlusStats stats;
+  LiftedContract improved = erays_plus(code, recovery, &stats);
+  std::string text = improved.to_string();
+  EXPECT_NE(text.find("uint8 arg1"), std::string::npos) << text;
+  EXPECT_NE(text.find("address arg2"), std::string::npos);
+  EXPECT_EQ(stats.types_added, 2u);
+  EXPECT_GE(stats.names_added, 2u);
+}
+
+TEST(ErraysPlus, AddsNumNamesForDynamicParams) {
+  auto spec = make_contract("t", {}, {make_function("a", {"uint256[]"}, false)});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  core::SigRec tool;
+  core::RecoveryResult recovery = tool.recover(code);
+  ErayPlusStats stats;
+  LiftedContract improved = erays_plus(code, recovery, &stats);
+  std::string text = improved.to_string();
+  EXPECT_NE(text.find("num(arg1)"), std::string::npos) << text;
+  EXPECT_GE(stats.num_names_added, 1u);
+}
+
+TEST(ErraysPlus, RemovesAccessBoilerplate) {
+  auto spec = make_contract("t", {}, {make_function("a", {"uint256[]", "bytes"}, false)});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  core::SigRec tool;
+  core::RecoveryResult recovery = tool.recover(code);
+  ErayPlusStats stats;
+  LiftedContract plain = lift_contract(code);
+  LiftedContract improved = erays_plus(code, recovery, &stats);
+  EXPECT_GT(stats.lines_removed, 0u);
+  EXPECT_LT(improved.line_count(), plain.line_count());
+}
+
+TEST(ErraysPlus, WithoutRecoveryEqualsPlainLift) {
+  auto spec = make_contract("t", {}, {make_function("a", {"uint256"})});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  core::RecoveryResult empty;
+  LiftedContract improved = erays_plus(code, empty, nullptr);
+  LiftedContract plain = lift_contract(code);
+  EXPECT_EQ(improved.to_string(), plain.to_string());
+}
+
+}  // namespace
+}  // namespace sigrec::apps

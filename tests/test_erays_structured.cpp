@@ -1,0 +1,66 @@
+// Erays output structure: function grouping matches the dispatch table, and
+// the lifter handles every opcode class the compiler emits.
+#include <gtest/gtest.h>
+
+#include "apps/erays.hpp"
+#include "compiler/compile.hpp"
+#include "corpus/datasets.hpp"
+#include "sigrec/function_extractor.hpp"
+
+namespace sigrec::apps {
+namespace {
+
+using compiler::make_contract;
+using compiler::make_function;
+
+TEST(EraysStructure, FunctionsMatchDispatchTable) {
+  auto spec = make_contract("t", {},
+                            {make_function("a", {"uint256"}),
+                             make_function("b", {"bytes"}),
+                             make_function("c", {"uint8[2]"}, true)});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  LiftedContract lifted = lift_contract(code);
+  auto table = core::extract_dispatch_table(code);
+  ASSERT_EQ(lifted.functions.size(), table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    EXPECT_EQ(lifted.functions[i].selector, table[i].selector);
+  }
+}
+
+TEST(EraysStructure, EveryLineIsNonEmpty) {
+  corpus::Corpus ds = corpus::make_open_source_corpus(10, 77);
+  for (const auto& code : corpus::compile_corpus(ds)) {
+    LiftedContract lifted = lift_contract(code);
+    for (const auto& fn : lifted.functions) {
+      for (const auto& line : fn.lines) {
+        EXPECT_FALSE(line.empty());
+      }
+    }
+  }
+}
+
+TEST(EraysStructure, VyperContractsLift) {
+  compiler::CompilerConfig cfg;
+  cfg.dialect = abi::Dialect::Vyper;
+  cfg.version = compiler::CompilerVersion{0, 2, 4};
+  auto spec = make_contract("t", cfg,
+                            {make_function("a", {"address", "int128", "bytes[8]"})});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  LiftedContract lifted = lift_contract(code);
+  ASSERT_EQ(lifted.functions.size(), 1u);
+  EXPECT_GT(lifted.functions[0].lines.size(), 3u);
+}
+
+TEST(EraysStructure, StatsAreZeroWithoutSignatures) {
+  auto spec = make_contract("t", {}, {make_function("a", {"uint256[]"})});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  ErayPlusStats stats;
+  core::RecoveryResult empty;
+  (void)erays_plus(code, empty, &stats);
+  EXPECT_EQ(stats.types_added, 0u);
+  EXPECT_EQ(stats.names_added, 0u);
+  EXPECT_EQ(stats.lines_removed, 0u);
+}
+
+}  // namespace
+}  // namespace sigrec::apps

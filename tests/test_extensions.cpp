@@ -1,0 +1,174 @@
+// Tests for the §7 extensions: obfuscation-resistant semantic mask rules,
+// the conventional-SE ablation knob, and multi-body aggregation.
+#include <gtest/gtest.h>
+
+#include "recovery_test_util.hpp"
+#include "sigrec/aggregate.hpp"
+
+namespace sigrec {
+namespace {
+
+using testutil::one_function_spec;
+
+// --- obfuscated masks (§7) ---------------------------------------------------
+
+TEST(Obfuscation, ShiftPairMasksStillRecover) {
+  compiler::CompilerConfig cfg;
+  cfg.obfuscate_masks = true;
+  testutil::expect_roundtrip({"uint8"}, false, cfg);
+  testutil::expect_roundtrip({"uint64"}, true, cfg);
+  testutil::expect_roundtrip({"address"}, false, cfg);
+  testutil::expect_roundtrip({"bytes4"}, false, cfg);
+  testutil::expect_roundtrip({"bytes20"}, true, cfg);
+  testutil::expect_roundtrip({"uint160"}, false, cfg);
+}
+
+TEST(Obfuscation, MixedObfuscatedSignatures) {
+  compiler::CompilerConfig cfg;
+  cfg.obfuscate_masks = true;
+  testutil::expect_roundtrip({"uint8[]", "address"}, false, cfg);
+  testutil::expect_roundtrip({"bytes", "uint32", "bool"}, false, cfg);
+}
+
+TEST(Obfuscation, DetectionCanBeDisabled) {
+  // With the semantic-mask rules off, the obfuscated uint8 degrades to the
+  // uint256 default — the ablation the §7 discussion implies.
+  compiler::CompilerConfig cfg;
+  cfg.obfuscate_masks = true;
+  auto spec = one_function_spec({"uint8"}, false, cfg);
+  evm::Bytecode code = compiler::compile_contract(spec);
+  symexec::Limits limits;
+  limits.semantic_mask_patterns = false;
+  core::SigRec tool(limits);
+  core::RecoveredFunction fn =
+      tool.recover_function(code, spec.functions[0].signature.selector());
+  ASSERT_EQ(fn.parameters.size(), 1u);
+  EXPECT_EQ(fn.parameters[0]->canonical_name(), "uint256");
+}
+
+// --- conventional-SE ablation -------------------------------------------------
+
+TEST(Ablation, ConventionalSeLosesArrayStructure) {
+  // Without bound-check tracking and ×32 provenance, a dynamic array's
+  // structure is invisible (Supplementary F's rationale for TASE).
+  auto spec = one_function_spec({"uint8[3][]"}, true);
+  evm::Bytecode code = compiler::compile_contract(spec);
+  symexec::Limits limits;
+  limits.type_aware = false;
+  core::SigRec conventional(limits);
+  core::RecoveredFunction fn =
+      conventional.recover_function(code, spec.functions[0].signature.selector());
+  EXPECT_FALSE(spec.functions[0].signature.same_parameters(fn.parameters))
+      << "conventional SE should not recover " << fn.type_list();
+
+  core::SigRec tase;  // default: type-aware
+  core::RecoveredFunction good =
+      tase.recover_function(code, spec.functions[0].signature.selector());
+  EXPECT_TRUE(spec.functions[0].signature.same_parameters(good.parameters));
+}
+
+TEST(Ablation, ConventionalSeStillGetsMaskedBasics) {
+  // Masks survive (they are plain AND events); structure does not.
+  auto spec = one_function_spec({"uint8", "address"}, false);
+  evm::Bytecode code = compiler::compile_contract(spec);
+  symexec::Limits limits;
+  limits.type_aware = false;
+  core::SigRec conventional(limits);
+  core::RecoveredFunction fn =
+      conventional.recover_function(code, spec.functions[0].signature.selector());
+  EXPECT_TRUE(spec.functions[0].signature.same_parameters(fn.parameters));
+}
+
+// --- multi-body aggregation (§7) ----------------------------------------------
+
+TEST(Aggregation, SpecificityRanking) {
+  EXPECT_GT(core::type_specificity(*abi::uint_type(8)),
+            core::type_specificity(*abi::uint_type(256)));
+  EXPECT_GT(core::type_specificity(*abi::bytes_type()),
+            core::type_specificity(*abi::string_type()));
+  EXPECT_GT(core::type_specificity(*abi::uint_type(160)),
+            core::type_specificity(*abi::address_type()));
+  EXPECT_GT(core::type_specificity(*abi::int_type(256)),
+            core::type_specificity(*abi::uint_type(256)));
+  EXPECT_GT(core::type_specificity(*abi::array_type(abi::uint_type(8), std::nullopt)),
+            core::type_specificity(*abi::uint_type(8)));
+}
+
+core::RecoveredFunction recover_with_clues(const std::string& type, bool byte_access,
+                                           std::uint32_t* selector_out) {
+  compiler::BodyClues clues;
+  clues.byte_access_on_bytes = byte_access;
+  auto spec = one_function_spec({type}, false, {}, clues);
+  evm::Bytecode code = compiler::compile_contract(spec);
+  core::SigRec tool;
+  if (selector_out != nullptr) *selector_out = spec.functions[0].signature.selector();
+  return tool.recover_function(code, spec.functions[0].signature.selector());
+}
+
+TEST(Aggregation, BytesBeatsStringAcrossBodies) {
+  // Body A never reads a byte (recovers string); body B does (recovers
+  // bytes). The aggregate keeps bytes.
+  std::uint32_t selector = 0;
+  core::RecoveredFunction weak = recover_with_clues("bytes", false, &selector);
+  core::RecoveredFunction strong = recover_with_clues("bytes", true, nullptr);
+  strong.selector = weak.selector;  // same signature, different bodies
+  ASSERT_EQ(weak.parameters[0]->kind, abi::TypeKind::String);
+  ASSERT_EQ(strong.parameters[0]->kind, abi::TypeKind::Bytes);
+
+  core::RecoveredFunction merged = core::aggregate_recoveries({weak, strong});
+  EXPECT_EQ(merged.parameters[0]->kind, abi::TypeKind::Bytes);
+  // Order must not matter.
+  merged = core::aggregate_recoveries({strong, weak});
+  EXPECT_EQ(merged.parameters[0]->kind, abi::TypeKind::Bytes);
+}
+
+TEST(Aggregation, MajorityCountWinsOverOutliers) {
+  core::RecoveredFunction a;
+  a.selector = 1;
+  a.parameters = {abi::uint_type(256), abi::address_type()};
+  core::RecoveredFunction b = a;
+  core::RecoveredFunction outlier;
+  outlier.selector = 1;
+  outlier.parameters = {abi::uint_type(256)};  // a body reading fewer words
+  core::RecoveredFunction merged = core::aggregate_recoveries({a, outlier, b});
+  EXPECT_EQ(merged.parameters.size(), 2u);
+}
+
+TEST(Aggregation, RejectsMixedSelectors) {
+  core::RecoveredFunction a;
+  a.selector = 1;
+  core::RecoveredFunction b;
+  b.selector = 2;
+  EXPECT_THROW((void)core::aggregate_recoveries({a, b}), std::invalid_argument);
+  EXPECT_THROW((void)core::aggregate_recoveries({}), std::invalid_argument);
+}
+
+TEST(Aggregation, RecoverAggregatedOverCorpus) {
+  // The same two-function interface deployed in three variants with
+  // different clue coverage; the aggregated recovery is exact.
+  std::vector<evm::Bytecode> codes;
+  for (bool byte_access : {false, true, true}) {
+    compiler::BodyClues clues;
+    clues.byte_access_on_bytes = byte_access;
+    compiler::FunctionSpec f1 = compiler::make_function("store", {"bytes", "uint8"});
+    compiler::FunctionSpec f2 = compiler::make_function("tag", {"bytes32"});
+    f1.clues = clues;
+    f2.clues = clues;
+    codes.push_back(compiler::compile_contract(
+        compiler::make_contract("t", {}, {f1, f2})));
+  }
+  core::SigRec tool;
+  auto merged = core::recover_aggregated(tool, codes);
+  ASSERT_EQ(merged.size(), 2u);
+  std::map<std::uint32_t, std::string> by_sel;
+  for (const auto& fn : merged) by_sel[fn.selector] = fn.type_list();
+  abi::FunctionSignature s1;
+  ASSERT_TRUE(abi::parse_signature("store(bytes,uint8)", s1));
+  abi::FunctionSignature s2;
+  ASSERT_TRUE(abi::parse_signature("tag(bytes32)", s2));
+  EXPECT_EQ(by_sel[s1.selector()], "bytes,uint8");
+  EXPECT_EQ(by_sel[s2.selector()], "bytes32");
+}
+
+}  // namespace
+}  // namespace sigrec

@@ -1,0 +1,67 @@
+#include "sigrec/function_extractor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hpp"
+
+namespace sigrec {
+namespace {
+
+using compiler::make_contract;
+using compiler::make_function;
+
+TEST(FunctionExtractor, FindsAllSelectors) {
+  auto spec = make_contract(
+      "t", {},
+      {make_function("alpha", {"uint256"}), make_function("beta", {"address", "bool"}),
+       make_function("gamma", {}), make_function("delta", {"bytes"})});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  auto ids = core::extract_function_ids(code);
+  ASSERT_EQ(ids.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ids[i], spec.functions[i].signature.selector()) << i;
+  }
+}
+
+TEST(FunctionExtractor, DivStyleDispatcher) {
+  compiler::CompilerConfig cfg;
+  cfg.version = compiler::CompilerVersion{0, 4, 11};
+  auto spec = make_contract("t", cfg, {make_function("a", {"uint256"}),
+                                       make_function("b", {"uint8"})});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  auto ids = core::extract_function_ids(code);
+  EXPECT_EQ(ids.size(), 2u);
+}
+
+TEST(FunctionExtractor, VyperDispatcher) {
+  compiler::CompilerConfig cfg;
+  cfg.dialect = abi::Dialect::Vyper;
+  cfg.version = compiler::CompilerVersion{0, 1, 8};
+  auto spec = make_contract("t", cfg, {make_function("a", {"uint256"})});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  auto ids = core::extract_function_ids(code);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], spec.functions[0].signature.selector());
+}
+
+TEST(FunctionExtractor, EmptyContract) {
+  evm::Bytecode code = evm::Bytecode::from_hex("0x00").value();
+  EXPECT_TRUE(core::extract_function_ids(code).empty());
+}
+
+TEST(FunctionExtractor, IgnoresStrayPush4) {
+  // A PUSH4 used for something else (no EQ/JUMPI nearby) is not a selector.
+  auto code = evm::Bytecode::from_hex("0x63deadbeef50").value();  // PUSH4 .. POP
+  EXPECT_TRUE(core::extract_function_ids(code).empty());
+}
+
+TEST(FunctionExtractor, DeduplicatesSelectors) {
+  auto spec = make_contract("t", {}, {make_function("a", {"uint256"})});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  auto ids = core::extract_function_ids(code);
+  std::set<std::uint32_t> unique(ids.begin(), ids.end());
+  EXPECT_EQ(ids.size(), unique.size());
+}
+
+}  // namespace
+}  // namespace sigrec

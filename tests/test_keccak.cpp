@@ -1,0 +1,63 @@
+#include "evm/keccak.hpp"
+
+#include <gtest/gtest.h>
+
+#include "evm/bytecode.hpp"
+
+namespace sigrec::evm {
+namespace {
+
+std::string hex(const Hash256& h) {
+  return bytes_to_hex(std::span<const std::uint8_t>(h.data(), h.size()), /*prefix=*/false);
+}
+
+TEST(Keccak, EmptyInput) {
+  // The canonical Ethereum empty-string hash.
+  EXPECT_EQ(hex(keccak256("")),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470");
+}
+
+TEST(Keccak, KnownVectors) {
+  // keccak256("abc") — original Keccak, not SHA3-256.
+  EXPECT_EQ(hex(keccak256("abc")),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45");
+  // keccak256("testing")
+  EXPECT_EQ(hex(keccak256("testing")),
+            "5f16f4c7f149ac4f9510d9cf8cf384038ad348b3bcdc01915f95de12df9d1b02");
+}
+
+TEST(Keccak, RateBoundaryInputs) {
+  // Exactly one rate block (136 bytes) and around it.
+  for (std::size_t len : {135u, 136u, 137u, 272u}) {
+    std::vector<std::uint8_t> data(len, 0x61);
+    Hash256 h = keccak256(data);
+    // Compare incremental against one-shot.
+    Keccak256 inc;
+    inc.update(std::span<const std::uint8_t>(data).first(len / 2));
+    inc.update(std::span<const std::uint8_t>(data).subspan(len / 2));
+    EXPECT_EQ(h, inc.finalize()) << "length " << len;
+  }
+}
+
+TEST(Keccak, WellKnownSelectors) {
+  // The ERC-20 selectors everyone knows by heart.
+  EXPECT_EQ(function_selector("transfer(address,uint256)"), 0xa9059cbbu);
+  EXPECT_EQ(function_selector("balanceOf(address)"), 0x70a08231u);
+  EXPECT_EQ(function_selector("approve(address,uint256)"), 0x095ea7b3u);
+  EXPECT_EQ(function_selector("transferFrom(address,address,uint256)"), 0x23b872ddu);
+  EXPECT_EQ(function_selector("totalSupply()"), 0x18160dddu);
+}
+
+TEST(Keccak, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 1000; ++i) data.push_back(static_cast<std::uint8_t>(i * 7));
+  Hash256 expect = keccak256(data);
+  Keccak256 inc;
+  for (std::size_t i = 0; i < data.size(); i += 13) {
+    inc.update(std::span<const std::uint8_t>(data).subspan(i, std::min<std::size_t>(13, data.size() - i)));
+  }
+  EXPECT_EQ(inc.finalize(), expect);
+}
+
+}  // namespace
+}  // namespace sigrec::evm

@@ -1,0 +1,85 @@
+#include "evm/opcodes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sigrec::evm {
+namespace {
+
+TEST(Opcodes, BasicInfo) {
+  EXPECT_EQ(op_info(Opcode::ADD).name, "ADD");
+  EXPECT_EQ(op_info(Opcode::ADD).inputs, 2);
+  EXPECT_EQ(op_info(Opcode::ADD).outputs, 1);
+  EXPECT_TRUE(op_info(Opcode::ADD).defined);
+  EXPECT_FALSE(op_info(Opcode::ADD).terminator);
+}
+
+TEST(Opcodes, Terminators) {
+  for (Opcode op : {Opcode::STOP, Opcode::JUMP, Opcode::JUMPI, Opcode::RETURN,
+                    Opcode::REVERT, Opcode::INVALID, Opcode::SELFDESTRUCT}) {
+    EXPECT_TRUE(op_info(op).terminator) << op_info(op).name;
+  }
+}
+
+TEST(Opcodes, UndefinedBytes) {
+  EXPECT_FALSE(op_info(std::uint8_t{0x0c}).defined);
+  EXPECT_TRUE(op_info(std::uint8_t{0x0c}).terminator);  // halts execution
+  EXPECT_EQ(op_info(std::uint8_t{0x0c}).name, "UNKNOWN_0c");
+}
+
+TEST(Opcodes, PushFamily) {
+  EXPECT_TRUE(is_push(std::uint8_t{0x60}));
+  EXPECT_TRUE(is_push(std::uint8_t{0x7f}));
+  EXPECT_FALSE(is_push(std::uint8_t{0x5f}));
+  EXPECT_FALSE(is_push(std::uint8_t{0x80}));
+  EXPECT_EQ(push_size(0x60), 1u);
+  EXPECT_EQ(push_size(0x7f), 32u);
+  EXPECT_EQ(push_size(0x01), 0u);
+  EXPECT_EQ(push_op(1), Opcode::PUSH1);
+  EXPECT_EQ(push_op(32), Opcode::PUSH32);
+  EXPECT_EQ(op_info(push_op(20)).immediate, 20);
+  EXPECT_EQ(op_info(push_op(20)).name, "PUSH20");
+}
+
+TEST(Opcodes, DupSwapFamily) {
+  EXPECT_TRUE(is_dup(std::uint8_t{0x80}));
+  EXPECT_TRUE(is_dup(std::uint8_t{0x8f}));
+  EXPECT_FALSE(is_dup(std::uint8_t{0x90}));
+  EXPECT_TRUE(is_swap(std::uint8_t{0x90}));
+  EXPECT_TRUE(is_swap(std::uint8_t{0x9f}));
+  EXPECT_EQ(dup_depth(0x80), 1u);
+  EXPECT_EQ(dup_depth(0x8f), 16u);
+  EXPECT_EQ(swap_depth(0x90), 1u);
+  EXPECT_EQ(dup_op(3), static_cast<Opcode>(0x82));
+  EXPECT_EQ(swap_op(2), static_cast<Opcode>(0x91));
+  // DUPn consumes n and produces n+1.
+  EXPECT_EQ(op_info(dup_op(4)).inputs, 4);
+  EXPECT_EQ(op_info(dup_op(4)).outputs, 5);
+  // SWAPn touches n+1 items.
+  EXPECT_EQ(op_info(swap_op(4)).inputs, 5);
+  EXPECT_EQ(op_info(swap_op(4)).outputs, 5);
+}
+
+TEST(Opcodes, NameLookup) {
+  EXPECT_EQ(opcode_from_name("CALLDATALOAD"), Opcode::CALLDATALOAD);
+  EXPECT_EQ(opcode_from_name("PUSH5"), push_op(5));
+  EXPECT_EQ(opcode_from_name("SWAP16"), swap_op(16));
+  EXPECT_EQ(opcode_from_name("NOPE"), std::nullopt);
+  EXPECT_EQ(opcode_from_name("UNKNOWN_0c"), std::nullopt);  // not a real op
+}
+
+TEST(Opcodes, CalldataOps) {
+  EXPECT_EQ(op_info(Opcode::CALLDATALOAD).inputs, 1);
+  EXPECT_EQ(op_info(Opcode::CALLDATALOAD).outputs, 1);
+  EXPECT_EQ(op_info(Opcode::CALLDATACOPY).inputs, 3);
+  EXPECT_EQ(op_info(Opcode::CALLDATACOPY).outputs, 0);
+}
+
+TEST(Opcodes, CallFamilyArity) {
+  EXPECT_EQ(op_info(Opcode::CALL).inputs, 7);
+  EXPECT_EQ(op_info(Opcode::DELEGATECALL).inputs, 6);
+  EXPECT_EQ(op_info(Opcode::STATICCALL).inputs, 6);
+  EXPECT_EQ(op_info(Opcode::CREATE2).inputs, 4);
+}
+
+}  // namespace
+}  // namespace sigrec::evm

@@ -1,0 +1,187 @@
+// ParChecker (§6.1): padding validation and short-address-attack detection.
+#include "apps/parchecker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "abi/encoder.hpp"
+
+namespace sigrec::apps {
+namespace {
+
+using abi::FunctionSignature;
+using evm::U256;
+
+FunctionSignature sig_of(const std::string& text) {
+  FunctionSignature sig;
+  EXPECT_TRUE(abi::parse_signature(text, sig));
+  return sig;
+}
+
+TEST(ParChecker, ValidEncodingsPass) {
+  for (const char* text :
+       {"f(uint256)", "f(uint8,address,bool)", "f(bytes)", "f(string,uint8[])",
+        "f(uint256[3])", "f(int64,bytes4)", "f((uint256[],uint256))"}) {
+    FunctionSignature sig = sig_of(text);
+    for (std::uint64_t salt = 0; salt < 4; ++salt) {
+      evm::Bytes calldata = abi::encode_sample_call(sig, salt);
+      CheckResult r = check_arguments(sig, calldata);
+      EXPECT_TRUE(r.valid) << text << " salt " << salt << ": " << r.to_string();
+    }
+  }
+}
+
+TEST(ParChecker, DetectsBadUintPadding) {
+  FunctionSignature sig = sig_of("f(uint8)");
+  evm::Bytes calldata = abi::encode_call(sig, {abi::Value(U256(0x42))});
+  calldata[10] = 0xff;  // dirty a high-order extension byte
+  CheckResult r = check_arguments(sig, calldata);
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.issue, ArgIssue::BadUintPadding);
+}
+
+TEST(ParChecker, DetectsBadIntSignExtension) {
+  FunctionSignature sig = sig_of("f(int8)");
+  evm::Bytes calldata = abi::encode_call(sig, {abi::Value(U256(5).negate())});
+  calldata[8] = 0x00;  // break the sign extension
+  CheckResult r = check_arguments(sig, calldata);
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.issue, ArgIssue::BadIntPadding);
+}
+
+TEST(ParChecker, DetectsBadAddress) {
+  FunctionSignature sig = sig_of("f(address)");
+  evm::Bytes calldata = abi::encode_call(sig, {abi::Value(U256(0x1234))});
+  calldata[5] = 0x01;  // a byte above the 20-byte address
+  CheckResult r = check_arguments(sig, calldata);
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.issue, ArgIssue::BadAddressPadding);
+}
+
+TEST(ParChecker, DetectsBadBool) {
+  FunctionSignature sig = sig_of("f(bool)");
+  evm::Bytes calldata = abi::encode_call(sig, {abi::Value(U256(1))});
+  calldata[35] = 0x02;  // bool must be 0 or 1
+  CheckResult r = check_arguments(sig, calldata);
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.issue, ArgIssue::BadBoolValue);
+}
+
+TEST(ParChecker, DetectsBadFixedBytesPadding) {
+  FunctionSignature sig = sig_of("f(bytes4)");
+  evm::Bytes calldata = abi::encode_call(sig, {abi::Value(U256(0x61626364))});
+  calldata[20] = 0x99;  // dirty the right padding
+  CheckResult r = check_arguments(sig, calldata);
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.issue, ArgIssue::BadBytesPadding);
+}
+
+TEST(ParChecker, DetectsBadBytesTailPadding) {
+  FunctionSignature sig = sig_of("f(bytes)");
+  // 'abc' padded to 32 bytes; dirty a padding byte.
+  evm::Bytes calldata =
+      abi::encode_call(sig, {abi::Value(std::vector<std::uint8_t>{'a', 'b', 'c'})});
+  calldata.back() = 0x01;
+  CheckResult r = check_arguments(sig, calldata);
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.issue, ArgIssue::BadBytesPadding);
+}
+
+TEST(ParChecker, DetectsBadOffset) {
+  FunctionSignature sig = sig_of("f(bytes)");
+  evm::Bytes calldata = abi::encode_sample_call(sig, 1);
+  calldata[35] = 0x33;  // misaligned offset
+  CheckResult r = check_arguments(sig, calldata);
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.issue, ArgIssue::BadOffset);
+}
+
+TEST(ParChecker, DetectsTruncatedCalldata) {
+  FunctionSignature sig = sig_of("f(uint256,uint256)");
+  evm::Bytes calldata = abi::encode_sample_call(sig, 1);
+  calldata.resize(40);
+  CheckResult r = check_arguments(sig, calldata);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(ParChecker, DetectsSelectorMismatch) {
+  FunctionSignature sig = sig_of("f(uint256)");
+  evm::Bytes calldata = abi::encode_sample_call(sig, 1);
+  calldata[0] ^= 0xff;
+  EXPECT_FALSE(check_arguments(sig, calldata).valid);
+}
+
+TEST(ParChecker, ReportsOffendingArgumentIndex) {
+  FunctionSignature sig = sig_of("f(uint256,uint8)");
+  evm::Bytes calldata =
+      abi::encode_call(sig, {abi::Value(U256(1)), abi::Value(U256(2))});
+  calldata[4 + 32 + 5] = 0xaa;  // dirty the second argument's padding
+  CheckResult r = check_arguments(sig, calldata);
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.argument_index, 1u);
+}
+
+TEST(ShortAddress, DetectsCanonicalAttack) {
+  // transfer(address,uint256) with the address's trailing zero byte stripped:
+  // 63 argument bytes, and the byte that completes the address is zero.
+  FunctionSignature sig = sig_of("transfer(address,uint256)");
+  abi::Value to(U256::from_hex("0x1122334455667788990011223344556677889900").value() &
+                ~U256(0xff));  // address ending in 0x00
+  abi::Value amount(U256(0x2710));
+  evm::Bytes calldata = abi::encode_call(sig, {to, amount});
+  ASSERT_EQ(calldata.size(), 4u + 64);
+  evm::Bytes shortened(calldata.begin(), calldata.end() - 1);  // strip one byte
+  // After the strip, EVM realignment consumes the value's high zero byte.
+  EXPECT_TRUE(is_short_address_attack(sig, shortened));
+  CheckResult r = check_arguments(sig, shortened);
+  EXPECT_TRUE(r.short_address_attack);
+}
+
+TEST(ShortAddress, FullLengthIsNotAttack) {
+  FunctionSignature sig = sig_of("transfer(address,uint256)");
+  evm::Bytes calldata = abi::encode_sample_call(sig, 1);
+  EXPECT_FALSE(is_short_address_attack(sig, calldata));
+}
+
+TEST(ShortAddress, WrongShapeIsNotAttack) {
+  FunctionSignature sig = sig_of("f(uint256,uint256)");
+  evm::Bytes calldata = abi::encode_sample_call(sig, 1);
+  calldata.pop_back();
+  EXPECT_FALSE(is_short_address_attack(sig, calldata));
+}
+
+TEST(ParChecker, VyperDecimalRange) {
+  // decimal is clamped to ±2^127·10^10 by Vyper; ParChecker flags values a
+  // deployed contract would revert on.
+  FunctionSignature sig;
+  sig.name = "f";
+  sig.parameters = {abi::decimal_type()};
+  U256 hi = U256::pow2(127) * U256(10000000000ULL);
+
+  evm::Bytes ok_call = abi::encode_call(sig, {abi::Value(U256(123456))});
+  EXPECT_TRUE(check_arguments(sig, ok_call).valid);
+  evm::Bytes neg_ok = abi::encode_call(sig, {abi::Value(U256(99).negate())});
+  EXPECT_TRUE(check_arguments(sig, neg_ok).valid);
+
+  evm::Bytes too_big = abi::encode_call(sig, {abi::Value(hi)});
+  CheckResult r = check_arguments(sig, too_big);
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.issue, ArgIssue::BadDecimalRange);
+
+  evm::Bytes too_small = abi::encode_call(sig, {abi::Value(hi.negate() - U256(1))});
+  EXPECT_FALSE(check_arguments(sig, too_small).valid);
+}
+
+TEST(ShortAddress, NonZeroTailIsNotTheCanonicalTheft) {
+  // The byte that would complete the short address is non-zero, so the
+  // realignment corrupts instead of silently completing — not the canonical
+  // token-theft shape §6.1 hunts.
+  FunctionSignature sig = sig_of("transfer(address,uint256)");
+  abi::Value to(U256::from_hex("0x11223344556677889900112233445566778899aa").value());
+  abi::Value amount(U256(0x2710));
+  evm::Bytes calldata = abi::encode_call(sig, {to, amount});
+  evm::Bytes shortened(calldata.begin(), calldata.end() - 1);
+  EXPECT_FALSE(is_short_address_attack(sig, shortened));
+}
+
+}  // namespace
+}  // namespace sigrec::apps

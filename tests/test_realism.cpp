@@ -1,0 +1,121 @@
+// Production-realism features: metadata trailers, binary-search dispatchers,
+// unoptimized-code noise — recovery must be insensitive to all of them.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "abi/encoder.hpp"
+#include "compiler/compile.hpp"
+#include "corpus/random_types.hpp"
+#include "evm/interpreter.hpp"
+#include "sigrec/function_extractor.hpp"
+#include "sigrec/sigrec.hpp"
+
+namespace sigrec {
+namespace {
+
+using compiler::make_contract;
+using compiler::make_function;
+
+TEST(MetadataTrailer, AppendedByDefault) {
+  auto spec = make_contract("t", {}, {make_function("a", {"uint256"})});
+  evm::Bytecode with = compiler::compile_contract(spec);
+  spec.config.emit_metadata = false;
+  evm::Bytecode without = compiler::compile_contract(spec);
+  EXPECT_EQ(with.size(), without.size() + 9 + 32 + 2);
+  // The trailer starts with the CBOR prefix 0xa1 0x65 'bzzr0'.
+  EXPECT_EQ(with.bytes()[without.size()], 0xa1);
+  EXPECT_EQ(with.bytes()[without.size() + 2], 'b');
+}
+
+TEST(MetadataTrailer, RecoveryUnaffected) {
+  auto spec = make_contract("meta", {},
+                            {make_function("a", {"uint8[]", "address"}),
+                             make_function("b", {"bytes", "int64"}, true)});
+  core::SigRec tool;
+  for (bool metadata : {true, false}) {
+    spec.config.emit_metadata = metadata;
+    evm::Bytecode code = compiler::compile_contract(spec);
+    auto result = tool.recover(code);
+    ASSERT_EQ(result.functions.size(), 2u) << metadata;
+    for (std::size_t i = 0; i < 2; ++i) {
+      EXPECT_TRUE(spec.functions[i].signature.same_parameters(result.functions[i].parameters));
+    }
+  }
+}
+
+TEST(MetadataTrailer, ExecutionUnaffected) {
+  auto spec = make_contract("meta", {}, {make_function("a", {"uint256"})});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  evm::Bytes calldata = abi::encode_sample_call(spec.functions[0].signature, 1);
+  EXPECT_EQ(evm::Interpreter(code).execute(calldata).halt, evm::Halt::Stop);
+}
+
+compiler::ContractSpec big_contract(std::size_t nfuncs) {
+  std::mt19937_64 rng(nfuncs);
+  corpus::TypeSampler sampler(abi::Dialect::Solidity, 99);
+  compiler::ContractSpec spec;
+  spec.name = "big";
+  for (std::size_t i = 0; i < nfuncs; ++i) {
+    spec.functions.push_back(corpus::random_function(sampler, 3));
+  }
+  return spec;
+}
+
+TEST(BinarySearchDispatcher, AllSelectorsExtracted) {
+  // > 6 functions triggers the GT-pivot split tree.
+  auto spec = big_contract(12);
+  evm::Bytecode code = compiler::compile_contract(spec);
+  auto ids = core::extract_function_ids(code);
+  ASSERT_EQ(ids.size(), 12u);
+  std::set<std::uint32_t> got(ids.begin(), ids.end());
+  for (const auto& fn : spec.functions) {
+    EXPECT_TRUE(got.contains(fn.signature.selector())) << fn.signature.display();
+  }
+}
+
+TEST(BinarySearchDispatcher, EveryFunctionDispatchesAndRecovers) {
+  auto spec = big_contract(15);
+  evm::Bytecode code = compiler::compile_contract(spec);
+  core::SigRec tool;
+  auto result = tool.recover(code);
+  std::map<std::uint32_t, std::vector<abi::TypePtr>> by_sel;
+  for (auto& fn : result.functions) by_sel.emplace(fn.selector, fn.parameters);
+  std::size_t correct = 0;
+  for (const auto& fn : spec.functions) {
+    auto it = by_sel.find(fn.signature.selector());
+    ASSERT_NE(it, by_sel.end()) << fn.signature.display();
+    correct += fn.signature.same_parameters(it->second) ? 1 : 0;
+    // Concrete dispatch reaches the right body.
+    evm::Bytes calldata = abi::encode_sample_call(fn.signature, 3);
+    EXPECT_EQ(evm::Interpreter(code).execute(calldata).halt, evm::Halt::Stop);
+  }
+  EXPECT_GE(correct, spec.functions.size() - 1);  // random types may hit case-5 shapes
+}
+
+TEST(BinarySearchDispatcher, UnknownSelectorStillReverts) {
+  auto spec = big_contract(10);
+  evm::Bytecode code = compiler::compile_contract(spec);
+  evm::Bytes calldata = {0x00, 0x11, 0x22, 0x33};
+  EXPECT_EQ(evm::Interpreter(code).execute(calldata).halt, evm::Halt::Revert);
+}
+
+TEST(UnoptimizedNoise, CodeDiffersButRecoveryAgrees) {
+  auto spec = make_contract("n", {}, {make_function("a", {"uint8", "bytes", "address[2]"})});
+  spec.config.optimize = false;
+  evm::Bytecode noisy = compiler::compile_contract(spec);
+  spec.config.optimize = true;
+  evm::Bytecode tight = compiler::compile_contract(spec);
+  EXPECT_GT(noisy.size(), tight.size());
+
+  core::SigRec tool;
+  auto a = tool.recover(noisy);
+  auto b = tool.recover(tight);
+  ASSERT_EQ(a.functions.size(), 1u);
+  ASSERT_EQ(b.functions.size(), 1u);
+  EXPECT_EQ(a.functions[0].type_list(), b.functions[0].type_list());
+  EXPECT_EQ(a.functions[0].type_list(), "uint8,bytes,address[2]");
+}
+
+}  // namespace
+}  // namespace sigrec

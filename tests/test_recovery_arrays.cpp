@@ -1,0 +1,74 @@
+// Recovery of static arrays (R3/R6/R9) in public and external functions.
+#include "recovery_test_util.hpp"
+
+namespace sigrec {
+namespace {
+
+using testutil::expect_roundtrip;
+using testutil::one_function_spec;
+using testutil::recover_one;
+
+TEST(RecoveryStaticArray, OneDimPublic) {
+  expect_roundtrip({"uint256[3]"}, false);
+  expect_roundtrip({"uint8[5]"}, false);
+  expect_roundtrip({"address[2]"}, false);
+}
+
+TEST(RecoveryStaticArray, OneDimExternal) {
+  expect_roundtrip({"uint256[3]"}, true);
+  expect_roundtrip({"uint16[4]"}, true);
+  expect_roundtrip({"bool[2]"}, true);
+}
+
+TEST(RecoveryStaticArray, TwoDimPublic) {
+  // The paper's running example layout: uint256[3][2].
+  expect_roundtrip({"uint256[3][2]"}, false);
+  expect_roundtrip({"uint8[2][4]"}, false);
+}
+
+TEST(RecoveryStaticArray, TwoDimExternal) {
+  expect_roundtrip({"uint256[3][2]"}, true);
+  expect_roundtrip({"uint64[2][2]"}, true);
+}
+
+TEST(RecoveryStaticArray, ThreeDimBothModes) {
+  expect_roundtrip({"uint8[2][3][2]"}, false);
+  expect_roundtrip({"uint8[2][3][2]"}, true);
+}
+
+TEST(RecoveryStaticArray, ElementTypeRefinement) {
+  expect_roundtrip({"int32[3]"}, true);
+  expect_roundtrip({"bytes8[2]"}, true);
+  expect_roundtrip({"int8[4]"}, false);
+}
+
+TEST(RecoveryStaticArray, WithNeighbours) {
+  expect_roundtrip({"uint256", "uint8[3]", "address"}, false);
+  expect_roundtrip({"uint256", "uint8[3]", "address"}, true);
+  expect_roundtrip({"uint16[2]", "uint32[4]"}, true);
+}
+
+TEST(RecoveryStaticArray, ConstIndexUnoptimizedStillRecovers) {
+  // Without optimization the runtime bound checks survive even for constant
+  // indices, so R3 applies.
+  compiler::BodyClues clues;
+  clues.variable_index = false;
+  compiler::CompilerConfig cfg;
+  cfg.optimize = false;
+  expect_roundtrip({"uint256[3]"}, true, cfg, clues);
+}
+
+TEST(RecoveryStaticArray, ConstIndexOptimizedIsCase5) {
+  // §5.2 case 5: optimization removes the bound checks for constant indices;
+  // the array degrades to its element type — reproduce the failure.
+  compiler::BodyClues clues;
+  clues.variable_index = false;
+  compiler::CompilerConfig cfg;
+  cfg.optimize = true;
+  auto spec = one_function_spec({"uint256[3]"}, true, cfg, clues);
+  core::RecoveredFunction fn = recover_one(spec);
+  EXPECT_FALSE(spec.functions[0].signature.same_parameters(fn.parameters));
+}
+
+}  // namespace
+}  // namespace sigrec

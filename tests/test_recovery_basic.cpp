@@ -1,0 +1,114 @@
+// End-to-end recovery of basic-type parameters: spec -> synthetic compiler
+// -> bytecode -> SigRec -> recovered signature == ground truth.
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hpp"
+#include "sigrec/sigrec.hpp"
+
+namespace sigrec {
+namespace {
+
+using compiler::CompilerConfig;
+using compiler::ContractSpec;
+using compiler::make_contract;
+using compiler::make_function;
+
+core::RecoveredFunction recover_single(const ContractSpec& spec) {
+  evm::Bytecode code = compiler::compile_contract(spec);
+  core::SigRec tool;
+  core::RecoveryResult result = tool.recover(code);
+  EXPECT_EQ(result.functions.size(), spec.functions.size());
+  EXPECT_FALSE(result.functions.empty());
+  return result.functions.front();
+}
+
+// Compiles a one-function contract and checks the recovered type list.
+void expect_recovery(const std::vector<std::string>& types, bool external,
+                     const std::string& expected, CompilerConfig cfg = {}) {
+  ContractSpec spec = make_contract("t", cfg, {make_function("fn", types, external)});
+  core::RecoveredFunction fn = recover_single(spec);
+  EXPECT_EQ(fn.type_list(), expected)
+      << "declared (" << (external ? "external" : "public") << "): "
+      << spec.functions[0].signature.display();
+  EXPECT_EQ(fn.selector, spec.functions[0].signature.selector());
+}
+
+TEST(RecoveryBasic, Uint256) {
+  expect_recovery({"uint256"}, false, "uint256");
+  expect_recovery({"uint256"}, true, "uint256");
+}
+
+TEST(RecoveryBasic, SmallUints) {
+  expect_recovery({"uint8"}, false, "uint8");
+  expect_recovery({"uint32"}, true, "uint32");
+  expect_recovery({"uint128"}, false, "uint128");
+}
+
+TEST(RecoveryBasic, Uint160VsAddress) {
+  // Both are masked with 20 bytes of 0xff; arithmetic distinguishes them.
+  expect_recovery({"uint160"}, false, "uint160");
+  expect_recovery({"address"}, false, "address");
+  expect_recovery({"address"}, true, "address");
+}
+
+TEST(RecoveryBasic, SignedIntegers) {
+  expect_recovery({"int8"}, false, "int8");
+  expect_recovery({"int64"}, true, "int64");
+  expect_recovery({"int256"}, false, "int256");
+}
+
+TEST(RecoveryBasic, Bool) {
+  expect_recovery({"bool"}, false, "bool");
+  expect_recovery({"bool"}, true, "bool");
+}
+
+TEST(RecoveryBasic, FixedBytes) {
+  expect_recovery({"bytes4"}, false, "bytes4");
+  expect_recovery({"bytes20"}, true, "bytes20");
+  expect_recovery({"bytes32"}, false, "bytes32");
+}
+
+TEST(RecoveryBasic, MultipleParameters) {
+  expect_recovery({"uint8", "address", "bool"}, false, "uint8,address,bool");
+  expect_recovery({"bytes4", "int16", "uint256"}, true, "bytes4,int16,uint256");
+}
+
+TEST(RecoveryBasic, PaperRunningExample) {
+  // §4.2's example: test(uint8[] values, address to) public.
+  expect_recovery({"uint8[]", "address"}, false, "uint8[],address");
+}
+
+TEST(RecoveryBasic, MultipleFunctions) {
+  ContractSpec spec = make_contract(
+      "multi", CompilerConfig{},
+      {make_function("alpha", {"uint256"}, false), make_function("beta", {"address"}, true),
+       make_function("gamma", {"bool", "bytes8"}, false)});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  core::SigRec tool;
+  core::RecoveryResult result = tool.recover(code);
+  ASSERT_EQ(result.functions.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(result.functions[i].selector, spec.functions[i].signature.selector());
+    EXPECT_TRUE(spec.functions[i].signature.same_parameters(result.functions[i].parameters))
+        << spec.functions[i].signature.display() << " vs "
+        << result.functions[i].type_list();
+  }
+}
+
+TEST(RecoveryBasic, DivStyleDispatcher) {
+  // Pre-0.5 solc extracts the selector with DIV instead of SHR.
+  CompilerConfig cfg;
+  cfg.version = compiler::CompilerVersion{0, 4, 24};
+  expect_recovery({"uint64", "address"}, false, "uint64,address", cfg);
+  cfg.version = compiler::CompilerVersion{0, 3, 6};  // with AND mask after DIV
+  expect_recovery({"uint64"}, false, "uint64", cfg);
+}
+
+TEST(RecoveryBasic, NoParameters) {
+  ContractSpec spec = make_contract("np", CompilerConfig{}, {make_function("nop", {}, false)});
+  core::RecoveredFunction fn = recover_single(spec);
+  EXPECT_TRUE(fn.parameters.empty());
+}
+
+}  // namespace
+}  // namespace sigrec

@@ -1,0 +1,85 @@
+// Recovery of dynamic arrays, bytes and string (R1/R2/R5/R7/R8/R10/R17).
+#include "recovery_test_util.hpp"
+
+namespace sigrec {
+namespace {
+
+using testutil::expect_roundtrip;
+using testutil::one_function_spec;
+using testutil::recover_one;
+
+TEST(RecoveryDynamicArray, OneDimPublic) {
+  expect_roundtrip({"uint256[]"}, false);
+  expect_roundtrip({"uint8[]"}, false);
+  expect_roundtrip({"address[]"}, false);
+}
+
+TEST(RecoveryDynamicArray, OneDimExternal) {
+  expect_roundtrip({"uint256[]"}, true);
+  expect_roundtrip({"uint32[]"}, true);
+  expect_roundtrip({"int16[]"}, true);
+}
+
+TEST(RecoveryDynamicArray, MultiDimPublic) {
+  expect_roundtrip({"uint256[3][]"}, false);
+  expect_roundtrip({"uint8[2][]"}, false);
+}
+
+TEST(RecoveryDynamicArray, MultiDimExternal) {
+  expect_roundtrip({"uint256[3][]"}, true);
+  expect_roundtrip({"uint8[4][]"}, true);
+}
+
+TEST(RecoveryBytesString, BytesPublic) { expect_roundtrip({"bytes"}, false); }
+TEST(RecoveryBytesString, BytesExternal) { expect_roundtrip({"bytes"}, true); }
+TEST(RecoveryBytesString, StringPublic) { expect_roundtrip({"string"}, false); }
+TEST(RecoveryBytesString, StringExternal) { expect_roundtrip({"string"}, true); }
+
+TEST(RecoveryBytesString, BytesWithoutByteAccessIsCase5) {
+  // Without a single-byte access there is no way to tell bytes from string
+  // (§5.2 case 5) — SigRec answers string.
+  compiler::BodyClues clues;
+  clues.byte_access_on_bytes = false;
+  auto spec = testutil::one_function_spec({"bytes"}, false, {}, clues);
+  core::RecoveredFunction fn = recover_one(spec);
+  ASSERT_EQ(fn.parameters.size(), 1u);
+  EXPECT_EQ(fn.parameters[0]->kind, abi::TypeKind::String);
+}
+
+TEST(RecoveryDynamicArray, MixedWithBasics) {
+  expect_roundtrip({"uint8[]", "address"}, false);  // the paper's §4.2 example
+  expect_roundtrip({"address", "uint256[]"}, true);
+  expect_roundtrip({"bytes", "uint256"}, false);
+  expect_roundtrip({"uint256", "string", "bool"}, false);
+}
+
+TEST(RecoveryDynamicArray, MultipleDynamics) {
+  expect_roundtrip({"uint256[]", "bytes"}, false);
+  expect_roundtrip({"uint8[]", "uint256[]"}, true);
+  expect_roundtrip({"string", "string"}, false);
+  expect_roundtrip({"bytes", "uint8[]", "bytes32"}, false);
+}
+
+TEST(RecoveryNestedArray, TwoLevelDynamic) {
+  expect_roundtrip({"uint8[][]"}, false);
+  expect_roundtrip({"uint8[][]"}, true);
+  expect_roundtrip({"uint256[][]"}, false);
+}
+
+TEST(RecoveryNestedArray, StaticOuterDynamicInner) {
+  expect_roundtrip({"uint8[][2]"}, false);
+  expect_roundtrip({"uint256[][3]"}, true);
+}
+
+TEST(RecoveryNestedArray, WithNeighbours) {
+  expect_roundtrip({"uint8[][]", "address"}, false);
+  expect_roundtrip({"uint256", "uint8[][]"}, true);
+}
+
+TEST(RecoveryDynamicArray, ManyParams) {
+  expect_roundtrip({"uint8", "uint16[]", "bytes", "int64", "address[2]"}, false);
+  expect_roundtrip({"uint8", "uint16[]", "bytes", "int64", "address[2]"}, true);
+}
+
+}  // namespace
+}  // namespace sigrec

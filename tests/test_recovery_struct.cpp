@@ -1,0 +1,60 @@
+// Recovery of struct parameters (R19/R21) and the static-struct
+// flattening limitation (§2.3.1).
+#include "recovery_test_util.hpp"
+
+namespace sigrec {
+namespace {
+
+using testutil::expect_roundtrip;
+using testutil::one_function_spec;
+using testutil::recover_one;
+
+TEST(RecoveryStruct, DynamicStructWithArrayMember) {
+  // The paper's Fig. 9 example: (uint256[], uint256).
+  expect_roundtrip({"(uint256[],uint256)"}, false);
+  expect_roundtrip({"(uint256[],uint256)"}, true);
+}
+
+TEST(RecoveryStruct, DynamicStructMemberOrder) {
+  expect_roundtrip({"(uint256,uint8[])"}, false);
+  expect_roundtrip({"(address,uint256[],bool)"}, true);
+}
+
+TEST(RecoveryStruct, DynamicStructWithBytesMember) {
+  expect_roundtrip({"(bytes,uint256)"}, false);
+  expect_roundtrip({"(uint256,bytes)"}, true);
+}
+
+TEST(RecoveryStruct, StructBesideOtherParams) {
+  expect_roundtrip({"(uint256[],uint256)", "address"}, false);
+  expect_roundtrip({"uint8", "(uint256,uint64[])"}, true);
+}
+
+TEST(RecoveryStruct, StaticStructFlattensByDesign) {
+  // A static struct's layout is identical to its members laid out as
+  // individual parameters (Listing 2/3, Fig. 8) — recovery must produce the
+  // flattened view; comparing against the declared struct fails (case 5).
+  auto spec = one_function_spec({"(uint256,uint256)"}, false);
+  core::RecoveredFunction fn = recover_one(spec);
+  ASSERT_EQ(fn.parameters.size(), 2u);
+  EXPECT_EQ(fn.parameters[0]->canonical_name(), "uint256");
+  EXPECT_EQ(fn.parameters[1]->canonical_name(), "uint256");
+}
+
+TEST(RecoveryStruct, StaticStructFlattenedTypesStillRefined) {
+  auto spec = one_function_spec({"(uint8,address)"}, false);
+  core::RecoveredFunction fn = recover_one(spec);
+  ASSERT_EQ(fn.parameters.size(), 2u);
+  EXPECT_EQ(fn.parameters[0]->canonical_name(), "uint8");
+  EXPECT_EQ(fn.parameters[1]->canonical_name(), "address");
+}
+
+TEST(RecoveryStruct, RequiresAbiEncoderV2) {
+  compiler::CompilerConfig cfg;
+  cfg.version = compiler::CompilerVersion{0, 4, 11};  // pre-ABIEncoderV2
+  auto spec = one_function_spec({"(uint256[],uint256)"}, false, cfg);
+  EXPECT_THROW((void)compiler::compile_contract(spec), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sigrec

@@ -1,0 +1,135 @@
+// Parameterized recovery sweeps: the full cross product of parameter types,
+// function modes, compiler eras and optimization — every cell must
+// round-trip (spec -> bytecode -> recovered signature).
+#include "recovery_test_util.hpp"
+
+namespace sigrec {
+namespace {
+
+struct SweepCase {
+  std::string type;
+  bool external;
+  unsigned solc_minor;
+  bool optimize;
+};
+
+std::string case_name(const testing::TestParamInfo<SweepCase>& info) {
+  std::string t = info.param.type;
+  for (char& c : t) {
+    if (c == '[') c = '_';
+    if (c == ']') c = 'x';
+    if (c == '(' || c == ')' || c == ',') c = '_';
+  }
+  return t + (info.param.external ? "_ext" : "_pub") + "_v0" +
+         std::to_string(info.param.solc_minor) + (info.param.optimize ? "_opt" : "_noopt");
+}
+
+class RecoverySweep : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(RecoverySweep, RoundTrips) {
+  const SweepCase& c = GetParam();
+  compiler::CompilerConfig cfg;
+  cfg.version = compiler::CompilerVersion{0, c.solc_minor, c.solc_minor >= 5 ? 5u : 24u};
+  cfg.optimize = c.optimize;
+  testutil::expect_roundtrip({c.type}, c.external, cfg);
+}
+
+std::vector<SweepCase> make_cases(const std::vector<std::string>& types) {
+  std::vector<SweepCase> cases;
+  for (const std::string& t : types) {
+    for (bool external : {false, true}) {
+      for (unsigned minor : {4u, 5u, 8u}) {
+        for (bool optimize : {false, true}) {
+          cases.push_back({t, external, minor, optimize});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+// Every uint width — the paper's step-1 "all possible widths" enumeration,
+// one mode/version per width to keep the grid bounded plus the full grid on
+// boundary widths.
+INSTANTIATE_TEST_SUITE_P(
+    UintWidths, RecoverySweep,
+    testing::ValuesIn([] {
+      std::vector<SweepCase> cases;
+      for (unsigned bits = 8; bits <= 256; bits += 8) {
+        cases.push_back({"uint" + std::to_string(bits), bits % 16 == 0, 5, bits % 24 == 0});
+      }
+      return cases;
+    }()),
+    case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    IntWidths, RecoverySweep,
+    testing::ValuesIn([] {
+      std::vector<SweepCase> cases;
+      for (unsigned bits = 8; bits <= 256; bits += 8) {
+        cases.push_back({"int" + std::to_string(bits), bits % 16 == 0, 5, bits % 24 == 0});
+      }
+      return cases;
+    }()),
+    case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    BytesWidths, RecoverySweep,
+    testing::ValuesIn([] {
+      std::vector<SweepCase> cases;
+      for (unsigned m = 1; m <= 32; ++m) {
+        cases.push_back({"bytes" + std::to_string(m), m % 2 == 0, 5, m % 3 == 0});
+      }
+      return cases;
+    }()),
+    case_name);
+
+INSTANTIATE_TEST_SUITE_P(BasicGrid, RecoverySweep,
+                         testing::ValuesIn(make_cases({"address", "bool", "uint256",
+                                                       "int256", "bytes32"})),
+                         case_name);
+
+INSTANTIATE_TEST_SUITE_P(ArrayGrid, RecoverySweep,
+                         testing::ValuesIn(make_cases({"uint8[3]", "uint256[]",
+                                                       "uint16[2][3]", "address[2]",
+                                                       "int32[4][]"})),
+                         case_name);
+
+INSTANTIATE_TEST_SUITE_P(DynamicGrid, RecoverySweep,
+                         testing::ValuesIn(make_cases({"bytes", "string", "uint8[][]"})),
+                         case_name);
+
+// Static array sizes 1..10 — the paper's step-1 size enumeration.
+INSTANTIATE_TEST_SUITE_P(
+    StaticSizes, RecoverySweep,
+    testing::ValuesIn([] {
+      std::vector<SweepCase> cases;
+      for (unsigned n = 1; n <= 10; ++n) {
+        cases.push_back({"uint8[" + std::to_string(n) + "]", n % 2 == 0, 5, n % 3 == 0});
+      }
+      return cases;
+    }()),
+    case_name);
+
+// Multi-parameter signatures mixing every category.
+class MultiParamSweep : public testing::TestWithParam<std::vector<std::string>> {};
+
+TEST_P(MultiParamSweep, RoundTripsBothModes) {
+  testutil::expect_roundtrip(GetParam(), false);
+  testutil::expect_roundtrip(GetParam(), true);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, MultiParamSweep,
+    testing::Values(
+        std::vector<std::string>{"uint256", "uint256"},
+        std::vector<std::string>{"address", "uint256", "bool", "bytes4", "int64"},
+        std::vector<std::string>{"uint8[]", "uint8[]"},
+        std::vector<std::string>{"bytes", "bytes"},
+        std::vector<std::string>{"uint8[2]", "bytes", "uint256[]", "address"},
+        std::vector<std::string>{"string", "uint16[3][2]", "int128"},
+        std::vector<std::string>{"uint256[]", "uint8", "bytes32", "string"},
+        std::vector<std::string>{"bool", "bool", "bool", "bool", "bool"}));
+
+}  // namespace
+}  // namespace sigrec

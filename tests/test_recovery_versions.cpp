@@ -1,0 +1,85 @@
+// Recovery across every modeled compiler era (the Fig. 15/16 axes, as exact
+// tests rather than aggregate accuracy): each version's dispatcher and
+// pattern variants must round-trip representative signatures.
+#include "recovery_test_util.hpp"
+
+#include "corpus/datasets.hpp"
+
+namespace sigrec {
+namespace {
+
+struct VersionCase {
+  compiler::CompilerVersion version;
+  bool optimize;
+};
+
+class SolidityVersions : public testing::TestWithParam<VersionCase> {};
+
+TEST_P(SolidityVersions, RepresentativeSignaturesRoundTrip) {
+  compiler::CompilerConfig cfg;
+  cfg.version = GetParam().version;
+  cfg.optimize = GetParam().optimize;
+  testutil::expect_roundtrip({"uint256"}, false, cfg);
+  testutil::expect_roundtrip({"uint32", "address"}, true, cfg);
+  testutil::expect_roundtrip({"uint8[]", "bool"}, false, cfg);
+  testutil::expect_roundtrip({"bytes", "int64"}, false, cfg);
+  testutil::expect_roundtrip({"uint16[3]"}, true, cfg);
+  if (cfg.version.supports_abiencoderv2()) {
+    testutil::expect_roundtrip({"(uint256[],uint256)"}, false, cfg);
+    testutil::expect_roundtrip({"uint8[][]"}, true, cfg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEras, SolidityVersions,
+    testing::ValuesIn([] {
+      std::vector<VersionCase> cases;
+      for (const auto& v : corpus::solidity_versions()) {
+        cases.push_back({v, false});
+        cases.push_back({v, true});
+      }
+      return cases;
+    }()),
+    [](const testing::TestParamInfo<VersionCase>& info) {
+      return "v" + std::to_string(info.param.version.minor) + "_" +
+             std::to_string(info.param.version.patch) +
+             (info.param.optimize ? "_opt" : "_noopt");
+    });
+
+class VyperVersions : public testing::TestWithParam<compiler::CompilerVersion> {};
+
+TEST_P(VyperVersions, RepresentativeSignaturesRoundTrip) {
+  compiler::CompilerConfig cfg;
+  cfg.dialect = abi::Dialect::Vyper;
+  cfg.version = GetParam();
+  testutil::expect_roundtrip({"uint256"}, false, cfg);
+  testutil::expect_roundtrip({"address", "int128"}, false, cfg);
+  testutil::expect_roundtrip({"decimal", "bool"}, false, cfg);
+  testutil::expect_roundtrip({"uint256[3]"}, false, cfg);
+  testutil::expect_roundtrip({"bytes[20]", "bytes32"}, false, cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEras, VyperVersions,
+                         testing::ValuesIn(corpus::vyper_versions()),
+                         [](const testing::TestParamInfo<compiler::CompilerVersion>& info) {
+                           return "v" + std::to_string(info.param.minor) + "_" +
+                                  std::to_string(info.param.patch);
+                         });
+
+// The paper's step-1 enumeration for Vyper bounded types: bytes[1]..bytes[50].
+class VyperBounds : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(VyperBounds, BoundedBytesAndStringsRecoverExactBound) {
+  compiler::CompilerConfig cfg;
+  cfg.dialect = abi::Dialect::Vyper;
+  cfg.version = compiler::CompilerVersion{0, 2, 4};
+  std::size_t n = GetParam();
+  testutil::expect_roundtrip({"bytes[" + std::to_string(n) + "]"}, false, cfg);
+  testutil::expect_roundtrip({"string[" + std::to_string(n) + "]"}, false, cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, VyperBounds,
+                         testing::Values(1u, 2u, 5u, 16u, 31u, 32u, 33u, 50u));
+
+}  // namespace
+}  // namespace sigrec

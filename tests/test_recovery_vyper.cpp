@@ -1,0 +1,95 @@
+// Recovery of Vyper parameters: clamp-based basic types (R25/R27-R31),
+// fixed-size lists (R24), bounded bytes/strings (R23/R26), struct
+// flattening, and the R20 dialect discrimination.
+#include "recovery_test_util.hpp"
+
+namespace sigrec {
+namespace {
+
+using testutil::expect_roundtrip;
+using testutil::one_function_spec;
+using testutil::recover_one;
+
+compiler::CompilerConfig vyper_cfg(unsigned minor = 2, unsigned patch = 4) {
+  compiler::CompilerConfig cfg;
+  cfg.dialect = abi::Dialect::Vyper;
+  cfg.version = compiler::CompilerVersion{0, minor, patch};
+  return cfg;
+}
+
+TEST(RecoveryVyper, DialectDetection) {
+  auto spec = one_function_spec({"uint256"}, false, vyper_cfg());
+  core::RecoveredFunction fn = recover_one(spec);
+  EXPECT_EQ(fn.dialect, abi::Dialect::Vyper);
+
+  auto sol = one_function_spec({"uint256"}, false);
+  EXPECT_EQ(recover_one(sol).dialect, abi::Dialect::Solidity);
+}
+
+TEST(RecoveryVyper, Uint256) { expect_roundtrip({"uint256"}, false, vyper_cfg()); }
+
+TEST(RecoveryVyper, AddressViaClamp) {
+  // Vyper checks v < 2^160 instead of masking (Listing 5) — R27.
+  expect_roundtrip({"address"}, false, vyper_cfg());
+}
+
+TEST(RecoveryVyper, BoolViaClamp) { expect_roundtrip({"bool"}, false, vyper_cfg()); }
+
+TEST(RecoveryVyper, Int128ViaClamps) { expect_roundtrip({"int128"}, false, vyper_cfg()); }
+
+TEST(RecoveryVyper, DecimalViaClamps) { expect_roundtrip({"decimal"}, false, vyper_cfg()); }
+
+TEST(RecoveryVyper, Bytes32ViaByteAccess) {
+  expect_roundtrip({"bytes32"}, false, vyper_cfg());
+}
+
+TEST(RecoveryVyper, FixedSizeList) {
+  expect_roundtrip({"uint256[3]"}, false, vyper_cfg());
+  expect_roundtrip({"address[2]"}, false, vyper_cfg());
+  expect_roundtrip({"int128[4]"}, false, vyper_cfg());
+}
+
+TEST(RecoveryVyper, MultiDimFixedList) {
+  expect_roundtrip({"uint256[2][3]"}, false, vyper_cfg());
+}
+
+TEST(RecoveryVyper, BoundedBytes) {
+  expect_roundtrip({"bytes[50]"}, false, vyper_cfg());
+  expect_roundtrip({"bytes[7]"}, false, vyper_cfg());
+}
+
+TEST(RecoveryVyper, BoundedString) {
+  expect_roundtrip({"string[50]"}, false, vyper_cfg());
+  expect_roundtrip({"string[20]"}, false, vyper_cfg());
+}
+
+TEST(RecoveryVyper, MixedParameters) {
+  expect_roundtrip({"address", "uint256", "bool"}, false, vyper_cfg());
+  expect_roundtrip({"int128", "bytes[10]", "uint256[2]"}, false, vyper_cfg());
+  expect_roundtrip({"decimal", "address"}, false, vyper_cfg());
+}
+
+TEST(RecoveryVyper, DivSelectorEra) {
+  // Vyper 0.1.x uses DIV-based selector extraction.
+  expect_roundtrip({"address", "uint256"}, false, vyper_cfg(1, 8));
+}
+
+TEST(RecoveryVyper, StructFlattens) {
+  // Vyper structs are indistinguishable from their members (Listing 6/7).
+  auto spec = one_function_spec({"(uint256,uint256)"}, false, vyper_cfg());
+  core::RecoveredFunction fn = recover_one(spec);
+  ASSERT_EQ(fn.parameters.size(), 2u);
+  EXPECT_EQ(fn.parameters[0]->canonical_name(), "uint256");
+  EXPECT_EQ(fn.parameters[1]->canonical_name(), "uint256");
+}
+
+TEST(RecoveryVyper, PublicExternalSameBytecode) {
+  // Vyper emits the same code either way; recovery must agree.
+  auto pub = one_function_spec({"address", "int128"}, false, vyper_cfg());
+  auto ext = one_function_spec({"address", "int128"}, true, vyper_cfg());
+  EXPECT_EQ(compiler::compile_contract(pub).to_hex(),
+            compiler::compile_contract(ext).to_hex());
+}
+
+}  // namespace
+}  // namespace sigrec

@@ -1,0 +1,79 @@
+// Parameterized Vyper sweeps: fixed-size lists over dimensions and sizes,
+// and struct-member combinations for the Solidity dynamic-struct recovery.
+#include "recovery_test_util.hpp"
+
+namespace sigrec {
+namespace {
+
+compiler::CompilerConfig vyper_cfg() {
+  compiler::CompilerConfig cfg;
+  cfg.dialect = abi::Dialect::Vyper;
+  cfg.version = compiler::CompilerVersion{0, 2, 4};
+  return cfg;
+}
+
+struct ListCase {
+  const char* elem;
+  unsigned dims;
+  std::size_t size;
+};
+
+class VyperListSweep : public testing::TestWithParam<ListCase> {};
+
+TEST_P(VyperListSweep, FixedListRoundTrips) {
+  const ListCase& c = GetParam();
+  std::string name = c.elem;
+  for (unsigned d = 0; d < c.dims; ++d) {
+    name += "[" + std::to_string(c.size + d) + "]";
+  }
+  testutil::expect_roundtrip({name}, false, vyper_cfg());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, VyperListSweep,
+    testing::ValuesIn([] {
+      std::vector<ListCase> cases;
+      for (const char* elem : {"uint256", "int128", "address", "bool", "decimal"}) {
+        for (unsigned dims : {1u, 2u}) {
+          for (std::size_t size : {1u, 3u, 5u}) {
+            cases.push_back({elem, dims, size});
+          }
+        }
+      }
+      cases.push_back({"uint256", 3, 2});
+      cases.push_back({"int128", 3, 2});
+      return cases;
+    }()),
+    [](const testing::TestParamInfo<ListCase>& info) {
+      return std::string(info.param.elem) + "_d" + std::to_string(info.param.dims) + "_n" +
+             std::to_string(info.param.size);
+    });
+
+// Dynamic-struct member-combination sweep (Solidity, ABIEncoderV2).
+class StructMemberSweep : public testing::TestWithParam<std::string> {};
+
+TEST_P(StructMemberSweep, DynamicStructRoundTrips) {
+  testutil::expect_roundtrip({GetParam()}, false);
+  testutil::expect_roundtrip({GetParam()}, true);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, StructMemberSweep,
+    testing::Values("(uint256[],uint8)", "(uint8,uint16[],uint32)", "(bytes,address)",
+                    "(bool,bytes,int64)", "(uint64[],uint128[])",
+                    "(address,uint256[],bool,bytes)"),
+    [](const testing::TestParamInfo<std::string>& info) {
+      std::string s = info.param;
+      std::string out;
+      for (char c : s) {
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+          out += c;
+        } else {
+          out += '_';
+        }
+      }
+      return out;
+    });
+
+}  // namespace
+}  // namespace sigrec

@@ -1,0 +1,151 @@
+// Robustness / failure-injection tests: every public entry point must
+// survive adversarial bytes — truncated bytecode, random opcodes, corrupted
+// call data — without crashing, hanging, or tripping UB.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "abi/decoder.hpp"
+#include "abi/encoder.hpp"
+#include "apps/parchecker.hpp"
+#include "compiler/asm_builder.hpp"
+#include "compiler/compile.hpp"
+#include "evm/interpreter.hpp"
+#include "sigrec/sigrec.hpp"
+#include "symexec/executor.hpp"
+
+namespace sigrec {
+namespace {
+
+TEST(Robustness, SigRecOnRandomBytes) {
+  std::mt19937_64 rng(99);
+  core::SigRec tool;
+  for (int i = 0; i < 50; ++i) {
+    evm::Bytes bytes(rng() % 400);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    evm::Bytecode code(bytes);
+    core::RecoveryResult result = tool.recover(code);  // must not crash
+    for (const auto& fn : result.functions) {
+      EXPECT_LE(fn.parameters.size(), 64u);  // sane output even on garbage
+    }
+  }
+}
+
+TEST(Robustness, SigRecOnTruncatedRealContracts) {
+  auto spec = compiler::make_contract(
+      "t", {},
+      {compiler::make_function("a", {"uint256[]", "bytes", "address"}, false)});
+  evm::Bytecode full = compiler::compile_contract(spec);
+  core::SigRec tool;
+  for (std::size_t keep = 0; keep < full.size(); keep += 7) {
+    evm::Bytes cut(full.bytes().begin(),
+                   full.bytes().begin() + static_cast<std::ptrdiff_t>(keep));
+    evm::Bytecode code(cut);
+    (void)tool.recover(code);  // must not crash on any prefix
+  }
+}
+
+TEST(Robustness, SigRecOnBitFlippedContracts) {
+  auto spec = compiler::make_contract(
+      "t", {}, {compiler::make_function("a", {"uint8[3][]", "bool"}, true)});
+  evm::Bytecode base = compiler::compile_contract(spec);
+  core::SigRec tool;
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 60; ++i) {
+    evm::Bytes mutated(base.bytes().begin(), base.bytes().end());
+    mutated[rng() % mutated.size()] ^= static_cast<std::uint8_t>(1 + rng() % 255);
+    (void)tool.recover(evm::Bytecode(mutated));
+  }
+}
+
+TEST(Robustness, InterpreterOnRandomBytes) {
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 80; ++i) {
+    evm::Bytes bytes(rng() % 200);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    evm::Bytecode code(bytes);
+    evm::Bytes calldata(rng() % 100);
+    for (auto& b : calldata) b = static_cast<std::uint8_t>(rng());
+    evm::ExecResult r =
+        evm::Interpreter(code).with_step_limit(20000).execute(calldata);
+    // Any halt reason is fine; bounded steps is the property.
+    EXPECT_LE(r.steps, 20002u);
+  }
+}
+
+TEST(Robustness, DecoderOnCorruptedCalldata) {
+  abi::FunctionSignature sig;
+  ASSERT_TRUE(abi::parse_signature("f(uint256[],bytes,(uint8,string))", sig));
+  evm::Bytes base = abi::encode_sample_call(sig, 3);
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 200; ++i) {
+    evm::Bytes mutated = base;
+    // Flip up to 3 bytes anywhere.
+    for (int k = 0; k < 3; ++k) {
+      mutated[rng() % mutated.size()] ^= static_cast<std::uint8_t>(rng());
+    }
+    (void)abi::decode_call(sig, mutated);  // may fail, must not crash
+  }
+}
+
+TEST(Robustness, ParCheckerOnRandomCalldata) {
+  abi::FunctionSignature sig;
+  ASSERT_TRUE(abi::parse_signature("f(uint8,bytes,uint16[2],string)", sig));
+  std::mt19937_64 rng(13);
+  for (int i = 0; i < 200; ++i) {
+    evm::Bytes calldata(rng() % 300);
+    for (auto& b : calldata) b = static_cast<std::uint8_t>(rng());
+    (void)apps::check_arguments(sig.parameters, calldata);
+  }
+}
+
+TEST(Robustness, DecoderRejectsSelfReferentialOffsets) {
+  // An offset pointing back at itself must terminate, not loop.
+  abi::FunctionSignature sig;
+  ASSERT_TRUE(abi::parse_signature("f(uint8[][])", sig));
+  evm::Bytes calldata(4 + 32 * 4, 0);
+  calldata[4 + 31] = 0;  // outer offset = 0 -> points at itself as num
+  auto result = abi::decode_call(sig, calldata);
+  // Zero num decodes as an empty array (valid) — the property is bounded
+  // termination either way.
+  (void)result;
+  SUCCEED();
+}
+
+TEST(Robustness, SymbolicExecutorBoundedOnPathologicalLoops) {
+  // A contract that jumps in a tight symbolic-condition cycle.
+  compiler::AsmBuilder b;
+  compiler::Label loop = b.make_label();
+  b.place(loop);
+  b.push(evm::U256(4)).op(evm::Opcode::CALLDATALOAD);
+  b.jumpi_to(loop);
+  b.jump_to(loop);
+  evm::Bytecode code = b.assemble();
+  symexec::Limits limits;
+  limits.max_total_steps = 50000;
+  symexec::SymExecutor ex(code, limits);
+  symexec::Trace t = ex.run(0);
+  EXPECT_LE(t.total_steps, 50002u);
+}
+
+TEST(Robustness, RecoveryIsDeterministic) {
+  auto spec = compiler::make_contract(
+      "t", {},
+      {compiler::make_function("a", {"uint8[]", "bytes", "(uint256[],uint256)"}, false)});
+  evm::Bytecode code = compiler::compile_contract(spec);
+  core::SigRec tool;
+  std::string first;
+  for (int i = 0; i < 5; ++i) {
+    core::RecoveryResult r = tool.recover(code);
+    ASSERT_EQ(r.functions.size(), 1u);
+    std::string now = r.functions[0].to_string();
+    if (i == 0) {
+      first = now;
+    } else {
+      EXPECT_EQ(now, first);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sigrec

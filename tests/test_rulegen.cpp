@@ -1,0 +1,114 @@
+// The §3.1 rule-generation pipeline: the automated steps must rediscover the
+// observations the rules encode.
+#include "rulegen/rulegen.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sigrec::rulegen {
+namespace {
+
+bool contains(const Pattern& p, const std::string& token) {
+  return std::find(p.begin(), p.end(), token) != p.end();
+}
+
+std::size_t count(const Pattern& p, const std::string& token) {
+  return static_cast<std::size_t>(std::count(p.begin(), p.end(), token));
+}
+
+TEST(RuleGen, CommonPatternBasics) {
+  Pattern a = {"A", "B", "C", "D"};
+  Pattern b = {"A", "X", "C", "D"};
+  Pattern c = {"A", "C", "Y", "D"};
+  EXPECT_EQ(common_pattern({a, b, c}), (Pattern{"A", "C", "D"}));
+  EXPECT_EQ(common_pattern({a}), a);
+  EXPECT_TRUE(common_pattern({}).empty());
+}
+
+TEST(RuleGen, PatternMinus) {
+  Pattern p = {"LOAD", "AND", "LOAD", "COPY"};
+  Pattern base = {"LOAD", "AND"};
+  EXPECT_EQ(pattern_minus(p, base), (Pattern{"LOAD", "COPY"}));
+  EXPECT_TRUE(pattern_minus(base, base).empty());
+}
+
+TEST(RuleGen, UintFamilyCommonPattern) {
+  // §3.1: the common pattern of uint8..uint256 yields the rule for uint(M):
+  // one CALLDATALOAD; the AND mask is NOT common (uint256 has none), which
+  // is exactly why R4 defaults and R11 refines.
+  FamilyStudy study = study_uint_family();
+  ASSERT_EQ(study.variants.size(), 32u);
+  EXPECT_TRUE(contains(study.common, "CALLDATALOAD"));
+  EXPECT_FALSE(contains(study.common, "AND(low)"));
+  // Every narrower variant individually shows the mask.
+  EXPECT_TRUE(contains(study.variants[0], "AND(low)"));   // uint8
+  EXPECT_FALSE(contains(study.variants[31], "AND(low)")); // uint256
+}
+
+TEST(RuleGen, IntFamilyShowsSignExtend) {
+  FamilyStudy study = study_int_family();
+  EXPECT_TRUE(contains(study.variants[0], "SIGNEXTEND"));   // int8
+  EXPECT_TRUE(contains(study.variants[30], "SIGNEXTEND"));  // int248
+  // int256 uses a signed op instead; SIGNEXTEND is not common.
+  EXPECT_FALSE(contains(study.common, "SIGNEXTEND"));
+  EXPECT_TRUE(contains(study.variants[31], "SIGNED-OP"));
+}
+
+TEST(RuleGen, FixedBytesFamilyShowsHighMask) {
+  FamilyStudy study = study_fixed_bytes_family();
+  EXPECT_TRUE(contains(study.variants[0], "AND(high)"));   // bytes1
+  EXPECT_TRUE(contains(study.variants[30], "AND(high)"));  // bytes31
+  EXPECT_TRUE(contains(study.variants[31], "BYTE"));       // bytes32
+}
+
+TEST(RuleGen, StaticArrayFamilyExternal) {
+  // T[1..10] external: every variant reads items behind constant bound
+  // checks — the R3 signal survives into the common pattern.
+  FamilyStudy study = study_static_array_family(/*external=*/true);
+  ASSERT_EQ(study.variants.size(), 10u);
+  EXPECT_TRUE(contains(study.common, "GUARD(const)"));
+  EXPECT_TRUE(contains(study.common, "CALLDATALOAD"));
+}
+
+TEST(RuleGen, StaticArrayFamilyPublicUsesCopy) {
+  FamilyStudy study = study_static_array_family(/*external=*/false);
+  EXPECT_TRUE(contains(study.common, "CALLDATACOPY(len=const)"));
+}
+
+TEST(RuleGen, DynamicArrayFamilyShowsOffsetNumPair) {
+  // R1's signature: the offset-derived second CALLDATALOAD appears in every
+  // variant, public or external.
+  for (bool external : {false, true}) {
+    FamilyStudy study = study_dynamic_array_family(external);
+    EXPECT_TRUE(contains(study.common, "CALLDATALOAD(offset-derived)")) << external;
+    EXPECT_GE(count(study.common, "CALLDATALOAD") +
+                  count(study.common, "CALLDATALOAD(offset-derived)"),
+              2u)
+        << external;
+  }
+}
+
+TEST(RuleGen, DynamicArrayPublicCopyLength) {
+  FamilyStudy study = study_dynamic_array_family(/*external=*/false);
+  // R7's signal: the copy length is num*32.
+  EXPECT_TRUE(contains(study.common, "CALLDATACOPY(len=num*32)"));
+}
+
+TEST(RuleGen, BytesStringDifferOnlyInByteAccess) {
+  FamilyStudy study = study_bytes_string_family(/*external=*/false);
+  // Common: ceil-rounded copy (R8). Difference: BYTE (R17).
+  EXPECT_TRUE(contains(study.common, "CALLDATACOPY(len=ceil32)"));
+  Pattern bytes_only = pattern_minus(study.variants[0], study.common);
+  EXPECT_TRUE(contains(bytes_only, "BYTE"));
+  Pattern string_only = pattern_minus(study.variants[1], study.common);
+  EXPECT_FALSE(contains(string_only, "BYTE"));
+}
+
+TEST(RuleGen, VyperBoundedFamilyConstantCopy) {
+  FamilyStudy study = study_vyper_bounded_family();
+  // R23's signal: a constant-length copy, present across every maxLen.
+  EXPECT_TRUE(contains(study.common, "CALLDATACOPY(len=const)"));
+  EXPECT_TRUE(contains(study.common, "CLAMP"));  // the length clamp
+}
+
+}  // namespace
+}  // namespace sigrec::rulegen

@@ -1,0 +1,126 @@
+// Unit tests for the fine-grained refinement rules (R11-R18, R27-R31) and
+// rule statistics.
+#include "sigrec/rules.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sigrec::core {
+namespace {
+
+using evm::U256;
+using symexec::UseEvent;
+using symexec::UseKind;
+
+UseEvent mask_use(const U256& mask) {
+  UseEvent u;
+  u.kind = UseKind::Mask;
+  u.mask = mask;
+  return u;
+}
+
+UseEvent simple_use(UseKind kind) {
+  UseEvent u;
+  u.kind = kind;
+  return u;
+}
+
+UseEvent compare_use(const U256& bound, bool is_signed) {
+  UseEvent u;
+  u.kind = UseKind::Compare;
+  u.bound = bound;
+  u.cmp_signed = is_signed;
+  return u;
+}
+
+std::string refined(const std::vector<UseEvent>& uses, abi::Dialect d) {
+  std::vector<const UseEvent*> ptrs;
+  for (const UseEvent& u : uses) ptrs.push_back(&u);
+  RuleStats stats;
+  return refine_basic_type(ptrs, d, stats)->display_name();
+}
+
+TEST(Rules, R11LowMasks) {
+  EXPECT_EQ(refined({mask_use(U256::ones(8))}, abi::Dialect::Solidity), "uint8");
+  EXPECT_EQ(refined({mask_use(U256::ones(64))}, abi::Dialect::Solidity), "uint64");
+  EXPECT_EQ(refined({mask_use(U256::ones(248))}, abi::Dialect::Solidity), "uint248");
+}
+
+TEST(Rules, R12HighMasks) {
+  EXPECT_EQ(refined({mask_use(U256::ones(32).shl(224))}, abi::Dialect::Solidity), "bytes4");
+  EXPECT_EQ(refined({mask_use(U256::ones(8).shl(248))}, abi::Dialect::Solidity), "bytes1");
+  EXPECT_EQ(refined({mask_use(U256::ones(248).shl(8))}, abi::Dialect::Solidity), "bytes31");
+}
+
+TEST(Rules, R13SignExtend) {
+  UseEvent u = simple_use(UseKind::SignExtend);
+  u.signext_k = 0;
+  EXPECT_EQ(refined({u}, abi::Dialect::Solidity), "int8");
+  u.signext_k = 15;
+  EXPECT_EQ(refined({u}, abi::Dialect::Solidity), "int128");
+  u.signext_k = 30;
+  EXPECT_EQ(refined({u}, abi::Dialect::Solidity), "int248");
+}
+
+TEST(Rules, R14Bool) {
+  EXPECT_EQ(refined({simple_use(UseKind::IsZeroPair)}, abi::Dialect::Solidity), "bool");
+}
+
+TEST(Rules, R15Int256) {
+  EXPECT_EQ(refined({simple_use(UseKind::SignedOp)}, abi::Dialect::Solidity), "int256");
+}
+
+TEST(Rules, R16AddressVsUint160) {
+  // Mask alone: address; mask + arithmetic: uint160.
+  EXPECT_EQ(refined({mask_use(U256::ones(160))}, abi::Dialect::Solidity), "address");
+  EXPECT_EQ(refined({mask_use(U256::ones(160)), simple_use(UseKind::Arithmetic)},
+                    abi::Dialect::Solidity),
+            "uint160");
+}
+
+TEST(Rules, R18Bytes32) {
+  EXPECT_EQ(refined({simple_use(UseKind::ByteOp)}, abi::Dialect::Solidity), "bytes32");
+}
+
+TEST(Rules, R4DefaultUint256) {
+  EXPECT_EQ(refined({}, abi::Dialect::Solidity), "uint256");
+  EXPECT_EQ(refined({simple_use(UseKind::Arithmetic)}, abi::Dialect::Solidity), "uint256");
+}
+
+TEST(Rules, VyperClamps) {
+  EXPECT_EQ(refined({compare_use(U256::pow2(160), false)}, abi::Dialect::Vyper), "address");
+  EXPECT_EQ(refined({compare_use(U256(2), false)}, abi::Dialect::Vyper), "bool");
+  EXPECT_EQ(refined({compare_use(U256::pow2(127), true)}, abi::Dialect::Vyper), "int128");
+  EXPECT_EQ(refined({compare_use(U256::pow2(127).negate(), true)}, abi::Dialect::Vyper),
+            "int128");
+  U256 dec = U256::pow2(127) * U256(10000000000ULL);
+  EXPECT_EQ(refined({compare_use(dec, true)}, abi::Dialect::Vyper), "decimal");
+  EXPECT_EQ(refined({simple_use(UseKind::ByteOp)}, abi::Dialect::Vyper), "bytes32");
+  EXPECT_EQ(refined({}, abi::Dialect::Vyper), "uint256");
+}
+
+TEST(Rules, SolidityMasksIgnoredInVyperMode) {
+  // Vyper mode only consults clamps and byte ops.
+  EXPECT_EQ(refined({mask_use(U256::ones(8))}, abi::Dialect::Vyper), "uint256");
+}
+
+TEST(Rules, StatsCountHits) {
+  RuleStats stats;
+  std::vector<const UseEvent*> empty;
+  UseEvent m = mask_use(U256::ones(8));
+  std::vector<const UseEvent*> uses = {&m};
+  (void)refine_basic_type(uses, abi::Dialect::Solidity, stats);
+  EXPECT_EQ(stats.count(RuleId::R11), 1u);
+  EXPECT_EQ(stats.count(RuleId::R12), 0u);
+  RuleStats other;
+  (void)refine_basic_type(uses, abi::Dialect::Solidity, other);
+  other.merge(stats);
+  EXPECT_EQ(other.count(RuleId::R11), 2u);
+}
+
+TEST(Rules, RuleNames) {
+  EXPECT_EQ(rule_name(RuleId::R1), "R1");
+  EXPECT_EQ(rule_name(RuleId::R31), "R31");
+}
+
+}  // namespace
+}  // namespace sigrec::core

@@ -1,0 +1,77 @@
+#include "abi/signature.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sigrec::abi {
+namespace {
+
+TEST(Signature, CanonicalText) {
+  FunctionSignature sig;
+  sig.name = "transfer";
+  sig.parameters = {address_type(), uint_type(256)};
+  EXPECT_EQ(sig.canonical(), "transfer(address,uint256)");
+  EXPECT_EQ(sig.selector(), 0xa9059cbbu);
+}
+
+TEST(Signature, EmptyParameterList) {
+  FunctionSignature sig;
+  sig.name = "totalSupply";
+  EXPECT_EQ(sig.canonical(), "totalSupply()");
+  EXPECT_EQ(sig.selector(), 0x18160dddu);
+}
+
+TEST(Signature, ParseSimple) {
+  FunctionSignature sig;
+  ASSERT_TRUE(parse_signature("transfer(address,uint256)", sig));
+  EXPECT_EQ(sig.name, "transfer");
+  ASSERT_EQ(sig.parameters.size(), 2u);
+  EXPECT_EQ(sig.parameters[0]->canonical_name(), "address");
+  EXPECT_EQ(sig.parameters[1]->canonical_name(), "uint256");
+  EXPECT_EQ(sig.selector(), 0xa9059cbbu);
+}
+
+TEST(Signature, ParseNestedCommas) {
+  FunctionSignature sig;
+  ASSERT_TRUE(parse_signature("f((uint256,bytes),uint8[2],string)", sig));
+  ASSERT_EQ(sig.parameters.size(), 3u);
+  EXPECT_EQ(sig.parameters[0]->canonical_name(), "(uint256,bytes)");
+  EXPECT_EQ(sig.parameters[1]->canonical_name(), "uint8[2]");
+}
+
+TEST(Signature, ParseRejectsMalformed) {
+  FunctionSignature sig;
+  EXPECT_FALSE(parse_signature("nope", sig));
+  EXPECT_FALSE(parse_signature("f(uint7)", sig));
+  EXPECT_FALSE(parse_signature("f(uint256", sig));
+}
+
+TEST(Signature, SameParameters) {
+  FunctionSignature a;
+  ASSERT_TRUE(parse_signature("f(uint8[],address)", a));
+  FunctionSignature b;
+  ASSERT_TRUE(parse_signature("g(uint8[],address)", b));
+  EXPECT_TRUE(a.same_parameters(b.parameters));
+  FunctionSignature c;
+  ASSERT_TRUE(parse_signature("f(uint8[3],address)", c));
+  EXPECT_FALSE(a.same_parameters(c.parameters));
+  FunctionSignature d;
+  ASSERT_TRUE(parse_signature("f(uint8[])", d));
+  EXPECT_FALSE(a.same_parameters(d.parameters));
+}
+
+TEST(Signature, SelectorHex) {
+  EXPECT_EQ(selector_to_hex(0xa9059cbbu), "0xa9059cbb");
+  EXPECT_EQ(selector_to_hex(0x00000001u), "0x00000001");
+}
+
+TEST(Signature, DisplayKeepsVyperBounds) {
+  FunctionSignature sig;
+  sig.name = "f";
+  sig.parameters = {bounded_bytes_type(50), decimal_type()};
+  EXPECT_EQ(sig.display(), "f(bytes[50],decimal)");
+  // The canonical (hashed) form uses the ABI mapping.
+  EXPECT_EQ(sig.canonical(), "f(bytes,fixed168x10)");
+}
+
+}  // namespace
+}  // namespace sigrec::abi

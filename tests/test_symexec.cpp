@@ -1,0 +1,245 @@
+// Symbolic-execution engine unit tests: expression folding, affine
+// decomposition, event recording, guard tracking.
+#include <gtest/gtest.h>
+
+#include "compiler/asm_builder.hpp"
+#include "symexec/executor.hpp"
+
+namespace sigrec::symexec {
+namespace {
+
+using compiler::AsmBuilder;
+using compiler::Label;
+using evm::Opcode;
+using evm::U256;
+
+TEST(ExprPool, ConstantFolding) {
+  ExprPool pool;
+  ExprPtr a = pool.constant(U256(20));
+  ExprPtr b = pool.constant(U256(22));
+  ExprPtr sum = pool.binary(Opcode::ADD, a, b);
+  ASSERT_TRUE(sum->is_const());
+  EXPECT_EQ(sum->value(), U256(42));
+}
+
+TEST(ExprPool, HashConsing) {
+  ExprPool pool;
+  ExprPtr x = pool.calldata_word(pool.constant(U256(4)));
+  ExprPtr y = pool.calldata_word(pool.constant(U256(4)));
+  EXPECT_EQ(x, y);  // structurally equal -> same node
+  ExprPtr z = pool.calldata_word(pool.constant(U256(36)));
+  EXPECT_NE(x, z);
+}
+
+TEST(ExprPool, AddCanonicalization) {
+  // ADD(ADD(x, 1), 2) folds its constants so locations compare equal.
+  ExprPool pool;
+  ExprPtr x = pool.calldata_word(pool.constant(U256(4)));
+  ExprPtr a = pool.add(pool.add(x, pool.constant(U256(1))), pool.constant(U256(2)));
+  ExprPtr b = pool.add(x, pool.constant(U256(3)));
+  EXPECT_EQ(a, b);
+}
+
+TEST(ExprPool, SelectorFolds) {
+  ExprPool pool;
+  pool.set_selector(0xa9059cbb);
+  ExprPtr word = pool.selector_word();
+  // DIV(word, 2^224).
+  ExprPtr div = pool.binary(Opcode::DIV, word, pool.constant(U256::pow2(224)));
+  ASSERT_TRUE(div->is_const());
+  EXPECT_EQ(div->value(), U256(0xa9059cbb));
+  // SHR(0xe0, word).
+  ExprPtr shr = pool.binary(Opcode::SHR, pool.constant(U256(0xe0)), word);
+  ASSERT_TRUE(shr->is_const());
+  EXPECT_EQ(shr->value(), U256(0xa9059cbb));
+}
+
+TEST(ExprPool, MulIdentities) {
+  ExprPool pool;
+  ExprPtr x = pool.fresh();
+  EXPECT_EQ(pool.binary(Opcode::MUL, x, pool.constant(U256(1))), x);
+  EXPECT_TRUE(pool.binary(Opcode::MUL, x, pool.constant(U256(0)))->is_const());
+  EXPECT_EQ(pool.binary(Opcode::ADD, x, pool.constant(U256(0))), x);
+  EXPECT_TRUE(pool.binary(Opcode::SUB, x, x)->is_const());
+}
+
+TEST(ExprPool, AffineDecomposition) {
+  ExprPool pool;
+  ExprPtr x = pool.calldata_word(pool.constant(U256(4)));
+  ExprPtr i = pool.fresh();
+  // x + i*32 + 36.
+  ExprPtr e = pool.add(pool.add(x, pool.binary(Opcode::MUL, i, pool.constant(U256(32)))),
+                       pool.constant(U256(36)));
+  const AffineForm& form = pool.affine(e);
+  EXPECT_EQ(form.constant, U256(36));
+  ASSERT_EQ(form.terms.size(), 2u);
+  EXPECT_EQ(form.terms.at(x), U256(1));
+  EXPECT_EQ(form.terms.at(i), U256(32));
+  EXPECT_TRUE(pool.contains_term(e, x));
+  EXPECT_FALSE(pool.contains_term(pool.constant(U256(4)), x));
+}
+
+TEST(ExprPool, AffineCancellation) {
+  ExprPool pool;
+  ExprPtr x = pool.fresh();
+  ExprPtr e = pool.sub(pool.add(x, pool.constant(U256(10))), x);
+  const AffineForm& form = pool.affine(e);
+  EXPECT_TRUE(form.terms.empty());  // x cancels
+  EXPECT_EQ(form.constant, U256(10));
+}
+
+// Builds a minimal function body at pc 0: no dispatcher, direct code.
+Trace run_fragment(AsmBuilder& b, std::uint32_t selector = 0) {
+  b.op(Opcode::STOP);
+  evm::Bytecode code = b.assemble();
+  SymExecutor ex(code);
+  return ex.run(selector);
+}
+
+TEST(SymExecutor, RecordsCalldataLoad) {
+  AsmBuilder b;
+  b.push(U256(4)).op(Opcode::CALLDATALOAD).op(Opcode::POP);
+  Trace t = run_fragment(b);
+  ASSERT_EQ(t.loads.size(), 1u);
+  EXPECT_EQ(t.loads[0].loc_const, std::optional<std::uint64_t>(4));
+  EXPECT_TRUE(t.loads[0].guards.empty());
+}
+
+TEST(SymExecutor, SelectorLoadIsNotAnEvent) {
+  AsmBuilder b;
+  b.push(U256(0)).op(Opcode::CALLDATALOAD).op(Opcode::POP);
+  Trace t = run_fragment(b);
+  EXPECT_TRUE(t.loads.empty());
+}
+
+TEST(SymExecutor, RecordsMaskUse) {
+  AsmBuilder b;
+  b.push(U256(4)).op(Opcode::CALLDATALOAD);
+  b.push_width(U256::ones(160), 20).op(Opcode::AND).op(Opcode::POP);
+  Trace t = run_fragment(b);
+  ASSERT_EQ(t.uses.size(), 1u);
+  EXPECT_EQ(t.uses[0].kind, UseKind::Mask);
+  EXPECT_EQ(t.uses[0].mask, U256::ones(160));
+  EXPECT_TRUE(t.uses[0].value_prov.loads.contains(0));
+}
+
+TEST(SymExecutor, RecordsOffsetDependentLoad) {
+  AsmBuilder b;
+  // offset = calldataload(4); num = calldataload(offset + 4).
+  b.push(U256(4)).op(Opcode::CALLDATALOAD);
+  b.push(U256(4)).op(Opcode::ADD).op(Opcode::CALLDATALOAD).op(Opcode::POP);
+  Trace t = run_fragment(b);
+  ASSERT_EQ(t.loads.size(), 2u);
+  EXPECT_FALSE(t.loads[1].loc_const.has_value());
+  EXPECT_TRUE(t.loads[1].loc_prov.loads.contains(0));
+}
+
+TEST(SymExecutor, SymbolicLoopBoundsGuardLoads) {
+  // while (i < calldataload(4)) { calldataload(36 + i*32); i++ }
+  AsmBuilder b;
+  std::size_t counter = 0x8000;
+  b.push(U256(0)).push(U256(counter)).op(Opcode::MSTORE);
+  Label loop = b.make_label();
+  Label end = b.make_label();
+  b.place(loop);
+  b.push(U256(4)).op(Opcode::CALLDATALOAD);            // bound = num
+  b.push(U256(counter)).op(Opcode::MLOAD);             // i
+  b.op(Opcode::LT).op(Opcode::ISZERO).jumpi_to(end);
+  b.push(U256(counter)).op(Opcode::MLOAD);
+  b.push(U256(32)).op(Opcode::MUL);
+  b.push(U256(36)).op(Opcode::ADD).op(Opcode::CALLDATALOAD).op(Opcode::POP);
+  b.push(U256(counter)).op(Opcode::MLOAD).push(U256(1)).op(Opcode::ADD);
+  b.push(U256(counter)).op(Opcode::MSTORE);
+  b.jump_to(loop);
+  b.place(end);
+  Trace t = run_fragment(b);
+  // Find the item load (loc 36 at iteration 0).
+  bool found = false;
+  for (const LoadEvent& l : t.loads) {
+    if (l.loc_const == std::optional<std::uint64_t>(36)) {
+      found = true;
+      ASSERT_EQ(l.guards.size(), 1u);
+      EXPECT_TRUE(l.guards[0].bound_symbolic);
+      EXPECT_TRUE(l.loc_prov.mul32);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SymExecutor, InputDependentJumpStopsPath) {
+  AsmBuilder b;
+  b.push(U256(4)).op(Opcode::CALLDATALOAD).op(Opcode::JUMP);  // jump to calldata value
+  b.op(Opcode::JUMPDEST);
+  b.push(U256(36)).op(Opcode::CALLDATALOAD).op(Opcode::POP);
+  Trace t = run_fragment(b);
+  // The path ends at the symbolic JUMP; the load after it is never seen.
+  EXPECT_EQ(t.loads.size(), 1u);
+}
+
+TEST(SymExecutor, ForksOnSymbolicCondition) {
+  AsmBuilder b;
+  Label skip = b.make_label();
+  b.push(U256(4)).op(Opcode::CALLDATALOAD);
+  b.jumpi_to(skip);
+  b.push(U256(36)).op(Opcode::CALLDATALOAD).op(Opcode::POP);
+  b.place(skip);
+  b.push(U256(68)).op(Opcode::CALLDATALOAD).op(Opcode::POP);
+  Trace t = run_fragment(b);
+  EXPECT_GE(t.paths_explored, 2u);
+  // Both sides' loads observed.
+  std::set<std::uint64_t> locs;
+  for (const LoadEvent& l : t.loads) {
+    if (l.loc_const) locs.insert(*l.loc_const);
+  }
+  EXPECT_TRUE(locs.contains(4));
+  EXPECT_TRUE(locs.contains(36));
+  EXPECT_TRUE(locs.contains(68));
+}
+
+TEST(SymExecutor, CopyCreatesRegionForMload) {
+  AsmBuilder b;
+  // CALLDATACOPY(0x80, 4, 32); MLOAD(0x80) -> value tagged with the copy.
+  b.push(U256(32)).push(U256(4)).push(U256(0x80)).op(Opcode::CALLDATACOPY);
+  b.push(U256(0x80)).op(Opcode::MLOAD);
+  b.push(U256(0xff)).op(Opcode::AND).op(Opcode::POP);
+  Trace t = run_fragment(b);
+  ASSERT_EQ(t.copies.size(), 1u);
+  bool mask_on_copy = false;
+  for (const UseEvent& u : t.uses) {
+    if (u.kind == UseKind::Mask && u.value_prov.copies.contains(0)) mask_on_copy = true;
+  }
+  EXPECT_TRUE(mask_on_copy);
+}
+
+TEST(SymExecutor, EventDeduplicationAcrossPaths) {
+  AsmBuilder b;
+  Label skip = b.make_label();
+  b.push(U256(4)).op(Opcode::CALLDATALOAD).jumpi_to(skip);
+  b.place(skip);
+  b.push(U256(36)).op(Opcode::CALLDATALOAD).op(Opcode::POP);
+  Trace t = run_fragment(b);
+  // Both forks execute the load at 36; the trace holds it once.
+  std::size_t count = 0;
+  for (const LoadEvent& l : t.loads) {
+    if (l.loc_const == std::optional<std::uint64_t>(36)) ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(SymExecutor, StepBudgetRespected) {
+  AsmBuilder b;
+  Label loop = b.make_label();
+  b.place(loop);
+  b.jump_to(loop);  // infinite concrete loop
+  b.op(Opcode::STOP);
+  evm::Bytecode code = b.assemble();
+  Limits limits;
+  limits.max_steps_per_path = 500;
+  limits.max_total_steps = 1000;
+  SymExecutor ex(code, limits);
+  Trace t = ex.run(0);
+  EXPECT_LE(t.total_steps, 1002u);
+}
+
+}  // namespace
+}  // namespace sigrec::symexec

@@ -1,0 +1,226 @@
+#include "evm/u256.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sigrec::evm {
+namespace {
+
+TEST(U256, BasicConstruction) {
+  U256 zero;
+  EXPECT_TRUE(zero.is_zero());
+  U256 one(1);
+  EXPECT_FALSE(one.is_zero());
+  EXPECT_EQ(one.as_u64(), 1u);
+  EXPECT_TRUE(one.fits_u64());
+}
+
+TEST(U256, HexRoundTrip) {
+  auto v = U256::from_hex("0xdeadbeef");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->to_hex(), "0xdeadbeef");
+  EXPECT_EQ(U256(0).to_hex(), "0x0");
+  auto big = U256::from_hex("0x112233445566778899aabbccddeeff00112233445566778899aabbccddeeff00");
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(big->to_hex(),
+            "0x112233445566778899aabbccddeeff00112233445566778899aabbccddeeff00");
+}
+
+TEST(U256, HexRejectsMalformed) {
+  EXPECT_FALSE(U256::from_hex("0xzz").has_value());
+  EXPECT_FALSE(U256::from_hex("").has_value());
+  // 65 hex digits overflow 256 bits.
+  EXPECT_FALSE(U256::from_hex(std::string(65, 'f')).has_value());
+}
+
+TEST(U256, DecimalRendering) {
+  EXPECT_EQ(U256(0).to_dec(), "0");
+  EXPECT_EQ(U256(1234567890123456789ULL).to_dec(), "1234567890123456789");
+  // 2^128 = 340282366920938463463374607431768211456
+  EXPECT_EQ(U256::pow2(128).to_dec(), "340282366920938463463374607431768211456");
+}
+
+TEST(U256, AdditionWraps) {
+  EXPECT_EQ(U256::max() + U256(1), U256(0));
+  EXPECT_EQ(U256::max() + U256(2), U256(1));
+  U256 a = U256::from_limbs(~0ULL, 0, 0, 0);
+  EXPECT_EQ(a + U256(1), U256::from_limbs(0, 1, 0, 0));
+}
+
+TEST(U256, SubtractionWraps) {
+  EXPECT_EQ(U256(0) - U256(1), U256::max());
+  EXPECT_EQ(U256(5) - U256(3), U256(2));
+  EXPECT_EQ(U256::from_limbs(0, 1, 0, 0) - U256(1), U256::from_limbs(~0ULL, 0, 0, 0));
+}
+
+TEST(U256, Multiplication) {
+  EXPECT_EQ(U256(6) * U256(7), U256(42));
+  // (2^128)^2 mod 2^256 == 0.
+  EXPECT_EQ(U256::pow2(128) * U256::pow2(128), U256(0));
+  EXPECT_EQ(U256::pow2(127) * U256(2), U256::pow2(128));
+}
+
+TEST(U256, MultiplicationCrossLimbExact) {
+  // (2^128 - 1)^2 = 2^256 - 2^129 + 1 ≡ 1 - 2^129 (mod 2^256)
+  U256 a = U256::pow2(128) - U256(1);
+  U256 expected = U256(1) - U256::pow2(129);
+  EXPECT_EQ(a * a, expected);
+}
+
+TEST(U256, DivisionAndModulo) {
+  EXPECT_EQ(U256(100) / U256(7), U256(14));
+  EXPECT_EQ(U256(100) % U256(7), U256(2));
+  // Division by zero yields zero, per EVM.
+  EXPECT_EQ(U256(100) / U256(0), U256(0));
+  EXPECT_EQ(U256(100) % U256(0), U256(0));
+  // Large / small.
+  EXPECT_EQ(U256::pow2(200) / U256::pow2(100), U256::pow2(100));
+  // x / 1 == x.
+  EXPECT_EQ(U256::max() / U256(1), U256::max());
+  // x / x == 1.
+  EXPECT_EQ(U256::max() / U256::max(), U256(1));
+}
+
+TEST(U256, DivisionRandomizedAgainstReconstruction) {
+  std::uint64_t state = 42;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < 200; ++i) {
+    U256 a = U256::from_limbs(next(), next(), i % 3 ? next() : 0, i % 5 ? next() : 0);
+    U256 b = U256::from_limbs(next(), i % 2 ? next() : 0, 0, 0);
+    if (b.is_zero()) continue;
+    U256 q = a / b;
+    U256 r = a % b;
+    EXPECT_TRUE(r < b);
+    EXPECT_EQ(q * b + r, a);
+  }
+}
+
+TEST(U256, SignedDivision) {
+  U256 minus6 = U256(6).negate();
+  EXPECT_EQ(minus6.sdiv(U256(2)), U256(3).negate());
+  EXPECT_EQ(minus6.sdiv(U256(2).negate()), U256(3));
+  EXPECT_EQ(U256(7).sdiv(U256(2).negate()), U256(3).negate());
+  // EVM edge case: MIN_INT / -1 == MIN_INT.
+  U256 min_int = U256::pow2(255);
+  EXPECT_EQ(min_int.sdiv(U256::max()), min_int);
+  EXPECT_EQ(U256(5).sdiv(U256(0)), U256(0));
+}
+
+TEST(U256, SignedModulo) {
+  // SMOD takes the sign of the dividend.
+  U256 minus7 = U256(7).negate();
+  EXPECT_EQ(minus7.smod(U256(3)), U256(1).negate());
+  EXPECT_EQ(U256(7).smod(U256(3).negate()), U256(1));
+  EXPECT_EQ(U256(7).smod(U256(0)), U256(0));
+}
+
+TEST(U256, AddMod) {
+  EXPECT_EQ(U256(10).addmod(U256(10), U256(8)), U256(4));
+  EXPECT_EQ(U256(5).addmod(U256(5), U256(0)), U256(0));
+  // Overflowing sum: (2^256-1) + 2 = 2^256 + 1; 2^256 ≡ 2 (mod 7) -> 3.
+  EXPECT_EQ(U256::max().addmod(U256(2), U256(7)), U256(3));
+}
+
+TEST(U256, MulMod) {
+  EXPECT_EQ(U256(10).mulmod(U256(10), U256(7)), U256(2));
+  EXPECT_EQ(U256(10).mulmod(U256(10), U256(0)), U256(0));
+  // (2^255) * 2 mod (2^256 - 1) = 2^256 mod (2^256-1) = 1.
+  EXPECT_EQ(U256::pow2(255).mulmod(U256(2), U256::max()), U256(1));
+}
+
+TEST(U256, Exponentiation) {
+  EXPECT_EQ(U256(2).exp(U256(10)), U256(1024));
+  EXPECT_EQ(U256(0).exp(U256(0)), U256(1));  // EVM: 0^0 == 1
+  EXPECT_EQ(U256(3).exp(U256(0)), U256(1));
+  EXPECT_EQ(U256(2).exp(U256(256)), U256(0));  // wraps to zero
+  EXPECT_EQ(U256(10).exp(U256(20)), U256::from_hex("0x56bc75e2d63100000").value());
+}
+
+TEST(U256, Shifts) {
+  EXPECT_EQ(U256(1).shl(4u), U256(16));
+  EXPECT_EQ(U256(16).shr(4u), U256(1));
+  EXPECT_EQ(U256(1).shl(255u), U256::pow2(255));
+  EXPECT_EQ(U256(1).shl(256u), U256(0));
+  EXPECT_EQ(U256::max().shr(255u), U256(1));
+  EXPECT_EQ(U256::max().shr(256u), U256(0));
+  // Cross-limb shifts.
+  EXPECT_EQ(U256::from_limbs(0x8000000000000000ULL, 0, 0, 0).shl(1u),
+            U256::from_limbs(0, 1, 0, 0));
+  EXPECT_EQ(U256::from_limbs(0, 1, 0, 0).shr(1u),
+            U256::from_limbs(0x8000000000000000ULL, 0, 0, 0));
+}
+
+TEST(U256, ArithmeticShiftRight) {
+  U256 minus8 = U256(8).negate();
+  EXPECT_EQ(minus8.sar(1u), U256(4).negate());
+  EXPECT_EQ(minus8.sar(300u), U256::max());  // sign fill
+  EXPECT_EQ(U256(8).sar(1u), U256(4));
+  EXPECT_EQ(U256(8).sar(300u), U256(0));
+}
+
+TEST(U256, ByteExtraction) {
+  auto v = U256::from_hex("0x1122334455").value();
+  // BYTE counts from the most significant end of the 32-byte word.
+  EXPECT_EQ(v.byte(U256(31)), U256(0x55));
+  EXPECT_EQ(v.byte(U256(27)), U256(0x11));
+  EXPECT_EQ(v.byte(U256(0)), U256(0));
+  EXPECT_EQ(v.byte(U256(32)), U256(0));  // out of range
+}
+
+TEST(U256, SignExtend) {
+  // signextend(0, 0xff) = -1 (0xff is negative as int8).
+  EXPECT_EQ(U256(0xff).signextend(U256(0)), U256::max());
+  EXPECT_EQ(U256(0x7f).signextend(U256(0)), U256(0x7f));
+  // signextend(1, 0x8000) sign-extends as int16: all bits above 15 set.
+  EXPECT_EQ(U256(0x8000).signextend(U256(1)), U256::ones(240).shl(16) | U256(0x8000));
+  // k >= 31 is the identity.
+  EXPECT_EQ(U256(12345).signextend(U256(31)), U256(12345));
+  EXPECT_EQ(U256(12345).signextend(U256(100)), U256(12345));
+}
+
+TEST(U256, Comparisons) {
+  EXPECT_TRUE(U256(1) < U256(2));
+  EXPECT_TRUE(U256::pow2(128) > U256::max().shr(130u));
+  // Signed: -1 < 0 < 1.
+  EXPECT_TRUE(U256::max().slt(U256(0)));
+  EXPECT_TRUE(U256(0).slt(U256(1)));
+  EXPECT_TRUE(U256(1).sgt(U256::max()));
+  // Two negatives.
+  EXPECT_TRUE(U256(5).negate().slt(U256(3).negate()));
+}
+
+TEST(U256, BeBytesRoundTrip) {
+  auto v = U256::from_hex("0x0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20")
+               .value();
+  auto bytes = v.be_bytes();
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[31], 0x20);
+  EXPECT_EQ(U256::from_be_bytes(bytes), v);
+  // Short input is left-padded.
+  std::array<std::uint8_t, 2> two = {0xab, 0xcd};
+  EXPECT_EQ(U256::from_be_bytes(two), U256(0xabcd));
+}
+
+TEST(U256, MasksAndBits) {
+  EXPECT_EQ(U256::ones(8), U256(0xff));
+  EXPECT_EQ(U256::ones(0), U256(0));
+  EXPECT_EQ(U256::ones(256), U256::max());
+  EXPECT_EQ(U256::ones(160).highest_bit(), 159);
+  EXPECT_EQ(U256(0).highest_bit(), -1);
+  EXPECT_TRUE(U256::pow2(200).bit(200));
+  EXPECT_FALSE(U256::pow2(200).bit(199));
+  EXPECT_TRUE(U256::max().sign_bit());
+  EXPECT_FALSE(U256::pow2(254).sign_bit());
+}
+
+TEST(U256, HashIsStable) {
+  EXPECT_EQ(U256(42).hash(), U256(42).hash());
+  EXPECT_NE(U256(42).hash(), U256(43).hash());
+}
+
+}  // namespace
+}  // namespace sigrec::evm

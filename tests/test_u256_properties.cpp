@@ -1,0 +1,148 @@
+// Property-based U256 tests: algebraic laws over random values, and a
+// differential oracle against native __int128 on values that fit.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "evm/u256.hpp"
+
+namespace sigrec::evm {
+namespace {
+
+class U256Property : public testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::mt19937_64 rng{GetParam()};
+
+  U256 random_value(int size_class) {
+    switch (size_class) {
+      case 0: return U256(rng() % 100);
+      case 1: return U256(rng());
+      case 2: return U256::from_limbs(rng(), rng(), 0, 0);
+      default: return U256::from_limbs(rng(), rng(), rng(), rng());
+    }
+  }
+  U256 any() { return random_value(static_cast<int>(rng() % 4)); }
+};
+
+TEST_P(U256Property, AdditionCommutesAndAssociates) {
+  for (int i = 0; i < 200; ++i) {
+    U256 a = any(), b = any(), c = any();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a + U256(0), a);
+  }
+}
+
+TEST_P(U256Property, SubtractionInvertsAddition) {
+  for (int i = 0; i < 200; ++i) {
+    U256 a = any(), b = any();
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ(a - a, U256(0));
+  }
+}
+
+TEST_P(U256Property, MultiplicationDistributes) {
+  for (int i = 0; i < 200; ++i) {
+    U256 a = any(), b = any(), c = any();
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a * U256(1), a);
+    EXPECT_EQ(a * U256(0), U256(0));
+  }
+}
+
+TEST_P(U256Property, DivModReconstruction) {
+  for (int i = 0; i < 200; ++i) {
+    U256 a = any(), b = any();
+    if (b.is_zero()) continue;
+    U256 q = a / b;
+    U256 r = a % b;
+    EXPECT_TRUE(r < b);
+    EXPECT_EQ(q * b + r, a);
+  }
+}
+
+TEST_P(U256Property, SignedDivModReconstruction) {
+  for (int i = 0; i < 200; ++i) {
+    U256 a = any(), b = any();
+    if (b.is_zero()) continue;
+    // Skip the MIN_INT/-1 wrap case, tested separately.
+    if (a == U256::pow2(255) && b == U256::max()) continue;
+    U256 q = a.sdiv(b);
+    U256 r = a.smod(b);
+    EXPECT_EQ(q * b + r, a) << a.to_hex() << " / " << b.to_hex();
+  }
+}
+
+TEST_P(U256Property, ShiftsComposeAndInverse) {
+  for (int i = 0; i < 200; ++i) {
+    U256 a = any();
+    unsigned s1 = static_cast<unsigned>(rng() % 120);
+    unsigned s2 = static_cast<unsigned>(rng() % 120);
+    EXPECT_EQ(a.shl(s1).shl(s2), a.shl(s1 + s2));
+    EXPECT_EQ(a.shr(s1).shr(s2), a.shr(s1 + s2));
+    // shl then shr clears the high bits only.
+    EXPECT_EQ(a.shl(s1).shr(s1), a & U256::ones(256 - s1));
+  }
+}
+
+TEST_P(U256Property, MulEqualsShiftForPowersOfTwo) {
+  for (int i = 0; i < 200; ++i) {
+    U256 a = any();
+    unsigned k = static_cast<unsigned>(rng() % 255);
+    EXPECT_EQ(a * U256::pow2(k), a.shl(k));
+    EXPECT_EQ(a / U256::pow2(k), a.shr(k));
+  }
+}
+
+TEST_P(U256Property, Int128DifferentialOracle) {
+  using i128 = __int128;
+  for (int i = 0; i < 500; ++i) {
+    std::uint64_t ax = rng(), bx = rng();
+    i128 a = static_cast<i128>(ax);
+    i128 b = static_cast<i128>(bx);
+    U256 ua(ax), ub(bx);
+    EXPECT_EQ((ua + ub).limb(0), static_cast<std::uint64_t>(a + b));
+    EXPECT_EQ((ua * ub).limb(0), static_cast<std::uint64_t>(a * b));
+    if (bx != 0) {
+      EXPECT_EQ((ua / ub).as_u64(), static_cast<std::uint64_t>(ax / bx));
+      EXPECT_EQ((ua % ub).as_u64(), static_cast<std::uint64_t>(ax % bx));
+    }
+    EXPECT_EQ(ua < ub, ax < bx);
+  }
+}
+
+TEST_P(U256Property, SignExtendIdempotent) {
+  for (int i = 0; i < 200; ++i) {
+    U256 a = any();
+    U256 k(rng() % 32);
+    EXPECT_EQ(a.signextend(k).signextend(k), a.signextend(k));
+  }
+}
+
+TEST_P(U256Property, BytesRoundTrip) {
+  for (int i = 0; i < 200; ++i) {
+    U256 a = any();
+    EXPECT_EQ(U256::from_be_bytes(a.be_bytes()), a);
+    auto parsed = U256::from_hex(a.to_hex());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, a);
+  }
+}
+
+TEST_P(U256Property, MulModMatchesWideOracle) {
+  // mulmod with moduli < 2^64 checked against __int128 arithmetic.
+  using u128 = unsigned __int128;
+  for (int i = 0; i < 300; ++i) {
+    std::uint64_t a = rng(), b = rng(), n = rng();
+    if (n == 0) continue;
+    u128 expect = (static_cast<u128>(a) % n) * (static_cast<u128>(b) % n) % n;
+    EXPECT_EQ(U256(a).mulmod(U256(b), U256(n)).as_u64(),
+              static_cast<std::uint64_t>(expect));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, U256Property, testing::Values(1u, 7u, 1337u));
+
+}  // namespace
+}  // namespace sigrec::evm

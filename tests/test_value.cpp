@@ -1,0 +1,102 @@
+// abi::Value and sample_value: representation invariants the encoder relies
+// on (values must already be canonical 256-bit forms for their types).
+#include "abi/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sigrec::abi {
+namespace {
+
+using evm::U256;
+
+TEST(Value, VariantAccessors) {
+  Value w(U256(42));
+  EXPECT_TRUE(w.is_word());
+  EXPECT_FALSE(w.is_bytes());
+  EXPECT_EQ(w.word(), U256(42));
+
+  Value b(std::vector<std::uint8_t>{1, 2, 3});
+  EXPECT_TRUE(b.is_bytes());
+  EXPECT_EQ(b.bytes().size(), 3u);
+
+  Value l(Value::List{w, b});
+  EXPECT_TRUE(l.is_list());
+  EXPECT_EQ(l.list().size(), 2u);
+}
+
+TEST(Value, ToStringForms) {
+  EXPECT_EQ(Value(U256(255)).to_string(), "0xff");
+  EXPECT_EQ(Value(std::vector<std::uint8_t>{0xab, 0xcd}).to_string(), "0xabcd");
+  Value l(Value::List{Value(U256(1)), Value(U256(2))});
+  EXPECT_EQ(l.to_string(), "[0x1,0x2]");
+}
+
+TEST(SampleValue, UintFitsWidth) {
+  for (unsigned bits = 8; bits <= 256; bits += 8) {
+    TypePtr t = uint_type(bits);
+    for (std::uint64_t salt = 0; salt < 20; ++salt) {
+      Value v = sample_value(*t, salt);
+      EXPECT_TRUE(v.word() <= evm::U256::ones(bits)) << bits << " salt " << salt;
+    }
+  }
+}
+
+TEST(SampleValue, IntIsCanonicalTwoComplement) {
+  for (unsigned bits : {8u, 64u, 128u}) {
+    TypePtr t = int_type(bits);
+    for (std::uint64_t salt = 0; salt < 20; ++salt) {
+      U256 v = sample_value(*t, salt).word();
+      EXPECT_EQ(v, (v & U256::ones(bits)).signextend(U256(bits / 8 - 1)))
+          << bits << " salt " << salt;
+    }
+  }
+}
+
+TEST(SampleValue, AddressWithin160Bits) {
+  TypePtr t = address_type();
+  for (std::uint64_t salt = 0; salt < 20; ++salt) {
+    EXPECT_TRUE(sample_value(*t, salt).word() <= U256::ones(160));
+  }
+}
+
+TEST(SampleValue, StaticArrayExactCount) {
+  TypePtr t = array_type(uint_type(8), 7);
+  for (std::uint64_t salt = 0; salt < 10; ++salt) {
+    EXPECT_EQ(sample_value(*t, salt).list().size(), 7u);
+  }
+}
+
+TEST(SampleValue, DynamicArrayNonTrivialSpread) {
+  TypePtr t = array_type(uint_type(256), std::nullopt);
+  std::set<std::size_t> sizes;
+  for (std::uint64_t salt = 0; salt < 50; ++salt) {
+    sizes.insert(sample_value(*t, salt).list().size());
+  }
+  EXPECT_GE(sizes.size(), 2u);
+}
+
+TEST(SampleValue, BoundedBytesWithinBound) {
+  TypePtr t = bounded_bytes_type(13);
+  for (std::uint64_t salt = 0; salt < 30; ++salt) {
+    EXPECT_LE(sample_value(*t, salt).bytes().size(), 13u);
+  }
+}
+
+TEST(SampleValue, DecimalWithinClamp) {
+  TypePtr t = decimal_type();
+  U256 hi = U256::pow2(127) * U256(10000000000ULL);
+  for (std::uint64_t salt = 0; salt < 30; ++salt) {
+    U256 v = sample_value(*t, salt).word();
+    EXPECT_TRUE(v.slt(hi));
+    EXPECT_FALSE(v.slt(hi.negate()));
+  }
+}
+
+TEST(SampleValue, DeterministicPerSalt) {
+  TypePtr t = tuple_type({bytes_type(), uint_type(64)});
+  EXPECT_EQ(sample_value(*t, 9).to_string(), sample_value(*t, 9).to_string());
+  EXPECT_NE(sample_value(*t, 9).to_string(), sample_value(*t, 10).to_string());
+}
+
+}  // namespace
+}  // namespace sigrec::abi
