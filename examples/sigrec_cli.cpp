@@ -7,12 +7,21 @@
 //   example_sigrec_cli <bytecode> --decode 0x...  # recover, then decode the
 //                                                 # given call data against
 //                                                 # the recovered signature
+//   example_sigrec_cli <input> --deadline-ms 5    # per-function deadline
 //
-// Output, one line per recovered public/external function:
-//   0xa9059cbb(address,uint256)   solidity   0.08ms
+// Output, one line per recovered public/external function, with an outcome
+// column saying why recovery stopped (complete, step-budget, path-budget,
+// memory-budget, deadline, malformed, internal-error):
+//   0xa9059cbb(address,uint256)   solidity   0.08ms  complete
+//
+// Exit codes: 0 all functions recovered completely; 1 at least one function
+// ended in a failure status (partial or no signature); 2 bad invocation or
+// unreadable/invalid input.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "abi/decoder.hpp"
@@ -22,11 +31,13 @@
 
 namespace {
 
-std::string read_input(const char* arg) {
+std::optional<std::string> read_input(const char* arg) {
   // A 0x-prefixed string is bytecode; anything else is a filename.
-  if (std::strncmp(arg, "0x", 2) == 0 || std::strncmp(arg, "0X", 2) == 0) return arg;
+  if (std::strncmp(arg, "0x", 2) == 0 || std::strncmp(arg, "0X", 2) == 0) {
+    return std::string(arg);
+  }
   std::ifstream in(arg);
-  if (!in) return {};
+  if (!in) return std::nullopt;  // unreadable file, distinct from empty file
   std::ostringstream buf;
   buf << in.rdbuf();
   std::string text = buf.str();
@@ -77,43 +88,76 @@ int decode_calldata(const sigrec::core::RecoveryResult& recovery, const std::str
   return 1;
 }
 
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <0xbytecode | file.hex | --demo> [--decode 0xcalldata]"
+               " [--deadline-ms <ms>]\n"
+               "recovers function signatures from EVM runtime bytecode\n",
+               argv0);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace sigrec;
-  if (argc != 2 && !(argc == 4 && std::strcmp(argv[2], "--decode") == 0)) {
-    std::fprintf(stderr,
-                 "usage: %s <0xbytecode | file.hex | --demo> [--decode 0xcalldata]\n"
-                 "recovers function signatures from EVM runtime bytecode\n",
-                 argv[0]);
-    return 2;
+  const char* input = nullptr;
+  const char* decode_hex = nullptr;
+  double deadline_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--decode") == 0 && i + 1 < argc) {
+      decode_hex = argv[++i];
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      deadline_ms = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || deadline_ms < 0) return usage(argv[0]);
+    } else if (input == nullptr) {
+      input = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
   }
+  if (input == nullptr) return usage(argv[0]);
 
-  std::string hex =
-      std::strcmp(argv[1], "--demo") == 0 ? demo_bytecode() : read_input(argv[1]);
-  if (hex.empty()) {
-    std::fprintf(stderr, "error: could not read input '%s'\n", argv[1]);
+  std::optional<std::string> hex;
+  if (std::strcmp(input, "--demo") == 0) {
+    hex = demo_bytecode();
+  } else {
+    hex = read_input(input);
+    if (!hex.has_value()) {
+      std::fprintf(stderr, "error: cannot read input file '%s'\n", input);
+      return 2;
+    }
+  }
+  if (hex->empty()) {
+    std::fprintf(stderr, "error: input '%s' is empty, expected hex bytecode\n", input);
     return 2;
   }
-  auto code = evm::Bytecode::from_hex(hex);
-  if (!code.has_value()) {
+  auto code = evm::Bytecode::from_hex(*hex);
+  if (!code.has_value() || code->empty()) {
     std::fprintf(stderr, "error: input is not valid hex bytecode\n");
     return 2;
   }
 
-  core::SigRec tool;
+  symexec::Limits limits;
+  limits.budget.deadline_seconds = deadline_ms / 1000.0;
+  core::SigRec tool(limits);
   core::RecoveryResult result = tool.recover(*code);
   if (result.functions.empty()) {
     std::printf("no public/external functions found (%zu bytes of code)\n", code->size());
     return 1;
   }
 
-  if (argc == 4) return decode_calldata(result, argv[3]);
+  if (decode_hex != nullptr) return decode_calldata(result, decode_hex);
 
+  bool any_failure = false;
   for (const auto& fn : result.functions) {
-    std::printf("%-48s %-8s %7.2fms\n", fn.to_string().c_str(),
+    std::string outcome(symexec::status_name(fn.status));
+    if (fn.partial) outcome += " (partial)";
+    std::printf("%-48s %-8s %7.2fms  %s\n", fn.to_string().c_str(),
                 fn.dialect == abi::Dialect::Solidity ? "solidity" : "vyper",
-                1000.0 * fn.seconds);
+                1000.0 * fn.seconds, outcome.c_str());
+    any_failure |= symexec::is_failure(fn.status);
   }
-  return 0;
+  return any_failure ? 1 : 0;
 }

@@ -57,11 +57,22 @@ RecoveredFunction aggregate_recoveries(const std::vector<RecoveredFunction>& sam
     }
   }
 
+  // A body whose recovery died (exception, rejected input) observed nothing
+  // trustworthy; keep it out of the vote unless every body died.
+  std::vector<RecoveredFunction> alive;
+  for (const RecoveredFunction& fn : same_selector) {
+    if (fn.status != symexec::RecoveryStatus::InternalError &&
+        fn.status != symexec::RecoveryStatus::MalformedBytecode) {
+      alive.push_back(fn);
+    }
+  }
+  const std::vector<RecoveredFunction>& bodies = alive.empty() ? same_selector : alive;
+
   // Majority parameter count first — a body reading undeclared words (§5.2
   // case 1) should not outvote the common shape.
   std::map<std::size_t, std::size_t> count_votes;
-  for (const RecoveredFunction& fn : same_selector) ++count_votes[fn.parameters.size()];
-  std::size_t best_count = same_selector.front().parameters.size();
+  for (const RecoveredFunction& fn : bodies) ++count_votes[fn.parameters.size()];
+  std::size_t best_count = bodies.front().parameters.size();
   std::size_t best_votes = 0;
   for (const auto& [count, votes] : count_votes) {
     if (votes > best_votes) {
@@ -71,14 +82,23 @@ RecoveredFunction aggregate_recoveries(const std::vector<RecoveredFunction>& sam
   }
 
   RecoveredFunction out;
-  out.selector = same_selector.front().selector;
-  out.dialect = same_selector.front().dialect;
+  out.selector = bodies.front().selector;
+  out.dialect = bodies.front().dialect;
+  // The merged signature is as trustworthy as the *best* body: one complete
+  // exploration anywhere outweighs budget-truncated siblings.
+  out.status = bodies.front().status;
+  for (const RecoveredFunction& fn : bodies) {
+    if (static_cast<std::uint8_t>(fn.status) < static_cast<std::uint8_t>(out.status)) {
+      out.status = fn.status;
+    }
+  }
+  out.partial = symexec::is_failure(out.status);
   out.parameters.resize(best_count);
 
   for (std::size_t slot = 0; slot < best_count; ++slot) {
     // Most specific wins; among equals, the most common.
     std::map<std::string, std::pair<TypePtr, std::size_t>> votes;
-    for (const RecoveredFunction& fn : same_selector) {
+    for (const RecoveredFunction& fn : bodies) {
       if (fn.parameters.size() != best_count) continue;
       const TypePtr& t = fn.parameters[slot];
       auto [it, inserted] = votes.emplace(t->canonical_name(), std::make_pair(t, 1u));

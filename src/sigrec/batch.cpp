@@ -1,0 +1,147 @@
+#include "sigrec/batch.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sigrec/function_extractor.hpp"
+
+namespace sigrec::core {
+
+using symexec::RecoveryStatus;
+
+symexec::Limits ladder_limits(const BatchOptions& opts, int rung) {
+  symexec::Limits l = opts.limits;
+  double shrink = std::clamp(opts.ladder_shrink, 0.01, 0.99);
+  for (int r = 0; r < rung; ++r) {
+    auto scaled = [&](std::uint64_t v, std::uint64_t floor_value) {
+      return std::max<std::uint64_t>(floor_value,
+                                     static_cast<std::uint64_t>(static_cast<double>(v) * shrink));
+    };
+    l.max_total_steps = scaled(l.max_total_steps, 64);
+    l.max_steps_per_path = scaled(l.max_steps_per_path, 64);
+    l.max_jumpi_visits = std::max(1, l.max_jumpi_visits - 1);
+  }
+  // The bottom rung gives up breadth entirely: one deterministic pass that
+  // is guaranteed to terminate inside the (shrunken) step caps, yielding a
+  // consistent partial signature rather than a mid-flight truncation.
+  // max_paths is deliberately not shrunk on the rungs above — completing
+  // within the same path budget using fewer forks is the whole point.
+  if (rung > 0 && rung >= opts.max_retries) l.deterministic_single_path = true;
+  return l;
+}
+
+std::uint64_t BatchHealth::failed_functions() const {
+  std::uint64_t failed = 0;
+  for (std::size_t i = 1; i < function_status.size(); ++i) failed += function_status[i];
+  return failed;
+}
+
+std::string BatchHealth::to_string() const {
+  std::string out = "contracts=" + std::to_string(contracts) +
+                    " functions=" + std::to_string(functions);
+  for (std::size_t i = 0; i < function_status.size(); ++i) {
+    if (function_status[i] == 0) continue;
+    out += ' ';
+    out += symexec::status_name(static_cast<RecoveryStatus>(i));
+    out += '=' + std::to_string(function_status[i]);
+  }
+  out += " retries=" + std::to_string(retries) + " salvaged=" + std::to_string(salvaged);
+  char times[96];
+  std::snprintf(times, sizeof times, " worst-fn=%.3fms worst-contract=%.3fms",
+                1000.0 * worst_function_seconds, 1000.0 * worst_contract_seconds);
+  out += times;
+  return out;
+}
+
+namespace {
+
+// Re-runs a budget-blown function down the ladder. A rung that completes
+// yields a signature from a *finished* (if narrower) exploration — more
+// internally consistent than the blown attempt's truncation — so its
+// parameters are kept, marked partial, with the original failure status
+// preserved as the reason full recovery was impossible. The truncated wide
+// exploration often carries richer type evidence per slot than a finished
+// narrow one, so the retry only wins when it recovers strictly more
+// parameters — salvage fills gaps, it never relabels.
+RecoveredFunction descend_ladder(const evm::Bytecode& code, RecoveredFunction blown,
+                                 const BatchOptions& opts, BatchHealth& health) {
+  for (int rung = 1; rung <= opts.max_retries; ++rung) {
+    ++health.retries;
+    SigRec degraded(ladder_limits(opts, rung));
+    RecoveredFunction retry = degraded.recover_function(code, blown.selector);
+    blown.seconds += retry.seconds;
+    blown.symbolic_steps += retry.symbolic_steps;
+    if (retry.status == RecoveryStatus::Complete &&
+        retry.parameters.size() > blown.parameters.size()) {
+      ++health.salvaged;
+      blown.parameters = std::move(retry.parameters);
+      blown.dialect = retry.dialect;
+      break;
+    }
+  }
+  blown.partial = true;
+  return blown;
+}
+
+ContractReport recover_one(const evm::Bytecode& code, std::size_t index,
+                           const BatchOptions& opts, const SigRec& tool, BatchHealth& health) {
+  ContractReport report;
+  report.index = index;
+  RecoveryResult result = tool.recover(code);
+  report.seconds = result.seconds;
+  report.error = std::move(result.error);
+  report.status = result.functions.empty() ? result.status : RecoveryStatus::Complete;
+  for (RecoveredFunction& fn : result.functions) {
+    if (opts.retry_budget_exhausted && opts.max_retries > 0 &&
+        symexec::is_budget_exhaustion(fn.status)) {
+      double before = fn.seconds;  // already inside result.seconds
+      fn = descend_ladder(code, std::move(fn), opts, health);
+      report.seconds += fn.seconds - before;
+    }
+    report.status = symexec::worst_status(report.status, fn.status);
+    report.functions.push_back(std::move(fn));
+  }
+  return report;
+}
+
+}  // namespace
+
+BatchResult recover_batch(std::span<const evm::Bytecode> codes, const BatchOptions& opts) {
+  BatchResult batch;
+  batch.contracts.reserve(codes.size());
+  SigRec tool(opts.limits);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    ContractReport report;
+    // Isolation boundary: SigRec::recover already converts lower-layer
+    // exceptions, but nothing a single contract does may stall or kill the
+    // batch — so even allocation failures here become an InternalError row.
+    try {
+      report = recover_one(codes[i], i, opts, tool, batch.health);
+    } catch (const std::exception& e) {
+      report = ContractReport{};
+      report.index = i;
+      report.status = RecoveryStatus::InternalError;
+      report.error = e.what();
+    } catch (...) {
+      report = ContractReport{};
+      report.index = i;
+      report.status = RecoveryStatus::InternalError;
+      report.error = "unknown exception";
+    }
+
+    ++batch.health.contracts;
+    ++batch.health.contract_status[static_cast<std::size_t>(report.status)];
+    batch.health.worst_contract_seconds =
+        std::max(batch.health.worst_contract_seconds, report.seconds);
+    for (const RecoveredFunction& fn : report.functions) {
+      ++batch.health.functions;
+      ++batch.health.function_status[static_cast<std::size_t>(fn.status)];
+      batch.health.worst_function_seconds =
+          std::max(batch.health.worst_function_seconds, fn.seconds);
+    }
+    batch.contracts.push_back(std::move(report));
+  }
+  return batch;
+}
+
+}  // namespace sigrec::core

@@ -1,0 +1,82 @@
+// Chain-scale batch recovery (the §5 deployment story: 37M contracts).
+//
+// `recover_batch` is the fault-isolation boundary the single-contract API
+// cannot be: one adversarial bytecode must cost at most its budget, never
+// the fleet. Every contract is processed inside a catch-all (an exception
+// becomes an InternalError report, it never escapes the batch), every
+// function is tagged with the RecoveryStatus explaining why its recovery
+// stopped, and budget-blown functions are re-run down a degradation ladder
+// of progressively reduced limits — fewer paths, shorter unrolling — to
+// salvage a consistent partial signature instead of a mid-flight truncation.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sigrec/sigrec.hpp"
+
+namespace sigrec::core {
+
+struct BatchOptions {
+  // Rung-0 budget applied to every function (deadline, caps, fault plan).
+  symexec::Limits limits;
+  // Degradation rungs tried after a budget-blown first attempt; 0 disables
+  // the ladder. Each function's total wall-clock cost is bounded by
+  // (1 + max_retries) deadlines.
+  int max_retries = 2;
+  // Per rung, step/path caps shrink by this factor (floored so a rung is
+  // never zero) and loop unrolling (`max_jumpi_visits`) drops by one.
+  double ladder_shrink = 0.25;
+  // Re-run budget-exhausted functions down the ladder. Malformed input and
+  // internal errors are never retried: a smaller budget cannot fix those.
+  bool retry_budget_exhausted = true;
+};
+
+// The limits used at ladder rung `rung` (rung 0 == opts.limits verbatim).
+[[nodiscard]] symexec::Limits ladder_limits(const BatchOptions& opts, int rung);
+
+struct ContractReport {
+  std::size_t index = 0;  // position in the input span
+  // Worst per-function status; InternalError when the contract's processing
+  // itself threw; MalformedBytecode when the input was rejected.
+  RecoveryStatus status = RecoveryStatus::Complete;
+  std::string error;
+  double seconds = 0;
+  std::vector<RecoveredFunction> functions;
+};
+
+// Aggregate health counters for dashboards / alerting.
+struct BatchHealth {
+  // Per-status totals, indexed by static_cast<size_t>(RecoveryStatus).
+  std::array<std::uint64_t, symexec::kRecoveryStatusCount> function_status{};
+  std::array<std::uint64_t, symexec::kRecoveryStatusCount> contract_status{};
+  std::uint64_t contracts = 0;
+  std::uint64_t functions = 0;
+  std::uint64_t retries = 0;   // ladder re-runs attempted
+  std::uint64_t salvaged = 0;  // blown functions whose retry completed a rung
+  double worst_contract_seconds = 0;
+  double worst_function_seconds = 0;
+
+  [[nodiscard]] std::uint64_t failed_functions() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct BatchResult {
+  std::vector<ContractReport> contracts;
+  BatchHealth health;
+
+  [[nodiscard]] bool all_complete() const {
+    return health.failed_functions() == 0 &&
+           health.contract_status[static_cast<std::size_t>(
+               RecoveryStatus::MalformedBytecode)] == 0 &&
+           health.contract_status[static_cast<std::size_t>(RecoveryStatus::InternalError)] == 0;
+  }
+};
+
+// Recovers every contract in `codes`. Never throws.
+[[nodiscard]] BatchResult recover_batch(std::span<const evm::Bytecode> codes,
+                                        const BatchOptions& opts = {});
+
+}  // namespace sigrec::core

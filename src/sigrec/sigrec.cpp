@@ -25,26 +25,57 @@ std::string RecoveredFunction::to_string() const {
 RecoveredFunction SigRec::recover_function(const evm::Bytecode& code, std::uint32_t selector,
                                            RuleStats* stats) const {
   double start = now_seconds();
-  symexec::SymExecutor executor(code, limits_);
-  symexec::Trace trace = executor.run(selector);
-  RuleStats local;
-  TaseResult tase = run_tase(trace, stats != nullptr ? *stats : local);
-
   RecoveredFunction fn;
   fn.selector = selector;
-  fn.parameters = std::move(tase.parameters);
-  fn.dialect = tase.dialect;
+  try {
+    if (code.empty()) {
+      fn.status = RecoveryStatus::MalformedBytecode;
+      fn.error = "empty bytecode";
+    } else {
+      symexec::SymExecutor executor(code, limits_);
+      symexec::Trace trace = executor.run(selector);
+      RuleStats local;
+      TaseResult tase = run_tase(trace, stats != nullptr ? *stats : local);
+      fn.parameters = std::move(tase.parameters);
+      fn.dialect = tase.dialect;
+      fn.symbolic_steps = trace.total_steps;
+      fn.paths_explored = trace.paths_explored;
+      fn.status = trace.status;
+      fn.error = std::move(trace.error);
+    }
+  } catch (const std::exception& e) {
+    fn.status = RecoveryStatus::InternalError;
+    fn.error = e.what();
+  } catch (...) {
+    fn.status = RecoveryStatus::InternalError;
+    fn.error = "unknown exception";
+  }
+  fn.partial = symexec::is_failure(fn.status);
   fn.seconds = now_seconds() - start;
-  fn.symbolic_steps = trace.total_steps;
-  fn.paths_explored = trace.paths_explored;
   return fn;
 }
 
 RecoveryResult SigRec::recover(const evm::Bytecode& code) const {
   double start = now_seconds();
   RecoveryResult result;
-  for (std::uint32_t selector : extract_function_ids(code)) {
-    result.functions.push_back(recover_function(code, selector, &result.stats));
+  try {
+    if (code.empty()) {
+      result.status = RecoveryStatus::MalformedBytecode;
+      result.error = "empty bytecode";
+    } else {
+      for (std::uint32_t selector : extract_function_ids(code)) {
+        result.functions.push_back(recover_function(code, selector, &result.stats));
+        const RecoveredFunction& fn = result.functions.back();
+        result.status = symexec::worst_status(result.status, fn.status);
+        if (result.error.empty()) result.error = fn.error;
+      }
+    }
+  } catch (const std::exception& e) {
+    result.status = RecoveryStatus::InternalError;
+    result.error = e.what();
+  } catch (...) {
+    result.status = RecoveryStatus::InternalError;
+    result.error = "unknown exception";
   }
   result.seconds = now_seconds() - start;
   return result;

@@ -18,6 +18,10 @@
 
 namespace sigrec::core {
 
+// Re-exported from symexec: why a recovery stopped (Complete, budget
+// exhaustion variants, MalformedBytecode, InternalError).
+using symexec::RecoveryStatus;
+
 struct RecoveredFunction {
   std::uint32_t selector = 0;
   std::vector<abi::TypePtr> parameters;
@@ -28,6 +32,13 @@ struct RecoveredFunction {
   // confirmed by running the whole body).
   std::uint64_t symbolic_steps = 0;
   std::uint64_t paths_explored = 0;
+  // Why recovery of this function stopped. Any status but Complete means
+  // `parameters` was inferred from a truncated exploration: it is still the
+  // best signature the evidence supports, but may be missing trailing
+  // parameters or specificity (`partial` mirrors that).
+  RecoveryStatus status = RecoveryStatus::Complete;
+  bool partial = false;
+  std::string error;  // detail for InternalError / MalformedBytecode
 
   // Display parameter list, e.g. "uint8[],address".
   [[nodiscard]] std::string type_list() const { return abi::type_list_to_string(parameters); }
@@ -39,8 +50,17 @@ struct RecoveryResult {
   std::vector<RecoveredFunction> functions;
   RuleStats stats;
   double seconds = 0;  // whole-contract recovery time
+  // Worst per-function status (Complete when every function completed);
+  // MalformedBytecode when the input was rejected before dispatch.
+  RecoveryStatus status = RecoveryStatus::Complete;
+  std::string error;
+
+  [[nodiscard]] bool all_complete() const { return !symexec::is_failure(status); }
 };
 
+// No exception ever crosses this API: lower-layer throws (executor faults,
+// classifier bugs, `aggregate_recoveries` misuse) surface as
+// RecoveryStatus::InternalError results with the message preserved.
 class SigRec {
  public:
   explicit SigRec(symexec::Limits limits = {}) : limits_(limits) {}
@@ -54,6 +74,8 @@ class SigRec {
   [[nodiscard]] RecoveredFunction recover_function(const evm::Bytecode& code,
                                                    std::uint32_t selector,
                                                    RuleStats* stats = nullptr) const;
+
+  [[nodiscard]] const symexec::Limits& limits() const { return limits_; }
 
  private:
   symexec::Limits limits_;

@@ -1,0 +1,25 @@
+#include "symexec/budget.hpp"
+
+namespace sigrec::symexec {
+
+std::string_view status_name(RecoveryStatus status) {
+  switch (status) {
+    case RecoveryStatus::Complete:
+      return "complete";
+    case RecoveryStatus::StepBudgetExhausted:
+      return "step-budget";
+    case RecoveryStatus::PathBudgetExhausted:
+      return "path-budget";
+    case RecoveryStatus::MemoryBudgetExhausted:
+      return "memory-budget";
+    case RecoveryStatus::DeadlineExceeded:
+      return "deadline";
+    case RecoveryStatus::MalformedBytecode:
+      return "malformed";
+    case RecoveryStatus::InternalError:
+      return "internal-error";
+  }
+  return "unknown";
+}
+
+}  // namespace sigrec::symexec

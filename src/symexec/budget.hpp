@@ -1,0 +1,99 @@
+// Resource governance for recovery at chain scale.
+//
+// The paper bounds exploration structurally (§4.2 path restrictions) and
+// reports a long-tailed per-function cost distribution (§5.4): at 37M
+// contracts, one adversarial bytecode must not be able to stall the fleet.
+// A Budget adds the operational half of that story — a wall-clock deadline
+// (checked every `deadline_check_interval` steps so the hot loop stays free
+// of clock reads) and an optional cap on interned expression nodes — on top
+// of the structural step/path caps in `Limits`.
+//
+// Every run ends with a RecoveryStatus saying *why* it stopped; a run that
+// stops early still carries the trace collected so far, so the classifier
+// can salvage a partial signature.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sigrec::symexec {
+
+// Why a recovery (one function, one contract, or one symbolic run) stopped.
+// Ordered by severity: everything after Complete is a degradation, and
+// `worst_status` of a set of runs is the headline for the whole set.
+enum class RecoveryStatus : std::uint8_t {
+  Complete = 0,            // exploration finished inside every budget
+  StepBudgetExhausted,     // total symbolic step cap hit
+  PathBudgetExhausted,     // path cap hit with unexplored branches pending
+  MemoryBudgetExhausted,   // ExprPool node cap hit
+  DeadlineExceeded,        // wall-clock deadline expired
+  MalformedBytecode,       // input rejected before execution (empty code)
+  InternalError,           // an exception crossed a lower layer
+};
+
+inline constexpr std::size_t kRecoveryStatusCount = 7;
+
+// Short stable identifier ("complete", "deadline", ...) for logs and the CLI
+// outcome column.
+[[nodiscard]] std::string_view status_name(RecoveryStatus status);
+
+// True for every status except Complete.
+[[nodiscard]] constexpr bool is_failure(RecoveryStatus status) {
+  return status != RecoveryStatus::Complete;
+}
+
+// True when the run stopped because a resource budget (steps, paths, memory,
+// deadline) ran out — the retry ladder only re-attempts these: a malformed
+// input or an internal error will not improve with a smaller budget.
+[[nodiscard]] constexpr bool is_budget_exhaustion(RecoveryStatus status) {
+  switch (status) {
+    case RecoveryStatus::StepBudgetExhausted:
+    case RecoveryStatus::PathBudgetExhausted:
+    case RecoveryStatus::MemoryBudgetExhausted:
+    case RecoveryStatus::DeadlineExceeded:
+      return true;
+    default:
+      return false;
+  }
+}
+
+[[nodiscard]] constexpr RecoveryStatus worst_status(RecoveryStatus a, RecoveryStatus b) {
+  return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b) ? a : b;
+}
+
+// Operational resource caps, complementing the structural caps in `Limits`.
+struct Budget {
+  // Wall-clock deadline for one symbolic run; <= 0 means no deadline. The
+  // clock is read once every `deadline_check_interval` steps, so a run can
+  // overshoot the deadline by at most one check interval's worth of work.
+  double deadline_seconds = 0;
+  std::uint64_t deadline_check_interval = 256;
+
+  // Cap on interned ExprPool nodes (each node is a hash-consed expression);
+  // 0 means unlimited. Adversarial bytecode can otherwise grow expressions
+  // without bound inside the step budget.
+  std::size_t max_pool_nodes = 0;
+};
+
+// Deterministic fault injection, compiled into the executor so tests can
+// drive every degradation path on purpose. All triggers are step/path
+// ordinals, not clock values, so injected failures replay identically.
+// A zero field means "disabled".
+struct FaultPlan {
+  // Stop the run with InternalError once total steps reach this value —
+  // a non-throwing internal failure.
+  std::uint64_t fail_at_step = 0;
+  // Make the deadline check report expiry once total steps reach this value,
+  // regardless of the real clock — a deterministic DeadlineExceeded.
+  std::uint64_t expire_deadline_at_step = 0;
+  // Throw std::runtime_error when the Nth path (1-based) starts — exercises
+  // the exception-isolation path of every caller.
+  std::uint64_t throw_at_path = 0;
+
+  [[nodiscard]] bool armed() const {
+    return fail_at_step != 0 || expire_deadline_at_step != 0 || throw_at_path != 0;
+  }
+};
+
+}  // namespace sigrec::symexec

@@ -1,8 +1,10 @@
 #include "symexec/executor.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <map>
+#include <stdexcept>
 
 namespace sigrec::symexec {
 
@@ -40,16 +42,35 @@ class Runner {
   }
 
   Trace run() {
+    start_ = std::chrono::steady_clock::now();
     std::deque<PathState> worklist;
     worklist.push_back(PathState{});
-    while (!worklist.empty() && trace_.paths_explored < limits_.max_paths &&
-           trace_.total_steps < limits_.max_total_steps) {
+    while (!worklist.empty() && status_ == RecoveryStatus::Complete) {
+      if (trace_.paths_explored >= limits_.max_paths) {
+        status_ = RecoveryStatus::PathBudgetExhausted;
+        break;
+      }
+      if (trace_.total_steps >= limits_.max_total_steps) {
+        status_ = RecoveryStatus::StepBudgetExhausted;
+        break;
+      }
+      if (limits_.fault.throw_at_path != 0 &&
+          trace_.paths_explored + 1 >= limits_.fault.throw_at_path) {
+        throw std::runtime_error("fault injection: throw at path " +
+                                 std::to_string(trace_.paths_explored + 1));
+      }
       PathState st = std::move(worklist.back());
       worklist.pop_back();
       ++trace_.paths_explored;
       run_path(std::move(st), worklist);
     }
-    trace_.exhausted = !worklist.empty() || trace_.total_steps >= limits_.max_total_steps;
+    if (status_ == RecoveryStatus::Complete && path_step_capped_) {
+      status_ = RecoveryStatus::StepBudgetExhausted;
+    }
+    trace_.status = status_;
+    trace_.error = std::move(error_);
+    trace_.exhausted = !worklist.empty() || trace_.total_steps >= limits_.max_total_steps ||
+                       is_budget_exhaustion(status_);
     return std::move(trace_);
   }
 
@@ -197,11 +218,56 @@ class Runner {
 
   // --- main loop --------------------------------------------------------------
 
+  // One clock read per `deadline_check_interval` steps; returns true when
+  // the wall-clock deadline (or its injected stand-in) has expired.
+  bool deadline_expired() {
+    if (limits_.fault.expire_deadline_at_step != 0 &&
+        trace_.total_steps >= limits_.fault.expire_deadline_at_step) {
+      return true;
+    }
+    if (limits_.budget.deadline_seconds <= 0) return false;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count() >=
+           limits_.budget.deadline_seconds;
+  }
+
+  // Global (cross-path) budget checks, run once per symbolic step. Returns
+  // false — and records why — when the run must stop.
+  bool within_operational_budget() {
+    if (limits_.fault.fail_at_step != 0 && trace_.total_steps >= limits_.fault.fail_at_step) {
+      status_ = RecoveryStatus::InternalError;
+      error_ = "fault injection: forced failure at step " +
+               std::to_string(limits_.fault.fail_at_step);
+      return false;
+    }
+    std::uint64_t interval = std::max<std::uint64_t>(1, limits_.budget.deadline_check_interval);
+    bool on_check_boundary = trace_.total_steps % interval == 0;
+    if ((on_check_boundary || limits_.fault.expire_deadline_at_step != 0) &&
+        deadline_expired()) {
+      status_ = RecoveryStatus::DeadlineExceeded;
+      return false;
+    }
+    if (limits_.budget.max_pool_nodes != 0 && pool_.size() > limits_.budget.max_pool_nodes) {
+      status_ = RecoveryStatus::MemoryBudgetExhausted;
+      return false;
+    }
+    return true;
+  }
+
   void run_path(PathState st, std::deque<PathState>& worklist) {
     const auto& insts = dis_.instructions();
     while (true) {
-      if (st.steps++ > limits_.max_steps_per_path) return;
-      if (++trace_.total_steps > limits_.max_total_steps) return;
+      // Per-path step cap: ends this path only (a sibling may still finish),
+      // but the truncation is remembered so a run that otherwise drains its
+      // worklist still reports StepBudgetExhausted instead of Complete.
+      if (st.steps++ > limits_.max_steps_per_path) {
+        path_step_capped_ = true;
+        return;
+      }
+      if (++trace_.total_steps > limits_.max_total_steps) {
+        status_ = RecoveryStatus::StepBudgetExhausted;
+        return;
+      }
+      if (!within_operational_budget()) return;
       std::size_t idx = dis_.index_of_pc(st.pc);
       if (idx == evm::Disassembly::npos) return;
       const evm::Instruction& inst = insts[idx];
@@ -237,6 +303,10 @@ class Runner {
   std::shared_ptr<ExprPool> pool_holder_;
   ExprPool& pool_;
   Trace trace_;
+  std::chrono::steady_clock::time_point start_;
+  RecoveryStatus status_ = RecoveryStatus::Complete;
+  std::string error_;
+  bool path_step_capped_ = false;
 
   std::vector<GuardInfo> guards_;
   std::map<std::size_t, std::uint32_t> guard_by_pc_;
@@ -618,7 +688,7 @@ bool Runner::step(PathState& st, const evm::Instruction& inst,
       // dying there would hide every later parameter.)
       bool may_take = target_valid && st.jumpi_taken[pc] < limits_.max_jumpi_visits;
       bool may_fall = st.jumpi_fallthrough[pc] < limits_.max_jumpi_visits;
-      if (may_take && may_fall) {
+      if (!limits_.deterministic_single_path && may_take && may_fall) {
         PathState taken = st;  // copy
         taken.jumpi_taken[pc]++;
         taken.pc = *d;

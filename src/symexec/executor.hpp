@@ -15,6 +15,7 @@
 
 #include "evm/bytecode.hpp"
 #include "evm/disassembler.hpp"
+#include "symexec/budget.hpp"
 #include "symexec/state.hpp"
 
 namespace sigrec::symexec {
@@ -24,6 +25,21 @@ struct Limits {
   std::uint64_t max_total_steps = 400000;
   std::uint64_t max_paths = 256;
   int max_jumpi_visits = 3;  // per direction, per pc, per path
+
+  // Degraded mode (the batch retry ladder's last rung): never fork on a
+  // symbolic condition — always follow the deterministic heuristic branch
+  // (a loop guard exits its loop, anything else falls through). Exploration
+  // becomes a single pass that terminates within the step caps, trading
+  // coverage for a guaranteed, internally consistent partial trace.
+  bool deterministic_single_path = false;
+
+  // Operational caps (wall-clock deadline, expression-node cap) on top of
+  // the structural caps above. The Trace reports which cap, if any, stopped
+  // the run via `Trace::status`.
+  Budget budget;
+
+  // Deterministic fault injection for tests; disabled by default.
+  FaultPlan fault;
 
   // TASE's type-awareness (ablation knob): when false the executor behaves
   // like conventional symbolic execution — no ×32/÷32 provenance flags and
@@ -41,6 +57,9 @@ class SymExecutor {
   SymExecutor(const evm::Bytecode& code, Limits limits = {});
 
   // Analyzes the function with the given selector; reusable across calls.
+  // Budget exhaustion never throws — it ends the run with the partial trace
+  // collected so far and a non-Complete `Trace::status`. The only exception
+  // ever raised is the test-only `FaultPlan::throw_at_path` injection.
   [[nodiscard]] Trace run(std::uint32_t selector);
 
  private:

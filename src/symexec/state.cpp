@@ -10,7 +10,10 @@ std::string trace_to_string(const Trace& trace) {
   std::ostringstream os;
   os << "selector 0x" << std::hex << trace.selector << std::dec << ", "
      << trace.loads.size() << " loads, " << trace.copies.size() << " copies, "
-     << trace.uses.size() << " uses, " << trace.paths_explored << " paths\n";
+     << trace.uses.size() << " uses, " << trace.paths_explored << " paths, "
+     << "status " << status_name(trace.status);
+  if (!trace.error.empty()) os << " (" << trace.error << ')';
+  os << '\n';
   for (const LoadEvent& l : trace.loads) {
     os << "  load#" << l.id << " @" << l.pc << " loc=" << l.loc->to_string();
     if (!l.guards.empty()) {

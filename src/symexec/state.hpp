@@ -5,8 +5,10 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
+#include "symexec/budget.hpp"
 #include "symexec/expr.hpp"
 
 namespace sigrec::symexec {
@@ -126,6 +128,11 @@ struct Trace {
   std::vector<UseEvent> uses;
   bool solidity_prologue = false;  // free-memory-pointer init at pc 0 (R20)
   bool exhausted = false;          // hit a path/step cap (diagnostics only)
+  // Why exploration stopped. Anything but Complete means the events above
+  // are a truncated (but internally consistent) view of the function, and
+  // types inferred from them degrade toward the generic defaults.
+  RecoveryStatus status = RecoveryStatus::Complete;
+  std::string error;  // detail for InternalError
   std::uint64_t total_steps = 0;
   std::uint64_t paths_explored = 0;
 

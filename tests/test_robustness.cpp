@@ -27,6 +27,10 @@ TEST(Robustness, SigRecOnRandomBytes) {
     core::RecoveryResult result = tool.recover(code);  // must not crash
     for (const auto& fn : result.functions) {
       EXPECT_LE(fn.parameters.size(), 64u);  // sane output even on garbage
+      // Garbage must degrade through the budget taxonomy, never through an
+      // exception: InternalError on a non-faulted run is a bug.
+      EXPECT_NE(fn.status, core::RecoveryStatus::InternalError) << fn.error;
+      EXPECT_EQ(fn.partial, symexec::is_failure(fn.status));
     }
   }
 }
@@ -41,7 +45,12 @@ TEST(Robustness, SigRecOnTruncatedRealContracts) {
     evm::Bytes cut(full.bytes().begin(),
                    full.bytes().begin() + static_cast<std::ptrdiff_t>(keep));
     evm::Bytecode code(cut);
-    (void)tool.recover(code);  // must not crash on any prefix
+    core::RecoveryResult result = tool.recover(code);  // must not crash on any prefix
+    if (keep == 0) {
+      EXPECT_EQ(result.status, core::RecoveryStatus::MalformedBytecode);
+    } else {
+      EXPECT_NE(result.status, core::RecoveryStatus::InternalError) << result.error;
+    }
   }
 }
 
@@ -54,7 +63,10 @@ TEST(Robustness, SigRecOnBitFlippedContracts) {
   for (int i = 0; i < 60; ++i) {
     evm::Bytes mutated(base.bytes().begin(), base.bytes().end());
     mutated[rng() % mutated.size()] ^= static_cast<std::uint8_t>(1 + rng() % 255);
-    (void)tool.recover(evm::Bytecode(mutated));
+    core::RecoveryResult result = tool.recover(evm::Bytecode(mutated));
+    for (const auto& fn : result.functions) {
+      EXPECT_NE(fn.status, core::RecoveryStatus::InternalError) << fn.error;
+    }
   }
 }
 

@@ -58,7 +58,8 @@ TEST(TypedMutator, BoundedBytesHonorBound) {
   abi::TypePtr t = abi::bounded_bytes_type(17);
   bool hit_bound = false;
   for (int i = 0; i < 100; ++i) {
-    const auto& data = m.mutate(*t).bytes();
+    abi::Value v = m.mutate(*t);  // keep the temporary alive past .bytes()
+    const auto& data = v.bytes();
     EXPECT_LE(data.size(), 17u);
     hit_bound |= data.size() == 17;
   }
