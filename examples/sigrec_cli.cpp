@@ -8,11 +8,20 @@
 //                                                 # given call data against
 //                                                 # the recovered signature
 //   example_sigrec_cli <input> --deadline-ms 5    # per-function deadline
+//   example_sigrec_cli a.hex b.hex c.hex          # batch mode: parallel
+//                                                 # recovery over all inputs
+//   example_sigrec_cli *.hex --jobs 4             # worker count (default:
+//                                                 # hardware concurrency)
+//   example_sigrec_cli *.hex --no-cache           # disable the duplicate-
+//                                                 # code memo caches
 //
 // Output, one line per recovered public/external function, with an outcome
 // column saying why recovery stopped (complete, step-budget, path-budget,
 // memory-budget, deadline, malformed, internal-error):
 //   0xa9059cbb(address,uint256)   solidity   0.08ms  complete
+//
+// Batch mode (more than one input) prints the same rows grouped per input,
+// then a health summary with wall/cpu seconds and cache hit rates.
 //
 // Exit codes: 0 all functions recovered completely; 1 at least one function
 // ended in a failure status (partial or no signature); 2 bad invocation or
@@ -23,11 +32,14 @@
 #include <fstream>
 #include <optional>
 #include <sstream>
+#include <vector>
 
 #include "abi/decoder.hpp"
 #include "apps/parchecker.hpp"
 #include "compiler/compile.hpp"
+#include "sigrec/batch.hpp"
 #include "sigrec/sigrec.hpp"
+#include "sigrec/work_stealing.hpp"
 
 namespace {
 
@@ -90,20 +102,77 @@ int decode_calldata(const sigrec::core::RecoveryResult& recovery, const std::str
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <0xbytecode | file.hex | --demo> [--decode 0xcalldata]"
-               " [--deadline-ms <ms>]\n"
-               "recovers function signatures from EVM runtime bytecode\n",
+               "usage: %s <0xbytecode | file.hex | --demo>... [--decode 0xcalldata]"
+               " [--deadline-ms <ms>] [--jobs <n>] [--no-cache]\n"
+               "recovers function signatures from EVM runtime bytecode; several\n"
+               "inputs run as one parallel batch (--jobs workers, default: all\n"
+               "hardware threads; duplicate runtime code served from memo caches)\n",
                argv0);
   return 2;
+}
+
+void print_function_row(const sigrec::core::RecoveredFunction& fn) {
+  std::string outcome(sigrec::symexec::status_name(fn.status));
+  if (fn.partial) outcome += " (partial)";
+  std::printf("%-48s %-8s %7.2fms  %s\n", fn.to_string().c_str(),
+              fn.dialect == sigrec::abi::Dialect::Solidity ? "solidity" : "vyper",
+              1000.0 * fn.seconds, outcome.c_str());
+}
+
+int run_batch(const std::vector<const char*>& inputs, const sigrec::symexec::Limits& limits,
+              unsigned jobs, bool caches) {
+  using namespace sigrec;
+  std::vector<evm::Bytecode> codes;
+  std::vector<std::string> labels;
+  for (const char* input : inputs) {
+    std::optional<std::string> hex =
+        std::strcmp(input, "--demo") == 0 ? std::optional<std::string>(demo_bytecode())
+                                          : read_input(input);
+    if (!hex.has_value()) {
+      std::fprintf(stderr, "error: cannot read input file '%s'\n", input);
+      return 2;
+    }
+    auto code = evm::Bytecode::from_hex(*hex);
+    if (!code.has_value()) {
+      std::fprintf(stderr, "error: input '%s' is not valid hex bytecode\n", input);
+      return 2;
+    }
+    codes.push_back(std::move(*code));  // empty stays in: reported as malformed
+    labels.emplace_back(input);
+  }
+
+  core::BatchOptions opts;
+  opts.limits = limits;
+  opts.jobs = jobs;
+  opts.contract_cache = caches;
+  opts.function_cache = caches;
+  core::BatchResult batch = core::recover_batch(codes, opts);
+
+  bool any_failure = false;
+  for (const core::ContractReport& report : batch.contracts) {
+    std::printf("== %s  %s%s\n", labels[report.index].c_str(),
+                std::string(symexec::status_name(report.status)).c_str(),
+                report.cache_hit ? "  (cached)" : "");
+    if (!report.error.empty()) std::printf("   error: %s\n", report.error.c_str());
+    for (const auto& fn : report.functions) print_function_row(fn);
+    any_failure |= symexec::is_failure(report.status);
+  }
+  std::fprintf(stderr, "%s\n", batch.health.to_string().c_str());
+  std::fprintf(stderr, "wall=%.3fs cpu=%.3fs jobs=%u %s\n", batch.wall_seconds,
+               batch.cpu_seconds, core::WorkStealingPool::resolve_jobs(jobs),
+               batch.cache.to_string().c_str());
+  return any_failure ? 1 : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace sigrec;
-  const char* input = nullptr;
+  std::vector<const char*> inputs;
   const char* decode_hex = nullptr;
   double deadline_ms = 0;
+  unsigned jobs = 0;  // 0 = hardware concurrency
+  bool caches = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--decode") == 0 && i + 1 < argc) {
       decode_hex = argv[++i];
@@ -111,14 +180,31 @@ int main(int argc, char** argv) {
       char* end = nullptr;
       deadline_ms = std::strtod(argv[++i], &end);
       if (end == argv[i] || *end != '\0' || deadline_ms < 0) return usage(argv[0]);
-    } else if (input == nullptr) {
-      input = argv[i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || parsed > 4096) return usage(argv[0]);
+      jobs = static_cast<unsigned>(parsed);
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      caches = false;
     } else {
-      return usage(argv[0]);
+      inputs.push_back(argv[i]);
     }
   }
-  if (input == nullptr) return usage(argv[0]);
+  if (inputs.empty()) return usage(argv[0]);
 
+  symexec::Limits limits;
+  limits.budget.deadline_seconds = deadline_ms / 1000.0;
+
+  if (inputs.size() > 1) {
+    if (decode_hex != nullptr) {
+      std::fprintf(stderr, "error: --decode needs exactly one input\n");
+      return 2;
+    }
+    return run_batch(inputs, limits, jobs, caches);
+  }
+
+  const char* input = inputs[0];
   std::optional<std::string> hex;
   if (std::strcmp(input, "--demo") == 0) {
     hex = demo_bytecode();
@@ -139,8 +225,6 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  symexec::Limits limits;
-  limits.budget.deadline_seconds = deadline_ms / 1000.0;
   core::SigRec tool(limits);
   core::RecoveryResult result = tool.recover(*code);
   if (result.functions.empty()) {
@@ -152,11 +236,7 @@ int main(int argc, char** argv) {
 
   bool any_failure = false;
   for (const auto& fn : result.functions) {
-    std::string outcome(symexec::status_name(fn.status));
-    if (fn.partial) outcome += " (partial)";
-    std::printf("%-48s %-8s %7.2fms  %s\n", fn.to_string().c_str(),
-                fn.dialect == abi::Dialect::Solidity ? "solidity" : "vyper",
-                1000.0 * fn.seconds, outcome.c_str());
+    print_function_row(fn);
     any_failure |= symexec::is_failure(fn.status);
   }
   return any_failure ? 1 : 0;

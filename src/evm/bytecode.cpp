@@ -1,5 +1,6 @@
 #include "evm/bytecode.hpp"
 
+#include "evm/keccak.hpp"
 #include "evm/opcodes.hpp"
 
 namespace sigrec::evm {
@@ -61,5 +62,11 @@ bool Bytecode::is_jumpdest(std::size_t pc) const {
   if (!jumpdests_ready_) compute_jumpdests();
   return pc < jumpdests_.size() && jumpdests_[pc];
 }
+
+void Bytecode::warm_analysis_caches() const {
+  if (!jumpdests_ready_) compute_jumpdests();
+}
+
+std::array<std::uint8_t, 32> Bytecode::code_hash() const { return keccak256(code_); }
 
 }  // namespace sigrec::evm

@@ -1,6 +1,7 @@
 // Bytecode container and hex codec.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -32,8 +33,21 @@ class Bytecode {
   [[nodiscard]] std::string to_hex() const { return bytes_to_hex(code_); }
 
   // True iff `pc` is a JUMPDEST that is real code, i.e. not the immediate
-  // data of an earlier PUSH. The valid-destination set is computed lazily.
+  // data of an earlier PUSH. The valid-destination set is computed lazily;
+  // that lazy init is NOT thread-safe — callers that run several symbolic
+  // executors over the same Bytecode concurrently must call
+  // `warm_analysis_caches` first (the batch engine does, before fanning a
+  // contract out at function granularity).
   [[nodiscard]] bool is_jumpdest(std::size_t pc) const;
+
+  // Forces the lazy analysis caches (currently the JUMPDEST set) so that
+  // subsequent concurrent reads are race-free.
+  void warm_analysis_caches() const;
+
+  // keccak256 of the runtime code — the identity used by the batch engine's
+  // contract-level memo cache. Computed on every call (not cached, so it
+  // stays safe to call from any thread).
+  [[nodiscard]] std::array<std::uint8_t, 32> code_hash() const;
 
  private:
   void compute_jumpdests() const;

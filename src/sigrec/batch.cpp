@@ -1,9 +1,16 @@
 #include "sigrec/batch.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
 
 #include "sigrec/function_extractor.hpp"
+#include "sigrec/work_stealing.hpp"
 
 namespace sigrec::core {
 
@@ -55,93 +62,305 @@ std::string BatchHealth::to_string() const {
 
 namespace {
 
-// Re-runs a budget-blown function down the ladder. A rung that completes
-// yields a signature from a *finished* (if narrower) exploration — more
-// internally consistent than the blown attempt's truncation — so its
-// parameters are kept, marked partial, with the original failure status
-// preserved as the reason full recovery was impossible. The truncated wide
-// exploration often carries richer type evidence per slot than a finished
-// narrow one, so the retry only wins when it recovers strictly more
-// parameters — salvage fills gaps, it never relabels.
-RecoveredFunction descend_ladder(const evm::Bytecode& code, RecoveredFunction blown,
-                                 const BatchOptions& opts, BatchHealth& health) {
-  for (int rung = 1; rung <= opts.max_retries; ++rung) {
-    ++health.retries;
-    SigRec degraded(ladder_limits(opts, rung));
-    RecoveredFunction retry = degraded.recover_function(code, blown.selector);
-    blown.seconds += retry.seconds;
-    blown.symbolic_steps += retry.symbolic_steps;
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Shared, read-only view of one batch run for every task on the pool.
+struct BatchContext {
+  std::span<const evm::Bytecode> codes;
+  const BatchOptions& opts;
+  const SigRec& tool;  // recover_function is const and thread-safe
+  RecoveryCache& cache;
+  std::vector<ContractReport>& reports;  // one pre-allocated slot per contract
+  WorkStealingPool& pool;
+};
+
+// One function's recovery, re-run down the ladder if the first attempt blew
+// a budget. A rung that completes yields a signature from a *finished* (if
+// narrower) exploration — more internally consistent than the blown
+// attempt's truncation — so its parameters are kept, marked partial, with
+// the original failure status preserved as the reason full recovery was
+// impossible. The truncated wide exploration often carries richer type
+// evidence per slot than a finished narrow one, so the retry only wins when
+// it recovers strictly more parameters — salvage fills gaps, never relabels.
+FunctionOutcome recover_with_ladder(const BatchContext& ctx, const evm::Bytecode& code,
+                                    std::uint32_t selector) {
+  FunctionOutcome out;
+  out.fn = ctx.tool.recover_function(code, selector);
+  if (!ctx.opts.retry_budget_exhausted || ctx.opts.max_retries <= 0 ||
+      !symexec::is_budget_exhaustion(out.fn.status)) {
+    return out;
+  }
+  for (int rung = 1; rung <= ctx.opts.max_retries; ++rung) {
+    ++out.retries;
+    SigRec degraded(ladder_limits(ctx.opts, rung));
+    RecoveredFunction retry = degraded.recover_function(code, out.fn.selector);
+    out.fn.seconds += retry.seconds;
+    out.fn.symbolic_steps += retry.symbolic_steps;
     if (retry.status == RecoveryStatus::Complete &&
-        retry.parameters.size() > blown.parameters.size()) {
-      ++health.salvaged;
-      blown.parameters = std::move(retry.parameters);
-      blown.dialect = retry.dialect;
+        retry.parameters.size() > out.fn.parameters.size()) {
+      ++out.salvaged;
+      out.fn.parameters = std::move(retry.parameters);
+      out.fn.dialect = retry.dialect;
       break;
     }
   }
-  blown.partial = true;
-  return blown;
+  out.fn.partial = true;
+  return out;
 }
 
-ContractReport recover_one(const evm::Bytecode& code, std::size_t index,
-                           const BatchOptions& opts, const SigRec& tool, BatchHealth& health) {
-  ContractReport report;
-  report.index = index;
-  RecoveryResult result = tool.recover(code);
-  report.seconds = result.seconds;
-  report.error = std::move(result.error);
-  report.status = result.functions.empty() ? result.status : RecoveryStatus::Complete;
-  for (RecoveredFunction& fn : result.functions) {
-    if (opts.retry_budget_exhausted && opts.max_retries > 0 &&
-        symexec::is_budget_exhaustion(fn.status)) {
-      double before = fn.seconds;  // already inside result.seconds
-      fn = descend_ladder(code, std::move(fn), opts, health);
-      report.seconds += fn.seconds - before;
-    }
-    report.status = symexec::worst_status(report.status, fn.status);
-    report.functions.push_back(std::move(fn));
+// Everything a contract's function tasks share once the contract has been
+// planned (selectors extracted, cache keys derived). Owned by shared_ptr so
+// the last function task to finish can finalize the report, whichever worker
+// that happens on.
+struct ContractPlan {
+  std::size_t index = 0;
+  const evm::Bytecode* code = nullptr;
+  std::vector<std::uint32_t> selectors;
+  // Per-selector function-cache key; nullopt when the selector was not found
+  // in the dispatch table (then there is nothing safe to key on).
+  std::vector<std::optional<evm::Hash256>> body_keys;
+  std::vector<FunctionOutcome> outcomes;  // slot per selector, no resizing
+  evm::Hash256 code_hash{};
+  bool store_in_contract_cache = false;
+  double prep_seconds = 0;  // extraction + hashing, before any symbolic run
+  std::atomic<std::size_t> remaining{0};
+};
+
+FunctionOutcome run_function(const BatchContext& ctx, const ContractPlan& plan, std::size_t j) {
+  const std::optional<evm::Hash256>& key = plan.body_keys[j];
+  if (key.has_value()) {
+    if (std::optional<FunctionOutcome> hit = ctx.cache.find_function(*key)) return *hit;
   }
-  return report;
+  FunctionOutcome out = recover_with_ladder(ctx, *plan.code, plan.selectors[j]);
+  if (key.has_value()) ctx.cache.store_function(*key, out);
+  return out;
+}
+
+// Assembles the report for a fully recovered contract from its per-function
+// outcomes (in dispatcher order) and feeds the contract-level cache. Shared
+// by the inline path and the fan-out finalizer so both produce bytewise
+// identical reports.
+void finalize_report(const BatchContext& ctx, const ContractPlan& plan) {
+  ContractReport& report = ctx.reports[plan.index];
+  report.index = plan.index;
+  report.status = RecoveryStatus::Complete;
+  report.seconds = plan.prep_seconds;
+  for (const FunctionOutcome& outcome : plan.outcomes) {
+    report.status = symexec::worst_status(report.status, outcome.fn.status);
+    if (report.error.empty()) report.error = outcome.fn.error;
+    report.seconds += outcome.fn.seconds;
+    report.retries += outcome.retries;
+    report.salvaged += outcome.salvaged;
+    report.functions.push_back(outcome.fn);
+  }
+  if (plan.store_in_contract_cache) {
+    CachedContract entry;
+    entry.status = report.status;
+    entry.error = report.error;
+    entry.functions = plan.outcomes;
+    ctx.cache.store_contract(plan.code_hash, entry);
+  }
+}
+
+void fill_from_cache(ContractReport& report, const CachedContract& hit) {
+  report.status = hit.status;
+  report.error = hit.error;
+  report.cache_hit = true;
+  report.functions.reserve(hit.functions.size());
+  for (const FunctionOutcome& outcome : hit.functions) {
+    // Replay the ladder bookkeeping so health counters are identical to a
+    // cache-disabled run (the duplicate would have spent the same retries).
+    // `seconds` is NOT replayed: the report's time fields measure work
+    // actually done, and a hit did only a lookup.
+    report.retries += outcome.retries;
+    report.salvaged += outcome.salvaged;
+    report.functions.push_back(outcome.fn);
+  }
+}
+
+void run_function_task(const BatchContext& ctx, const std::shared_ptr<ContractPlan>& plan,
+                       std::size_t j) {
+  try {
+    plan->outcomes[j] = run_function(ctx, *plan, j);
+  } catch (const std::exception& e) {
+    plan->outcomes[j].fn.selector = plan->selectors[j];
+    plan->outcomes[j].fn.status = RecoveryStatus::InternalError;
+    plan->outcomes[j].fn.partial = true;
+    plan->outcomes[j].fn.error = e.what();
+  } catch (...) {
+    plan->outcomes[j].fn.selector = plan->selectors[j];
+    plan->outcomes[j].fn.status = RecoveryStatus::InternalError;
+    plan->outcomes[j].fn.partial = true;
+    plan->outcomes[j].fn.error = "unknown exception";
+  }
+  // acq_rel: the last decrementer must observe every other task's outcome.
+  if (plan->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    finalize_report(ctx, *plan);
+  }
+}
+
+void run_contract_task(const BatchContext& ctx, std::size_t index) {
+  ContractReport& report = ctx.reports[index];
+  report.index = index;
+  double start = now_seconds();
+  // Isolation boundary: SigRec::recover_function already converts
+  // lower-layer exceptions, but nothing a single contract does may stall or
+  // kill the batch — so even allocation failures here become an
+  // InternalError row.
+  try {
+    const evm::Bytecode& code = ctx.codes[index];
+    if (code.empty()) {
+      report.status = RecoveryStatus::MalformedBytecode;
+      report.error = "empty bytecode";
+      report.seconds = now_seconds() - start;
+      return;
+    }
+
+    auto plan = std::make_shared<ContractPlan>();
+    plan->index = index;
+    plan->code = &code;
+    if (ctx.opts.contract_cache) {
+      plan->code_hash = code.code_hash();
+      plan->store_in_contract_cache = true;
+      if (std::optional<CachedContract> hit = ctx.cache.find_contract(plan->code_hash)) {
+        fill_from_cache(report, *hit);
+        report.seconds = now_seconds() - start;
+        return;
+      }
+    }
+
+    plan->selectors = extract_function_ids(code);
+    plan->body_keys.resize(plan->selectors.size());
+    if (ctx.opts.function_cache && !plan->selectors.empty()) {
+      std::uint8_t convention = dispatcher_convention(code);
+      std::map<std::uint32_t, const DispatchedFunction*> by_selector;
+      // The dispatch table is recomputed per contract; for duplicate-heavy
+      // batches the contract cache usually short-circuits long before here.
+      std::vector<DispatchedFunction> table = extract_dispatch_table(code);
+      for (const DispatchedFunction& fn : table) by_selector[fn.selector] = &fn;
+      for (std::size_t j = 0; j < plan->selectors.size(); ++j) {
+        auto it = by_selector.find(plan->selectors[j]);
+        if (it == by_selector.end() || it->second->block_byte_ranges.empty()) continue;
+        plan->body_keys[j] = function_body_key(code, plan->selectors[j], convention,
+                                               it->second->block_byte_ranges);
+      }
+    }
+
+    plan->outcomes.resize(plan->selectors.size());
+    plan->prep_seconds = now_seconds() - start;
+
+    bool fan_out = ctx.pool.workers() > 1 &&
+                   plan->selectors.size() >= ctx.opts.function_fanout_threshold;
+    if (fan_out) {
+      // Several workers will run symbolic executors over this Bytecode
+      // concurrently; force its lazy analysis caches now, while this task
+      // still has exclusive access.
+      code.warm_analysis_caches();
+      plan->remaining.store(plan->selectors.size(), std::memory_order_release);
+      for (std::size_t j = 0; j < plan->selectors.size(); ++j) {
+        ctx.pool.spawn([&ctx, plan, j] { run_function_task(ctx, plan, j); });
+      }
+      return;  // the last function task finalizes the report
+    }
+
+    for (std::size_t j = 0; j < plan->selectors.size(); ++j) {
+      plan->outcomes[j] = run_function(ctx, *plan, j);
+    }
+    finalize_report(ctx, *plan);
+  } catch (const std::exception& e) {
+    report = ContractReport{};
+    report.index = index;
+    report.status = RecoveryStatus::InternalError;
+    report.error = e.what();
+    report.seconds = now_seconds() - start;
+  } catch (...) {
+    report = ContractReport{};
+    report.index = index;
+    report.status = RecoveryStatus::InternalError;
+    report.error = "unknown exception";
+    report.seconds = now_seconds() - start;
+  }
 }
 
 }  // namespace
 
 BatchResult recover_batch(std::span<const evm::Bytecode> codes, const BatchOptions& opts) {
+  double wall_start = now_seconds();
   BatchResult batch;
-  batch.contracts.reserve(codes.size());
-  SigRec tool(opts.limits);
-  for (std::size_t i = 0; i < codes.size(); ++i) {
-    ContractReport report;
-    // Isolation boundary: SigRec::recover already converts lower-layer
-    // exceptions, but nothing a single contract does may stall or kill the
-    // batch — so even allocation failures here become an InternalError row.
-    try {
-      report = recover_one(codes[i], i, opts, tool, batch.health);
-    } catch (const std::exception& e) {
-      report = ContractReport{};
-      report.index = i;
-      report.status = RecoveryStatus::InternalError;
-      report.error = e.what();
-    } catch (...) {
-      report = ContractReport{};
-      report.index = i;
-      report.status = RecoveryStatus::InternalError;
-      report.error = "unknown exception";
-    }
+  batch.contracts.resize(codes.size());
 
+  SigRec tool(opts.limits);
+  RecoveryCache cache;
+  WorkStealingPool pool(WorkStealingPool::resolve_jobs(opts.jobs));
+  BatchContext ctx{codes, opts, tool, cache, batch.contracts, pool};
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    pool.spawn([&ctx, i] { run_contract_task(ctx, i); });
+  }
+  pool.run();
+
+  // Health aggregation runs after the pool has quiesced, over the reports in
+  // input order — every counter is deterministic whatever the schedule was.
+  for (const ContractReport& report : batch.contracts) {
     ++batch.health.contracts;
     ++batch.health.contract_status[static_cast<std::size_t>(report.status)];
     batch.health.worst_contract_seconds =
         std::max(batch.health.worst_contract_seconds, report.seconds);
+    batch.health.retries += report.retries;
+    batch.health.salvaged += report.salvaged;
+    batch.cpu_seconds += report.seconds;
     for (const RecoveredFunction& fn : report.functions) {
       ++batch.health.functions;
       ++batch.health.function_status[static_cast<std::size_t>(fn.status)];
       batch.health.worst_function_seconds =
           std::max(batch.health.worst_function_seconds, fn.seconds);
     }
-    batch.contracts.push_back(std::move(report));
   }
+  batch.cache = cache.stats();
+  batch.wall_seconds = now_seconds() - wall_start;
   return batch;
+}
+
+std::string canonical_to_string(const BatchResult& batch) {
+  std::string out;
+  for (const ContractReport& report : batch.contracts) {
+    out += "contract " + std::to_string(report.index) +
+           " status=" + std::string(symexec::status_name(report.status)) +
+           " retries=" + std::to_string(report.retries) +
+           " salvaged=" + std::to_string(report.salvaged);
+    if (!report.error.empty()) out += " error=" + report.error;
+    out += '\n';
+    for (const RecoveredFunction& fn : report.functions) {
+      out += "  " + fn.to_string() +
+             (fn.dialect == abi::Dialect::Solidity ? " solidity" : " vyper") +
+             " status=" + std::string(symexec::status_name(fn.status));
+      if (fn.partial) out += " partial";
+      if (!fn.error.empty()) out += " error=" + fn.error;
+      out += '\n';
+    }
+  }
+  const BatchHealth& h = batch.health;
+  out += "health contracts=" + std::to_string(h.contracts) +
+         " functions=" + std::to_string(h.functions) +
+         " retries=" + std::to_string(h.retries) +
+         " salvaged=" + std::to_string(h.salvaged) + '\n';
+  auto status_line = [&out](const char* what,
+                            const std::array<std::uint64_t, symexec::kRecoveryStatusCount>& row) {
+    out += what;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i] == 0) continue;
+      out += ' ';
+      out += symexec::status_name(static_cast<RecoveryStatus>(i));
+      out += '=' + std::to_string(row[i]);
+    }
+    out += '\n';
+  };
+  status_line("contract-status", h.contract_status);
+  status_line("function-status", h.function_status);
+  return out;
 }
 
 }  // namespace sigrec::core

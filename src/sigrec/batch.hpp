@@ -8,6 +8,19 @@
 // stopped, and budget-blown functions are re-run down a degradation ladder
 // of progressively reduced limits — fewer paths, shorter unrolling — to
 // salvage a consistent partial signature instead of a mid-flight truncation.
+//
+// The engine is parallel: a work-stealing pool (`jobs` workers) schedules
+// recovery at contract granularity, and contracts with many functions are
+// re-fanned out at function granularity from inside their contract task.
+// Each symbolic run owns its own ExprPool arena, so hash-consing never takes
+// a lock. Two memo caches exploit the duplicate-heavy reality of deployed
+// chains: a contract-level cache keyed by keccak256 of the runtime code and
+// a function-level cache keyed by a body-byte-range digest (see cache.hpp).
+//
+// Determinism guarantee: everything except wall-clock fields and cache
+// hit/miss statistics — report order, statuses, signatures, errors, health
+// counters — is byte-identical for any `jobs` value and with caches on or
+// off. `canonical_to_string` renders exactly that deterministic view.
 #pragma once
 
 #include <array>
@@ -15,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "sigrec/cache.hpp"
 #include "sigrec/sigrec.hpp"
 
 namespace sigrec::core {
@@ -32,6 +46,21 @@ struct BatchOptions {
   // Re-run budget-exhausted functions down the ladder. Malformed input and
   // internal errors are never retried: a smaller budget cannot fix those.
   bool retry_budget_exhausted = true;
+
+  // Worker count for the work-stealing pool. 1 runs everything inline on the
+  // calling thread (the library default — callers opt into parallelism);
+  // 0 resolves to std::thread::hardware_concurrency().
+  unsigned jobs = 1;
+  // A contract with at least this many dispatcher functions is split into
+  // per-function tasks when jobs > 1, so one huge contract cannot serialize
+  // the tail of a batch.
+  std::size_t function_fanout_threshold = 4;
+
+  // Memo caches (scoped to this recover_batch call; see cache.hpp). Results
+  // and health counters are identical with caches on or off — only time and
+  // the cache statistics change.
+  bool contract_cache = true;
+  bool function_cache = true;
 };
 
 // The limits used at ladder rung `rung` (rung 0 == opts.limits verbatim).
@@ -43,11 +72,24 @@ struct ContractReport {
   // itself threw; MalformedBytecode when the input was rejected.
   RecoveryStatus status = RecoveryStatus::Complete;
   std::string error;
+  // CPU seconds spent on this contract (selector extraction plus the sum of
+  // per-function recovery time, including ladder retries). Under parallel
+  // function fan-out the pieces overlap in wall-clock time, so this is a
+  // work measure, not elapsed time; the batch-level wall clock lives in
+  // BatchResult::wall_seconds.
   double seconds = 0;
+  std::uint64_t retries = 0;   // ladder re-runs spent on this contract
+  std::uint64_t salvaged = 0;  // blown functions a retry completed a rung for
+  // Served verbatim from the contract-level cache. Schedule-dependent (two
+  // workers can race to compute the same duplicate), unlike everything else
+  // in this report.
+  bool cache_hit = false;
   std::vector<RecoveredFunction> functions;
 };
 
-// Aggregate health counters for dashboards / alerting.
+// Aggregate health counters for dashboards / alerting. Computed from the
+// per-contract reports in input order after all workers have finished, so
+// every counter is deterministic regardless of scheduling.
 struct BatchHealth {
   // Per-status totals, indexed by static_cast<size_t>(RecoveryStatus).
   std::array<std::uint64_t, symexec::kRecoveryStatusCount> function_status{};
@@ -66,6 +108,14 @@ struct BatchHealth {
 struct BatchResult {
   std::vector<ContractReport> contracts;
   BatchHealth health;
+  // Elapsed time of the whole batch vs. total work done. With one worker
+  // wall ≈ cpu; with N busy workers wall approaches cpu / N; with caches on
+  // cpu collapses while wall tracks the deduplicated work.
+  double wall_seconds = 0;
+  double cpu_seconds = 0;
+  // Hit/miss statistics for this run's memo caches (schedule-dependent, not
+  // part of the deterministic view).
+  CacheStats cache;
 
   [[nodiscard]] bool all_complete() const {
     return health.failed_functions() == 0 &&
@@ -74,6 +124,14 @@ struct BatchResult {
            health.contract_status[static_cast<std::size_t>(RecoveryStatus::InternalError)] == 0;
   }
 };
+
+// Deterministic rendering of a batch result: per-contract rows (status,
+// error, retry counters, recovered signatures) and the health counters —
+// everything recover_batch guarantees to be schedule-independent, and none
+// of the timing or cache fields. Two runs over the same input with any
+// `jobs` / cache configuration render identically; the determinism tests
+// diff exactly this string.
+[[nodiscard]] std::string canonical_to_string(const BatchResult& batch);
 
 // Recovers every contract in `codes`. Never throws.
 [[nodiscard]] BatchResult recover_batch(std::span<const evm::Bytecode> codes,

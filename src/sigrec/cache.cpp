@@ -1,0 +1,91 @@
+#include "sigrec/cache.hpp"
+
+#include <cstdio>
+
+namespace sigrec::core {
+
+std::string CacheStats::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "contract-cache %llu/%llu function-cache %llu/%llu (hits/lookups)",
+                static_cast<unsigned long long>(contract_hits),
+                static_cast<unsigned long long>(contract_hits + contract_misses),
+                static_cast<unsigned long long>(function_hits),
+                static_cast<unsigned long long>(function_hits + function_misses));
+  return buf;
+}
+
+std::optional<CachedContract> RecoveryCache::find_contract(const evm::Hash256& code_hash) {
+  std::lock_guard<std::mutex> lock(contract_mutex_);
+  auto it = contracts_.find(code_hash);
+  if (it == contracts_.end()) {
+    contract_misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  contract_hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void RecoveryCache::store_contract(const evm::Hash256& code_hash, const CachedContract& entry) {
+  if (entry.status == RecoveryStatus::InternalError) return;
+  std::lock_guard<std::mutex> lock(contract_mutex_);
+  contracts_.try_emplace(code_hash, entry);
+}
+
+std::optional<FunctionOutcome> RecoveryCache::find_function(const evm::Hash256& body_key) {
+  std::lock_guard<std::mutex> lock(function_mutex_);
+  auto it = functions_.find(body_key);
+  if (it == functions_.end()) {
+    function_misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  function_hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void RecoveryCache::store_function(const evm::Hash256& body_key, const FunctionOutcome& outcome) {
+  if (outcome.fn.status == RecoveryStatus::InternalError) return;
+  std::lock_guard<std::mutex> lock(function_mutex_);
+  functions_.try_emplace(body_key, outcome);
+}
+
+CacheStats RecoveryCache::stats() const {
+  CacheStats s;
+  s.contract_hits = contract_hits_.load(std::memory_order_relaxed);
+  s.contract_misses = contract_misses_.load(std::memory_order_relaxed);
+  s.function_hits = function_hits_.load(std::memory_order_relaxed);
+  s.function_misses = function_misses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+evm::Hash256 function_body_key(
+    const evm::Bytecode& code, std::uint32_t selector, std::uint8_t convention,
+    const std::vector<std::pair<std::size_t, std::size_t>>& block_byte_ranges) {
+  evm::Keccak256 hasher;
+  std::uint8_t header[5] = {
+      static_cast<std::uint8_t>(selector >> 24), static_cast<std::uint8_t>(selector >> 16),
+      static_cast<std::uint8_t>(selector >> 8), static_cast<std::uint8_t>(selector),
+      convention};
+  hasher.update(header);
+  std::span<const std::uint8_t> bytes = code.bytes();
+  for (const auto& [begin, end] : block_byte_ranges) {
+    std::uint8_t pc[8];
+    for (unsigned i = 0; i < 8; ++i) pc[i] = static_cast<std::uint8_t>(begin >> (8 * (7 - i)));
+    hasher.update(pc);
+    if (begin < end && end <= bytes.size()) {
+      hasher.update(bytes.subspan(begin, end - begin));
+    }
+  }
+  return hasher.finalize();
+}
+
+std::uint8_t dispatcher_convention(const evm::Bytecode& code) {
+  // The Solidity prologue `PUSH1 0x80 PUSH1 0x40 MSTORE` (free-memory
+  // pointer init) at pc 0; Vyper and hand-rolled dispatchers lack it.
+  return code.size() >= 5 && code[0] == 0x60 && code[1] == 0x80 && code[2] == 0x60 &&
+                 code[3] == 0x40 && code[4] == 0x52
+             ? 1
+             : 0;
+}
+
+}  // namespace sigrec::core

@@ -1,0 +1,117 @@
+// Memoization for duplicate-heavy batch recovery.
+//
+// Deployed chains are dominated by byte-identical runtime code (factory
+// clones, proxy targets, forked token contracts), so the batch engine
+// memoizes at two levels:
+//
+//  * contract level — keyed by keccak256 of the whole runtime code, a hit
+//    returns the prior contract's full recovery verbatim;
+//  * function level — keyed by a digest of the function's body byte ranges
+//    (the blocks reachable from its dispatcher entry, pc-prefixed so a body
+//    at a different offset never collides), the selector, and the dispatcher
+//    convention; a hit skips re-running TASE on a duplicate body even when
+//    the surrounding contract differs.
+//
+// Cached entries carry the retry-ladder bookkeeping (retries, salvaged)
+// alongside the recovered function, so health counters replay exactly and a
+// cache-enabled run is counter-identical to a cache-disabled one.
+//
+// A cache instance is scoped to one `recover_batch` call: every entry was
+// produced under the same `Limits`, so keys never need a budget fingerprint.
+// InternalError outcomes are never stored — a crash must not poison its
+// duplicates. Both maps are guarded by plain mutexes; lookups are rare and
+// cheap next to the symbolic runs they save.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "evm/keccak.hpp"
+#include "sigrec/sigrec.hpp"
+
+namespace sigrec::core {
+
+// One function's recovery outcome plus the ladder bookkeeping needed to
+// replay health counters on a cache hit.
+struct FunctionOutcome {
+  RecoveredFunction fn;
+  std::uint64_t retries = 0;   // ladder rungs attempted for this function
+  std::uint64_t salvaged = 0;  // 1 if a rung completed and filled gaps
+};
+
+// A whole contract's recovery, as stored by the contract-level cache.
+struct CachedContract {
+  RecoveryStatus status = RecoveryStatus::Complete;
+  std::string error;
+  std::vector<FunctionOutcome> functions;
+};
+
+// Hit/miss counters. Schedule-dependent under parallelism (two workers can
+// miss on the same key concurrently and both compute), so these are
+// reported next to — never inside — the deterministic batch health.
+struct CacheStats {
+  std::uint64_t contract_hits = 0;
+  std::uint64_t contract_misses = 0;
+  std::uint64_t function_hits = 0;
+  std::uint64_t function_misses = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class RecoveryCache {
+ public:
+  // Contract level. `find` counts a hit or miss; `store` keeps the first
+  // writer's entry (concurrent duplicate computations produce identical
+  // content, so which one lands is immaterial).
+  [[nodiscard]] std::optional<CachedContract> find_contract(const evm::Hash256& code_hash);
+  void store_contract(const evm::Hash256& code_hash, const CachedContract& entry);
+
+  // Function level, keyed by the body digest from `function_body_key`.
+  [[nodiscard]] std::optional<FunctionOutcome> find_function(const evm::Hash256& body_key);
+  void store_function(const evm::Hash256& body_key, const FunctionOutcome& outcome);
+
+  [[nodiscard]] CacheStats stats() const;
+
+ private:
+  struct HashKey {
+    std::size_t operator()(const evm::Hash256& h) const {
+      // keccak output is uniformly distributed; the first 8 bytes are hash
+      // enough for a bucket index.
+      std::size_t v = 0;
+      for (unsigned i = 0; i < sizeof v; ++i) v = (v << 8) | h[i];
+      return v;
+    }
+  };
+
+  mutable std::mutex contract_mutex_;
+  std::unordered_map<evm::Hash256, CachedContract, HashKey> contracts_;
+  mutable std::mutex function_mutex_;
+  std::unordered_map<evm::Hash256, FunctionOutcome, HashKey> functions_;
+  std::atomic<std::uint64_t> contract_hits_{0};
+  std::atomic<std::uint64_t> contract_misses_{0};
+  std::atomic<std::uint64_t> function_hits_{0};
+  std::atomic<std::uint64_t> function_misses_{0};
+};
+
+// Digest identifying one function body for the function-level cache:
+// keccak256 over (selector, dispatcher convention, then each reachable
+// block's start pc and raw bytes in block-id order). Built with the
+// incremental evm::Keccak256 so block bytes are hashed in place.
+[[nodiscard]] evm::Hash256 function_body_key(const evm::Bytecode& code,
+                                             std::uint32_t selector,
+                                             std::uint8_t convention,
+                                             const std::vector<std::pair<std::size_t, std::size_t>>&
+                                                 block_byte_ranges);
+
+// Dispatcher convention byte folded into every function body key: Solidity's
+// free-memory-pointer prologue (PUSH 0x80 PUSH 0x40 MSTORE) vs anything
+// else. Two dispatch styles read call data differently enough that a body
+// digest alone must not be shared across them.
+[[nodiscard]] std::uint8_t dispatcher_convention(const evm::Bytecode& code);
+
+}  // namespace sigrec::core

@@ -87,6 +87,7 @@ std::vector<DispatchedFunction> extract_dispatch_table(const evm::Bytecode& code
       fn.block_ids.push_back(cur);
       const evm::BasicBlock& bb = cfg.blocks()[cur];
       fn.instruction_count += bb.last - bb.first + 1;
+      fn.block_byte_ranges.emplace_back(insts[bb.first].pc, insts[bb.last].next_pc());
       for (std::size_t s : bb.successors) {
         if (!visited[s]) {
           visited[s] = true;

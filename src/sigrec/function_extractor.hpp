@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "evm/bytecode.hpp"
@@ -20,6 +21,9 @@ struct DispatchedFunction {
   std::size_t entry_pc = 0;
   std::size_t instruction_count = 0;  // instructions in reachable body blocks
   std::vector<std::size_t> block_ids;
+  // [begin, end) byte offsets of each reachable block, in block_ids order —
+  // the raw material for the batch engine's function-body cache key.
+  std::vector<std::pair<std::size_t, std::size_t>> block_byte_ranges;
 };
 
 [[nodiscard]] std::vector<DispatchedFunction> extract_dispatch_table(

@@ -1,0 +1,132 @@
+#include "sigrec/work_stealing.hpp"
+
+#include <thread>
+
+namespace sigrec::core {
+
+namespace {
+
+// Which pool (and which worker slot in it) the current thread is executing
+// for; lets spawn() route subtasks onto the spawning worker's own deque.
+thread_local const WorkStealingPool* tl_pool = nullptr;
+thread_local unsigned tl_worker = 0;
+
+}  // namespace
+
+WorkStealingPool::WorkStealingPool(unsigned workers) {
+  if (workers == 0) workers = 1;
+  queues_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) queues_.push_back(std::make_unique<Queue>());
+}
+
+unsigned WorkStealingPool::resolve_jobs(unsigned jobs) {
+  if (jobs != 0) return jobs;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void WorkStealingPool::spawn(Task task) {
+  bool internal = tl_pool == this;
+  unsigned target =
+      internal ? tl_worker : next_external_.fetch_add(1, std::memory_order_relaxed) % workers();
+  outstanding_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    // Internal spawns go to the back — the owner pops LIFO, so freshly
+    // forked subtasks run (cache-hot) before anything older. External
+    // spawns go to the front, which keeps submission order for the owner
+    // (the back holds the oldest external task) and puts coarse
+    // contract-granularity work where thieves steal.
+    if (internal) {
+      queues_[target]->tasks.push_back(std::move(task));
+    } else {
+      queues_[target]->tasks.push_front(std::move(task));
+    }
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  // Acquiring idle_mutex_ between the state change above and the notify
+  // closes the lost-wakeup race: a worker that checked the predicate and is
+  // about to wait holds the mutex, so we block here until it is actually
+  // waiting and guaranteed to receive the notification.
+  { std::lock_guard<std::mutex> lock(idle_mutex_); }
+  idle_cv_.notify_one();
+}
+
+bool WorkStealingPool::try_pop_own(unsigned self, Task& out) {
+  Queue& q = *queues_[self];
+  std::lock_guard<std::mutex> lock(q.mutex);
+  if (q.tasks.empty()) return false;
+  out = std::move(q.tasks.back());
+  q.tasks.pop_back();
+  queued_.fetch_sub(1, std::memory_order_acq_rel);
+  return true;
+}
+
+bool WorkStealingPool::try_steal(unsigned self, Task& out) {
+  const unsigned n = workers();
+  for (unsigned step = 1; step < n; ++step) {
+    Queue& victim = *queues_[(self + step) % n];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (victim.tasks.empty()) continue;
+    out = std::move(victim.tasks.front());
+    victim.tasks.pop_front();
+    queued_.fetch_sub(1, std::memory_order_acq_rel);
+    return true;
+  }
+  return false;
+}
+
+void WorkStealingPool::worker_loop(unsigned self) {
+  for (;;) {
+    Task task;
+    if (try_pop_own(self, task) || try_steal(self, task)) {
+      try {
+        task();
+      } catch (...) {
+        // Tasks are contractually non-throwing; swallowing here keeps a
+        // buggy task from wedging the whole pool behind an exception.
+      }
+      if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        { std::lock_guard<std::mutex> lock(idle_mutex_); }
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    // Nothing to run or steal: block until a task is queued somewhere or the
+    // pool drains. The wait can't lose a wakeup — spawn and the final
+    // decrement both touch idle_mutex_ after updating the counters, so
+    // either the predicate already sees the change or the notify lands
+    // while this thread is inside wait(). A stale `queued_ > 0` (another
+    // worker grabbed the task first) just loops back to an empty scan.
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    idle_cv_.wait(lock, [this] {
+      return outstanding_.load(std::memory_order_acquire) == 0 ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (outstanding_.load(std::memory_order_acquire) == 0) return;
+  }
+}
+
+void WorkStealingPool::run() {
+  if (outstanding_.load(std::memory_order_acquire) == 0) return;
+  std::vector<std::thread> threads;
+  threads.reserve(workers() - 1);
+  for (unsigned i = 1; i < workers(); ++i) {
+    threads.emplace_back([this, i] {
+      tl_pool = this;
+      tl_worker = i;
+      worker_loop(i);
+      tl_pool = nullptr;
+    });
+  }
+  const WorkStealingPool* saved_pool = tl_pool;
+  unsigned saved_worker = tl_worker;
+  tl_pool = this;
+  tl_worker = 0;
+  worker_loop(0);
+  tl_pool = saved_pool;
+  tl_worker = saved_worker;
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace sigrec::core

@@ -1,0 +1,73 @@
+// Work-stealing executor pool for chain-scale batch recovery.
+//
+// A fixed set of workers, each owning a deque of tasks: the owner pushes and
+// pops at the back (LIFO, cache-hot), idle workers steal from the front of a
+// victim's deque (FIFO, so thieves grab the oldest — typically largest —
+// unit of work). Recovery tasks are scheduled at contract granularity and,
+// for contracts with many functions, re-spawned at function granularity from
+// inside the contract task; spawned subtasks land on the spawning worker's
+// own deque and are stolen from there.
+//
+// The pool knows nothing about recovery: tasks are plain callables that must
+// not throw (the batch engine wraps every task in its own isolation
+// boundary). Quiescence — every task and its transitive spawns finished — is
+// tracked with a single outstanding-task counter, so `run` returns exactly
+// when no work is left anywhere.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace sigrec::core {
+
+class WorkStealingPool {
+ public:
+  using Task = std::function<void()>;
+
+  // `workers` includes the thread that calls run(); it is clamped to >= 1.
+  explicit WorkStealingPool(unsigned workers);
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  // 0 -> std::thread::hardware_concurrency() (at least 1), otherwise `jobs`.
+  [[nodiscard]] static unsigned resolve_jobs(unsigned jobs);
+
+  // Enqueues a task. Called from outside run(), tasks are distributed
+  // round-robin across the worker deques; called from inside a running
+  // worker, the task is pushed onto that worker's own deque. Tasks must not
+  // throw — an escaping exception is swallowed (and the task counted done)
+  // so the pool can never deadlock on a buggy task.
+  void spawn(Task task);
+
+  // Runs until quiescent. The calling thread participates as worker 0;
+  // workers 1..N-1 are started on entry and joined before returning, so no
+  // pool thread outlives the call.
+  void run();
+
+  [[nodiscard]] unsigned workers() const { return static_cast<unsigned>(queues_.size()); }
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  bool try_pop_own(unsigned self, Task& out);
+  bool try_steal(unsigned self, Task& out);
+  void worker_loop(unsigned self);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::atomic<std::uint64_t> outstanding_{0};  // spawned, not yet finished executing
+  std::atomic<std::uint64_t> queued_{0};       // spawned, not yet popped/stolen
+  std::atomic<unsigned> next_external_{0};     // round-robin cursor for external spawns
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+};
+
+}  // namespace sigrec::core

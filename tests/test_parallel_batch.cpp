@@ -1,0 +1,329 @@
+// The parallel batch engine: work-stealing pool, contract/function memo
+// caches, determinism across worker counts, and wall/cpu timing.
+//
+// The determinism tests are also the TSan workload (the `sanitize-thread`
+// preset filters on these suites): any data race between workers, cache
+// shards, or the fan-out finalizer shows up here under load.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "compiler/compile.hpp"
+#include "corpus/datasets.hpp"
+#include "sigrec/batch.hpp"
+#include "sigrec/cache.hpp"
+#include "sigrec/work_stealing.hpp"
+#include "symexec/executor.hpp"
+
+namespace sigrec {
+namespace {
+
+using core::RecoveryStatus;
+
+evm::Bytecode heavy_contract() {
+  auto spec = compiler::make_contract(
+      "heavy", {},
+      {compiler::make_function("f", {"uint256[]", "bytes", "uint8[3][]", "address"}, true)});
+  return compiler::compile_contract(spec);
+}
+
+evm::Bytecode wide_contract() {
+  // Enough functions to cross the default function-fanout threshold.
+  auto spec = compiler::make_contract(
+      "wide", {},
+      {compiler::make_function("a", {"uint256[]", "address"}, true),
+       compiler::make_function("b", {"bytes", "bool"}, true),
+       compiler::make_function("c", {"uint8[3]", "uint256"}, true),
+       compiler::make_function("d", {"address", "uint32"}, true),
+       compiler::make_function("e", {"uint256", "int64"}, true)});
+  return compiler::compile_contract(spec);
+}
+
+// A duplicate-heavy corpus: every unique contract appears `dup` times,
+// deterministically interleaved (round-robin over the uniques).
+std::vector<evm::Bytecode> duplicate_corpus(std::size_t uniques, int dup, std::uint64_t seed) {
+  corpus::Corpus ds = corpus::make_open_source_corpus(uniques, seed);
+  std::vector<evm::Bytecode> base = corpus::compile_corpus(ds);
+  std::vector<evm::Bytecode> out;
+  out.reserve(base.size() * static_cast<std::size_t>(dup));
+  for (int round = 0; round < dup; ++round) {
+    for (const evm::Bytecode& code : base) out.push_back(code);
+  }
+  return out;
+}
+
+// --- work-stealing pool ------------------------------------------------------
+
+TEST(WorkStealing, RunsEveryTaskOnce) {
+  for (unsigned workers : {1u, 2u, 8u}) {
+    core::WorkStealingPool pool(workers);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 500; ++i) pool.spawn([&count] { ++count; });
+    pool.run();
+    EXPECT_EQ(count.load(), 500) << "workers=" << workers;
+  }
+}
+
+TEST(WorkStealing, NestedSpawnsAreDrainedBeforeRunReturns) {
+  core::WorkStealingPool pool(4);
+  std::atomic<int> leaves{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.spawn([&pool, &leaves] {
+      for (int j = 0; j < 8; ++j) {
+        pool.spawn([&pool, &leaves] {
+          pool.spawn([&leaves] { ++leaves; });
+        });
+      }
+    });
+  }
+  pool.run();
+  EXPECT_EQ(leaves.load(), 16 * 8);
+}
+
+TEST(WorkStealing, ThrowingTaskDoesNotWedgeThePool) {
+  core::WorkStealingPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.spawn([&ran, i] {
+      if (i % 2 == 0) throw std::runtime_error("task bug");
+      ++ran;
+    });
+  }
+  pool.run();  // must return despite the throws
+  EXPECT_EQ(ran.load(), 5);
+}
+
+TEST(WorkStealing, ResolveJobsZeroMeansHardwareConcurrency) {
+  unsigned resolved = core::WorkStealingPool::resolve_jobs(0);
+  EXPECT_GE(resolved, 1u);
+  EXPECT_EQ(core::WorkStealingPool::resolve_jobs(3), 3u);
+}
+
+TEST(WorkStealing, RunWithNoTasksReturnsImmediately) {
+  core::WorkStealingPool pool(4);
+  pool.run();  // no spawn, must not hang
+  SUCCEED();
+}
+
+// --- determinism across worker counts ---------------------------------------
+
+TEST(ParallelBatch, CanonicalOutputIdenticalAtJobs1AndJobs8) {
+  std::vector<evm::Bytecode> codes = duplicate_corpus(12, 3, 515);
+
+  core::BatchOptions opts;
+  opts.jobs = 1;
+  std::string sequential = core::canonical_to_string(core::recover_batch(codes, opts));
+  opts.jobs = 8;
+  std::string parallel = core::canonical_to_string(core::recover_batch(codes, opts));
+  EXPECT_EQ(sequential, parallel);
+  EXPECT_FALSE(sequential.empty());
+}
+
+TEST(ParallelBatch, CanonicalOutputIdenticalWithCachesOnAndOff) {
+  std::vector<evm::Bytecode> codes = duplicate_corpus(10, 4, 929);
+
+  core::BatchOptions opts;
+  opts.jobs = 8;
+  core::BatchResult cached = core::recover_batch(codes, opts);
+  opts.contract_cache = false;
+  opts.function_cache = false;
+  core::BatchResult uncached = core::recover_batch(codes, opts);
+  EXPECT_EQ(core::canonical_to_string(cached), core::canonical_to_string(uncached));
+  EXPECT_EQ(uncached.cache.contract_hits + uncached.cache.contract_misses, 0u);
+  EXPECT_GT(cached.cache.contract_hits, 0u);
+}
+
+TEST(ParallelBatch, LadderCountersIdenticalAcrossJobs) {
+  // Blow the path budget so the retry ladder runs, then check the health
+  // counters (retries, salvaged, statuses) agree between jobs=1 and jobs=8.
+  std::vector<evm::Bytecode> codes(6, heavy_contract());
+  core::BatchOptions opts;
+  opts.limits.max_paths = 2;
+
+  opts.jobs = 1;
+  core::BatchResult seq = core::recover_batch(codes, opts);
+  opts.jobs = 8;
+  core::BatchResult par = core::recover_batch(codes, opts);
+  EXPECT_EQ(core::canonical_to_string(seq), core::canonical_to_string(par));
+  EXPECT_GE(seq.health.retries, 1u);
+  EXPECT_EQ(seq.health.retries, par.health.retries);
+  EXPECT_EQ(seq.health.salvaged, par.health.salvaged);
+}
+
+TEST(ParallelBatch, FunctionFanoutMatchesContractGranularity) {
+  // One wide contract (above the fan-out threshold) next to narrow ones:
+  // the function-granularity path must assemble the same report.
+  std::vector<evm::Bytecode> codes{wide_contract(), heavy_contract(), wide_contract()};
+  core::BatchOptions opts;
+  opts.function_fanout_threshold = 4;  // wide_contract has 5 functions
+  opts.jobs = 1;
+  std::string inline_path = core::canonical_to_string(core::recover_batch(codes, opts));
+  opts.jobs = 8;
+  std::string fanout_path = core::canonical_to_string(core::recover_batch(codes, opts));
+  EXPECT_EQ(inline_path, fanout_path);
+}
+
+TEST(ParallelBatch, FaultInjectedThrowIsIsolatedUnderParallelism) {
+  std::vector<evm::Bytecode> codes(8, wide_contract());
+  core::BatchOptions opts;
+  opts.jobs = 8;
+  opts.limits.fault.throw_at_path = 1;  // every function throws immediately
+  core::BatchResult batch = core::recover_batch(codes, opts);
+  ASSERT_EQ(batch.contracts.size(), codes.size());
+  for (const auto& report : batch.contracts) {
+    EXPECT_EQ(report.status, RecoveryStatus::InternalError);
+    for (const auto& fn : report.functions) {
+      EXPECT_EQ(fn.status, RecoveryStatus::InternalError);
+      EXPECT_TRUE(fn.partial);
+    }
+  }
+  EXPECT_EQ(batch.health.retries, 0u);  // internal errors are never retried
+}
+
+TEST(ParallelBatch, EmptyAndMalformedInputsKeepTheirSlots) {
+  std::vector<evm::Bytecode> codes;
+  codes.emplace_back();  // empty -> MalformedBytecode
+  codes.push_back(heavy_contract());
+  codes.emplace_back(evm::Bytes{0xfe});  // INVALID opcode only
+  core::BatchOptions opts;
+  opts.jobs = 4;
+  core::BatchResult batch = core::recover_batch(codes, opts);
+  ASSERT_EQ(batch.contracts.size(), 3u);
+  EXPECT_EQ(batch.contracts[0].index, 0u);
+  EXPECT_EQ(batch.contracts[0].status, RecoveryStatus::MalformedBytecode);
+  EXPECT_EQ(batch.contracts[1].index, 1u);
+  EXPECT_EQ(batch.contracts[1].status, RecoveryStatus::Complete);
+  EXPECT_EQ(batch.contracts[2].index, 2u);
+}
+
+// --- timing ------------------------------------------------------------------
+
+TEST(ParallelBatch, WallAndCpuSecondsAreBothReported) {
+  std::vector<evm::Bytecode> codes(4, heavy_contract());
+  core::BatchOptions opts;
+  opts.contract_cache = false;  // every contract does real work
+  opts.function_cache = false;
+  core::BatchResult batch = core::recover_batch(codes, opts);
+  EXPECT_GT(batch.wall_seconds, 0.0);
+  EXPECT_GT(batch.cpu_seconds, 0.0);
+  double summed = 0;
+  for (const auto& report : batch.contracts) summed += report.seconds;
+  EXPECT_DOUBLE_EQ(batch.cpu_seconds, summed);
+  // One worker: elapsed time covers all the work (plus scheduling slack).
+  EXPECT_GE(batch.wall_seconds, 0.5 * batch.cpu_seconds);
+}
+
+// --- caches ------------------------------------------------------------------
+
+TEST(RecoveryCache, IdenticalRuntimeCodeIsServedFromContractCache) {
+  // Two "deployments" of the same runtime code (different addresses are
+  // invisible at this layer — identity is the code hash).
+  std::vector<evm::Bytecode> codes(5, heavy_contract());
+  core::BatchOptions opts;  // jobs=1: deterministic hit counts
+  core::BatchResult batch = core::recover_batch(codes, opts);
+  EXPECT_EQ(batch.cache.contract_misses, 1u);
+  EXPECT_EQ(batch.cache.contract_hits, 4u);
+  ASSERT_EQ(batch.contracts.size(), 5u);
+  EXPECT_FALSE(batch.contracts[0].cache_hit);
+  std::string first = core::canonical_to_string(batch);
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_TRUE(batch.contracts[i].cache_hit);
+    ASSERT_EQ(batch.contracts[i].functions.size(), batch.contracts[0].functions.size());
+    for (std::size_t f = 0; f < batch.contracts[i].functions.size(); ++f) {
+      EXPECT_EQ(batch.contracts[i].functions[f].to_string(),
+                batch.contracts[0].functions[f].to_string());
+    }
+  }
+}
+
+TEST(RecoveryCache, FunctionBodyCacheHitsAcrossDuplicatesWithoutContractCache) {
+  std::vector<evm::Bytecode> codes(4, wide_contract());
+  core::BatchOptions opts;
+  opts.contract_cache = false;  // force the function-level cache to do the work
+  core::BatchResult batch = core::recover_batch(codes, opts);
+  EXPECT_EQ(batch.cache.contract_hits + batch.cache.contract_misses, 0u);
+  EXPECT_GT(batch.cache.function_hits, 0u);
+
+  opts.function_cache = false;
+  core::BatchResult bare = core::recover_batch(codes, opts);
+  EXPECT_EQ(core::canonical_to_string(batch), core::canonical_to_string(bare));
+}
+
+TEST(RecoveryCache, FunctionBodyKeyDistinguishesSelectorAndConvention) {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges{{0, 16}, {32, 64}};
+  evm::Bytecode code = heavy_contract();
+  auto base = core::function_body_key(code, 0xa9059cbb, 1, ranges);
+  EXPECT_NE(base, core::function_body_key(code, 0xa9059cbc, 1, ranges));
+  EXPECT_NE(base, core::function_body_key(code, 0xa9059cbb, 0, ranges));
+  std::vector<std::pair<std::size_t, std::size_t>> shifted{{1, 17}, {32, 64}};
+  EXPECT_NE(base, core::function_body_key(code, 0xa9059cbb, 1, shifted));
+  EXPECT_EQ(base, core::function_body_key(code, 0xa9059cbb, 1, ranges));
+}
+
+TEST(RecoveryCache, InternalErrorsAreNeverCached) {
+  core::RecoveryCache cache;
+  core::CachedContract entry;
+  entry.status = RecoveryStatus::InternalError;
+  evm::Hash256 key{};
+  cache.store_contract(key, entry);
+  EXPECT_FALSE(cache.find_contract(key).has_value());
+
+  core::FunctionOutcome outcome;
+  outcome.fn.status = RecoveryStatus::InternalError;
+  cache.store_function(key, outcome);
+  EXPECT_FALSE(cache.find_function(key).has_value());
+}
+
+TEST(RecoveryCache, ConcurrentMixedLookupsAndStoresAreSafe) {
+  // TSan coverage for the cache itself: hammer both maps from four threads.
+  core::RecoveryCache cache;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (std::uint32_t i = 0; i < 200; ++i) {
+        evm::Hash256 key{};
+        key[0] = static_cast<std::uint8_t>(i % 16);
+        key[1] = static_cast<std::uint8_t>(t % 2);
+        core::CachedContract entry;
+        entry.status = RecoveryStatus::Complete;
+        cache.store_contract(key, entry);
+        (void)cache.find_contract(key);
+        core::FunctionOutcome outcome;
+        cache.store_function(key, outcome);
+        (void)cache.find_function(key);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  core::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.contract_hits + stats.contract_misses, 4u * 200u);
+}
+
+// --- executor thread model ---------------------------------------------------
+
+TEST(ParallelBatch, ConcurrentExecutorsOnOneWarmedBytecodeAgree) {
+  // The per-worker arena story: two executors over the same (warmed)
+  // Bytecode, each owning its own ExprPool, must not interfere.
+  evm::Bytecode code = heavy_contract();
+  code.warm_analysis_caches();
+  core::SigRec tool;
+  auto baseline = tool.recover(code);
+  ASSERT_EQ(baseline.functions.size(), 1u);
+
+  std::vector<std::string> results(4);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < 4; ++t) {
+    threads.emplace_back([&tool, &code, &results, t] {
+      auto fn = tool.recover_function(code, 0);
+      auto real = tool.recover(code);
+      results[t] = real.functions.empty() ? "" : real.functions[0].to_string();
+      (void)fn;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const std::string& r : results) EXPECT_EQ(r, baseline.functions[0].to_string());
+}
+
+}  // namespace
+}  // namespace sigrec
