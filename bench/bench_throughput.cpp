@@ -13,6 +13,7 @@
 // against jobs=1 with caches off (the pre-parallel sequential engine). On a
 // single-core host the thread lever is flat and the cache lever carries the
 // speedup; on a multi-core host they compose.
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -20,6 +21,8 @@
 
 #include "bench_util.hpp"
 #include "sigrec/batch.hpp"
+#include "sigrec/journal.hpp"
+#include "sigrec/persist.hpp"
 
 namespace {
 
@@ -93,9 +96,85 @@ RunResult run_config(const std::vector<evm::Bytecode>& codes, RunConfig config) 
   return r;
 }
 
+// Persistence figures: the cross-process analogue of the cache sweep. A cold
+// scan populates a PersistentCacheStore on disk; a fresh process (here: a
+// fresh RecoveryCache) restores it and rescans — the warm run must do zero
+// fresh symbolic execution. The journal resume figure replays a fully
+// journaled scan, measuring pure replay overhead per contract.
+struct PersistResult {
+  double cold_wall = 0;      // scan that populated the cache, external cache attached
+  double compact_seconds = 0;  // snapshot + atomic rewrite of the cache file
+  double load_seconds = 0;     // tolerant load of the file into a fresh cache
+  double warm_wall = 0;        // rescan served entirely from the restored cache
+  double replay_wall = 0;      // journal resume replaying every contract
+  std::size_t cache_file_bytes = 0;
+  std::uint64_t warm_contract_misses = 0;  // must be 0: the acceptance bar
+  bool identical = false;  // cold, warm, and replayed canonicals all agree
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+PersistResult run_persistence(const std::vector<evm::Bytecode>& codes, unsigned jobs) {
+  PersistResult p;
+  std::string cache_path = "BENCH_throughput.cache.tmp";
+  std::string journal_path = "BENCH_throughput.journal.tmp";
+  core::PersistentCacheStore store(cache_path);
+
+  core::BatchOptions opts;
+  opts.jobs = jobs;
+
+  // Cold: fresh external cache, scan, compact to disk.
+  core::RecoveryCache cold_cache;
+  opts.cache = &cold_cache;
+  core::BatchResult cold = core::recover_batch(codes, opts);
+  p.cold_wall = cold.wall_seconds;
+  auto t0 = std::chrono::steady_clock::now();
+  bool compacted = store.compact_from(cold_cache);
+  p.compact_seconds = seconds_since(t0);
+  if (!compacted) std::fprintf(stderr, "persistent cache compaction failed\n");
+  if (auto bytes = core::read_file_bytes(cache_path)) p.cache_file_bytes = bytes->size();
+
+  // Warm: restore into a brand-new cache, rescan. Every contract must be a
+  // hit — zero fresh symbolic execution is the whole point of the file.
+  core::RecoveryCache warm_cache;
+  t0 = std::chrono::steady_clock::now();
+  (void)store.load_into(warm_cache);
+  p.load_seconds = seconds_since(t0);
+  opts.cache = &warm_cache;
+  core::BatchResult warm = core::recover_batch(codes, opts);
+  p.warm_wall = warm.wall_seconds;
+  p.warm_contract_misses = warm.cache.contract_misses;
+
+  // Journal resume: journal an uninterrupted run, then replay all of it.
+  opts.cache = nullptr;
+  std::string replay_canonical;
+  {
+    core::ScanJournal journal(journal_path, /*flush_interval=*/16);
+    opts.journal = &journal;
+    (void)core::recover_batch(codes, opts);
+    (void)journal.flush();
+  }
+  {
+    core::ScanJournal journal(journal_path, 16);
+    (void)journal.load();
+    opts.journal = &journal;
+    core::BatchResult replayed = core::recover_batch(codes, opts);
+    p.replay_wall = replayed.wall_seconds;
+    replay_canonical = core::canonical_to_string(replayed);
+  }
+
+  p.identical = core::canonical_to_string(cold) == core::canonical_to_string(warm) &&
+                core::canonical_to_string(cold) == replay_canonical;
+  std::remove(cache_path.c_str());
+  std::remove(journal_path.c_str());
+  return p;
+}
+
 void write_json(const char* path, const std::vector<RunResult>& runs, std::size_t uniques,
                 std::size_t contracts, std::size_t functions, double baseline_wall,
-                double best_wall) {
+                double best_wall, const PersistResult& persist) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -127,7 +206,20 @@ void write_json(const char* path, const std::vector<RunResult>& runs, std::size_
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"baseline_wall_seconds\": %.6f,\n", baseline_wall);
   std::fprintf(f, "  \"best_wall_seconds\": %.6f,\n", best_wall);
-  std::fprintf(f, "  \"headline_speedup\": %.3f\n", baseline_wall / best_wall);
+  std::fprintf(f, "  \"headline_speedup\": %.3f,\n", baseline_wall / best_wall);
+  std::fprintf(f,
+               "  \"persistent_cache\": {\"cold_wall_seconds\": %.6f, "
+               "\"compact_seconds\": %.6f, \"load_seconds\": %.6f, "
+               "\"warm_wall_seconds\": %.6f, \"warm_speedup\": %.3f, "
+               "\"warm_contract_misses\": %llu, \"cache_file_bytes\": %zu, "
+               "\"journal_replay_wall_seconds\": %.6f, "
+               "\"replay_overhead_ms_per_contract\": %.4f, \"canonical_identical\": %s}\n",
+               persist.cold_wall, persist.compact_seconds, persist.load_seconds,
+               persist.warm_wall, persist.cold_wall / persist.warm_wall,
+               static_cast<unsigned long long>(persist.warm_contract_misses),
+               persist.cache_file_bytes, persist.replay_wall,
+               1000.0 * persist.replay_wall / static_cast<double>(contracts),
+               persist.identical ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\n  wrote %s\n", path);
@@ -176,7 +268,21 @@ int main() {
   std::printf("  speedup jobs=8+caches vs jobs=1 sequential: %.2fx (best config %.2fx)\n",
               baseline.wall_seconds / shipped.wall_seconds, baseline.wall_seconds / best_wall);
 
+  // Persistence: cold-scan-then-compact vs warm restore, plus journal replay.
+  bench::print_header("Persistent cache: cold vs warm, journal replay");
+  PersistResult persist = run_persistence(codes, /*jobs=*/4);
+  std::printf("  %-34s %10.3fs (+ compact %.3fs, %zu bytes on disk)\n", "cold scan",
+              persist.cold_wall, persist.compact_seconds, persist.cache_file_bytes);
+  std::printf("  %-34s %10.3fs (+ load %.3fs) -> %.1fx, %llu fresh executions\n",
+              "warm scan from cache file", persist.warm_wall, persist.load_seconds,
+              persist.cold_wall / persist.warm_wall,
+              static_cast<unsigned long long>(persist.warm_contract_misses));
+  std::printf("  %-34s %10.3fs (%.3f ms/contract replay overhead)\n", "journal resume, full replay",
+              persist.replay_wall, 1000.0 * persist.replay_wall / static_cast<double>(codes.size()));
+  std::printf("  cold/warm/replayed canonical-identical: %s\n", persist.identical ? "yes" : "NO");
+  deterministic &= persist.identical && persist.warm_contract_misses == 0;
+
   write_json("BENCH_throughput.json", runs, kUniques, codes.size(), functions,
-             baseline.wall_seconds, best_wall);
+             baseline.wall_seconds, best_wall, persist);
   return deterministic ? 0 : 1;
 }

@@ -14,6 +14,21 @@
 //                                                 # hardware concurrency)
 //   example_sigrec_cli *.hex --no-cache           # disable the duplicate-
 //                                                 # code memo caches
+//   example_sigrec_cli *.hex --cache-file c.db    # persistent memo cache:
+//                                                 # loaded before the scan,
+//                                                 # compacted back after it
+//   example_sigrec_cli *.hex --journal j.db       # record per-contract
+//                                                 # completion for resume
+//   example_sigrec_cli *.hex --journal j.db --resume
+//                                                 # skip contracts the journal
+//                                                 # already has (crash resume)
+//   example_sigrec_cli *.hex -o out.txt           # canonical batch report,
+//                                                 # written atomically
+//
+// A batch run installs SIGINT/SIGTERM handlers for graceful shutdown:
+// in-flight contracts finish and are journaled, queued ones are skipped, the
+// journal is flushed and the cache file compacted before exit — so Ctrl-C
+// never loses completed work and the scan resumes with --resume.
 //
 // Output, one line per recovered public/external function, with an outcome
 // column saying why recovery stopped (complete, step-budget, path-budget,
@@ -24,8 +39,13 @@
 // then a health summary with wall/cpu seconds and cache hit rates.
 //
 // Exit codes: 0 all functions recovered completely; 1 at least one function
-// ended in a failure status (partial or no signature); 2 bad invocation or
-// unreadable/invalid input.
+// ended in a failure status (partial or no signature) or the scan was
+// interrupted; 2 bad invocation or unreadable/invalid input.
+#include <sys/stat.h>
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,10 +58,18 @@
 #include "apps/parchecker.hpp"
 #include "compiler/compile.hpp"
 #include "sigrec/batch.hpp"
+#include "sigrec/journal.hpp"
+#include "sigrec/persist.hpp"
 #include "sigrec/sigrec.hpp"
 #include "sigrec/work_stealing.hpp"
 
 namespace {
+
+// Set by the SIGINT/SIGTERM handler, observed by recover_batch at contract
+// granularity. Only a sig_atomic_t-compatible store happens in the handler.
+std::atomic<bool> g_stop{false};
+
+void handle_stop_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
 
 std::optional<std::string> read_input(const char* arg) {
   // A 0x-prefixed string is bytecode; anything else is a filename.
@@ -52,11 +80,21 @@ std::optional<std::string> read_input(const char* arg) {
   if (!in) return std::nullopt;  // unreadable file, distinct from empty file
   std::ostringstream buf;
   buf << in.rdbuf();
-  std::string text = buf.str();
-  while (!text.empty() && (text.back() == '\n' || text.back() == '\r' || text.back() == ' ')) {
-    text.pop_back();
+  return buf.str();
+}
+
+// Tolerant hex ingestion: real chain dumps arrive with trailing newlines,
+// embedded whitespace, uppercase digits, or no 0x prefix. Anything else —
+// odd digit counts, stray characters, empty input — is rejected with the
+// specific reason, never fed to recovery half-parsed.
+std::optional<sigrec::evm::Bytecode> parse_bytecode(const char* label, const std::string& hex) {
+  std::string error;
+  auto raw = sigrec::evm::bytes_from_hex_tolerant(hex, &error);
+  if (!raw.has_value()) {
+    std::fprintf(stderr, "error: input '%s': %s\n", label, error.c_str());
+    return std::nullopt;
   }
-  return text;
+  return sigrec::evm::Bytecode(std::move(*raw));
 }
 
 std::string demo_bytecode() {
@@ -67,6 +105,39 @@ std::string demo_bytecode() {
        compiler::make_function("setData", {"bytes", "bool"}),
        compiler::make_function("batch", {"uint256[]", "address"})});
   return compiler::compile_contract(spec).to_hex();
+}
+
+// Synthesizes `count` distinct runtime-bytecode files under `dir` — a
+// reproducible corpus for exercising batch scans (the crash-resume CI smoke
+// drives the CLI over one of these). Deterministic: same (dir, count) always
+// emits the same files.
+int emit_corpus(const char* dir, unsigned count) {
+  using namespace sigrec;
+  static const char* const kTypes[] = {"uint256",   "address", "bool",     "bytes",
+                                       "uint256[]", "bytes32", "string",   "uint8[4]",
+                                       "address[]", "int128"};
+  constexpr unsigned kTypeCount = sizeof(kTypes) / sizeof(kTypes[0]);
+  if (::mkdir(dir, 0777) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "error: cannot create directory '%s'\n", dir);
+    return 2;
+  }
+  for (unsigned i = 0; i < count; ++i) {
+    std::vector<compiler::FunctionSpec> functions;
+    unsigned fns = 3 + i % 6;
+    for (unsigned j = 0; j < fns; ++j) {
+      functions.push_back(compiler::make_function(
+          "f" + std::to_string(i) + "_" + std::to_string(j),
+          {kTypes[(i + j) % kTypeCount], kTypes[(i * 7 + j * 3) % kTypeCount]}));
+    }
+    auto spec = compiler::make_contract("C" + std::to_string(i), {}, functions);
+    std::string path = std::string(dir) + "/contract_" + std::to_string(i) + ".hex";
+    if (!core::atomic_write_file(path, compiler::compile_contract(spec).to_hex() + "\n")) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+      return 2;
+    }
+  }
+  std::printf("emitted %u contracts under %s\n", count, dir);
+  return 0;
 }
 
 int decode_calldata(const sigrec::core::RecoveryResult& recovery, const std::string& hex) {
@@ -104,10 +175,17 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <0xbytecode | file.hex | --demo>... [--decode 0xcalldata]"
                " [--deadline-ms <ms>] [--jobs <n>] [--no-cache]\n"
+               "          [--cache-file <path>] [--journal <path>] [--resume]"
+               " [--output|-o <path>] [--watchdog-ms <ms>] [--flush-interval <n>]\n"
+               "       %s --emit-corpus <dir> <n>   # synthesize a test corpus\n"
                "recovers function signatures from EVM runtime bytecode; several\n"
                "inputs run as one parallel batch (--jobs workers, default: all\n"
-               "hardware threads; duplicate runtime code served from memo caches)\n",
-               argv0);
+               "hardware threads; duplicate runtime code served from memo caches).\n"
+               "--cache-file persists the memo cache across invocations;\n"
+               "--journal records per-contract completion and --resume replays it,\n"
+               "so a killed scan continues where it stopped. --output writes the\n"
+               "canonical batch report atomically (temp file + rename).\n",
+               argv0, argv0);
   return 2;
 }
 
@@ -119,8 +197,20 @@ void print_function_row(const sigrec::core::RecoveredFunction& fn) {
               1000.0 * fn.seconds, outcome.c_str());
 }
 
+struct CliOptions {
+  double deadline_ms = 0;
+  unsigned jobs = 0;  // 0 = hardware concurrency
+  bool caches = true;
+  const char* cache_file = nullptr;
+  const char* journal_file = nullptr;
+  bool resume = false;
+  const char* output_file = nullptr;
+  double watchdog_ms = 0;
+  std::size_t flush_interval = 16;
+};
+
 int run_batch(const std::vector<const char*>& inputs, const sigrec::symexec::Limits& limits,
-              unsigned jobs, bool caches) {
+              const CliOptions& cli) {
   using namespace sigrec;
   std::vector<evm::Bytecode> codes;
   std::vector<std::string> labels;
@@ -132,35 +222,92 @@ int run_batch(const std::vector<const char*>& inputs, const sigrec::symexec::Lim
       std::fprintf(stderr, "error: cannot read input file '%s'\n", input);
       return 2;
     }
-    auto code = evm::Bytecode::from_hex(*hex);
-    if (!code.has_value()) {
-      std::fprintf(stderr, "error: input '%s' is not valid hex bytecode\n", input);
-      return 2;
-    }
-    codes.push_back(std::move(*code));  // empty stays in: reported as malformed
+    std::optional<evm::Bytecode> code = parse_bytecode(input, *hex);
+    if (!code.has_value()) return 2;
+    codes.push_back(std::move(*code));
     labels.emplace_back(input);
+  }
+
+  // Persistent cache: restore before the scan, compact back after it. A
+  // corrupt or foreign-version file degrades to a (partially) cold start.
+  core::RecoveryCache persistent_cache;
+  std::optional<core::PersistentCacheStore> store;
+  if (cli.cache_file != nullptr) {
+    store.emplace(cli.cache_file);
+    core::LoadStats stats = store->load_into(persistent_cache);
+    if (stats.loaded != 0 || stats.skipped() != 0) {
+      std::fprintf(stderr, "cache-file: %s\n", stats.to_string().c_str());
+    }
+  }
+
+  // Scan journal: without --resume any stale journal is dropped so records
+  // from an unrelated input list cannot linger; with --resume its entries
+  // replay (keyed by input position AND code hash, so edited inputs recompute
+  // rather than replaying wrong reports).
+  std::optional<core::ScanJournal> journal;
+  if (cli.journal_file != nullptr) {
+    if (!cli.resume) std::remove(cli.journal_file);
+    journal.emplace(cli.journal_file, cli.flush_interval);
+    if (cli.resume) {
+      core::LoadStats stats = journal->load();
+      std::fprintf(stderr, "resume: %zu contracts journaled (%s)\n", journal->entries(),
+                   stats.to_string().c_str());
+    }
   }
 
   core::BatchOptions opts;
   opts.limits = limits;
-  opts.jobs = jobs;
-  opts.contract_cache = caches;
-  opts.function_cache = caches;
+  opts.jobs = cli.jobs;
+  opts.contract_cache = cli.caches;
+  opts.function_cache = cli.caches;
+  if (store.has_value()) opts.cache = &persistent_cache;
+  if (journal.has_value()) opts.journal = &*journal;
+  opts.stop = &g_stop;
+  opts.watchdog_seconds = cli.watchdog_ms / 1000.0;
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
   core::BatchResult batch = core::recover_batch(codes, opts);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  // Durability before reporting: completed work must survive even if the
+  // terminal pipe is already gone.
+  if (journal.has_value() && !journal->flush()) {
+    std::fprintf(stderr, "warning: could not flush journal '%s'\n", journal->path().c_str());
+  }
+  if (store.has_value() && !store->compact_from(persistent_cache)) {
+    std::fprintf(stderr, "warning: could not write cache file '%s'\n", store->path().c_str());
+  }
+  if (cli.output_file != nullptr &&
+      !core::atomic_write_file(cli.output_file, core::canonical_to_string(batch))) {
+    std::fprintf(stderr, "error: could not write output file '%s'\n", cli.output_file);
+    return 2;
+  }
 
   bool any_failure = false;
   for (const core::ContractReport& report : batch.contracts) {
+    if (report.interrupted) {
+      std::printf("== %s  interrupted\n", labels[report.index].c_str());
+      continue;
+    }
+    const char* origin = report.replayed ? "  (resumed)" : report.cache_hit ? "  (cached)" : "";
     std::printf("== %s  %s%s\n", labels[report.index].c_str(),
-                std::string(symexec::status_name(report.status)).c_str(),
-                report.cache_hit ? "  (cached)" : "");
+                std::string(symexec::status_name(report.status)).c_str(), origin);
     if (!report.error.empty()) std::printf("   error: %s\n", report.error.c_str());
     for (const auto& fn : report.functions) print_function_row(fn);
     any_failure |= symexec::is_failure(report.status);
   }
   std::fprintf(stderr, "%s\n", batch.health.to_string().c_str());
   std::fprintf(stderr, "wall=%.3fs cpu=%.3fs jobs=%u %s\n", batch.wall_seconds,
-               batch.cpu_seconds, core::WorkStealingPool::resolve_jobs(jobs),
+               batch.cpu_seconds, core::WorkStealingPool::resolve_jobs(cli.jobs),
                batch.cache.to_string().c_str());
+  if (batch.health.interrupted != 0) {
+    std::fprintf(stderr, "interrupted: %llu contracts not scanned%s\n",
+                 static_cast<unsigned long long>(batch.health.interrupted),
+                 journal.has_value() ? "; rerun with --resume to finish" : "");
+    return 1;
+  }
   return any_failure ? 1 : 0;
 }
 
@@ -170,38 +317,79 @@ int main(int argc, char** argv) {
   using namespace sigrec;
   std::vector<const char*> inputs;
   const char* decode_hex = nullptr;
-  double deadline_ms = 0;
-  unsigned jobs = 0;  // 0 = hardware concurrency
-  bool caches = true;
+  CliOptions cli;
   for (int i = 1; i < argc; ++i) {
+    auto number_arg = [&](double& out) {
+      if (i + 1 >= argc) return false;
+      char* end = nullptr;
+      out = std::strtod(argv[++i], &end);
+      return end != argv[i] && *end == '\0' && out >= 0;
+    };
+    if (std::strcmp(argv[i], "--emit-corpus") == 0 && i + 2 < argc) {
+      const char* dir = argv[i + 1];
+      char* end = nullptr;
+      unsigned long count = std::strtoul(argv[i + 2], &end, 10);
+      if (end == argv[i + 2] || *end != '\0' || count == 0 || count > 100000) {
+        return usage(argv[0]);
+      }
+      return emit_corpus(dir, static_cast<unsigned>(count));
+    }
     if (std::strcmp(argv[i], "--decode") == 0 && i + 1 < argc) {
       decode_hex = argv[++i];
-    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
-      char* end = nullptr;
-      deadline_ms = std::strtod(argv[++i], &end);
-      if (end == argv[i] || *end != '\0' || deadline_ms < 0) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      if (!number_arg(cli.deadline_ms)) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--watchdog-ms") == 0) {
+      if (!number_arg(cli.watchdog_ms)) return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       char* end = nullptr;
       unsigned long parsed = std::strtoul(argv[++i], &end, 10);
       if (end == argv[i] || *end != '\0' || parsed > 4096) return usage(argv[0]);
-      jobs = static_cast<unsigned>(parsed);
+      cli.jobs = static_cast<unsigned>(parsed);
+    } else if (std::strcmp(argv[i], "--flush-interval") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || parsed == 0) return usage(argv[0]);
+      cli.flush_interval = static_cast<std::size_t>(parsed);
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
-      caches = false;
+      cli.caches = false;
+    } else if (std::strcmp(argv[i], "--cache-file") == 0 && i + 1 < argc) {
+      cli.cache_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+      cli.journal_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      cli.resume = true;
+    } else if ((std::strcmp(argv[i], "--output") == 0 || std::strcmp(argv[i], "-o") == 0) &&
+               i + 1 < argc) {
+      cli.output_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--demo") == 0) {
+      inputs.push_back(argv[i]);
+    } else if (argv[i][0] == '-' && argv[i][1] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", argv[i]);
+      return usage(argv[0]);
     } else {
       inputs.push_back(argv[i]);
     }
   }
   if (inputs.empty()) return usage(argv[0]);
+  if (cli.resume && cli.journal_file == nullptr) {
+    std::fprintf(stderr, "error: --resume needs --journal <path>\n");
+    return 2;
+  }
+  if (cli.cache_file != nullptr && !cli.caches) {
+    std::fprintf(stderr, "error: --cache-file needs the memo caches (drop --no-cache)\n");
+    return 2;
+  }
 
   symexec::Limits limits;
-  limits.budget.deadline_seconds = deadline_ms / 1000.0;
+  limits.budget.deadline_seconds = cli.deadline_ms / 1000.0;
 
-  if (inputs.size() > 1) {
+  if (inputs.size() > 1 || cli.journal_file != nullptr || cli.cache_file != nullptr ||
+      cli.output_file != nullptr) {
     if (decode_hex != nullptr) {
-      std::fprintf(stderr, "error: --decode needs exactly one input\n");
+      std::fprintf(stderr, "error: --decode needs exactly one plain input\n");
       return 2;
     }
-    return run_batch(inputs, limits, jobs, caches);
+    return run_batch(inputs, limits, cli);
   }
 
   const char* input = inputs[0];
@@ -215,15 +403,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (hex->empty()) {
-    std::fprintf(stderr, "error: input '%s' is empty, expected hex bytecode\n", input);
-    return 2;
-  }
-  auto code = evm::Bytecode::from_hex(*hex);
-  if (!code.has_value() || code->empty()) {
-    std::fprintf(stderr, "error: input is not valid hex bytecode\n");
-    return 2;
-  }
+  std::optional<evm::Bytecode> code = parse_bytecode(input, *hex);
+  if (!code.has_value()) return 2;
 
   core::SigRec tool(limits);
   core::RecoveryResult result = tool.recover(*code);

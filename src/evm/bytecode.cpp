@@ -30,6 +30,44 @@ std::optional<Bytes> bytes_from_hex(std::string_view hex) {
   return out;
 }
 
+std::optional<Bytes> bytes_from_hex_tolerant(std::string_view hex, std::string* error) {
+  auto fail = [error](std::string reason) -> std::optional<Bytes> {
+    if (error != nullptr) *error = std::move(reason);
+    return std::nullopt;
+  };
+  std::string digits;
+  digits.reserve(hex.size());
+  for (std::size_t i = 0; i < hex.size(); ++i) {
+    char c = hex[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f') continue;
+    if (hex_digit(c) < 0 && c != 'x' && c != 'X') {
+      return fail("invalid hex character '" + std::string(1, c) + "' at offset " +
+                  std::to_string(i));
+    }
+    digits.push_back(c);
+  }
+  std::string_view view = digits;
+  if (view.starts_with("0x") || view.starts_with("0X")) view.remove_prefix(2);
+  if (view.empty()) return fail("empty input (no hex digits)");
+  if (view.size() % 2 != 0) {
+    return fail("odd number of hex digits (" + std::to_string(view.size()) + ")");
+  }
+  Bytes out;
+  out.reserve(view.size() / 2);
+  for (std::size_t i = 0; i < view.size(); i += 2) {
+    int hi = hex_digit(view[i]);
+    int lo = hex_digit(view[i + 1]);
+    if (hi < 0 || lo < 0) {
+      // Only a stray 'x'/'X' (tolerated above as a possible prefix) lands
+      // here — it survived the scan but is not a digit.
+      return fail(std::string("invalid hex character '") + (hi < 0 ? view[i] : view[i + 1]) +
+                  "'");
+    }
+    out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
 std::string bytes_to_hex(std::span<const std::uint8_t> data, bool prefix) {
   static constexpr char kDigits[] = "0123456789abcdef";
   std::string s;

@@ -15,6 +15,16 @@ using Bytes = std::vector<std::uint8_t>;
 
 // Parses an optionally 0x-prefixed even-length hex string.
 [[nodiscard]] std::optional<Bytes> bytes_from_hex(std::string_view hex);
+
+// Hardened hex ingestion for untrusted CLI / file input. Tolerates what
+// well-formed-but-messy sources produce — embedded whitespace and newlines
+// (wrapped .hex files), any-case digits, an optional 0x/0X prefix — and
+// rejects everything else with a specific reason instead of relying on the
+// caller to pre-sanitize: empty input (nothing but whitespace), an odd
+// number of hex digits, or a non-hex byte. On failure returns nullopt and,
+// when `error` is non-null, writes a one-line human-readable reason.
+[[nodiscard]] std::optional<Bytes> bytes_from_hex_tolerant(std::string_view hex,
+                                                           std::string* error = nullptr);
 [[nodiscard]] std::string bytes_to_hex(std::span<const std::uint8_t> data,
                                        bool prefix = true);
 

@@ -7,9 +7,11 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "sigrec/function_extractor.hpp"
+#include "sigrec/journal.hpp"
 #include "sigrec/work_stealing.hpp"
 
 namespace sigrec::core {
@@ -53,6 +55,8 @@ std::string BatchHealth::to_string() const {
     out += '=' + std::to_string(function_status[i]);
   }
   out += " retries=" + std::to_string(retries) + " salvaged=" + std::to_string(salvaged);
+  if (replayed != 0) out += " replayed=" + std::to_string(replayed);
+  if (interrupted != 0) out += " interrupted=" + std::to_string(interrupted);
   char times[96];
   std::snprintf(times, sizeof times, " worst-fn=%.3fms worst-contract=%.3fms",
                 1000.0 * worst_function_seconds, 1000.0 * worst_contract_seconds);
@@ -68,6 +72,21 @@ double now_seconds() {
       .count();
 }
 
+std::int64_t now_millis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Per-contract bookkeeping for the stuck-worker watchdog: when a contract
+// started (0 = not currently in flight) and its cooperative cancel flag,
+// observed by the symbolic executor at deadline-check boundaries.
+struct WatchdogState {
+  explicit WatchdogState(std::size_t n) : start_ms(n), cancel(n) {}
+  std::vector<std::atomic<std::int64_t>> start_ms;
+  std::vector<std::atomic<bool>> cancel;
+};
+
 // Shared, read-only view of one batch run for every task on the pool.
 struct BatchContext {
   std::span<const evm::Bytecode> codes;
@@ -76,7 +95,26 @@ struct BatchContext {
   RecoveryCache& cache;
   std::vector<ContractReport>& reports;  // one pre-allocated slot per contract
   WorkStealingPool& pool;
+  WatchdogState* watchdog = nullptr;  // non-null iff opts.watchdog_seconds > 0
 };
+
+void run_contract_task(const BatchContext& ctx, std::size_t index);
+
+bool stop_requested(const BatchContext& ctx) {
+  return ctx.opts.stop != nullptr && ctx.opts.stop->load(std::memory_order_relaxed);
+}
+
+// Journals a finished contract (never InternalError — the journal drops
+// those) and fires the progress callback. Every path that completes a
+// contract's report funnels through here, so a resumable scan records cache
+// hits and malformed inputs the same as freshly computed recoveries.
+void contract_done(const BatchContext& ctx, std::size_t index, const evm::Hash256* code_hash,
+                   const CachedContract* entry, double seconds) {
+  if (ctx.opts.journal != nullptr && code_hash != nullptr && entry != nullptr) {
+    ctx.opts.journal->record(index, *code_hash, *entry, seconds);
+  }
+  if (ctx.opts.on_contract_done) ctx.opts.on_contract_done(ctx.reports[index]);
+}
 
 // One function's recovery, re-run down the ladder if the first attempt blew
 // a budget. A rung that completes yields a signature from a *finished* (if
@@ -86,17 +124,42 @@ struct BatchContext {
 // impossible. The truncated wide exploration often carries richer type
 // evidence per slot than a finished narrow one, so the retry only wins when
 // it recovers strictly more parameters — salvage fills gaps, never relabels.
+//
+// `cancel` (non-null iff the watchdog is armed) is threaded into every
+// rung's budget; once the watchdog fires, the current rung stops at its next
+// deadline check and the remaining rungs are skipped — the function is
+// escalated to a timed-out outcome instead of burning more of a wedged
+// contract's time.
 FunctionOutcome recover_with_ladder(const BatchContext& ctx, const evm::Bytecode& code,
-                                    std::uint32_t selector) {
+                                    std::uint32_t selector,
+                                    const std::atomic<bool>* cancel) {
   FunctionOutcome out;
-  out.fn = ctx.tool.recover_function(code, selector);
+  if (cancel == nullptr) {
+    out.fn = ctx.tool.recover_function(code, selector);
+  } else {
+    symexec::Limits limits = ctx.opts.limits;
+    limits.budget.cancel = cancel;
+    out.fn = SigRec(limits).recover_function(code, selector);
+  }
+  auto cancelled = [cancel] {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  };
+  if (cancelled()) {
+    if (out.fn.status == RecoveryStatus::DeadlineExceeded && out.fn.error.empty()) {
+      out.fn.error = "timed out by stuck-worker watchdog";
+    }
+    out.fn.partial = symexec::is_failure(out.fn.status);
+    return out;
+  }
   if (!ctx.opts.retry_budget_exhausted || ctx.opts.max_retries <= 0 ||
       !symexec::is_budget_exhaustion(out.fn.status)) {
     return out;
   }
-  for (int rung = 1; rung <= ctx.opts.max_retries; ++rung) {
+  for (int rung = 1; rung <= ctx.opts.max_retries && !cancelled(); ++rung) {
     ++out.retries;
-    SigRec degraded(ladder_limits(ctx.opts, rung));
+    symexec::Limits limits = ladder_limits(ctx.opts, rung);
+    limits.budget.cancel = cancel;
+    SigRec degraded(limits);
     RecoveredFunction retry = degraded.recover_function(code, out.fn.selector);
     out.fn.seconds += retry.seconds;
     out.fn.symbolic_steps += retry.symbolic_steps;
@@ -125,7 +188,9 @@ struct ContractPlan {
   std::vector<std::optional<evm::Hash256>> body_keys;
   std::vector<FunctionOutcome> outcomes;  // slot per selector, no resizing
   evm::Hash256 code_hash{};
+  bool have_code_hash = false;
   bool store_in_contract_cache = false;
+  bool claimed = false;  // owner of an in-flight dedup entry; must publish
   double prep_seconds = 0;  // extraction + hashing, before any symbolic run
   std::atomic<std::size_t> remaining{0};
 };
@@ -135,35 +200,11 @@ FunctionOutcome run_function(const BatchContext& ctx, const ContractPlan& plan, 
   if (key.has_value()) {
     if (std::optional<FunctionOutcome> hit = ctx.cache.find_function(*key)) return *hit;
   }
-  FunctionOutcome out = recover_with_ladder(ctx, *plan.code, plan.selectors[j]);
+  const std::atomic<bool>* cancel =
+      ctx.watchdog != nullptr ? &ctx.watchdog->cancel[plan.index] : nullptr;
+  FunctionOutcome out = recover_with_ladder(ctx, *plan.code, plan.selectors[j], cancel);
   if (key.has_value()) ctx.cache.store_function(*key, out);
   return out;
-}
-
-// Assembles the report for a fully recovered contract from its per-function
-// outcomes (in dispatcher order) and feeds the contract-level cache. Shared
-// by the inline path and the fan-out finalizer so both produce bytewise
-// identical reports.
-void finalize_report(const BatchContext& ctx, const ContractPlan& plan) {
-  ContractReport& report = ctx.reports[plan.index];
-  report.index = plan.index;
-  report.status = RecoveryStatus::Complete;
-  report.seconds = plan.prep_seconds;
-  for (const FunctionOutcome& outcome : plan.outcomes) {
-    report.status = symexec::worst_status(report.status, outcome.fn.status);
-    if (report.error.empty()) report.error = outcome.fn.error;
-    report.seconds += outcome.fn.seconds;
-    report.retries += outcome.retries;
-    report.salvaged += outcome.salvaged;
-    report.functions.push_back(outcome.fn);
-  }
-  if (plan.store_in_contract_cache) {
-    CachedContract entry;
-    entry.status = report.status;
-    entry.error = report.error;
-    entry.functions = plan.outcomes;
-    ctx.cache.store_contract(plan.code_hash, entry);
-  }
 }
 
 void fill_from_cache(ContractReport& report, const CachedContract& hit) {
@@ -180,6 +221,58 @@ void fill_from_cache(ContractReport& report, const CachedContract& hit) {
     report.salvaged += outcome.salvaged;
     report.functions.push_back(outcome.fn);
   }
+}
+
+// Assembles the report for a fully recovered contract from its per-function
+// outcomes (in dispatcher order), feeds the contract-level cache, serves any
+// deduplicated in-flight waiters, and journals the completion. Shared by the
+// inline path and the fan-out finalizer so both produce bytewise identical
+// reports.
+void finalize_report(const BatchContext& ctx, const ContractPlan& plan) {
+  ContractReport& report = ctx.reports[plan.index];
+  report.index = plan.index;
+  report.status = RecoveryStatus::Complete;
+  report.seconds = plan.prep_seconds;
+  for (const FunctionOutcome& outcome : plan.outcomes) {
+    report.status = symexec::worst_status(report.status, outcome.fn.status);
+    if (report.error.empty()) report.error = outcome.fn.error;
+    report.seconds += outcome.fn.seconds;
+    report.retries += outcome.retries;
+    report.salvaged += outcome.salvaged;
+    report.functions.push_back(outcome.fn);
+  }
+
+  CachedContract entry;
+  entry.status = report.status;
+  entry.error = report.error;
+  entry.functions = plan.outcomes;
+  if (plan.store_in_contract_cache) {
+    if (plan.claimed) {
+      std::vector<std::size_t> waiters = ctx.cache.publish_contract(plan.code_hash, entry);
+      if (entry.status != RecoveryStatus::InternalError) {
+        for (std::size_t waiter : waiters) {
+          ContractReport& dup = ctx.reports[waiter];
+          dup.index = waiter;
+          fill_from_cache(dup, entry);
+          contract_done(ctx, waiter, &plan.code_hash, &entry, dup.seconds);
+        }
+      } else {
+        // A crash must not poison its duplicates: nothing was cached, so the
+        // registered waiters recompute (the first respawn becomes the new
+        // in-flight owner).
+        for (std::size_t waiter : waiters) {
+          ctx.pool.spawn([&ctx, waiter] { run_contract_task(ctx, waiter); });
+        }
+      }
+    } else {
+      ctx.cache.store_contract(plan.code_hash, entry);
+    }
+  }
+  if (ctx.watchdog != nullptr) {
+    ctx.watchdog->start_ms[plan.index].store(0, std::memory_order_release);
+  }
+  contract_done(ctx, plan.index, plan.have_code_hash ? &plan.code_hash : nullptr, &entry,
+                report.seconds);
 }
 
 void run_function_task(const BatchContext& ctx, const std::shared_ptr<ContractPlan>& plan,
@@ -206,31 +299,64 @@ void run_function_task(const BatchContext& ctx, const std::shared_ptr<ContractPl
 void run_contract_task(const BatchContext& ctx, std::size_t index) {
   ContractReport& report = ctx.reports[index];
   report.index = index;
+  // Graceful shutdown: contracts that have not started yet return
+  // immediately (and are not journaled), so a signaled scan quiesces at
+  // contract granularity and the journal resumes it later.
+  if (stop_requested(ctx)) {
+    report.interrupted = true;
+    return;
+  }
   double start = now_seconds();
+  bool claimed = false;
+  evm::Hash256 code_hash{};
   // Isolation boundary: SigRec::recover_function already converts
   // lower-layer exceptions, but nothing a single contract does may stall or
   // kill the batch — so even allocation failures here become an
   // InternalError row.
   try {
     const evm::Bytecode& code = ctx.codes[index];
+    const bool need_hash = ctx.opts.contract_cache || ctx.opts.journal != nullptr;
+    if (need_hash) code_hash = code.code_hash();
     if (code.empty()) {
       report.status = RecoveryStatus::MalformedBytecode;
       report.error = "empty bytecode";
       report.seconds = now_seconds() - start;
+      CachedContract entry;
+      entry.status = report.status;
+      entry.error = report.error;
+      contract_done(ctx, index, need_hash ? &code_hash : nullptr, &entry, report.seconds);
       return;
     }
 
     auto plan = std::make_shared<ContractPlan>();
     plan->index = index;
     plan->code = &code;
+    plan->code_hash = code_hash;
+    plan->have_code_hash = need_hash;
     if (ctx.opts.contract_cache) {
-      plan->code_hash = code.code_hash();
       plan->store_in_contract_cache = true;
-      if (std::optional<CachedContract> hit = ctx.cache.find_contract(plan->code_hash)) {
+      if (ctx.opts.in_flight_dedup) {
+        ContractClaim claim = ctx.cache.claim_contract(code_hash, index);
+        if (claim.kind == ClaimKind::Hit) {
+          fill_from_cache(report, *claim.hit);
+          report.seconds = now_seconds() - start;
+          contract_done(ctx, index, &code_hash, &*claim.hit, report.seconds);
+          return;
+        }
+        if (claim.kind == ClaimKind::Registered) {
+          return;  // the in-flight owner fills (and journals) this slot
+        }
+        claimed = true;
+        plan->claimed = true;
+      } else if (std::optional<CachedContract> hit = ctx.cache.find_contract(code_hash)) {
         fill_from_cache(report, *hit);
         report.seconds = now_seconds() - start;
+        contract_done(ctx, index, &code_hash, &*hit, report.seconds);
         return;
       }
+    }
+    if (ctx.watchdog != nullptr) {
+      ctx.watchdog->start_ms[index].store(now_millis(), std::memory_order_release);
     }
 
     plan->selectors = extract_function_ids(code);
@@ -284,6 +410,19 @@ void run_contract_task(const BatchContext& ctx, std::size_t index) {
     report.error = "unknown exception";
     report.seconds = now_seconds() - start;
   }
+  if (report.status == RecoveryStatus::InternalError) {
+    // The catch paths: release watchdog tracking and the in-flight claim so
+    // registered duplicates recompute instead of waiting forever.
+    if (ctx.watchdog != nullptr) {
+      ctx.watchdog->start_ms[index].store(0, std::memory_order_release);
+    }
+    if (claimed) {
+      for (std::size_t waiter : ctx.cache.abandon_contract(code_hash)) {
+        ctx.pool.spawn([&ctx, waiter] { run_contract_task(ctx, waiter); });
+      }
+    }
+    contract_done(ctx, index, nullptr, nullptr, report.seconds);
+  }
 }
 
 }  // namespace
@@ -294,29 +433,98 @@ BatchResult recover_batch(std::span<const evm::Bytecode> codes, const BatchOptio
   batch.contracts.resize(codes.size());
 
   SigRec tool(opts.limits);
-  RecoveryCache cache;
+  RecoveryCache local_cache;
+  RecoveryCache& cache = opts.cache != nullptr ? *opts.cache : local_cache;
   WorkStealingPool pool(WorkStealingPool::resolve_jobs(opts.jobs));
-  BatchContext ctx{codes, opts, tool, cache, batch.contracts, pool};
+  std::optional<WatchdogState> watchdog;
+  if (opts.watchdog_seconds > 0 && !codes.empty()) watchdog.emplace(codes.size());
+  BatchContext ctx{codes,           opts, tool, cache, batch.contracts,
+                   pool,            watchdog.has_value() ? &*watchdog : nullptr};
+
+  // Resume pre-pass: contracts the journal already has (same position, same
+  // runtime code) replay without touching the pool; their entries also seed
+  // the contract cache so unfinished duplicates hit instead of recomputing.
+  std::vector<char> replayed(codes.size(), 0);
+  if (opts.journal != nullptr) {
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      evm::Hash256 hash = codes[i].code_hash();
+      const ScanJournal::Entry* entry = opts.journal->find(i, hash);
+      if (entry == nullptr) continue;
+      ContractReport& report = batch.contracts[i];
+      report.index = i;
+      fill_from_cache(report, entry->contract);
+      report.cache_hit = false;
+      report.replayed = true;
+      report.seconds = entry->seconds;
+      if (opts.contract_cache) cache.preload_contract(hash, entry->contract);
+      replayed[i] = 1;
+      if (opts.on_contract_done) opts.on_contract_done(report);
+    }
+  }
+
   for (std::size_t i = 0; i < codes.size(); ++i) {
+    if (replayed[i]) continue;
     pool.spawn([&ctx, i] { run_contract_task(ctx, i); });
   }
+
+  // The stuck-worker watchdog: a sampling monitor that flips a contract's
+  // cooperative cancel flag once it has been in flight past the budget. The
+  // executor observes the flag at its deadline-check cadence, so a wedged
+  // recovery degrades to a timed-out report instead of blocking quiescence.
+  std::atomic<bool> watchdog_quit{false};
+  std::thread watchdog_thread;
+  if (watchdog.has_value()) {
+    watchdog_thread = std::thread([&watchdog, &watchdog_quit, &opts] {
+      const std::int64_t budget_ms = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(opts.watchdog_seconds * 1000.0));
+      const auto poll =
+          std::chrono::milliseconds(std::clamp<std::int64_t>(budget_ms / 4, 1, 100));
+      while (!watchdog_quit.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(poll);
+        std::int64_t now = now_millis();
+        for (std::size_t i = 0; i < watchdog->start_ms.size(); ++i) {
+          std::int64_t started = watchdog->start_ms[i].load(std::memory_order_acquire);
+          if (started != 0 && now - started >= budget_ms) {
+            watchdog->cancel[i].store(true, std::memory_order_release);
+          }
+        }
+      }
+    });
+  }
+
   pool.run();
+  if (watchdog_thread.joinable()) {
+    watchdog_quit.store(true, std::memory_order_release);
+    watchdog_thread.join();
+  }
 
   // Health aggregation runs after the pool has quiesced, over the reports in
   // input order — every counter is deterministic whatever the schedule was.
   for (const ContractReport& report : batch.contracts) {
     ++batch.health.contracts;
+    if (report.interrupted) {
+      ++batch.health.interrupted;
+      continue;  // carries no result; not a status
+    }
     ++batch.health.contract_status[static_cast<std::size_t>(report.status)];
-    batch.health.worst_contract_seconds =
-        std::max(batch.health.worst_contract_seconds, report.seconds);
     batch.health.retries += report.retries;
     batch.health.salvaged += report.salvaged;
-    batch.cpu_seconds += report.seconds;
+    if (report.replayed) {
+      ++batch.health.replayed;
+    } else {
+      // Timing counters measure work done by THIS run; a replayed report's
+      // seconds are the original run's cost, kept for display only.
+      batch.health.worst_contract_seconds =
+          std::max(batch.health.worst_contract_seconds, report.seconds);
+      batch.cpu_seconds += report.seconds;
+    }
     for (const RecoveredFunction& fn : report.functions) {
       ++batch.health.functions;
       ++batch.health.function_status[static_cast<std::size_t>(fn.status)];
-      batch.health.worst_function_seconds =
-          std::max(batch.health.worst_function_seconds, fn.seconds);
+      if (!report.replayed) {
+        batch.health.worst_function_seconds =
+            std::max(batch.health.worst_function_seconds, fn.seconds);
+      }
     }
   }
   batch.cache = cache.stats();
@@ -327,6 +535,12 @@ BatchResult recover_batch(std::span<const evm::Bytecode> codes, const BatchOptio
 std::string canonical_to_string(const BatchResult& batch) {
   std::string out;
   for (const ContractReport& report : batch.contracts) {
+    if (report.interrupted) {
+      // Only possible in a stopped (partial) run, which is outside the
+      // determinism guarantee until resumed to completion.
+      out += "contract " + std::to_string(report.index) + " interrupted\n";
+      continue;
+    }
     out += "contract " + std::to_string(report.index) +
            " status=" + std::string(symexec::status_name(report.status)) +
            " retries=" + std::to_string(report.retries) +

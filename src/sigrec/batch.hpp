@@ -17,13 +17,27 @@
 // chains: a contract-level cache keyed by keccak256 of the runtime code and
 // a function-level cache keyed by a body-byte-range digest (see cache.hpp).
 //
+// The engine is also crash-safe across process boundaries: an external
+// RecoveryCache can be restored from / compacted to disk (persist.hpp), and
+// a ScanJournal records per-contract completion incrementally so a killed
+// scan resumes where it stopped, replaying finished contracts
+// byte-identically (journal.hpp). A graceful-shutdown flag stops a running
+// batch at contract granularity, and a stuck-worker watchdog escalates a
+// contract that outlives its whole deadline ladder to a timed-out outcome
+// instead of wedging pool quiescence.
+//
 // Determinism guarantee: everything except wall-clock fields and cache
 // hit/miss statistics — report order, statuses, signatures, errors, health
-// counters — is byte-identical for any `jobs` value and with caches on or
-// off. `canonical_to_string` renders exactly that deterministic view.
+// counters — is byte-identical for any `jobs` value, with caches on or
+// off, and across a kill-then-resume via the journal. `canonical_to_string`
+// renders exactly that deterministic view. (A watchdog escalation or a
+// graceful stop makes the run itself partial — those are wall-clock events,
+// outside the guarantee until the scan is resumed to completion.)
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -32,6 +46,9 @@
 #include "sigrec/sigrec.hpp"
 
 namespace sigrec::core {
+
+class ScanJournal;
+struct ContractReport;
 
 struct BatchOptions {
   // Rung-0 budget applied to every function (deadline, caps, fault plan).
@@ -61,6 +78,47 @@ struct BatchOptions {
   // the cache statistics change.
   bool contract_cache = true;
   bool function_cache = true;
+
+  // In-flight deduplication (needs contract_cache): concurrent misses on the
+  // same code hash register on the first worker's in-flight entry instead of
+  // duplicating the full symbolic execution; the owner fills their reports
+  // when it publishes. Off, duplicate bursts race and first-writer-wins.
+  bool in_flight_dedup = true;
+
+  // External cache shared across recover_batch calls — e.g. one restored
+  // from a PersistentCacheStore, so a re-run over an already-scanned corpus
+  // does zero fresh symbolic execution. nullptr: a private per-call cache.
+  // The cache's hit/miss stats accumulate across the calls that share it.
+  RecoveryCache* cache = nullptr;
+
+  // Resumable scans. When set, contracts recorded in the journal (matched by
+  // input index AND code hash) are replayed from it without any recovery
+  // work, and every newly finished contract is recorded back. The caller
+  // loads the journal before the batch and flushes it after (see
+  // journal.hpp for the durability model).
+  ScanJournal* journal = nullptr;
+
+  // Graceful-shutdown flag (e.g. set by a SIGINT/SIGTERM handler). Contracts
+  // already being processed finish and are journaled; contracts not yet
+  // started return immediately with `ContractReport::interrupted` set. The
+  // batch result of an interrupted run is a partial scan — resume it via the
+  // journal.
+  const std::atomic<bool>* stop = nullptr;
+
+  // Stuck-worker watchdog: when > 0, a monitor thread escalates any contract
+  // that has been in flight longer than this many seconds to a timed-out
+  // outcome (DeadlineExceeded) via cooperative cancellation
+  // (symexec::Budget::cancel), instead of letting one wedged recovery block
+  // pool quiescence forever. Should comfortably exceed the whole ladder
+  // budget — (1 + max_retries) deadlines — so it only fires on runs the
+  // per-run deadline failed to stop. 0 disables the watchdog.
+  double watchdog_seconds = 0;
+
+  // Invoked after each contract finishes (including cache hits and journal
+  // replays), from whatever worker thread finished it — may run
+  // concurrently; the callback must be thread-safe. Drives progress
+  // reporting and tests that interrupt a scan at a chosen point.
+  std::function<void(const ContractReport&)> on_contract_done;
 };
 
 // The limits used at ladder rung `rung` (rung 0 == opts.limits verbatim).
@@ -84,6 +142,13 @@ struct ContractReport {
   // workers can race to compute the same duplicate), unlike everything else
   // in this report.
   bool cache_hit = false;
+  // Replayed from a ScanJournal recorded by an earlier (possibly killed)
+  // run — no recovery work was done this run; `seconds` is the original
+  // run's cost.
+  bool replayed = false;
+  // The batch was stopped (BatchOptions::stop) before this contract started;
+  // it carries no result and was not journaled. Resume to finish it.
+  bool interrupted = false;
   std::vector<RecoveredFunction> functions;
 };
 
@@ -98,6 +163,10 @@ struct BatchHealth {
   std::uint64_t functions = 0;
   std::uint64_t retries = 0;   // ladder re-runs attempted
   std::uint64_t salvaged = 0;  // blown functions whose retry completed a rung
+  // Contracts skipped by a graceful shutdown (they have no status) and
+  // contracts replayed from a scan journal.
+  std::uint64_t interrupted = 0;
+  std::uint64_t replayed = 0;
   double worst_contract_seconds = 0;
   double worst_function_seconds = 0;
 

@@ -5,13 +5,16 @@
 namespace sigrec::core {
 
 std::string CacheStats::to_string() const {
-  char buf[128];
+  char buf[192];
   std::snprintf(buf, sizeof buf,
-                "contract-cache %llu/%llu function-cache %llu/%llu (hits/lookups)",
+                "contract-cache %llu/%llu function-cache %llu/%llu (hits/lookups)"
+                " inflight-waits %llu preloaded %llu",
                 static_cast<unsigned long long>(contract_hits),
                 static_cast<unsigned long long>(contract_hits + contract_misses),
                 static_cast<unsigned long long>(function_hits),
-                static_cast<unsigned long long>(function_hits + function_misses));
+                static_cast<unsigned long long>(function_hits + function_misses),
+                static_cast<unsigned long long>(contract_inflight_waits),
+                static_cast<unsigned long long>(contract_preloaded));
   return buf;
 }
 
@@ -30,6 +33,66 @@ void RecoveryCache::store_contract(const evm::Hash256& code_hash, const CachedCo
   if (entry.status == RecoveryStatus::InternalError) return;
   std::lock_guard<std::mutex> lock(contract_mutex_);
   contracts_.try_emplace(code_hash, entry);
+}
+
+ContractClaim RecoveryCache::claim_contract(const evm::Hash256& code_hash,
+                                            std::size_t waiter_index) {
+  std::lock_guard<std::mutex> lock(contract_mutex_);
+  if (auto it = contracts_.find(code_hash); it != contracts_.end()) {
+    contract_hits_.fetch_add(1, std::memory_order_relaxed);
+    return {ClaimKind::Hit, it->second};
+  }
+  if (auto it = in_flight_.find(code_hash); it != in_flight_.end()) {
+    it->second.push_back(waiter_index);
+    contract_inflight_waits_.fetch_add(1, std::memory_order_relaxed);
+    return {ClaimKind::Registered, std::nullopt};
+  }
+  in_flight_.try_emplace(code_hash);
+  contract_misses_.fetch_add(1, std::memory_order_relaxed);
+  return {ClaimKind::Owner, std::nullopt};
+}
+
+std::vector<std::size_t> RecoveryCache::publish_contract(const evm::Hash256& code_hash,
+                                                         const CachedContract& entry) {
+  std::lock_guard<std::mutex> lock(contract_mutex_);
+  if (entry.status != RecoveryStatus::InternalError) contracts_.try_emplace(code_hash, entry);
+  std::vector<std::size_t> waiters;
+  if (auto it = in_flight_.find(code_hash); it != in_flight_.end()) {
+    waiters = std::move(it->second);
+    in_flight_.erase(it);
+  }
+  return waiters;
+}
+
+std::vector<std::size_t> RecoveryCache::abandon_contract(const evm::Hash256& code_hash) {
+  std::lock_guard<std::mutex> lock(contract_mutex_);
+  std::vector<std::size_t> waiters;
+  if (auto it = in_flight_.find(code_hash); it != in_flight_.end()) {
+    waiters = std::move(it->second);
+    in_flight_.erase(it);
+  }
+  return waiters;
+}
+
+void RecoveryCache::preload_contract(const evm::Hash256& code_hash, const CachedContract& entry) {
+  if (entry.status == RecoveryStatus::InternalError) return;
+  std::lock_guard<std::mutex> lock(contract_mutex_);
+  if (contracts_.try_emplace(code_hash, entry).second) {
+    contract_preloaded_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::pair<evm::Hash256, CachedContract>> RecoveryCache::snapshot_contracts() const {
+  std::lock_guard<std::mutex> lock(contract_mutex_);
+  std::vector<std::pair<evm::Hash256, CachedContract>> out;
+  out.reserve(contracts_.size());
+  for (const auto& [hash, entry] : contracts_) out.emplace_back(hash, entry);
+  return out;
+}
+
+std::size_t RecoveryCache::contract_count() const {
+  std::lock_guard<std::mutex> lock(contract_mutex_);
+  return contracts_.size();
 }
 
 std::optional<FunctionOutcome> RecoveryCache::find_function(const evm::Hash256& body_key) {
@@ -55,6 +118,8 @@ CacheStats RecoveryCache::stats() const {
   s.contract_misses = contract_misses_.load(std::memory_order_relaxed);
   s.function_hits = function_hits_.load(std::memory_order_relaxed);
   s.function_misses = function_misses_.load(std::memory_order_relaxed);
+  s.contract_inflight_waits = contract_inflight_waits_.load(std::memory_order_relaxed);
+  s.contract_preloaded = contract_preloaded_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -16,11 +16,20 @@
 // alongside the recovered function, so health counters replay exactly and a
 // cache-enabled run is counter-identical to a cache-disabled one.
 //
-// A cache instance is scoped to one `recover_batch` call: every entry was
-// produced under the same `Limits`, so keys never need a budget fingerprint.
-// InternalError outcomes are never stored — a crash must not poison its
-// duplicates. Both maps are guarded by plain mutexes; lookups are rare and
-// cheap next to the symbolic runs they save.
+// A cache instance spans one `recover_batch` call by default, but can be
+// shared across batches (BatchOptions::cache) and persisted to disk between
+// processes (see persist.hpp) — callers sharing a cache must keep the
+// `Limits` stable, since keys carry no budget fingerprint. InternalError
+// outcomes are never stored — a crash must not poison its duplicates. Both
+// maps are guarded by plain mutexes; lookups are rare and cheap next to the
+// symbolic runs they save.
+//
+// Concurrent misses on the same code hash deduplicate in flight: the first
+// worker claims ownership and computes, later workers register their input
+// slot on the in-flight entry and return immediately — the owner fills their
+// reports when it publishes. Registration (instead of blocking) means a
+// waiting duplicate never parks a pool worker, so pool quiescence can never
+// deadlock behind the cache.
 #pragma once
 
 #include <atomic>
@@ -59,8 +68,25 @@ struct CacheStats {
   std::uint64_t contract_misses = 0;
   std::uint64_t function_hits = 0;
   std::uint64_t function_misses = 0;
+  // Concurrent misses on an in-flight code hash that registered as waiters
+  // instead of duplicating the work (see claim_contract).
+  std::uint64_t contract_inflight_waits = 0;
+  // Entries injected from a persistent store before the run (preload_contract).
+  std::uint64_t contract_preloaded = 0;
 
   [[nodiscard]] std::string to_string() const;
+};
+
+// Outcome of claim_contract: either the entry is already cached (Hit, value
+// in `hit`), or the caller is the first worker to miss on this hash and must
+// compute it (Owner), or another worker is already computing it and the
+// caller's report slot has been registered to be filled when the owner
+// publishes (Registered — the caller returns without doing any work).
+enum class ClaimKind : std::uint8_t { Hit, Owner, Registered };
+
+struct ContractClaim {
+  ClaimKind kind = ClaimKind::Owner;
+  std::optional<CachedContract> hit;  // set iff kind == Hit
 };
 
 class RecoveryCache {
@@ -71,9 +97,32 @@ class RecoveryCache {
   [[nodiscard]] std::optional<CachedContract> find_contract(const evm::Hash256& code_hash);
   void store_contract(const evm::Hash256& code_hash, const CachedContract& entry);
 
+  // In-flight deduplication. `claim_contract` is `find_contract` plus an
+  // in-flight table: the first miss on a hash becomes the Owner, concurrent
+  // misses on the same hash register `waiter_index` (their input slot) and
+  // return Registered — they never block a pool worker. The Owner must end
+  // its claim with exactly one `publish_contract` (success: stores the entry
+  // unless it is InternalError, which is never cached) or
+  // `abandon_contract` (the owner crashed before producing an entry); both
+  // return the registered waiter slots so the batch engine can fill them
+  // from the published entry, or respawn them when nothing was published.
+  [[nodiscard]] ContractClaim claim_contract(const evm::Hash256& code_hash,
+                                             std::size_t waiter_index);
+  [[nodiscard]] std::vector<std::size_t> publish_contract(const evm::Hash256& code_hash,
+                                                          const CachedContract& entry);
+  [[nodiscard]] std::vector<std::size_t> abandon_contract(const evm::Hash256& code_hash);
+
   // Function level, keyed by the body digest from `function_body_key`.
   [[nodiscard]] std::optional<FunctionOutcome> find_function(const evm::Hash256& body_key);
   void store_function(const evm::Hash256& body_key, const FunctionOutcome& outcome);
+
+  // Persistence support. `preload_contract` inserts an entry restored from a
+  // PersistentCacheStore without counting a hit or a miss (InternalError
+  // entries are rejected, same as store_contract); `snapshot_contracts`
+  // copies every contract entry out for serialization or compaction.
+  void preload_contract(const evm::Hash256& code_hash, const CachedContract& entry);
+  [[nodiscard]] std::vector<std::pair<evm::Hash256, CachedContract>> snapshot_contracts() const;
+  [[nodiscard]] std::size_t contract_count() const;
 
   [[nodiscard]] CacheStats stats() const;
 
@@ -90,12 +139,17 @@ class RecoveryCache {
 
   mutable std::mutex contract_mutex_;
   std::unordered_map<evm::Hash256, CachedContract, HashKey> contracts_;
+  // Code hashes currently being computed by an owner, with the input slots
+  // of every registered waiter. Guarded by contract_mutex_.
+  std::unordered_map<evm::Hash256, std::vector<std::size_t>, HashKey> in_flight_;
   mutable std::mutex function_mutex_;
   std::unordered_map<evm::Hash256, FunctionOutcome, HashKey> functions_;
   std::atomic<std::uint64_t> contract_hits_{0};
   std::atomic<std::uint64_t> contract_misses_{0};
   std::atomic<std::uint64_t> function_hits_{0};
   std::atomic<std::uint64_t> function_misses_{0};
+  std::atomic<std::uint64_t> contract_inflight_waits_{0};
+  std::atomic<std::uint64_t> contract_preloaded_{0};
 };
 
 // Digest identifying one function body for the function-level cache:

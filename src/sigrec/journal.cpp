@@ -1,0 +1,86 @@
+#include "sigrec/journal.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace sigrec::core {
+
+ScanJournal::ScanJournal(std::string path, std::size_t flush_interval)
+    : path_(std::move(path)), flush_interval_(std::max<std::size_t>(1, flush_interval)) {}
+
+ScanJournal::~ScanJournal() { (void)flush(); }
+
+LoadStats ScanJournal::load() {
+  std::optional<std::string> bytes = read_file_bytes(path_);
+  if (!bytes.has_value()) return {};  // no journal yet: fresh scan
+  std::lock_guard<std::mutex> lock(mutex_);
+  return scan_records(
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(bytes->data()),
+                                    bytes->size()),
+      [this](std::uint8_t type, Decoder& dec) {
+        if (type != kRecordScanEntry) return true;  // foreign record: ignore
+        std::uint64_t index = 0;
+        Entry entry;
+        if (!dec.get_u64(index) || !dec.get_f64(entry.seconds) ||
+            !decode_cached_contract(dec, entry.code_hash, entry.contract)) {
+          return false;
+        }
+        done_[static_cast<std::size_t>(index)] = std::move(entry);  // newest record wins
+        return true;
+      });
+}
+
+const ScanJournal::Entry* ScanJournal::find(std::size_t index,
+                                            const evm::Hash256& code_hash) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = done_.find(index);
+  if (it == done_.end() || it->second.code_hash != code_hash) return nullptr;
+  return &it->second;
+}
+
+void ScanJournal::record(std::size_t index, const evm::Hash256& code_hash,
+                         const CachedContract& entry, double seconds) {
+  if (entry.status == RecoveryStatus::InternalError) return;
+  Encoder enc;
+  enc.put_u64(index);
+  enc.put_f64(seconds);
+  encode_cached_contract(enc, code_hash, entry);
+  std::string framed;
+  append_record(framed, kRecordScanEntry, enc.bytes());
+
+  std::string to_write;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry& slot = done_[index];
+    slot.code_hash = code_hash;
+    slot.contract = entry;
+    slot.seconds = seconds;
+    pending_ += framed;
+    if (++pending_records_ < flush_interval_) return;
+    to_write.swap(pending_);
+    pending_records_ = 0;
+  }
+  // Write outside the lock: disk latency must not serialize the workers.
+  (void)append_file_bytes(path_, to_write);
+}
+
+bool ScanJournal::flush() {
+  std::string to_write;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_.empty()) return true;
+    to_write.swap(pending_);
+    pending_records_ = 0;
+  }
+  if (append_file_bytes(path_, to_write)) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.insert(0, to_write);  // keep for a retry
+  return false;
+}
+
+std::size_t ScanJournal::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_.size();
+}
+
+}  // namespace sigrec::core

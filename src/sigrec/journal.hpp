@@ -1,0 +1,87 @@
+// Resumable chain scans: a persistent journal of per-contract completions.
+//
+// `recover_batch` over a chain snapshot runs for hours; when the process
+// dies mid-scan (OOM kill, preemption, SIGKILL), everything completed so far
+// must survive. A ScanJournal records each finished contract — input index,
+// code hash, and the full recovery outcome — to an append-only file in the
+// checksummed record format from persist.hpp. A re-invoked scan loads the
+// journal, replays every recorded contract's report byte-identically
+// (canonical_to_string of a killed-then-resumed scan equals an uninterrupted
+// one), and only spends symbolic execution on what is genuinely left.
+//
+// Records are buffered and flushed every `flush_interval` completions —
+// the durability/IO trade-off knob — plus explicitly via `flush()`, which
+// the CLI calls after a signal-triggered graceful shutdown. A crash between
+// flushes costs at most `flush_interval` contracts of redone work, never
+// the journal file's integrity (torn tails are skipped on load).
+//
+// Resume keys on (input index, code hash): a record replays only when the
+// contract at that position still has the same runtime code, so editing the
+// input list between runs degrades to recomputation, never to a wrong
+// report. InternalError outcomes are never journaled — a crash-tainted
+// result must not survive into the next run.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "evm/keccak.hpp"
+#include "sigrec/cache.hpp"
+#include "sigrec/persist.hpp"
+
+namespace sigrec::core {
+
+class ScanJournal {
+ public:
+  // One completed contract, as replayed on resume. The CachedContract holds
+  // everything the canonical view needs (statuses, errors, signatures,
+  // retry/salvage counters); `seconds` preserves the original run's cost for
+  // reporting only.
+  struct Entry {
+    evm::Hash256 code_hash{};
+    CachedContract contract;
+    double seconds = 0;
+  };
+
+  explicit ScanJournal(std::string path, std::size_t flush_interval = 16);
+  ~ScanJournal();  // flushes buffered records; destruction never loses them
+
+  ScanJournal(const ScanJournal&) = delete;
+  ScanJournal& operator=(const ScanJournal&) = delete;
+
+  // Loads existing records (tolerantly — see persist.hpp; corruption is
+  // counted, not fatal). Later records for the same index win, so a journal
+  // appended across several partial runs resolves to the newest outcome.
+  LoadStats load();
+
+  // The recorded entry for `index`, or nullptr when it is absent or its
+  // code hash no longer matches the input. The pointer is stable until the
+  // journal is destroyed (entries are never removed). Not safe to call
+  // concurrently with `record` — resume lookups happen before workers start.
+  [[nodiscard]] const Entry* find(std::size_t index, const evm::Hash256& code_hash) const;
+
+  // Records one completed contract. Thread-safe (workers call this as
+  // contracts finish); appends to disk once `flush_interval` records have
+  // accumulated. InternalError entries are dropped.
+  void record(std::size_t index, const evm::Hash256& code_hash, const CachedContract& entry,
+              double seconds);
+
+  // Appends all buffered records now. Thread-safe. Returns false on I/O
+  // failure (the buffer is kept for a later retry).
+  [[nodiscard]] bool flush();
+
+  [[nodiscard]] std::size_t entries() const;
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  const std::string path_;
+  const std::size_t flush_interval_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::size_t, Entry> done_;
+  std::string pending_;  // framed records not yet on disk
+  std::size_t pending_records_ = 0;
+};
+
+}  // namespace sigrec::core

@@ -1,0 +1,372 @@
+#include "sigrec/persist.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "abi/types.hpp"
+
+namespace sigrec::core {
+
+namespace {
+
+// marker(4) + version(1) + type(1) + payload length(4) + payload CRC(4).
+constexpr std::size_t kRecordHeaderSize = 14;
+
+std::uint32_t read_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+struct Crc32Table {
+  std::uint32_t t[256];
+  constexpr Crc32Table() : t{} {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+  }
+};
+
+constexpr Crc32Table kCrcTable;
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  std::uint32_t c = 0xffffffffu;
+  for (std::uint8_t b : data) c = kCrcTable.t[(c ^ b) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+std::string LoadStats::to_string() const {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "loaded=%llu skipped: checksum=%llu version=%llu truncated=%llu "
+                "malformed=%llu (resyncs=%llu)",
+                static_cast<unsigned long long>(loaded),
+                static_cast<unsigned long long>(skipped_checksum),
+                static_cast<unsigned long long>(skipped_version),
+                static_cast<unsigned long long>(skipped_truncated),
+                static_cast<unsigned long long>(skipped_malformed),
+                static_cast<unsigned long long>(resync_scans));
+  return buf;
+}
+
+// --- byte codec --------------------------------------------------------------
+
+void Encoder::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void Encoder::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void Encoder::put_f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(bits);
+}
+
+void Encoder::put_string(std::string_view s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+void Encoder::put_hash(const evm::Hash256& h) {
+  buf_.append(reinterpret_cast<const char*>(h.data()), h.size());
+}
+
+bool Decoder::take(std::size_t n, const std::uint8_t*& out) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  out = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool Decoder::get_u8(std::uint8_t& v) {
+  const std::uint8_t* p = nullptr;
+  if (!take(1, p)) return false;
+  v = *p;
+  return true;
+}
+
+bool Decoder::get_u32(std::uint32_t& v) {
+  const std::uint8_t* p = nullptr;
+  if (!take(4, p)) return false;
+  v = read_u32le(p);
+  return true;
+}
+
+bool Decoder::get_u64(std::uint64_t& v) {
+  const std::uint8_t* p = nullptr;
+  if (!take(8, p)) return false;
+  v = 0;
+  for (int i = 7; i >= 0; --i) v = v << 8 | p[i];
+  return true;
+}
+
+bool Decoder::get_f64(double& v) {
+  std::uint64_t bits = 0;
+  if (!get_u64(bits)) return false;
+  std::memcpy(&v, &bits, sizeof v);
+  return true;
+}
+
+bool Decoder::get_string(std::string& s) {
+  std::uint32_t len = 0;
+  if (!get_u32(len)) return false;
+  const std::uint8_t* p = nullptr;
+  if (!take(len, p)) return false;
+  s.assign(reinterpret_cast<const char*>(p), len);
+  return true;
+}
+
+bool Decoder::get_hash(evm::Hash256& h) {
+  const std::uint8_t* p = nullptr;
+  if (!take(h.size(), p)) return false;
+  std::memcpy(h.data(), p, h.size());
+  return true;
+}
+
+// --- record framing ----------------------------------------------------------
+
+void append_record(std::string& out, std::uint8_t type, std::string_view payload) {
+  Encoder header;
+  header.put_u32(kRecordMarker);
+  header.put_u8(static_cast<std::uint8_t>(kPersistFormatVersion));
+  header.put_u8(type);
+  header.put_u32(static_cast<std::uint32_t>(payload.size()));
+  header.put_u32(crc32(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size())));
+  out += header.bytes();
+  out += payload;
+}
+
+LoadStats scan_records(
+    std::span<const std::uint8_t> file,
+    const std::function<bool(std::uint8_t type, Decoder& payload)>& on_record) {
+  LoadStats stats;
+  std::size_t pos = 0;
+  const std::size_t n = file.size();
+  while (pos < n) {
+    // Hunt for the next sync marker. Anything skipped here is either
+    // leading/interstitial garbage or the tail of a record whose header we
+    // already rejected.
+    std::size_t mpos = pos;
+    while (mpos + 4 <= n && read_u32le(file.data() + mpos) != kRecordMarker) ++mpos;
+    if (mpos + 4 > n) break;  // no further marker: trailing garbage
+    if (mpos != pos) ++stats.resync_scans;
+    pos = mpos;
+    if (n - pos < kRecordHeaderSize) {
+      ++stats.skipped_truncated;  // torn mid-header at the tail
+      break;
+    }
+    const std::uint8_t version = file[pos + 4];
+    const std::uint8_t type = file[pos + 5];
+    const std::uint32_t len = read_u32le(file.data() + pos + 6);
+    const std::uint32_t expect_crc = read_u32le(file.data() + pos + 10);
+    if (version != kPersistFormatVersion) {
+      ++stats.skipped_version;
+      // Trust the foreign record's length only when it is plausible —
+      // header layout up to the length field is stable by contract.
+      if (len <= kMaxRecordPayload && n - pos - kRecordHeaderSize >= len) {
+        pos += kRecordHeaderSize + len;
+      } else {
+        pos += 4;  // resync past this marker
+      }
+      continue;
+    }
+    if (len > kMaxRecordPayload) {
+      ++stats.skipped_checksum;  // corrupted length field
+      pos += 4;
+      continue;
+    }
+    if (n - pos - kRecordHeaderSize < len) {
+      ++stats.skipped_truncated;  // torn mid-payload at the tail
+      break;
+    }
+    std::span<const std::uint8_t> payload = file.subspan(pos + kRecordHeaderSize, len);
+    if (crc32(payload) != expect_crc) {
+      ++stats.skipped_checksum;
+      pos += 4;  // the real next record is found by marker hunt
+      continue;
+    }
+    Decoder dec(payload);
+    if (on_record(type, dec)) {
+      ++stats.loaded;
+    } else {
+      ++stats.skipped_malformed;
+    }
+    pos += kRecordHeaderSize + len;
+  }
+  return stats;
+}
+
+// --- entry codecs ------------------------------------------------------------
+
+namespace {
+
+void encode_function_outcome(Encoder& enc, const FunctionOutcome& outcome) {
+  enc.put_u64(outcome.retries);
+  enc.put_u64(outcome.salvaged);
+  enc.put_u32(outcome.fn.selector);
+  enc.put_u8(outcome.fn.dialect == abi::Dialect::Vyper ? 1 : 0);
+  enc.put_u8(static_cast<std::uint8_t>(outcome.fn.status));
+  enc.put_u8(outcome.fn.partial ? 1 : 0);
+  enc.put_f64(outcome.fn.seconds);
+  enc.put_u64(outcome.fn.symbolic_steps);
+  enc.put_u64(outcome.fn.paths_explored);
+  enc.put_string(outcome.fn.error);
+  enc.put_u32(static_cast<std::uint32_t>(outcome.fn.parameters.size()));
+  for (const abi::TypePtr& t : outcome.fn.parameters) enc.put_string(t->display_name());
+}
+
+bool decode_function_outcome(Decoder& dec, FunctionOutcome& outcome) {
+  std::uint8_t dialect = 0, status = 0, partial = 0;
+  std::uint32_t params = 0;
+  if (!dec.get_u64(outcome.retries) || !dec.get_u64(outcome.salvaged) ||
+      !dec.get_u32(outcome.fn.selector) || !dec.get_u8(dialect) || !dec.get_u8(status) ||
+      !dec.get_u8(partial) || !dec.get_f64(outcome.fn.seconds) ||
+      !dec.get_u64(outcome.fn.symbolic_steps) || !dec.get_u64(outcome.fn.paths_explored) ||
+      !dec.get_string(outcome.fn.error) || !dec.get_u32(params)) {
+    return false;
+  }
+  if (dialect > 1 || status >= symexec::kRecoveryStatusCount) return false;
+  outcome.fn.dialect = dialect == 1 ? abi::Dialect::Vyper : abi::Dialect::Solidity;
+  outcome.fn.status = static_cast<RecoveryStatus>(status);
+  outcome.fn.partial = partial != 0;
+  outcome.fn.parameters.clear();
+  outcome.fn.parameters.reserve(params);
+  std::string name;
+  for (std::uint32_t i = 0; i < params; ++i) {
+    if (!dec.get_string(name)) return false;
+    abi::TypePtr t = abi::parse_type(name);
+    if (t == nullptr) return false;  // structurally invalid type name
+    outcome.fn.parameters.push_back(std::move(t));
+  }
+  return true;
+}
+
+}  // namespace
+
+void encode_cached_contract(Encoder& enc, const evm::Hash256& code_hash,
+                            const CachedContract& entry) {
+  enc.put_hash(code_hash);
+  enc.put_u8(static_cast<std::uint8_t>(entry.status));
+  enc.put_string(entry.error);
+  enc.put_u32(static_cast<std::uint32_t>(entry.functions.size()));
+  for (const FunctionOutcome& outcome : entry.functions) encode_function_outcome(enc, outcome);
+}
+
+bool decode_cached_contract(Decoder& dec, evm::Hash256& code_hash, CachedContract& entry) {
+  std::uint8_t status = 0;
+  std::uint32_t functions = 0;
+  if (!dec.get_hash(code_hash) || !dec.get_u8(status) || !dec.get_string(entry.error) ||
+      !dec.get_u32(functions)) {
+    return false;
+  }
+  if (status >= symexec::kRecoveryStatusCount) return false;
+  entry.status = static_cast<RecoveryStatus>(status);
+  entry.functions.clear();
+  entry.functions.reserve(functions);
+  for (std::uint32_t i = 0; i < functions; ++i) {
+    FunctionOutcome outcome;
+    if (!decode_function_outcome(dec, outcome)) return false;
+    entry.functions.push_back(std::move(outcome));
+  }
+  return true;
+}
+
+// --- file helpers ------------------------------------------------------------
+
+bool atomic_write_file(const std::string& path, std::string_view content) {
+#ifndef _WIN32
+  std::string tmp = path + ".tmp." + std::to_string(::getpid());
+#else
+  std::string tmp = path + ".tmp";
+#endif
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = content.empty() || std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  ok = std::fflush(f) == 0 && ok;
+#ifndef _WIN32
+  // Rename is only atomic-durable if the data reached the disk first.
+  ok = ::fsync(::fileno(f)) == 0 && ok;
+#endif
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> read_file_bytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string out;
+  char buf[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, got);
+  bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) return std::nullopt;
+  return out;
+}
+
+bool append_file_bytes(const std::string& path, std::string_view bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return false;
+  bool ok = bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  ok = std::fflush(f) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+// --- persistent cache store --------------------------------------------------
+
+LoadStats PersistentCacheStore::load_into(RecoveryCache& cache) const {
+  std::optional<std::string> bytes = read_file_bytes(path_);
+  if (!bytes.has_value()) return {};  // missing file: cold start
+  return scan_records(
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(bytes->data()),
+                                    bytes->size()),
+      [&cache](std::uint8_t type, Decoder& dec) {
+        if (type != kRecordCacheEntry) return true;  // foreign record: ignore
+        evm::Hash256 hash{};
+        CachedContract entry;
+        if (!decode_cached_contract(dec, hash, entry)) return false;
+        cache.preload_contract(hash, entry);
+        return true;
+      });
+}
+
+bool PersistentCacheStore::append(const evm::Hash256& code_hash,
+                                  const CachedContract& entry) const {
+  Encoder enc;
+  encode_cached_contract(enc, code_hash, entry);
+  std::string framed;
+  append_record(framed, kRecordCacheEntry, enc.bytes());
+  return append_file_bytes(path_, framed);
+}
+
+bool PersistentCacheStore::compact_from(const RecoveryCache& cache) const {
+  std::string out;
+  for (const auto& [hash, entry] : cache.snapshot_contracts()) {
+    Encoder enc;
+    encode_cached_contract(enc, hash, entry);
+    append_record(out, kRecordCacheEntry, enc.bytes());
+  }
+  return atomic_write_file(path_, out);
+}
+
+}  // namespace sigrec::core

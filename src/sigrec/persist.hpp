@@ -1,0 +1,191 @@
+// Crash-safe persistence for recovery results.
+//
+// A chain-scale scan runs for hours and will be interrupted — OOM-killed,
+// preempted, or crashed by a pathological contract — so everything worth
+// keeping is written through one on-disk record format designed to survive
+// exactly those deaths:
+//
+//  * append-only — records are only ever added at the end, so a crash can
+//    damage at most the tail, never what was already durable;
+//  * self-delimiting — every record starts with a 32-bit sync marker, so a
+//    reader that hits garbage (a torn write, a flipped bit in a length
+//    field) rescans forward for the next marker instead of losing the rest
+//    of the file;
+//  * checksummed — a CRC-32 over the payload rejects silent corruption;
+//  * versioned — a format-version byte lets a newer writer's records be
+//    skipped (and counted) by an older reader instead of aborting the load.
+//
+// The loader never throws and never gives up: every record that fails any
+// check is skipped with a per-reason counter in LoadStats, and every valid
+// record anywhere in the file is recovered. Compaction (rewriting a grown
+// file without its dead weight) goes through `atomic_write_file` —
+// write-temp-then-rename — so a crash mid-compaction leaves the previous
+// file intact, never a truncated one.
+//
+// Two consumers share the format: `PersistentCacheStore` (RecoveryCache
+// entries keyed by code hash, for cross-process dedup of identical runtime
+// code) and `ScanJournal` (per-contract completion records keyed by input
+// index, for resumable batches — see journal.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "evm/keccak.hpp"
+#include "sigrec/cache.hpp"
+
+namespace sigrec::core {
+
+// --- record framing ----------------------------------------------------------
+
+// Sync marker at the start of every record ("SRj1" little-endian). Chosen to
+// never appear in its own header fields' common values; payload bytes may
+// collide, which only costs the resync scanner a failed validation.
+inline constexpr std::uint32_t kRecordMarker = 0x316a5253u;
+// Bumped whenever the payload encoding changes incompatibly. Readers skip
+// (and count) records with a different version.
+inline constexpr std::uint32_t kPersistFormatVersion = 1;
+// Record types. Unknown types are passed to the caller, which may ignore
+// them — a cache loader skips scan records in a shared file and vice versa.
+inline constexpr std::uint8_t kRecordCacheEntry = 1;
+inline constexpr std::uint8_t kRecordScanEntry = 2;
+// Upper bound on a single record's payload; a corrupted length field must
+// not translate into a multi-gigabyte allocation.
+inline constexpr std::uint32_t kMaxRecordPayload = 64u << 20;
+
+// CRC-32 (IEEE 802.3, the zlib polynomial) over `data`.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+// How a tolerant load went: what was recovered and what was skipped, why.
+struct LoadStats {
+  std::uint64_t loaded = 0;             // records decoded and accepted
+  std::uint64_t skipped_checksum = 0;   // CRC mismatch (bit flip, torn write)
+  std::uint64_t skipped_version = 0;    // format version from another writer
+  std::uint64_t skipped_truncated = 0;  // record ran past end of file
+  std::uint64_t skipped_malformed = 0;  // CRC fine but payload undecodable
+  std::uint64_t resync_scans = 0;       // times the reader hunted for a marker
+
+  [[nodiscard]] std::uint64_t skipped() const {
+    return skipped_checksum + skipped_version + skipped_truncated + skipped_malformed;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+// --- byte codec --------------------------------------------------------------
+
+// Little-endian, bounds-checked encoder/decoder for record payloads. The
+// decoder never throws: every get_* reports failure through its return value
+// and poisons the decoder (`ok()` false) so one check at the end suffices.
+class Encoder {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_f64(double v);  // bit pattern, exact round-trip
+  void put_string(std::string_view s);
+  void put_hash(const evm::Hash256& h);
+
+  [[nodiscard]] const std::string& bytes() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] bool get_u8(std::uint8_t& v);
+  [[nodiscard]] bool get_u32(std::uint32_t& v);
+  [[nodiscard]] bool get_u64(std::uint64_t& v);
+  [[nodiscard]] bool get_f64(double& v);
+  [[nodiscard]] bool get_string(std::string& s);
+  [[nodiscard]] bool get_hash(evm::Hash256& h);
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  [[nodiscard]] bool take(std::size_t n, const std::uint8_t*& out);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Appends one framed record (marker, version, type, length, CRC, payload)
+// to `out`.
+void append_record(std::string& out, std::uint8_t type, std::string_view payload);
+
+// Scans a whole file image for records, tolerating arbitrary corruption:
+// torn tails, flipped bits, foreign versions, and garbage between records
+// all turn into LoadStats counters, never exceptions. `on_record` receives
+// each structurally valid record's type and a decoder over its payload; it
+// returns false when the payload does not decode (counted malformed).
+LoadStats scan_records(std::span<const std::uint8_t> file,
+                       const std::function<bool(std::uint8_t type, Decoder& payload)>& on_record);
+
+// --- entry codecs ------------------------------------------------------------
+
+// Payload encoding of one contract-cache entry (kRecordCacheEntry): the code
+// hash plus the full CachedContract, including the retry/salvage counters a
+// resumed run needs to replay health counters identically. Parameter types
+// travel as display names and are re-parsed on load (abi::parse_type), so a
+// record is structurally validated — not just checksummed — before reuse.
+void encode_cached_contract(Encoder& enc, const evm::Hash256& code_hash,
+                            const CachedContract& entry);
+[[nodiscard]] bool decode_cached_contract(Decoder& dec, evm::Hash256& code_hash,
+                                          CachedContract& entry);
+
+// --- file helpers ------------------------------------------------------------
+
+// Writes `content` to `<path>.tmp.<pid>` in the same directory, flushes it,
+// then renames over `path`. A killed run leaves either the old file or the
+// new one, never a truncated hybrid. Returns false (with the old file
+// intact) on any I/O error.
+[[nodiscard]] bool atomic_write_file(const std::string& path, std::string_view content);
+
+// Whole-file read; nullopt when the file cannot be opened (a missing cache
+// file is a cold start, not an error).
+[[nodiscard]] std::optional<std::string> read_file_bytes(const std::string& path);
+
+// Appends raw bytes (already-framed records) to `path`, creating it if
+// needed, and flushes before returning.
+[[nodiscard]] bool append_file_bytes(const std::string& path, std::string_view bytes);
+
+// --- persistent cache store --------------------------------------------------
+
+// Disk-backed RecoveryCache: `load_into` restores every recoverable entry
+// from a possibly-corrupt file, `append` adds one entry durably (append-only,
+// crash can only cost the tail), `compact_from` rewrites the file from a
+// cache snapshot through the atomic-rename path. A scan typically does
+// load_into at startup and compact_from at (graceful) shutdown; the append
+// path is for callers that want per-entry durability between those points.
+class PersistentCacheStore {
+ public:
+  explicit PersistentCacheStore(std::string path) : path_(std::move(path)) {}
+
+  // Restores entries into `cache` (via preload, so hit/miss stats stay
+  // clean). Missing file == empty store. Never throws, never aborts on
+  // corruption; the returned stats say what was skipped.
+  LoadStats load_into(RecoveryCache& cache) const;
+
+  // Appends one entry record; returns false on I/O failure.
+  [[nodiscard]] bool append(const evm::Hash256& code_hash, const CachedContract& entry) const;
+
+  // Rewrites the file with every entry currently in `cache`, atomically.
+  [[nodiscard]] bool compact_from(const RecoveryCache& cache) const;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace sigrec::core

@@ -43,13 +43,22 @@ void WorkStealingPool::spawn(Task task) {
       queues_[target]->tasks.push_front(std::move(task));
     }
   }
-  queued_.fetch_add(1, std::memory_order_release);
-  // Acquiring idle_mutex_ between the state change above and the notify
-  // closes the lost-wakeup race: a worker that checked the predicate and is
-  // about to wait holds the mutex, so we block here until it is actually
-  // waiting and guaranteed to receive the notification.
-  { std::lock_guard<std::mutex> lock(idle_mutex_); }
-  idle_cv_.notify_one();
+  queued_.fetch_add(1, std::memory_order_seq_cst);
+  // Wake an idle worker, if any. The waiting_ check makes the busy case —
+  // every worker occupied, which is the steady state of a loaded batch —
+  // free of the mutex handshake below. It is sound because both sides use
+  // seq_cst: either this queued_ increment precedes the worker's waiting_
+  // increment in the total order (then the worker's predicate re-check sees
+  // queued_ > 0 and it never sleeps), or the worker registered as waiting
+  // first (then waiting_ reads nonzero here and we take the slow path).
+  if (waiting_.load(std::memory_order_seq_cst) != 0) {
+    // Acquiring idle_mutex_ between the state change above and the notify
+    // closes the lost-wakeup race: a worker that checked the predicate and
+    // is about to wait holds the mutex, so we block here until it is
+    // actually waiting and guaranteed to receive the notification.
+    { std::lock_guard<std::mutex> lock(idle_mutex_); }
+    idle_cv_.notify_one();
+  }
 }
 
 bool WorkStealingPool::try_pop_own(unsigned self, Task& out) {
@@ -86,9 +95,11 @@ void WorkStealingPool::worker_loop(unsigned self) {
         // Tasks are contractually non-throwing; swallowing here keeps a
         // buggy task from wedging the whole pool behind an exception.
       }
-      if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        { std::lock_guard<std::mutex> lock(idle_mutex_); }
-        idle_cv_.notify_all();
+      if (outstanding_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+        if (waiting_.load(std::memory_order_seq_cst) != 0) {
+          { std::lock_guard<std::mutex> lock(idle_mutex_); }
+          idle_cv_.notify_all();
+        }
       }
       continue;
     }
@@ -99,10 +110,16 @@ void WorkStealingPool::worker_loop(unsigned self) {
     // while this thread is inside wait(). A stale `queued_ > 0` (another
     // worker grabbed the task first) just loops back to an empty scan.
     std::unique_lock<std::mutex> lock(idle_mutex_);
+    // Register as waiting BEFORE the predicate check (both seq_cst) so a
+    // concurrent spawn either sees waiting_ != 0 and notifies, or its
+    // queued_ increment is ordered before the check and the wait never
+    // sleeps. See the matching comment in spawn().
+    waiting_.fetch_add(1, std::memory_order_seq_cst);
     idle_cv_.wait(lock, [this] {
-      return outstanding_.load(std::memory_order_acquire) == 0 ||
-             queued_.load(std::memory_order_acquire) > 0;
+      return outstanding_.load(std::memory_order_seq_cst) == 0 ||
+             queued_.load(std::memory_order_seq_cst) > 0;
     });
+    waiting_.fetch_sub(1, std::memory_order_seq_cst);
     if (outstanding_.load(std::memory_order_acquire) == 0) return;
   }
 }

@@ -52,6 +52,14 @@ class WorkStealingPool {
 
   [[nodiscard]] unsigned workers() const { return static_cast<unsigned>(queues_.size()); }
 
+  // Tasks spawned but not yet finished executing (including their pending
+  // transitive spawns). 0 means the pool is quiescent. A monitoring aid —
+  // e.g. a graceful-shutdown progress line — not a synchronization primitive:
+  // the value may be stale by the time the caller reads it.
+  [[nodiscard]] std::uint64_t outstanding() const {
+    return outstanding_.load(std::memory_order_acquire);
+  }
+
  private:
   struct Queue {
     std::mutex mutex;
@@ -66,6 +74,7 @@ class WorkStealingPool {
   std::atomic<std::uint64_t> outstanding_{0};  // spawned, not yet finished executing
   std::atomic<std::uint64_t> queued_{0};       // spawned, not yet popped/stolen
   std::atomic<unsigned> next_external_{0};     // round-robin cursor for external spawns
+  std::atomic<unsigned> waiting_{0};           // workers inside the idle wait
   std::mutex idle_mutex_;
   std::condition_variable idle_cv_;
 };

@@ -13,6 +13,7 @@
 // can salvage a partial signature.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
@@ -74,6 +75,13 @@ struct Budget {
   // 0 means unlimited. Adversarial bytecode can otherwise grow expressions
   // without bound inside the step budget.
   std::size_t max_pool_nodes = 0;
+
+  // Cooperative cancellation: when non-null and set, the run stops with
+  // DeadlineExceeded at the next deadline-check boundary. The batch engine's
+  // stuck-worker watchdog uses this to escalate a contract that has outrun
+  // its whole deadline ladder to a timed-out outcome instead of wedging
+  // pool quiescence. The pointed-to flag must outlive the run.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 // Deterministic fault injection, compiled into the executor so tests can

@@ -221,6 +221,10 @@ class Runner {
   // One clock read per `deadline_check_interval` steps; returns true when
   // the wall-clock deadline (or its injected stand-in) has expired.
   bool deadline_expired() {
+    if (limits_.budget.cancel != nullptr &&
+        limits_.budget.cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
     if (limits_.fault.expire_deadline_at_step != 0 &&
         trace_.total_steps >= limits_.fault.expire_deadline_at_step) {
       return true;

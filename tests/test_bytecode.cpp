@@ -51,5 +51,54 @@ TEST(Bytecode, RoundTrip) {
   EXPECT_EQ((*code)[4], 0x01);
 }
 
+// --- tolerant hex ingestion --------------------------------------------------
+//
+// Real chain dumps arrive messy: trailing newlines, embedded whitespace,
+// uppercase, missing 0x. The tolerant parser accepts exactly that mess and
+// rejects everything else with a specific reason (the CLI shows it verbatim).
+
+TEST(Bytecode, TolerantHexAcceptsMessyButValidInput) {
+  Bytes want{0x60, 0x80, 0x60, 0x40};
+  EXPECT_EQ(bytes_from_hex_tolerant("0x60806040"), want);
+  EXPECT_EQ(bytes_from_hex_tolerant("60806040"), want);          // no prefix
+  EXPECT_EQ(bytes_from_hex_tolerant("0X60806040"), want);        // 0X prefix
+  EXPECT_EQ(bytes_from_hex_tolerant("0x60806040\n"), want);      // trailing newline
+  EXPECT_EQ(bytes_from_hex_tolerant("60 80 60 40"), want);       // embedded spaces
+  EXPECT_EQ(bytes_from_hex_tolerant("6080\n6040\r\n"), want);    // embedded newlines
+  EXPECT_EQ(bytes_from_hex_tolerant("\t 0x6080\t6040 \n"), want);  // mixed whitespace
+  EXPECT_EQ(bytes_from_hex_tolerant("0x60A0B0C0"),
+            (Bytes{0x60, 0xa0, 0xb0, 0xc0}));  // uppercase digits
+}
+
+TEST(Bytecode, TolerantHexRejectsEmptyInput) {
+  std::string error;
+  EXPECT_FALSE(bytes_from_hex_tolerant("", &error).has_value());
+  EXPECT_NE(error.find("empty"), std::string::npos);
+  EXPECT_FALSE(bytes_from_hex_tolerant("0x", &error).has_value());
+  EXPECT_FALSE(bytes_from_hex_tolerant("  \n\t ", &error).has_value());
+}
+
+TEST(Bytecode, TolerantHexRejectsOddDigitCount) {
+  std::string error;
+  EXPECT_FALSE(bytes_from_hex_tolerant("0x123", &error).has_value());
+  EXPECT_NE(error.find("odd"), std::string::npos);
+  EXPECT_NE(error.find("3"), std::string::npos);  // says how many digits it saw
+  EXPECT_FALSE(bytes_from_hex_tolerant("6080604", &error).has_value());
+}
+
+TEST(Bytecode, TolerantHexRejectsNonHexCharactersWithOffset) {
+  std::string error;
+  EXPECT_FALSE(bytes_from_hex_tolerant("0x60G0", &error).has_value());
+  EXPECT_NE(error.find("'G'"), std::string::npos);
+  EXPECT_FALSE(bytes_from_hex_tolerant("hello world", &error).has_value());
+  EXPECT_FALSE(bytes_from_hex_tolerant("0x6080 0x6040", &error).has_value());
+  // A second 0x is a stray 'x', not a new literal.
+  EXPECT_NE(error.find("'x'"), std::string::npos);
+}
+
+TEST(Bytecode, TolerantHexErrorPointerIsOptional) {
+  EXPECT_FALSE(bytes_from_hex_tolerant("zz").has_value());  // must not crash
+}
+
 }  // namespace
 }  // namespace sigrec::evm

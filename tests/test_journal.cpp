@@ -1,0 +1,267 @@
+// Resumable scans: the ScanJournal's record/load round trip, its durability
+// buffering, graceful interruption of a running batch, and the headline
+// guarantee — a scan stopped mid-way and resumed from its journal renders a
+// canonical report byte-identical to an uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "corpus/datasets.hpp"
+#include "sigrec/batch.hpp"
+#include "sigrec/journal.hpp"
+#include "sigrec/persist.hpp"
+
+namespace sigrec {
+namespace {
+
+using core::CachedContract;
+using core::RecoveryStatus;
+using core::ScanJournal;
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + "sigrec_journal_" + name + "." + std::to_string(::getpid());
+}
+
+std::vector<evm::Bytecode> corpus_codes(std::size_t n, std::uint64_t seed) {
+  corpus::Corpus ds = corpus::make_open_source_corpus(n, seed);
+  return corpus::compile_corpus(ds);
+}
+
+evm::Hash256 hash_of(std::uint8_t fill) {
+  evm::Hash256 h{};
+  for (auto& b : h) b = fill;
+  return h;
+}
+
+CachedContract entry_with_selector(std::uint32_t selector) {
+  CachedContract entry;
+  core::FunctionOutcome outcome;
+  outcome.fn.selector = selector;
+  entry.functions.push_back(outcome);
+  return entry;
+}
+
+// --- record / load round trip ------------------------------------------------
+
+TEST(ScanJournalTest, RecordedEntriesSurviveReload) {
+  std::string path = temp_path("roundtrip");
+  {
+    ScanJournal journal(path, /*flush_interval=*/2);
+    journal.record(0, hash_of(1), entry_with_selector(0xaaaaaaaau), 0.5);
+    journal.record(7, hash_of(2), entry_with_selector(0xbbbbbbbbu), 1.5);
+    journal.record(3, hash_of(3), entry_with_selector(0xccccccccu), 2.5);
+  }  // destructor flushes the odd record out
+
+  ScanJournal reloaded(path);
+  core::LoadStats stats = reloaded.load();
+  EXPECT_EQ(stats.loaded, 3u);
+  EXPECT_EQ(stats.skipped(), 0u);
+  EXPECT_EQ(reloaded.entries(), 3u);
+  const ScanJournal::Entry* e = reloaded.find(7, hash_of(2));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->seconds, 1.5);
+  ASSERT_EQ(e->contract.functions.size(), 1u);
+  EXPECT_EQ(e->contract.functions[0].fn.selector, 0xbbbbbbbbu);
+  std::remove(path.c_str());
+}
+
+TEST(ScanJournalTest, FindRejectsChangedCodeHash) {
+  std::string path = temp_path("hashkey");
+  ScanJournal journal(path, 1);
+  journal.record(0, hash_of(1), entry_with_selector(1), 0.1);
+  EXPECT_NE(journal.find(0, hash_of(1)), nullptr);
+  // Same position, different runtime code: must recompute, never replay.
+  EXPECT_EQ(journal.find(0, hash_of(9)), nullptr);
+  // Different position, same code: positional key, no replay either.
+  EXPECT_EQ(journal.find(1, hash_of(1)), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(ScanJournalTest, NewestRecordForAnIndexWins) {
+  std::string path = temp_path("newest");
+  {
+    ScanJournal journal(path, 1);
+    journal.record(4, hash_of(1), entry_with_selector(0x11111111u), 0.1);
+    // The same contract finished again in a later partial run (e.g. the
+    // first record's run was resumed with a different outcome after a code
+    // edit was reverted): the later record replaces the earlier one.
+    journal.record(4, hash_of(1), entry_with_selector(0x22222222u), 0.2);
+  }
+  ScanJournal reloaded(path);
+  (void)reloaded.load();
+  const ScanJournal::Entry* e = reloaded.find(4, hash_of(1));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->contract.functions[0].fn.selector, 0x22222222u);
+  EXPECT_EQ(reloaded.entries(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ScanJournalTest, InternalErrorOutcomesAreNeverJournaled) {
+  std::string path = temp_path("nointernal");
+  ScanJournal journal(path, 1);
+  CachedContract poisoned;
+  poisoned.status = RecoveryStatus::InternalError;
+  journal.record(0, hash_of(1), poisoned, 0.1);
+  EXPECT_EQ(journal.entries(), 0u);
+  EXPECT_EQ(journal.find(0, hash_of(1)), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(ScanJournalTest, FlushIntervalBuffersUntilThreshold) {
+  std::string path = temp_path("buffered");
+  ScanJournal journal(path, /*flush_interval=*/100);
+  journal.record(0, hash_of(1), entry_with_selector(1), 0.1);
+  // Below the interval: nothing on disk yet.
+  EXPECT_FALSE(core::read_file_bytes(path).has_value());
+  ASSERT_TRUE(journal.flush());
+  EXPECT_TRUE(core::read_file_bytes(path).has_value());
+  std::remove(path.c_str());
+}
+
+// --- batch integration -------------------------------------------------------
+
+TEST(ScanJournalTest, BatchRecordsEveryContractAndReplaysThemAll) {
+  std::string path = temp_path("batchall");
+  std::vector<evm::Bytecode> codes = corpus_codes(5, 77);
+
+  core::BatchOptions opts;
+  opts.jobs = 2;
+  std::string fresh_canonical;
+  {
+    ScanJournal journal(path, 1);
+    opts.journal = &journal;
+    core::BatchResult fresh = core::recover_batch(codes, opts);
+    fresh_canonical = core::canonical_to_string(fresh);
+    EXPECT_EQ(journal.entries(), codes.size());
+    EXPECT_EQ(fresh.health.replayed, 0u);
+  }
+
+  ScanJournal journal(path, 1);
+  (void)journal.load();
+  opts.journal = &journal;
+  core::BatchResult resumed = core::recover_batch(codes, opts);
+  EXPECT_EQ(resumed.health.replayed, codes.size());
+  EXPECT_EQ(resumed.cpu_seconds, 0.0);  // replay does no recovery work
+  for (const core::ContractReport& report : resumed.contracts) {
+    EXPECT_TRUE(report.replayed) << "contract " << report.index;
+  }
+  EXPECT_EQ(core::canonical_to_string(resumed), fresh_canonical);
+  std::remove(path.c_str());
+}
+
+TEST(ScanJournalTest, StopFlagInterruptsAtContractGranularity) {
+  std::vector<evm::Bytecode> codes = corpus_codes(8, 99);
+  std::atomic<bool> stop{true};  // stop before anything starts
+  core::BatchOptions opts;
+  opts.stop = &stop;
+  core::BatchResult batch = core::recover_batch(codes, opts);
+  EXPECT_EQ(batch.health.interrupted, codes.size());
+  EXPECT_EQ(batch.health.contracts, codes.size());
+  for (const core::ContractReport& report : batch.contracts) {
+    EXPECT_TRUE(report.interrupted);
+    EXPECT_TRUE(report.functions.empty());
+  }
+}
+
+// The acceptance scenario: a scan killed at the midpoint, then resumed from
+// its journal, produces byte-identical canonical output to an uninterrupted
+// run — and the resumed run only recomputes what the first run did not
+// finish.
+TEST(ScanJournalTest, KillAtMidpointThenResumeIsByteIdentical) {
+  std::string path = temp_path("midpoint");
+  std::vector<evm::Bytecode> codes = corpus_codes(10, 4242);
+
+  core::BatchOptions opts;
+  opts.jobs = 2;
+
+  // Reference: uninterrupted run, no journal.
+  core::BatchOptions plain = opts;
+  std::string reference = core::canonical_to_string(core::recover_batch(codes, plain));
+
+  // Run 1: trip the graceful-stop flag once half the contracts have
+  // finished — the in-process equivalent of a signal landing mid-scan.
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> completed{0};
+  std::uint64_t interrupted_count = 0;
+  {
+    ScanJournal journal(path, 1);
+    core::BatchOptions first = opts;
+    first.journal = &journal;
+    first.stop = &stop;
+    first.on_contract_done = [&](const core::ContractReport&) {
+      if (completed.fetch_add(1) + 1 >= codes.size() / 2) {
+        stop.store(true, std::memory_order_relaxed);
+      }
+    };
+    core::BatchResult partial = core::recover_batch(codes, first);
+    interrupted_count = partial.health.interrupted;
+    ASSERT_TRUE(journal.flush());
+  }
+  // The stop must actually have interrupted something for this test to mean
+  // anything; half the corpus finished before the flag flipped.
+  EXPECT_GT(interrupted_count, 0u);
+  EXPECT_LT(interrupted_count, codes.size());
+
+  // Run 2: resume. Journaled contracts replay; the rest are recovered now.
+  ScanJournal journal(path, 1);
+  (void)journal.load();
+  std::size_t journaled = journal.entries();
+  EXPECT_GE(journaled, codes.size() / 2 - 1);
+  core::BatchOptions second = opts;
+  second.journal = &journal;
+  core::BatchResult resumed = core::recover_batch(codes, second);
+  EXPECT_EQ(resumed.health.interrupted, 0u);
+  EXPECT_EQ(resumed.health.replayed, journaled);
+
+  EXPECT_EQ(core::canonical_to_string(resumed), reference);
+  std::remove(path.c_str());
+}
+
+// Journal + persistent cache compose: replayed entries seed the cache, so a
+// duplicate of an already-journaled contract hits instead of recomputing.
+TEST(ScanJournalTest, ReplayedEntriesSeedTheContractCache) {
+  std::string path = temp_path("seed");
+  std::vector<evm::Bytecode> base = corpus_codes(3, 11);
+  // Input list: the three uniques, then a duplicate of each.
+  std::vector<evm::Bytecode> codes = base;
+  for (const evm::Bytecode& code : base) codes.push_back(code);
+
+  {
+    ScanJournal journal(path, 1);
+    core::BatchOptions first;
+    first.journal = &journal;
+    // Journal only the first three (stop after 3 completions).
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> completed{0};
+    first.stop = &stop;
+    first.jobs = 1;  // deterministic completion order for the stop trigger
+    first.on_contract_done = [&](const core::ContractReport&) {
+      if (completed.fetch_add(1) + 1 >= 3) stop.store(true);
+    };
+    (void)core::recover_batch(codes, first);
+    ASSERT_TRUE(journal.flush());
+  }
+
+  ScanJournal journal(path, 1);
+  (void)journal.load();
+  ASSERT_EQ(journal.entries(), 3u);
+  core::BatchOptions second;
+  second.journal = &journal;
+  second.jobs = 1;
+  core::BatchResult resumed = core::recover_batch(codes, second);
+  // The three duplicates must be served from the seeded cache: replay
+  // preloaded their code hashes, so no contract is recovered fresh.
+  EXPECT_EQ(resumed.health.replayed, 3u);
+  EXPECT_EQ(resumed.cache.contract_misses, 0u);
+  EXPECT_EQ(resumed.cache.contract_hits, 3u);
+  EXPECT_GE(resumed.cache.contract_preloaded, 3u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sigrec

@@ -325,5 +325,132 @@ TEST(ParallelBatch, ConcurrentExecutorsOnOneWarmedBytecodeAgree) {
   for (const std::string& r : results) EXPECT_EQ(r, baseline.functions[0].to_string());
 }
 
+// --- in-flight deduplication -------------------------------------------------
+
+TEST(RecoveryCache, InFlightDedupBoundsMissesToUniqueContracts) {
+  // 8 workers racing over 6 copies of one contract: with registration-based
+  // dedup exactly ONE worker owns the computation — the claim protocol makes
+  // the miss count deterministic even under parallelism.
+  std::vector<evm::Bytecode> codes(6, heavy_contract());
+  core::BatchOptions opts;
+  opts.jobs = 8;
+  core::BatchResult batch = core::recover_batch(codes, opts);
+  EXPECT_EQ(batch.cache.contract_misses, 1u);
+  EXPECT_EQ(batch.cache.contract_hits + batch.cache.contract_inflight_waits, 5u);
+  std::size_t served = 0;
+  for (const auto& report : batch.contracts) served += report.cache_hit ? 1 : 0;
+  EXPECT_EQ(served, 5u);
+}
+
+TEST(RecoveryCache, DedupOnAndOffProduceIdenticalCanonicalOutput) {
+  std::vector<evm::Bytecode> codes = duplicate_corpus(8, 5, 313);
+  core::BatchOptions opts;
+  opts.jobs = 8;
+  core::BatchResult deduped = core::recover_batch(codes, opts);
+  opts.in_flight_dedup = false;
+  core::BatchResult racing = core::recover_batch(codes, opts);
+  EXPECT_EQ(core::canonical_to_string(deduped), core::canonical_to_string(racing));
+  // Dedup bounds misses to the unique count; the racing variant may duplicate
+  // work but never changes results.
+  EXPECT_EQ(deduped.cache.contract_misses, 8u);
+  EXPECT_GE(racing.cache.contract_misses, 8u);
+}
+
+TEST(RecoveryCache, DedupWaitersRecomputeWhenTheOwnerCrashes) {
+  // Every function throws (fault injection) -> the owner publishes an
+  // InternalError it must NOT serve to registered duplicates; they recompute
+  // (and fail identically on their own).
+  std::vector<evm::Bytecode> codes(5, wide_contract());
+  core::BatchOptions opts;
+  opts.jobs = 8;
+  opts.limits.fault.throw_at_path = 1;
+  core::BatchResult batch = core::recover_batch(codes, opts);
+  ASSERT_EQ(batch.contracts.size(), 5u);
+  for (const auto& report : batch.contracts) {
+    EXPECT_EQ(report.status, RecoveryStatus::InternalError);
+    EXPECT_FALSE(report.cache_hit);  // a crash outcome is never served
+  }
+}
+
+// --- cooperative cancellation and the stuck-worker watchdog ------------------
+
+TEST(ParallelBatch, PresetCancelFlagStopsEveryFunctionAsDeadline) {
+  // The executor's cancel hook, driven deterministically: a flag that is
+  // already set stops every rung (including ladder retries, which inherit
+  // the budget) at the first deadline-check boundary.
+  std::atomic<bool> cancel{true};
+  std::vector<evm::Bytecode> codes{wide_contract()};
+  core::BatchOptions opts;
+  opts.limits.budget.cancel = &cancel;
+  opts.limits.budget.deadline_check_interval = 1;
+  core::BatchResult batch = core::recover_batch(codes, opts);
+  ASSERT_EQ(batch.contracts.size(), 1u);
+  EXPECT_EQ(batch.contracts[0].status, RecoveryStatus::DeadlineExceeded);
+  for (const auto& fn : batch.contracts[0].functions) {
+    EXPECT_EQ(fn.status, RecoveryStatus::DeadlineExceeded);
+  }
+}
+
+// A dispatcher whose (single) function body is an unconditional infinite
+// loop: `PUSH4 <sel> EQ PUSH1 entry JUMPI`, entry: `JUMPDEST PUSH1 entry
+// JUMP`. No step budget measured in the hundreds of millions finishes in
+// test time, so only the watchdog can end the run.
+evm::Bytecode wedged_contract() {
+  return evm::Bytecode(evm::Bytes{
+      0x60, 0x00,                     // PUSH1 0
+      0x35,                           // CALLDATALOAD
+      0x60, 0xe0,                     // PUSH1 0xe0
+      0x1c,                           // SHR
+      0x80,                           // DUP1
+      0x63, 0xaa, 0xbb, 0xcc, 0xdd,   // PUSH4 0xaabbccdd
+      0x14,                           // EQ
+      0x60, 0x13,                     // PUSH1 0x13
+      0x57,                           // JUMPI
+      0x00,                           // STOP (fallthrough)
+      0x00, 0x00,                     // padding
+      0x5b,                           // 0x13: JUMPDEST
+      0x60, 0x13,                     // PUSH1 0x13
+      0x56,                           // JUMP -> 0x13
+  });
+}
+
+TEST(ParallelBatch, WatchdogEscalatesAWedgedContractToTimedOut) {
+  // The neighbor is deliberately trivial: it must finish well inside the
+  // watchdog window even on a loaded single-core sanitizer run, so only the
+  // genuinely wedged contract gets escalated.
+  auto neighbor_spec =
+      compiler::make_contract("Neighbor", {}, {compiler::make_function("g", {"uint256"}, true)});
+  std::vector<evm::Bytecode> codes{wedged_contract(), compiler::compile_contract(neighbor_spec)};
+  core::BatchOptions opts;
+  opts.jobs = 2;
+  // Step budgets far beyond what the watchdog window allows: without the
+  // watchdog this test would run for minutes.
+  opts.limits.max_total_steps = 500'000'000;
+  opts.limits.max_steps_per_path = 500'000'000;
+  opts.max_retries = 0;  // one rung; retrying a wedge would multiply the wait
+  opts.watchdog_seconds = 0.5;  // generous: sanitizer runs starve the neighbor
+  core::BatchResult batch = core::recover_batch(codes, opts);
+
+  ASSERT_EQ(batch.contracts.size(), 2u);
+  const core::ContractReport& wedged = batch.contracts[0];
+  EXPECT_EQ(wedged.status, RecoveryStatus::DeadlineExceeded);
+  ASSERT_EQ(wedged.functions.size(), 1u);
+  EXPECT_EQ(wedged.functions[0].status, RecoveryStatus::DeadlineExceeded);
+  EXPECT_NE(wedged.functions[0].error.find("watchdog"), std::string::npos)
+      << "error: " << wedged.functions[0].error;
+  // The healthy contract is untouched by its neighbor's escalation.
+  EXPECT_EQ(batch.contracts[1].status, RecoveryStatus::Complete);
+}
+
+TEST(ParallelBatch, ArmedWatchdogDoesNotDisturbAHealthyBatch) {
+  std::vector<evm::Bytecode> codes = duplicate_corpus(6, 2, 747);
+  core::BatchOptions opts;
+  opts.jobs = 4;
+  std::string plain = core::canonical_to_string(core::recover_batch(codes, opts));
+  opts.watchdog_seconds = 30.0;  // armed, far beyond any real contract
+  std::string watched = core::canonical_to_string(core::recover_batch(codes, opts));
+  EXPECT_EQ(plain, watched);
+}
+
 }  // namespace
 }  // namespace sigrec

@@ -1,0 +1,324 @@
+// The crash-safe persistence layer: record framing, the payload codec,
+// corruption tolerance of the loader (truncation, bit flips, foreign
+// versions, garbage resync), atomic file replacement, and the end-to-end
+// guarantee a persistent cache exists for — a warm second scan does zero
+// fresh symbolic execution yet renders an identical canonical report.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "abi/types.hpp"
+#include "compiler/compile.hpp"
+#include "corpus/datasets.hpp"
+#include "evm/keccak.hpp"
+#include "sigrec/batch.hpp"
+#include "sigrec/cache.hpp"
+#include "sigrec/persist.hpp"
+
+namespace sigrec {
+namespace {
+
+using core::CachedContract;
+using core::Decoder;
+using core::Encoder;
+using core::FunctionOutcome;
+using core::LoadStats;
+using core::RecoveryStatus;
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + "sigrec_persist_" + name + "." +
+         std::to_string(::getpid());
+}
+
+evm::Hash256 hash_of(std::uint8_t fill) {
+  evm::Hash256 h{};
+  for (auto& b : h) b = fill;
+  return h;
+}
+
+// A cache entry exercising every serialized field: multiple functions,
+// non-trivial types (nested arrays, dynamic types, a Vyper dialect), retry
+// and salvage counters, failure statuses, and error strings.
+CachedContract sample_entry() {
+  CachedContract entry;
+  entry.status = RecoveryStatus::StepBudgetExhausted;
+  entry.error = "one function blew its step budget";
+  FunctionOutcome a;
+  a.fn.selector = 0xa9059cbbu;
+  a.fn.parameters = {abi::parse_type("address"), abi::parse_type("uint256")};
+  a.fn.seconds = 0.125;
+  a.fn.symbolic_steps = 421;
+  a.fn.paths_explored = 7;
+  FunctionOutcome b;
+  b.fn.selector = 0x01020304u;
+  b.fn.parameters = {abi::parse_type("uint8[3][]"), abi::parse_type("bytes"),
+                     abi::parse_type("string")};
+  b.fn.status = RecoveryStatus::StepBudgetExhausted;
+  b.fn.partial = true;
+  b.fn.error = "step budget exhausted";
+  b.retries = 2;
+  b.salvaged = 1;
+  FunctionOutcome c;
+  c.fn.selector = 0xdeadbeefu;
+  c.fn.dialect = abi::Dialect::Vyper;
+  c.fn.parameters = {abi::parse_type("uint256"), abi::parse_type("bool")};
+  entry.functions = {a, b, c};
+  return entry;
+}
+
+std::string file_with_entries(const std::string& path, int count) {
+  core::RecoveryCache cache;
+  for (int i = 0; i < count; ++i) {
+    CachedContract entry = sample_entry();
+    entry.functions[0].fn.selector = static_cast<std::uint32_t>(i);
+    cache.preload_contract(hash_of(static_cast<std::uint8_t>(i + 1)), entry);
+  }
+  core::PersistentCacheStore store(path);
+  EXPECT_TRUE(store.compact_from(cache));
+  auto bytes = core::read_file_bytes(path);
+  EXPECT_TRUE(bytes.has_value());
+  return *bytes;
+}
+
+// --- codec -------------------------------------------------------------------
+
+TEST(Persist, CodecRoundTripsEveryPrimitive) {
+  Encoder enc;
+  enc.put_u8(0xab);
+  enc.put_u32(0xdeadbeefu);
+  enc.put_u64(0x0123456789abcdefull);
+  enc.put_f64(0.1);  // not representable exactly: must round-trip by bits
+  enc.put_string("hello\0world");
+  enc.put_hash(hash_of(0x5a));
+
+  Decoder dec(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(enc.bytes().data()), enc.bytes().size()));
+  std::uint8_t u8 = 0;
+  std::uint32_t u32 = 0;
+  std::uint64_t u64 = 0;
+  double f64 = 0;
+  std::string s;
+  evm::Hash256 h{};
+  EXPECT_TRUE(dec.get_u8(u8));
+  EXPECT_TRUE(dec.get_u32(u32));
+  EXPECT_TRUE(dec.get_u64(u64));
+  EXPECT_TRUE(dec.get_f64(f64));
+  EXPECT_TRUE(dec.get_string(s));
+  EXPECT_TRUE(dec.get_hash(h));
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefull);
+  EXPECT_EQ(f64, 0.1);
+  EXPECT_EQ(s, "hello");  // string literal stops at the embedded NUL
+  EXPECT_EQ(h, hash_of(0x5a));
+  EXPECT_TRUE(dec.ok());
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(Persist, DecoderPoisonsOnUnderflowInsteadOfThrowing) {
+  Encoder enc;
+  enc.put_u32(7);
+  Decoder dec(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(enc.bytes().data()), enc.bytes().size()));
+  std::uint64_t v = 0;
+  EXPECT_FALSE(dec.get_u64(v));  // only 4 bytes available
+  EXPECT_FALSE(dec.ok());
+  std::uint8_t b = 0;
+  EXPECT_FALSE(dec.get_u8(b));  // poisoned: everything after fails too
+}
+
+TEST(Persist, CachedContractRoundTripsExactly) {
+  CachedContract entry = sample_entry();
+  Encoder enc;
+  core::encode_cached_contract(enc, hash_of(0x42), entry);
+
+  Decoder dec(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(enc.bytes().data()), enc.bytes().size()));
+  evm::Hash256 hash{};
+  CachedContract back;
+  ASSERT_TRUE(core::decode_cached_contract(dec, hash, back));
+  EXPECT_EQ(hash, hash_of(0x42));
+  EXPECT_EQ(back.status, entry.status);
+  EXPECT_EQ(back.error, entry.error);
+  ASSERT_EQ(back.functions.size(), entry.functions.size());
+  for (std::size_t i = 0; i < entry.functions.size(); ++i) {
+    const FunctionOutcome& want = entry.functions[i];
+    const FunctionOutcome& got = back.functions[i];
+    EXPECT_EQ(got.fn.selector, want.fn.selector);
+    EXPECT_EQ(got.fn.dialect, want.fn.dialect);
+    EXPECT_EQ(got.fn.status, want.fn.status);
+    EXPECT_EQ(got.fn.partial, want.fn.partial);
+    EXPECT_EQ(got.fn.seconds, want.fn.seconds);
+    EXPECT_EQ(got.fn.symbolic_steps, want.fn.symbolic_steps);
+    EXPECT_EQ(got.fn.paths_explored, want.fn.paths_explored);
+    EXPECT_EQ(got.fn.error, want.fn.error);
+    // Types travel as display names and are re-parsed: structural equality.
+    ASSERT_EQ(got.fn.parameters.size(), want.fn.parameters.size());
+    for (std::size_t j = 0; j < want.fn.parameters.size(); ++j) {
+      EXPECT_EQ(got.fn.parameters[j]->display_name(), want.fn.parameters[j]->display_name());
+    }
+    EXPECT_EQ(got.retries, want.retries);
+    EXPECT_EQ(got.salvaged, want.salvaged);
+  }
+}
+
+// --- corruption tolerance ----------------------------------------------------
+
+TEST(Persist, LoadRecoversEveryEntryFromCleanFile) {
+  std::string path = temp_path("clean");
+  file_with_entries(path, 5);
+  core::RecoveryCache cache;
+  LoadStats stats = core::PersistentCacheStore(path).load_into(cache);
+  EXPECT_EQ(stats.loaded, 5u);
+  EXPECT_EQ(stats.skipped(), 0u);
+  EXPECT_EQ(cache.contract_count(), 5u);
+  std::remove(path.c_str());
+}
+
+TEST(Persist, MissingFileIsAColdStartNotAnError) {
+  core::RecoveryCache cache;
+  LoadStats stats = core::PersistentCacheStore(temp_path("missing")).load_into(cache);
+  EXPECT_EQ(stats.loaded, 0u);
+  EXPECT_EQ(stats.skipped(), 0u);
+}
+
+TEST(Persist, TruncatedTailLosesOnlyTheTornRecord) {
+  std::string path = temp_path("trunc");
+  std::string bytes = file_with_entries(path, 4);
+  // Chop the file mid-way through the last record.
+  ASSERT_TRUE(core::atomic_write_file(path, std::string_view(bytes).substr(0, bytes.size() - 20)));
+  core::RecoveryCache cache;
+  LoadStats stats = core::PersistentCacheStore(path).load_into(cache);
+  EXPECT_EQ(stats.loaded, 3u);
+  EXPECT_EQ(stats.skipped_truncated, 1u);
+  EXPECT_EQ(cache.contract_count(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(Persist, BitFlipSkipsOneRecordAndRecoversTheRest) {
+  std::string path = temp_path("flip");
+  std::string bytes = file_with_entries(path, 4);
+  // Flip one payload bit inside the second record (past the first record's
+  // full frame; offset chosen inside a type-name string, not a header).
+  std::size_t record = bytes.find("SRj1", 4);  // start of record #2
+  ASSERT_NE(record, std::string::npos);
+  bytes[record + 40] ^= 0x10;
+  ASSERT_TRUE(core::atomic_write_file(path, bytes));
+  core::RecoveryCache cache;
+  LoadStats stats = core::PersistentCacheStore(path).load_into(cache);
+  EXPECT_EQ(stats.loaded, 3u);
+  EXPECT_EQ(stats.skipped_checksum, 1u);
+  EXPECT_EQ(cache.contract_count(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(Persist, ForeignVersionRecordsAreSkippedNotFatal) {
+  std::string path = temp_path("version");
+  std::string bytes = file_with_entries(path, 3);
+  // Bump the version byte (right after the 4-byte marker) of record #2.
+  std::size_t record = bytes.find("SRj1", 4);
+  ASSERT_NE(record, std::string::npos);
+  bytes[record + 4] = static_cast<char>(core::kPersistFormatVersion + 1);
+  ASSERT_TRUE(core::atomic_write_file(path, bytes));
+  core::RecoveryCache cache;
+  LoadStats stats = core::PersistentCacheStore(path).load_into(cache);
+  EXPECT_EQ(stats.loaded, 2u);
+  EXPECT_EQ(stats.skipped_version, 1u);
+  EXPECT_EQ(cache.contract_count(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(Persist, GarbageBetweenRecordsTriggersResyncNotLoss) {
+  std::string path = temp_path("garbage");
+  std::string bytes = file_with_entries(path, 3);
+  // Prepend garbage and splice more between records: the marker hunt must
+  // still find every intact record.
+  std::size_t record = bytes.find("SRj1", 4);
+  ASSERT_NE(record, std::string::npos);
+  std::string doctored = "not a record at all" + bytes.substr(0, record) + "\xff\xfe\x00junk" +
+                         bytes.substr(record);
+  ASSERT_TRUE(core::atomic_write_file(path, doctored));
+  core::RecoveryCache cache;
+  LoadStats stats = core::PersistentCacheStore(path).load_into(cache);
+  EXPECT_EQ(stats.loaded, 3u);
+  EXPECT_GE(stats.resync_scans, 1u);
+  EXPECT_EQ(cache.contract_count(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(Persist, EveryTruncationPointLoadsWithoutCrashing) {
+  std::string path = temp_path("alltrunc");
+  std::string bytes = file_with_entries(path, 2);
+  // Exhaustive torn-tail sweep: any prefix must load every record that fits
+  // in it and never throw, crash, or report more than it saw.
+  for (std::size_t len = 0; len <= bytes.size(); ++len) {
+    ASSERT_TRUE(core::atomic_write_file(path, std::string_view(bytes).substr(0, len)));
+    core::RecoveryCache cache;
+    LoadStats stats = core::PersistentCacheStore(path).load_into(cache);
+    EXPECT_LE(stats.loaded, 2u) << "prefix length " << len;
+    EXPECT_EQ(cache.contract_count(), stats.loaded) << "prefix length " << len;
+    if (len == bytes.size()) {
+      EXPECT_EQ(stats.loaded, 2u);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// --- atomic writes -----------------------------------------------------------
+
+TEST(Persist, AtomicWriteReplacesWithoutLeavingTempFiles) {
+  std::string path = temp_path("atomic");
+  ASSERT_TRUE(core::atomic_write_file(path, "first"));
+  EXPECT_EQ(core::read_file_bytes(path).value_or(""), "first");
+  ASSERT_TRUE(core::atomic_write_file(path, "second, longer content"));
+  EXPECT_EQ(core::read_file_bytes(path).value_or(""), "second, longer content");
+  EXPECT_FALSE(core::read_file_bytes(path + ".tmp." + std::to_string(::getpid())).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Persist, AtomicWriteToUnwritableDirectoryFailsCleanly) {
+  EXPECT_FALSE(core::atomic_write_file("/nonexistent-dir-zz/x", "content"));
+}
+
+// --- end to end: warm scans do no symbolic execution -------------------------
+
+TEST(Persist, WarmPersistentCacheDoesZeroFreshSymbolicExecution) {
+  std::string path = temp_path("warm");
+  corpus::Corpus ds = corpus::make_open_source_corpus(6, 1234);
+  std::vector<evm::Bytecode> codes = corpus::compile_corpus(ds);
+
+  core::BatchOptions opts;
+  opts.jobs = 2;
+  core::RecoveryCache first_cache;
+  opts.cache = &first_cache;
+  core::BatchResult cold = core::recover_batch(codes, opts);
+  ASSERT_TRUE(core::PersistentCacheStore(path).compact_from(first_cache));
+
+  core::RecoveryCache warm_cache;
+  LoadStats stats = core::PersistentCacheStore(path).load_into(warm_cache);
+  EXPECT_EQ(stats.loaded, warm_cache.contract_count());
+  EXPECT_EQ(stats.skipped(), 0u);
+
+  opts.cache = &warm_cache;
+  core::BatchResult warm = core::recover_batch(codes, opts);
+
+  // The acceptance criterion: a warm scan performs zero fresh symbolic
+  // executions — every contract is a cache hit, no contract or function
+  // misses are recorded beyond the preloads.
+  EXPECT_EQ(warm.cache.contract_misses, 0u);
+  EXPECT_EQ(warm.cache.function_misses, 0u);
+  EXPECT_EQ(warm.cache.contract_hits, codes.size());
+  for (const core::ContractReport& report : warm.contracts) {
+    EXPECT_TRUE(report.cache_hit) << "contract " << report.index;
+  }
+  // And it renders the identical canonical report.
+  EXPECT_EQ(core::canonical_to_string(warm), core::canonical_to_string(cold));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sigrec
