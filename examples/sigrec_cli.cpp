@@ -10,6 +10,10 @@
 //   example_sigrec_cli <input> --deadline-ms 5    # per-function deadline
 //   example_sigrec_cli a.hex b.hex c.hex          # batch mode: parallel
 //                                                 # recovery over all inputs
+//   find . -name '*.hex' | example_sigrec_cli -   # streaming mode: contracts
+//                                                 # (hex lines or paths) read
+//                                                 # from stdin, ingestion
+//                                                 # overlapping recovery
 //   example_sigrec_cli *.hex --jobs 4             # worker count (default:
 //                                                 # hardware concurrency)
 //   example_sigrec_cli *.hex --no-cache           # disable the duplicate-
@@ -24,11 +28,20 @@
 //                                                 # already has (crash resume)
 //   example_sigrec_cli *.hex -o out.txt           # canonical batch report,
 //                                                 # written atomically
+//   example_sigrec_cli *.hex --shard-dir db --shard-bits 4
+//                                                 # stream recovered functions
+//                                                 # into 16 selector shards
+//   example_sigrec_cli --merge-shards db          # merge shard files into the
+//                                                 # canonical text database
 //
 // A batch run installs SIGINT/SIGTERM handlers for graceful shutdown:
 // in-flight contracts finish and are journaled, queued ones are skipped, the
 // journal is flushed and the cache file compacted before exit — so Ctrl-C
 // never loses completed work and the scan resumes with --resume.
+//
+// Streaming ingestion is fault-tolerant per entry: a malformed line or an
+// unreadable file costs one error line on stderr (and exit code 2), never
+// the rest of the stream.
 //
 // Output, one line per recovered public/external function, with an outcome
 // column saying why recovery stopped (complete, step-budget, path-budget,
@@ -36,11 +49,13 @@
 //   0xa9059cbb(address,uint256)   solidity   0.08ms  complete
 //
 // Batch mode (more than one input) prints the same rows grouped per input,
-// then a health summary with wall/cpu seconds and cache hit rates.
+// then a health summary with wall/cpu seconds, per-stage times, and cache
+// hit rates.
 //
 // Exit codes: 0 all functions recovered completely; 1 at least one function
 // ended in a failure status (partial or no signature) or the scan was
-// interrupted; 2 bad invocation or unreadable/invalid input.
+// interrupted; 2 bad invocation, unreadable/invalid input, or any entry the
+// stream could not ingest (the rest of the stream still ran).
 #include <sys/stat.h>
 
 #include <atomic>
@@ -50,6 +65,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <vector>
@@ -60,13 +77,16 @@
 #include "sigrec/batch.hpp"
 #include "sigrec/journal.hpp"
 #include "sigrec/persist.hpp"
+#include "sigrec/pipeline.hpp"
+#include "sigrec/shard.hpp"
 #include "sigrec/sigrec.hpp"
 #include "sigrec/work_stealing.hpp"
 
 namespace {
 
-// Set by the SIGINT/SIGTERM handler, observed by recover_batch at contract
-// granularity. Only a sig_atomic_t-compatible store happens in the handler.
+// Set by the SIGINT/SIGTERM handler, observed by recover_stream: ingestion
+// stops and the pool quiesces at contract granularity. Only a
+// sig_atomic_t-compatible store happens in the handler.
 std::atomic<bool> g_stop{false};
 
 void handle_stop_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
@@ -173,19 +193,28 @@ int decode_calldata(const sigrec::core::RecoveryResult& recovery, const std::str
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <0xbytecode | file.hex | --demo>... [--decode 0xcalldata]"
-               " [--deadline-ms <ms>] [--jobs <n>] [--no-cache]\n"
-               "          [--cache-file <path>] [--journal <path>] [--resume]"
-               " [--output|-o <path>] [--watchdog-ms <ms>] [--flush-interval <n>]\n"
+               "usage: %s <0xbytecode | file.hex | - | --stdin | --demo>..."
+               " [--decode 0xcalldata]\n"
+               "          [--deadline-ms <ms>] [--jobs <n>] [--no-cache]"
+               " [--cache-file <path>] [--journal <path>] [--resume]\n"
+               "          [--output|-o <path>] [--watchdog-ms <ms>]"
+               " [--flush-interval <n>] [--shard-dir <dir>] [--shard-bits <0..8>]\n"
+               "       %s --merge-shards <dir> [--output|-o <path>]"
+               "   # merge shard files into the canonical database\n"
                "       %s --emit-corpus <dir> <n>   # synthesize a test corpus\n"
                "recovers function signatures from EVM runtime bytecode; several\n"
                "inputs run as one parallel batch (--jobs workers, default: all\n"
                "hardware threads; duplicate runtime code served from memo caches).\n"
-               "--cache-file persists the memo cache across invocations;\n"
-               "--journal records per-contract completion and --resume replays it,\n"
-               "so a killed scan continues where it stopped. --output writes the\n"
-               "canonical batch report atomically (temp file + rename).\n",
-               argv0, argv0);
+               "'-' / --stdin streams contracts (hex lines or .hex paths) from\n"
+               "stdin, overlapping ingestion with recovery; a bad line costs one\n"
+               "error, never the stream. --cache-file persists the memo cache\n"
+               "across invocations; --journal records per-contract completion and\n"
+               "--resume replays it, so a killed scan continues where it stopped.\n"
+               "--shard-dir appends each recovered function to a selector shard\n"
+               "(2^shard-bits files) as contracts finish; --merge-shards renders\n"
+               "the shards as one deterministic text database. --output writes\n"
+               "the canonical batch report atomically (temp file + rename).\n",
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -205,28 +234,87 @@ struct CliOptions {
   const char* journal_file = nullptr;
   bool resume = false;
   const char* output_file = nullptr;
+  const char* shard_dir = nullptr;
+  int shard_bits = 0;
+  const char* merge_dir = nullptr;
   double watchdog_ms = 0;
   std::size_t flush_interval = 16;
 };
 
+bool is_stdin_arg(const char* arg) {
+  return std::strcmp(arg, "-") == 0 || std::strcmp(arg, "--stdin") == 0;
+}
+
+// Composes the positional arguments into one ordered ContractSource: literal
+// hex and --demo become hex entries, paths are read lazily one at a time,
+// and '-'/--stdin splices the line stream in place. ChainSource renumbers
+// ordinals globally, so the journal/dedup/shard keys follow the overall
+// argument order.
+std::unique_ptr<sigrec::core::ContractSource> make_source(
+    const std::vector<const char*>& inputs) {
+  using namespace sigrec::core;
+  std::vector<std::unique_ptr<ContractSource>> parts;
+  std::vector<HexListSource::Entry> hex_entries;
+  std::vector<std::string> files;
+  auto flush_hex = [&parts, &hex_entries] {
+    if (hex_entries.empty()) return;
+    parts.push_back(std::make_unique<HexListSource>(std::move(hex_entries)));
+    hex_entries.clear();
+  };
+  auto flush_files = [&parts, &files] {
+    if (files.empty()) return;
+    parts.push_back(std::make_unique<FileListSource>(std::move(files)));
+    files.clear();
+  };
+  for (const char* input : inputs) {
+    if (std::strcmp(input, "--demo") == 0) {
+      flush_files();
+      hex_entries.push_back({"demo", demo_bytecode()});
+    } else if (is_stdin_arg(input)) {
+      flush_hex();
+      flush_files();
+      parts.push_back(std::make_unique<LineStreamSource>(std::cin));
+    } else if (std::strncmp(input, "0x", 2) == 0 || std::strncmp(input, "0X", 2) == 0) {
+      flush_files();
+      hex_entries.push_back({input, input});
+    } else {
+      flush_hex();
+      files.emplace_back(input);
+    }
+  }
+  flush_hex();
+  flush_files();
+  if (parts.size() == 1) return std::move(parts[0]);
+  return std::make_unique<sigrec::core::ChainSource>(std::move(parts));
+}
+
+// Standalone merge mode: render every shard file under `dir` as the
+// deterministic text database (see shard.hpp) — byte-identical for any
+// shard_bits/jobs/ingestion combination that produced the records.
+int run_merge(const CliOptions& cli) {
+  using namespace sigrec;
+  std::vector<std::string> files = core::list_shard_files(cli.merge_dir);
+  if (files.empty()) {
+    std::fprintf(stderr, "error: no shard files under '%s'\n", cli.merge_dir);
+    return 2;
+  }
+  core::MergeStats stats;
+  std::string merged = core::merge_shards(files, &stats);
+  if (cli.output_file != nullptr) {
+    if (!core::atomic_write_file(cli.output_file, merged)) {
+      std::fprintf(stderr, "error: could not write output file '%s'\n", cli.output_file);
+      return 2;
+    }
+  } else {
+    std::fwrite(merged.data(), 1, merged.size(), stdout);
+  }
+  std::fprintf(stderr, "merge: %s\n", stats.to_string().c_str());
+  return 0;
+}
+
 int run_batch(const std::vector<const char*>& inputs, const sigrec::symexec::Limits& limits,
               const CliOptions& cli) {
   using namespace sigrec;
-  std::vector<evm::Bytecode> codes;
-  std::vector<std::string> labels;
-  for (const char* input : inputs) {
-    std::optional<std::string> hex =
-        std::strcmp(input, "--demo") == 0 ? std::optional<std::string>(demo_bytecode())
-                                          : read_input(input);
-    if (!hex.has_value()) {
-      std::fprintf(stderr, "error: cannot read input file '%s'\n", input);
-      return 2;
-    }
-    std::optional<evm::Bytecode> code = parse_bytecode(input, *hex);
-    if (!code.has_value()) return 2;
-    codes.push_back(std::move(*code));
-    labels.emplace_back(input);
-  }
 
   // Persistent cache: restore before the scan, compact back after it. A
   // corrupt or foreign-version file degrades to a (partially) cold start.
@@ -242,8 +330,8 @@ int run_batch(const std::vector<const char*>& inputs, const sigrec::symexec::Lim
 
   // Scan journal: without --resume any stale journal is dropped so records
   // from an unrelated input list cannot linger; with --resume its entries
-  // replay (keyed by input position AND code hash, so edited inputs recompute
-  // rather than replaying wrong reports).
+  // replay (keyed by source ordinal AND code hash, so edited inputs
+  // recompute rather than replaying wrong reports).
   std::optional<core::ScanJournal> journal;
   if (cli.journal_file != nullptr) {
     if (!cli.resume) std::remove(cli.journal_file);
@@ -255,6 +343,18 @@ int run_batch(const std::vector<const char*>& inputs, const sigrec::symexec::Lim
     }
   }
 
+  // Sharded sink: recovered functions stream to selector shards as contracts
+  // finish, so the signature database grows with the scan instead of being
+  // rendered from memory at the end.
+  std::optional<core::ShardedSink> sink;
+  if (cli.shard_dir != nullptr) {
+    sink.emplace(cli.shard_dir, cli.shard_bits, cli.flush_interval);
+    if (!sink->ok()) {
+      std::fprintf(stderr, "error: cannot create shard directory '%s'\n", cli.shard_dir);
+      return 2;
+    }
+  }
+
   core::BatchOptions opts;
   opts.limits = limits;
   opts.jobs = cli.jobs;
@@ -262,17 +362,19 @@ int run_batch(const std::vector<const char*>& inputs, const sigrec::symexec::Lim
   opts.function_cache = cli.caches;
   if (store.has_value()) opts.cache = &persistent_cache;
   if (journal.has_value()) opts.journal = &*journal;
+  if (sink.has_value()) opts.sink = &*sink;
   opts.stop = &g_stop;
   opts.watchdog_seconds = cli.watchdog_ms / 1000.0;
 
+  std::unique_ptr<core::ContractSource> source = make_source(inputs);
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
-  core::BatchResult batch = core::recover_batch(codes, opts);
+  core::BatchResult batch = core::recover_stream(*source, opts);
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
 
   // Durability before reporting: completed work must survive even if the
-  // terminal pipe is already gone.
+  // terminal pipe is already gone. (recover_stream already flushed the sink.)
   if (journal.has_value() && !journal->flush()) {
     std::fprintf(stderr, "warning: could not flush journal '%s'\n", journal->path().c_str());
   }
@@ -286,28 +388,44 @@ int run_batch(const std::vector<const char*>& inputs, const sigrec::symexec::Lim
   }
 
   bool any_failure = false;
+  bool any_ingest_failure = false;
   for (const core::ContractReport& report : batch.contracts) {
+    std::string shown = report.label.empty() ? "#" + std::to_string(report.ordinal)
+                                             : report.label;
     if (report.interrupted) {
-      std::printf("== %s  interrupted\n", labels[report.index].c_str());
+      std::printf("== %s  interrupted\n", shown.c_str());
+      continue;
+    }
+    if (report.ingest_failed) {
+      // One bad entry, one specific line — the stream itself kept going.
+      std::fprintf(stderr, "error: %s: %s\n", shown.c_str(), report.error.c_str());
+      any_ingest_failure = true;
       continue;
     }
     const char* origin = report.replayed ? "  (resumed)" : report.cache_hit ? "  (cached)" : "";
-    std::printf("== %s  %s%s\n", labels[report.index].c_str(),
+    std::printf("== %s  %s%s\n", shown.c_str(),
                 std::string(symexec::status_name(report.status)).c_str(), origin);
     if (!report.error.empty()) std::printf("   error: %s\n", report.error.c_str());
     for (const auto& fn : report.functions) print_function_row(fn);
     any_failure |= symexec::is_failure(report.status);
   }
   std::fprintf(stderr, "%s\n", batch.health.to_string().c_str());
-  std::fprintf(stderr, "wall=%.3fs cpu=%.3fs jobs=%u %s\n", batch.wall_seconds,
-               batch.cpu_seconds, core::WorkStealingPool::resolve_jobs(cli.jobs),
-               batch.cache.to_string().c_str());
+  std::fprintf(stderr, "wall=%.3fs cpu=%.3fs ingest=%.3fs recover=%.3fs write=%.3fs jobs=%u %s\n",
+               batch.wall_seconds, batch.cpu_seconds, batch.ingest_seconds,
+               batch.recover_seconds, batch.write_seconds,
+               core::WorkStealingPool::resolve_jobs(cli.jobs), batch.cache.to_string().c_str());
+  if (sink.has_value()) {
+    std::fprintf(stderr, "shards: %llu records into %zu shards under %s\n",
+                 static_cast<unsigned long long>(sink->records_written()),
+                 core::shard_count(sink->shard_bits()), sink->dir().c_str());
+  }
   if (batch.health.interrupted != 0) {
     std::fprintf(stderr, "interrupted: %llu contracts not scanned%s\n",
                  static_cast<unsigned long long>(batch.health.interrupted),
                  journal.has_value() ? "; rerun with --resume to finish" : "");
-    return 1;
+    return any_ingest_failure ? 2 : 1;
   }
+  if (any_ingest_failure) return 2;
   return any_failure ? 1 : 0;
 }
 
@@ -350,6 +468,18 @@ int main(int argc, char** argv) {
       unsigned long parsed = std::strtoul(argv[++i], &end, 10);
       if (end == argv[i] || *end != '\0' || parsed == 0) return usage(argv[0]);
       cli.flush_interval = static_cast<std::size_t>(parsed);
+    } else if (std::strcmp(argv[i], "--shard-bits") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' ||
+          parsed > static_cast<unsigned long>(core::kMaxShardBits)) {
+        return usage(argv[0]);
+      }
+      cli.shard_bits = static_cast<int>(parsed);
+    } else if (std::strcmp(argv[i], "--shard-dir") == 0 && i + 1 < argc) {
+      cli.shard_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--merge-shards") == 0 && i + 1 < argc) {
+      cli.merge_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       cli.caches = false;
     } else if (std::strcmp(argv[i], "--cache-file") == 0 && i + 1 < argc) {
@@ -361,7 +491,7 @@ int main(int argc, char** argv) {
     } else if ((std::strcmp(argv[i], "--output") == 0 || std::strcmp(argv[i], "-o") == 0) &&
                i + 1 < argc) {
       cli.output_file = argv[++i];
-    } else if (std::strcmp(argv[i], "--demo") == 0) {
+    } else if (std::strcmp(argv[i], "--demo") == 0 || is_stdin_arg(argv[i])) {
       inputs.push_back(argv[i]);
     } else if (argv[i][0] == '-' && argv[i][1] == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", argv[i]);
@@ -369,6 +499,13 @@ int main(int argc, char** argv) {
     } else {
       inputs.push_back(argv[i]);
     }
+  }
+  if (cli.merge_dir != nullptr) {
+    if (!inputs.empty()) {
+      std::fprintf(stderr, "error: --merge-shards takes no contract inputs\n");
+      return 2;
+    }
+    return run_merge(cli);
   }
   if (inputs.empty()) return usage(argv[0]);
   if (cli.resume && cli.journal_file == nullptr) {
@@ -379,12 +516,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --cache-file needs the memo caches (drop --no-cache)\n");
     return 2;
   }
+  if (cli.shard_bits != 0 && cli.shard_dir == nullptr) {
+    std::fprintf(stderr, "error: --shard-bits needs --shard-dir <dir>\n");
+    return 2;
+  }
 
   symexec::Limits limits;
   limits.budget.deadline_seconds = cli.deadline_ms / 1000.0;
 
-  if (inputs.size() > 1 || cli.journal_file != nullptr || cli.cache_file != nullptr ||
-      cli.output_file != nullptr) {
+  bool streaming_input = false;
+  for (const char* input : inputs) streaming_input |= is_stdin_arg(input);
+
+  if (inputs.size() > 1 || streaming_input || cli.journal_file != nullptr ||
+      cli.cache_file != nullptr || cli.output_file != nullptr || cli.shard_dir != nullptr) {
     if (decode_hex != nullptr) {
       std::fprintf(stderr, "error: --decode needs exactly one plain input\n");
       return 2;

@@ -3,15 +3,20 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "sigrec/function_extractor.hpp"
 #include "sigrec/journal.hpp"
+#include "sigrec/pipeline.hpp"
+#include "sigrec/shard.hpp"
 #include "sigrec/work_stealing.hpp"
 
 namespace sigrec::core {
@@ -57,6 +62,7 @@ std::string BatchHealth::to_string() const {
   out += " retries=" + std::to_string(retries) + " salvaged=" + std::to_string(salvaged);
   if (replayed != 0) out += " replayed=" + std::to_string(replayed);
   if (interrupted != 0) out += " interrupted=" + std::to_string(interrupted);
+  if (ingest_failed != 0) out += " ingest-failed=" + std::to_string(ingest_failed);
   char times[96];
   std::snprintf(times, sizeof times, " worst-fn=%.3fms worst-contract=%.3fms",
                 1000.0 * worst_function_seconds, 1000.0 * worst_contract_seconds);
@@ -78,42 +84,108 @@ std::int64_t now_millis() {
       .count();
 }
 
-// Per-contract bookkeeping for the stuck-worker watchdog: when a contract
-// started (0 = not currently in flight) and its cooperative cancel flag,
-// observed by the symbolic executor at deadline-check boundaries.
-struct WatchdogState {
-  explicit WatchdogState(std::size_t n) : start_ms(n), cancel(n) {}
-  std::vector<std::atomic<std::int64_t>> start_ms;
-  std::vector<std::atomic<bool>> cancel;
+// One admitted contract, alive from admission until its report is finished.
+// Owns the bytecode outright (the source item was moved in), carries the
+// report being assembled, and holds the stuck-worker watchdog's per-contract
+// bookkeeping: when recovery started (0 = not currently recovering) and the
+// cooperative cancel flag the symbolic executor polls at deadline-check
+// boundaries.
+struct ContractState {
+  std::size_t ordinal = 0;
+  evm::Bytecode code;
+  std::string ingest_error;  // non-empty: the source failed to produce this entry
+  ContractReport report;
+  std::atomic<std::int64_t> start_ms{0};
+  std::atomic<bool> cancel{false};
 };
 
-// Shared, read-only view of one batch run for every task on the pool.
-struct BatchContext {
-  std::span<const evm::Bytecode> codes;
+// Counting semaphore bounding admitted-but-unfinished contracts — the
+// admission window of the recovery stage. The channel bounds how far
+// ingestion reads ahead; this bounds how many ContractStates exist at once,
+// so a 37M-contract stream holds a fixed-size working set however fast the
+// source is. Released when a contract's report is finished, including
+// in-flight dedup waiters (their owner finishes them).
+class AdmissionSlots {
+ public:
+  explicit AdmissionSlots(std::size_t slots) : free_(slots) {}
+
+  void acquire() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return free_ > 0; });
+    --free_;
+  }
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++free_;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t free_;
+};
+
+// Shared state of one streaming run for every task on the pool. The registry
+// replaces the dense per-index vectors of the span-based engine: admitted
+// contracts are keyed by source ordinal, which is also the key the journal,
+// the dedup waiter lists, and the watchdog use.
+struct StreamContext {
   const BatchOptions& opts;
   const SigRec& tool;  // recover_function is const and thread-safe
   RecoveryCache& cache;
-  std::vector<ContractReport>& reports;  // one pre-allocated slot per contract
   WorkStealingPool& pool;
-  WatchdogState* watchdog = nullptr;  // non-null iff opts.watchdog_seconds > 0
+  AdmissionSlots& slots;
+  bool watchdog_armed = false;
+
+  std::mutex registry_mutex;
+  // Admitted, unfinished contracts. The watchdog scans this; dedup owners
+  // resolve their waiters' ordinals through it.
+  std::unordered_map<std::size_t, std::shared_ptr<ContractState>> active;
+  // Finished reports in completion order; sorted by ordinal at the end.
+  std::vector<ContractReport> finished;
 };
 
-void run_contract_task(const BatchContext& ctx, std::size_t index);
+void run_contract_task(StreamContext& ctx, const std::shared_ptr<ContractState>& state);
 
-bool stop_requested(const BatchContext& ctx) {
+bool stop_requested(const StreamContext& ctx) {
   return ctx.opts.stop != nullptr && ctx.opts.stop->load(std::memory_order_relaxed);
 }
 
-// Journals a finished contract (never InternalError — the journal drops
-// those) and fires the progress callback. Every path that completes a
-// contract's report funnels through here, so a resumable scan records cache
-// hits and malformed inputs the same as freshly computed recoveries.
-void contract_done(const BatchContext& ctx, std::size_t index, const evm::Hash256* code_hash,
-                   const CachedContract* entry, double seconds) {
-  if (ctx.opts.journal != nullptr && code_hash != nullptr && entry != nullptr) {
-    ctx.opts.journal->record(index, *code_hash, *entry, seconds);
+std::shared_ptr<ContractState> lookup_active(StreamContext& ctx, std::size_t ordinal) {
+  std::lock_guard<std::mutex> lock(ctx.registry_mutex);
+  auto it = ctx.active.find(ordinal);
+  return it == ctx.active.end() ? nullptr : it->second;
+}
+
+// Retires a contract: journals the completion (never InternalError — the
+// journal drops those — and never a replay, which the journal already has),
+// streams its functions to the sharded sink, fires the progress callback,
+// moves the report into the finished list, and frees the admission slot.
+// Every path that completes a contract funnels through here exactly once.
+void finish_contract(StreamContext& ctx, const std::shared_ptr<ContractState>& state,
+                     const evm::Hash256* code_hash, const CachedContract* entry) {
+  ContractReport& report = state->report;
+  if (!report.interrupted) {
+    if (!report.replayed && ctx.opts.journal != nullptr && code_hash != nullptr &&
+        entry != nullptr) {
+      ctx.opts.journal->record(state->ordinal, *code_hash, *entry, report.seconds);
+    }
+    // Replays are re-written to the sink: a resumed scan's shard directory
+    // must merge to the complete database (duplicate appends from the killed
+    // run collapse at merge time).
+    if (ctx.opts.sink != nullptr) ctx.opts.sink->write(report);
+    if (ctx.opts.on_contract_done) ctx.opts.on_contract_done(report);
   }
-  if (ctx.opts.on_contract_done) ctx.opts.on_contract_done(ctx.reports[index]);
+  {
+    std::lock_guard<std::mutex> lock(ctx.registry_mutex);
+    ctx.finished.push_back(std::move(report));
+    ctx.active.erase(state->ordinal);
+  }
+  ctx.slots.release();
 }
 
 // One function's recovery, re-run down the ladder if the first attempt blew
@@ -130,7 +202,7 @@ void contract_done(const BatchContext& ctx, std::size_t index, const evm::Hash25
 // deadline check and the remaining rungs are skipped — the function is
 // escalated to a timed-out outcome instead of burning more of a wedged
 // contract's time.
-FunctionOutcome recover_with_ladder(const BatchContext& ctx, const evm::Bytecode& code,
+FunctionOutcome recover_with_ladder(const StreamContext& ctx, const evm::Bytecode& code,
                                     std::uint32_t selector,
                                     const std::atomic<bool>* cancel) {
   FunctionOutcome out;
@@ -180,8 +252,7 @@ FunctionOutcome recover_with_ladder(const BatchContext& ctx, const evm::Bytecode
 // the last function task to finish can finalize the report, whichever worker
 // that happens on.
 struct ContractPlan {
-  std::size_t index = 0;
-  const evm::Bytecode* code = nullptr;
+  std::shared_ptr<ContractState> state;
   std::vector<std::uint32_t> selectors;
   // Per-selector function-cache key; nullopt when the selector was not found
   // in the dispatch table (then there is nothing safe to key on).
@@ -195,14 +266,13 @@ struct ContractPlan {
   std::atomic<std::size_t> remaining{0};
 };
 
-FunctionOutcome run_function(const BatchContext& ctx, const ContractPlan& plan, std::size_t j) {
+FunctionOutcome run_function(StreamContext& ctx, const ContractPlan& plan, std::size_t j) {
   const std::optional<evm::Hash256>& key = plan.body_keys[j];
   if (key.has_value()) {
     if (std::optional<FunctionOutcome> hit = ctx.cache.find_function(*key)) return *hit;
   }
-  const std::atomic<bool>* cancel =
-      ctx.watchdog != nullptr ? &ctx.watchdog->cancel[plan.index] : nullptr;
-  FunctionOutcome out = recover_with_ladder(ctx, *plan.code, plan.selectors[j], cancel);
+  const std::atomic<bool>* cancel = ctx.watchdog_armed ? &plan.state->cancel : nullptr;
+  FunctionOutcome out = recover_with_ladder(ctx, plan.state->code, plan.selectors[j], cancel);
   if (key.has_value()) ctx.cache.store_function(*key, out);
   return out;
 }
@@ -225,12 +295,12 @@ void fill_from_cache(ContractReport& report, const CachedContract& hit) {
 
 // Assembles the report for a fully recovered contract from its per-function
 // outcomes (in dispatcher order), feeds the contract-level cache, serves any
-// deduplicated in-flight waiters, and journals the completion. Shared by the
+// deduplicated in-flight waiters, and retires the contract. Shared by the
 // inline path and the fan-out finalizer so both produce bytewise identical
 // reports.
-void finalize_report(const BatchContext& ctx, const ContractPlan& plan) {
-  ContractReport& report = ctx.reports[plan.index];
-  report.index = plan.index;
+void finalize_report(StreamContext& ctx, const ContractPlan& plan) {
+  const std::shared_ptr<ContractState>& state = plan.state;
+  ContractReport& report = state->report;
   report.status = RecoveryStatus::Complete;
   report.seconds = plan.prep_seconds;
   for (const FunctionOutcome& outcome : plan.outcomes) {
@@ -251,31 +321,31 @@ void finalize_report(const BatchContext& ctx, const ContractPlan& plan) {
       std::vector<std::size_t> waiters = ctx.cache.publish_contract(plan.code_hash, entry);
       if (entry.status != RecoveryStatus::InternalError) {
         for (std::size_t waiter : waiters) {
-          ContractReport& dup = ctx.reports[waiter];
-          dup.index = waiter;
-          fill_from_cache(dup, entry);
-          contract_done(ctx, waiter, &plan.code_hash, &entry, dup.seconds);
+          std::shared_ptr<ContractState> dup = lookup_active(ctx, waiter);
+          if (dup == nullptr) continue;  // defensive; registered waiters stay active
+          fill_from_cache(dup->report, entry);
+          finish_contract(ctx, dup, &plan.code_hash, &entry);
         }
       } else {
         // A crash must not poison its duplicates: nothing was cached, so the
         // registered waiters recompute (the first respawn becomes the new
         // in-flight owner).
+        StreamContext* c = &ctx;
         for (std::size_t waiter : waiters) {
-          ctx.pool.spawn([&ctx, waiter] { run_contract_task(ctx, waiter); });
+          std::shared_ptr<ContractState> dup = lookup_active(ctx, waiter);
+          if (dup == nullptr) continue;
+          ctx.pool.spawn([c, dup] { run_contract_task(*c, dup); });
         }
       }
     } else {
       ctx.cache.store_contract(plan.code_hash, entry);
     }
   }
-  if (ctx.watchdog != nullptr) {
-    ctx.watchdog->start_ms[plan.index].store(0, std::memory_order_release);
-  }
-  contract_done(ctx, plan.index, plan.have_code_hash ? &plan.code_hash : nullptr, &entry,
-                report.seconds);
+  if (ctx.watchdog_armed) state->start_ms.store(0, std::memory_order_release);
+  finish_contract(ctx, state, plan.have_code_hash ? &plan.code_hash : nullptr, &entry);
 }
 
-void run_function_task(const BatchContext& ctx, const std::shared_ptr<ContractPlan>& plan,
+void run_function_task(StreamContext& ctx, const std::shared_ptr<ContractPlan>& plan,
                        std::size_t j) {
   try {
     plan->outcomes[j] = run_function(ctx, *plan, j);
@@ -296,27 +366,56 @@ void run_function_task(const BatchContext& ctx, const std::shared_ptr<ContractPl
   }
 }
 
-void run_contract_task(const BatchContext& ctx, std::size_t index) {
-  ContractReport& report = ctx.reports[index];
-  report.index = index;
-  // Graceful shutdown: contracts that have not started yet return
-  // immediately (and are not journaled), so a signaled scan quiesces at
+void run_contract_task(StreamContext& ctx, const std::shared_ptr<ContractState>& state) {
+  ContractReport& report = state->report;
+  // Graceful shutdown: contracts that have not started yet retire
+  // immediately (not journaled, no callback), so a signaled scan quiesces at
   // contract granularity and the journal resumes it later.
   if (stop_requested(ctx)) {
     report.interrupted = true;
+    finish_contract(ctx, state, nullptr, nullptr);
+    return;
+  }
+  // An entry the source could not produce: one report row carrying the
+  // per-entry reason, stream unharmed. Not journaled — the source re-emits
+  // the error for free on a resume (or real bytecode, if the input was
+  // fixed, which must recompute anyway).
+  if (!state->ingest_error.empty()) {
+    report.status = RecoveryStatus::MalformedBytecode;
+    report.error = state->ingest_error;
+    report.ingest_failed = true;
+    finish_contract(ctx, state, nullptr, nullptr);
     return;
   }
   double start = now_seconds();
+  bool crashed = false;
   bool claimed = false;
   evm::Hash256 code_hash{};
   // Isolation boundary: SigRec::recover_function already converts
   // lower-layer exceptions, but nothing a single contract does may stall or
   // kill the batch — so even allocation failures here become an
-  // InternalError row.
+  // InternalError row. Every non-crash path returns from inside the try.
   try {
-    const evm::Bytecode& code = ctx.codes[index];
+    const evm::Bytecode& code = state->code;
     const bool need_hash = ctx.opts.contract_cache || ctx.opts.journal != nullptr;
     if (need_hash) code_hash = code.code_hash();
+
+    // Resume: a contract the journal already has (same ordinal, same runtime
+    // code) replays without any recovery work; its entry also seeds the
+    // contract cache so unfinished duplicates hit instead of recomputing.
+    if (ctx.opts.journal != nullptr) {
+      const ScanJournal::Entry* entry = ctx.opts.journal->find(state->ordinal, code_hash);
+      if (entry != nullptr) {
+        fill_from_cache(report, entry->contract);
+        report.cache_hit = false;
+        report.replayed = true;
+        report.seconds = entry->seconds;
+        if (ctx.opts.contract_cache) ctx.cache.preload_contract(code_hash, entry->contract);
+        finish_contract(ctx, state, &code_hash, &entry->contract);
+        return;
+      }
+    }
+
     if (code.empty()) {
       report.status = RecoveryStatus::MalformedBytecode;
       report.error = "empty bytecode";
@@ -324,40 +423,37 @@ void run_contract_task(const BatchContext& ctx, std::size_t index) {
       CachedContract entry;
       entry.status = report.status;
       entry.error = report.error;
-      contract_done(ctx, index, need_hash ? &code_hash : nullptr, &entry, report.seconds);
+      finish_contract(ctx, state, need_hash ? &code_hash : nullptr, &entry);
       return;
     }
 
     auto plan = std::make_shared<ContractPlan>();
-    plan->index = index;
-    plan->code = &code;
+    plan->state = state;
     plan->code_hash = code_hash;
     plan->have_code_hash = need_hash;
     if (ctx.opts.contract_cache) {
       plan->store_in_contract_cache = true;
       if (ctx.opts.in_flight_dedup) {
-        ContractClaim claim = ctx.cache.claim_contract(code_hash, index);
+        ContractClaim claim = ctx.cache.claim_contract(code_hash, state->ordinal);
         if (claim.kind == ClaimKind::Hit) {
           fill_from_cache(report, *claim.hit);
           report.seconds = now_seconds() - start;
-          contract_done(ctx, index, &code_hash, &*claim.hit, report.seconds);
+          finish_contract(ctx, state, &code_hash, &*claim.hit);
           return;
         }
         if (claim.kind == ClaimKind::Registered) {
-          return;  // the in-flight owner fills (and journals) this slot
+          return;  // the in-flight owner fills (and retires) this contract
         }
         claimed = true;
         plan->claimed = true;
       } else if (std::optional<CachedContract> hit = ctx.cache.find_contract(code_hash)) {
         fill_from_cache(report, *hit);
         report.seconds = now_seconds() - start;
-        contract_done(ctx, index, &code_hash, &*hit, report.seconds);
+        finish_contract(ctx, state, &code_hash, &*hit);
         return;
       }
     }
-    if (ctx.watchdog != nullptr) {
-      ctx.watchdog->start_ms[index].store(now_millis(), std::memory_order_release);
-    }
+    if (ctx.watchdog_armed) state->start_ms.store(now_millis(), std::memory_order_release);
 
     plan->selectors = extract_function_ids(code);
     plan->body_keys.resize(plan->selectors.size());
@@ -387,8 +483,9 @@ void run_contract_task(const BatchContext& ctx, std::size_t index) {
       // still has exclusive access.
       code.warm_analysis_caches();
       plan->remaining.store(plan->selectors.size(), std::memory_order_release);
+      StreamContext* c = &ctx;
       for (std::size_t j = 0; j < plan->selectors.size(); ++j) {
-        ctx.pool.spawn([&ctx, plan, j] { run_function_task(ctx, plan, j); });
+        ctx.pool.spawn([c, plan, j] { run_function_task(*c, plan, j); });
       }
       return;  // the last function task finalizes the report
     }
@@ -397,75 +494,103 @@ void run_contract_task(const BatchContext& ctx, std::size_t index) {
       plan->outcomes[j] = run_function(ctx, *plan, j);
     }
     finalize_report(ctx, *plan);
+    return;
   } catch (const std::exception& e) {
+    crashed = true;
     report = ContractReport{};
-    report.index = index;
+    report.ordinal = state->ordinal;
     report.status = RecoveryStatus::InternalError;
     report.error = e.what();
     report.seconds = now_seconds() - start;
   } catch (...) {
+    crashed = true;
     report = ContractReport{};
-    report.index = index;
+    report.ordinal = state->ordinal;
     report.status = RecoveryStatus::InternalError;
     report.error = "unknown exception";
     report.seconds = now_seconds() - start;
   }
-  if (report.status == RecoveryStatus::InternalError) {
-    // The catch paths: release watchdog tracking and the in-flight claim so
-    // registered duplicates recompute instead of waiting forever.
-    if (ctx.watchdog != nullptr) {
-      ctx.watchdog->start_ms[index].store(0, std::memory_order_release);
-    }
+  if (crashed) {
+    // Release watchdog tracking and the in-flight claim so registered
+    // duplicates recompute instead of waiting forever.
+    if (ctx.watchdog_armed) state->start_ms.store(0, std::memory_order_release);
     if (claimed) {
+      StreamContext* c = &ctx;
       for (std::size_t waiter : ctx.cache.abandon_contract(code_hash)) {
-        ctx.pool.spawn([&ctx, waiter] { run_contract_task(ctx, waiter); });
+        std::shared_ptr<ContractState> dup = lookup_active(ctx, waiter);
+        if (dup == nullptr) continue;
+        ctx.pool.spawn([c, dup] { run_contract_task(*c, dup); });
       }
     }
-    contract_done(ctx, index, nullptr, nullptr, report.seconds);
+    finish_contract(ctx, state, nullptr, nullptr);
   }
 }
 
 }  // namespace
 
-BatchResult recover_batch(std::span<const evm::Bytecode> codes, const BatchOptions& opts) {
+BatchResult recover_stream(ContractSource& source, const BatchOptions& opts) {
   double wall_start = now_seconds();
   BatchResult batch;
-  batch.contracts.resize(codes.size());
 
   SigRec tool(opts.limits);
   RecoveryCache local_cache;
   RecoveryCache& cache = opts.cache != nullptr ? *opts.cache : local_cache;
   WorkStealingPool pool(WorkStealingPool::resolve_jobs(opts.jobs));
-  std::optional<WatchdogState> watchdog;
-  if (opts.watchdog_seconds > 0 && !codes.empty()) watchdog.emplace(codes.size());
-  BatchContext ctx{codes,           opts, tool, cache, batch.contracts,
-                   pool,            watchdog.has_value() ? &*watchdog : nullptr};
+  // The admission window: enough in-flight contracts to keep every worker
+  // busy while finished ones retire, small enough that the working set stays
+  // bounded for arbitrarily long streams.
+  AdmissionSlots slots(std::max<std::size_t>(4, 2 * pool.workers()));
+  StreamContext ctx{opts, tool, cache, pool, slots, opts.watchdog_seconds > 0, {}, {}, {}};
 
-  // Resume pre-pass: contracts the journal already has (same position, same
-  // runtime code) replay without touching the pool; their entries also seed
-  // the contract cache so unfinished duplicates hit instead of recomputing.
-  std::vector<char> replayed(codes.size(), 0);
-  if (opts.journal != nullptr) {
-    for (std::size_t i = 0; i < codes.size(); ++i) {
-      evm::Hash256 hash = codes[i].code_hash();
-      const ScanJournal::Entry* entry = opts.journal->find(i, hash);
-      if (entry == nullptr) continue;
-      ContractReport& report = batch.contracts[i];
-      report.index = i;
-      fill_from_cache(report, entry->contract);
-      report.cache_hit = false;
-      report.replayed = true;
-      report.seconds = entry->seconds;
-      if (opts.contract_cache) cache.preload_contract(hash, entry->contract);
-      replayed[i] = 1;
-      if (opts.on_contract_done) opts.on_contract_done(report);
+  double write_seconds_before = opts.sink != nullptr ? opts.sink->write_seconds() : 0;
+
+  // Stage 1 — ingestion. Pulls from the source on its own thread so source
+  // latency (disk reads, hex decoding) overlaps recovery, buffering up to
+  // channel_capacity items ahead of admission. A graceful stop ends
+  // ingestion at the next item boundary.
+  BoundedChannel<SourceItem> channel(opts.channel_capacity);
+  double ingest_seconds = 0;   // written by the ingestion thread, read after join
+  std::size_t ingested = 0;    // items produced == ordinals 0..ingested-1
+  std::thread ingest_thread([&source, &channel, &ctx, &ingest_seconds, &ingested] {
+    for (;;) {
+      if (stop_requested(ctx)) break;
+      double t0 = now_seconds();
+      std::optional<SourceItem> item = source.next();
+      ingest_seconds += now_seconds() - t0;
+      if (!item.has_value()) break;
+      ++ingested;
+      if (!channel.push(std::move(*item))) break;
     }
-  }
+    channel.close();
+  });
 
-  for (std::size_t i = 0; i < codes.size(); ++i) {
-    if (replayed[i]) continue;
-    pool.spawn([&ctx, i] { run_contract_task(ctx, i); });
-  }
+  // Stage 2 — recovery. The pump admits items from the channel onto the
+  // pool, holding an external-work token so the pool cannot quiesce while
+  // the channel still feeds, and an admission slot per in-flight contract
+  // for backpressure. At jobs=1 the pool runs external spawns in submission
+  // order, so admission order (= ordinal order) is execution order — which
+  // keeps single-worker cache-hit counts deterministic.
+  pool.reserve();
+  std::thread pump_thread([&channel, &ctx] {
+    for (;;) {
+      std::optional<SourceItem> item = channel.pop();
+      if (!item.has_value()) break;
+      ctx.slots.acquire();
+      auto state = std::make_shared<ContractState>();
+      state->ordinal = item->ordinal;
+      state->code = std::move(item->code);
+      state->ingest_error = std::move(item->error);
+      state->report.ordinal = state->ordinal;
+      state->report.label = std::move(item->label);
+      {
+        std::lock_guard<std::mutex> lock(ctx.registry_mutex);
+        ctx.active.emplace(state->ordinal, state);
+      }
+      StreamContext* c = &ctx;
+      ctx.pool.spawn([c, state] { run_contract_task(*c, state); });
+    }
+    ctx.pool.release();
+  });
 
   // The stuck-worker watchdog: a sampling monitor that flips a contract's
   // cooperative cancel flag once it has been in flight past the budget. The
@@ -473,8 +598,8 @@ BatchResult recover_batch(std::span<const evm::Bytecode> codes, const BatchOptio
   // recovery degrades to a timed-out report instead of blocking quiescence.
   std::atomic<bool> watchdog_quit{false};
   std::thread watchdog_thread;
-  if (watchdog.has_value()) {
-    watchdog_thread = std::thread([&watchdog, &watchdog_quit, &opts] {
+  if (ctx.watchdog_armed) {
+    watchdog_thread = std::thread([&ctx, &watchdog_quit, &opts] {
       const std::int64_t budget_ms = std::max<std::int64_t>(
           1, static_cast<std::int64_t>(opts.watchdog_seconds * 1000.0));
       const auto poll =
@@ -482,24 +607,57 @@ BatchResult recover_batch(std::span<const evm::Bytecode> codes, const BatchOptio
       while (!watchdog_quit.load(std::memory_order_acquire)) {
         std::this_thread::sleep_for(poll);
         std::int64_t now = now_millis();
-        for (std::size_t i = 0; i < watchdog->start_ms.size(); ++i) {
-          std::int64_t started = watchdog->start_ms[i].load(std::memory_order_acquire);
+        std::lock_guard<std::mutex> lock(ctx.registry_mutex);
+        for (const auto& [ordinal, state] : ctx.active) {
+          std::int64_t started = state->start_ms.load(std::memory_order_acquire);
           if (started != 0 && now - started >= budget_ms) {
-            watchdog->cancel[i].store(true, std::memory_order_release);
+            state->cancel.store(true, std::memory_order_release);
           }
         }
       }
     });
   }
 
+  double recover_start = now_seconds();
   pool.run();
+  batch.recover_seconds = now_seconds() - recover_start;
+
   if (watchdog_thread.joinable()) {
     watchdog_quit.store(true, std::memory_order_release);
     watchdog_thread.join();
   }
+  pump_thread.join();
+  ingest_thread.join();
+  batch.ingest_seconds = ingest_seconds;
+
+  // A stopped scan over a sized source: account for the entries ingestion
+  // never reached, so the report covers every ordinal the source would have
+  // produced and a resume knows the scan was partial.
+  if (stop_requested(ctx)) {
+    if (std::optional<std::size_t> hint = source.size_hint()) {
+      for (std::size_t ordinal = ingested; ordinal < *hint; ++ordinal) {
+        ContractReport report;
+        report.ordinal = ordinal;
+        report.interrupted = true;
+        ctx.finished.push_back(std::move(report));
+      }
+    }
+  }
+
+  // Stage 3 wrap-up: everything buffered in the sink reaches disk before the
+  // result is returned (kill-safety between batches is the journal's job;
+  // within a finished batch the sink must be complete).
+  if (opts.sink != nullptr) {
+    (void)opts.sink->flush();
+    batch.write_seconds = opts.sink->write_seconds() - write_seconds_before;
+  }
+
+  batch.contracts = std::move(ctx.finished);
+  std::sort(batch.contracts.begin(), batch.contracts.end(),
+            [](const ContractReport& a, const ContractReport& b) { return a.ordinal < b.ordinal; });
 
   // Health aggregation runs after the pool has quiesced, over the reports in
-  // input order — every counter is deterministic whatever the schedule was.
+  // ordinal order — every counter is deterministic whatever the schedule was.
   for (const ContractReport& report : batch.contracts) {
     ++batch.health.contracts;
     if (report.interrupted) {
@@ -509,6 +667,7 @@ BatchResult recover_batch(std::span<const evm::Bytecode> codes, const BatchOptio
     ++batch.health.contract_status[static_cast<std::size_t>(report.status)];
     batch.health.retries += report.retries;
     batch.health.salvaged += report.salvaged;
+    if (report.ingest_failed) ++batch.health.ingest_failed;
     if (report.replayed) {
       ++batch.health.replayed;
     } else {
@@ -532,16 +691,21 @@ BatchResult recover_batch(std::span<const evm::Bytecode> codes, const BatchOptio
   return batch;
 }
 
+BatchResult recover_batch(std::span<const evm::Bytecode> codes, const BatchOptions& opts) {
+  SpanSource source(codes);
+  return recover_stream(source, opts);
+}
+
 std::string canonical_to_string(const BatchResult& batch) {
   std::string out;
   for (const ContractReport& report : batch.contracts) {
     if (report.interrupted) {
       // Only possible in a stopped (partial) run, which is outside the
       // determinism guarantee until resumed to completion.
-      out += "contract " + std::to_string(report.index) + " interrupted\n";
+      out += "contract " + std::to_string(report.ordinal) + " interrupted\n";
       continue;
     }
-    out += "contract " + std::to_string(report.index) +
+    out += "contract " + std::to_string(report.ordinal) +
            " status=" + std::string(symexec::status_name(report.status)) +
            " retries=" + std::to_string(report.retries) +
            " salvaged=" + std::to_string(report.salvaged);

@@ -1,42 +1,67 @@
 // Chain-scale batch recovery (the §5 deployment story: 37M contracts).
 //
-// `recover_batch` is the fault-isolation boundary the single-contract API
-// cannot be: one adversarial bytecode must cost at most its budget, never
-// the fleet. Every contract is processed inside a catch-all (an exception
+// `recover_stream` is a three-stage streaming pipeline:
+//
+//   ContractSource ──ingestion──▶ BoundedChannel ──pump──▶ work-stealing pool
+//                                                               │
+//                                                    ShardedSink (optional)
+//
+// Stage 1 (ingestion) pulls items from a ContractSource (an in-memory span,
+// a file list, stdin — see pipeline.hpp) on its own thread, so disk/network
+// latency overlaps symbolic execution instead of preceding it. Stage 2
+// (recovery) admits items from the channel onto the work-stealing pool,
+// bounded by an in-flight admission window so a 37M-contract feed never
+// materializes in memory. Stage 3 (output) routes every recovered function
+// of a finished contract to a selector-sharded sink (shard.hpp) as contracts
+// complete. `recover_batch` is the span-shaped convenience wrapper.
+//
+// The engine is the fault-isolation boundary the single-contract API cannot
+// be: one adversarial bytecode must cost at most its budget, never the
+// fleet. Every contract is processed inside a catch-all (an exception
 // becomes an InternalError report, it never escapes the batch), every
 // function is tagged with the RecoveryStatus explaining why its recovery
 // stopped, and budget-blown functions are re-run down a degradation ladder
 // of progressively reduced limits — fewer paths, shorter unrolling — to
 // salvage a consistent partial signature instead of a mid-flight truncation.
+// An entry the source itself could not produce (unreadable file, malformed
+// hex) becomes a MalformedBytecode report with `ingest_failed` set — one bad
+// line costs one row, never the stream.
 //
-// The engine is parallel: a work-stealing pool (`jobs` workers) schedules
-// recovery at contract granularity, and contracts with many functions are
-// re-fanned out at function granularity from inside their contract task.
-// Each symbolic run owns its own ExprPool arena, so hash-consing never takes
-// a lock. Two memo caches exploit the duplicate-heavy reality of deployed
-// chains: a contract-level cache keyed by keccak256 of the runtime code and
-// a function-level cache keyed by a body-byte-range digest (see cache.hpp).
+// The recovery stage is parallel: a work-stealing pool (`jobs` workers)
+// schedules recovery at contract granularity, and contracts with many
+// functions are re-fanned out at function granularity from inside their
+// contract task. Each symbolic run owns its own ExprPool arena, so
+// hash-consing never takes a lock. Two memo caches exploit the
+// duplicate-heavy reality of deployed chains: a contract-level cache keyed
+// by keccak256 of the runtime code and a function-level cache keyed by a
+// body-byte-range digest (see cache.hpp).
 //
-// The engine is also crash-safe across process boundaries: an external
-// RecoveryCache can be restored from / compacted to disk (persist.hpp), and
-// a ScanJournal records per-contract completion incrementally so a killed
-// scan resumes where it stopped, replaying finished contracts
-// byte-identically (journal.hpp). A graceful-shutdown flag stops a running
-// batch at contract granularity, and a stuck-worker watchdog escalates a
-// contract that outlives its whole deadline ladder to a timed-out outcome
-// instead of wedging pool quiescence.
+// Every contract is identified by the stable key (source ordinal, code
+// hash) — its position in the stream plus its content — which the journal,
+// the in-flight dedup, and the sharded sink all share; there is no dense
+// input vector to index into. The engine is crash-safe across process
+// boundaries: an external RecoveryCache can be restored from / compacted to
+// disk (persist.hpp), and a ScanJournal records per-contract completion
+// incrementally so a killed scan resumes where it stopped, replaying
+// finished contracts byte-identically (journal.hpp). A graceful-shutdown
+// flag stops ingestion and quiesces the pool at contract granularity, and a
+// stuck-worker watchdog escalates a contract that outlives its whole
+// deadline ladder to a timed-out outcome instead of wedging pool quiescence.
 //
 // Determinism guarantee: everything except wall-clock fields and cache
 // hit/miss statistics — report order, statuses, signatures, errors, health
-// counters — is byte-identical for any `jobs` value, with caches on or
-// off, and across a kill-then-resume via the journal. `canonical_to_string`
-// renders exactly that deterministic view. (A watchdog escalation or a
-// graceful stop makes the run itself partial — those are wall-clock events,
-// outside the guarantee until the scan is resumed to completion.)
+// counters — is byte-identical for any `jobs` value, with caches on or off,
+// for any shard_bits, for streaming vs span ingestion, and across a
+// kill-then-resume via the journal. `canonical_to_string` renders exactly
+// that deterministic view, and `merge_shards` restores it over sharded sink
+// output. (A watchdog escalation or a graceful stop makes the run itself
+// partial — those are wall-clock events, outside the guarantee until the
+// scan is resumed to completion.)
 #pragma once
 
 #include <array>
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <string>
@@ -47,7 +72,9 @@
 
 namespace sigrec::core {
 
+class ContractSource;
 class ScanJournal;
+class ShardedSink;
 struct ContractReport;
 
 struct BatchOptions {
@@ -73,9 +100,15 @@ struct BatchOptions {
   // the tail of a batch.
   std::size_t function_fanout_threshold = 4;
 
-  // Memo caches (scoped to this recover_batch call; see cache.hpp). Results
-  // and health counters are identical with caches on or off — only time and
-  // the cache statistics change.
+  // Capacity of the bounded channel between ingestion and recovery: how far
+  // (in contracts) a fast source may read ahead of admission. The
+  // backpressure boundary of the pipeline — ingestion blocks when the
+  // channel is full, so memory stays bounded however large the stream is.
+  std::size_t channel_capacity = 256;
+
+  // Memo caches (scoped to this call; see cache.hpp). Results and health
+  // counters are identical with caches on or off — only time and the cache
+  // statistics change.
   bool contract_cache = true;
   bool function_cache = true;
 
@@ -85,24 +118,31 @@ struct BatchOptions {
   // when it publishes. Off, duplicate bursts race and first-writer-wins.
   bool in_flight_dedup = true;
 
-  // External cache shared across recover_batch calls — e.g. one restored
+  // External cache shared across recover_stream calls — e.g. one restored
   // from a PersistentCacheStore, so a re-run over an already-scanned corpus
   // does zero fresh symbolic execution. nullptr: a private per-call cache.
   // The cache's hit/miss stats accumulate across the calls that share it.
   RecoveryCache* cache = nullptr;
 
   // Resumable scans. When set, contracts recorded in the journal (matched by
-  // input index AND code hash) are replayed from it without any recovery
+  // source ordinal AND code hash) are replayed from it without any recovery
   // work, and every newly finished contract is recorded back. The caller
   // loads the journal before the batch and flushes it after (see
   // journal.hpp for the durability model).
   ScanJournal* journal = nullptr;
 
-  // Graceful-shutdown flag (e.g. set by a SIGINT/SIGTERM handler). Contracts
-  // already being processed finish and are journaled; contracts not yet
-  // started return immediately with `ContractReport::interrupted` set. The
-  // batch result of an interrupted run is a partial scan — resume it via the
-  // journal.
+  // Selector-sharded output sink (see shard.hpp). When set, every finished
+  // contract's recovered functions are appended to their selector shards as
+  // the contract completes — the write stage of the pipeline — and the sink
+  // is flushed before recover_stream returns. nullptr: no persisted output.
+  ShardedSink* sink = nullptr;
+
+  // Graceful-shutdown flag (e.g. set by a SIGINT/SIGTERM handler). Ingestion
+  // stops, contracts already being processed finish and are journaled, and
+  // everything else — admitted but unstarted, buffered in the channel, or
+  // (for sources with a size hint) never ingested at all — returns with
+  // `ContractReport::interrupted` set. The batch result of an interrupted
+  // run is a partial scan — resume it via the journal.
   const std::atomic<bool>* stop = nullptr;
 
   // Stuck-worker watchdog: when > 0, a monitor thread escalates any contract
@@ -114,10 +154,11 @@ struct BatchOptions {
   // per-run deadline failed to stop. 0 disables the watchdog.
   double watchdog_seconds = 0;
 
-  // Invoked after each contract finishes (including cache hits and journal
-  // replays), from whatever worker thread finished it — may run
-  // concurrently; the callback must be thread-safe. Drives progress
-  // reporting and tests that interrupt a scan at a chosen point.
+  // Invoked after each contract finishes (including cache hits, journal
+  // replays, and ingest failures; not for interrupted contracts), from
+  // whatever worker thread finished it — may run concurrently; the callback
+  // must be thread-safe. Drives progress reporting and tests that interrupt
+  // a scan at a chosen point.
   std::function<void(const ContractReport&)> on_contract_done;
 };
 
@@ -125,7 +166,11 @@ struct BatchOptions {
 [[nodiscard]] symexec::Limits ladder_limits(const BatchOptions& opts, int rung);
 
 struct ContractReport {
-  std::size_t index = 0;  // position in the input span
+  // Position in the source stream — the stable half of the contract key
+  // (ordinal, code hash) shared by the journal, dedup, and sharded output.
+  std::size_t ordinal = 0;
+  // Human-readable origin from the source: a path, "stdin:7", "input:3".
+  std::string label;
   // Worst per-function status; InternalError when the contract's processing
   // itself threw; MalformedBytecode when the input was rejected.
   RecoveryStatus status = RecoveryStatus::Complete;
@@ -146,6 +191,11 @@ struct ContractReport {
   // run — no recovery work was done this run; `seconds` is the original
   // run's cost.
   bool replayed = false;
+  // The source could not produce this entry (unreadable file, malformed
+  // hex); `error` carries the per-entry reason and `status` is
+  // MalformedBytecode. The ordinal was still consumed, so resuming the
+  // stream keys every other contract identically.
+  bool ingest_failed = false;
   // The batch was stopped (BatchOptions::stop) before this contract started;
   // it carries no result and was not journaled. Resume to finish it.
   bool interrupted = false;
@@ -153,7 +203,7 @@ struct ContractReport {
 };
 
 // Aggregate health counters for dashboards / alerting. Computed from the
-// per-contract reports in input order after all workers have finished, so
+// per-contract reports in ordinal order after all workers have finished, so
 // every counter is deterministic regardless of scheduling.
 struct BatchHealth {
   // Per-status totals, indexed by static_cast<size_t>(RecoveryStatus).
@@ -163,10 +213,12 @@ struct BatchHealth {
   std::uint64_t functions = 0;
   std::uint64_t retries = 0;   // ladder re-runs attempted
   std::uint64_t salvaged = 0;  // blown functions whose retry completed a rung
-  // Contracts skipped by a graceful shutdown (they have no status) and
-  // contracts replayed from a scan journal.
+  // Contracts skipped by a graceful shutdown (they have no status),
+  // contracts replayed from a scan journal, and entries the source failed
+  // to produce (a subset of the MalformedBytecode contract-status count).
   std::uint64_t interrupted = 0;
   std::uint64_t replayed = 0;
+  std::uint64_t ingest_failed = 0;
   double worst_contract_seconds = 0;
   double worst_function_seconds = 0;
 
@@ -175,13 +227,25 @@ struct BatchHealth {
 };
 
 struct BatchResult {
-  std::vector<ContractReport> contracts;
+  std::vector<ContractReport> contracts;  // sorted by ordinal
   BatchHealth health;
   // Elapsed time of the whole batch vs. total work done. With one worker
   // wall ≈ cpu; with N busy workers wall approaches cpu / N; with caches on
   // cpu collapses while wall tracks the deduplicated work.
   double wall_seconds = 0;
   double cpu_seconds = 0;
+  // Per-stage figures. `ingest_seconds` is work: time spent inside
+  // ContractSource::next() pulling and decoding entries, summed on the
+  // ingestion thread. `recover_seconds` is elapsed: the wall-clock duration
+  // of the recovery stage (pool start to quiescence) — for a slow source it
+  // approaches wall_seconds even though the workers were mostly idle, which
+  // is exactly the overlap the pipeline buys (serial staging would pay
+  // ingest + recover instead of max of the two). `write_seconds` is work:
+  // time spent encoding and appending shard records in the sink, summed
+  // across shards (0 without a sink).
+  double ingest_seconds = 0;
+  double recover_seconds = 0;
+  double write_seconds = 0;
   // Hit/miss statistics for this run's memo caches (schedule-dependent, not
   // part of the deterministic view).
   CacheStats cache;
@@ -196,13 +260,20 @@ struct BatchResult {
 
 // Deterministic rendering of a batch result: per-contract rows (status,
 // error, retry counters, recovered signatures) and the health counters —
-// everything recover_batch guarantees to be schedule-independent, and none
+// everything recover_stream guarantees to be schedule-independent, and none
 // of the timing or cache fields. Two runs over the same input with any
-// `jobs` / cache configuration render identically; the determinism tests
-// diff exactly this string.
+// `jobs` / cache / ingestion configuration render identically; the
+// determinism tests diff exactly this string.
 [[nodiscard]] std::string canonical_to_string(const BatchResult& batch);
 
-// Recovers every contract in `codes`. Never throws.
+// Recovers every contract `source` yields, streaming: ingestion, recovery,
+// and sharded output overlap (see the pipeline diagram above). The source is
+// driven from a dedicated thread but needs no thread-safety of its own.
+// Never throws.
+[[nodiscard]] BatchResult recover_stream(ContractSource& source, const BatchOptions& opts = {});
+
+// Recovers every contract in `codes` — recover_stream over a SpanSource.
+// Never throws.
 [[nodiscard]] BatchResult recover_batch(std::span<const evm::Bytecode> codes,
                                         const BatchOptions& opts = {});
 

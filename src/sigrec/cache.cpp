@@ -36,14 +36,14 @@ void RecoveryCache::store_contract(const evm::Hash256& code_hash, const CachedCo
 }
 
 ContractClaim RecoveryCache::claim_contract(const evm::Hash256& code_hash,
-                                            std::size_t waiter_index) {
+                                            std::size_t waiter_ordinal) {
   std::lock_guard<std::mutex> lock(contract_mutex_);
   if (auto it = contracts_.find(code_hash); it != contracts_.end()) {
     contract_hits_.fetch_add(1, std::memory_order_relaxed);
     return {ClaimKind::Hit, it->second};
   }
   if (auto it = in_flight_.find(code_hash); it != in_flight_.end()) {
-    it->second.push_back(waiter_index);
+    it->second.push_back(waiter_ordinal);
     contract_inflight_waits_.fetch_add(1, std::memory_order_relaxed);
     return {ClaimKind::Registered, std::nullopt};
   }

@@ -25,11 +25,12 @@
 // symbolic runs they save.
 //
 // Concurrent misses on the same code hash deduplicate in flight: the first
-// worker claims ownership and computes, later workers register their input
-// slot on the in-flight entry and return immediately — the owner fills their
-// reports when it publishes. Registration (instead of blocking) means a
-// waiting duplicate never parks a pool worker, so pool quiescence can never
-// deadlock behind the cache.
+// worker claims ownership and computes, later workers register their source
+// ordinal — the stable contract key of the streaming pipeline — on the
+// in-flight entry and return immediately; the owner fills their reports when
+// it publishes. Registration (instead of blocking) means a waiting duplicate
+// never parks a pool worker, so pool quiescence can never deadlock behind
+// the cache.
 #pragma once
 
 #include <atomic>
@@ -80,8 +81,8 @@ struct CacheStats {
 // Outcome of claim_contract: either the entry is already cached (Hit, value
 // in `hit`), or the caller is the first worker to miss on this hash and must
 // compute it (Owner), or another worker is already computing it and the
-// caller's report slot has been registered to be filled when the owner
-// publishes (Registered — the caller returns without doing any work).
+// caller's ordinal has been registered to be filled when the owner publishes
+// (Registered — the caller returns without doing any work).
 enum class ClaimKind : std::uint8_t { Hit, Owner, Registered };
 
 struct ContractClaim {
@@ -99,15 +100,16 @@ class RecoveryCache {
 
   // In-flight deduplication. `claim_contract` is `find_contract` plus an
   // in-flight table: the first miss on a hash becomes the Owner, concurrent
-  // misses on the same hash register `waiter_index` (their input slot) and
-  // return Registered — they never block a pool worker. The Owner must end
-  // its claim with exactly one `publish_contract` (success: stores the entry
-  // unless it is InternalError, which is never cached) or
-  // `abandon_contract` (the owner crashed before producing an entry); both
-  // return the registered waiter slots so the batch engine can fill them
-  // from the published entry, or respawn them when nothing was published.
+  // misses on the same hash register `waiter_ordinal` (their source ordinal,
+  // a key stable across streaming ingestion) and return Registered — they
+  // never block a pool worker. The Owner must end its claim with exactly one
+  // `publish_contract` (success: stores the entry unless it is
+  // InternalError, which is never cached) or `abandon_contract` (the owner
+  // crashed before producing an entry); both return the registered waiter
+  // ordinals so the batch engine can fill those contracts from the published
+  // entry, or respawn them when nothing was published.
   [[nodiscard]] ContractClaim claim_contract(const evm::Hash256& code_hash,
-                                             std::size_t waiter_index);
+                                             std::size_t waiter_ordinal);
   [[nodiscard]] std::vector<std::size_t> publish_contract(const evm::Hash256& code_hash,
                                                           const CachedContract& entry);
   [[nodiscard]] std::vector<std::size_t> abandon_contract(const evm::Hash256& code_hash);
@@ -139,8 +141,8 @@ class RecoveryCache {
 
   mutable std::mutex contract_mutex_;
   std::unordered_map<evm::Hash256, CachedContract, HashKey> contracts_;
-  // Code hashes currently being computed by an owner, with the input slots
-  // of every registered waiter. Guarded by contract_mutex_.
+  // Code hashes currently being computed by an owner, with the source
+  // ordinals of every registered waiter. Guarded by contract_mutex_.
   std::unordered_map<evm::Hash256, std::vector<std::size_t>, HashKey> in_flight_;
   mutable std::mutex function_mutex_;
   std::unordered_map<evm::Hash256, FunctionOutcome, HashKey> functions_;

@@ -19,30 +19,30 @@ LoadStats ScanJournal::load() {
                                     bytes->size()),
       [this](std::uint8_t type, Decoder& dec) {
         if (type != kRecordScanEntry) return true;  // foreign record: ignore
-        std::uint64_t index = 0;
+        std::uint64_t ordinal = 0;
         Entry entry;
-        if (!dec.get_u64(index) || !dec.get_f64(entry.seconds) ||
+        if (!dec.get_u64(ordinal) || !dec.get_f64(entry.seconds) ||
             !decode_cached_contract(dec, entry.code_hash, entry.contract)) {
           return false;
         }
-        done_[static_cast<std::size_t>(index)] = std::move(entry);  // newest record wins
+        done_[static_cast<std::size_t>(ordinal)] = std::move(entry);  // newest record wins
         return true;
       });
 }
 
-const ScanJournal::Entry* ScanJournal::find(std::size_t index,
+const ScanJournal::Entry* ScanJournal::find(std::size_t ordinal,
                                             const evm::Hash256& code_hash) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = done_.find(index);
+  auto it = done_.find(ordinal);
   if (it == done_.end() || it->second.code_hash != code_hash) return nullptr;
   return &it->second;
 }
 
-void ScanJournal::record(std::size_t index, const evm::Hash256& code_hash,
+void ScanJournal::record(std::size_t ordinal, const evm::Hash256& code_hash,
                          const CachedContract& entry, double seconds) {
   if (entry.status == RecoveryStatus::InternalError) return;
   Encoder enc;
-  enc.put_u64(index);
+  enc.put_u64(ordinal);
   enc.put_f64(seconds);
   encode_cached_contract(enc, code_hash, entry);
   std::string framed;
@@ -51,7 +51,7 @@ void ScanJournal::record(std::size_t index, const evm::Hash256& code_hash,
   std::string to_write;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    Entry& slot = done_[index];
+    Entry& slot = done_[ordinal];
     slot.code_hash = code_hash;
     slot.contract = entry;
     slot.seconds = seconds;

@@ -2,10 +2,10 @@
 //
 // `recover_batch` over a chain snapshot runs for hours; when the process
 // dies mid-scan (OOM kill, preemption, SIGKILL), everything completed so far
-// must survive. A ScanJournal records each finished contract — input index,
-// code hash, and the full recovery outcome — to an append-only file in the
-// checksummed record format from persist.hpp. A re-invoked scan loads the
-// journal, replays every recorded contract's report byte-identically
+// must survive. A ScanJournal records each finished contract — its source
+// ordinal, code hash, and the full recovery outcome — to an append-only file
+// in the checksummed record format from persist.hpp. A re-invoked scan loads
+// the journal, replays every recorded contract's report byte-identically
 // (canonical_to_string of a killed-then-resumed scan equals an uninterrupted
 // one), and only spends symbolic execution on what is genuinely left.
 //
@@ -15,11 +15,11 @@
 // flushes costs at most `flush_interval` contracts of redone work, never
 // the journal file's integrity (torn tails are skipped on load).
 //
-// Resume keys on (input index, code hash): a record replays only when the
-// contract at that position still has the same runtime code, so editing the
-// input list between runs degrades to recomputation, never to a wrong
-// report. InternalError outcomes are never journaled — a crash-tainted
-// result must not survive into the next run.
+// Resume keys on (source ordinal, code hash): a record replays only when the
+// contract at that position in the source still has the same runtime code,
+// so editing the input list between runs degrades to recomputation, never to
+// a wrong report. InternalError outcomes are never journaled — a
+// crash-tainted result must not survive into the next run.
 #pragma once
 
 #include <cstdint>
@@ -52,20 +52,22 @@ class ScanJournal {
   ScanJournal& operator=(const ScanJournal&) = delete;
 
   // Loads existing records (tolerantly — see persist.hpp; corruption is
-  // counted, not fatal). Later records for the same index win, so a journal
-  // appended across several partial runs resolves to the newest outcome.
+  // counted, not fatal). Later records for the same ordinal win, so a
+  // journal appended across several partial runs resolves to the newest
+  // outcome.
   LoadStats load();
 
-  // The recorded entry for `index`, or nullptr when it is absent or its
+  // The recorded entry for `ordinal`, or nullptr when it is absent or its
   // code hash no longer matches the input. The pointer is stable until the
-  // journal is destroyed (entries are never removed). Not safe to call
-  // concurrently with `record` — resume lookups happen before workers start.
-  [[nodiscard]] const Entry* find(std::size_t index, const evm::Hash256& code_hash) const;
+  // journal is destroyed (entries are never removed). Thread-safe — the
+  // streaming engine resolves replays from worker tasks while other workers
+  // are recording completions.
+  [[nodiscard]] const Entry* find(std::size_t ordinal, const evm::Hash256& code_hash) const;
 
   // Records one completed contract. Thread-safe (workers call this as
   // contracts finish); appends to disk once `flush_interval` records have
   // accumulated. InternalError entries are dropped.
-  void record(std::size_t index, const evm::Hash256& code_hash, const CachedContract& entry,
+  void record(std::size_t ordinal, const evm::Hash256& code_hash, const CachedContract& entry,
               double seconds);
 
   // Appends all buffered records now. Thread-safe. Returns false on I/O

@@ -1,9 +1,13 @@
 #include "sigrec/persist.hpp"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
 #ifndef _WIN32
+#include <dirent.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #endif
 
@@ -330,6 +334,44 @@ bool append_file_bytes(const std::string& path, std::string_view bytes) {
   ok = std::fflush(f) == 0 && ok;
   ok = std::fclose(f) == 0 && ok;
   return ok;
+}
+
+bool ensure_directory(const std::string& dir) {
+#ifndef _WIN32
+  if (::mkdir(dir.c_str(), 0777) == 0 || errno == EEXIST) {
+    struct stat st{};
+    return ::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+  }
+  return false;
+#else
+  (void)dir;
+  return false;
+#endif
+}
+
+std::vector<std::string> list_directory(const std::string& dir, const std::string& prefix) {
+  std::vector<std::string> out;
+#ifndef _WIN32
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    std::string path = dir + "/" + name;
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) continue;
+    out.push_back(std::move(path));
+  }
+  ::closedir(d);
+#else
+  (void)dir;
+  (void)prefix;
+#endif
+  // readdir order is filesystem-dependent; a sorted list keeps every
+  // consumer (shard merge above all) deterministic.
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 // --- persistent cache store --------------------------------------------------

@@ -54,6 +54,8 @@ inline constexpr std::uint32_t kPersistFormatVersion = 1;
 // them — a cache loader skips scan records in a shared file and vice versa.
 inline constexpr std::uint8_t kRecordCacheEntry = 1;
 inline constexpr std::uint8_t kRecordScanEntry = 2;
+// One recovered function routed to a selector shard (see shard.hpp).
+inline constexpr std::uint8_t kRecordSignatureEntry = 3;
 // Upper bound on a single record's payload; a corrupted length field must
 // not translate into a multi-gigabyte allocation.
 inline constexpr std::uint32_t kMaxRecordPayload = 64u << 20;
@@ -158,6 +160,16 @@ void encode_cached_contract(Encoder& enc, const evm::Hash256& code_hash,
 // Appends raw bytes (already-framed records) to `path`, creating it if
 // needed, and flushes before returning.
 [[nodiscard]] bool append_file_bytes(const std::string& path, std::string_view bytes);
+
+// Creates `dir` if it does not exist (one level, not mkdir -p). Returns
+// false when the directory can neither be found nor created.
+[[nodiscard]] bool ensure_directory(const std::string& dir);
+
+// Regular files directly under `dir` whose names start with `prefix`,
+// sorted by name (deterministic across filesystems). Missing or unreadable
+// directory yields an empty list.
+[[nodiscard]] std::vector<std::string> list_directory(const std::string& dir,
+                                                      const std::string& prefix = "");
 
 // --- persistent cache store --------------------------------------------------
 

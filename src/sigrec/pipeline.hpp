@@ -1,0 +1,215 @@
+// Streaming ingestion for chain-scale scans: contract sources and the
+// bounded channel between ingestion and recovery.
+//
+// `recover_batch` historically took the whole corpus as one up-front
+// std::vector — fine for a unit test, wrong for the paper's §5 deployment
+// story (37M contracts): a chain snapshot arrives from disk or RPC far
+// slower than a warmed cache serves duplicates, and materializing it first
+// means ingestion and symbolic execution never overlap. The streaming API
+// replaces the vector with a pull-based `ContractSource` and a bounded MPMC
+// channel:
+//
+//   source.next() ──ingestion thread──▶ BoundedChannel ──pump──▶ pool
+//
+// The channel is the backpressure boundary: `push` blocks while the channel
+// holds `capacity` items, so a fast source can run at most one channel ahead
+// of the recovery stage, and a slow source never starves it of the chance to
+// overlap (the pool keeps draining whatever has already been buffered).
+//
+// Every item carries a *source ordinal* — its position in the stream — which
+// is the stable half of the contract key (ordinal, code hash) that the
+// journal, the in-flight dedup, and the sharded sink all use now that there
+// is no dense input vector to index into. An entry the source could not
+// produce (unreadable file, malformed hex) still consumes its ordinal and
+// flows through as an error item, so one bad line in a 37M-line feed costs
+// one report row, never the stream.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "evm/bytecode.hpp"
+
+namespace sigrec::core {
+
+// One entry pulled from a ContractSource. Exactly one of {code, error} is
+// meaningful: an empty `error` means `code` is the contract to recover; a
+// non-empty `error` means ingestion of this entry failed (the ordinal is
+// still consumed, so downstream keys stay stable).
+struct SourceItem {
+  std::size_t ordinal = 0;  // position in the stream; the stable contract key
+  evm::Bytecode code;
+  std::string label;  // human-readable origin: a path, "stdin:7", "demo"
+  std::string error;  // non-empty: this entry failed to ingest
+
+  [[nodiscard]] bool failed() const { return !error.empty(); }
+};
+
+// Pull-based contract stream. Implementations are driven from a single
+// ingestion thread and need not be thread-safe; they must number items with
+// consecutive ordinals starting at 0 (ChainSource renumbers when composing).
+class ContractSource {
+ public:
+  virtual ~ContractSource() = default;
+
+  // The next entry, or nullopt when the stream is exhausted. Never throws;
+  // per-entry failures are returned as error items.
+  [[nodiscard]] virtual std::optional<SourceItem> next() = 0;
+
+  // Total number of entries when it is known up front (in-memory spans, file
+  // lists); nullopt for unbounded streams (stdin). recover_stream uses this
+  // to account for entries a graceful stop prevented from being ingested.
+  [[nodiscard]] virtual std::optional<std::size_t> size_hint() const { return std::nullopt; }
+};
+
+// In-memory corpus, zero-copy until an item is emitted (each emitted item
+// copies its Bytecode so downstream owns it outright — the streaming engine
+// must not retain pointers into caller storage it may outlive).
+class SpanSource final : public ContractSource {
+ public:
+  explicit SpanSource(std::span<const evm::Bytecode> codes) : codes_(codes) {}
+
+  [[nodiscard]] std::optional<SourceItem> next() override;
+  [[nodiscard]] std::optional<std::size_t> size_hint() const override { return codes_.size(); }
+
+ private:
+  std::span<const evm::Bytecode> codes_;
+  std::size_t pos_ = 0;
+};
+
+// Literal hex inputs (CLI 0x… arguments, synthesized demo contracts).
+class HexListSource final : public ContractSource {
+ public:
+  struct Entry {
+    std::string label;
+    std::string hex;
+  };
+
+  explicit HexListSource(std::vector<Entry> entries) : entries_(std::move(entries)) {}
+
+  [[nodiscard]] std::optional<SourceItem> next() override;
+  [[nodiscard]] std::optional<std::size_t> size_hint() const override { return entries_.size(); }
+
+ private:
+  std::vector<Entry> entries_;
+  std::size_t pos_ = 0;
+};
+
+// A list of .hex files, read and parsed lazily one item at a time — the
+// reading IS the ingestion stage, so disk latency overlaps recovery instead
+// of preceding it. Unreadable or malformed files become error items.
+class FileListSource final : public ContractSource {
+ public:
+  explicit FileListSource(std::vector<std::string> paths) : paths_(std::move(paths)) {}
+
+  [[nodiscard]] std::optional<SourceItem> next() override;
+  [[nodiscard]] std::optional<std::size_t> size_hint() const override { return paths_.size(); }
+
+ private:
+  std::vector<std::string> paths_;
+  std::size_t pos_ = 0;
+};
+
+// Line-oriented stream (stdin, a pipe, a manifest file): each non-blank,
+// non-# line is either hex bytecode (0x-prefixed or bare hex digits) or a
+// path to a .hex file. Unbounded — no size hint — and tolerant: a bad line
+// becomes an error item tagged with its line number and the stream goes on.
+class LineStreamSource final : public ContractSource {
+ public:
+  explicit LineStreamSource(std::istream& in, std::string label_prefix = "stdin")
+      : in_(in), label_prefix_(std::move(label_prefix)) {}
+
+  [[nodiscard]] std::optional<SourceItem> next() override;
+
+ private:
+  std::istream& in_;
+  std::string label_prefix_;
+  std::size_t line_ = 0;     // 1-based line counter for labels
+  std::size_t ordinal_ = 0;  // only accepted entries consume ordinals
+};
+
+// Concatenates sources in order, renumbering ordinals globally — the CLI
+// composes one of these from its positional arguments plus --stdin.
+class ChainSource final : public ContractSource {
+ public:
+  explicit ChainSource(std::vector<std::unique_ptr<ContractSource>> parts)
+      : parts_(std::move(parts)) {}
+
+  [[nodiscard]] std::optional<SourceItem> next() override;
+  [[nodiscard]] std::optional<std::size_t> size_hint() const override;
+
+ private:
+  std::vector<std::unique_ptr<ContractSource>> parts_;
+  std::size_t current_ = 0;
+  std::size_t ordinal_ = 0;
+};
+
+// Bounded multi-producer multi-consumer channel — the handoff (and the
+// backpressure boundary) between ingestion and recovery. Closing wakes every
+// blocked producer and consumer; a closed channel rejects new pushes but
+// drains what it already holds, so close() loses nothing.
+template <typename T>
+class BoundedChannel {
+ public:
+  explicit BoundedChannel(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  // Blocks while the channel is full. Returns false (item dropped) iff the
+  // channel was closed before space freed up.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while the channel is empty and open. Returns nullopt exactly when
+  // the channel is closed AND drained — the consumer's end-of-stream signal.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace sigrec::core

@@ -1,0 +1,213 @@
+#include "sigrec/shard.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string_view>
+
+#include "sigrec/batch.hpp"
+
+namespace sigrec::core {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string_view status_text(std::uint8_t status) {
+  if (status >= symexec::kRecoveryStatusCount) return "unknown";
+  return symexec::status_name(static_cast<RecoveryStatus>(status));
+}
+
+}  // namespace
+
+std::string shard_file_name(std::uint32_t shard) {
+  char name[32];
+  std::snprintf(name, sizeof name, "shard_%03u.sigdb", shard);
+  return name;
+}
+
+void encode_signature_record(Encoder& enc, const SignatureRecord& rec) {
+  enc.put_u64(rec.ordinal);
+  enc.put_u32(rec.fn_index);
+  enc.put_u32(rec.selector);
+  enc.put_u8(rec.dialect);
+  enc.put_u8(rec.status);
+  enc.put_u8(rec.partial);
+  enc.put_string(rec.signature);
+}
+
+bool decode_signature_record(Decoder& dec, SignatureRecord& rec) {
+  if (!dec.get_u64(rec.ordinal) || !dec.get_u32(rec.fn_index) || !dec.get_u32(rec.selector) ||
+      !dec.get_u8(rec.dialect) || !dec.get_u8(rec.status) || !dec.get_u8(rec.partial) ||
+      !dec.get_string(rec.signature)) {
+    return false;
+  }
+  return rec.dialect <= 1 && rec.status < symexec::kRecoveryStatusCount && rec.partial <= 1;
+}
+
+ShardedSink::ShardedSink(std::string dir, int shard_bits, std::size_t flush_interval)
+    : dir_(std::move(dir)),
+      shard_bits_(shard_bits < 0 ? 0 : (shard_bits > kMaxShardBits ? kMaxShardBits : shard_bits)),
+      flush_interval_(std::max<std::size_t>(1, flush_interval)) {
+  ok_ = ensure_directory(dir_);
+  std::size_t n = shard_count(shard_bits_);
+  shards_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->path = dir_ + "/" + shard_file_name(static_cast<std::uint32_t>(s));
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedSink::~ShardedSink() { (void)flush(); }
+
+void ShardedSink::write(const ContractReport& report) {
+  if (!ok_) {
+    records_dropped_.fetch_add(report.functions.size(), std::memory_order_relaxed);
+    return;
+  }
+  for (std::size_t j = 0; j < report.functions.size(); ++j) {
+    const RecoveredFunction& fn = report.functions[j];
+    SignatureRecord rec;
+    rec.ordinal = report.ordinal;
+    rec.fn_index = static_cast<std::uint32_t>(j);
+    rec.selector = fn.selector;
+    rec.signature = fn.to_string();
+    rec.dialect = fn.dialect == abi::Dialect::Vyper ? 1 : 0;
+    rec.status = static_cast<std::uint8_t>(fn.status);
+    rec.partial = fn.partial ? 1 : 0;
+
+    Shard& shard = *shards_[shard_of_selector(fn.selector, shard_bits_)];
+    double start = now_seconds();
+    std::string to_write;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      Encoder enc;
+      encode_signature_record(enc, rec);
+      append_record(shard.pending, kRecordSignatureEntry, enc.bytes());
+      if (++shard.pending_records >= flush_interval_) {
+        to_write.swap(shard.pending);
+        shard.pending_records = 0;
+      }
+    }
+    // Disk latency outside the shard lock, same as the journal.
+    if (!to_write.empty()) (void)append_file_bytes(shard.path, to_write);
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.write_seconds += now_seconds() - start;
+    }
+    records_written_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool ShardedSink::flush() {
+  bool all_ok = true;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::string to_write;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      if (shard.pending.empty()) continue;
+      to_write.swap(shard.pending);
+      shard.pending_records = 0;
+    }
+    double start = now_seconds();
+    bool ok = append_file_bytes(shard.path, to_write);
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.write_seconds += now_seconds() - start;
+      if (!ok) shard.pending.insert(0, to_write);  // keep for a retry
+    }
+    all_ok &= ok;
+  }
+  return all_ok;
+}
+
+double ShardedSink::write_seconds() const {
+  double total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->write_seconds;
+  }
+  return total;
+}
+
+std::uint64_t ShardedSink::records_written() const {
+  return records_written_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ShardedSink::records_dropped() const {
+  return records_dropped_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> ShardedSink::files() const {
+  std::vector<std::string> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) out.push_back(shard->path);
+  return out;
+}
+
+std::string MergeStats::to_string() const {
+  return "files=" + std::to_string(files) + " records=" + std::to_string(records) +
+         " duplicates=" + std::to_string(duplicates) + " " + load.to_string();
+}
+
+std::string merge_shards(const std::vector<std::string>& files, MergeStats* stats) {
+  MergeStats local;
+  // std::map: the merge IS the sort — iteration order is (ordinal, fn_index).
+  std::map<std::pair<std::uint64_t, std::uint32_t>, SignatureRecord> merged;
+  for (const std::string& path : files) {
+    std::optional<std::string> bytes = read_file_bytes(path);
+    if (!bytes.has_value()) continue;  // a shard nothing routed to may not exist
+    ++local.files;
+    LoadStats file_stats = scan_records(
+        std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(bytes->data()),
+                                      bytes->size()),
+        [&merged, &local](std::uint8_t type, Decoder& dec) {
+          if (type != kRecordSignatureEntry) return true;  // foreign record: ignore
+          SignatureRecord rec;
+          if (!decode_signature_record(dec, rec)) return false;
+          auto key = std::make_pair(rec.ordinal, rec.fn_index);
+          // A resumed scan re-appends contracts the kill caught between
+          // journal flush and sink flush; recovery is deterministic, so the
+          // copies are identical and first-wins keeps the merge stable.
+          if (!merged.emplace(key, std::move(rec)).second) ++local.duplicates;
+          return true;
+        });
+    local.load.loaded += file_stats.loaded;
+    local.load.skipped_checksum += file_stats.skipped_checksum;
+    local.load.skipped_version += file_stats.skipped_version;
+    local.load.skipped_truncated += file_stats.skipped_truncated;
+    local.load.skipped_malformed += file_stats.skipped_malformed;
+    local.load.resync_scans += file_stats.resync_scans;
+  }
+  local.records = merged.size();
+
+  std::string out;
+  char selector_hex[16];
+  for (const auto& [key, rec] : merged) {
+    std::snprintf(selector_hex, sizeof selector_hex, "0x%08x", rec.selector);
+    out += std::to_string(rec.ordinal);
+    out += '\t';
+    out += selector_hex;
+    out += '\t';
+    out += rec.signature;
+    out += '\t';
+    out += rec.dialect == 1 ? "vyper" : "solidity";
+    out += '\t';
+    out += status_text(rec.status);
+    if (rec.partial != 0) out += "\tpartial";
+    out += '\n';
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<std::string> list_shard_files(const std::string& dir) {
+  return list_directory(dir, "shard_");
+}
+
+}  // namespace sigrec::core

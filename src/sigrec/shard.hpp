@@ -1,0 +1,153 @@
+// Selector-sharded signature-database output.
+//
+// A chain-scale scan produces one record per recovered function. Writing
+// them all through a single file serializes the sink behind one mutex and
+// leaves the final database as one giant artifact; sharding by the top
+// `shard_bits` of the 4-byte selector (the same prefix a lookup service
+// would partition on) lets N writers append in parallel and lets a fleet
+// merge partial databases file-by-file.
+//
+// Records are framed in the persist.hpp format (kRecordSignatureEntry), so a
+// shard file inherits every crash-safety property of the journal: append-
+// only, self-delimiting, checksummed, torn tails skipped on load. Workers
+// finish contracts in a schedule-dependent order, so the BYTES of a shard
+// file are not deterministic — determinism is restored at merge time:
+// `merge_shards` keys every record by (source ordinal, function index),
+// deduplicates (a killed-and-resumed scan appends some records twice;
+// recovery is deterministic, so duplicates are byte-identical and either
+// copy may win), sorts, and renders a canonical text database. The merge of
+// any shard_bits/jobs/ingestion-mode combination is byte-identical to the
+// merge of an unsharded (shard_bits=0, jobs=1) run — the acceptance bar the
+// shard tests and the CI smoke job enforce.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sigrec/persist.hpp"
+#include "sigrec/sigrec.hpp"
+
+namespace sigrec::core {
+
+struct ContractReport;
+
+// Selectors have 32 bits; 8 shard bits (256 shards) is already far past the
+// point where shard-file handling dominates, and keeps file counts sane.
+inline constexpr int kMaxShardBits = 8;
+
+// The shard a selector routes to: its top `shard_bits` bits. shard_bits == 0
+// puts everything in shard 0 (the unsharded reference layout).
+[[nodiscard]] constexpr std::uint32_t shard_of_selector(std::uint32_t selector, int shard_bits) {
+  return shard_bits <= 0 ? 0u : selector >> (32 - shard_bits);
+}
+
+[[nodiscard]] constexpr std::size_t shard_count(int shard_bits) {
+  return std::size_t{1} << (shard_bits < 0 ? 0 : shard_bits);
+}
+
+// "shard_000.sigdb" … "shard_255.sigdb" — fixed width so lexicographic
+// directory order equals shard order.
+[[nodiscard]] std::string shard_file_name(std::uint32_t shard);
+
+// One recovered function as persisted to a shard file. (ordinal, fn_index)
+// is the stable identity used for merge dedup and ordering; everything else
+// is the deterministic recovery outcome.
+struct SignatureRecord {
+  std::uint64_t ordinal = 0;   // contract's position in the source stream
+  std::uint32_t fn_index = 0;  // position within the contract's report
+  std::uint32_t selector = 0;
+  std::string signature;  // canonical "0x<selector>(<types>)" rendering
+  std::uint8_t dialect = 0;  // 0 solidity, 1 vyper
+  std::uint8_t status = 0;   // RecoveryStatus
+  std::uint8_t partial = 0;
+};
+
+void encode_signature_record(Encoder& enc, const SignatureRecord& rec);
+[[nodiscard]] bool decode_signature_record(Decoder& dec, SignatureRecord& rec);
+
+// Streaming sink: routes every recovered function of a finished contract to
+// its selector shard and appends framed records, buffered per shard and
+// flushed every `flush_interval` records (plus explicitly via flush()).
+// Thread-safe — workers write concurrently, each shard guarded by its own
+// mutex, so two functions only contend when they share a selector prefix.
+class ShardedSink {
+ public:
+  // Creates `dir` if needed. `ok()` reports whether the directory (and thus
+  // the sink) is usable; writes to a dead sink are dropped and counted.
+  ShardedSink(std::string dir, int shard_bits, std::size_t flush_interval = 64);
+  ~ShardedSink();  // flushes buffered records
+
+  ShardedSink(const ShardedSink&) = delete;
+  ShardedSink& operator=(const ShardedSink&) = delete;
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] int shard_bits() const { return shard_bits_; }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  // Appends one record per function of `report`. Interrupted reports carry
+  // no functions and write nothing.
+  void write(const ContractReport& report);
+
+  // Flushes every shard's buffer to disk. Returns false if any shard failed
+  // (its buffer is kept for a retry).
+  [[nodiscard]] bool flush();
+
+  // Wall-clock seconds spent encoding and appending, summed across shards —
+  // the `write_seconds` stage figure in BatchResult.
+  [[nodiscard]] double write_seconds() const;
+
+  [[nodiscard]] std::uint64_t records_written() const;
+  [[nodiscard]] std::uint64_t records_dropped() const;  // dead-sink writes
+
+  // The shard file paths this sink appends to (existing or not yet created).
+  [[nodiscard]] std::vector<std::string> files() const;
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::string path;
+    std::string pending;  // framed records not yet on disk
+    std::size_t pending_records = 0;
+    double write_seconds = 0;
+  };
+
+  const std::string dir_;
+  const int shard_bits_;
+  const std::size_t flush_interval_;
+  bool ok_ = false;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> records_written_{0};
+  std::atomic<std::uint64_t> records_dropped_{0};
+};
+
+// How a merge went: tolerant-load counters summed over every input file,
+// plus merge-level bookkeeping.
+struct MergeStats {
+  LoadStats load;
+  std::uint64_t files = 0;
+  std::uint64_t records = 0;     // unique (ordinal, fn_index) keys merged
+  std::uint64_t duplicates = 0;  // resumed-scan re-appends collapsed away
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Deterministic merge: reads every shard file, deduplicates by
+// (ordinal, fn_index), sorts, and renders one line per function:
+//
+//   <ordinal>\t0x<selector>\t<signature>\t<dialect>\t<status>[\tpartial]
+//
+// Output depends only on the set of records — not on shard_bits, worker
+// schedule, ingestion mode, or append order — which is the whole guarantee.
+[[nodiscard]] std::string merge_shards(const std::vector<std::string>& files,
+                                       MergeStats* stats = nullptr);
+
+// Shard files under `dir` (the ShardedSink naming scheme), sorted.
+[[nodiscard]] std::vector<std::string> list_shard_files(const std::string& dir);
+
+}  // namespace sigrec::core

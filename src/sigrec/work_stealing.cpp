@@ -61,6 +61,19 @@ void WorkStealingPool::spawn(Task task) {
   }
 }
 
+void WorkStealingPool::reserve() { outstanding_.fetch_add(1, std::memory_order_release); }
+
+void WorkStealingPool::release() {
+  // Mirrors the completion path in worker_loop: if this token was the last
+  // outstanding work, wake the idle workers so run() can return.
+  if (outstanding_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    if (waiting_.load(std::memory_order_seq_cst) != 0) {
+      { std::lock_guard<std::mutex> lock(idle_mutex_); }
+      idle_cv_.notify_all();
+    }
+  }
+}
+
 bool WorkStealingPool::try_pop_own(unsigned self, Task& out) {
   Queue& q = *queues_[self];
   std::lock_guard<std::mutex> lock(q.mutex);

@@ -50,6 +50,16 @@ class WorkStealingPool {
   // pool thread outlives the call.
   void run();
 
+  // External-work tokens for streaming producers. A held token counts as
+  // outstanding work, so `run` keeps the workers alive (idle-waiting, not
+  // spinning) while a producer thread is still going to spawn tasks — the
+  // streaming batch pump holds one from before run() until its channel
+  // drains. Every reserve() must be matched by exactly one release(), from
+  // any thread; releasing the last unit of outstanding work wakes the
+  // workers so run() can return.
+  void reserve();
+  void release();
+
   [[nodiscard]] unsigned workers() const { return static_cast<unsigned>(queues_.size()); }
 
   // Tasks spawned but not yet finished executing (including their pending

@@ -148,7 +148,7 @@ TEST(ScanJournalTest, BatchRecordsEveryContractAndReplaysThemAll) {
   EXPECT_EQ(resumed.health.replayed, codes.size());
   EXPECT_EQ(resumed.cpu_seconds, 0.0);  // replay does no recovery work
   for (const core::ContractReport& report : resumed.contracts) {
-    EXPECT_TRUE(report.replayed) << "contract " << report.index;
+    EXPECT_TRUE(report.replayed) << "contract " << report.ordinal;
   }
   EXPECT_EQ(core::canonical_to_string(resumed), fresh_canonical);
   std::remove(path.c_str());

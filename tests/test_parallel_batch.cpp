@@ -190,11 +190,11 @@ TEST(ParallelBatch, EmptyAndMalformedInputsKeepTheirSlots) {
   opts.jobs = 4;
   core::BatchResult batch = core::recover_batch(codes, opts);
   ASSERT_EQ(batch.contracts.size(), 3u);
-  EXPECT_EQ(batch.contracts[0].index, 0u);
+  EXPECT_EQ(batch.contracts[0].ordinal, 0u);
   EXPECT_EQ(batch.contracts[0].status, RecoveryStatus::MalformedBytecode);
-  EXPECT_EQ(batch.contracts[1].index, 1u);
+  EXPECT_EQ(batch.contracts[1].ordinal, 1u);
   EXPECT_EQ(batch.contracts[1].status, RecoveryStatus::Complete);
-  EXPECT_EQ(batch.contracts[2].index, 2u);
+  EXPECT_EQ(batch.contracts[2].ordinal, 2u);
 }
 
 // --- timing ------------------------------------------------------------------

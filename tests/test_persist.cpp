@@ -313,7 +313,7 @@ TEST(Persist, WarmPersistentCacheDoesZeroFreshSymbolicExecution) {
   EXPECT_EQ(warm.cache.function_misses, 0u);
   EXPECT_EQ(warm.cache.contract_hits, codes.size());
   for (const core::ContractReport& report : warm.contracts) {
-    EXPECT_TRUE(report.cache_hit) << "contract " << report.index;
+    EXPECT_TRUE(report.cache_hit) << "contract " << report.ordinal;
   }
   // And it renders the identical canonical report.
   EXPECT_EQ(core::canonical_to_string(warm), core::canonical_to_string(cold));
