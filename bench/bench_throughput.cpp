@@ -15,15 +15,18 @@
 // speedup; on a multi-core host they compose.
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "mock_rpc_server.hpp"
 #include "sigrec/batch.hpp"
 #include "sigrec/journal.hpp"
 #include "sigrec/persist.hpp"
 #include "sigrec/pipeline.hpp"
+#include "sigrec/rpc.hpp"
 #include "sigrec/shard.hpp"
 
 namespace {
@@ -262,10 +265,68 @@ std::vector<ShardResult> run_shard_sweep(const std::vector<evm::Bytecode>& codes
   return results;
 }
 
+struct FetchResult {
+  double clean_wall = 0;    // honest loopback node
+  double faulted_wall = 0;  // same scan through a scripted fault schedule
+  double fetch_seconds = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t bytes = 0;
+  bool identical = false;  // faulted canonical == clean canonical
+};
+
+// Network ingestion: the same scan pulled over loopback JSON-RPC from the
+// in-process mock node, once served honestly and once through a fault
+// schedule (reset, 429 burst, slow trickle). The faults must cost only
+// retries — the canonical output has to match the clean run byte-for-byte.
+FetchResult run_rpc_fetch(const std::vector<evm::Bytecode>& codes, unsigned jobs) {
+  std::vector<std::string> addresses;
+  std::map<std::string, std::string> code_by_address;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "0x%040zx", i + 1);
+    addresses.emplace_back(buf);
+    code_by_address[addresses.back()] = codes[i].to_hex();
+  }
+  core::RpcOptions rpc;
+  rpc.backoff_base_ms = 1;
+  rpc.backoff_cap_ms = 8;
+  core::BatchOptions opts;
+  opts.jobs = jobs;
+
+  FetchResult f;
+  std::string clean_canonical;
+  {
+    test::MockRpcServer server(code_by_address);
+    core::RpcSource source(server.url(), addresses, rpc);
+    core::BatchResult batch = core::recover_stream(source, opts);
+    f.clean_wall = batch.wall_seconds;
+    clean_canonical = core::canonical_to_string(batch);
+  }
+  {
+    test::MockRpcServer server(code_by_address,
+                               {{test::Fault::Kind::ResetAfterAccept},
+                                {test::Fault::Kind::Http429},
+                                {test::Fault::Kind::Http429},
+                                {test::Fault::Kind::SlowLoris, 256, 1}});
+    core::RpcSource source(server.url(), addresses, rpc);
+    core::BatchResult batch = core::recover_stream(source, opts);
+    f.faulted_wall = batch.wall_seconds;
+    f.fetch_seconds = batch.fetch_seconds;
+    f.requests = batch.fetch.requests;
+    f.retries = batch.fetch.retries;
+    f.rate_limited = batch.fetch.rate_limited;
+    f.bytes = batch.fetch.bytes;
+    f.identical = core::canonical_to_string(batch) == clean_canonical;
+  }
+  return f;
+}
+
 void write_json(const char* path, const std::vector<RunResult>& runs, std::size_t uniques,
                 std::size_t contracts, std::size_t functions, double baseline_wall,
                 double best_wall, const PersistResult& persist, const StreamResult& stream,
-                const std::vector<ShardResult>& shards) {
+                const std::vector<ShardResult>& shards, const FetchResult& fetch) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -327,7 +388,18 @@ void write_json(const char* path, const std::vector<RunResult>& runs, std::size_
                  static_cast<unsigned long long>(s.records),
                  s.merge_identical ? "true" : "false", i + 1 < shards.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"rpc_fetch\": {\"clean_wall_seconds\": %.6f, "
+               "\"faulted_wall_seconds\": %.6f, \"fetch_seconds\": %.6f, "
+               "\"requests\": %llu, \"retries\": %llu, \"rate_limited\": %llu, "
+               "\"bytes\": %llu, \"canonical_identical\": %s}\n",
+               fetch.clean_wall, fetch.faulted_wall, fetch.fetch_seconds,
+               static_cast<unsigned long long>(fetch.requests),
+               static_cast<unsigned long long>(fetch.retries),
+               static_cast<unsigned long long>(fetch.rate_limited),
+               static_cast<unsigned long long>(fetch.bytes),
+               fetch.identical ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\n  wrote %s\n", path);
@@ -413,7 +485,19 @@ int main() {
     deterministic &= s.merge_identical;
   }
 
+  // Network ingestion: loopback JSON-RPC fetch, honest vs fault-injected.
+  bench::print_header("RPC fetch: loopback eth_getCode, clean vs fault schedule (jobs=4)");
+  FetchResult fetch = run_rpc_fetch(codes, /*jobs=*/4);
+  std::printf("  %-34s %10.3fs\n", "clean loopback scan", fetch.clean_wall);
+  std::printf("  %-34s %10.3fs (fetch %.3fs, %llu requests, %llu retries, %llu 429s)\n",
+              "scan through fault schedule", fetch.faulted_wall, fetch.fetch_seconds,
+              static_cast<unsigned long long>(fetch.requests),
+              static_cast<unsigned long long>(fetch.retries),
+              static_cast<unsigned long long>(fetch.rate_limited));
+  std::printf("  faulted/clean canonical-identical: %s\n", fetch.identical ? "yes" : "NO");
+  deterministic &= fetch.identical;
+
   write_json("BENCH_throughput.json", runs, kUniques, codes.size(), functions,
-             baseline.wall_seconds, best_wall, persist, stream, shards);
+             baseline.wall_seconds, best_wall, persist, stream, shards, fetch);
   return deterministic ? 0 : 1;
 }

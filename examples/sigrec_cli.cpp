@@ -33,6 +33,11 @@
 //                                                 # into 16 selector shards
 //   example_sigrec_cli --merge-shards db          # merge shard files into the
 //                                                 # canonical text database
+//   example_sigrec_cli --rpc http://127.0.0.1:8545 --addresses list.txt
+//                                                 # fetch runtime code per
+//                                                 # address over JSON-RPC
+//                                                 # (eth_getCode), batched and
+//                                                 # pipelined ahead of recovery
 //
 // A batch run installs SIGINT/SIGTERM handlers for graceful shutdown:
 // in-flight contracts finish and are journaled, queued ones are skipped, the
@@ -78,6 +83,7 @@
 #include "sigrec/journal.hpp"
 #include "sigrec/persist.hpp"
 #include "sigrec/pipeline.hpp"
+#include "sigrec/rpc.hpp"
 #include "sigrec/shard.hpp"
 #include "sigrec/sigrec.hpp"
 #include "sigrec/work_stealing.hpp"
@@ -202,6 +208,9 @@ int usage(const char* argv0) {
                "       %s --merge-shards <dir> [--output|-o <path>]"
                "   # merge shard files into the canonical database\n"
                "       %s --emit-corpus <dir> <n>   # synthesize a test corpus\n"
+               "       %s --rpc <http-url> --addresses <file> [--rpc-timeout-ms <ms>]\n"
+               "          [--rpc-retries <n>] [--rpc-batch <n>] [batch options above]\n"
+               "          # fetch runtime code per address via JSON-RPC eth_getCode\n"
                "recovers function signatures from EVM runtime bytecode; several\n"
                "inputs run as one parallel batch (--jobs workers, default: all\n"
                "hardware threads; duplicate runtime code served from memo caches).\n"
@@ -214,7 +223,7 @@ int usage(const char* argv0) {
                "(2^shard-bits files) as contracts finish; --merge-shards renders\n"
                "the shards as one deterministic text database. --output writes\n"
                "the canonical batch report atomically (temp file + rename).\n",
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -239,6 +248,13 @@ struct CliOptions {
   const char* merge_dir = nullptr;
   double watchdog_ms = 0;
   std::size_t flush_interval = 16;
+  // Network ingestion (rpc.hpp): fetch runtime code per address over
+  // JSON-RPC instead of reading local inputs.
+  const char* rpc_url = nullptr;
+  const char* addresses_file = nullptr;
+  double rpc_timeout_ms = 5000;
+  double rpc_retries = 4;
+  double rpc_batch = 16;
 };
 
 bool is_stdin_arg(const char* arg) {
@@ -316,6 +332,26 @@ int run_batch(const std::vector<const char*>& inputs, const sigrec::symexec::Lim
               const CliOptions& cli) {
   using namespace sigrec;
 
+  // Network mode: the whole input is an address list fetched over JSON-RPC.
+  // A malformed list fails loudly up front (a typo in a 37M-line list must
+  // not surface 9 hours in); a dead node degrades per address, not per scan.
+  std::unique_ptr<core::ContractSource> source;
+  if (cli.rpc_url != nullptr) {
+    std::string error;
+    auto addresses = core::load_address_file(cli.addresses_file, &error);
+    if (!addresses.has_value()) {
+      std::fprintf(stderr, "error: --addresses: %s\n", error.c_str());
+      return 2;
+    }
+    core::RpcOptions rpc;
+    rpc.timeout_ms = static_cast<int>(cli.rpc_timeout_ms);
+    rpc.max_retries = static_cast<int>(cli.rpc_retries);
+    rpc.batch_size = static_cast<std::size_t>(cli.rpc_batch);
+    source = std::make_unique<core::RpcSource>(cli.rpc_url, std::move(*addresses), rpc);
+  } else {
+    source = make_source(inputs);
+  }
+
   // Persistent cache: restore before the scan, compact back after it. A
   // corrupt or foreign-version file degrades to a (partially) cold start.
   core::RecoveryCache persistent_cache;
@@ -366,7 +402,6 @@ int run_batch(const std::vector<const char*>& inputs, const sigrec::symexec::Lim
   opts.stop = &g_stop;
   opts.watchdog_seconds = cli.watchdog_ms / 1000.0;
 
-  std::unique_ptr<core::ContractSource> source = make_source(inputs);
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
   core::BatchResult batch = core::recover_stream(*source, opts);
@@ -414,6 +449,9 @@ int run_batch(const std::vector<const char*>& inputs, const sigrec::symexec::Lim
                batch.wall_seconds, batch.cpu_seconds, batch.ingest_seconds,
                batch.recover_seconds, batch.write_seconds,
                core::WorkStealingPool::resolve_jobs(cli.jobs), batch.cache.to_string().c_str());
+  if (cli.rpc_url != nullptr) {
+    std::fprintf(stderr, "%s\n", batch.fetch.to_string().c_str());
+  }
   if (sink.has_value()) {
     std::fprintf(stderr, "shards: %llu records into %zu shards under %s\n",
                  static_cast<unsigned long long>(sink->records_written()),
@@ -480,6 +518,18 @@ int main(int argc, char** argv) {
       cli.shard_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--merge-shards") == 0 && i + 1 < argc) {
       cli.merge_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--rpc") == 0 && i + 1 < argc) {
+      cli.rpc_url = argv[++i];
+    } else if (std::strcmp(argv[i], "--addresses") == 0 && i + 1 < argc) {
+      cli.addresses_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--rpc-timeout-ms") == 0) {
+      if (!number_arg(cli.rpc_timeout_ms) || cli.rpc_timeout_ms < 1) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--rpc-retries") == 0) {
+      if (!number_arg(cli.rpc_retries) || cli.rpc_retries > 100) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--rpc-batch") == 0) {
+      if (!number_arg(cli.rpc_batch) || cli.rpc_batch < 1 || cli.rpc_batch > 1000) {
+        return usage(argv[0]);
+      }
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       cli.caches = false;
     } else if (std::strcmp(argv[i], "--cache-file") == 0 && i + 1 < argc) {
@@ -507,7 +557,15 @@ int main(int argc, char** argv) {
     }
     return run_merge(cli);
   }
-  if (inputs.empty()) return usage(argv[0]);
+  if ((cli.rpc_url != nullptr) != (cli.addresses_file != nullptr)) {
+    std::fprintf(stderr, "error: --rpc and --addresses go together\n");
+    return 2;
+  }
+  if (cli.rpc_url != nullptr && !inputs.empty()) {
+    std::fprintf(stderr, "error: --rpc takes its inputs from --addresses, not arguments\n");
+    return 2;
+  }
+  if (inputs.empty() && cli.rpc_url == nullptr) return usage(argv[0]);
   if (cli.resume && cli.journal_file == nullptr) {
     std::fprintf(stderr, "error: --resume needs --journal <path>\n");
     return 2;
@@ -527,8 +585,9 @@ int main(int argc, char** argv) {
   bool streaming_input = false;
   for (const char* input : inputs) streaming_input |= is_stdin_arg(input);
 
-  if (inputs.size() > 1 || streaming_input || cli.journal_file != nullptr ||
-      cli.cache_file != nullptr || cli.output_file != nullptr || cli.shard_dir != nullptr) {
+  if (inputs.size() > 1 || streaming_input || cli.rpc_url != nullptr ||
+      cli.journal_file != nullptr || cli.cache_file != nullptr ||
+      cli.output_file != nullptr || cli.shard_dir != nullptr) {
     if (decode_hex != nullptr) {
       std::fprintf(stderr, "error: --decode needs exactly one plain input\n");
       return 2;

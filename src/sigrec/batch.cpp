@@ -629,6 +629,12 @@ BatchResult recover_stream(ContractSource& source, const BatchOptions& opts) {
   pump_thread.join();
   ingest_thread.join();
   batch.ingest_seconds = ingest_seconds;
+  // Network-backed sources fetch ahead on their own thread; their metrics
+  // are stable once ingestion has joined.
+  if (std::optional<SourceStats> fetch = source.stats()) {
+    batch.fetch = *fetch;
+    batch.fetch_seconds = fetch->fetch_seconds;
+  }
 
   // A stopped scan over a sized source: account for the entries ingestion
   // never reached, so the report covers every ordinal the source would have

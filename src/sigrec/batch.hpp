@@ -68,11 +68,10 @@
 #include <vector>
 
 #include "sigrec/cache.hpp"
+#include "sigrec/pipeline.hpp"
 #include "sigrec/sigrec.hpp"
 
 namespace sigrec::core {
-
-class ContractSource;
 class ScanJournal;
 class ShardedSink;
 struct ContractReport;
@@ -246,6 +245,13 @@ struct BatchResult {
   double ingest_seconds = 0;
   double recover_seconds = 0;
   double write_seconds = 0;
+  // Fourth per-stage figure, for network-backed sources (rpc.hpp): wall
+  // clock the fetcher spent on the wire (requests, backoff, decoding),
+  // overlapped with everything above. `fetch` carries the request/retry/
+  // rate-limit/byte counters; both stay zero for local sources. Like the
+  // cache statistics, outside the determinism guarantee.
+  double fetch_seconds = 0;
+  SourceStats fetch;
   // Hit/miss statistics for this run's memo caches (schedule-dependent, not
   // part of the deterministic view).
   CacheStats cache;

@@ -1,6 +1,7 @@
 #include "sigrec/pipeline.hpp"
 
 #include <cctype>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -114,6 +115,34 @@ std::optional<std::size_t> ChainSource::size_hint() const {
     total += *hint;
   }
   return total;
+}
+
+std::optional<SourceStats> ChainSource::stats() const {
+  std::optional<SourceStats> total;
+  for (const auto& part : parts_) {
+    std::optional<SourceStats> s = part->stats();
+    if (!s.has_value()) continue;
+    if (!total.has_value()) total.emplace();
+    total->requests += s->requests;
+    total->retries += s->retries;
+    total->rate_limited += s->rate_limited;
+    total->bytes += s->bytes;
+    total->failed_entries += s->failed_entries;
+    total->fetch_seconds += s->fetch_seconds;
+  }
+  return total;
+}
+
+std::string SourceStats::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "requests=%llu retries=%llu 429=%llu bytes=%llu failed=%llu fetch=%.3fs",
+                static_cast<unsigned long long>(requests),
+                static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(rate_limited),
+                static_cast<unsigned long long>(bytes),
+                static_cast<unsigned long long>(failed_entries), fetch_seconds);
+  return buf;
 }
 
 }  // namespace sigrec::core

@@ -54,6 +54,22 @@ struct SourceItem {
   [[nodiscard]] bool failed() const { return !error.empty(); }
 };
 
+// Fetch-side metrics a network-backed source accumulates while it runs
+// ahead of the consumer (see rpc.hpp). recover_stream copies them into
+// BatchResult::fetch after ingestion ends, making fetch time the fourth
+// per-stage figure next to ingest/recover/write. Like the cache statistics,
+// these measure this run's work and are outside the determinism guarantee.
+struct SourceStats {
+  std::uint64_t requests = 0;        // HTTP exchanges attempted
+  std::uint64_t retries = 0;         // re-attempts after a transport failure
+  std::uint64_t rate_limited = 0;    // HTTP 429 responses absorbed
+  std::uint64_t bytes = 0;           // response bytes received, headers included
+  std::uint64_t failed_entries = 0;  // entries that exhausted the failure budget
+  double fetch_seconds = 0;          // wall clock spent fetching (incl. backoff)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
 // Pull-based contract stream. Implementations are driven from a single
 // ingestion thread and need not be thread-safe; they must number items with
 // consecutive ordinals starting at 0 (ChainSource renumbers when composing).
@@ -69,6 +85,10 @@ class ContractSource {
   // lists); nullopt for unbounded streams (stdin). recover_stream uses this
   // to account for entries a graceful stop prevented from being ingested.
   [[nodiscard]] virtual std::optional<std::size_t> size_hint() const { return std::nullopt; }
+
+  // Fetch metrics for sources that pull entries over a network; nullopt for
+  // local sources. Read by recover_stream after the ingestion thread joins.
+  [[nodiscard]] virtual std::optional<SourceStats> stats() const { return std::nullopt; }
 };
 
 // In-memory corpus, zero-copy until an item is emitted (each emitted item
@@ -146,6 +166,8 @@ class ChainSource final : public ContractSource {
 
   [[nodiscard]] std::optional<SourceItem> next() override;
   [[nodiscard]] std::optional<std::size_t> size_hint() const override;
+  // Sum over parts that report stats; nullopt when no part does.
+  [[nodiscard]] std::optional<SourceStats> stats() const override;
 
  private:
   std::vector<std::unique_ptr<ContractSource>> parts_;

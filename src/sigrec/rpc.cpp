@@ -1,0 +1,805 @@
+#include "sigrec/rpc.hpp"
+
+#include <netdb.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+#include "evm/bytecode.hpp"
+
+namespace sigrec::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+// --- minimal JSON ------------------------------------------------------------
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Recursive-descent parser over a bounded cursor. Every read is bounds
+// checked; nesting is capped so adversarial input fails instead of blowing
+// the stack. No exceptions anywhere — a hostile node must not be able to
+// throw through the fetcher.
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  std::optional<JsonValue> parse() {
+    skip_ws();
+    JsonValue v;
+    if (!parse_value(v, 0)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.size() - pos_ < word.size()) return false;
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, std::size_t depth) {
+    if (depth >= max_depth_) return false;
+    skip_ws();
+    if (eof()) return false;
+    switch (peek()) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"':
+        out.kind = JsonValue::Kind::String;
+        return parse_string(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::Null;
+        return literal("null");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out, std::size_t depth) {
+    out.kind = JsonValue::Kind::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (eof() || peek() != '"') return false;
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      return consume('}');
+    }
+  }
+
+  bool parse_array(JsonValue& out, std::size_t depth) {
+    out.kind = JsonValue::Kind::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.array.push_back(std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      return consume(']');
+    }
+  }
+
+  static void append_utf8(std::string& s, std::uint32_t cp) {
+    if (cp < 0x80) {
+      s.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      s.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      s.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      s.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      s.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool parse_hex4(std::uint32_t& out) {
+    if (text_.size() - pos_ < 4) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    for (;;) {
+      if (eof()) return false;
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control char
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) return false;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!parse_hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must pair with a following \uDC00-\uDFFF.
+            if (text_.size() - pos_ < 2 || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+              return false;
+            }
+            pos_ += 2;
+            std::uint32_t low = 0;
+            if (!parse_hex4(low) || low < 0xDC00 || low > 0xDFFF) return false;
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return false;  // unpaired low surrogate
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    std::size_t start = pos_;
+    if (consume('-')) {
+      // fall through to digits
+    }
+    if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+    if (peek() == '0') {
+      ++pos_;  // leading zero takes no more integer digits
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    // The token is pure [-0-9.eE+]; strtod on a NUL-terminated copy is safe.
+    std::string token(text_.substr(start, pos_ - start));
+    out.kind = JsonValue::Kind::Number;
+    out.number = std::strtod(token.c_str(), nullptr);
+    return true;
+  }
+
+  std::string_view text_;
+  const std::size_t max_depth_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text, std::size_t max_depth) {
+  return JsonParser(text, max_depth == 0 ? 1 : max_depth).parse();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// --- URL / HTTP --------------------------------------------------------------
+
+std::optional<ParsedUrl> parse_http_url(std::string_view url, std::string* error) {
+  auto fail = [error](const char* why) -> std::optional<ParsedUrl> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  constexpr std::string_view kScheme = "http://";
+  if (url.substr(0, 8) == "https://") return fail("https is not supported (plain http only)");
+  if (url.substr(0, kScheme.size()) != kScheme) return fail("URL must start with http://");
+  std::string_view rest = url.substr(kScheme.size());
+  ParsedUrl out;
+  std::size_t slash = rest.find('/');
+  std::string_view authority = rest.substr(0, slash);
+  if (slash != std::string_view::npos) out.path = std::string(rest.substr(slash));
+  std::size_t colon = authority.rfind(':');
+  if (colon != std::string_view::npos) {
+    std::string_view port_text = authority.substr(colon + 1);
+    if (port_text.empty()) return fail("empty port");
+    std::uint32_t port = 0;
+    for (char c : port_text) {
+      if (std::isdigit(static_cast<unsigned char>(c)) == 0) return fail("non-numeric port");
+      port = port * 10 + static_cast<std::uint32_t>(c - '0');
+      if (port > 65535) return fail("port out of range");
+    }
+    if (port == 0) return fail("port out of range");
+    out.port = static_cast<std::uint16_t>(port);
+    authority = authority.substr(0, colon);
+  }
+  if (authority.empty()) return fail("empty host");
+  out.host = std::string(authority);
+  return out;
+}
+
+namespace {
+
+// Hard cap on one HTTP response: a hostile Content-Length must not become a
+// multi-gigabyte allocation (mirrors persist.hpp's kMaxRecordPayload logic).
+constexpr std::size_t kMaxResponseBytes = 64u << 20;
+
+struct Deadline {
+  Clock::time_point end;
+
+  explicit Deadline(int budget_ms)
+      : end(Clock::now() + std::chrono::milliseconds(budget_ms < 1 ? 1 : budget_ms)) {}
+
+  [[nodiscard]] int remaining_ms() const {
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(end - Clock::now());
+    return static_cast<int>(std::max<std::int64_t>(0, left.count()));
+  }
+  [[nodiscard]] bool expired() const { return remaining_ms() == 0; }
+};
+
+// Waits for `events` on `fd` within the deadline. Returns false on timeout
+// or poll error.
+bool wait_fd(int fd, short events, const Deadline& deadline) {
+  for (;;) {
+    int left = deadline.remaining_ms();
+    if (left == 0) return false;
+    struct pollfd pfd{fd, events, 0};
+    int rc = ::poll(&pfd, 1, left);
+    if (rc > 0) return true;
+    if (rc == 0) return false;  // timeout
+    if (errno != EINTR) return false;
+  }
+}
+
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { reset(); }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  void reset(int fd = -1) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+  [[nodiscard]] int get() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+bool connect_socket(const ParsedUrl& url, const Deadline& deadline, Socket& sock,
+                    std::string* error) {
+  auto fail = [error](std::string why) {
+    if (error != nullptr) *error = std::move(why);
+    return false;
+  };
+  struct addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  char port_text[8];
+  std::snprintf(port_text, sizeof port_text, "%u", static_cast<unsigned>(url.port));
+  struct addrinfo* res = nullptr;
+  int rc = ::getaddrinfo(url.host.c_str(), port_text, &hints, &res);
+  if (rc != 0 || res == nullptr) return fail("cannot resolve host '" + url.host + "'");
+  bool connected = false;
+  std::string last = "no usable address";
+  for (struct addrinfo* ai = res; ai != nullptr && !connected; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, SOCK_STREAM | SOCK_NONBLOCK, ai->ai_protocol);
+    if (fd < 0) continue;
+    sock.reset(fd);
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      connected = true;
+      break;
+    }
+    if (errno != EINPROGRESS) {
+      last = std::string("connect: ") + std::strerror(errno);
+      continue;
+    }
+    if (!wait_fd(fd, POLLOUT, deadline)) {
+      last = "connect timeout";
+      continue;
+    }
+    int soerr = 0;
+    socklen_t len = sizeof soerr;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 || soerr != 0) {
+      last = std::string("connect: ") + std::strerror(soerr != 0 ? soerr : errno);
+      continue;
+    }
+    connected = true;
+  }
+  ::freeaddrinfo(res);
+  if (!connected) {
+    sock.reset();
+    return fail(std::move(last));
+  }
+  return true;
+}
+
+bool send_all(int fd, std::string_view data, const Deadline& deadline, std::string* error) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_fd(fd, POLLOUT, deadline)) {
+        if (error != nullptr) *error = "send timeout";
+        return false;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (error != nullptr) *error = std::string("send: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+// Case-insensitive search for `header:` in the header block; returns the
+// trimmed value of its first occurrence.
+std::optional<std::string> find_header(std::string_view headers, std::string_view name) {
+  std::size_t pos = 0;
+  while (pos < headers.size()) {
+    std::size_t eol = headers.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = headers.size();
+    std::string_view line = headers.substr(pos, eol - pos);
+    std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos && colon == name.size()) {
+      bool match = true;
+      for (std::size_t i = 0; i < name.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(line[i])) !=
+            std::tolower(static_cast<unsigned char>(name[i]))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        std::string_view value = line.substr(colon + 1);
+        while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+          value.remove_prefix(1);
+        }
+        while (!value.empty() && (value.back() == ' ' || value.back() == '\r')) {
+          value.remove_suffix(1);
+        }
+        return std::string(value);
+      }
+    }
+    pos = eol + 2;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool http_post(const ParsedUrl& url, std::string_view body, int deadline_ms, HttpResult& result,
+               std::string* error) {
+  auto fail = [error](std::string why) {
+    if (error != nullptr) *error = std::move(why);
+    return false;
+  };
+  Deadline deadline(deadline_ms);
+  Socket sock;
+  if (!connect_socket(url, deadline, sock, error)) return false;
+
+  std::string request = "POST " + url.path + " HTTP/1.1\r\n";
+  request += "Host: " + url.host + "\r\n";
+  request += "Content-Type: application/json\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  request += "Connection: close\r\n\r\n";
+  request += body;
+  if (!send_all(sock.get(), request, deadline, error)) return false;
+
+  // Read until EOF or the deadline; one connection serves one response.
+  std::string raw;
+  char buf[8192];
+  std::size_t header_end = std::string::npos;
+  std::optional<std::size_t> content_length;
+  for (;;) {
+    ssize_t n = ::recv(sock.get(), buf, sizeof buf, 0);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_fd(sock.get(), POLLIN, deadline)) return fail("receive timeout");
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) return fail(std::string("recv: ") + std::strerror(errno));
+    if (n == 0) break;  // EOF
+    raw.append(buf, static_cast<std::size_t>(n));
+    if (raw.size() > kMaxResponseBytes) return fail("response exceeds size cap");
+    if (header_end == std::string::npos) {
+      header_end = raw.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        std::string_view headers(raw.data(), header_end);
+        if (find_header(headers, "Transfer-Encoding").has_value()) {
+          return fail("chunked transfer encoding unsupported");
+        }
+        if (std::optional<std::string> cl = find_header(headers, "Content-Length")) {
+          char* end = nullptr;
+          unsigned long long v = std::strtoull(cl->c_str(), &end, 10);
+          if (end == cl->c_str() || v > kMaxResponseBytes) {
+            return fail("invalid Content-Length");
+          }
+          content_length = static_cast<std::size_t>(v);
+        }
+      }
+    }
+    if (header_end != std::string::npos && content_length.has_value() &&
+        raw.size() >= header_end + 4 + *content_length) {
+      break;  // complete body; don't wait for the server's close
+    }
+  }
+  result.bytes = raw.size();
+  if (header_end == std::string::npos) {
+    return fail(raw.empty() ? "connection closed before response" : "truncated HTTP headers");
+  }
+  // "HTTP/1.x NNN ..."
+  std::size_t space = raw.find(' ');
+  if (space == std::string::npos || space + 4 > header_end) return fail("malformed status line");
+  int status = 0;
+  for (int i = 1; i <= 3; ++i) {
+    char c = raw[space + static_cast<std::size_t>(i)];
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return fail("malformed status line");
+    status = status * 10 + (c - '0');
+  }
+  result.status = status;
+  std::string full_body = raw.substr(header_end + 4);
+  if (content_length.has_value()) {
+    if (full_body.size() < *content_length) return fail("truncated HTTP body");
+    full_body.resize(*content_length);
+  }
+  result.body = std::move(full_body);
+  return true;
+}
+
+// --- RpcSource ---------------------------------------------------------------
+
+RpcSource::RpcSource(std::string url, std::vector<std::string> addresses, RpcOptions opts)
+    : url_text_(std::move(url)),
+      url_(parse_http_url(url_text_, &url_error_)),
+      addresses_(std::move(addresses)),
+      opts_(opts),
+      buffer_(opts.prefetch == 0 ? 1 : opts.prefetch) {
+  fetcher_ = std::thread([this] { fetch_loop(); });
+}
+
+RpcSource::~RpcSource() {
+  stop_.store(true, std::memory_order_relaxed);
+  buffer_.close();  // wakes a fetcher blocked on push and a consumer on pop
+  if (fetcher_.joinable()) fetcher_.join();
+}
+
+std::optional<SourceItem> RpcSource::next() { return buffer_.pop(); }
+
+std::optional<SourceStats> RpcSource::stats() const {
+  SourceStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.rate_limited = rate_limited_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  s.failed_entries = failed_addresses_.load(std::memory_order_relaxed);
+  s.fetch_seconds = static_cast<double>(fetch_micros_.load(std::memory_order_relaxed)) / 1e6;
+  return s;
+}
+
+bool RpcSource::backoff_wait(int attempt) {
+  std::int64_t base = std::max(1, opts_.backoff_base_ms);
+  std::int64_t wait_ms = attempt >= 31 ? opts_.backoff_cap_ms : (base << (attempt - 1));
+  wait_ms = std::min<std::int64_t>(wait_ms, std::max(1, opts_.backoff_cap_ms));
+  Clock::time_point end = Clock::now() + std::chrono::milliseconds(wait_ms);
+  // Chunked sleep so destruction doesn't wait out a long backoff.
+  while (Clock::now() < end) {
+    if (stop_.load(std::memory_order_relaxed)) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return !stop_.load(std::memory_order_relaxed);
+}
+
+void RpcSource::fetch_batch(std::size_t begin, std::size_t end, std::vector<SourceItem>& out) {
+  struct Slot {
+    bool resolved = false;
+    SourceItem item;
+  };
+  std::vector<Slot> slots(end - begin);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    slots[i].item.ordinal = begin + i;
+    slots[i].item.label = addresses_[begin + i];
+  }
+  std::string last_error = "no response";
+  std::size_t unresolved = slots.size();
+
+  for (int attempt = 0; attempt <= opts_.max_retries && unresolved > 0; ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      if (!backoff_wait(attempt)) break;
+    }
+    if (stop_.load(std::memory_order_relaxed)) break;
+
+    // Build one JSON-RPC batch over the unresolved addresses, fresh ids per
+    // attempt so a late reply to an earlier attempt can never be matched.
+    std::unordered_map<std::uint64_t, std::size_t> slot_by_id;
+    std::string body = "[";
+    bool first = true;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].resolved) continue;
+      std::uint64_t id = next_request_id_++;
+      slot_by_id.emplace(id, i);
+      if (!first) body += ',';
+      first = false;
+      body += R"({"jsonrpc":"2.0","id":)" + std::to_string(id) +
+              R"(,"method":"eth_getCode","params":[")" + json_escape(addresses_[begin + i]) +
+              R"(",")" + json_escape(opts_.block_tag) + R"("]})";
+    }
+    body += ']';
+
+    HttpResult http;
+    std::string error;
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    bool sent = http_post(*url_, body, opts_.timeout_ms, http, &error);
+    bytes_.fetch_add(http.bytes, std::memory_order_relaxed);
+    if (!sent) {
+      last_error = error;
+      continue;
+    }
+    if (http.status == 429) {
+      rate_limited_.fetch_add(1, std::memory_order_relaxed);
+      last_error = "HTTP 429 (rate limited)";
+      continue;
+    }
+    if (http.status != 200) {
+      last_error = "HTTP " + std::to_string(http.status);
+      continue;
+    }
+    std::optional<JsonValue> doc = parse_json(http.body);
+    if (!doc.has_value()) {
+      last_error = "malformed JSON response";
+      continue;
+    }
+    // A single response object is treated as a one-element batch; anything
+    // else non-array is malformed.
+    std::vector<JsonValue> responses;
+    if (doc->kind == JsonValue::Kind::Array) {
+      responses = std::move(doc->array);
+    } else if (doc->kind == JsonValue::Kind::Object) {
+      responses.push_back(std::move(*doc));
+    } else {
+      last_error = "JSON-RPC response is neither object nor array";
+      continue;
+    }
+
+    for (const JsonValue& resp : responses) {
+      if (resp.kind != JsonValue::Kind::Object) continue;
+      const JsonValue* id = resp.find("id");
+      if (id == nullptr || id->kind != JsonValue::Kind::Number) continue;
+      auto it = slot_by_id.find(static_cast<std::uint64_t>(id->number));
+      if (it == slot_by_id.end()) continue;  // wrong/unknown id: stays pending
+      Slot& slot = slots[it->second];
+      if (slot.resolved) continue;  // duplicate id in one response
+
+      // The node answered this id authoritatively — whatever it says, this
+      // address is done; only transport-level failures are retried.
+      if (const JsonValue* err = resp.find("error")) {
+        std::string message = "rpc error";
+        if (const JsonValue* m = err->find("message");
+            m != nullptr && m->kind == JsonValue::Kind::String && !m->string.empty()) {
+          message = "rpc error: " + m->string;
+        }
+        slot.item.error = message;
+      } else if (const JsonValue* res = resp.find("result")) {
+        if (res->is_null()) {
+          slot.item.error = "null code (address unknown at block " + opts_.block_tag + ")";
+        } else if (res->kind != JsonValue::Kind::String) {
+          slot.item.error = "node returned non-string code";
+        } else if (res->string == "0x" || res->string.empty()) {
+          slot.item.error = "no code at address (externally owned account?)";
+        } else {
+          std::string hex_error;
+          if (auto raw = evm::bytes_from_hex_tolerant(res->string, &hex_error)) {
+            slot.item.code = evm::Bytecode(std::move(*raw));
+          } else {
+            slot.item.error = "node returned invalid hex: " + hex_error;
+          }
+        }
+      } else {
+        slot.item.error = "response carries neither result nor error";
+      }
+      slot.resolved = true;
+      --unresolved;
+    }
+    if (unresolved > 0) last_error = "incomplete batch response (wrong or missing ids)";
+  }
+
+  // Failure budget exhausted: each still-unresolved address degrades to one
+  // error item — a MalformedBytecode row downstream, never a lost stream.
+  // `failed_entries` counts every degraded address, authoritative answers
+  // (error object, null result, EOA) included.
+  for (Slot& slot : slots) {
+    if (!slot.resolved) {
+      slot.item.error =
+          "rpc: " + last_error + " (" + std::to_string(opts_.max_retries + 1) + " attempts)";
+    }
+    if (!slot.item.error.empty()) failed_addresses_.fetch_add(1, std::memory_order_relaxed);
+    out.push_back(std::move(slot.item));
+  }
+}
+
+void RpcSource::fetch_loop() {
+  if (!url_.has_value()) {
+    // A bad URL degrades every address, same one-row-per-entry contract.
+    for (std::size_t i = 0; i < addresses_.size(); ++i) {
+      SourceItem item;
+      item.ordinal = i;
+      item.label = addresses_[i];
+      item.error = "invalid RPC URL: " + url_error_;
+      if (!buffer_.push(std::move(item))) break;
+    }
+    buffer_.close();
+    return;
+  }
+  const std::size_t batch = std::max<std::size_t>(1, opts_.batch_size);
+  for (std::size_t begin = 0; begin < addresses_.size(); begin += batch) {
+    if (stop_.load(std::memory_order_relaxed)) break;
+    std::size_t end = std::min(addresses_.size(), begin + batch);
+    Clock::time_point t0 = Clock::now();
+    std::vector<SourceItem> items;
+    items.reserve(end - begin);
+    fetch_batch(begin, end, items);
+    fetch_micros_.fetch_add(static_cast<std::int64_t>(seconds_since(t0) * 1e6),
+                            std::memory_order_relaxed);
+    bool open = true;
+    for (SourceItem& item : items) {
+      if (!buffer_.push(std::move(item))) {
+        open = false;
+        break;
+      }
+    }
+    if (!open) break;
+  }
+  buffer_.close();
+}
+
+std::optional<std::vector<std::string>> load_address_file(const std::string& path,
+                                                          std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot read address file '" + path + "'";
+    return std::nullopt;
+  }
+  std::vector<std::string> addresses;
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::size_t begin = raw.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    std::size_t end = raw.find_last_not_of(" \t\r");
+    std::string line = raw.substr(begin, end - begin + 1);
+    if (line.empty() || line[0] == '#') continue;
+    bool valid = line.size() == 42 && line[0] == '0' && (line[1] == 'x' || line[1] == 'X');
+    for (std::size_t i = 2; valid && i < line.size(); ++i) {
+      valid = std::isxdigit(static_cast<unsigned char>(line[i])) != 0;
+    }
+    if (!valid) {
+      if (error != nullptr) {
+        *error = path + ":" + std::to_string(line_no) +
+                 ": not a 0x-prefixed 20-byte address: '" + line + "'";
+      }
+      return std::nullopt;
+    }
+    addresses.push_back(std::move(line));
+  }
+  return addresses;
+}
+
+}  // namespace sigrec::core

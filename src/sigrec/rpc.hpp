@@ -1,0 +1,193 @@
+// Network ingestion: an eth_getCode-over-JSON-RPC ContractSource.
+//
+// The paper's deployment story fetches runtime bytecode straight from a
+// node — 37M contracts arrive over the wire, not from a directory of .hex
+// files. `RpcSource` closes that loop: given a node URL and a list of
+// addresses, it speaks minimal JSON-RPC 2.0 over HTTP/1.1 on a plain TCP
+// socket (no external dependencies), batching `eth_getCode` calls and
+// fetching ahead of the consumer through a BoundedChannel so network latency
+// overlaps symbolic execution exactly the way disk latency already does for
+// FileListSource.
+//
+// The network is the most failure-rich stage of the pipeline, so the same
+// fault-isolation contract the batch engine gives contracts applies to
+// addresses: every transport failure (refused connection, reset, timeout,
+// torn response, malformed JSON, HTTP 429, wrong-id reply) is retried down a
+// bounded, jitter-free exponential backoff schedule — deterministic, so
+// tests can script a fault sequence and know exactly how many attempts the
+// source will make — and once an address exhausts its failure budget it
+// degrades to a single error item (a MalformedBytecode row downstream). One
+// dead address, or one flaky hour of a node, costs rows, never the stream.
+//
+// Responses the node answers authoritatively are never retried: a JSON-RPC
+// error object, a `null` result (address unknown at that block), and the
+// empty code "0x" (an EOA, nothing to recover) each resolve their address
+// immediately as an error item carrying the specific reason.
+//
+// The JSON parser is deliberately small, bounds-checked, depth-capped, and
+// crash-free on arbitrary bytes — it is fuzzed with truncations and bit
+// flips in the test suite, because a hostile or broken node feeds it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sigrec/pipeline.hpp"
+
+namespace sigrec::core {
+
+// --- minimal JSON ------------------------------------------------------------
+
+// A parsed JSON value. Object members keep their textual order; `find`
+// returns the first member with the key (later duplicates are unreachable,
+// matching what every mainstream parser does).
+struct JsonValue {
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  [[nodiscard]] bool is_null() const { return kind == Kind::Null; }
+};
+
+// Parses one complete JSON document (trailing whitespace allowed, trailing
+// garbage rejected). Returns nullopt on any syntax error, truncation, or
+// nesting deeper than `max_depth` — never throws, never reads out of bounds,
+// never recurses past the depth cap (a "[[[[…" bomb fails cleanly instead of
+// overflowing the stack).
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text,
+                                                  std::size_t max_depth = 64);
+
+// Escapes `s` as the contents of a JSON string literal (no quotes added).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+// --- URL / HTTP --------------------------------------------------------------
+
+// Split an http:// URL into host, port, path. Only plain http is supported
+// (a scan fleet talks to its own node on localhost or a trusted LAN); https
+// is rejected with a reason rather than silently sent in cleartext.
+struct ParsedUrl {
+  std::string host;
+  std::uint16_t port = 8545;
+  std::string path = "/";
+};
+[[nodiscard]] std::optional<ParsedUrl> parse_http_url(std::string_view url,
+                                                      std::string* error = nullptr);
+
+// One HTTP exchange: POST `body` to the URL, read the full response. Each
+// call uses a fresh connection ("Connection: close" — one request per
+// connection keeps failure attribution per-request, which the retry ladder
+// needs). Bounded by `deadline_ms` of wall clock across connect+send+recv.
+// On success fills `status` and `response_body`; on failure returns false
+// with the reason in `error`.
+struct HttpResult {
+  int status = 0;
+  std::string body;
+  std::uint64_t bytes = 0;  // raw bytes received, headers included
+};
+[[nodiscard]] bool http_post(const ParsedUrl& url, std::string_view body, int deadline_ms,
+                             HttpResult& result, std::string* error);
+
+// --- RpcSource ---------------------------------------------------------------
+
+struct RpcOptions {
+  // Wall-clock budget for one HTTP exchange (connect + send + full read). A
+  // slow-loris node that trickles bytes forever is cut off here.
+  int timeout_ms = 5000;
+  // Retry budget per batch request beyond the first attempt. When a batch
+  // exhausts it, every still-unresolved address in the batch degrades to an
+  // error item — the per-address failure budget of the ISSUE contract.
+  int max_retries = 4;
+  // Deterministic backoff before retry attempt k (1-based):
+  // min(backoff_base_ms << (k-1), backoff_cap_ms). No jitter — determinism
+  // is worth more to this pipeline than thundering-herd smoothing, and a
+  // scan fleet shards addresses, not retry timing.
+  int backoff_base_ms = 50;
+  int backoff_cap_ms = 2000;
+  // Addresses per JSON-RPC batch request.
+  std::size_t batch_size = 16;
+  // Decoded items buffered ahead of the consumer (the internal
+  // BoundedChannel's capacity): how far the fetcher may run ahead of
+  // recovery admission.
+  std::size_t prefetch = 64;
+  // Block tag for eth_getCode ("latest", "0x112a880", …).
+  std::string block_tag = "latest";
+};
+
+// Pull-based ContractSource over a JSON-RPC node. A dedicated fetcher thread
+// issues batched eth_getCode requests and pushes decoded items — in address
+// order, consecutive ordinals from 0 — into a BoundedChannel; next() pops
+// from it, so the ingestion thread of recover_stream sees an ordinary
+// blocking source while fetches run ahead. Ordering is preserved because
+// batches are issued one at a time and resolved positionally before
+// emission; pipelining depth comes from the prefetch buffer, not from
+// overlapping requests.
+class RpcSource final : public ContractSource {
+ public:
+  RpcSource(std::string url, std::vector<std::string> addresses, RpcOptions opts = {});
+  ~RpcSource() override;  // stops and joins the fetcher
+
+  RpcSource(const RpcSource&) = delete;
+  RpcSource& operator=(const RpcSource&) = delete;
+
+  [[nodiscard]] std::optional<SourceItem> next() override;
+  [[nodiscard]] std::optional<std::size_t> size_hint() const override {
+    return addresses_.size();
+  }
+  // Fetch metrics (requests, retries, 429s, bytes, fetch seconds) — becomes
+  // BatchResult::fetch after the stream ends.
+  [[nodiscard]] std::optional<SourceStats> stats() const override;
+
+ private:
+  void fetch_loop();
+  // Fetches `addresses_[begin, end)` as one JSON-RPC batch with retries;
+  // appends one SourceItem per address, in order, to `out`.
+  void fetch_batch(std::size_t begin, std::size_t end, std::vector<SourceItem>& out);
+  bool backoff_wait(int attempt);  // false: stop requested mid-wait
+
+  const std::string url_text_;
+  // Declared before url_: the url_ initializer writes the parse error here,
+  // so this member must already be constructed.
+  std::string url_error_;
+  std::optional<ParsedUrl> url_;
+  const std::vector<std::string> addresses_;
+  const RpcOptions opts_;
+
+  BoundedChannel<SourceItem> buffer_;
+  std::atomic<bool> stop_{false};
+
+  // Written by the fetcher thread, read via stats() after the stream ends
+  // (recover_stream joins ingestion before reading) — atomics keep a
+  // mid-stream stats() probe benign too.
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> rate_limited_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> failed_addresses_{0};
+  std::atomic<std::int64_t> fetch_micros_{0};
+
+  std::uint64_t next_request_id_ = 1;
+  std::thread fetcher_;
+};
+
+// Parses an address-list file: one 0x-prefixed 20-byte hex address per line,
+// blank lines and '#' comments skipped, whitespace trimmed. Returns nullopt
+// with `error` set (including the offending line number) when any line is
+// not an address — a typo in a 37M-line list should fail loudly up front,
+// not 9 hours in.
+[[nodiscard]] std::optional<std::vector<std::string>> load_address_file(const std::string& path,
+                                                                        std::string* error);
+
+}  // namespace sigrec::core

@@ -1,0 +1,88 @@
+// Standalone fault-injecting mock JSON-RPC node, for out-of-process smoke
+// tests (the CI RPC job drives the real CLI against it over loopback).
+//
+//   sigrec_mock_node <manifest> [--faults SPEC]
+//
+// `manifest` lines are "<0xaddress> <path-to-hex-file>" (blank lines and '#'
+// comments skipped); the file's hex contents become the address's runtime
+// code. `--faults` takes the comma spec from parse_fault_spec, e.g.
+// "reset,429,429,slow:8:20". The node prints "LISTENING <port>" on stdout
+// once bound, then serves until killed.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mock_rpc_server.hpp"
+
+int main(int argc, char** argv) {
+  const char* manifest_path = nullptr;
+  std::string fault_spec;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      fault_spec = argv[++i];
+    } else if (manifest_path == nullptr) {
+      manifest_path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: %s <manifest> [--faults SPEC]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (manifest_path == nullptr) {
+    std::fprintf(stderr, "usage: %s <manifest> [--faults SPEC]\n", argv[0]);
+    return 2;
+  }
+
+  std::ifstream manifest(manifest_path);
+  if (!manifest) {
+    std::fprintf(stderr, "error: cannot read manifest '%s'\n", manifest_path);
+    return 2;
+  }
+  std::map<std::string, std::string> codes;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(manifest, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string address;
+    std::string path;
+    if (!(fields >> address) || address[0] == '#') continue;
+    if (!(fields >> path)) {
+      std::fprintf(stderr, "error: %s:%zu: expected '<address> <hexfile>'\n", manifest_path,
+                   line_no);
+      return 2;
+    }
+    std::ifstream hex(path);
+    if (!hex) {
+      std::fprintf(stderr, "error: %s:%zu: cannot read '%s'\n", manifest_path, line_no,
+                   path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << hex.rdbuf();
+    std::string code = buf.str();
+    while (!code.empty() && (code.back() == '\n' || code.back() == '\r')) code.pop_back();
+    if (code.size() < 2 || code.compare(0, 2, "0x") != 0) code = "0x" + code;
+    codes[address] = std::move(code);
+  }
+
+  std::string spec_error;
+  auto schedule = sigrec::test::parse_fault_spec(fault_spec, &spec_error);
+  if (!schedule.has_value()) {
+    std::fprintf(stderr, "error: --faults: %s\n", spec_error.c_str());
+    return 2;
+  }
+
+  sigrec::test::MockRpcServer server(std::move(codes), std::move(*schedule));
+  if (!server.ok()) {
+    std::fprintf(stderr, "error: cannot bind loopback port\n");
+    return 1;
+  }
+  std::printf("LISTENING %u\n", static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+}

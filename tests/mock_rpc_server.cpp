@@ -1,0 +1,316 @@
+#include "mock_rpc_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "sigrec/rpc.hpp"
+
+namespace sigrec::test {
+
+namespace {
+
+std::string lowercased(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+// Sends all of `data`, optionally `chunk` bytes at a time with `delay_ms`
+// between writes (the slow-loris trickle). Returns false on any send error.
+bool send_bytes(int fd, const std::string& data, std::size_t chunk, int delay_ms,
+                const std::atomic<bool>& stopping) {
+  std::size_t pos = 0;
+  std::size_t step = chunk == 0 ? data.size() : chunk;
+  while (pos < data.size()) {
+    if (stopping.load(std::memory_order_relaxed)) return false;
+    std::size_t n = std::min(step, data.size() - pos);
+    ssize_t sent = ::send(fd, data.data() + pos, n, MSG_NOSIGNAL);
+    if (sent <= 0) {
+      if (sent < 0 && errno == EINTR) continue;
+      return false;
+    }
+    pos += static_cast<std::size_t>(sent);
+    if (delay_ms > 0 && pos < data.size()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+  }
+  return true;
+}
+
+std::string http_response(int status, const std::string& body) {
+  const char* reason = status == 200   ? "OK"
+                       : status == 429 ? "Too Many Requests"
+                                       : "Error";
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + std::string(reason) + "\r\n";
+  out += "Content-Type: application/json\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+// Reads one HTTP request (headers + Content-Length body). The fixture only
+// needs the body; a client that never finishes sending is cut off by the
+// socket's receive timeout.
+bool read_request(int fd, std::string& body) {
+  std::string raw;
+  char buf[4096];
+  std::size_t header_end = std::string::npos;
+  std::size_t content_length = 0;
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    raw.append(buf, static_cast<std::size_t>(n));
+    if (raw.size() > (16u << 20)) return false;
+    if (header_end == std::string::npos) {
+      header_end = raw.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        std::size_t cl = raw.find("Content-Length:");
+        if (cl == std::string::npos) cl = raw.find("content-length:");
+        if (cl == std::string::npos || cl > header_end) return false;
+        content_length = static_cast<std::size_t>(
+            std::strtoull(raw.c_str() + cl + std::strlen("Content-Length:"), nullptr, 10));
+        if (content_length > (16u << 20)) return false;
+      }
+    }
+    if (header_end != std::string::npos && raw.size() >= header_end + 4 + content_length) {
+      body = raw.substr(header_end + 4, content_length);
+      return true;
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<std::vector<Fault>> parse_fault_spec(const std::string& spec, std::string* error) {
+  std::vector<Fault> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+    // slow takes optional :chunk:delay_ms parameters.
+    Fault fault;
+    std::string name = token;
+    std::size_t colon = token.find(':');
+    if (colon != std::string::npos) name = token.substr(0, colon);
+    if (name == "none") {
+      fault.kind = Fault::Kind::None;
+    } else if (name == "reset") {
+      fault.kind = Fault::Kind::ResetAfterAccept;
+    } else if (name == "partial") {
+      fault.kind = Fault::Kind::CloseMidResponse;
+    } else if (name == "slow") {
+      fault.kind = Fault::Kind::SlowLoris;
+    } else if (name == "badjson") {
+      fault.kind = Fault::Kind::MalformedJson;
+    } else if (name == "wrongid") {
+      fault.kind = Fault::Kind::WrongId;
+    } else if (name == "429") {
+      fault.kind = Fault::Kind::Http429;
+    } else if (name == "ooo") {
+      fault.kind = Fault::Kind::OutOfOrderBatch;
+    } else {
+      if (error != nullptr) *error = "unknown fault '" + token + "'";
+      return std::nullopt;
+    }
+    if (colon != std::string::npos) {
+      char* end = nullptr;
+      fault.chunk = static_cast<std::size_t>(std::strtoul(token.c_str() + colon + 1, &end, 10));
+      if (end != nullptr && *end == ':') fault.delay_ms = std::atoi(end + 1);
+    }
+    out.push_back(fault);
+  }
+  return out;
+}
+
+MockRpcServer::MockRpcServer(std::map<std::string, std::string> code_by_address,
+                             std::vector<Fault> schedule)
+    : schedule_(std::move(schedule)) {
+  for (auto& [address, code] : code_by_address) {
+    code_by_address_.emplace(lowercased(address), std::move(code));
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return;
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  accept_thread_ = std::thread([this] { serve_loop(); });
+}
+
+MockRpcServer::~MockRpcServer() { stop(); }
+
+std::string MockRpcServer::url() const {
+  return "http://127.0.0.1:" + std::to_string(port_);
+}
+
+void MockRpcServer::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+std::size_t MockRpcServer::faults_remaining() const {
+  std::lock_guard<std::mutex> lock(schedule_mutex_);
+  return schedule_.size() - schedule_pos_;
+}
+
+Fault MockRpcServer::next_fault() {
+  std::lock_guard<std::mutex> lock(schedule_mutex_);
+  if (schedule_pos_ >= schedule_.size()) return Fault{};
+  return schedule_[schedule_pos_++];
+}
+
+void MockRpcServer::serve_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    // A client that stalls mid-request must not wedge the fixture.
+    struct timeval tv{5, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    handle_connection(fd, next_fault());
+    ::close(fd);
+  }
+}
+
+void MockRpcServer::handle_connection(int fd, Fault fault) {
+  using core::JsonValue;
+  if (fault.kind == Fault::Kind::ResetAfterAccept) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    // Linger(0) turns close into a hard RST — the "connection reset" a
+    // dying node produces, not a polite FIN.
+    struct linger lg{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+    return;
+  }
+
+  std::string body;
+  if (!read_request(fd, body)) return;
+
+  if (fault.kind == Fault::Kind::Http429) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    (void)send_bytes(fd, http_response(429, ""), 0, 0, stopping_);
+    return;
+  }
+  if (fault.kind == Fault::Kind::MalformedJson) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    (void)send_bytes(fd, http_response(200, "{\"jsonrpc\":\"2.0\",,,not json["), 0, 0,
+                     stopping_);
+    return;
+  }
+
+  // Build the honest response for the request, one element per call.
+  std::optional<JsonValue> doc = core::parse_json(body);
+  std::vector<const JsonValue*> calls;
+  bool batch = false;
+  if (doc.has_value() && doc->kind == JsonValue::Kind::Array) {
+    batch = true;
+    for (const JsonValue& call : doc->array) calls.push_back(&call);
+  } else if (doc.has_value() && doc->kind == JsonValue::Kind::Object) {
+    calls.push_back(&*doc);
+  }
+
+  std::vector<std::string> replies;
+  for (const JsonValue* call : calls) {
+    double id = 0;
+    if (const JsonValue* idv = call->find("id");
+        idv != nullptr && idv->kind == JsonValue::Kind::Number) {
+      id = idv->number;
+    }
+    if (fault.kind == Fault::Kind::WrongId) id += 1000000;
+    std::string id_text = std::to_string(static_cast<long long>(id));
+
+    const JsonValue* method = call->find("method");
+    const JsonValue* params = call->find("params");
+    if (method == nullptr || method->string != "eth_getCode" || params == nullptr ||
+        params->kind != JsonValue::Kind::Array || params->array.empty() ||
+        params->array[0].kind != JsonValue::Kind::String) {
+      replies.push_back(R"({"jsonrpc":"2.0","id":)" + id_text +
+                        R"(,"error":{"code":-32601,"message":"method not found"}})");
+      continue;
+    }
+    auto it = code_by_address_.find(lowercased(params->array[0].string));
+    if (it == code_by_address_.end()) {
+      replies.push_back(R"({"jsonrpc":"2.0","id":)" + id_text + R"(,"result":null})");
+    } else {
+      const std::string& code = it->second;
+      replies.push_back(R"({"jsonrpc":"2.0","id":)" + id_text + R"(,"result":")" +
+                        (code.empty() ? "0x" : code) + R"("})");
+    }
+  }
+  if (fault.kind == Fault::Kind::OutOfOrderBatch) {
+    std::reverse(replies.begin(), replies.end());
+  }
+
+  std::string payload;
+  if (batch) {
+    payload = "[";
+    for (std::size_t i = 0; i < replies.size(); ++i) {
+      if (i != 0) payload += ',';
+      payload += replies[i];
+    }
+    payload += ']';
+  } else if (!replies.empty()) {
+    payload = replies[0];
+  } else {
+    payload = R"({"jsonrpc":"2.0","id":null,"error":{"code":-32700,"message":"parse error"}})";
+  }
+  std::string response = http_response(200, payload);
+
+  switch (fault.kind) {
+    case Fault::Kind::CloseMidResponse: {
+      faults_injected_.fetch_add(1, std::memory_order_relaxed);
+      std::string partial = response.substr(0, std::min(fault.chunk, response.size()));
+      (void)send_bytes(fd, partial, 0, 0, stopping_);
+      return;  // close with the response torn mid-flight
+    }
+    case Fault::Kind::SlowLoris:
+      faults_injected_.fetch_add(1, std::memory_order_relaxed);
+      (void)send_bytes(fd, response, fault.chunk, fault.delay_ms, stopping_);
+      return;
+    default:
+      if (fault.kind != Fault::Kind::None) {
+        faults_injected_.fetch_add(1, std::memory_order_relaxed);  // WrongId, OutOfOrder
+      } else {
+        served_.fetch_add(1, std::memory_order_relaxed);
+      }
+      (void)send_bytes(fd, response, 0, 0, stopping_);
+      return;
+  }
+}
+
+}  // namespace sigrec::test

@@ -1,0 +1,107 @@
+// An in-process JSON-RPC node with scripted fault injection.
+//
+// RpcSource's retry/timeout/backoff ladder is only trustworthy if every
+// failure mode it claims to survive can be produced deterministically in
+// ctest — a real node cannot reset a connection on cue, and a test that
+// sometimes sees the fault and sometimes doesn't proves nothing. This server
+// binds a loopback TCP port and serves eth_getCode from an in-memory
+// address→bytecode map, but consults a FaultSchedule first: each accepted
+// connection consumes the next scripted fault (reset-after-accept, partial
+// write, slow-loris byte trickle, malformed JSON, wrong-id replies, 429
+// bursts, out-of-order batch arrays), and once the schedule runs dry every
+// later request is served honestly. Tests therefore know exactly which
+// attempt fails, how, and which attempt finally succeeds.
+//
+// The server is deliberately single-threaded per connection (the client
+// sends one request per connection, so accept order == request order) and
+// never validates beyond what it needs — it is a torture fixture, not an
+// HTTP implementation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sigrec::test {
+
+struct Fault {
+  enum class Kind : std::uint8_t {
+    None,             // serve this request honestly
+    ResetAfterAccept,  // accept, then close without reading or responding
+    CloseMidResponse,  // send the first `chunk` bytes of a valid response, close
+    SlowLoris,         // trickle the full response `chunk` bytes per `delay_ms`
+    MalformedJson,     // 200 OK whose body is not JSON
+    WrongId,           // well-formed responses whose ids match no request
+    Http429,           // 429 Too Many Requests, empty body
+    OutOfOrderBatch,   // valid batch response, array reversed (spec-legal)
+  };
+
+  Kind kind = Kind::None;
+  std::size_t chunk = 16;  // bytes per write for CloseMidResponse / SlowLoris
+  int delay_ms = 5;        // inter-chunk delay for SlowLoris
+};
+
+// Parses a comma-separated fault spec — "reset,429,slow:8:20,partial,badjson,
+// wrongid,ooo,none" — into a schedule; slow takes optional :chunk:delay_ms.
+// Returns nullopt (with the bad token in *error) on an unknown token. Shared
+// by tests and the standalone mock node the CI smoke drives.
+[[nodiscard]] std::optional<std::vector<Fault>> parse_fault_spec(const std::string& spec,
+                                                                 std::string* error = nullptr);
+
+class MockRpcServer {
+ public:
+  // `code_by_address`: lowercased 0x-address → 0x-hex runtime code. An
+  // address mapped to "0x" (or "") answers like an EOA; an address absent
+  // from the map answers result:null. `schedule` is consumed one fault per
+  // accepted connection.
+  explicit MockRpcServer(std::map<std::string, std::string> code_by_address,
+                         std::vector<Fault> schedule = {});
+  ~MockRpcServer();
+
+  MockRpcServer(const MockRpcServer&) = delete;
+  MockRpcServer& operator=(const MockRpcServer&) = delete;
+
+  [[nodiscard]] bool ok() const { return listen_fd_ >= 0; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::string url() const;
+
+  // Closes the listener and joins the accept loop; idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint64_t connections() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+  // Requests answered honestly (faulted exchanges are not counted here).
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t faults_remaining() const;
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd, Fault fault);
+  [[nodiscard]] Fault next_fault();
+
+  std::map<std::string, std::string> code_by_address_;
+  mutable std::mutex schedule_mutex_;
+  std::vector<Fault> schedule_;
+  std::size_t schedule_pos_ = 0;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> faults_injected_{0};
+  std::thread accept_thread_;
+};
+
+}  // namespace sigrec::test

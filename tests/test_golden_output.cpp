@@ -1,0 +1,90 @@
+// Golden-file regression: a checked-in five-contract corpus
+// (tests/golden/contract_*.hex) with its expected canonical batch report and
+// merged signature database. Any drift in the deterministic output surface —
+// selector extraction, type recovery, canonical rendering, shard record
+// encoding, merge ordering — fails these byte-for-byte comparisons, whether
+// intended (regenerate the goldens, review the diff) or not (a regression).
+//
+// Regenerate after an intentional output change:
+//   cd tests && ../build/examples/example_sigrec_cli golden/contract_*.hex \
+//     -o golden/expected_canonical.txt --shard-dir /tmp/gs --shard-bits 4
+//   ../build/examples/example_sigrec_cli --merge-shards /tmp/gs \
+//     -o golden/expected_merged.tsv
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sigrec/batch.hpp"
+#include "sigrec/pipeline.hpp"
+#include "sigrec/shard.hpp"
+
+namespace sigrec {
+namespace {
+
+constexpr std::size_t kGoldenContracts = 5;
+
+std::string golden_path(const std::string& name) {
+  return std::string(SIGREC_TEST_DATA_DIR) + "/golden/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing golden fixture: " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::string> golden_files() {
+  std::vector<std::string> files;
+  for (std::size_t i = 0; i < kGoldenContracts; ++i) {
+    files.push_back(golden_path("contract_" + std::to_string(i) + ".hex"));
+  }
+  return files;
+}
+
+core::BatchOptions golden_opts() {
+  core::BatchOptions opts;
+  opts.jobs = 2;  // determinism guarantee: jobs must not matter
+  return opts;
+}
+
+TEST(GoldenOutput, CanonicalReportMatchesTheCheckedInGolden) {
+  core::FileListSource source(golden_files());
+  core::BatchResult batch = core::recover_stream(source, golden_opts());
+  EXPECT_EQ(core::canonical_to_string(batch), read_file(golden_path("expected_canonical.txt")));
+}
+
+TEST(GoldenOutput, ShardedScanMergesToTheCheckedInDatabase) {
+  const std::string expected = read_file(golden_path("expected_merged.tsv"));
+  ASSERT_FALSE(expected.empty());
+
+  // The golden was produced with shard_bits=4; the merge must be
+  // byte-identical from any shard fan-out, the unsharded path included.
+  for (int bits : {0, 4}) {
+    std::string dir = testing::TempDir() + "sigrec_golden_shards_" + std::to_string(bits) +
+                      "." + std::to_string(::getpid());
+    {
+      core::ShardedSink sink(dir, bits, /*flush_interval=*/4);
+      ASSERT_TRUE(sink.ok());
+      core::BatchOptions opts = golden_opts();
+      opts.sink = &sink;
+      core::FileListSource source(golden_files());
+      core::BatchResult batch = core::recover_stream(source, opts);
+      EXPECT_EQ(batch.contracts.size(), kGoldenContracts);
+    }
+    EXPECT_EQ(core::merge_shards(core::list_shard_files(dir)), expected)
+        << "shard_bits=" << bits;
+    for (const std::string& file : core::list_shard_files(dir)) std::remove(file.c_str());
+    std::remove(dir.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace sigrec

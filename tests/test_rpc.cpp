@@ -1,0 +1,459 @@
+// RpcSource vs. the fault-injecting MockRpcServer: the network source must
+// deliver the same stream a local source would — same ordinals, same codes,
+// same canonical batch output — while every scripted transport failure
+// (resets, 429 bursts, slow-loris, malformed JSON, wrong ids, torn
+// responses) costs retries, never rows; and an address that exhausts its
+// budget costs exactly one MalformedBytecode row, never the stream. The
+// kill-then-resume test pins the journal contract for network scans: a
+// SIGKILL-equivalent interruption resumes byte-identically.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "corpus/datasets.hpp"
+#include "sigrec/batch.hpp"
+#include "sigrec/journal.hpp"
+#include "sigrec/pipeline.hpp"
+#include "sigrec/rpc.hpp"
+#include "mock_rpc_server.hpp"
+
+namespace sigrec {
+namespace {
+
+using core::ContractSource;
+using core::HexListSource;
+using core::RecoveryStatus;
+using core::RpcOptions;
+using core::RpcSource;
+using core::SourceItem;
+using test::Fault;
+using test::MockRpcServer;
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + "sigrec_rpc_" + name + "." + std::to_string(::getpid());
+}
+
+// Deterministic fake addresses: 0x + 40 hex digits derived from the index.
+std::string address_for(std::size_t i) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "0x%040zx", i + 1);
+  return buf;
+}
+
+std::vector<evm::Bytecode> corpus_codes(std::size_t n, std::uint64_t seed) {
+  corpus::Corpus ds = corpus::make_open_source_corpus(n, seed);
+  return corpus::compile_corpus(ds);
+}
+
+struct Fixture {
+  std::vector<std::string> addresses;
+  std::map<std::string, std::string> code_by_address;
+  std::vector<evm::Bytecode> codes;
+};
+
+Fixture make_fixture(std::size_t n, std::uint64_t seed = 11) {
+  Fixture f;
+  f.codes = corpus_codes(n, seed);
+  for (std::size_t i = 0; i < f.codes.size(); ++i) {
+    f.addresses.push_back(address_for(i));
+    f.code_by_address[f.addresses.back()] = f.codes[i].to_hex();
+  }
+  return f;
+}
+
+std::vector<SourceItem> drain(ContractSource& source) {
+  std::vector<SourceItem> items;
+  while (auto item = source.next()) items.push_back(std::move(*item));
+  return items;
+}
+
+// Fast options for loopback: faults are scripted, not timing-dependent, so
+// the backoff ladder can be milliseconds.
+RpcOptions fast_opts() {
+  RpcOptions opts;
+  opts.timeout_ms = 2000;
+  opts.max_retries = 4;
+  opts.backoff_base_ms = 1;
+  opts.backoff_cap_ms = 8;
+  opts.batch_size = 4;
+  return opts;
+}
+
+// --- URL / address-file plumbing ---------------------------------------------
+
+TEST(RpcUrl, ParsesHostPortAndPath) {
+  auto url = core::parse_http_url("http://127.0.0.1:8545/rpc/v1");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->host, "127.0.0.1");
+  EXPECT_EQ(url->port, 8545);
+  EXPECT_EQ(url->path, "/rpc/v1");
+
+  auto defaults = core::parse_http_url("http://node.local");
+  ASSERT_TRUE(defaults.has_value());
+  EXPECT_EQ(defaults->host, "node.local");
+  EXPECT_EQ(defaults->port, 8545);
+  EXPECT_EQ(defaults->path, "/");
+}
+
+TEST(RpcUrl, RejectsHttpsAndGarbageWithAReason) {
+  std::string error;
+  EXPECT_FALSE(core::parse_http_url("https://node:8545", &error).has_value());
+  EXPECT_NE(error.find("https"), std::string::npos);
+  EXPECT_FALSE(core::parse_http_url("ws://node", &error).has_value());
+  EXPECT_FALSE(core::parse_http_url("http://", &error).has_value());
+  EXPECT_FALSE(core::parse_http_url("http://host:999999", &error).has_value());
+  EXPECT_FALSE(core::parse_http_url("http://host:0", &error).has_value());
+}
+
+TEST(RpcAddressFile, LoadsAddressesSkippingBlanksAndComments) {
+  std::string path = temp_path("addrs_ok");
+  {
+    std::ofstream out(path);
+    out << "# header comment\n";
+    out << address_for(0) << "\n";
+    out << "\n";
+    out << "   " << address_for(1) << "   \n";
+    out << "\t" << address_for(2) << "\n";
+  }
+  std::string error;
+  auto addresses = core::load_address_file(path, &error);
+  std::remove(path.c_str());
+  ASSERT_TRUE(addresses.has_value()) << error;
+  ASSERT_EQ(addresses->size(), 3u);
+  EXPECT_EQ((*addresses)[0], address_for(0));
+  EXPECT_EQ((*addresses)[2], address_for(2));
+}
+
+TEST(RpcAddressFile, RejectsMalformedLinesWithTheLineNumber) {
+  std::string path = temp_path("addrs_bad");
+  {
+    std::ofstream out(path);
+    out << address_for(0) << "\n";
+    out << "0xnot-an-address\n";
+  }
+  std::string error;
+  auto addresses = core::load_address_file(path, &error);
+  std::remove(path.c_str());
+  EXPECT_FALSE(addresses.has_value());
+  EXPECT_NE(error.find(":2"), std::string::npos) << error;
+}
+
+// --- clean fetch --------------------------------------------------------------
+
+TEST(RpcSourceTest, CleanFetchDeliversCodesInAddressOrder) {
+  Fixture f = make_fixture(6);
+  MockRpcServer server(f.code_by_address);
+  ASSERT_TRUE(server.ok());
+
+  RpcSource source(server.url(), f.addresses, fast_opts());
+  EXPECT_EQ(source.size_hint(), f.addresses.size());
+  std::vector<SourceItem> items = drain(source);
+
+  ASSERT_EQ(items.size(), f.addresses.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(items[i].ordinal, i);
+    EXPECT_EQ(items[i].label, f.addresses[i]);
+    EXPECT_FALSE(items[i].failed()) << items[i].error;
+    EXPECT_EQ(items[i].code.to_hex(), f.codes[i].to_hex());
+  }
+
+  auto stats = source.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GE(stats->requests, 2u);  // 6 addresses / batch of 4 = 2 requests
+  EXPECT_EQ(stats->retries, 0u);
+  EXPECT_EQ(stats->failed_entries, 0u);
+  EXPECT_GT(stats->bytes, 0u);
+  EXPECT_GT(stats->fetch_seconds, 0.0);
+}
+
+TEST(RpcSourceTest, AuthoritativeAnswersBecomeErrorItemsNotRetries) {
+  Fixture f = make_fixture(2);
+  std::vector<std::string> addresses = f.addresses;
+  addresses.push_back(address_for(97));  // absent from the map → result null
+  std::string eoa = address_for(98);
+  f.code_by_address[eoa] = "0x";  // an EOA: empty code
+  addresses.push_back(eoa);
+
+  MockRpcServer server(f.code_by_address);
+  ASSERT_TRUE(server.ok());
+  RpcSource source(server.url(), addresses, fast_opts());
+  std::vector<SourceItem> items = drain(source);
+
+  ASSERT_EQ(items.size(), 4u);
+  EXPECT_FALSE(items[0].failed());
+  EXPECT_FALSE(items[1].failed());
+  EXPECT_TRUE(items[2].failed());
+  EXPECT_NE(items[2].error.find("null code"), std::string::npos) << items[2].error;
+  EXPECT_TRUE(items[3].failed());
+  EXPECT_NE(items[3].error.find("no code"), std::string::npos) << items[3].error;
+
+  // The node answered; nothing was a transport failure, so no retries.
+  auto stats = source.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->retries, 0u);
+  EXPECT_EQ(stats->failed_entries, 2u);
+}
+
+// --- fault schedule survival --------------------------------------------------
+
+TEST(RpcSourceTest, SurvivesEveryScriptedFaultKind) {
+  Fixture f = make_fixture(8);
+  std::vector<Fault> schedule = {
+      {Fault::Kind::ResetAfterAccept},
+      {Fault::Kind::Http429},
+      {Fault::Kind::MalformedJson},
+      {Fault::Kind::WrongId},
+      {Fault::Kind::CloseMidResponse, 12},
+      {Fault::Kind::Http429},
+      {Fault::Kind::OutOfOrderBatch},  // spec-legal: must succeed, not retry
+  };
+  MockRpcServer server(f.code_by_address, schedule);
+  ASSERT_TRUE(server.ok());
+
+  // The whole schedule can land on the first batch (one fault per
+  // connection, batches are sequential), so the budget must cover it.
+  RpcOptions opts = fast_opts();
+  opts.max_retries = static_cast<int>(schedule.size());
+  RpcSource source(server.url(), f.addresses, opts);
+  std::vector<SourceItem> items = drain(source);
+
+  ASSERT_EQ(items.size(), f.addresses.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_FALSE(items[i].failed()) << i << ": " << items[i].error;
+    EXPECT_EQ(items[i].code.to_hex(), f.codes[i].to_hex());
+  }
+  EXPECT_EQ(server.faults_remaining(), 0u);
+
+  auto stats = source.stats();
+  ASSERT_TRUE(stats.has_value());
+  // Six of the seven scripted faults force a retry (out-of-order is legal).
+  EXPECT_GE(stats->retries, 6u);
+  EXPECT_GE(stats->rate_limited, 2u);
+  EXPECT_EQ(stats->failed_entries, 0u);
+}
+
+TEST(RpcSourceTest, SlowLorisIsCutOffByTheDeadlineThenRetried) {
+  Fixture f = make_fixture(2);
+  // 4 bytes every 80ms: a full response takes far longer than the 150ms
+  // deadline, so attempt 1 times out; the schedule then runs dry and attempt
+  // 2 is served honestly.
+  MockRpcServer server(f.code_by_address, {{Fault::Kind::SlowLoris, 4, 80}});
+  ASSERT_TRUE(server.ok());
+
+  RpcOptions opts = fast_opts();
+  opts.timeout_ms = 150;
+  RpcSource source(server.url(), f.addresses, opts);
+  std::vector<SourceItem> items = drain(source);
+
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_FALSE(items[0].failed()) << items[0].error;
+  EXPECT_FALSE(items[1].failed()) << items[1].error;
+  auto stats = source.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GE(stats->retries, 1u);
+}
+
+TEST(RpcSourceTest, ExhaustedFailureBudgetDegradesToErrorItemsNotAnAbort) {
+  Fixture f = make_fixture(3);
+  MockRpcServer server(f.code_by_address);
+  ASSERT_TRUE(server.ok());
+  std::string url = server.url();
+  server.stop();  // connection refused from the first attempt onward
+
+  RpcOptions opts = fast_opts();
+  opts.max_retries = 2;
+  RpcSource source(url, f.addresses, opts);
+  std::vector<SourceItem> items = drain(source);
+
+  // The stream still yields one item per address, each an error row.
+  ASSERT_EQ(items.size(), f.addresses.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(items[i].ordinal, i);
+    EXPECT_TRUE(items[i].failed());
+    EXPECT_NE(items[i].error.find("rpc:"), std::string::npos) << items[i].error;
+    EXPECT_NE(items[i].error.find("3 attempts"), std::string::npos) << items[i].error;
+  }
+  auto stats = source.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->failed_entries, f.addresses.size());
+}
+
+TEST(RpcSourceTest, InvalidUrlDegradesEveryAddressToAnErrorItem) {
+  RpcSource source("https://node:8545", {address_for(0), address_for(1)}, fast_opts());
+  std::vector<SourceItem> items = drain(source);
+  ASSERT_EQ(items.size(), 2u);
+  for (const SourceItem& item : items) {
+    EXPECT_TRUE(item.failed());
+    EXPECT_NE(item.error.find("invalid RPC URL"), std::string::npos) << item.error;
+  }
+}
+
+TEST(RpcSourceTest, DestructionWithUnconsumedItemsDoesNotHang) {
+  Fixture f = make_fixture(6);
+  MockRpcServer server(f.code_by_address);
+  ASSERT_TRUE(server.ok());
+  RpcOptions opts = fast_opts();
+  opts.prefetch = 2;  // fetcher blocks on a full buffer almost immediately
+  RpcSource source(server.url(), f.addresses, opts);
+  auto first = source.next();
+  ASSERT_TRUE(first.has_value());
+  // Destructor must unblock and join the fetcher mid-stream.
+}
+
+// --- batch integration --------------------------------------------------------
+
+core::BatchOptions batch_opts() {
+  core::BatchOptions opts;
+  opts.jobs = 2;
+  return opts;
+}
+
+TEST(RpcBatch, FaultyRpcScanMatchesLocalScanByteForByte) {
+  Fixture f = make_fixture(8);
+  core::BatchResult local;
+  {
+    std::vector<HexListSource::Entry> entries;
+    for (std::size_t i = 0; i < f.codes.size(); ++i)
+      entries.push_back({f.addresses[i], f.codes[i].to_hex()});
+    HexListSource source(std::move(entries));
+    local = core::recover_stream(source, batch_opts());
+  }
+
+  std::vector<Fault> schedule = {
+      {Fault::Kind::ResetAfterAccept},
+      {Fault::Kind::Http429},
+      {Fault::Kind::Http429},
+      {Fault::Kind::SlowLoris, 64, 1},  // slow but within the deadline
+      {Fault::Kind::MalformedJson},
+  };
+  MockRpcServer server(f.code_by_address, schedule);
+  ASSERT_TRUE(server.ok());
+  RpcSource source(server.url(), f.addresses, fast_opts());
+  core::BatchResult rpc = core::recover_stream(source, batch_opts());
+
+  EXPECT_EQ(core::canonical_to_string(rpc), core::canonical_to_string(local));
+
+  // The fetch metrics rode through recover_stream into the batch result.
+  EXPECT_GE(rpc.fetch.requests, 2u);
+  EXPECT_GE(rpc.fetch.retries, 4u);
+  EXPECT_GE(rpc.fetch.rate_limited, 2u);
+  EXPECT_GT(rpc.fetch.bytes, 0u);
+  EXPECT_GT(rpc.fetch_seconds, 0.0);
+  EXPECT_FALSE(rpc.fetch.to_string().empty());
+  // The local scan has no network stage.
+  EXPECT_EQ(local.fetch.requests, 0u);
+  EXPECT_EQ(local.fetch_seconds, 0.0);
+}
+
+TEST(RpcBatch, DeadAddressCostsOneRowNeverTheStream) {
+  Fixture f = make_fixture(3);
+  std::vector<std::string> addresses = f.addresses;
+  addresses.insert(addresses.begin() + 1, address_for(55));  // unknown address
+
+  MockRpcServer server(f.code_by_address);
+  ASSERT_TRUE(server.ok());
+  RpcSource source(server.url(), addresses, fast_opts());
+  core::BatchResult batch = core::recover_stream(source, batch_opts());
+
+  ASSERT_EQ(batch.contracts.size(), 4u);
+  EXPECT_EQ(batch.contracts[1].status, RecoveryStatus::MalformedBytecode);
+  EXPECT_TRUE(batch.contracts[1].ingest_failed);
+  EXPECT_NE(batch.contracts[1].error.find("null code"), std::string::npos);
+  EXPECT_EQ(batch.contracts[0].status, RecoveryStatus::Complete);
+  EXPECT_EQ(batch.contracts[2].status, RecoveryStatus::Complete);
+  EXPECT_EQ(batch.contracts[3].status, RecoveryStatus::Complete);
+  EXPECT_EQ(batch.health.ingest_failed, 1u);
+}
+
+// The ISSUE's resumability criterion: an RPC scan interrupted mid-stream
+// (the SIGKILL stand-in is a graceful stop — the journal contract is the
+// same: records flushed so far replay, the rest recompute) resumes through
+// a fresh RpcSource to output byte-identical to an uninterrupted local scan.
+TEST(RpcBatch, KilledRpcScanResumesByteIdenticallyViaTheJournal) {
+  Fixture f = make_fixture(8, 23);
+  std::string journal_path = temp_path("journal");
+  std::remove(journal_path.c_str());
+
+  core::BatchResult uninterrupted;
+  {
+    std::vector<HexListSource::Entry> entries;
+    for (std::size_t i = 0; i < f.codes.size(); ++i)
+      entries.push_back({f.addresses[i], f.codes[i].to_hex()});
+    HexListSource source(std::move(entries));
+    uninterrupted = core::recover_stream(source, batch_opts());
+  }
+
+  {  // run 1: stop after 3 completions, mid-stream
+    MockRpcServer server(f.code_by_address);
+    ASSERT_TRUE(server.ok());
+    RpcSource source(server.url(), f.addresses, fast_opts());
+
+    core::ScanJournal journal(journal_path, /*flush_interval=*/1);
+    (void)journal.load();
+    std::atomic<bool> stop{false};
+    std::atomic<int> done{0};
+    core::BatchOptions opts = batch_opts();
+    opts.journal = &journal;
+    opts.stop = &stop;
+    opts.on_contract_done = [&](const core::ContractReport&) {
+      if (done.fetch_add(1) + 1 >= 3) stop.store(true);
+    };
+    core::BatchResult partial = core::recover_stream(source, opts);
+    ASSERT_TRUE(journal.flush());
+    EXPECT_GT(partial.health.interrupted, 0u);
+    EXPECT_GE(journal.entries(), 3u);
+    EXPECT_LT(journal.entries(), f.codes.size());  // genuinely partial
+  }
+
+  {  // run 2: fresh source, fresh server, resume through the journal
+    MockRpcServer server(f.code_by_address, {{Fault::Kind::Http429}});
+    ASSERT_TRUE(server.ok());
+    RpcSource source(server.url(), f.addresses, fast_opts());
+
+    core::ScanJournal journal(journal_path, 1);
+    core::LoadStats load = journal.load();
+    EXPECT_GE(load.loaded, 3u);
+    core::BatchOptions opts = batch_opts();
+    opts.journal = &journal;
+    core::BatchResult resumed = core::recover_stream(source, opts);
+
+    EXPECT_EQ(core::canonical_to_string(resumed), core::canonical_to_string(uninterrupted));
+    EXPECT_GT(resumed.health.replayed, 0u);
+  }
+  std::remove(journal_path.c_str());
+}
+
+// --- fault-spec parsing (shared with the standalone mock node) ---------------
+
+TEST(MockRpc, ParsesFaultSpecs) {
+  std::string error;
+  auto schedule = test::parse_fault_spec("reset,429,slow:8:20,partial,badjson,wrongid,ooo,none",
+                                         &error);
+  ASSERT_TRUE(schedule.has_value()) << error;
+  ASSERT_EQ(schedule->size(), 8u);
+  EXPECT_EQ((*schedule)[0].kind, Fault::Kind::ResetAfterAccept);
+  EXPECT_EQ((*schedule)[1].kind, Fault::Kind::Http429);
+  EXPECT_EQ((*schedule)[2].kind, Fault::Kind::SlowLoris);
+  EXPECT_EQ((*schedule)[2].chunk, 8u);
+  EXPECT_EQ((*schedule)[2].delay_ms, 20);
+  EXPECT_EQ((*schedule)[3].kind, Fault::Kind::CloseMidResponse);
+  EXPECT_EQ((*schedule)[4].kind, Fault::Kind::MalformedJson);
+  EXPECT_EQ((*schedule)[5].kind, Fault::Kind::WrongId);
+  EXPECT_EQ((*schedule)[6].kind, Fault::Kind::OutOfOrderBatch);
+  EXPECT_EQ((*schedule)[7].kind, Fault::Kind::None);
+
+  EXPECT_TRUE(test::parse_fault_spec("", &error).has_value());  // empty = honest
+  EXPECT_FALSE(test::parse_fault_spec("reset,bogus", &error).has_value());
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sigrec

@@ -1,0 +1,170 @@
+// The JSON-RPC response parser's safety contract: a hostile or broken node
+// feeds it, so arbitrary bytes must never crash it, over-read, or recurse
+// past the depth cap. Mirrors the exhaustive truncation-sweep style of
+// test_persist.cpp: every prefix of every valid response, deterministic bit
+// flips over the same corpus, and nesting bombs — each parse either yields a
+// value or nullopt, nothing else.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sigrec/rpc.hpp"
+
+namespace sigrec {
+namespace {
+
+using core::JsonValue;
+using core::parse_json;
+
+// Representative JSON-RPC traffic: single responses, batches, errors, nulls,
+// escapes, numbers in every shape the grammar allows.
+const std::vector<std::string>& valid_corpus() {
+  static const std::vector<std::string> corpus = {
+      R"({"jsonrpc":"2.0","id":1,"result":"0x6080604052"})",
+      R"([{"jsonrpc":"2.0","id":7,"result":"0x"},{"jsonrpc":"2.0","id":8,"result":null}])",
+      R"({"jsonrpc":"2.0","id":3,"error":{"code":-32601,"message":"method not found"}})",
+      R"([{"id":1,"result":"0xdeadbeef"},{"id":2,"error":{"code":-32005,"message":"limit"}}])",
+      R"({"a":[1,2.5,-3,1e9,-0.25E-2,0],"b":true,"c":false,"d":null})",
+      R"({"esc":"quote\" back\\ slash\/ \b\f\n\r\t unicodeé☃"})",
+      R"({"surrogate":"😀","empty":{},"list":[]})",
+      R"(  [ [ [ "nested" , { "deep" : [ 1 ] } ] ] ]  )",
+      R"("just a string")",
+      R"(42)",
+      R"(null)",
+  };
+  return corpus;
+}
+
+TEST(RpcParser, ParsesTheValidCorpus) {
+  for (const std::string& text : valid_corpus()) {
+    EXPECT_TRUE(parse_json(text).has_value()) << text;
+  }
+}
+
+TEST(RpcParser, ExtractsJsonRpcFields) {
+  auto doc = parse_json(R"({"jsonrpc":"2.0","id":17,"result":"0x6001600255"})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->kind, JsonValue::Kind::Object);
+  const JsonValue* id = doc->find("id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->number, 17);
+  const JsonValue* result = doc->find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->string, "0x6001600255");
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(RpcParser, BatchArrayKeepsOrderAndNulls) {
+  auto doc = parse_json(R"([{"id":2,"result":null},{"id":1,"result":"0x00"}])");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->kind, JsonValue::Kind::Array);
+  ASSERT_EQ(doc->array.size(), 2u);
+  EXPECT_EQ(doc->array[0].find("id")->number, 2);
+  EXPECT_TRUE(doc->array[0].find("result")->is_null());
+  EXPECT_EQ(doc->array[1].find("result")->string, "0x00");
+}
+
+TEST(RpcParser, RejectsTrailingGarbageAndBareFragments) {
+  EXPECT_FALSE(parse_json(R"({"a":1} extra)").has_value());
+  EXPECT_FALSE(parse_json(R"({"a":1}{"b":2})").has_value());
+  EXPECT_FALSE(parse_json("").has_value());
+  EXPECT_FALSE(parse_json("   ").has_value());
+  EXPECT_FALSE(parse_json("{").has_value());
+  EXPECT_FALSE(parse_json("[1,").has_value());
+  EXPECT_FALSE(parse_json(R"({"a")").has_value());
+  EXPECT_FALSE(parse_json(R"({"a":})").has_value());
+  EXPECT_FALSE(parse_json("tru").has_value());
+  EXPECT_FALSE(parse_json("+1").has_value());
+  EXPECT_FALSE(parse_json("01").has_value());
+  EXPECT_FALSE(parse_json("1.").has_value());
+  EXPECT_FALSE(parse_json("1e").has_value());
+  EXPECT_FALSE(parse_json("\"unterminated").has_value());
+  EXPECT_FALSE(parse_json("\"bad\\x\"").has_value());
+  EXPECT_FALSE(parse_json("\"half\\u12\"").has_value());
+  EXPECT_FALSE(parse_json("\"lone\\udc00\"").has_value());
+  EXPECT_FALSE(parse_json("\"ctrl\x01\"").has_value());
+}
+
+// Every truncation point of every valid response: the parse must return
+// (value for the empty-suffix-tolerant cases, nullopt otherwise) without
+// crashing or reading past the buffer — ASan/UBSan police the latter.
+TEST(RpcParser, EveryTruncationPointParsesWithoutCrashing) {
+  for (const std::string& text : valid_corpus()) {
+    for (std::size_t cut = 0; cut < text.size(); ++cut) {
+      std::string prefix = text.substr(0, cut);
+      (void)parse_json(prefix);  // must not crash; result value is free to vary
+    }
+  }
+}
+
+// Deterministic xorshift so the bit-flip sweep is reproducible run to run.
+std::uint64_t xorshift(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+TEST(RpcParser, RandomBitFlipsNeverCrashTheParser) {
+  std::uint64_t rng = 0x5eed5eed5eed5eedULL;
+  for (const std::string& text : valid_corpus()) {
+    for (int round = 0; round < 200; ++round) {
+      std::string mutated = text;
+      int flips = 1 + static_cast<int>(xorshift(rng) % 4);
+      for (int f = 0; f < flips; ++f) {
+        std::size_t at = xorshift(rng) % mutated.size();
+        mutated[at] = static_cast<char>(mutated[at] ^ (1u << (xorshift(rng) % 8)));
+      }
+      (void)parse_json(mutated);  // any outcome but a crash/over-read
+    }
+  }
+}
+
+TEST(RpcParser, RandomGarbageNeverCrashesTheParser) {
+  std::uint64_t rng = 0xfeedbeefcafef00dULL;
+  for (int round = 0; round < 500; ++round) {
+    std::size_t size = xorshift(rng) % 64;
+    std::string garbage(size, '\0');
+    for (char& c : garbage) c = static_cast<char>(xorshift(rng) & 0xFF);
+    (void)parse_json(garbage);
+  }
+}
+
+// "[[[[[[…" and "{"a":{"a":…" bombs must fail at the depth cap, not
+// overflow the stack.
+TEST(RpcParser, NestingBombsFailAtTheDepthCapNotTheStack) {
+  std::string arrays(100000, '[');
+  EXPECT_FALSE(parse_json(arrays).has_value());
+
+  std::string objects;
+  for (int i = 0; i < 50000; ++i) objects += R"({"a":)";
+  EXPECT_FALSE(parse_json(objects).has_value());
+
+  // Exactly at the cap: a chain of depth max_depth-1 closes fine, one more
+  // level is rejected.
+  auto nested = [](std::size_t depth) {
+    std::string s(depth, '[');
+    s += std::string(depth, ']');
+    return s;
+  };
+  EXPECT_TRUE(parse_json(nested(63), 64).has_value());
+  EXPECT_FALSE(parse_json(nested(65), 64).has_value());
+}
+
+TEST(RpcParser, DuplicateKeysResolveToTheFirst) {
+  auto doc = parse_json(R"({"id":1,"id":2})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("id")->number, 1);
+}
+
+TEST(RpcParser, JsonEscapeRoundTripsThroughTheParser) {
+  std::string nasty = "quote\" slash\\ newline\n tab\t ctrl\x01 done";
+  auto doc = core::parse_json("\"" + core::json_escape(nasty) + "\"");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string, nasty);
+}
+
+}  // namespace
+}  // namespace sigrec

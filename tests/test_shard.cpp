@@ -186,6 +186,49 @@ TEST(ShardMergeTest, MergeIsByteIdenticalAcrossShardBitsAndJobs) {
   remove_tree(ref_dir);
 }
 
+// shard_bits=0 routed through a sink must render exactly what the reports
+// themselves say — the merged database is the batch result in the documented
+// line format, with the sink and merge adding or losing nothing.
+TEST(ShardMergeTest, ShardBitsZeroMergeEqualsTheSinklessRendering) {
+  std::vector<evm::Bytecode> codes = corpus_with_duplicates();
+  core::BatchOptions opts;
+  opts.jobs = 2;
+
+  std::string dir = temp_dir("bits0");
+  core::BatchResult batch;
+  {
+    ShardedSink sink(dir, /*shard_bits=*/0, /*flush_interval=*/2);
+    ASSERT_TRUE(sink.ok());
+    opts.sink = &sink;
+    batch = core::recover_batch(codes, opts);
+  }
+
+  // The unsharded path: render the line format straight from the reports.
+  std::string expected;
+  char selector_hex[16];
+  for (const core::ContractReport& report : batch.contracts) {
+    for (const core::RecoveredFunction& fn : report.functions) {
+      std::snprintf(selector_hex, sizeof selector_hex, "0x%08x", fn.selector);
+      expected += std::to_string(report.ordinal);
+      expected += '\t';
+      expected += selector_hex;
+      expected += '\t';
+      expected += fn.to_string();
+      expected += '\t';
+      expected += fn.dialect == abi::Dialect::Vyper ? "vyper" : "solidity";
+      expected += '\t';
+      expected += symexec::status_name(fn.status);
+      if (fn.partial) expected += "\tpartial";
+      expected += '\n';
+    }
+  }
+
+  MergeStats stats;
+  EXPECT_EQ(merged_of(dir, &stats), expected);
+  EXPECT_EQ(stats.files, 1u);  // shard_bits=0: everything through shard 0
+  remove_tree(dir);
+}
+
 // Caches off must not change the merged database either (the sink sees the
 // same deterministic reports, just computed rather than memoized).
 TEST(ShardMergeTest, MergeIsIdenticalWithCachesDisabled) {

@@ -162,6 +162,48 @@ TEST(SourceTest, LineStreamSourceSkipsBlanksAndCommentsWithoutConsumingOrdinals)
   std::remove(hex_file.c_str());
 }
 
+// Pins the blank-input contract across the two line-shaped sources: an
+// empty and a whitespace-only entry/line must behave identically to each
+// other. HexListSource (explicit entries) degrades both to the same error
+// item; LineStreamSource (a text stream) skips both without consuming an
+// ordinal — whitespace must never silently change stream keys.
+TEST(SourceTest, HexListSourceTreatsEmptyAndWhitespaceEntriesIdentically) {
+  HexListSource source({{"empty", ""},
+                        {"spaces", "   "},
+                        {"tabs-newline", "\t\n"},
+                        {"good", "0x6001600255"}});
+  std::vector<SourceItem> items = drain(source);
+  ASSERT_EQ(items.size(), 4u);
+  EXPECT_TRUE(items[0].failed());
+  EXPECT_TRUE(items[1].failed());
+  EXPECT_TRUE(items[2].failed());
+  // Identical treatment: same error, every ordinal still consumed.
+  EXPECT_EQ(items[0].error, items[1].error);
+  EXPECT_EQ(items[0].error, items[2].error);
+  EXPECT_NE(items[0].error.find("empty input"), std::string::npos);
+  EXPECT_EQ(items[1].ordinal, 1u);
+  EXPECT_EQ(items[2].ordinal, 2u);
+  EXPECT_FALSE(items[3].failed());
+  EXPECT_EQ(items[3].ordinal, 3u);
+}
+
+TEST(SourceTest, LineStreamSourceTreatsBlankAndWhitespaceLinesIdentically) {
+  // Truly blank, spaces, tabs, CR (a CRLF file), and a mix — none of them
+  // may produce an item or consume an ordinal.
+  std::istringstream in("\n   \n\t\t\n\r\n \t \r\n0x6001600255\n  0x6001600155  \n");
+  LineStreamSource source(in);
+  std::vector<SourceItem> items = drain(source);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].ordinal, 0u);
+  EXPECT_EQ(items[0].label, "stdin:6");  // labels keep real line numbers
+  EXPECT_FALSE(items[0].failed());
+  // A hex line with surrounding whitespace is trimmed, not misread as a path.
+  EXPECT_EQ(items[1].ordinal, 1u);
+  EXPECT_EQ(items[1].label, "stdin:7");
+  EXPECT_FALSE(items[1].failed());
+  EXPECT_EQ(items[1].code.to_hex(), "0x6001600155");
+}
+
 TEST(SourceTest, ChainSourceRenumbersGloballyAndSumsHints) {
   auto make = [] {
     std::vector<std::unique_ptr<ContractSource>> parts;
