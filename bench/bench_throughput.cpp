@@ -20,9 +20,13 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+#include <filesystem>
+
 #include "bench_util.hpp"
 #include "mock_rpc_server.hpp"
 #include "sigrec/batch.hpp"
+#include "sigrec/fleet.hpp"
 #include "sigrec/journal.hpp"
 #include "sigrec/persist.hpp"
 #include "sigrec/pipeline.hpp"
@@ -323,10 +327,107 @@ FetchResult run_rpc_fetch(const std::vector<evm::Bytecode>& codes, unsigned jobs
   return f;
 }
 
+struct FleetResult {
+  double single_wall = 0;         // single-process recover_stream reference
+  double fleet_wall = 0;          // attach-mode fleet, coordinator + 2 workers
+  double merge_seconds = 0;       // cache union + shard merge at the end
+  double ledger_replay_seconds = 0;  // reload of the final ledger
+  std::uint64_t ledger_events = 0;
+  std::uint64_t leases = 0;
+  bool identical = false;  // fleet merge == single-process merge
+};
+
+// Distributed fleet: the same corpus scanned by an in-process attach-mode
+// fleet (a coordinator ticked on a thread plus two run_worker threads — the
+// protocol and per-lease stack are exactly the process-mode ones, minus
+// fork/exec). Measures the coordination tax over a bare recover_stream and
+// the ledger replay cost a restarted coordinator would pay.
+FleetResult run_fleet(const std::vector<evm::Bytecode>& codes) {
+  std::vector<std::string> inputs;
+  inputs.reserve(codes.size());
+  for (const evm::Bytecode& code : codes) inputs.push_back(code.to_hex());
+
+  FleetResult r;
+  std::string reference;
+  {
+    auto source = core::make_lease_source(inputs, 0, inputs.size());
+    core::ShardedSink sink("BENCH_fleet_ref.tmp", 0);
+    core::BatchOptions opts;
+    opts.sink = &sink;
+    auto start = std::chrono::steady_clock::now();
+    (void)core::recover_stream(*source, opts);
+    (void)sink.flush();
+    r.single_wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    reference = core::merge_shards(sink.files());
+  }
+  std::filesystem::remove_all("BENCH_fleet_ref.tmp");
+
+  const std::string dir = "BENCH_fleet.tmp";
+  std::filesystem::remove_all(dir);
+  core::FleetOptions opts;
+  opts.dir = dir;
+  opts.lease_size = 16;
+  opts.lease_ttl_ms = 60000;
+  opts.shard_bits = 2;
+  core::FleetCoordinator coordinator(std::move(opts), inputs);
+  std::string error;
+  if (!coordinator.init(&error)) {
+    std::fprintf(stderr, "fleet init failed: %s\n", error.c_str());
+    return r;
+  }
+  coordinator.add_worker(1);
+  coordinator.add_worker(2);
+
+  auto start = std::chrono::steady_clock::now();
+  std::atomic<bool> stop{false};
+  core::WorkerOptions w;
+  w.fleet_dir = dir;
+  w.heartbeat_ms = 20;
+  w.poll_ms = 2;
+  std::vector<std::thread> threads;
+  for (std::uint64_t id : {1u, 2u}) {
+    core::WorkerOptions wopts = w;
+    wopts.worker_id = id;
+    threads.emplace_back([wopts, &stop] { (void)core::run_worker(wopts, &stop); });
+  }
+  double now = 0;
+  while (!coordinator.done() && now < 600000) {
+    coordinator.tick(now);
+    now += 5;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (std::uint64_t id : {1u, 2u}) {
+    core::Assignment shutdown;
+    shutdown.kind = core::kAssignShutdown;
+    (void)core::write_assignment(core::fleet_assignment_path(dir, id), shutdown);
+  }
+  for (std::thread& t : threads) t.join();
+  r.fleet_wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  auto merge_start = std::chrono::steady_clock::now();
+  bool ok = true;
+  std::string merged = coordinator.merge_output("", nullptr, &ok);
+  r.merge_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - merge_start).count();
+  r.identical = ok && merged == reference;
+  r.leases = coordinator.report().leases;
+
+  // What a restarted coordinator pays before its first tick.
+  auto replay_start = std::chrono::steady_clock::now();
+  core::LeaseLedger replay(core::fleet_ledger_path(dir));
+  core::LoadStats stats = replay.load();
+  r.ledger_replay_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - replay_start).count();
+  r.ledger_events = stats.loaded;
+  std::filesystem::remove_all(dir);
+  return r;
+}
+
 void write_json(const char* path, const std::vector<RunResult>& runs, std::size_t uniques,
                 std::size_t contracts, std::size_t functions, double baseline_wall,
                 double best_wall, const PersistResult& persist, const StreamResult& stream,
-                const std::vector<ShardResult>& shards, const FetchResult& fetch) {
+                const std::vector<ShardResult>& shards, const FetchResult& fetch,
+                const FleetResult& fleet) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -400,6 +501,16 @@ void write_json(const char* path, const std::vector<RunResult>& runs, std::size_
                static_cast<unsigned long long>(fetch.rate_limited),
                static_cast<unsigned long long>(fetch.bytes),
                fetch.identical ? "true" : "false");
+  std::fprintf(f,
+               "  ,\"fleet\": {\"single_wall_seconds\": %.6f, "
+               "\"fleet_wall_seconds\": %.6f, \"coordination_overhead\": %.3f, "
+               "\"merge_seconds\": %.6f, \"leases\": %llu, "
+               "\"ledger_events\": %llu, \"ledger_replay_seconds\": %.6f, "
+               "\"merge_identical\": %s}\n",
+               fleet.single_wall, fleet.fleet_wall, fleet.fleet_wall / fleet.single_wall,
+               fleet.merge_seconds, static_cast<unsigned long long>(fleet.leases),
+               static_cast<unsigned long long>(fleet.ledger_events),
+               fleet.ledger_replay_seconds, fleet.identical ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\n  wrote %s\n", path);
@@ -497,7 +608,21 @@ int main() {
   std::printf("  faulted/clean canonical-identical: %s\n", fetch.identical ? "yes" : "NO");
   deterministic &= fetch.identical;
 
+  // Distributed fleet: in-process coordinator + 2 workers over the full
+  // lease protocol (ledger, heartbeats, epoch dirs), merged at the end.
+  bench::print_header("Scan fleet: attach-mode coordinator + 2 workers vs single process");
+  FleetResult fleet = run_fleet(codes);
+  std::printf("  %-34s %10.3fs\n", "single-process recover_stream", fleet.single_wall);
+  std::printf("  %-34s %10.3fs (%.2fx, %llu leases, merge %.3fs)\n", "fleet of 2 (in-process)",
+              fleet.fleet_wall, fleet.fleet_wall / fleet.single_wall,
+              static_cast<unsigned long long>(fleet.leases), fleet.merge_seconds);
+  std::printf("  %-34s %10.3fs (%llu events)\n", "ledger replay (restart cost)",
+              fleet.ledger_replay_seconds,
+              static_cast<unsigned long long>(fleet.ledger_events));
+  std::printf("  fleet/single merge identical: %s\n", fleet.identical ? "yes" : "NO");
+  deterministic &= fleet.identical;
+
   write_json("BENCH_throughput.json", runs, kUniques, codes.size(), functions,
-             baseline.wall_seconds, best_wall, persist, stream, shards, fetch);
+             baseline.wall_seconds, best_wall, persist, stream, shards, fetch, fleet);
   return deterministic ? 0 : 1;
 }

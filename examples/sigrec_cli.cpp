@@ -80,6 +80,7 @@
 #include "apps/parchecker.hpp"
 #include "compiler/compile.hpp"
 #include "sigrec/batch.hpp"
+#include "sigrec/fleet.hpp"
 #include "sigrec/journal.hpp"
 #include "sigrec/persist.hpp"
 #include "sigrec/pipeline.hpp"
@@ -209,8 +210,15 @@ int usage(const char* argv0) {
                "   # merge shard files into the canonical database\n"
                "       %s --emit-corpus <dir> <n>   # synthesize a test corpus\n"
                "       %s --rpc <http-url> --addresses <file> [--rpc-timeout-ms <ms>]\n"
-               "          [--rpc-retries <n>] [--rpc-batch <n>] [batch options above]\n"
+               "          [--rpc-retries <n>] [--rpc-batch <n>] [--rpc-jitter-seed <s>]\n"
+               "          [batch options above]\n"
                "          # fetch runtime code per address via JSON-RPC eth_getCode\n"
+               "       %s --fleet <dir> [inputs...] [--workers <n>] [--lease-size <n>]\n"
+               "          [--lease-ttl-ms <ms>] [--fleet-chaos <spec>] [batch options]\n"
+               "          # crash-survivable multi-process scan: leases, heartbeats,\n"
+               "          # re-leasing; exit 3 = completed but degraded (re-leased)\n"
+               "       %s --fleet <dir> --worker <id> [--heartbeat-ms <ms>]\n"
+               "          # one fleet worker process (normally spawned by --fleet)\n"
                "recovers function signatures from EVM runtime bytecode; several\n"
                "inputs run as one parallel batch (--jobs workers, default: all\n"
                "hardware threads; duplicate runtime code served from memo caches).\n"
@@ -223,7 +231,7 @@ int usage(const char* argv0) {
                "(2^shard-bits files) as contracts finish; --merge-shards renders\n"
                "the shards as one deterministic text database. --output writes\n"
                "the canonical batch report atomically (temp file + rename).\n",
-               argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -255,6 +263,22 @@ struct CliOptions {
   double rpc_timeout_ms = 5000;
   double rpc_retries = 4;
   double rpc_batch = 16;
+  // Deterministic backoff jitter seed (0 = no jitter). A fleet of scanners
+  // hitting one node seeds this per worker so their retries de-synchronize
+  // reproducibly (see RpcOptions::backoff_jitter_seed).
+  double rpc_jitter_seed = 0;
+  // Distributed scan fleet (fleet.hpp). --fleet <dir> runs the coordinator;
+  // --fleet <dir> --worker <id> runs one worker process.
+  const char* fleet_dir = nullptr;
+  bool worker_mode = false;
+  double worker_id = 0;
+  double fleet_workers = 4;
+  double lease_size = 64;
+  double lease_ttl_ms = 5000;
+  double heartbeat_ms = 200;
+  const char* fleet_chaos = nullptr;
+  double chaos_die_after = 0;
+  double chaos_stall_after = 0;
 };
 
 bool is_stdin_arg(const char* arg) {
@@ -347,6 +371,7 @@ int run_batch(const std::vector<const char*>& inputs, const sigrec::symexec::Lim
     rpc.timeout_ms = static_cast<int>(cli.rpc_timeout_ms);
     rpc.max_retries = static_cast<int>(cli.rpc_retries);
     rpc.batch_size = static_cast<std::size_t>(cli.rpc_batch);
+    rpc.backoff_jitter_seed = static_cast<std::uint64_t>(cli.rpc_jitter_seed);
     source = std::make_unique<core::RpcSource>(cli.rpc_url, std::move(*addresses), rpc);
   } else {
     source = make_source(inputs);
@@ -467,6 +492,132 @@ int run_batch(const std::vector<const char*>& inputs, const sigrec::symexec::Lim
   return any_failure ? 1 : 0;
 }
 
+// One fleet worker process: poll the assignment file, run leases with the
+// full journal+cache+shard stack in epoch-fenced directories, heartbeat,
+// exit on a shutdown assignment (or SIGINT/SIGTERM).
+int run_fleet_worker(const sigrec::symexec::Limits& limits, const CliOptions& cli) {
+  using namespace sigrec;
+  core::WorkerOptions opts;
+  opts.fleet_dir = cli.fleet_dir;
+  opts.worker_id = static_cast<std::uint64_t>(cli.worker_id);
+  opts.batch.limits = limits;
+  opts.batch.jobs = cli.jobs == 0 ? 1 : cli.jobs;  // fleets parallelize across processes
+  opts.batch.contract_cache = cli.caches;
+  opts.batch.function_cache = cli.caches;
+  opts.batch.watchdog_seconds = cli.watchdog_ms / 1000.0;
+  opts.flush_interval = cli.flush_interval;
+  opts.heartbeat_ms = cli.heartbeat_ms;
+  opts.chaos_die_after = static_cast<std::uint64_t>(cli.chaos_die_after);
+  opts.chaos_stall_after = static_cast<std::uint64_t>(cli.chaos_stall_after);
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  int code = core::run_worker(opts, &g_stop);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  return code;
+}
+
+// The fleet coordinator: partition the inputs into leases, spawn --workers
+// worker processes, re-lease anything that dies or stalls past the TTL, and
+// merge every lease's shards into one deterministic database at the end.
+int run_fleet(const char* argv0, const std::vector<const char*>& inputs, const CliOptions& cli) {
+  using namespace sigrec;
+  core::FleetOptions opts;
+  opts.dir = cli.fleet_dir;
+  opts.worker_argv0 = argv0;
+  opts.lease_size = static_cast<std::size_t>(cli.lease_size);
+  opts.lease_ttl_ms = cli.lease_ttl_ms;
+  opts.spawn_workers = static_cast<unsigned>(cli.fleet_workers);
+  opts.shard_bits = cli.shard_bits;
+  if (cli.fleet_chaos != nullptr) {
+    std::string error;
+    std::optional<core::FleetChaos> chaos = core::parse_fleet_chaos(cli.fleet_chaos, &error);
+    if (!chaos.has_value()) {
+      std::fprintf(stderr, "error: --fleet-chaos: %s\n", error.c_str());
+      return 2;
+    }
+    opts.chaos = std::move(*chaos);
+  }
+
+  // Engine knobs the workers must share so every lease scans identically.
+  char buf[64];
+  auto pass = [&opts](const char* flag, const std::string& value) {
+    opts.worker_args.push_back(flag);
+    opts.worker_args.push_back(value);
+  };
+  std::snprintf(buf, sizeof buf, "%.6f", cli.deadline_ms);
+  if (cli.deadline_ms > 0) pass("--deadline-ms", buf);
+  if (cli.watchdog_ms > 0) {
+    std::snprintf(buf, sizeof buf, "%.6f", cli.watchdog_ms);
+    pass("--watchdog-ms", buf);
+  }
+  if (cli.jobs != 0) pass("--jobs", std::to_string(cli.jobs));
+  pass("--flush-interval", std::to_string(cli.flush_interval));
+  if (!cli.caches) opts.worker_args.push_back("--no-cache");
+
+  // Inputs become the shared inputs.list verbatim (hex entries or file
+  // paths — the lease sources speak LineStreamSource's grammar). An empty
+  // list means a restart: the directory's existing inputs.list is reused.
+  std::vector<std::string> entries;
+  for (const char* input : inputs) {
+    if (std::strcmp(input, "--demo") == 0) {
+      entries.push_back(demo_bytecode());
+    } else {
+      entries.emplace_back(input);
+    }
+  }
+
+  core::FleetCoordinator coordinator(std::move(opts), std::move(entries));
+  std::string error;
+  if (!coordinator.init(&error)) {
+    std::fprintf(stderr, "error: fleet: %s\n", error.c_str());
+    return 2;
+  }
+  int code = coordinator.run();
+  if (code == core::kFleetExitChaos) return code;  // scripted crash: no merge
+  if (code != 0) {
+    std::fprintf(stderr, "fleet: %s\n", coordinator.report().to_string().c_str());
+    return code;
+  }
+
+  core::MergeStats stats;
+  bool merge_ok = true;
+  std::string merged = coordinator.merge_output(
+      cli.cache_file != nullptr ? cli.cache_file : "", &stats, &merge_ok);
+  if (cli.output_file != nullptr) {
+    if (!core::atomic_write_file(cli.output_file, merged)) {
+      std::fprintf(stderr, "error: could not write output file '%s'\n", cli.output_file);
+      return 2;
+    }
+  } else {
+    std::fwrite(merged.data(), 1, merged.size(), stdout);
+  }
+  if (!merge_ok) {
+    std::fprintf(stderr, "warning: could not write cache file '%s'\n", cli.cache_file);
+  }
+
+  core::FleetReport report = coordinator.report();
+  std::fprintf(stderr, "fleet: %s\n", report.to_string().c_str());
+  std::fprintf(stderr, "merge: %s\n", stats.to_string().c_str());
+  if (report.ingest_failures != 0) return 2;
+  if (report.failed_functions != 0) return 1;
+  if (report.degraded()) {
+    // Completed, byte-identical output — but only because failed issuances
+    // were re-leased. Operators alert on this differently than on a clean
+    // run, hence the distinct exit code.
+    std::fprintf(stderr,
+                 "fleet: DEGRADED: %llu lease issuance(s) reclaimed "
+                 "(%llu worker death(s), %llu stale abandon(s)); "
+                 "output is complete and byte-identical\n",
+                 static_cast<unsigned long long>(report.reclaims),
+                 static_cast<unsigned long long>(report.worker_deaths),
+                 static_cast<unsigned long long>(report.stale_abandons));
+    return core::kFleetExitDegraded;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -530,6 +681,29 @@ int main(int argc, char** argv) {
       if (!number_arg(cli.rpc_batch) || cli.rpc_batch < 1 || cli.rpc_batch > 1000) {
         return usage(argv[0]);
       }
+    } else if (std::strcmp(argv[i], "--rpc-jitter-seed") == 0) {
+      if (!number_arg(cli.rpc_jitter_seed)) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--fleet") == 0 && i + 1 < argc) {
+      cli.fleet_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--worker") == 0) {
+      cli.worker_mode = true;
+      if (!number_arg(cli.worker_id) || cli.worker_id < 1) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      if (!number_arg(cli.fleet_workers) || cli.fleet_workers < 1 || cli.fleet_workers > 256) {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--lease-size") == 0) {
+      if (!number_arg(cli.lease_size) || cli.lease_size < 1) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--lease-ttl-ms") == 0) {
+      if (!number_arg(cli.lease_ttl_ms) || cli.lease_ttl_ms < 1) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--heartbeat-ms") == 0) {
+      if (!number_arg(cli.heartbeat_ms) || cli.heartbeat_ms < 1) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--fleet-chaos") == 0 && i + 1 < argc) {
+      cli.fleet_chaos = argv[++i];
+    } else if (std::strcmp(argv[i], "--chaos-die-after") == 0) {
+      if (!number_arg(cli.chaos_die_after)) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--chaos-stall-after") == 0) {
+      if (!number_arg(cli.chaos_stall_after)) return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       cli.caches = false;
     } else if (std::strcmp(argv[i], "--cache-file") == 0 && i + 1 < argc) {
@@ -556,6 +730,34 @@ int main(int argc, char** argv) {
       return 2;
     }
     return run_merge(cli);
+  }
+  if (cli.worker_mode) {
+    if (cli.fleet_dir == nullptr) {
+      std::fprintf(stderr, "error: --worker needs --fleet <dir>\n");
+      return 2;
+    }
+    if (!inputs.empty()) {
+      std::fprintf(stderr, "error: a fleet worker takes its inputs from the fleet directory\n");
+      return 2;
+    }
+    symexec::Limits limits;
+    limits.budget.deadline_seconds = cli.deadline_ms / 1000.0;
+    return run_fleet_worker(limits, cli);
+  }
+  if (cli.fleet_dir != nullptr) {
+    for (const char* input : inputs) {
+      if (is_stdin_arg(input)) {
+        std::fprintf(stderr,
+                     "error: --fleet needs a materialized input list (stdin is unbounded); "
+                     "pass files/hex or reuse the directory's inputs.list\n");
+        return 2;
+      }
+    }
+    if (cli.rpc_url != nullptr) {
+      std::fprintf(stderr, "error: --fleet scans local inputs; fetch with --rpc first\n");
+      return 2;
+    }
+    return run_fleet(argv[0], inputs, cli);
   }
   if ((cli.rpc_url != nullptr) != (cli.addresses_file != nullptr)) {
     std::fprintf(stderr, "error: --rpc and --addresses go together\n");

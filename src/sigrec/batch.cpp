@@ -641,9 +641,10 @@ BatchResult recover_stream(ContractSource& source, const BatchOptions& opts) {
   // produced and a resume knows the scan was partial.
   if (stop_requested(ctx)) {
     if (std::optional<std::size_t> hint = source.size_hint()) {
-      for (std::size_t ordinal = ingested; ordinal < *hint; ++ordinal) {
+      const std::size_t base = source.ordinal_base();
+      for (std::size_t i = ingested; i < *hint; ++i) {
         ContractReport report;
-        report.ordinal = ordinal;
+        report.ordinal = base + i;
         report.interrupted = true;
         ctx.finished.push_back(std::move(report));
       }

@@ -1,0 +1,1104 @@
+#include "sigrec/fleet.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#ifndef _WIN32
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "sigrec/journal.hpp"
+
+namespace sigrec::core {
+
+namespace {
+
+double steady_now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void sleep_ms(double ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+// --- codecs ------------------------------------------------------------------
+
+void encode_lease_record(Encoder& enc, const LeaseRecord& rec) {
+  enc.put_u8(static_cast<std::uint8_t>(rec.event));
+  enc.put_u64(rec.lease);
+  enc.put_u64(rec.epoch);
+  enc.put_u64(rec.worker);
+  enc.put_u64(rec.begin);
+  enc.put_u64(rec.end);
+  enc.put_u64(rec.a);
+  enc.put_u64(rec.b);
+}
+
+bool decode_lease_record(Decoder& dec, LeaseRecord& rec) {
+  std::uint8_t event = 0;
+  if (!dec.get_u8(event) || event >= kLeaseEventCount) return false;
+  rec.event = static_cast<LeaseEvent>(event);
+  return dec.get_u64(rec.lease) && dec.get_u64(rec.epoch) && dec.get_u64(rec.worker) &&
+         dec.get_u64(rec.begin) && dec.get_u64(rec.end) && dec.get_u64(rec.a) &&
+         dec.get_u64(rec.b) && dec.exhausted();
+}
+
+void encode_worker_beat(Encoder& enc, const WorkerBeat& beat) {
+  enc.put_u64(beat.worker);
+  enc.put_u64(beat.nonce);
+  enc.put_u64(beat.counter);
+  enc.put_u64(beat.lease);
+  enc.put_u64(beat.epoch);
+  enc.put_u8(beat.phase);
+  enc.put_u64(beat.done_contracts);
+  enc.put_u64(beat.failed_functions);
+  enc.put_u64(beat.ingest_failures);
+}
+
+bool decode_worker_beat(Decoder& dec, WorkerBeat& beat) {
+  return dec.get_u64(beat.worker) && dec.get_u64(beat.nonce) && dec.get_u64(beat.counter) &&
+         dec.get_u64(beat.lease) && dec.get_u64(beat.epoch) && dec.get_u8(beat.phase) &&
+         beat.phase <= kBeatExited && dec.get_u64(beat.done_contracts) &&
+         dec.get_u64(beat.failed_functions) && dec.get_u64(beat.ingest_failures) &&
+         dec.exhausted();
+}
+
+bool append_worker_beat(const std::string& path, const WorkerBeat& beat) {
+  Encoder enc;
+  encode_worker_beat(enc, beat);
+  std::string framed;
+  append_record(framed, kRecordWorkerBeat, enc.bytes());
+  return append_file_bytes(path, framed);
+}
+
+std::optional<WorkerBeat> read_last_beat(const std::string& path) {
+  std::optional<std::string> bytes = read_file_bytes(path);
+  if (!bytes.has_value()) return std::nullopt;
+  std::optional<WorkerBeat> last;
+  std::span<const std::uint8_t> image(reinterpret_cast<const std::uint8_t*>(bytes->data()),
+                                      bytes->size());
+  (void)scan_records(image, [&](std::uint8_t type, Decoder& payload) {
+    if (type != kRecordWorkerBeat) return true;  // foreign record: not malformed
+    WorkerBeat beat;
+    if (!decode_worker_beat(payload, beat)) return false;
+    last = beat;
+    return true;
+  });
+  return last;
+}
+
+bool write_assignment(const std::string& path, const Assignment& assignment) {
+  Encoder enc;
+  enc.put_u8(assignment.kind);
+  enc.put_u64(assignment.lease);
+  enc.put_u64(assignment.epoch);
+  enc.put_u64(assignment.begin);
+  enc.put_u64(assignment.end);
+  enc.put_u64(assignment.shard_bits);
+  std::string framed;
+  append_record(framed, kRecordAssignment, enc.bytes());
+  return atomic_write_file(path, framed);
+}
+
+std::optional<Assignment> read_assignment(const std::string& path) {
+  std::optional<std::string> bytes = read_file_bytes(path);
+  if (!bytes.has_value()) return std::nullopt;
+  std::optional<Assignment> out;
+  std::span<const std::uint8_t> image(reinterpret_cast<const std::uint8_t*>(bytes->data()),
+                                      bytes->size());
+  (void)scan_records(image, [&](std::uint8_t type, Decoder& payload) {
+    if (type != kRecordAssignment) return true;
+    Assignment a;
+    if (!payload.get_u8(a.kind) || a.kind > kAssignShutdown || !payload.get_u64(a.lease) ||
+        !payload.get_u64(a.epoch) || !payload.get_u64(a.begin) || !payload.get_u64(a.end) ||
+        !payload.get_u64(a.shard_bits) || !payload.exhausted()) {
+      return false;
+    }
+    out = a;
+    return true;
+  });
+  return out;
+}
+
+// --- paths & inputs ----------------------------------------------------------
+
+std::string fleet_inputs_path(const std::string& dir) { return dir + "/inputs.list"; }
+std::string fleet_ledger_path(const std::string& dir) { return dir + "/ledger.db"; }
+
+std::string fleet_beat_path(const std::string& dir, std::uint64_t worker) {
+  return dir + "/hb_w" + std::to_string(worker) + ".db";
+}
+
+std::string fleet_assignment_path(const std::string& dir, std::uint64_t worker) {
+  return dir + "/assign_w" + std::to_string(worker) + ".db";
+}
+
+std::string fleet_lease_dir(const std::string& dir, std::uint64_t lease, std::uint64_t epoch) {
+  return dir + "/lease_" + std::to_string(lease) + "/e_" + std::to_string(epoch);
+}
+
+bool write_fleet_inputs(const std::string& dir, const std::vector<std::string>& entries) {
+  std::string body;
+  for (const std::string& entry : entries) {
+    body += entry;
+    body += '\n';
+  }
+  return atomic_write_file(fleet_inputs_path(dir), body);
+}
+
+std::optional<std::vector<std::string>> read_fleet_inputs(const std::string& dir) {
+  std::optional<std::string> bytes = read_file_bytes(fleet_inputs_path(dir));
+  if (!bytes.has_value()) return std::nullopt;
+  std::vector<std::string> entries;
+  std::istringstream in(*bytes);
+  std::string line;
+  while (std::getline(in, line)) entries.push_back(line);
+  return entries;
+}
+
+// --- lease ledger ------------------------------------------------------------
+
+LoadStats LeaseLedger::load() {
+  leases_.clear();
+  meta_.reset();
+  total_reclaims_ = 0;
+  std::optional<std::string> bytes = read_file_bytes(path_);
+  if (!bytes.has_value()) return {};
+  std::span<const std::uint8_t> image(reinterpret_cast<const std::uint8_t*>(bytes->data()),
+                                      bytes->size());
+  return scan_records(image, [&](std::uint8_t type, Decoder& payload) {
+    if (type != kRecordLeaseEvent) return true;
+    LeaseRecord rec;
+    if (!decode_lease_record(payload, rec)) return false;
+    apply(rec);
+    return true;
+  });
+}
+
+bool LeaseLedger::append(const LeaseRecord& rec) {
+  Encoder enc;
+  encode_lease_record(enc, rec);
+  std::string framed;
+  append_record(framed, kRecordLeaseEvent, enc.bytes());
+  if (!append_file_bytes(path_, framed)) return false;
+  apply(rec);
+  return true;
+}
+
+void LeaseLedger::apply(const LeaseRecord& rec) {
+  if (rec.event == LeaseEvent::Meta) {
+    // First Meta wins: a restart must not let a re-invocation with different
+    // flags silently re-geometry a half-scanned fleet.
+    if (!meta_.has_value()) meta_ = rec;
+    return;
+  }
+  LeaseInfo& info = leases_[rec.lease];
+  info.lease = rec.lease;
+  switch (rec.event) {
+    case LeaseEvent::Issued:
+      // Later Issued wins, including a same-epoch double-claim: the ledger is
+      // the arbiter, and the worker named last holds the lease. Issuance of a
+      // completed lease is ignored (Completed is terminal).
+      if (info.completed || rec.epoch < info.epoch) break;
+      info.epoch = rec.epoch;
+      info.worker = rec.worker;
+      info.begin = rec.begin;
+      info.end = rec.end;
+      info.in_flight = true;
+      break;
+    case LeaseEvent::Renewed:
+      if (info.in_flight && rec.epoch == info.epoch) ++info.renewals;
+      break;
+    case LeaseEvent::Completed:
+      // The fence: only the current epoch's holder can complete. A stale
+      // record (reclaimed worker racing the new issuance) is ignored.
+      if (info.completed || !info.in_flight || rec.epoch != info.epoch) break;
+      info.completed = true;
+      info.completed_epoch = rec.epoch;
+      info.in_flight = false;
+      info.failed_functions = rec.a;
+      info.ingest_failures = rec.b;
+      break;
+    case LeaseEvent::Reclaimed:
+      if (!info.in_flight || rec.epoch != info.epoch) break;
+      info.in_flight = false;
+      ++info.reclaims;
+      ++total_reclaims_;
+      break;
+    case LeaseEvent::Meta:
+      break;
+  }
+}
+
+void LeaseLedger::register_lease(std::uint64_t lease, std::uint64_t begin, std::uint64_t end) {
+  LeaseInfo& info = leases_[lease];
+  info.lease = lease;
+  if (info.epoch == 0 && !info.completed) {
+    info.begin = begin;
+    info.end = end;
+  }
+}
+
+// --- lease source ------------------------------------------------------------
+
+namespace {
+
+// The [begin, end) slice of the shared input list, speaking LineStreamSource's
+// line grammar but emitting GLOBAL ordinals — the property that makes every
+// worker's journal/shard records keys into one corpus-wide space.
+class LeaseSliceSource final : public ContractSource {
+ public:
+  LeaseSliceSource(const std::vector<std::string>& inputs, std::uint64_t begin, std::uint64_t end)
+      : inputs_(inputs), begin_(begin), end_(std::min<std::uint64_t>(end, inputs.size())) {
+    pos_ = std::min<std::uint64_t>(begin_, end_);
+  }
+
+  [[nodiscard]] std::optional<SourceItem> next() override {
+    if (pos_ >= end_) return std::nullopt;
+    const std::size_t ordinal = pos_++;
+    const std::string line = trim_line(inputs_[ordinal]);
+    std::string label = "lease:" + std::to_string(ordinal);
+    if (line.empty() || line[0] == '#') {
+      // Fleet ordinals are assigned before partitioning, so a blank line
+      // still owns its slot; it surfaces as an ingest failure, not a skip.
+      SourceItem item;
+      item.ordinal = ordinal;
+      item.label = std::move(label);
+      item.error = "empty input entry";
+      return item;
+    }
+    if (line_looks_like_hex(line)) return make_hex_item(ordinal, std::move(label), line);
+    SourceItem item = make_file_item(ordinal, line);
+    if (item.failed()) item.label = label + " (" + line + ")";
+    return item;
+  }
+
+  [[nodiscard]] std::optional<std::size_t> size_hint() const override {
+    return end_ - std::min(begin_, end_);
+  }
+  [[nodiscard]] std::size_t ordinal_base() const override { return begin_; }
+
+ private:
+  const std::vector<std::string>& inputs_;
+  std::uint64_t begin_;
+  std::uint64_t end_;
+  std::uint64_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ContractSource> make_lease_source(const std::vector<std::string>& inputs,
+                                                  std::uint64_t begin, std::uint64_t end) {
+  return std::make_unique<LeaseSliceSource>(inputs, begin, end);
+}
+
+// --- worker: one lease -------------------------------------------------------
+
+namespace {
+
+// mkdir -p limited to the fleet layout's two levels under an existing dir.
+bool ensure_lease_dirs(const std::string& fleet_dir, std::uint64_t lease, std::uint64_t epoch) {
+  const std::string lease_root = fleet_dir + "/lease_" + std::to_string(lease);
+  if (!ensure_directory(lease_root)) return false;
+  const std::string epoch_dir = fleet_lease_dir(fleet_dir, lease, epoch);
+  if (!ensure_directory(epoch_dir)) return false;
+  return ensure_directory(epoch_dir + "/shards");
+}
+
+// Seed this epoch's journal with every earlier epoch's records: concatenated
+// framed records are themselves a valid record file (the scanner resyncs),
+// and ScanJournal's later-wins load collapses duplicates. The dead epochs'
+// durable completions are exactly the work the re-lease must not redo.
+bool seed_journal_from_prior_epochs(const std::string& fleet_dir, std::uint64_t lease,
+                                    std::uint64_t epoch, const std::string& journal_path) {
+  std::string seed;
+  for (std::uint64_t e = 1; e < epoch; ++e) {
+    const std::string prior = fleet_lease_dir(fleet_dir, lease, e) + "/journal.db";
+    if (std::optional<std::string> bytes = read_file_bytes(prior)) seed += *bytes;
+  }
+  if (seed.empty()) return true;
+  return atomic_write_file(journal_path, seed);
+}
+
+}  // namespace
+
+LeaseRunResult run_lease(const WorkerOptions& opts, const Assignment& assignment,
+                         const std::vector<std::string>& inputs) {
+  LeaseRunResult result;
+  const std::string& dir = opts.fleet_dir;
+  if (!ensure_lease_dirs(dir, assignment.lease, assignment.epoch)) {
+    result.io_error = true;
+    return result;
+  }
+  const std::string epoch_dir = fleet_lease_dir(dir, assignment.lease, assignment.epoch);
+  const std::string journal_path = epoch_dir + "/journal.db";
+  if (!seed_journal_from_prior_epochs(dir, assignment.lease, assignment.epoch, journal_path)) {
+    result.io_error = true;
+    return result;
+  }
+
+  ScanJournal journal(journal_path, opts.flush_interval);
+  (void)journal.load();
+
+  RecoveryCache cache;
+  PersistentCacheStore store(epoch_dir + "/cache.db");
+  for (std::uint64_t e = 1; e < assignment.epoch; ++e) {
+    PersistentCacheStore prior(fleet_lease_dir(dir, assignment.lease, e) + "/cache.db");
+    (void)prior.load_into(cache);
+  }
+  (void)store.load_into(cache);
+
+  ShardedSink sink(epoch_dir + "/shards", static_cast<int>(assignment.shard_bits),
+                   opts.flush_interval);
+
+  const std::string beat_path = fleet_beat_path(dir, opts.worker_id);
+  const std::string assign_path = fleet_assignment_path(dir, opts.worker_id);
+  const std::uint64_t nonce =
+      opts.nonce != 0 ? opts.nonce : static_cast<std::uint64_t>(::getpid());
+
+  // Shared between the scan (worker threads), the heartbeat thread, and the
+  // fence check. `abandon` doubles as BatchOptions::stop: a fence trip stops
+  // ingestion and quiesces the pool at contract granularity.
+  std::atomic<bool> abandon{false};
+  std::atomic<std::uint64_t> beat_counter{0};
+  std::atomic<std::uint64_t> done_contracts{0};
+  std::atomic<std::uint64_t> failed_functions{0};
+  std::atomic<std::uint64_t> ingest_failures{0};
+  std::atomic<bool> scan_over{false};
+
+  auto make_beat = [&](std::uint8_t phase) {
+    WorkerBeat beat;
+    beat.worker = opts.worker_id;
+    beat.nonce = nonce;
+    beat.counter = beat_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+    beat.lease = assignment.lease;
+    beat.epoch = assignment.epoch;
+    beat.phase = phase;
+    beat.done_contracts = done_contracts.load(std::memory_order_relaxed);
+    beat.failed_functions = failed_functions.load(std::memory_order_relaxed);
+    beat.ingest_failures = ingest_failures.load(std::memory_order_relaxed);
+    return beat;
+  };
+
+  // The fence: the assignment file names a different (lease, epoch) — or
+  // vanished — so this issuance was reclaimed. Back off without completing.
+  auto fence_tripped = [&] {
+    std::optional<Assignment> current = read_assignment(assign_path);
+    return !current.has_value() || current->kind != kAssignLease ||
+           current->lease != assignment.lease || current->epoch != assignment.epoch;
+  };
+
+  (void)append_worker_beat(beat_path, make_beat(kBeatWorking));
+
+  std::thread heart([&] {
+    while (!scan_over.load(std::memory_order_acquire)) {
+      sleep_ms(opts.heartbeat_ms);
+      if (scan_over.load(std::memory_order_acquire)) break;
+      if (fence_tripped()) abandon.store(true, std::memory_order_release);
+      (void)append_worker_beat(beat_path, make_beat(kBeatWorking));
+    }
+  });
+
+  BatchOptions batch = opts.batch;
+  batch.cache = &cache;
+  batch.journal = &journal;
+  batch.sink = sink.ok() ? &sink : nullptr;
+  batch.stop = &abandon;
+  batch.on_contract_done = [&](const ContractReport& report) {
+    const std::uint64_t done = done_contracts.fetch_add(1, std::memory_order_relaxed) + 1;
+    for (const RecoveredFunction& fn : report.functions) {
+      if (fn.status != RecoveryStatus::Complete) {
+        failed_functions.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (report.ingest_failed) ingest_failures.fetch_add(1, std::memory_order_relaxed);
+    if (opts.on_progress) opts.on_progress(done);
+#ifndef _WIN32
+    // Deterministic self-inflicted chaos: exactly after the Nth finished
+    // contract of this process, die (crash) or stall (partition). Checked on
+    // the worker thread that finished the contract — the same place a real
+    // crash would land.
+    if (opts.chaos_die_after != 0 && done == opts.chaos_die_after) {
+      (void)journal.flush();
+      (void)::raise(SIGKILL);
+    }
+    if (opts.chaos_stall_after != 0 && done == opts.chaos_stall_after) {
+      (void)::raise(SIGSTOP);
+    }
+#endif
+    if (fence_tripped()) abandon.store(true, std::memory_order_release);
+  };
+
+  std::unique_ptr<ContractSource> source =
+      make_lease_source(inputs, assignment.begin, assignment.end);
+  BatchResult scan = recover_stream(*source, batch);
+
+  scan_over.store(true, std::memory_order_release);
+  heart.join();
+
+  (void)journal.flush();
+  (void)sink.flush();
+  (void)store.compact_from(cache);
+
+  result.contracts = done_contracts.load(std::memory_order_relaxed);
+  result.failed_functions = scan.health.failed_functions();
+  result.ingest_failures = scan.health.ingest_failed;
+  if (abandon.load(std::memory_order_acquire) || fence_tripped()) {
+    result.abandoned = true;
+    (void)append_worker_beat(beat_path, make_beat(kBeatAbandoned));
+    return result;
+  }
+  result.completed = scan.health.interrupted == 0;
+  if (result.completed) {
+    WorkerBeat done_beat = make_beat(kBeatDone);
+    done_beat.failed_functions = result.failed_functions;
+    done_beat.ingest_failures = result.ingest_failures;
+    (void)append_worker_beat(beat_path, done_beat);
+  }
+  return result;
+}
+
+// --- worker: process loop ----------------------------------------------------
+
+int run_worker(const WorkerOptions& opts, const std::atomic<bool>* stop) {
+  if (opts.fleet_dir.empty() || !ensure_directory(opts.fleet_dir)) return 2;
+  const std::string beat_path = fleet_beat_path(opts.fleet_dir, opts.worker_id);
+  const std::string assign_path = fleet_assignment_path(opts.fleet_dir, opts.worker_id);
+  const std::uint64_t nonce =
+      opts.nonce != 0 ? opts.nonce : static_cast<std::uint64_t>(::getpid());
+
+  // Chaos counters are process-lifetime ("die after the Nth contract this
+  // process finishes"), but run_lease sees per-call options — so the loop
+  // keeps a mutable copy and decrements the trigger by each lease's progress.
+  WorkerOptions local = opts;
+  local.nonce = nonce;
+
+  std::uint64_t counter = 0;
+  std::uint64_t done_leases = 0;
+  auto idle_beat = [&](std::uint8_t phase) {
+    WorkerBeat beat;
+    beat.worker = opts.worker_id;
+    beat.nonce = nonce;
+    beat.counter = ++counter;
+    beat.phase = phase;
+    beat.done_contracts = done_leases;
+    (void)append_worker_beat(beat_path, beat);
+  };
+
+  idle_beat(kBeatIdle);
+  double last_idle_beat = steady_now_ms();
+  std::uint64_t last_ran_lease = 0;
+  std::uint64_t last_ran_epoch = 0;
+  // Terminal (done/abandoned) state of the last lease, re-beaten while the
+  // assignment still names it: the coordinator reads only the LAST beat, so
+  // a single done beat followed by idle beats would vanish before it ticks.
+  std::optional<WorkerBeat> terminal;
+  while (stop == nullptr || !stop->load(std::memory_order_acquire)) {
+    std::optional<Assignment> assignment = read_assignment(assign_path);
+    if (assignment.has_value() && assignment->kind == kAssignShutdown) break;
+    if (assignment.has_value() && assignment->kind == kAssignLease &&
+        !(assignment->lease == last_ran_lease && assignment->epoch == last_ran_epoch)) {
+      last_ran_lease = assignment->lease;
+      last_ran_epoch = assignment->epoch;
+      terminal.reset();
+      std::optional<std::vector<std::string>> inputs = read_fleet_inputs(opts.fleet_dir);
+      if (!inputs.has_value()) return 2;
+      // Sequence the per-lease counter after the contracts already burned.
+      std::uint64_t wrapped = 0;
+      local.on_progress = [&](std::uint64_t done) {
+        wrapped = done;
+        if (opts.on_progress) opts.on_progress(done);
+      };
+      LeaseRunResult run = run_lease(local, *assignment, *inputs);
+      if (local.chaos_die_after != 0) {
+        local.chaos_die_after =
+            local.chaos_die_after > wrapped ? local.chaos_die_after - wrapped : 0;
+      }
+      if (local.chaos_stall_after != 0) {
+        local.chaos_stall_after =
+            local.chaos_stall_after > wrapped ? local.chaos_stall_after - wrapped : 0;
+      }
+      if (run.completed) ++done_leases;
+      if (run.completed || run.abandoned) {
+        WorkerBeat beat;
+        beat.worker = opts.worker_id;
+        beat.nonce = nonce;
+        beat.lease = assignment->lease;
+        beat.epoch = assignment->epoch;
+        beat.phase = run.completed ? kBeatDone : kBeatAbandoned;
+        beat.done_contracts = run.contracts;
+        beat.failed_functions = run.failed_functions;
+        beat.ingest_failures = run.ingest_failures;
+        terminal = beat;
+      }
+      if (run.io_error) sleep_ms(opts.poll_ms);
+      // run_lease wrote the terminal done/abandoned beat; the poll loop below
+      // re-beats it until the coordinator acknowledges with a new assignment.
+      continue;
+    }
+    // Idle, or an already-finished assignment still on disk: keep the beat
+    // counter moving so the coordinator sees a live worker to schedule onto,
+    // re-asserting the terminal state while its assignment is still current.
+    const double now = steady_now_ms();
+    if (now - last_idle_beat >= opts.heartbeat_ms) {
+      const bool still_assigned = assignment.has_value() && assignment->kind == kAssignLease &&
+                                  assignment->lease == last_ran_lease &&
+                                  assignment->epoch == last_ran_epoch;
+      if (terminal.has_value() && still_assigned) {
+        WorkerBeat beat = *terminal;
+        beat.counter = ++counter;
+        (void)append_worker_beat(beat_path, beat);
+      } else {
+        idle_beat(kBeatIdle);
+      }
+      last_idle_beat = now;
+    }
+    sleep_ms(opts.poll_ms);
+  }
+  idle_beat(kBeatExited);
+  return 0;
+}
+
+// --- chaos spec --------------------------------------------------------------
+
+namespace {
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  out = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<FleetChaos> parse_fleet_chaos(const std::string& spec, std::string* error) {
+  FleetChaos chaos;
+  std::istringstream in(spec);
+  std::string token;
+  auto fail = [&](const std::string& why) -> std::optional<FleetChaos> {
+    if (error != nullptr) *error = "bad chaos token '" + token + "': " + why;
+    return std::nullopt;
+  };
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) continue;
+    const std::size_t at = token.rfind('@');
+    if (at == std::string::npos) return fail("missing '@N'");
+    std::uint64_t after = 0;
+    if (!parse_u64(token.substr(at + 1), after)) return fail("'@N' is not a number");
+    std::string head = token.substr(0, at);
+    if (head == "exit") {
+      if (chaos.exit.has_value()) return fail("duplicate exit");
+      FleetChaos::CoordinatorFault f;
+      f.after_completions = after;
+      chaos.exit = f;
+      continue;
+    }
+    const std::size_t colon = head.find(':');
+    if (colon == std::string::npos) return fail("unknown fault kind");
+    const std::string kind = head.substr(0, colon);
+    std::uint64_t worker = 0;
+    if (!parse_u64(head.substr(colon + 1), worker)) return fail("worker id is not a number");
+    if (kind == "die") {
+      chaos.die.push_back({worker, after});
+    } else if (kind == "stall") {
+      chaos.stall.push_back({worker, after});
+    } else if (kind == "cont") {
+      FleetChaos::CoordinatorFault f;
+      f.worker = worker;
+      f.after_completions = after;
+      chaos.cont.push_back(f);
+    } else {
+      return fail("unknown fault kind '" + kind + "'");
+    }
+  }
+  return chaos;
+}
+
+// --- coordinator -------------------------------------------------------------
+
+namespace {
+
+bool same_assignment(const Assignment& x, const Assignment& y) {
+  return x.kind == y.kind && x.lease == y.lease && x.epoch == y.epoch && x.begin == y.begin &&
+         x.end == y.end && x.shard_bits == y.shard_bits;
+}
+
+}  // namespace
+
+FleetCoordinator::FleetCoordinator(FleetOptions opts, std::vector<std::string> inputs)
+    : opts_(std::move(opts)),
+      inputs_(std::move(inputs)),
+      ledger_(fleet_ledger_path(opts_.dir)) {}
+
+bool FleetCoordinator::init(std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (opts_.dir.empty()) return fail("fleet directory not set");
+  if (opts_.lease_size == 0) return fail("lease size must be positive");
+  if (!ensure_directory(opts_.dir)) return fail("cannot create fleet directory " + opts_.dir);
+
+  if (inputs_.empty()) {
+    // Restart path: reuse the corpus a prior coordinator materialized.
+    std::optional<std::vector<std::string>> prior = read_fleet_inputs(opts_.dir);
+    if (!prior.has_value() || prior->empty()) {
+      return fail("no inputs given and no inputs.list in " + opts_.dir);
+    }
+    inputs_ = std::move(*prior);
+  } else if (!write_fleet_inputs(opts_.dir, inputs_)) {
+    return fail("cannot write inputs.list in " + opts_.dir);
+  }
+
+  ledger_load_ = ledger_.load();
+  if (ledger_.meta().has_value()) {
+    // Geometry is pinned by the first coordinator; later invocations adopt it
+    // (changing lease size mid-scan would re-key every lease range).
+    const LeaseRecord& meta = *ledger_.meta();
+    if (meta.begin != inputs_.size()) {
+      return fail("ledger was written for " + std::to_string(meta.begin) +
+                  " inputs, inputs.list has " + std::to_string(inputs_.size()));
+    }
+    opts_.lease_size = static_cast<std::size_t>(meta.end);
+    opts_.shard_bits = static_cast<int>(meta.a);
+  } else {
+    LeaseRecord meta;
+    meta.event = LeaseEvent::Meta;
+    meta.begin = inputs_.size();
+    meta.end = opts_.lease_size;
+    meta.a = static_cast<std::uint64_t>(opts_.shard_bits);
+    if (!ledger_.append(meta)) return fail("cannot append to ledger");
+  }
+
+  // A starting coordinator trusts no previous issuance: every lease the
+  // replayed ledger says is in flight belonged to a worker that may be gone
+  // (or stalled mid-write). Reclaim them all; live stragglers are fenced.
+  std::vector<std::uint64_t> in_flight;
+  for (const auto& [id, info] : ledger_.leases()) {
+    if (info.in_flight) in_flight.push_back(id);
+  }
+  for (std::uint64_t id : in_flight) reclaim(id, "coordinator restart");
+
+  // Stale assignment files would re-run old leases on freshly spawned
+  // workers; reset every one to idle before any worker starts polling.
+  for (const std::string& name : list_directory(opts_.dir, "assign_w")) {
+    (void)write_assignment(opts_.dir + "/" + name, Assignment{});
+  }
+
+  init_ok_ = true;
+  return true;
+}
+
+void FleetCoordinator::reclaim(std::uint64_t lease_id, const char* reason) {
+  auto it = ledger_.leases().find(lease_id);
+  if (it == ledger_.leases().end() || !it->second.in_flight) return;
+  LeaseRecord rec;
+  rec.event = LeaseEvent::Reclaimed;
+  rec.lease = lease_id;
+  rec.epoch = it->second.epoch;
+  rec.worker = it->second.worker;
+  if (!ledger_.append(rec)) return;  // retried on a later tick
+  (void)reason;
+  for (auto& [wid, slot] : workers_) {
+    if (slot.assigned_lease == lease_id) slot.assigned_lease = 0;
+  }
+}
+
+void FleetCoordinator::add_worker(std::uint64_t id, long pid) {
+  WorkerSlot& slot = workers_[id];
+  slot.id = id;
+  slot.pid = pid;
+  slot.dead = false;
+  slot.seen = false;
+  slot.last_counter = 0;
+  slot.last_nonce = 0;
+  if (pid >= 0) pid_to_worker_[pid] = id;
+  if (id >= next_worker_id_) next_worker_id_ = id + 1;
+}
+
+void FleetCoordinator::worker_died(std::uint64_t id) {
+  auto it = workers_.find(id);
+  if (it == workers_.end() || it->second.dead) return;
+  it->second.dead = true;
+  ++worker_deaths_;
+  if (it->second.assigned_lease != 0) reclaim(it->second.assigned_lease, "worker died");
+}
+
+void FleetCoordinator::observe_beats(double now_ms) {
+  for (auto& [id, slot] : workers_) {
+    if (slot.dead) continue;
+    std::optional<WorkerBeat> beat = read_last_beat(fleet_beat_path(opts_.dir, id));
+    if (!beat.has_value()) continue;
+    const bool moved = !slot.seen || beat->counter != slot.last_counter ||
+                       beat->nonce != slot.last_nonce;
+    if (moved) {
+      slot.seen = true;
+      slot.last_counter = beat->counter;
+      slot.last_nonce = beat->nonce;
+      slot.last_alive = now_ms;
+    }
+
+    if (beat->epoch == 0) continue;  // idle beat: liveness only
+    auto lease_it = ledger_.leases().find(beat->lease);
+    if (lease_it == ledger_.leases().end()) continue;
+    const LeaseInfo& info = lease_it->second;
+    const bool current =
+        info.in_flight && info.epoch == beat->epoch && info.worker == beat->worker;
+
+    if (!current) {
+      // A re-beat of a completion this coordinator already accepted is an
+      // acknowledged done, not a stale straggler.
+      const bool acknowledged = info.completed && info.completed_epoch == beat->epoch &&
+                                info.worker == beat->worker;
+      // Fenced: the beat names an issuance the ledger no longer honors. A
+      // terminal abandoned/done beat from it is the partitioned-worker story
+      // ending cleanly — count it once per (worker, lease, epoch).
+      if (!acknowledged && (beat->phase == kBeatAbandoned || beat->phase == kBeatDone) &&
+          counted_stale_.insert({beat->worker, beat->lease, beat->epoch}).second) {
+        ++stale_abandons_;
+      }
+      continue;
+    }
+
+    if (beat->phase == kBeatDone) {
+      LeaseRecord rec;
+      rec.event = LeaseEvent::Completed;
+      rec.lease = beat->lease;
+      rec.epoch = beat->epoch;
+      rec.worker = beat->worker;
+      rec.begin = info.begin;
+      rec.end = info.end;
+      rec.a = beat->failed_functions;
+      rec.b = beat->ingest_failures;
+      if (ledger_.append(rec)) {
+        ++completions_observed_;
+        slot.assigned_lease = 0;
+      }
+    } else if (beat->phase == kBeatAbandoned || beat->phase == kBeatExited) {
+      // The current holder gave up (fence raced) or exited: re-lease now.
+      reclaim(beat->lease, "holder abandoned");
+    } else if (moved) {
+      LeaseRecord rec;
+      rec.event = LeaseEvent::Renewed;
+      rec.lease = beat->lease;
+      rec.epoch = beat->epoch;
+      rec.worker = beat->worker;
+      rec.a = beat->counter;
+      (void)ledger_.append(rec);
+    }
+  }
+}
+
+void FleetCoordinator::issue_pending(double now_ms) {
+  for (auto& [wid, slot] : workers_) {
+    if (slot.dead || slot.assigned_lease != 0) continue;
+    // A worker whose beats already lapsed a full TTL is frozen or gone —
+    // issuing to it would just burn another TTL before the next reclaim,
+    // and with a lower id than a live worker it would win every re-issue
+    // (a livelock). Never-seen workers are eligible: they were just
+    // spawned/attached and have not had a chance to beat yet.
+    if (slot.seen && now_ms - slot.last_alive >= opts_.lease_ttl_ms) continue;
+    // Find the lowest pending lease.
+    const LeaseInfo* next = nullptr;
+    for (const auto& [lid, info] : ledger_.leases()) {
+      if (!info.completed && !info.in_flight) {
+        next = &info;
+        break;
+      }
+    }
+    if (next == nullptr) break;
+    LeaseRecord rec;
+    rec.event = LeaseEvent::Issued;
+    rec.lease = next->lease;
+    rec.epoch = next->epoch + 1;
+    rec.worker = wid;
+    rec.begin = next->begin;
+    rec.end = next->end;
+    if (!ledger_.append(rec)) continue;
+    ++issues_observed_;
+    slot.assigned_lease = next->lease;
+    // The new issuance starts its TTL clock now — a spurious instant reclaim
+    // on the next tick would fence the worker before it ever beat.
+    slot.last_alive = now_ms;
+    Assignment assignment;
+    assignment.kind = kAssignLease;
+    assignment.lease = rec.lease;
+    assignment.epoch = rec.epoch;
+    assignment.begin = rec.begin;
+    assignment.end = rec.end;
+    assignment.shard_bits = static_cast<std::uint64_t>(opts_.shard_bits);
+    if (!slot.last_written.has_value() || !same_assignment(*slot.last_written, assignment)) {
+      (void)write_assignment(fleet_assignment_path(opts_.dir, wid), assignment);
+      slot.last_written = assignment;
+    }
+  }
+}
+
+void FleetCoordinator::tick(double now_ms) {
+  if (!init_ok_) return;
+
+  // Partition lazily on the first tick after init (leases are 1-based; lease
+  // L covers ordinals [(L-1)*size, min(L*size, inputs)) — the zero-address
+  // tail makes the last lease short, or the whole set empty for 0 inputs).
+  if (ledger_.leases().empty() && !inputs_.empty()) {
+    const std::uint64_t size = opts_.lease_size;
+    const std::uint64_t count = (inputs_.size() + size - 1) / size;
+    for (std::uint64_t lease = 1; lease <= count; ++lease) {
+      ledger_.register_lease(lease, (lease - 1) * size,
+                             std::min<std::uint64_t>(lease * size, inputs_.size()));
+    }
+  }
+
+  observe_beats(now_ms);
+
+  // TTL reclaim: the holder's beat counter has not moved for a full TTL.
+  std::vector<std::uint64_t> lapsed;
+  for (const auto& [lid, info] : ledger_.leases()) {
+    if (!info.in_flight) continue;
+    auto wit = workers_.find(info.worker);
+    if (wit == workers_.end()) continue;
+    if (!wit->second.dead && now_ms - wit->second.last_alive < opts_.lease_ttl_ms) continue;
+    lapsed.push_back(lid);
+  }
+  for (std::uint64_t lid : lapsed) reclaim(lid, "ttl lapsed");
+
+  issue_pending(now_ms);
+
+  // Idle workers with no pending work get an explicit idle assignment so a
+  // finished lease's stale instruction stops matching their fence checks.
+  for (auto& [wid, slot] : workers_) {
+    if (slot.dead || slot.assigned_lease != 0) continue;
+    Assignment idle;
+    if (!slot.last_written.has_value() || !same_assignment(*slot.last_written, idle)) {
+      (void)write_assignment(fleet_assignment_path(opts_.dir, wid), idle);
+      slot.last_written = idle;
+    }
+  }
+}
+
+bool FleetCoordinator::done() const {
+  if (ledger_.leases().empty()) return inputs_.empty();
+  for (const auto& [lid, info] : ledger_.leases()) {
+    if (!info.completed) return false;
+  }
+  return true;
+}
+
+// --- coordinator: process mode -----------------------------------------------
+
+bool FleetCoordinator::spawn_worker(std::uint64_t id) {
+#ifdef _WIN32
+  (void)id;
+  return false;
+#else
+  std::vector<std::string> argv;
+  argv.push_back(opts_.worker_argv0);
+  argv.push_back("--worker");
+  argv.push_back(std::to_string(id));
+  argv.push_back("--fleet");
+  argv.push_back(opts_.dir);
+  argv.push_back("--heartbeat-ms");
+  argv.push_back(std::to_string(std::max(1.0, opts_.lease_ttl_ms / 4)));
+  for (const FleetChaos::WorkerFault& f : opts_.chaos.die) {
+    if (f.worker == id) {
+      argv.push_back("--chaos-die-after");
+      argv.push_back(std::to_string(f.after_contracts));
+    }
+  }
+  for (const FleetChaos::WorkerFault& f : opts_.chaos.stall) {
+    if (f.worker == id) {
+      argv.push_back("--chaos-stall-after");
+      argv.push_back(std::to_string(f.after_contracts));
+    }
+  }
+  for (const std::string& arg : opts_.worker_args) argv.push_back(arg);
+
+  std::vector<char*> raw;
+  raw.reserve(argv.size() + 1);
+  for (std::string& arg : argv) raw.push_back(arg.data());
+  raw.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    ::execv(raw[0], raw.data());
+    std::fprintf(stderr, "sigrec-fleet: execv %s: %s\n", raw[0], std::strerror(errno));
+    ::_exit(127);
+  }
+  add_worker(id, static_cast<long>(pid));
+  return true;
+#endif
+}
+
+int FleetCoordinator::run() {
+#ifdef _WIN32
+  return 2;  // process-mode fleets are POSIX-only; use the in-process API
+#else
+  if (!init_ok_) return 2;
+  for (unsigned i = 0; i < opts_.spawn_workers; ++i) {
+    if (!spawn_worker(next_worker_id_ == 0 ? 1 : next_worker_id_)) {
+      std::fprintf(stderr, "sigrec-fleet: cannot spawn worker\n");
+      return 2;
+    }
+  }
+
+  // A crash-looping corpus must not respawn forever: each death beyond this
+  // budget leaves the fleet one worker smaller instead.
+  std::uint64_t respawn_budget = 2ull * std::max(1u, opts_.spawn_workers);
+  int exit_code = 0;
+
+  while (!done()) {
+    tick(steady_now_ms());
+
+    // Reap exited children. A SIGSTOPped child does not exit, so a stalled
+    // worker stays "alive" here and is fenced by the TTL path instead.
+    int status = 0;
+    pid_t pid = 0;
+    while ((pid = ::waitpid(-1, &status, WNOHANG)) > 0) {
+      auto it = pid_to_worker_.find(static_cast<long>(pid));
+      if (it == pid_to_worker_.end()) continue;
+      const std::uint64_t wid = it->second;
+      pid_to_worker_.erase(it);
+      const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+      worker_died(wid);
+      if (!clean && respawn_budget > 0) {
+        --respawn_budget;
+        (void)spawn_worker(next_worker_id_);
+      }
+    }
+
+    // Scripted chaos, triggered on observed lease completions.
+    for (FleetChaos::CoordinatorFault& f : opts_.chaos.cont) {
+      if (f.fired || completions_observed_ < f.after_completions) continue;
+      f.fired = true;
+      auto wit = workers_.find(f.worker);
+      if (wit != workers_.end() && wit->second.pid >= 0) {
+        (void)::kill(static_cast<pid_t>(wit->second.pid), SIGCONT);
+      }
+    }
+    if (opts_.chaos.exit.has_value() && !opts_.chaos.exit->fired &&
+        completions_observed_ >= opts_.chaos.exit->after_completions) {
+      // A scripted coordinator crash takes the whole box with it: children
+      // are killed too, so the restarted coordinator's worker ids are fresh.
+      opts_.chaos.exit->fired = true;
+      for (auto& [wid, slot] : workers_) {
+        if (slot.pid >= 0 && !slot.dead) (void)::kill(static_cast<pid_t>(slot.pid), SIGKILL);
+      }
+      while (::waitpid(-1, &status, 0) > 0) {
+      }
+      return kFleetExitChaos;
+    }
+
+    // Every spawned worker gone with nothing in flight and work remaining:
+    // the fleet cannot make progress (attach-only fleets never trip this —
+    // they have no pids to reap).
+    if (opts_.spawn_workers > 0) {
+      bool any_alive = false;
+      for (const auto& [wid, slot] : workers_) any_alive = any_alive || !slot.dead;
+      if (!any_alive && !done()) {
+        std::fprintf(stderr, "sigrec-fleet: all workers dead, scan incomplete\n");
+        exit_code = 2;
+        break;
+      }
+    }
+
+    sleep_ms(opts_.poll_ms);
+  }
+
+  // Shutdown: tell every live worker to exit, give them a grace period, then
+  // SIGCONT+SIGKILL stragglers (a stalled worker needs the CONT to die fast).
+  for (auto& [wid, slot] : workers_) {
+    if (!slot.dead) (void)write_assignment(fleet_assignment_path(opts_.dir, wid), Assignment{2});
+  }
+  const double grace_deadline = steady_now_ms() + std::max(1000.0, opts_.lease_ttl_ms);
+  while (!pid_to_worker_.empty() && steady_now_ms() < grace_deadline) {
+    int status = 0;
+    pid_t pid = 0;
+    while ((pid = ::waitpid(-1, &status, WNOHANG)) > 0) pid_to_worker_.erase(static_cast<long>(pid));
+    if (!pid_to_worker_.empty()) sleep_ms(opts_.poll_ms);
+  }
+  for (const auto& [pid, wid] : pid_to_worker_) {
+    (void)::kill(static_cast<pid_t>(pid), SIGCONT);
+    (void)::kill(static_cast<pid_t>(pid), SIGKILL);
+  }
+  int status = 0;
+  while (::waitpid(-1, &status, pid_to_worker_.empty() ? WNOHANG : 0) > 0) {
+  }
+  return exit_code;
+#endif
+}
+
+// --- merge & report ----------------------------------------------------------
+
+std::string FleetCoordinator::merge_output(const std::string& cache_file, MergeStats* stats,
+                                           bool* ok) const {
+  bool io_ok = true;
+  RecoveryCache cache;
+  std::vector<std::string> shard_files;
+  for (const auto& [lid, info] : ledger_.leases()) {
+    const std::uint64_t last_epoch = std::max(info.epoch, info.completed_epoch);
+    for (std::uint64_t e = 1; e <= last_epoch; ++e) {
+      const std::string epoch_dir = fleet_lease_dir(opts_.dir, lid, e);
+      if (!cache_file.empty()) {
+        PersistentCacheStore store(epoch_dir + "/cache.db");
+        (void)store.load_into(cache);
+      }
+      for (std::string& f : list_shard_files(epoch_dir + "/shards")) {
+        shard_files.push_back(std::move(f));
+      }
+    }
+  }
+  if (!cache_file.empty()) {
+    PersistentCacheStore merged(cache_file);
+    io_ok = merged.compact_from(cache) && io_ok;
+  }
+  std::string tsv = merge_shards(shard_files, stats);
+  if (ok != nullptr) *ok = io_ok;
+  return tsv;
+}
+
+FleetReport FleetCoordinator::report() const {
+  FleetReport report;
+  report.leases = ledger_.leases().size();
+  for (const auto& [lid, info] : ledger_.leases()) {
+    if (!info.completed) continue;
+    ++report.completed;
+    report.failed_functions += info.failed_functions;
+    report.ingest_failures += info.ingest_failures;
+  }
+  report.reclaims = ledger_.total_reclaims();
+  report.stale_abandons = stale_abandons_;
+  report.worker_deaths = worker_deaths_;
+  report.ledger_load = ledger_load_;
+  return report;
+}
+
+std::string FleetReport::to_string() const {
+  std::string out = "leases=" + std::to_string(leases) +
+                    " completed=" + std::to_string(completed) +
+                    " reclaims=" + std::to_string(reclaims) +
+                    " stale_abandons=" + std::to_string(stale_abandons) +
+                    " worker_deaths=" + std::to_string(worker_deaths) +
+                    " failed_functions=" + std::to_string(failed_functions) +
+                    " ingest_failures=" + std::to_string(ingest_failures);
+  if (degraded()) out += " DEGRADED";
+  return out;
+}
+
+}  // namespace sigrec::core

@@ -1,0 +1,460 @@
+// Crash-survivable distributed scan fleet: lease coordinator and workers.
+//
+// One process per lease is the cheapest route to "millions of contracts",
+// but only if the fleet survives what a long multi-process scan will
+// actually hit: worker crashes, hangs, partitions, and a coordinator
+// restart. This layer composes the per-process machinery that already
+// exists — the resumable journal, the persistent cache, the selector-
+// sharded sink — into a fleet where ANY worker can die at ANY point and the
+// final merged output is still byte-identical to an uninterrupted
+// single-process scan.
+//
+// The protocol is entirely file-based (no sockets between coordinator and
+// workers — a fleet shares a directory, locally or over NFS-like storage),
+// and every file is in the persist.hpp record framing, so each one inherits
+// the crash-safety properties of the journal: append-only where it grows,
+// checksummed, marker-resynced, torn tails skipped on load.
+//
+//   fleet_dir/
+//     inputs.list        input entries, one per line — the global ordinal
+//                        space every lease indexes into
+//     ledger.db          lease ledger, appended ONLY by the coordinator:
+//                        Meta / Issued / Renewed / Completed / Reclaimed
+//                        events replayed on restart
+//     assign_w<W>.db     current assignment for worker W, atomically
+//                        replaced by the coordinator; the worker polls it
+//     hb_w<W>.db         heartbeats, appended ONLY by worker W
+//     lease_<L>/e_<E>/   work directory of lease L at epoch E:
+//       journal.db         per-contract completions (global ordinals)
+//       cache.db           the worker's persistent memo cache
+//       shards/            selector-sharded signature records
+//
+// Lease state machine (per lease, tracked by ledger replay):
+//
+//       ┌────────┐  issue(worker, epoch+1)  ┌─────────┐
+//       │ Pending├─────────────────────────▶│ InFlight│──renew──┐
+//       └────▲───┘                          └──┬───┬──┘◀────────┘
+//            │   reclaim (TTL lapse /          │   │
+//            │   worker death / restart)       │   │ done beat at the
+//            └─────────────────────────────────┘   │ CURRENT epoch
+//                                               ┌──▼──────┐
+//                                               │Completed│  (terminal)
+//                                               └─────────┘
+//
+// Fencing is by lease epoch, twice over. Logically: a completion or
+// heartbeat that names a stale (lease, epoch) pair is ignored by the
+// coordinator, so a partitioned worker that wakes up after its lease was
+// reclaimed can never complete it — it observes its assignment changed and
+// abandons. Physically: a worker writes only inside lease_<L>/e_<E>/ for
+// the epoch it was issued, so even a worker that never notices the fence
+// cannot corrupt the new assignee's files; its extra records are exact
+// duplicates of deterministic work, which the shard merge collapses.
+//
+// A re-issued lease resumes, not restarts: epoch E+1 seeds its journal from
+// every earlier epoch's journal (concatenating framed records is itself a
+// valid record file) and preloads their caches, so only the contracts the
+// dead worker hadn't durably finished are re-executed.
+//
+// The chaos harness is part of the design, not an afterthought: workers can
+// be told to SIGKILL or SIGSTOP themselves after exactly N finished
+// contracts (deterministic mid-lease kill points in the FaultPlan
+// tradition — triggers are work counts, never clocks), and the coordinator
+// can be told to kill its children and exit after exactly N lease
+// completions (a scripted coordinator crash; a restart replays the ledger).
+// The CI smoke drives all three against a golden corpus and diffs the
+// merged TSV byte-for-byte against a single-process reference.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sigrec/batch.hpp"
+#include "sigrec/persist.hpp"
+#include "sigrec/shard.hpp"
+
+namespace sigrec::core {
+
+// CLI exit code for a scan that completed, byte-identical output and all,
+// but only by re-leasing work a worker failed to finish — operators alert
+// on "survived a crash" differently than on "clean run".
+inline constexpr int kFleetExitDegraded = 3;
+// CLI exit code of a scripted coordinator chaos-exit (the harness restarts
+// the coordinator when it sees this).
+inline constexpr int kFleetExitChaos = 70;
+
+// --- ledger records ----------------------------------------------------------
+
+enum class LeaseEvent : std::uint8_t {
+  Meta = 0,       // once per fleet: input count, lease size, shard bits
+  Issued = 1,     // lease assigned to a worker at a new epoch
+  Renewed = 2,    // coordinator observed a fresh heartbeat for the issuance
+  Completed = 3,  // done beat accepted at the current epoch (terminal)
+  Reclaimed = 4,  // issuance declared dead; next issue bumps the epoch
+};
+inline constexpr std::uint8_t kLeaseEventCount = 5;
+
+// One ledger record. Fixed shape for every event; `a`/`b` are per-event:
+// Meta uses begin=input count, end=lease size, a=shard bits; Renewed uses
+// a=heartbeat counter; Completed uses a=failed functions, b=ingest failures
+// (replayed so a restarted coordinator still reports exit-code-accurate
+// totals).
+struct LeaseRecord {
+  LeaseEvent event = LeaseEvent::Meta;
+  std::uint64_t lease = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t worker = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+void encode_lease_record(Encoder& enc, const LeaseRecord& rec);
+[[nodiscard]] bool decode_lease_record(Decoder& dec, LeaseRecord& rec);
+
+// Replayed state of one lease.
+struct LeaseInfo {
+  std::uint64_t lease = 0;
+  std::uint64_t begin = 0;  // [begin, end) global ordinals
+  std::uint64_t end = 0;
+  std::uint64_t epoch = 0;   // latest issued epoch; 0 = never issued
+  std::uint64_t worker = 0;  // assignee of that epoch
+  bool in_flight = false;
+  bool completed = false;
+  std::uint64_t completed_epoch = 0;
+  std::uint64_t renewals = 0;
+  std::uint64_t reclaims = 0;  // times an issuance of this lease died
+  std::uint64_t failed_functions = 0;
+  std::uint64_t ingest_failures = 0;
+};
+
+// The coordinator's durable source of truth. Appended one event at a time
+// (each append is flushed before the in-memory state advances), replayed
+// tolerantly on restart: corruption costs individual events, and because
+// the state machine is monotone (Completed is terminal, epochs only grow),
+// a lost tail event degrades to re-doing work, never to wrong output.
+class LeaseLedger {
+ public:
+  explicit LeaseLedger(std::string path) : path_(std::move(path)) {}
+
+  // Tolerant replay of the on-disk ledger into the in-memory lease map.
+  LoadStats load();
+
+  // Appends one event durably and applies it to the in-memory state.
+  // Returns false on I/O failure (the in-memory state is NOT advanced —
+  // the coordinator retries the whole transition next tick).
+  [[nodiscard]] bool append(const LeaseRecord& rec);
+
+  // Applies one event to in-memory state only (the replay path; exposed so
+  // tests can script adversarial ledgers, e.g. a double-claim).
+  void apply(const LeaseRecord& rec);
+
+  // Registers a lease's ordinal range in memory without a ledger event —
+  // ranges are derivable from Meta, so the coordinator's partition step
+  // seeds the map directly and the ledger records only real issuances.
+  void register_lease(std::uint64_t lease, std::uint64_t begin, std::uint64_t end);
+
+  [[nodiscard]] const std::map<std::uint64_t, LeaseInfo>& leases() const { return leases_; }
+  [[nodiscard]] const std::optional<LeaseRecord>& meta() const { return meta_; }
+  [[nodiscard]] std::uint64_t total_reclaims() const { return total_reclaims_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::map<std::uint64_t, LeaseInfo> leases_;
+  std::optional<LeaseRecord> meta_;
+  std::uint64_t total_reclaims_ = 0;
+};
+
+// --- worker ↔ coordinator files ---------------------------------------------
+
+// What a worker is doing right now. Appended by the worker to its own
+// heartbeat file; the coordinator reads the last valid record. `counter`
+// increases monotonically within one worker process — liveness is "the
+// counter moved", so a wall-clock-free test can fake a frozen worker by
+// simply not appending.
+struct WorkerBeat {
+  std::uint64_t worker = 0;
+  std::uint64_t nonce = 0;  // per-process, so a reused worker id is detectable
+  std::uint64_t counter = 0;
+  std::uint64_t lease = 0;
+  std::uint64_t epoch = 0;  // 0 = idle (no lease)
+  // 0 idle, 1 working, 2 done, 3 abandoned (stale epoch observed), 4 exited
+  std::uint8_t phase = 0;
+  std::uint64_t done_contracts = 0;
+  std::uint64_t failed_functions = 0;
+  std::uint64_t ingest_failures = 0;
+};
+inline constexpr std::uint8_t kBeatIdle = 0;
+inline constexpr std::uint8_t kBeatWorking = 1;
+inline constexpr std::uint8_t kBeatDone = 2;
+inline constexpr std::uint8_t kBeatAbandoned = 3;
+inline constexpr std::uint8_t kBeatExited = 4;
+
+void encode_worker_beat(Encoder& enc, const WorkerBeat& beat);
+[[nodiscard]] bool decode_worker_beat(Decoder& dec, WorkerBeat& beat);
+[[nodiscard]] bool append_worker_beat(const std::string& path, const WorkerBeat& beat);
+// Last structurally valid beat in the file; nullopt for missing/empty/
+// all-corrupt files. Tolerant: a torn final append yields the previous beat.
+[[nodiscard]] std::optional<WorkerBeat> read_last_beat(const std::string& path);
+
+// The coordinator's instruction to one worker, atomically replaced as a
+// whole file so the worker always reads exactly one consistent assignment.
+struct Assignment {
+  // 0 idle (nothing for you right now), 1 run this lease, 2 shut down
+  std::uint8_t kind = 0;
+  std::uint64_t lease = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t shard_bits = 0;
+};
+inline constexpr std::uint8_t kAssignIdle = 0;
+inline constexpr std::uint8_t kAssignLease = 1;
+inline constexpr std::uint8_t kAssignShutdown = 2;
+
+[[nodiscard]] bool write_assignment(const std::string& path, const Assignment& assignment);
+[[nodiscard]] std::optional<Assignment> read_assignment(const std::string& path);
+
+// Well-known paths inside a fleet directory.
+[[nodiscard]] std::string fleet_inputs_path(const std::string& dir);
+[[nodiscard]] std::string fleet_ledger_path(const std::string& dir);
+[[nodiscard]] std::string fleet_beat_path(const std::string& dir, std::uint64_t worker);
+[[nodiscard]] std::string fleet_assignment_path(const std::string& dir, std::uint64_t worker);
+// lease_<L>/e_<E> under `dir` (the epoch-fenced work directory).
+[[nodiscard]] std::string fleet_lease_dir(const std::string& dir, std::uint64_t lease,
+                                          std::uint64_t epoch);
+
+// Input-list materialization: one entry per line (hex bytecode or a file
+// path — LineStreamSource's grammar), written atomically. Workers and
+// coordinator share it so every process derives the same global ordinals.
+[[nodiscard]] bool write_fleet_inputs(const std::string& dir,
+                                      const std::vector<std::string>& entries);
+[[nodiscard]] std::optional<std::vector<std::string>> read_fleet_inputs(const std::string& dir);
+
+// --- worker ------------------------------------------------------------------
+
+struct WorkerOptions {
+  std::string fleet_dir;
+  std::uint64_t worker_id = 0;
+  // Distinguishes this process from an earlier holder of the same worker id
+  // (a coordinator restart respawns ids). Defaults to the pid when 0.
+  std::uint64_t nonce = 0;
+  // Per-function budget and engine knobs for the lease scans (jobs,
+  // flush_interval via journal, etc.). journal/cache/sink/stop fields are
+  // owned by the worker per lease and must be null here.
+  BatchOptions batch;
+  std::size_t flush_interval = 16;
+  // Cadence of the heartbeat appender and the assignment poll. The CLI sets
+  // heartbeat to a quarter of the coordinator's --lease-ttl-ms.
+  double heartbeat_ms = 200;
+  double poll_ms = 25;
+  // Deterministic self-inflicted chaos, in the FaultPlan tradition: work
+  // counts, never clocks. After finishing the Nth contract (across the
+  // process lifetime) the worker raises SIGKILL / SIGSTOP on itself —
+  // a scripted mid-lease crash / partition. 0 disables.
+  std::uint64_t chaos_die_after = 0;
+  std::uint64_t chaos_stall_after = 0;
+  // Test hook: invoked after every finished contract (same thread rules as
+  // BatchOptions::on_contract_done) — lets in-process tests pause a worker
+  // at an exact offset to force a reclaim race without real signals.
+  std::function<void(std::uint64_t done_contracts)> on_progress;
+};
+
+// Outcome of executing one lease assignment.
+struct LeaseRunResult {
+  bool completed = false;  // ran to the end of the range and flushed
+  bool abandoned = false;  // fence observed mid-lease: assignment changed
+  bool io_error = false;   // could not set up the lease work directory
+  std::uint64_t contracts = 0;
+  std::uint64_t failed_functions = 0;
+  std::uint64_t ingest_failures = 0;
+};
+
+// Executes one lease: seeds journal/cache from earlier epochs of the same
+// lease, streams ordinals [begin, end) of `inputs` through the engine with
+// journal + persistent cache + sharded sink in this epoch's directory, and
+// heartbeats progress. Checks the fence (the assignment file) after every
+// contract; on a change it stops gracefully and reports `abandoned`.
+// Exposed for in-process protocol tests; `run_worker` is the process loop.
+[[nodiscard]] LeaseRunResult run_lease(const WorkerOptions& opts, const Assignment& assignment,
+                                       const std::vector<std::string>& inputs);
+
+// The worker process body: poll the assignment file, execute leases, beat,
+// exit on a shutdown assignment. Returns the process exit code (0, or 2
+// when the fleet directory is unusable). `stop` (optional) aborts the loop
+// from a signal handler.
+[[nodiscard]] int run_worker(const WorkerOptions& opts, const std::atomic<bool>* stop = nullptr);
+
+// --- coordinator -------------------------------------------------------------
+
+// Scripted fleet chaos, parsed from the CLI spec string:
+//   die:W@N    spawn worker W with chaos_die_after = N
+//   stall:W@N  spawn worker W with chaos_stall_after = N
+//   cont:W@N   SIGCONT worker W once N lease completions were observed
+//   exit@N     kill spawned workers and exit(kFleetExitChaos) after N
+//              lease completions were observed
+// Tokens are comma-separated: "die:1@7,stall:2@5,cont:2@9,exit@6".
+struct FleetChaos {
+  struct WorkerFault {
+    std::uint64_t worker = 0;
+    std::uint64_t after_contracts = 0;
+  };
+  struct CoordinatorFault {
+    std::uint64_t worker = 0;  // unused for exit
+    std::uint64_t after_completions = 0;
+    bool fired = false;
+  };
+  std::vector<WorkerFault> die;
+  std::vector<WorkerFault> stall;
+  std::vector<CoordinatorFault> cont;
+  std::optional<CoordinatorFault> exit;
+
+  [[nodiscard]] bool any() const {
+    return !die.empty() || !stall.empty() || !cont.empty() || exit.has_value();
+  }
+};
+[[nodiscard]] std::optional<FleetChaos> parse_fleet_chaos(const std::string& spec,
+                                                          std::string* error);
+
+struct FleetOptions {
+  std::string dir;
+  std::size_t lease_size = 64;
+  double lease_ttl_ms = 5000;
+  // Worker processes the coordinator spawns (0: attach-only — external
+  // --worker processes do the scanning). Spawn needs `worker_argv0`.
+  unsigned spawn_workers = 0;
+  std::string worker_argv0;
+  // Extra argv passed through to every spawned worker (--jobs, --deadline-ms,
+  // --flush-interval ...).
+  std::vector<std::string> worker_args;
+  int shard_bits = 0;
+  double poll_ms = 25;
+  FleetChaos chaos;
+};
+
+// Aggregate outcome of a fleet scan, including everything replayed from
+// earlier coordinator incarnations.
+struct FleetReport {
+  std::uint64_t leases = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t reclaims = 0;        // issuances that died (TTL, crash, restart)
+  std::uint64_t stale_abandons = 0;  // fenced workers that noticed and backed off
+  std::uint64_t worker_deaths = 0;   // spawned processes that exited abnormally
+  std::uint64_t failed_functions = 0;
+  std::uint64_t ingest_failures = 0;
+  LoadStats ledger_load;
+
+  // A degraded run completed only by re-leasing work — the output is still
+  // byte-identical, but an operator should know the fleet absorbed failures.
+  [[nodiscard]] bool degraded() const { return reclaims != 0; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+class FleetCoordinator {
+ public:
+  // `inputs` may be empty when the fleet directory already holds an
+  // inputs.list (a coordinator restart reuses it).
+  FleetCoordinator(FleetOptions opts, std::vector<std::string> inputs);
+
+  // Creates/validates the fleet directory, materializes or reloads
+  // inputs.list, replays the ledger, reclaims every in-flight issuance (a
+  // starting coordinator trusts no prior worker), and partitions the input
+  // space into leases. False on any setup error (`error` says why).
+  [[nodiscard]] bool init(std::string* error);
+
+  // One deterministic scheduling step at coordinator time `now_ms`
+  // (injectable — tests drive a fake clock): observe heartbeats, record
+  // renewals, accept current-epoch completions, reclaim TTL-lapsed
+  // issuances, and (re-)issue pending leases to live idle workers.
+  void tick(double now_ms);
+
+  // True once every lease is completed.
+  [[nodiscard]] bool done() const;
+
+  // Registers a worker the coordinator should schedule onto (tests and the
+  // spawn path both go through this). `pid` < 0 for attached workers.
+  void add_worker(std::uint64_t id, long pid = -1);
+
+  // Marks a spawned worker as dead (the reap path) so its issuance is
+  // reclaimed immediately instead of waiting out the TTL.
+  void worker_died(std::uint64_t id);
+
+  // Full process-mode run: spawn workers, tick on the real clock, reap and
+  // respawn dead children, apply scripted chaos, shut down, and leave the
+  // fleet directory ready for finish(). Returns a CLI exit code
+  // (0 clean so far, kFleetExitChaos on a scripted exit, 2 on setup errors).
+  [[nodiscard]] int run();
+
+  // Merge step, callable after done(): unions every lease/epoch cache into
+  // `cache_file` (compact_from through the atomic-write path; empty = skip)
+  // and merges every shard file into the canonical TSV.
+  [[nodiscard]] std::string merge_output(const std::string& cache_file, MergeStats* stats,
+                                         bool* ok) const;
+
+  [[nodiscard]] FleetReport report() const;
+  [[nodiscard]] const LeaseLedger& ledger() const { return ledger_; }
+  [[nodiscard]] std::size_t input_count() const { return inputs_.size(); }
+
+ private:
+  struct WorkerSlot {
+    std::uint64_t id = 0;
+    long pid = -1;           // spawned process id; -1 = attached
+    bool dead = false;       // reaped / presumed gone; never scheduled again
+    double last_alive = 0;   // coordinator time of the last counter movement
+    std::uint64_t last_counter = 0;
+    std::uint64_t last_nonce = 0;
+    bool seen = false;       // any beat observed yet
+    std::uint64_t assigned_lease = 0;  // 0 = idle (lease ids are 1-based)
+    // Last assignment written for this worker, so tick() only rewrites the
+    // file when the instruction actually changes.
+    std::optional<Assignment> last_written;
+  };
+
+  struct StaleKey {
+    std::uint64_t worker = 0;
+    std::uint64_t lease = 0;
+    std::uint64_t epoch = 0;
+    friend bool operator<(const StaleKey& x, const StaleKey& y) {
+      if (x.worker != y.worker) return x.worker < y.worker;
+      if (x.lease != y.lease) return x.lease < y.lease;
+      return x.epoch < y.epoch;
+    }
+  };
+
+  void issue_pending(double now_ms);
+  void reclaim(std::uint64_t lease_id, const char* reason);
+  [[nodiscard]] bool spawn_worker(std::uint64_t id);
+  void observe_beats(double now_ms);
+
+  FleetOptions opts_;
+  std::vector<std::string> inputs_;
+  LeaseLedger ledger_;
+  std::map<std::uint64_t, WorkerSlot> workers_;
+  std::map<long, std::uint64_t> pid_to_worker_;
+  std::uint64_t next_worker_id_ = 0;
+  std::uint64_t completions_observed_ = 0;  // chaos trigger counter
+  std::uint64_t issues_observed_ = 0;
+  std::uint64_t stale_abandons_ = 0;
+  std::uint64_t worker_deaths_ = 0;
+  // (worker, lease, epoch) triples whose stale terminal beat was already
+  // counted, so one abandoned worker is one abandon however often it beats.
+  std::set<StaleKey> counted_stale_;
+  LoadStats ledger_load_;
+  bool init_ok_ = false;
+};
+
+// The worker-visible half of lease execution, shared with the CLI: build
+// the [begin, end) slice of `inputs` as a ContractSource with global
+// ordinals (hex lines and file paths, LineStreamSource grammar).
+[[nodiscard]] std::unique_ptr<ContractSource> make_lease_source(
+    const std::vector<std::string>& inputs, std::uint64_t begin, std::uint64_t end);
+
+}  // namespace sigrec::core

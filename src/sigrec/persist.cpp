@@ -7,6 +7,7 @@
 
 #ifndef _WIN32
 #include <dirent.h>
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 #endif
@@ -311,6 +312,21 @@ bool atomic_write_file(const std::string& path, std::string_view content) {
     std::remove(tmp.c_str());
     return false;
   }
+#ifndef _WIN32
+  // The rename itself lives in the parent directory's data; until that is
+  // synced, a power loss can forget the new name even though the file's
+  // bytes are durable. fsync the directory so the journal/ledger rename
+  // survives power loss, not just process death. Best-effort: some
+  // filesystems reject fsync on a directory fd, and at that point the file
+  // contents are already safe and the rename already happened.
+  std::size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    (void)::close(dfd);
+  }
+#endif
   return true;
 }
 

@@ -56,6 +56,11 @@ inline constexpr std::uint8_t kRecordCacheEntry = 1;
 inline constexpr std::uint8_t kRecordScanEntry = 2;
 // One recovered function routed to a selector shard (see shard.hpp).
 inline constexpr std::uint8_t kRecordSignatureEntry = 3;
+// Fleet coordination records (see fleet.hpp): lease-ledger events, worker
+// heartbeats, and coordinator-to-worker assignments.
+inline constexpr std::uint8_t kRecordLeaseEvent = 4;
+inline constexpr std::uint8_t kRecordWorkerBeat = 5;
+inline constexpr std::uint8_t kRecordAssignment = 6;
 // Upper bound on a single record's payload; a corrupted length field must
 // not translate into a multi-gigabyte allocation.
 inline constexpr std::uint32_t kMaxRecordPayload = 64u << 20;
@@ -147,10 +152,12 @@ void encode_cached_contract(Encoder& enc, const evm::Hash256& code_hash,
 
 // --- file helpers ------------------------------------------------------------
 
-// Writes `content` to `<path>.tmp.<pid>` in the same directory, flushes it,
-// then renames over `path`. A killed run leaves either the old file or the
-// new one, never a truncated hybrid. Returns false (with the old file
-// intact) on any I/O error.
+// Writes `content` to `<path>.tmp.<pid>` in the same directory, fsyncs it,
+// renames over `path`, then fsyncs the parent directory so the rename itself
+// is durable across power loss (best-effort — a filesystem that rejects
+// directory fsync still gets the process-death guarantee). A killed run
+// leaves either the old file or the new one, never a truncated hybrid.
+// Returns false (with the old file intact) on any I/O error.
 [[nodiscard]] bool atomic_write_file(const std::string& path, std::string_view content);
 
 // Whole-file read; nullopt when the file cannot be opened (a missing cache

@@ -7,9 +7,7 @@
 
 namespace sigrec::core {
 
-namespace {
-
-SourceItem hex_item(std::size_t ordinal, std::string label, const std::string& hex) {
+SourceItem make_hex_item(std::size_t ordinal, std::string label, const std::string& hex) {
   SourceItem item;
   item.ordinal = ordinal;
   item.label = std::move(label);
@@ -22,7 +20,7 @@ SourceItem hex_item(std::size_t ordinal, std::string label, const std::string& h
   return item;
 }
 
-SourceItem file_item(std::size_t ordinal, const std::string& path) {
+SourceItem make_file_item(std::size_t ordinal, const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     SourceItem item;
@@ -33,13 +31,13 @@ SourceItem file_item(std::size_t ordinal, const std::string& path) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return hex_item(ordinal, path, buf.str());
+  return make_hex_item(ordinal, path, buf.str());
 }
 
 // A line is literal bytecode when it can only be hex: 0x-prefixed, or bare
 // hex digits throughout. Anything else is treated as a path (paths with a
 // purely-hex name are indistinguishable; 0x-prefix them as data instead).
-bool looks_like_hex(const std::string& line) {
+bool line_looks_like_hex(const std::string& line) {
   if (line.size() >= 2 && line[0] == '0' && (line[1] == 'x' || line[1] == 'X')) return true;
   for (char c : line) {
     if (std::isxdigit(static_cast<unsigned char>(c)) == 0) return false;
@@ -47,15 +45,13 @@ bool looks_like_hex(const std::string& line) {
   return !line.empty();
 }
 
-std::string trimmed(const std::string& s) {
+std::string trim_line(const std::string& s) {
   std::size_t begin = 0;
   std::size_t end = s.size();
   while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])) != 0) ++begin;
   while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])) != 0) --end;
   return s.substr(begin, end - begin);
 }
-
-}  // namespace
 
 std::optional<SourceItem> SpanSource::next() {
   if (pos_ >= codes_.size()) return std::nullopt;
@@ -70,25 +66,25 @@ std::optional<SourceItem> SpanSource::next() {
 std::optional<SourceItem> HexListSource::next() {
   if (pos_ >= entries_.size()) return std::nullopt;
   const Entry& entry = entries_[pos_];
-  return hex_item(pos_++, entry.label, entry.hex);
+  return make_hex_item(pos_++, entry.label, entry.hex);
 }
 
 std::optional<SourceItem> FileListSource::next() {
   if (pos_ >= paths_.size()) return std::nullopt;
   const std::string& path = paths_[pos_];
-  return file_item(pos_++, path);
+  return make_file_item(pos_++, path);
 }
 
 std::optional<SourceItem> LineStreamSource::next() {
   std::string raw;
   while (std::getline(in_, raw)) {
     ++line_;
-    std::string line = trimmed(raw);
+    std::string line = trim_line(raw);
     if (line.empty() || line[0] == '#') continue;  // blank / comment: no ordinal
     std::string label = label_prefix_ + ":" + std::to_string(line_);
-    if (looks_like_hex(line)) return hex_item(ordinal_++, std::move(label), line);
+    if (line_looks_like_hex(line)) return make_hex_item(ordinal_++, std::move(label), line);
     // A path line: the file's own name is more useful than the line number.
-    SourceItem item = file_item(ordinal_, line);
+    SourceItem item = make_file_item(ordinal_, line);
     if (item.failed()) item.label = label + " (" + line + ")";
     ++ordinal_;
     return item;

@@ -70,6 +70,16 @@ struct SourceStats {
   [[nodiscard]] std::string to_string() const;
 };
 
+// Shared item constructors for sources speaking the line grammar ("a line is
+// hex bytecode or a path to a .hex file") — LineStreamSource and the fleet's
+// lease slices (fleet.hpp) must classify and error identically, so the logic
+// lives here once.
+[[nodiscard]] SourceItem make_hex_item(std::size_t ordinal, std::string label,
+                                       const std::string& hex);
+[[nodiscard]] SourceItem make_file_item(std::size_t ordinal, const std::string& path);
+[[nodiscard]] bool line_looks_like_hex(const std::string& line);
+[[nodiscard]] std::string trim_line(const std::string& s);
+
 // Pull-based contract stream. Implementations are driven from a single
 // ingestion thread and need not be thread-safe; they must number items with
 // consecutive ordinals starting at 0 (ChainSource renumbers when composing).
@@ -85,6 +95,13 @@ class ContractSource {
   // lists); nullopt for unbounded streams (stdin). recover_stream uses this
   // to account for entries a graceful stop prevented from being ingested.
   [[nodiscard]] virtual std::optional<std::size_t> size_hint() const { return std::nullopt; }
+
+  // First ordinal this source emits. 0 for every standalone source; a fleet
+  // worker scanning lease [begin, end) of a shared input list overrides this
+  // so its journal/shard keys are the GLOBAL ordinals, and the engine's
+  // stopped-scan accounting (which synthesizes interrupted reports for
+  // never-ingested entries) numbers them base + i instead of assuming 0.
+  [[nodiscard]] virtual std::size_t ordinal_base() const { return 0; }
 
   // Fetch metrics for sources that pull entries over a network; nullopt for
   // local sources. Read by recover_stream after the ingestion thread joins.

@@ -593,10 +593,27 @@ std::optional<SourceStats> RpcSource::stats() const {
   return s;
 }
 
-bool RpcSource::backoff_wait(int attempt) {
-  std::int64_t base = std::max(1, opts_.backoff_base_ms);
-  std::int64_t wait_ms = attempt >= 31 ? opts_.backoff_cap_ms : (base << (attempt - 1));
-  wait_ms = std::min<std::int64_t>(wait_ms, std::max(1, opts_.backoff_cap_ms));
+std::int64_t backoff_delay_ms(const RpcOptions& opts, int attempt, std::uint64_t sequence) {
+  std::int64_t base = std::max(1, opts.backoff_base_ms);
+  std::int64_t wait_ms = attempt >= 31 ? opts.backoff_cap_ms : (base << (attempt - 1));
+  wait_ms = std::min<std::int64_t>(wait_ms, std::max(1, opts.backoff_cap_ms));
+  if (opts.backoff_jitter_seed != 0) {
+    // splitmix64 over (seed, sequence): a fixed, platform-independent hash,
+    // so a given seed always yields the same schedule — deterministic per
+    // worker, decorrelated across workers.
+    std::uint64_t x = opts.backoff_jitter_seed * 0x9e3779b97f4a7c15ull + sequence;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    wait_ms += static_cast<std::int64_t>(x % static_cast<std::uint64_t>(wait_ms / 2 + 1));
+  }
+  return wait_ms;
+}
+
+bool RpcSource::backoff_wait(int attempt, std::uint64_t sequence) {
+  std::int64_t wait_ms = backoff_delay_ms(opts_, attempt, sequence);
   Clock::time_point end = Clock::now() + std::chrono::milliseconds(wait_ms);
   // Chunked sleep so destruction doesn't wait out a long backoff.
   while (Clock::now() < end) {
@@ -621,8 +638,8 @@ void RpcSource::fetch_batch(std::size_t begin, std::size_t end, std::vector<Sour
 
   for (int attempt = 0; attempt <= opts_.max_retries && unresolved > 0; ++attempt) {
     if (attempt > 0) {
-      retries_.fetch_add(1, std::memory_order_relaxed);
-      if (!backoff_wait(attempt)) break;
+      std::uint64_t sequence = retries_.fetch_add(1, std::memory_order_relaxed);
+      if (!backoff_wait(attempt, sequence)) break;
     }
     if (stop_.load(std::memory_order_relaxed)) break;
 

@@ -102,6 +102,17 @@ struct HttpResult {
 
 // --- RpcSource ---------------------------------------------------------------
 
+struct RpcOptions;
+
+// The backoff delay before retry `attempt` (1-based) of some request, given
+// that `sequence` retries have happened on this source so far (the jitter
+// decorrelator — successive retries jitter differently). Pure function of
+// its arguments so the schedule is unit-testable: the un-jittered ladder is
+// min(base << (attempt-1), cap); a non-zero opts.backoff_jitter_seed adds
+// hash(seed, sequence) % (delay/2 + 1) on top (never past 1.5 * cap).
+[[nodiscard]] std::int64_t backoff_delay_ms(const RpcOptions& opts, int attempt,
+                                            std::uint64_t sequence);
+
 struct RpcOptions {
   // Wall-clock budget for one HTTP exchange (connect + send + full read). A
   // slow-loris node that trickles bytes forever is cut off here.
@@ -111,11 +122,20 @@ struct RpcOptions {
   // error item — the per-address failure budget of the ISSUE contract.
   int max_retries = 4;
   // Deterministic backoff before retry attempt k (1-based):
-  // min(backoff_base_ms << (k-1), backoff_cap_ms). No jitter — determinism
-  // is worth more to this pipeline than thundering-herd smoothing, and a
-  // scan fleet shards addresses, not retry timing.
+  // min(backoff_base_ms << (k-1), backoff_cap_ms), plus — when
+  // backoff_jitter_seed != 0 — a seeded deterministic jitter (below). With
+  // seed 0 the ladder is exactly the jitter-free schedule tests script
+  // against.
   int backoff_base_ms = 50;
   int backoff_cap_ms = 2000;
+  // Thundering-herd smoothing for fleets: a whole fleet of workers hitting
+  // one 429'd node with the jitter-free ladder retries in lockstep and hits
+  // it again as one burst. A non-zero seed (the fleet passes worker id + 1)
+  // adds a per-retry jitter of up to half the base delay, derived from
+  // (seed, retry sequence number) by a fixed hash — fully deterministic for
+  // a given seed, so tests can still script exact schedules, but
+  // decorrelated across workers.
+  std::uint64_t backoff_jitter_seed = 0;
   // Addresses per JSON-RPC batch request.
   std::size_t batch_size = 16;
   // Decoded items buffered ahead of the consumer (the internal
@@ -155,7 +175,9 @@ class RpcSource final : public ContractSource {
   // Fetches `addresses_[begin, end)` as one JSON-RPC batch with retries;
   // appends one SourceItem per address, in order, to `out`.
   void fetch_batch(std::size_t begin, std::size_t end, std::vector<SourceItem>& out);
-  bool backoff_wait(int attempt);  // false: stop requested mid-wait
+  // Sleeps out backoff_delay_ms(opts_, attempt, sequence); false: stop
+  // requested mid-wait.
+  bool backoff_wait(int attempt, std::uint64_t sequence);
 
   const std::string url_text_;
   // Declared before url_: the url_ initializer writes the parse error here,

@@ -1,0 +1,673 @@
+// Distributed scan fleet: lease-ledger state machine (double-claim, epoch
+// fencing, reclaim), ledger corruption tolerance, coordinator scheduling
+// against a fake clock, worker lease execution with resume-across-epochs,
+// and the headline guarantee — an in-process fleet's merged database is
+// byte-identical to a single-process scan of the same inputs.
+//
+// Everything here is deterministic: the coordinator runs on an injected
+// clock, liveness is beat-counter movement (a frozen worker is simulated by
+// not appending), and crashes are simulated by fencing assignments rather
+// than real signals. The real SIGKILL/SIGSTOP chaos runs out of process in
+// the CI smoke.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compiler/compile.hpp"
+#include "sigrec/batch.hpp"
+#include "sigrec/fleet.hpp"
+#include "sigrec/persist.hpp"
+#include "sigrec/rpc.hpp"
+#include "sigrec/shard.hpp"
+
+namespace sigrec {
+namespace {
+
+using core::Assignment;
+using core::FleetCoordinator;
+using core::FleetOptions;
+using core::LeaseEvent;
+using core::LeaseInfo;
+using core::LeaseLedger;
+using core::LeaseRecord;
+using core::WorkerBeat;
+
+std::string temp_dir(const char* name) {
+  std::string dir =
+      testing::TempDir() + "sigrec_fleet_" + name + "." + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0777);
+  return dir;
+}
+
+// A small corpus of distinct contracts, as hex input lines.
+std::vector<std::string> corpus_lines(std::size_t n) {
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto spec = compiler::make_contract(
+        "F" + std::to_string(i), {},
+        {compiler::make_function("alpha" + std::to_string(i), {"address", "uint256"}),
+         compiler::make_function("beta" + std::to_string(i), {"bytes", "bool"})});
+    lines.push_back(compiler::compile_contract(spec).to_hex());
+  }
+  return lines;
+}
+
+LeaseRecord issued(std::uint64_t lease, std::uint64_t epoch, std::uint64_t worker,
+                   std::uint64_t begin, std::uint64_t end) {
+  LeaseRecord rec;
+  rec.event = LeaseEvent::Issued;
+  rec.lease = lease;
+  rec.epoch = epoch;
+  rec.worker = worker;
+  rec.begin = begin;
+  rec.end = end;
+  return rec;
+}
+
+LeaseRecord completed(std::uint64_t lease, std::uint64_t epoch, std::uint64_t worker) {
+  LeaseRecord rec;
+  rec.event = LeaseEvent::Completed;
+  rec.lease = lease;
+  rec.epoch = epoch;
+  rec.worker = worker;
+  return rec;
+}
+
+LeaseRecord reclaimed(std::uint64_t lease, std::uint64_t epoch) {
+  LeaseRecord rec;
+  rec.event = LeaseEvent::Reclaimed;
+  rec.lease = lease;
+  rec.epoch = epoch;
+  return rec;
+}
+
+// --- codecs ------------------------------------------------------------------
+
+TEST(FleetCodecTest, LeaseRecordRoundTrip) {
+  LeaseRecord rec;
+  rec.event = LeaseEvent::Completed;
+  rec.lease = 7;
+  rec.epoch = 3;
+  rec.worker = 12;
+  rec.begin = 448;
+  rec.end = 512;
+  rec.a = 5;
+  rec.b = 1;
+  core::Encoder enc;
+  core::encode_lease_record(enc, rec);
+  core::Decoder dec(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(enc.bytes().data()), enc.bytes().size()));
+  LeaseRecord back;
+  ASSERT_TRUE(core::decode_lease_record(dec, back));
+  EXPECT_EQ(back.event, rec.event);
+  EXPECT_EQ(back.lease, rec.lease);
+  EXPECT_EQ(back.epoch, rec.epoch);
+  EXPECT_EQ(back.worker, rec.worker);
+  EXPECT_EQ(back.begin, rec.begin);
+  EXPECT_EQ(back.end, rec.end);
+  EXPECT_EQ(back.a, rec.a);
+  EXPECT_EQ(back.b, rec.b);
+}
+
+TEST(FleetCodecTest, BeatFileYieldsLastValidRecordDespiteTornTail) {
+  std::string dir = temp_dir("beats");
+  std::string path = core::fleet_beat_path(dir, 1);
+  WorkerBeat beat;
+  beat.worker = 1;
+  beat.nonce = 42;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    beat.counter = i;
+    beat.phase = core::kBeatWorking;
+    beat.lease = 2;
+    beat.epoch = 1;
+    ASSERT_TRUE(core::append_worker_beat(path, beat));
+  }
+  // Tear the final append mid-record: the previous beat must survive.
+  auto bytes = core::read_file_bytes(path);
+  ASSERT_TRUE(bytes.has_value());
+  ASSERT_TRUE(core::atomic_write_file(path, bytes->substr(0, bytes->size() - 7)));
+  auto last = core::read_last_beat(path);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->counter, 4u);
+  EXPECT_EQ(last->nonce, 42u);
+}
+
+TEST(FleetCodecTest, AssignmentAtomicReplaceRoundTrip) {
+  std::string dir = temp_dir("assign");
+  std::string path = core::fleet_assignment_path(dir, 3);
+  EXPECT_FALSE(core::read_assignment(path).has_value());
+  Assignment a;
+  a.kind = core::kAssignLease;
+  a.lease = 9;
+  a.epoch = 2;
+  a.begin = 512;
+  a.end = 576;
+  a.shard_bits = 4;
+  ASSERT_TRUE(core::write_assignment(path, a));
+  auto back = core::read_assignment(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->lease, 9u);
+  EXPECT_EQ(back->epoch, 2u);
+  Assignment shutdown;
+  shutdown.kind = core::kAssignShutdown;
+  ASSERT_TRUE(core::write_assignment(path, shutdown));
+  back = core::read_assignment(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->kind, core::kAssignShutdown);
+}
+
+// --- lease state machine -----------------------------------------------------
+
+TEST(LeaseLedgerTest, DoubleClaimRaceLaterIssueWins) {
+  LeaseLedger ledger("unused");
+  ledger.apply(issued(1, 1, /*worker=*/4, 0, 64));
+  ledger.apply(issued(1, 1, /*worker=*/9, 0, 64));  // same epoch, second claimant
+  const LeaseInfo& info = ledger.leases().at(1);
+  EXPECT_TRUE(info.in_flight);
+  EXPECT_EQ(info.worker, 9u);  // the ledger is the arbiter: last writer holds it
+  // Only the arbitrated holder's completion lands.
+  ledger.apply(completed(1, 1, 4));
+  EXPECT_TRUE(ledger.leases().at(1).completed);  // epoch matches — worker identity
+                                                 // is advisory once epochs agree
+}
+
+TEST(LeaseLedgerTest, StaleEpochCompletionIsFenced) {
+  LeaseLedger ledger("unused");
+  ledger.apply(issued(1, 1, 4, 0, 64));
+  ledger.apply(reclaimed(1, 1));
+  ledger.apply(issued(1, 2, 7, 0, 64));
+  // The reclaimed worker wakes up and reports done at its old epoch.
+  ledger.apply(completed(1, /*epoch=*/1, 4));
+  EXPECT_FALSE(ledger.leases().at(1).completed);
+  EXPECT_TRUE(ledger.leases().at(1).in_flight);
+  // The current epoch's holder completes for real.
+  ledger.apply(completed(1, 2, 7));
+  EXPECT_TRUE(ledger.leases().at(1).completed);
+  EXPECT_EQ(ledger.leases().at(1).completed_epoch, 2u);
+}
+
+TEST(LeaseLedgerTest, CompletedIsTerminal) {
+  LeaseLedger ledger("unused");
+  ledger.apply(issued(1, 1, 4, 0, 64));
+  ledger.apply(completed(1, 1, 4));
+  ledger.apply(issued(1, 2, 9, 0, 64));  // must be ignored
+  EXPECT_TRUE(ledger.leases().at(1).completed);
+  EXPECT_FALSE(ledger.leases().at(1).in_flight);
+  ledger.apply(reclaimed(1, 1));
+  EXPECT_TRUE(ledger.leases().at(1).completed);
+}
+
+TEST(LeaseLedgerTest, ReplayFromDiskRestoresState) {
+  std::string dir = temp_dir("ledger");
+  std::string path = core::fleet_ledger_path(dir);
+  {
+    LeaseLedger ledger(path);
+    ASSERT_TRUE(ledger.append(issued(1, 1, 4, 0, 64)));
+    ASSERT_TRUE(ledger.append(completed(1, 1, 4)));
+    ASSERT_TRUE(ledger.append(issued(2, 1, 5, 64, 128)));
+    ASSERT_TRUE(ledger.append(reclaimed(2, 1)));
+    ASSERT_TRUE(ledger.append(issued(2, 2, 6, 64, 128)));
+  }
+  LeaseLedger replay(path);
+  core::LoadStats stats = replay.load();
+  EXPECT_EQ(stats.loaded, 5u);
+  EXPECT_EQ(stats.skipped(), 0u);
+  EXPECT_TRUE(replay.leases().at(1).completed);
+  EXPECT_TRUE(replay.leases().at(2).in_flight);
+  EXPECT_EQ(replay.leases().at(2).epoch, 2u);
+  EXPECT_EQ(replay.total_reclaims(), 1u);
+}
+
+// Corruption sweep: flip one byte at every offset of a real ledger image.
+// The tolerant loader must never crash, and — because the state machine is
+// monotone — a completion that survives the damage must be one that was
+// genuinely recorded; damage only ever loses events (tail semantics), it
+// never invents them.
+TEST(LeaseLedgerTest, CorruptionSweepLosesEventsNeverInventsThem) {
+  std::string dir = temp_dir("sweep");
+  std::string path = core::fleet_ledger_path(dir);
+  {
+    LeaseLedger ledger(path);
+    ASSERT_TRUE(ledger.append(issued(1, 1, 4, 0, 64)));
+    ASSERT_TRUE(ledger.append(completed(1, 1, 4)));
+    ASSERT_TRUE(ledger.append(issued(2, 1, 5, 64, 100)));
+  }
+  auto pristine = core::read_file_bytes(path);
+  ASSERT_TRUE(pristine.has_value());
+
+  for (std::size_t i = 0; i < pristine->size(); ++i) {
+    std::string damaged = *pristine;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x5a);
+    ASSERT_TRUE(core::atomic_write_file(path, damaged));
+    LeaseLedger ledger(path);
+    core::LoadStats stats = ledger.load();
+    EXPECT_LE(stats.loaded, 3u) << "offset " << i;
+    EXPECT_GE(stats.loaded + stats.skipped(), 1u) << "offset " << i;
+    // No invented state: lease 1 may only be completed if both its events
+    // survived, and no lease beyond {1, 2} can exist.
+    for (const auto& [id, info] : ledger.leases()) {
+      EXPECT_TRUE(id == 1 || id == 2) << "offset " << i;
+      if (info.completed) {
+        EXPECT_EQ(id, 1u) << "offset " << i;
+      }
+    }
+  }
+
+  // Truncation sweep: a torn tail loses at most the trailing events.
+  for (std::size_t keep = 0; keep < pristine->size(); keep += 7) {
+    ASSERT_TRUE(core::atomic_write_file(path, pristine->substr(0, keep)));
+    LeaseLedger ledger(path);
+    core::LoadStats stats = ledger.load();
+    EXPECT_LE(stats.loaded, 3u) << "keep " << keep;
+    if (ledger.leases().count(2) != 0) {
+      // The last event decoded — everything before it must have, too.
+      EXPECT_TRUE(ledger.leases().at(1).completed) << "keep " << keep;
+    }
+  }
+}
+
+// --- chaos spec --------------------------------------------------------------
+
+TEST(FleetChaosTest, ParsesFullSpec) {
+  std::string error;
+  auto chaos = core::parse_fleet_chaos("die:1@7,stall:2@5,cont:2@9,exit@6", &error);
+  ASSERT_TRUE(chaos.has_value()) << error;
+  ASSERT_EQ(chaos->die.size(), 1u);
+  EXPECT_EQ(chaos->die[0].worker, 1u);
+  EXPECT_EQ(chaos->die[0].after_contracts, 7u);
+  ASSERT_EQ(chaos->stall.size(), 1u);
+  ASSERT_EQ(chaos->cont.size(), 1u);
+  EXPECT_EQ(chaos->cont[0].after_completions, 9u);
+  ASSERT_TRUE(chaos->exit.has_value());
+  EXPECT_EQ(chaos->exit->after_completions, 6u);
+  EXPECT_TRUE(chaos->any());
+}
+
+TEST(FleetChaosTest, RejectsMalformedSpecs) {
+  std::string error;
+  EXPECT_FALSE(core::parse_fleet_chaos("die:1", &error).has_value());
+  EXPECT_FALSE(core::parse_fleet_chaos("die@7", &error).has_value());
+  EXPECT_FALSE(core::parse_fleet_chaos("burn:1@7", &error).has_value());
+  EXPECT_FALSE(core::parse_fleet_chaos("die:x@7", &error).has_value());
+  EXPECT_FALSE(core::parse_fleet_chaos("exit@1,exit@2", &error).has_value());
+  EXPECT_TRUE(core::parse_fleet_chaos("", &error).has_value());  // empty = no chaos
+}
+
+// --- deterministic backoff jitter (rpc.hpp) ----------------------------------
+
+TEST(FleetBackoffTest, JitterIsDeterministicBoundedAndSeedDependent) {
+  core::RpcOptions opts;
+  opts.backoff_base_ms = 100;
+  opts.backoff_cap_ms = 5000;
+  // Seed 0: the exact unjittered ladder.
+  EXPECT_EQ(core::backoff_delay_ms(opts, 1, 0), 100);
+  EXPECT_EQ(core::backoff_delay_ms(opts, 2, 0), 200);
+  EXPECT_EQ(core::backoff_delay_ms(opts, 3, 7), 400);  // sequence ignored unseeded
+
+  opts.backoff_jitter_seed = 1;
+  const std::int64_t base = 200;
+  std::int64_t a = core::backoff_delay_ms(opts, 2, 0);
+  std::int64_t b = core::backoff_delay_ms(opts, 2, 1);
+  EXPECT_EQ(a, core::backoff_delay_ms(opts, 2, 0));  // same (seed, sequence): same delay
+  EXPECT_GE(a, base);
+  EXPECT_LE(a, base + base / 2);  // jitter adds at most half the delay
+  EXPECT_GE(b, base);
+  EXPECT_LE(b, base + base / 2);
+
+  opts.backoff_jitter_seed = 2;
+  bool any_difference = false;
+  for (std::uint64_t seq = 0; seq < 32 && !any_difference; ++seq) {
+    core::RpcOptions other = opts;
+    other.backoff_jitter_seed = 1;
+    any_difference = core::backoff_delay_ms(opts, 2, seq) !=
+                     core::backoff_delay_ms(other, 2, seq);
+  }
+  EXPECT_TRUE(any_difference);  // two workers' ladders actually de-synchronize
+}
+
+// --- coordinator scheduling (fake clock, scripted beats) ---------------------
+
+struct CoordinatorHarness {
+  std::string dir;
+  FleetCoordinator coordinator;
+
+  CoordinatorHarness(const char* name, std::vector<std::string> inputs, std::size_t lease_size,
+                     double ttl_ms)
+      : dir(temp_dir(name)), coordinator(make_options(dir, lease_size, ttl_ms),
+                                         std::move(inputs)) {}
+
+  static FleetOptions make_options(const std::string& dir, std::size_t lease_size,
+                                   double ttl_ms) {
+    FleetOptions opts;
+    opts.dir = dir;
+    opts.lease_size = lease_size;
+    opts.lease_ttl_ms = ttl_ms;
+    return opts;
+  }
+
+  void beat(std::uint64_t worker, std::uint64_t counter, std::uint64_t lease,
+            std::uint64_t epoch, std::uint8_t phase) {
+    WorkerBeat b;
+    b.worker = worker;
+    b.nonce = 100 + worker;
+    b.counter = counter;
+    b.lease = lease;
+    b.epoch = epoch;
+    b.phase = phase;
+    ASSERT_TRUE(core::append_worker_beat(core::fleet_beat_path(dir, worker), b));
+  }
+
+  std::optional<Assignment> assignment(std::uint64_t worker) {
+    return core::read_assignment(core::fleet_assignment_path(dir, worker));
+  }
+};
+
+TEST(FleetCoordinatorTest, IssuesLeasesAndAcceptsCompletions) {
+  CoordinatorHarness h("sched", corpus_lines(5), /*lease_size=*/2, /*ttl_ms=*/1000);
+  std::string error;
+  ASSERT_TRUE(h.coordinator.init(&error)) << error;
+  h.coordinator.add_worker(1);
+  h.coordinator.tick(0);
+
+  // 5 inputs / lease 2 → 3 leases; the tail lease covers the odd ordinal.
+  EXPECT_EQ(h.coordinator.ledger().leases().size(), 3u);
+  auto a = h.assignment(1);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->kind, core::kAssignLease);
+  EXPECT_EQ(a->lease, 1u);
+  EXPECT_EQ(a->epoch, 1u);
+  EXPECT_EQ(a->begin, 0u);
+  EXPECT_EQ(a->end, 2u);
+
+  // Worker finishes lease 1 → coordinator records Completed, issues lease 2.
+  h.beat(1, 1, 1, 1, core::kBeatDone);
+  h.coordinator.tick(10);
+  EXPECT_TRUE(h.coordinator.ledger().leases().at(1).completed);
+  h.coordinator.tick(20);
+  a = h.assignment(1);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->lease, 2u);
+
+  h.beat(1, 2, 2, 1, core::kBeatDone);
+  h.coordinator.tick(30);
+  h.coordinator.tick(40);
+  a = h.assignment(1);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->lease, 3u);
+  EXPECT_EQ(a->begin, 4u);
+  EXPECT_EQ(a->end, 5u);  // zero-address tail: one-entry lease
+  h.beat(1, 3, 3, 1, core::kBeatDone);
+  h.coordinator.tick(50);
+  EXPECT_TRUE(h.coordinator.done());
+  EXPECT_FALSE(h.coordinator.report().degraded());
+}
+
+TEST(FleetCoordinatorTest, TtlLapseReclaimsAndFencesStaleCompletion) {
+  CoordinatorHarness h("ttl", corpus_lines(2), /*lease_size=*/2, /*ttl_ms=*/100);
+  std::string error;
+  ASSERT_TRUE(h.coordinator.init(&error)) << error;
+  h.coordinator.add_worker(1);
+  h.coordinator.add_worker(2);
+  h.coordinator.tick(0);
+  auto a1 = h.assignment(1);
+  ASSERT_TRUE(a1.has_value());
+  EXPECT_EQ(a1->lease, 1u);
+
+  // Worker 1 beats once, then freezes (no more appends). The TTL lapses and
+  // the lease is re-issued at epoch 2 — to whichever idle worker is live.
+  h.beat(1, 1, 1, 1, core::kBeatWorking);
+  h.beat(2, 1, 0, 0, core::kBeatIdle);
+  h.coordinator.tick(10);
+  for (double t = 20; t <= 250; t += 10) {
+    h.beat(2, static_cast<std::uint64_t>(t), 0, 0, core::kBeatIdle);
+    h.coordinator.tick(t);
+  }
+  const LeaseInfo& info = h.coordinator.ledger().leases().at(1);
+  EXPECT_EQ(info.epoch, 2u);
+  EXPECT_TRUE(info.in_flight);
+  EXPECT_EQ(h.coordinator.report().reclaims, 1u);
+
+  // The frozen worker thaws and reports done at its dead epoch: fenced.
+  h.beat(1, 2, 1, /*epoch=*/1, core::kBeatDone);
+  h.coordinator.tick(260);
+  EXPECT_FALSE(h.coordinator.ledger().leases().at(1).completed);
+  EXPECT_EQ(h.coordinator.report().stale_abandons, 1u);
+
+  // The epoch-2 holder completes for real; the fleet is degraded but done.
+  h.beat(2, 300, 1, 2, core::kBeatDone);
+  h.coordinator.tick(270);
+  EXPECT_TRUE(h.coordinator.done());
+  EXPECT_TRUE(h.coordinator.report().degraded());
+}
+
+TEST(FleetCoordinatorTest, RestartReplaysLedgerAndReclaimsInFlight) {
+  std::vector<std::string> inputs = corpus_lines(4);
+  std::string dir;
+  {
+    CoordinatorHarness h("restart", inputs, 2, 1000);
+    dir = h.dir;
+    std::string error;
+    ASSERT_TRUE(h.coordinator.init(&error)) << error;
+    h.coordinator.add_worker(1);
+    h.coordinator.tick(0);
+    h.beat(1, 1, 1, 1, core::kBeatDone);
+    h.coordinator.tick(10);
+    h.coordinator.tick(20);  // issues lease 2, which will be in flight at "crash"
+    ASSERT_TRUE(h.coordinator.ledger().leases().at(1).completed);
+    ASSERT_TRUE(h.coordinator.ledger().leases().at(2).in_flight);
+  }
+
+  // A new coordinator, no inputs passed: reuses inputs.list, replays the
+  // ledger, trusts no prior issuance.
+  FleetOptions opts;
+  opts.dir = dir;
+  opts.lease_size = 999;  // ignored: geometry is pinned by the ledger Meta
+  FleetCoordinator restarted(std::move(opts), {});
+  std::string error;
+  ASSERT_TRUE(restarted.init(&error)) << error;
+  EXPECT_EQ(restarted.input_count(), 4u);
+  restarted.tick(0);
+  EXPECT_EQ(restarted.ledger().leases().size(), 2u);
+  EXPECT_TRUE(restarted.ledger().leases().at(1).completed);   // survived the restart
+  EXPECT_FALSE(restarted.ledger().leases().at(2).in_flight);  // reclaimed on init
+  EXPECT_GE(restarted.report().reclaims, 1u);
+
+  // And the re-issue goes out at a bumped epoch.
+  restarted.add_worker(7);
+  restarted.tick(10);
+  auto a = core::read_assignment(core::fleet_assignment_path(dir, 7));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->lease, 2u);
+  EXPECT_EQ(a->epoch, 2u);
+}
+
+TEST(FleetCoordinatorTest, EmptyInputListIsImmediatelyDone) {
+  std::string dir = temp_dir("empty");
+  FleetOptions opts;
+  opts.dir = dir;
+  FleetCoordinator coordinator(std::move(opts), {"# nothing"});
+  std::string error;
+  ASSERT_TRUE(coordinator.init(&error)) << error;
+  coordinator.tick(0);
+  // One comment-only entry still partitions into one lease whose single
+  // entry ingest-fails; it must be issued and completable, not wedge done().
+  EXPECT_EQ(coordinator.ledger().leases().size(), 1u);
+  EXPECT_FALSE(coordinator.done());
+}
+
+// --- worker lease execution --------------------------------------------------
+
+struct LeaseHarness {
+  std::string dir;
+  std::vector<std::string> inputs;
+
+  explicit LeaseHarness(const char* name, std::size_t n)
+      : dir(temp_dir(name)), inputs(corpus_lines(n)) {}
+
+  Assignment assign(std::uint64_t lease, std::uint64_t epoch, std::uint64_t begin,
+                    std::uint64_t end, std::uint64_t worker = 1) {
+    Assignment a;
+    a.kind = core::kAssignLease;
+    a.lease = lease;
+    a.epoch = epoch;
+    a.begin = begin;
+    a.end = end;
+    a.shard_bits = 2;
+    EXPECT_TRUE(core::write_assignment(core::fleet_assignment_path(dir, worker), a));
+    return a;
+  }
+
+  core::WorkerOptions options(std::uint64_t worker = 1) {
+    core::WorkerOptions opts;
+    opts.fleet_dir = dir;
+    opts.worker_id = worker;
+    opts.nonce = 1000 + worker;
+    opts.heartbeat_ms = 5;
+    opts.poll_ms = 2;
+    return opts;
+  }
+};
+
+// Single-process reference over the same global ordinal space.
+std::string reference_merge(const std::vector<std::string>& inputs, const std::string& dir) {
+  auto source = core::make_lease_source(inputs, 0, inputs.size());
+  core::ShardedSink sink(dir + "/ref_shards", /*shard_bits=*/0);
+  core::BatchOptions opts;
+  opts.sink = &sink;
+  (void)core::recover_stream(*source, opts);
+  EXPECT_TRUE(sink.flush());
+  return core::merge_shards(sink.files());
+}
+
+TEST(FleetLeaseTest, CompletedLeaseMatchesReferenceSlice) {
+  LeaseHarness h("lease", 4);
+  Assignment a = h.assign(1, 1, 0, 4);
+  core::LeaseRunResult run = core::run_lease(h.options(), a, h.inputs);
+  EXPECT_TRUE(run.completed);
+  EXPECT_FALSE(run.abandoned);
+  EXPECT_EQ(run.contracts, 4u);
+  std::string merged =
+      core::merge_shards(core::list_shard_files(core::fleet_lease_dir(h.dir, 1, 1) + "/shards"));
+  EXPECT_EQ(merged, reference_merge(h.inputs, h.dir));
+  // The terminal beat is a done at the issued (lease, epoch).
+  auto beat = core::read_last_beat(core::fleet_beat_path(h.dir, 1));
+  ASSERT_TRUE(beat.has_value());
+  EXPECT_EQ(beat->phase, core::kBeatDone);
+  EXPECT_EQ(beat->lease, 1u);
+  EXPECT_EQ(beat->epoch, 1u);
+}
+
+TEST(FleetLeaseTest, FenceMidLeaseAbandonsAndEpochBumpResumesNotRestarts) {
+  LeaseHarness h("fence", 6);
+  Assignment a = h.assign(1, 1, 0, 6);
+  core::WorkerOptions opts = h.options();
+  // After 2 contracts the coordinator "reclaims": the assignment file flips
+  // to epoch 2 under the running worker's feet.
+  opts.on_progress = [&](std::uint64_t done) {
+    if (done == 2) h.assign(1, 2, 0, 6);
+  };
+  core::LeaseRunResult first = core::run_lease(opts, a, h.inputs);
+  EXPECT_TRUE(first.abandoned);
+  EXPECT_FALSE(first.completed);
+  EXPECT_LT(first.contracts, 6u);
+  auto beat = core::read_last_beat(core::fleet_beat_path(h.dir, 1));
+  ASSERT_TRUE(beat.has_value());
+  EXPECT_EQ(beat->phase, core::kBeatAbandoned);
+
+  // Epoch 2 resumes: it seeds from epoch 1's journal, so the already-done
+  // contracts replay instead of re-executing.
+  Assignment a2 = h.assign(1, 2, 0, 6);
+  core::WorkerOptions opts2 = h.options();
+  core::LeaseRunResult second = core::run_lease(opts2, a2, h.inputs);
+  EXPECT_TRUE(second.completed);
+  EXPECT_EQ(second.contracts, 6u);
+
+  // Merged across BOTH epoch directories — including the abandoned one's
+  // partial output — equals the uninterrupted reference byte-for-byte.
+  std::vector<std::string> files;
+  for (std::uint64_t e = 1; e <= 2; ++e) {
+    for (std::string& f :
+         core::list_shard_files(core::fleet_lease_dir(h.dir, 1, e) + "/shards")) {
+      files.push_back(std::move(f));
+    }
+  }
+  EXPECT_EQ(core::merge_shards(files), reference_merge(h.inputs, h.dir));
+}
+
+// --- full in-process fleet ---------------------------------------------------
+
+// Attach-mode fleet: a coordinator ticked by the test plus two run_worker
+// threads, stopped via shutdown assignments. The merged database must be
+// byte-identical to the single-process reference.
+TEST(FleetIntegrationTest, TwoWorkerFleetMatchesSingleProcessReference) {
+  std::string dir = temp_dir("fleet");
+  std::vector<std::string> inputs = corpus_lines(9);
+
+  FleetOptions opts;
+  opts.dir = dir;
+  opts.lease_size = 2;
+  opts.lease_ttl_ms = 60000;  // liveness never in question here
+  opts.shard_bits = 2;
+  FleetCoordinator coordinator(std::move(opts), inputs);
+  std::string error;
+  ASSERT_TRUE(coordinator.init(&error)) << error;
+  coordinator.add_worker(1);
+  coordinator.add_worker(2);
+
+  std::atomic<bool> stop{false};
+  core::WorkerOptions w1;
+  w1.fleet_dir = dir;
+  w1.worker_id = 1;
+  w1.heartbeat_ms = 5;
+  w1.poll_ms = 2;
+  core::WorkerOptions w2 = w1;
+  w2.worker_id = 2;
+  std::thread t1([&] { (void)core::run_worker(w1, &stop); });
+  std::thread t2([&] { (void)core::run_worker(w2, &stop); });
+
+  double now = 0;
+  while (!coordinator.done() && now < 120000) {
+    coordinator.tick(now);
+    now += 10;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(coordinator.done());
+  for (std::uint64_t w : {1u, 2u}) {
+    Assignment shutdown;
+    shutdown.kind = core::kAssignShutdown;
+    ASSERT_TRUE(core::write_assignment(core::fleet_assignment_path(dir, w), shutdown));
+  }
+  t1.join();
+  t2.join();
+
+  core::MergeStats stats;
+  bool ok = true;
+  std::string merged = coordinator.merge_output("", &stats, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(merged, reference_merge(inputs, dir));
+  core::FleetReport report = coordinator.report();
+  EXPECT_EQ(report.completed, report.leases);
+  EXPECT_FALSE(report.degraded());
+  EXPECT_EQ(report.failed_functions, 0u);
+
+  // The merged cache union round-trips through a store.
+  std::string cache_file = dir + "/merged_cache.db";
+  std::string merged2 = coordinator.merge_output(cache_file, nullptr, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(merged2, merged);
+  core::RecoveryCache cache;
+  core::PersistentCacheStore store(cache_file);
+  core::LoadStats cache_stats = store.load_into(cache);
+  EXPECT_GT(cache_stats.loaded, 0u);
+  EXPECT_EQ(cache_stats.skipped(), 0u);
+}
+
+}  // namespace
+}  // namespace sigrec
