@@ -1,0 +1,276 @@
+// Symbolic-executor microbench: the hot path in isolation.
+//
+// bench_throughput measures the whole batch engine; this bench pins down the
+// executor itself — steps/s through the dispatch loop, how hot the
+// expression-interning table runs, what the block-summary memo saves, and
+// what the tracer hook costs. It drives SymExecutor directly (no TASE, no
+// batch scheduling) over a corpus of heavy synthetic contracts.
+//
+// Configurations measured:
+//   summaries on   — the shipped fast lane (block summaries + check hoisting)
+//   summaries off  — same workload through the generic per-step loop
+//   tracer chained — opcode-histogram + phase-timing tracers installed (the
+//                    fast lane stands down so every step is observed)
+//
+// Every configuration must produce identical traces (selector, step counts,
+// event counts, status) — the sweep doubles as an equivalence check, and
+// `--smoke` turns that plus a conservative steps/s floor into a CI gate.
+//
+// The tracer-hook acceptance (hook present vs compiled out within 2%) needs
+// two builds: configure a second tree with -DSIGREC_DISABLE_TRACER=ON (the
+// `notracer` preset), run this bench in both, and compare the
+// `steps_per_second` fields of the two BENCH_symexec.json files; the
+// `tracer_hooks_compiled_in` field records which build wrote which.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "corpus/datasets.hpp"
+#include "sigrec/function_extractor.hpp"
+#include "symexec/executor.hpp"
+#include "symexec/tracer.hpp"
+
+namespace {
+
+using namespace sigrec;
+
+// Heavy parameter lists — dynamic arrays, bytes, nested arrays — so the
+// executor spends its time in loops and bound checks, like it does on real
+// token/DEX contracts, not in the dispatcher.
+corpus::Corpus heavy_corpus(std::size_t uniques, std::size_t functions_per_contract) {
+  static const std::vector<std::vector<std::string>> kParamSets = {
+      {"uint256[]", "bytes", "uint8[3][]", "address"},
+      {"bytes", "uint256[]", "bool"},
+      {"uint8[3][]", "bytes32", "uint256[]"},
+      {"address", "uint256[]", "bytes", "uint256"},
+      {"uint256[]", "uint256[]", "address"},
+      {"bytes", "uint8[3][]", "uint256"},
+  };
+  corpus::Corpus ds;
+  for (std::size_t i = 0; i < uniques; ++i) {
+    std::vector<compiler::FunctionSpec> fns;
+    for (std::size_t j = 0; j < functions_per_contract; ++j) {
+      fns.push_back(compiler::make_function("fn_" + std::to_string(i) + "_" + std::to_string(j),
+                                            kParamSets[(i + j) % kParamSets.size()]));
+    }
+    ds.specs.push_back(compiler::make_contract("Hot" + std::to_string(i), {}, fns));
+  }
+  return ds;
+}
+
+// Per-run fingerprint: everything a configuration could plausibly perturb.
+// Equal fingerprints across configurations mean the fast lane and the tracer
+// are behaviorally invisible, step accounting included.
+std::string fingerprint(const symexec::Trace& t) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%08x:%llu:%llu:%zu:%zu:%zu:%d|", t.selector,
+                static_cast<unsigned long long>(t.total_steps),
+                static_cast<unsigned long long>(t.paths_explored), t.loads.size(),
+                t.copies.size(), t.uses.size(), static_cast<int>(t.status));
+  return buf;
+}
+
+struct SweepResult {
+  double wall_seconds = 0;
+  double cpu_seconds = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t runs = 0;
+  std::uint64_t interned_nodes = 0;   // nodes live at the end of each run, summed
+  std::uint64_t intern_hits = 0;
+  std::uint64_t intern_misses = 0;
+  std::uint64_t summary_hits = 0;
+  std::uint64_t summary_misses = 0;
+  std::uint64_t summary_steps_skipped = 0;
+  std::size_t arena_bytes = 0;        // peak arena footprint seen
+  std::string fingerprints;
+
+  [[nodiscard]] double steps_per_second() const {
+    return wall_seconds == 0 ? 0 : static_cast<double>(steps) / wall_seconds;
+  }
+  [[nodiscard]] double intern_hit_rate() const {
+    std::uint64_t total = intern_hits + intern_misses;
+    return total == 0 ? 0 : static_cast<double>(intern_hits) / static_cast<double>(total);
+  }
+  [[nodiscard]] double summary_hit_rate() const {
+    std::uint64_t total = summary_hits + summary_misses;
+    return total == 0 ? 0 : static_cast<double>(summary_hits) / static_cast<double>(total);
+  }
+};
+
+SweepResult run_sweep(const std::vector<evm::Bytecode>& codes,
+                      const std::vector<std::vector<std::uint32_t>>& selectors,
+                      bool block_summaries, symexec::Tracer* tracer, int reps = 1) {
+  SweepResult r;
+  auto wall0 = std::chrono::steady_clock::now();
+  std::clock_t cpu0 = std::clock();
+  for (int rep = 0; rep < reps; ++rep)
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    symexec::Limits limits;
+    limits.block_summaries = block_summaries;
+    symexec::SymExecutor exec(codes[i], limits);
+    exec.set_tracer(tracer);
+    std::uint64_t hits0 = 0;
+    std::uint64_t misses0 = 0;
+    for (std::uint32_t selector : selectors[i]) {
+      symexec::Trace trace = exec.run(selector);
+      r.steps += trace.total_steps;
+      r.runs += 1;
+      r.summary_hits += trace.summary_hits;
+      r.summary_misses += trace.summary_misses;
+      r.summary_steps_skipped += trace.summary_steps_skipped;
+      r.fingerprints += fingerprint(trace);
+      symexec::ExprPool::Stats s = exec.pool()->stats();
+      r.interned_nodes += s.live_nodes;
+      // Hits/misses accumulate across the pool's lifetime; diff per run.
+      r.intern_hits += s.intern_hits - hits0;
+      r.intern_misses += s.intern_misses - misses0;
+      hits0 = s.intern_hits;
+      misses0 = s.intern_misses;
+      if (s.arena_bytes > r.arena_bytes) r.arena_bytes = s.arena_bytes;
+    }
+  }
+  r.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
+  r.cpu_seconds = static_cast<double>(std::clock() - cpu0) / CLOCKS_PER_SEC;
+  return r;
+}
+
+void print_sweep(const char* label, const SweepResult& r) {
+  std::printf("  %-18s %9.3fs %9.3fs %11llu %11.0f %8.1f%% %10.1f%%\n", label, r.wall_seconds,
+              r.cpu_seconds, static_cast<unsigned long long>(r.steps), r.steps_per_second(),
+              100.0 * r.intern_hit_rate(), 100.0 * r.summary_hit_rate());
+}
+
+void write_json(const char* path, std::size_t contracts, std::uint64_t functions,
+                const SweepResult& fast, const SweepResult& slow, const SweepResult& traced,
+                const symexec::OpcodeHistogramTracer& histogram,
+                const symexec::PhaseTimingTracer& timing) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"symexec\",\n");
+  std::fprintf(f, "  \"tracer_hooks_compiled_in\": %s,\n",
+               symexec::tracer_hooks_compiled_in() ? "true" : "false");
+  std::fprintf(f, "  \"corpus\": {\"contracts\": %zu, \"functions\": %llu},\n", contracts,
+               static_cast<unsigned long long>(functions));
+  auto emit = [f](const char* name, const SweepResult& r, bool trailing_comma) {
+    std::fprintf(f,
+                 "  \"%s\": {\"wall_seconds\": %.6f, \"cpu_seconds\": %.6f, "
+                 "\"steps\": %llu, \"steps_per_second\": %.0f, "
+                 "\"interned_nodes\": %llu, \"intern_hit_rate\": %.4f, "
+                 "\"arena_peak_bytes\": %zu, \"summary_hits\": %llu, "
+                 "\"summary_misses\": %llu, \"summary_steps_skipped\": %llu, "
+                 "\"summary_hit_rate\": %.4f}%s\n",
+                 name, r.wall_seconds, r.cpu_seconds, static_cast<unsigned long long>(r.steps),
+                 r.steps_per_second(), static_cast<unsigned long long>(r.interned_nodes),
+                 r.intern_hit_rate(), r.arena_bytes,
+                 static_cast<unsigned long long>(r.summary_hits),
+                 static_cast<unsigned long long>(r.summary_misses),
+                 static_cast<unsigned long long>(r.summary_steps_skipped), r.summary_hit_rate(),
+                 trailing_comma ? "," : "");
+  };
+  emit("summaries_on", fast, true);
+  emit("summaries_off", slow, true);
+  emit("tracer_chained", traced, true);
+  std::fprintf(f, "  \"tracer_install_overhead\": %.4f,\n",
+               fast.wall_seconds == 0 ? 0 : traced.wall_seconds / fast.wall_seconds);
+  std::fprintf(f, "  \"opcode_histogram_top\": \"%s\",\n", histogram.top(10).c_str());
+  std::fprintf(f,
+               "  \"phase_timing\": {\"runs\": %llu, \"paths\": %llu, \"forks\": %llu, "
+               "\"total_seconds\": %.6f, \"avg_path_seconds\": %.8f, "
+               "\"max_path_seconds\": %.8f}\n",
+               static_cast<unsigned long long>(timing.runs()),
+               static_cast<unsigned long long>(timing.paths()),
+               static_cast<unsigned long long>(timing.forks()), timing.total_seconds(),
+               timing.avg_path_seconds(), timing.max_path_seconds());
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\n  wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  // Smoke keeps CI fast; the full run is sized for stable steps/s numbers.
+  const std::size_t uniques = smoke ? 6 : 24;
+  const std::size_t fns_per_contract = smoke ? 4 : 8;
+  corpus::Corpus ds = heavy_corpus(uniques, fns_per_contract);
+  std::vector<evm::Bytecode> codes = corpus::compile_corpus(ds);
+  std::vector<std::vector<std::uint32_t>> selectors;
+  std::uint64_t functions = 0;
+  selectors.reserve(codes.size());
+  for (const evm::Bytecode& code : codes) {
+    selectors.push_back(core::extract_function_ids(code));
+    functions += selectors.back().size();
+  }
+
+  bench::print_header("Symbolic executor hot path (SymExecutor only, no TASE)");
+  std::printf("  %zu contracts, %llu functions, tracer hooks compiled %s\n\n", codes.size(),
+              static_cast<unsigned long long>(functions),
+              symexec::tracer_hooks_compiled_in() ? "in" : "out");
+  std::printf("  %-18s %10s %10s %11s %11s %9s %11s\n", "config", "wall", "cpu", "steps",
+              "steps/s", "intern-hit", "summary-hit");
+
+  // One unmeasured warmup sweep so the first measured configuration does not
+  // also pay for cold caches and first-touch page faults.
+  const int reps = smoke ? 1 : 5;
+  (void)run_sweep(codes, selectors, /*block_summaries=*/true, nullptr);
+
+  SweepResult fast = run_sweep(codes, selectors, /*block_summaries=*/true, nullptr, reps);
+  print_sweep("summaries on", fast);
+  SweepResult slow = run_sweep(codes, selectors, /*block_summaries=*/false, nullptr, reps);
+  print_sweep("summaries off", slow);
+
+  symexec::OpcodeHistogramTracer histogram;
+  auto timing_owned = std::make_unique<symexec::PhaseTimingTracer>();
+  auto* timing = static_cast<symexec::PhaseTimingTracer*>(histogram.chain(std::move(timing_owned)));
+  SweepResult traced = run_sweep(codes, selectors, /*block_summaries=*/true, &histogram, reps);
+  print_sweep("tracer chained", traced);
+
+  bool identical = fast.fingerprints == slow.fingerprints &&
+                   fast.fingerprints == traced.fingerprints;
+  std::printf("\n  all configs trace-identical (incl. step counts): %s\n",
+              identical ? "yes" : "NO");
+  std::printf("  summary fast lane: %llu hits / %llu misses, %llu steps replayed from memo\n",
+              static_cast<unsigned long long>(fast.summary_hits),
+              static_cast<unsigned long long>(fast.summary_misses),
+              static_cast<unsigned long long>(fast.summary_steps_skipped));
+  std::printf("  interning: %.1f%% hit rate, %llu nodes, arena peak %zu KiB\n",
+              100.0 * fast.intern_hit_rate(),
+              static_cast<unsigned long long>(fast.interned_nodes), fast.arena_bytes / 1024);
+  std::printf("  opcode histogram (tracer run): %s\n", histogram.top(10).c_str());
+  std::printf("  phase timing: %llu runs, %llu paths, %llu forks, avg path %.3f us\n",
+              static_cast<unsigned long long>(timing->runs()),
+              static_cast<unsigned long long>(timing->paths()),
+              static_cast<unsigned long long>(timing->forks()),
+              1e6 * timing->avg_path_seconds());
+
+  write_json("BENCH_symexec.json", codes.size(), functions, fast, slow, traced, histogram,
+             *timing);
+
+  bool ok = identical;
+  if (smoke) {
+    // Conservative floor: release builds measure in the millions of steps/s;
+    // the floor only exists to catch order-of-magnitude regressions (an
+    // accidentally quadratic loop, a debug container on the hot path), so it
+    // sits far below any honest release number and clears noisy CI runners.
+    constexpr double kStepsPerSecondFloor = 250000.0;
+    double sps = fast.steps_per_second();
+    bool above = sps >= kStepsPerSecondFloor;
+    std::printf("\n  smoke: %.0f steps/s vs floor %.0f -> %s\n", sps, kStepsPerSecondFloor,
+                above ? "ok" : "REGRESSION");
+    ok = ok && above;
+  }
+  return ok ? 0 : 1;
+}

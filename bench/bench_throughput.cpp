@@ -26,6 +26,8 @@
 #include "bench_util.hpp"
 #include "mock_rpc_server.hpp"
 #include "sigrec/batch.hpp"
+#include "sigrec/function_extractor.hpp"
+#include "symexec/executor.hpp"
 #include "sigrec/fleet.hpp"
 #include "sigrec/journal.hpp"
 #include "sigrec/persist.hpp"
@@ -102,6 +104,57 @@ RunResult run_config(const std::vector<evm::Bytecode>& codes, RunConfig config) 
   r.function_cache_hits = batch.cache.function_hits;
   r.failed_functions = batch.health.failed_functions();
   r.canonical = core::canonical_to_string(batch);
+  return r;
+}
+
+// Symbolic-executor hot path, measured inside the batch bench so the
+// steps/s trajectory rides the same JSON as the contracts/s trajectory.
+// Drives SymExecutor directly over the unique contracts (no caches, no
+// scheduling) — bench_symexec is the deep-dive version of this section.
+struct HotPathResult {
+  double wall_seconds = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t interned_nodes = 0;
+  std::uint64_t intern_hits = 0;
+  std::uint64_t intern_misses = 0;
+  std::uint64_t summary_hits = 0;
+  std::uint64_t summary_misses = 0;
+
+  [[nodiscard]] double steps_per_second() const {
+    return wall_seconds == 0 ? 0 : static_cast<double>(steps) / wall_seconds;
+  }
+  [[nodiscard]] double intern_hit_rate() const {
+    std::uint64_t total = intern_hits + intern_misses;
+    return total == 0 ? 0 : static_cast<double>(intern_hits) / static_cast<double>(total);
+  }
+  [[nodiscard]] double summary_hit_rate() const {
+    std::uint64_t total = summary_hits + summary_misses;
+    return total == 0 ? 0 : static_cast<double>(summary_hits) / static_cast<double>(total);
+  }
+};
+
+HotPathResult run_hot_path(const corpus::Corpus& ds) {
+  std::vector<evm::Bytecode> codes = corpus::compile_corpus(ds);
+  HotPathResult r;
+  auto t0 = std::chrono::steady_clock::now();
+  for (const evm::Bytecode& code : codes) {
+    symexec::SymExecutor exec(code);
+    std::uint64_t hits0 = 0;
+    std::uint64_t misses0 = 0;
+    for (std::uint32_t selector : core::extract_function_ids(code)) {
+      symexec::Trace trace = exec.run(selector);
+      r.steps += trace.total_steps;
+      r.summary_hits += trace.summary_hits;
+      r.summary_misses += trace.summary_misses;
+      symexec::ExprPool::Stats s = exec.pool()->stats();
+      r.interned_nodes += s.live_nodes;
+      r.intern_hits += s.intern_hits - hits0;
+      r.intern_misses += s.intern_misses - misses0;
+      hits0 = s.intern_hits;
+      misses0 = s.intern_misses;
+    }
+  }
+  r.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return r;
 }
 
@@ -425,9 +478,9 @@ FleetResult run_fleet(const std::vector<evm::Bytecode>& codes) {
 
 void write_json(const char* path, const std::vector<RunResult>& runs, std::size_t uniques,
                 std::size_t contracts, std::size_t functions, double baseline_wall,
-                double best_wall, const PersistResult& persist, const StreamResult& stream,
-                const std::vector<ShardResult>& shards, const FetchResult& fetch,
-                const FleetResult& fleet) {
+                double best_wall, const HotPathResult& hot, const PersistResult& persist,
+                const StreamResult& stream, const std::vector<ShardResult>& shards,
+                const FetchResult& fetch, const FleetResult& fleet) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -460,6 +513,13 @@ void write_json(const char* path, const std::vector<RunResult>& runs, std::size_
   std::fprintf(f, "  \"baseline_wall_seconds\": %.6f,\n", baseline_wall);
   std::fprintf(f, "  \"best_wall_seconds\": %.6f,\n", best_wall);
   std::fprintf(f, "  \"headline_speedup\": %.3f,\n", baseline_wall / best_wall);
+  std::fprintf(f,
+               "  \"symexec_hot_path\": {\"steps\": %llu, \"wall_seconds\": %.6f, "
+               "\"steps_per_second\": %.0f, \"interned_nodes\": %llu, "
+               "\"intern_hit_rate\": %.4f, \"summary_hit_rate\": %.4f},\n",
+               static_cast<unsigned long long>(hot.steps), hot.wall_seconds,
+               hot.steps_per_second(), static_cast<unsigned long long>(hot.interned_nodes),
+               hot.intern_hit_rate(), hot.summary_hit_rate());
   std::fprintf(f,
                "  \"persistent_cache\": {\"cold_wall_seconds\": %.6f, "
                "\"compact_seconds\": %.6f, \"load_seconds\": %.6f, "
@@ -559,6 +619,16 @@ int main() {
   std::printf("  speedup jobs=8+caches vs jobs=1 sequential: %.2fx (best config %.2fx)\n",
               baseline.wall_seconds / shipped.wall_seconds, baseline.wall_seconds / best_wall);
 
+  // Executor in isolation: where the jobs=1/caches-off number actually goes.
+  bench::print_header("Symbolic executor hot path (unique contracts, direct SymExecutor)");
+  HotPathResult hot = run_hot_path(ds);
+  std::printf("  %llu steps in %.3fs -> %.0f steps/s\n",
+              static_cast<unsigned long long>(hot.steps), hot.wall_seconds,
+              hot.steps_per_second());
+  std::printf("  interned nodes %llu, intern hit rate %.1f%%, block-summary hit rate %.1f%%\n",
+              static_cast<unsigned long long>(hot.interned_nodes),
+              100.0 * hot.intern_hit_rate(), 100.0 * hot.summary_hit_rate());
+
   // Persistence: cold-scan-then-compact vs warm restore, plus journal replay.
   bench::print_header("Persistent cache: cold vs warm, journal replay");
   PersistResult persist = run_persistence(codes, /*jobs=*/4);
@@ -623,6 +693,6 @@ int main() {
   deterministic &= fleet.identical;
 
   write_json("BENCH_throughput.json", runs, kUniques, codes.size(), functions,
-             baseline.wall_seconds, best_wall, persist, stream, shards, fetch, fleet);
+             baseline.wall_seconds, best_wall, hot, persist, stream, shards, fetch, fleet);
   return deterministic ? 0 : 1;
 }

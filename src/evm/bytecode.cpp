@@ -1,5 +1,6 @@
 #include "evm/bytecode.hpp"
 
+#include "evm/disassembler.hpp"
 #include "evm/keccak.hpp"
 #include "evm/opcodes.hpp"
 
@@ -80,6 +81,28 @@ std::string bytes_to_hex(std::span<const std::uint8_t> data, bool prefix) {
   return s;
 }
 
+Bytecode::Bytecode() = default;
+Bytecode::Bytecode(Bytes code) : code_(std::move(code)) {}
+Bytecode::~Bytecode() = default;
+
+Bytecode::Bytecode(const Bytecode& other)
+    : code_(other.code_),
+      jumpdests_(other.jumpdests_),
+      jumpdests_ready_(other.jumpdests_ready_) {}
+
+Bytecode& Bytecode::operator=(const Bytecode& other) {
+  if (this != &other) {
+    code_ = other.code_;
+    jumpdests_ = other.jumpdests_;
+    jumpdests_ready_ = other.jumpdests_ready_;
+    dis_.reset();
+  }
+  return *this;
+}
+
+Bytecode::Bytecode(Bytecode&&) noexcept = default;
+Bytecode& Bytecode::operator=(Bytecode&&) noexcept = default;
+
 std::optional<Bytecode> Bytecode::from_hex(std::string_view hex) {
   auto bytes = bytes_from_hex(hex);
   if (!bytes) return std::nullopt;
@@ -101,8 +124,14 @@ bool Bytecode::is_jumpdest(std::size_t pc) const {
   return pc < jumpdests_.size() && jumpdests_[pc];
 }
 
+const Disassembly& Bytecode::disassembly() const {
+  if (dis_ == nullptr) dis_ = std::make_unique<Disassembly>(*this);
+  return *dis_;
+}
+
 void Bytecode::warm_analysis_caches() const {
   if (!jumpdests_ready_) compute_jumpdests();
+  if (dis_ == nullptr) dis_ = std::make_unique<Disassembly>(*this);
 }
 
 std::array<std::uint8_t, 32> Bytecode::code_hash() const { return keccak256(code_); }

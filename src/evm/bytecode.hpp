@@ -9,7 +9,11 @@
 #include <string_view>
 #include <vector>
 
+#include <memory>
+
 namespace sigrec::evm {
+
+class Disassembly;
 
 using Bytes = std::vector<std::uint8_t>;
 
@@ -31,8 +35,17 @@ using Bytes = std::vector<std::uint8_t>;
 // Runtime bytecode of a deployed contract.
 class Bytecode {
  public:
-  Bytecode() = default;
-  explicit Bytecode(Bytes code) : code_(std::move(code)) {}
+  Bytecode();
+  explicit Bytecode(Bytes code);
+  ~Bytecode();
+
+  // Copies duplicate the code and the cheap analysis bits but NOT the cached
+  // disassembly: each copy is an independent contract identity that pays its
+  // own (lazy) analysis cost, which keeps duplicate-heavy benchmarks honest.
+  Bytecode(const Bytecode& other);
+  Bytecode& operator=(const Bytecode& other);
+  Bytecode(Bytecode&&) noexcept;
+  Bytecode& operator=(Bytecode&&) noexcept;
 
   static std::optional<Bytecode> from_hex(std::string_view hex);
 
@@ -50,8 +63,16 @@ class Bytecode {
   // contract out at function granularity).
   [[nodiscard]] bool is_jumpdest(std::size_t pc) const;
 
-  // Forces the lazy analysis caches (currently the JUMPDEST set) so that
-  // subsequent concurrent reads are race-free.
+  // Linear-sweep disassembly of this code, computed lazily and cached for
+  // the lifetime of the Bytecode. Everything that walks the instruction
+  // stream — the symbolic executor, the dispatcher extractor, the CFG —
+  // shares this one copy instead of re-disassembling. Same thread-safety
+  // caveat as `is_jumpdest`: the lazy init is unsynchronized, so call
+  // `warm_analysis_caches` before sharing one Bytecode across threads.
+  [[nodiscard]] const Disassembly& disassembly() const;
+
+  // Forces the lazy analysis caches (the JUMPDEST set and the cached
+  // disassembly) so that subsequent concurrent reads are race-free.
   void warm_analysis_caches() const;
 
   // keccak256 of the runtime code — the identity used by the batch engine's
@@ -65,6 +86,7 @@ class Bytecode {
   Bytes code_;
   mutable std::vector<bool> jumpdests_;  // lazily sized to code_.size()
   mutable bool jumpdests_ready_ = false;
+  mutable std::unique_ptr<Disassembly> dis_;  // lazy, never copied
 };
 
 }  // namespace sigrec::evm

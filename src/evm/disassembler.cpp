@@ -16,6 +16,11 @@ std::string Instruction::to_string() const {
 Disassembly::Disassembly(const Bytecode& code) {
   const auto bytes = code.bytes();
   pc_to_index_.assign(bytes.size(), npos);
+  // Count instructions first (a cheap pc walk) so the vector is built with a
+  // single exact allocation instead of doubling through reallocations.
+  std::size_t count = 0;
+  for (std::size_t pc = 0; pc < bytes.size(); pc += 1 + push_size(bytes[pc])) ++count;
+  insts_.reserve(count);
   for (std::size_t pc = 0; pc < bytes.size();) {
     Instruction inst;
     inst.pc = pc;

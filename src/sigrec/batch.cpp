@@ -204,9 +204,15 @@ void finish_contract(StreamContext& ctx, const std::shared_ptr<ContractState>& s
 // contract's time.
 FunctionOutcome recover_with_ladder(const StreamContext& ctx, const evm::Bytecode& code,
                                     std::uint32_t selector,
-                                    const std::atomic<bool>* cancel) {
+                                    const std::atomic<bool>* cancel,
+                                    ContractRecovery* session) {
   FunctionOutcome out;
-  if (cancel == nullptr) {
+  if (session != nullptr) {
+    // Single-owner (inline) path: the session was built with this contract's
+    // exact rung-0 limits (cancel included), so reusing its executor across
+    // the contract's functions changes nothing but allocation traffic.
+    out.fn = session->recover_function(selector);
+  } else if (cancel == nullptr) {
     out.fn = ctx.tool.recover_function(code, selector);
   } else {
     symexec::Limits limits = ctx.opts.limits;
@@ -266,13 +272,15 @@ struct ContractPlan {
   std::atomic<std::size_t> remaining{0};
 };
 
-FunctionOutcome run_function(StreamContext& ctx, const ContractPlan& plan, std::size_t j) {
+FunctionOutcome run_function(StreamContext& ctx, const ContractPlan& plan, std::size_t j,
+                             ContractRecovery* session = nullptr) {
   const std::optional<evm::Hash256>& key = plan.body_keys[j];
   if (key.has_value()) {
     if (std::optional<FunctionOutcome> hit = ctx.cache.find_function(*key)) return *hit;
   }
   const std::atomic<bool>* cancel = ctx.watchdog_armed ? &plan.state->cancel : nullptr;
-  FunctionOutcome out = recover_with_ladder(ctx, plan.state->code, plan.selectors[j], cancel);
+  FunctionOutcome out =
+      recover_with_ladder(ctx, plan.state->code, plan.selectors[j], cancel, session);
   if (key.has_value()) ctx.cache.store_function(*key, out);
   return out;
 }
@@ -490,8 +498,14 @@ void run_contract_task(StreamContext& ctx, const std::shared_ptr<ContractState>&
       return;  // the last function task finalizes the report
     }
 
+    // Inline path: this worker owns the contract end to end, so all its
+    // functions can share one recovery session (cached disassembly, segment
+    // table, recycled expression arena).
+    symexec::Limits session_limits = ctx.opts.limits;
+    if (ctx.watchdog_armed) session_limits.budget.cancel = &plan->state->cancel;
+    ContractRecovery session(code, session_limits);
     for (std::size_t j = 0; j < plan->selectors.size(); ++j) {
-      plan->outcomes[j] = run_function(ctx, *plan, j);
+      plan->outcomes[j] = run_function(ctx, *plan, j, &session);
     }
     finalize_report(ctx, *plan);
     return;

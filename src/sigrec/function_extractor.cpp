@@ -13,7 +13,7 @@ using evm::Instruction;
 using evm::Opcode;
 
 std::vector<std::uint32_t> extract_function_ids(const evm::Bytecode& code) {
-  Disassembly dis(code);
+  const Disassembly& dis = code.disassembly();
   const auto& insts = dis.instructions();
 
   std::vector<std::uint32_t> ids;
@@ -50,7 +50,7 @@ std::vector<std::uint32_t> extract_function_ids(const evm::Bytecode& code) {
 }
 
 std::vector<DispatchedFunction> extract_dispatch_table(const evm::Bytecode& code) {
-  Disassembly dis(code);
+  const Disassembly& dis = code.disassembly();
   evm::Cfg cfg(dis);
   const auto& insts = dis.instructions();
 

@@ -16,14 +16,12 @@ double now_seconds() {
       .count();
 }
 
-}  // namespace
-
-std::string RecoveredFunction::to_string() const {
-  return abi::selector_to_hex(selector) + "(" + type_list() + ")";
-}
-
-RecoveredFunction SigRec::recover_function(const evm::Bytecode& code, std::uint32_t selector,
-                                           RuleStats* stats) const {
+// The one recovery pipeline both entry points share. When `executor` is
+// supplied (a ContractRecovery session) it is built on demand and reused
+// across calls; the stateless path passes a local that dies with the call.
+RecoveredFunction recover_one(const evm::Bytecode& code, const symexec::Limits& limits,
+                              std::optional<symexec::SymExecutor>& executor,
+                              std::uint32_t selector, RuleStats* stats) {
   double start = now_seconds();
   RecoveredFunction fn;
   fn.selector = selector;
@@ -32,8 +30,8 @@ RecoveredFunction SigRec::recover_function(const evm::Bytecode& code, std::uint3
       fn.status = RecoveryStatus::MalformedBytecode;
       fn.error = "empty bytecode";
     } else {
-      symexec::SymExecutor executor(code, limits_);
-      symexec::Trace trace = executor.run(selector);
+      if (!executor.has_value()) executor.emplace(code, limits);
+      symexec::Trace trace = executor->run(selector);
       RuleStats local;
       TaseResult tase = run_tase(trace, stats != nullptr ? *stats : local);
       fn.parameters = std::move(tase.parameters);
@@ -55,6 +53,22 @@ RecoveredFunction SigRec::recover_function(const evm::Bytecode& code, std::uint3
   return fn;
 }
 
+}  // namespace
+
+std::string RecoveredFunction::to_string() const {
+  return abi::selector_to_hex(selector) + "(" + type_list() + ")";
+}
+
+RecoveredFunction SigRec::recover_function(const evm::Bytecode& code, std::uint32_t selector,
+                                           RuleStats* stats) const {
+  std::optional<symexec::SymExecutor> executor;
+  return recover_one(code, limits_, executor, selector, stats);
+}
+
+RecoveredFunction ContractRecovery::recover_function(std::uint32_t selector, RuleStats* stats) {
+  return recover_one(code_, limits_, executor_, selector, stats);
+}
+
 RecoveryResult SigRec::recover(const evm::Bytecode& code) const {
   double start = now_seconds();
   RecoveryResult result;
@@ -63,8 +77,9 @@ RecoveryResult SigRec::recover(const evm::Bytecode& code) const {
       result.status = RecoveryStatus::MalformedBytecode;
       result.error = "empty bytecode";
     } else {
+      ContractRecovery session(code, limits_);
       for (std::uint32_t selector : extract_function_ids(code)) {
-        result.functions.push_back(recover_function(code, selector, &result.stats));
+        result.functions.push_back(session.recover_function(selector, &result.stats));
         const RecoveredFunction& fn = result.functions.back();
         result.status = symexec::worst_status(result.status, fn.status);
         if (result.error.empty()) result.error = fn.error;

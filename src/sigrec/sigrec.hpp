@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -70,7 +71,9 @@ class SigRec {
 
   // Recovers a single function (the selector need not be in the
   // dispatcher; the symbolic executor simply follows wherever that
-  // selector's path leads).
+  // selector's path leads). Stateless and safe to call concurrently from
+  // several threads on one SigRec; for many functions of one contract on
+  // one thread, ContractRecovery below is cheaper.
   [[nodiscard]] RecoveredFunction recover_function(const evm::Bytecode& code,
                                                    std::uint32_t selector,
                                                    RuleStats* stats = nullptr) const;
@@ -79,6 +82,29 @@ class SigRec {
 
  private:
   symexec::Limits limits_;
+};
+
+// Single-contract recovery session: keeps one symbolic executor alive across
+// the contract's functions so they share the cached disassembly, the
+// straight-line segment table, and the recycled expression arena instead of
+// rebuilding all three per selector. Produces results identical to
+// SigRec::recover_function — the reuse is purely allocational.
+//
+// NOT thread-safe (the underlying executor is not); one session per thread.
+// The concurrent function-level fan-out keeps using the stateless
+// SigRec::recover_function instead.
+class ContractRecovery {
+ public:
+  explicit ContractRecovery(const evm::Bytecode& code, symexec::Limits limits = {})
+      : code_(code), limits_(limits) {}
+
+  [[nodiscard]] RecoveredFunction recover_function(std::uint32_t selector,
+                                                   RuleStats* stats = nullptr);
+
+ private:
+  const evm::Bytecode& code_;
+  symexec::Limits limits_;
+  std::optional<symexec::SymExecutor> executor_;  // built lazily, inside the try
 };
 
 }  // namespace sigrec::core

@@ -5,43 +5,198 @@
 #include <deque>
 #include <map>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "symexec/tracer.hpp"
+
+// Tracer notifications cost one predictable branch per step. Define
+// SIGREC_DISABLE_TRACER to compile the hook out entirely — bench_symexec
+// compares the two builds to prove the branch is free in practice.
+#ifdef SIGREC_DISABLE_TRACER
+#define SIGREC_TRACE(call) ((void)0)
+#else
+#define SIGREC_TRACE(call)                \
+  do {                                    \
+    if (tracer_ != nullptr) [[unlikely]] {\
+      tracer_->call;                      \
+    }                                     \
+  } while (0)
+#endif
 
 namespace sigrec::symexec {
 
 using evm::Opcode;
 using evm::U256;
 
+bool tracer_hooks_compiled_in() {
+#ifdef SIGREC_DISABLE_TRACER
+  return false;
+#else
+  return true;
+#endif
+}
+
 namespace {
 
 constexpr std::size_t kMaxStack = 1024;
 
+// Fast lane tuning: segments shorter than this are not worth the setup; the
+// per-run summary memo is bounded so adversarial loops cannot grow it
+// without bound.
+constexpr std::uint32_t kMinSegment = 3;
+constexpr std::uint32_t kMaxSegmentLen = 64;
+constexpr std::size_t kMaxSummaries = 4096;
+
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Sorted flat map: contiguous storage makes the fork-time PathState copy a
+// handful of memcpy-like vector copies instead of a tree clone, and lookups
+// stay cache-friendly. The maps involved (memory words, per-pc JUMPI
+// counters) are small, so O(n) insertion is immaterial.
+template <typename K, typename V>
+class FlatMap {
+ public:
+  V* find(const K& key) {
+    auto it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) return &it->second;
+    return nullptr;
+  }
+  V& operator[](const K& key) {
+    auto it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) return it->second;
+    return entries_.insert(it, {key, V{}})->second;
+  }
+
+ private:
+  typename std::vector<std::pair<K, V>>::iterator lower_bound(const K& key) {
+    return std::lower_bound(entries_.begin(), entries_.end(), key,
+                            [](const auto& e, const K& k) { return e.first < k; });
+  }
+  std::vector<std::pair<K, V>> entries_;
+};
+
+// Per-pc JUMPI revisit counters, both directions in one entry so the fork
+// decision costs a single map probe.
+struct JumpiVisits {
+  int taken = 0;
+  int fallthrough = 0;
+};
+
 struct PathState {
   std::size_t pc = 0;
   std::vector<SymValue> stack;
-  std::map<std::uint64_t, SymValue> mem;   // concrete-address words
-  std::map<ExprPtr, SymValue> sym_mem;     // symbolic-address words
+  FlatMap<std::uint64_t, SymValue> mem;  // concrete-address words
+  FlatMap<ExprPtr, SymValue> sym_mem;    // symbolic-address words
   std::vector<Region> regions;
   std::vector<std::uint32_t> pending_checks;  // straight-line const-index guards
-  std::map<std::size_t, int> jumpi_taken;
-  std::map<std::size_t, int> jumpi_fallthrough;
+  FlatMap<std::size_t, JumpiVisits> jumpi;
   std::uint64_t steps = 0;
 };
+
+// True for opcodes the tight segment interpreter handles: pure stack and
+// arithmetic operations with no control flow, no memory, no trace events
+// other than (provenance-filtered) use recording.
+bool is_pure_op(const evm::Instruction& inst) {
+  const std::uint8_t raw = static_cast<std::uint8_t>(inst.op);
+  if (inst.is_push() || evm::is_dup(raw) || evm::is_swap(raw)) return true;
+  switch (inst.op) {
+    case Opcode::ADD:
+    case Opcode::MUL:
+    case Opcode::SUB:
+    case Opcode::DIV:
+    case Opcode::SDIV:
+    case Opcode::MOD:
+    case Opcode::SMOD:
+    case Opcode::EXP:
+    case Opcode::SIGNEXTEND:
+    case Opcode::LT:
+    case Opcode::GT:
+    case Opcode::SLT:
+    case Opcode::SGT:
+    case Opcode::EQ:
+    case Opcode::AND:
+    case Opcode::OR:
+    case Opcode::XOR:
+    case Opcode::BYTE:
+    case Opcode::SHL:
+    case Opcode::SHR:
+    case Opcode::SAR:
+    case Opcode::ISZERO:
+    case Opcode::NOT:
+    case Opcode::POP:
+    case Opcode::PC:
+    case Opcode::JUMPDEST:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Key of one memoized segment execution: the segment plus the identities of
+// the stack values it consumes. Only values with empty provenance sets and
+// no bound-check origin are keyable — everything the segment then does is a
+// pure function of (expr pointer, ×32/÷32 flags, source slot).
+struct SummaryKey {
+  std::uint32_t idx = 0;
+  std::vector<std::tuple<ExprPtr, std::uint8_t, std::uint64_t>> inputs;
+  bool operator==(const SummaryKey&) const = default;
+};
+
+struct SummaryKeyHash {
+  std::size_t operator()(const SummaryKey& k) const {
+    std::uint64_t h = mix64(k.idx);
+    for (const auto& [expr, flags, slot] : k.inputs) {
+      h = mix64(h ^ reinterpret_cast<std::uintptr_t>(expr));
+      h = mix64(h ^ (static_cast<std::uint64_t>(flags) << 32) ^ slot);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct Summary {
+  std::vector<SymValue> outputs;  // replaces the consumed stack slots
+};
+
+enum class SegmentResult { NotRun, Advanced, PathEnded };
 
 class Runner {
  public:
   Runner(const evm::Bytecode& code, const evm::Disassembly& dis, const Limits& limits,
-         std::uint32_t selector)
-      : code_(code), dis_(dis), limits_(limits), pool_holder_(std::make_shared<ExprPool>()), pool_(*pool_holder_) {
+         std::uint32_t selector, std::shared_ptr<ExprPool> pool,
+         std::vector<detail::Segment>* segments, Tracer* tracer)
+      : code_(code),
+        dis_(dis),
+        limits_(limits),
+        pool_holder_(std::move(pool)),
+        pool_(*pool_holder_),
+        segments_(segments),
+        tracer_(tracer) {
     trace_.pool = pool_holder_;
-    pool_.set_selector(selector);
     trace_.selector = selector;
     const auto bytes = code.bytes();
     trace_.solidity_prologue =
         bytes.size() >= 5 && bytes[0] == 0x60 && bytes[1] == 0x80 && bytes[2] == 0x60 &&
         bytes[3] == 0x40 && bytes[4] == 0x52;
+    interval_ = std::max<std::uint64_t>(1, limits_.budget.deadline_check_interval);
+    steps_to_check_ = interval_;
+    careful_ = limits_.fault.armed();
+    deadline_armed_ =
+        limits_.budget.deadline_seconds > 0 || limits_.budget.cancel != nullptr;
+    // The fast lane stands down whenever per-step exactness is observable:
+    // armed fault plans trigger on exact step ordinals, pool-node caps are
+    // checked against every interned node, and an installed tracer must see
+    // each instruction.
+    fast_ok_ = limits_.block_summaries && !careful_ &&
+               limits_.budget.max_pool_nodes == 0 && tracer_ == nullptr;
   }
 
   Trace run() {
+    SIGREC_TRACE(notify_run_start(trace_.selector));
     start_ = std::chrono::steady_clock::now();
     std::deque<PathState> worklist;
     worklist.push_back(PathState{});
@@ -71,6 +226,7 @@ class Runner {
     trace_.error = std::move(error_);
     trace_.exhausted = !worklist.empty() || trace_.total_steps >= limits_.max_total_steps ||
                        is_budget_exhaustion(status_);
+    SIGREC_TRACE(notify_run_end(trace_));
     return std::move(trace_);
   }
 
@@ -102,14 +258,39 @@ class Runner {
     return out;
   }
 
+  // Both lists are id-ascending (resolve_guards emits them that way and this
+  // merge preserves it), so a linear merge replaces the append-then-sort —
+  // and the common dedup case, `add` already contained in `into`, is a
+  // no-allocation subset walk.
   static void merge_guards(std::vector<GuardInfo>& into, const std::vector<GuardInfo>& add) {
+    if (add.empty()) return;
+    auto a = into.begin();
+    bool subset = true;
     for (const GuardInfo& g : add) {
-      bool present = false;
-      for (const GuardInfo& h : into) present |= (h.id == g.id);
-      if (!present) into.push_back(g);
+      while (a != into.end() && a->id < g.id) ++a;
+      if (a == into.end() || a->id != g.id) {
+        subset = false;
+        break;
+      }
     }
-    std::sort(into.begin(), into.end(),
-              [](const GuardInfo& a, const GuardInfo& b) { return a.id < b.id; });
+    if (subset) return;
+    std::vector<GuardInfo> merged;
+    merged.reserve(into.size() + add.size());
+    auto i = into.begin();
+    auto j = add.begin();
+    while (i != into.end() && j != add.end()) {
+      if (i->id < j->id) {
+        merged.push_back(*i++);
+      } else if (j->id < i->id) {
+        merged.push_back(*j++);
+      } else {
+        merged.push_back(*i++);
+        ++j;
+      }
+    }
+    merged.insert(merged.end(), i, into.end());
+    merged.insert(merged.end(), j, add.end());
+    into = std::move(merged);
   }
 
   // --- event recording --------------------------------------------------------
@@ -163,8 +344,16 @@ class Runner {
   void record_use(UseKind kind, std::size_t pc, const Prov& prov, U256 mask = U256(0),
                   std::uint64_t signext_k = 0, U256 bound = U256(0), bool cmp_signed = false) {
     if (!prov.touches_calldata()) return;
-    auto key = std::make_tuple(static_cast<int>(kind), pc);
-    if (!use_dedup_.insert(key).second) return;
+    // (kind, pc) packed into one word; pcs fit comfortably in 60 bits.
+    const std::uint64_t key = (static_cast<std::uint64_t>(pc) << 4) |
+                              static_cast<std::uint64_t>(kind);
+    auto it = std::lower_bound(use_dedup_.begin(), use_dedup_.end(), key);
+    if (it != use_dedup_.end() && *it == key) return;
+    use_dedup_.insert(it, key);
+    // UseEvents are deduplicated by (kind, pc), so a run records a few dozen
+    // at most; one up-front reservation replaces the doubling reallocations
+    // that otherwise dominate small-vector growth on the hot path.
+    if (trace_.uses.empty()) trace_.uses.reserve(32);
     UseEvent ev;
     ev.kind = kind;
     ev.pc = pc;
@@ -180,28 +369,34 @@ class Runner {
 
   SymValue mload(PathState& st, const SymValue& addr) {
     if (auto a = addr.expr->const_u64()) {
-      auto it = st.mem.find(*a);
-      if (it != st.mem.end()) {
-        SymValue v = it->second;
-        v.source_slot = *a;
-        return v;
+      if (SymValue* v = st.mem.find(*a)) {
+        SymValue r = *v;
+        r.source_slot = *a;
+        return r;
       }
     } else {
-      auto it = st.sym_mem.find(addr.expr);
-      if (it != st.sym_mem.end()) return it->second;
+      if (SymValue* v = st.sym_mem.find(addr.expr)) return *v;
     }
     // Region match: addr - base folds to a constant -> value copied from the
-    // call data by that CALLDATACOPY (step-3 symbol marking).
+    // call data by that CALLDATACOPY (step-3 symbol marking). The folder has
+    // no deep SUB rules, so the difference is constant in exactly two cases —
+    // identical nodes (SUB(a,a) -> 0) and two constants — which lets us
+    // answer without interning throwaway SUB nodes on every MLOAD.
     for (auto r = st.regions.rbegin(); r != st.regions.rend(); ++r) {
-      ExprPtr diff = pool_.sub(addr.expr, r->base);
-      if (auto d = diff->const_u64()) {
-        if (auto l = r->len->const_u64(); l.has_value() && *d >= *l) continue;
-        if (!r->len->const_u64() && *d > (1u << 20)) continue;
-        SymValue v;
-        v.expr = pool_.fresh();
-        v.prov.copies.insert(r->copy_id);
-        return v;
+      std::optional<std::uint64_t> d;
+      if (addr.expr == r->base) {
+        d = 0;
+      } else if (addr.expr->is_const() && r->base->is_const()) {
+        U256 diff = addr.expr->value() - r->base->value();
+        if (diff.fits_u64()) d = diff.as_u64();
       }
+      if (!d) continue;
+      if (auto l = r->len->const_u64(); l.has_value() && *d >= *l) continue;
+      if (!r->len->const_u64() && *d > (1u << 20)) continue;
+      SymValue v;
+      v.expr = pool_.fresh();
+      v.prov.copies.insert(r->copy_id);
+      return v;
     }
     SymValue v;
     v.expr = pool_.fresh();
@@ -234,8 +429,22 @@ class Runner {
            limits_.budget.deadline_seconds;
   }
 
-  // Global (cross-path) budget checks, run once per symbolic step. Returns
-  // false — and records why — when the run must stop.
+  // The boundary check of the fast (fault-free) loop: no fault triggers to
+  // consult, so a run without a deadline or cancel flag never reads the
+  // clock at all.
+  bool deadline_expired_fast() {
+    if (limits_.budget.cancel != nullptr &&
+        limits_.budget.cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    if (limits_.budget.deadline_seconds <= 0) return false;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count() >=
+           limits_.budget.deadline_seconds;
+  }
+
+  // Global (cross-path) budget checks for fault-armed runs, run once per
+  // symbolic step so injected failures trigger on their exact ordinals.
+  // Returns false — and records why — when the run must stop.
   bool within_operational_budget() {
     if (limits_.fault.fail_at_step != 0 && trace_.total_steps >= limits_.fault.fail_at_step) {
       status_ = RecoveryStatus::InternalError;
@@ -243,8 +452,7 @@ class Runner {
                std::to_string(limits_.fault.fail_at_step);
       return false;
     }
-    std::uint64_t interval = std::max<std::uint64_t>(1, limits_.budget.deadline_check_interval);
-    bool on_check_boundary = trace_.total_steps % interval == 0;
+    bool on_check_boundary = trace_.total_steps % interval_ == 0;
     if ((on_check_boundary || limits_.fault.expire_deadline_at_step != 0) &&
         deadline_expired()) {
       status_ = RecoveryStatus::DeadlineExceeded;
@@ -257,25 +465,223 @@ class Runner {
     return true;
   }
 
+  // --- straight-line fast lane ------------------------------------------------
+
+  // Static shape of the pure run starting at instruction `idx`, computed on
+  // first visit and cached for every later run over this contract.
+  const detail::Segment& segment_at(std::size_t idx) {
+    detail::Segment& seg = (*segments_)[idx];
+    if (seg.computed) return seg;
+    seg.computed = true;
+    const auto& insts = dis_.instructions();
+    int cur = 0;
+    int min_depth = 0;
+    int max_rel = 0;
+    std::size_t j = idx;
+    while (j < insts.size() && seg.len < kMaxSegmentLen && is_pure_op(insts[j])) {
+      const evm::OpInfo& info = insts[j].info();
+      min_depth = std::min(min_depth, cur - static_cast<int>(info.inputs));
+      cur += static_cast<int>(info.outputs) - static_cast<int>(info.inputs);
+      max_rel = std::max(max_rel, cur);
+      ++seg.len;
+      ++j;
+    }
+    seg.consumed = static_cast<std::uint16_t>(-min_depth);
+    seg.max_rel = static_cast<std::uint16_t>(max_rel);
+    seg.exit_pc = seg.len != 0 ? insts[idx + seg.len - 1].next_pc() : 0;
+    return seg;
+  }
+
+  // Executes (or replays) the pure segment at `idx`. Counter accounting,
+  // trace events, and path-ending conditions are bit-identical to the
+  // generic loop; the burst is pre-bounded so no per-step cap or deadline
+  // boundary could have fired inside it.
+  SegmentResult run_segment(PathState& st, std::size_t idx, const detail::Segment& seg) {
+    std::uint64_t k = seg.len;
+    if (st.steps > limits_.max_steps_per_path) return SegmentResult::NotRun;
+    k = std::min(k, limits_.max_steps_per_path - st.steps + 1);
+    if (trace_.total_steps >= limits_.max_total_steps) return SegmentResult::NotRun;
+    k = std::min(k, limits_.max_total_steps - trace_.total_steps);
+    if (deadline_armed_) {
+      if (steps_to_check_ <= 1) return SegmentResult::NotRun;
+      k = std::min(k, steps_to_check_ - 1);
+    }
+    if (k < kMinSegment) return SegmentResult::NotRun;
+
+    const bool full = (k == seg.len);
+    const std::size_t entry_size = st.stack.size();
+
+    // Summary replay: possible only for a full segment whose consumed inputs
+    // are provenance-free (so no trace event can fire inside) and whose
+    // execution cannot under- or overflow the stack.
+    bool memo_ok = full && entry_size >= seg.consumed &&
+                   entry_size + seg.max_rel <= kMaxStack;
+    SummaryKey key;
+    if (memo_ok) {
+      key.idx = static_cast<std::uint32_t>(idx);
+      key.inputs.reserve(seg.consumed);
+      for (std::size_t i = 0; i < seg.consumed; ++i) {
+        const SymValue& v = st.stack[entry_size - 1 - i];
+        if (!v.prov.loads.empty() || !v.prov.copies.empty() || !v.prov.checks.empty() ||
+            v.lt_origin.has_value()) {
+          memo_ok = false;
+          break;
+        }
+        std::uint8_t flags = (v.prov.mul32 ? 1 : 0) | (v.prov.div32 ? 2 : 0) |
+                             (v.source_slot.has_value() ? 4 : 0);
+        key.inputs.emplace_back(v.expr, flags, v.source_slot.value_or(0));
+      }
+      if (memo_ok) {
+        auto it = summaries_.find(key);
+        if (it != summaries_.end()) {
+          st.stack.resize(entry_size - seg.consumed);
+          for (const SymValue& v : it->second.outputs) st.stack.push_back(v);
+          st.steps += seg.len;
+          trace_.total_steps += seg.len;
+          if (deadline_armed_) steps_to_check_ -= seg.len;
+          ++trace_.summary_hits;
+          trace_.summary_steps_skipped += seg.len;
+          st.pc = seg.exit_pc;
+          return SegmentResult::Advanced;
+        }
+      }
+    }
+
+    // Tight interpreter: per-op semantics identical to step(), minus the
+    // generic dispatch.
+    lt_env_consulted_ = false;
+    const auto& insts = dis_.instructions();
+    std::uint64_t executed = 0;
+    bool ended = false;
+    while (executed < k) {
+      const evm::Instruction& inst = insts[idx + executed];
+      ++st.steps;
+      ++trace_.total_steps;
+      ++executed;
+      if (deadline_armed_) --steps_to_check_;
+      const evm::OpInfo& info = inst.info();
+      if (st.stack.size() < info.inputs) {
+        ended = true;
+        break;
+      }
+      const Opcode op = inst.op;
+      const std::uint8_t raw = static_cast<std::uint8_t>(op);
+      if (inst.is_push()) {
+        if (!push(st, make_const(inst.immediate))) {
+          ended = true;
+          break;
+        }
+      } else if (evm::is_dup(raw)) {
+        unsigned d = evm::dup_depth(raw);
+        if (!push(st, st.stack[st.stack.size() - d])) {
+          ended = true;
+          break;
+        }
+      } else if (evm::is_swap(raw)) {
+        unsigned d = evm::swap_depth(raw);
+        std::swap(st.stack.back(), st.stack[st.stack.size() - 1 - d]);
+      } else {
+        bool op_ok = true;
+        switch (op) {
+          case Opcode::POP:
+            st.stack.pop_back();
+            break;
+          case Opcode::PC:
+            op_ok = push(st, make_const(U256(inst.pc)));
+            break;
+          case Opcode::JUMPDEST:
+            break;
+          case Opcode::ISZERO:
+          case Opcode::NOT:
+            op_ok = exec_unary(st, op, inst.pc);
+            break;
+          default:  // the binary arithmetic/compare/bitwise set
+            op_ok = exec_binary(st, op, inst.pc);
+            break;
+        }
+        if (!op_ok) {
+          ended = true;
+          break;
+        }
+      }
+      st.pc = inst.next_pc();
+    }
+    if (ended) return SegmentResult::PathEnded;
+
+    if (memo_ok && !lt_env_consulted_ && summaries_.size() < kMaxSummaries) {
+      Summary sum;
+      sum.outputs.assign(st.stack.begin() + (entry_size - seg.consumed), st.stack.end());
+      summaries_.emplace(std::move(key), std::move(sum));
+      ++trace_.summary_misses;
+    }
+    return SegmentResult::Advanced;
+  }
+
   void run_path(PathState st, std::deque<PathState>& worklist) {
     const auto& insts = dis_.instructions();
     while (true) {
+      const std::size_t idx = dis_.index_of_pc(st.pc);
+      // Fast lane: burst through a straight-line run of pure opcodes.
+      if (fast_ok_ && idx != evm::Disassembly::npos) {
+        const detail::Segment& seg = segment_at(idx);
+        if (seg.len >= kMinSegment) {
+          SegmentResult res = run_segment(st, idx, seg);
+          if (res == SegmentResult::PathEnded) return;
+          if (res == SegmentResult::Advanced) continue;
+          // NotRun: a cap or boundary is imminent — exact generic step below.
+        }
+      }
       // Per-path step cap: ends this path only (a sibling may still finish),
       // but the truncation is remembered so a run that otherwise drains its
       // worklist still reports StepBudgetExhausted instead of Complete.
       if (st.steps++ > limits_.max_steps_per_path) {
         path_step_capped_ = true;
+        SIGREC_TRACE(notify_prune(st.pc));
         return;
       }
       if (++trace_.total_steps > limits_.max_total_steps) {
         status_ = RecoveryStatus::StepBudgetExhausted;
+        SIGREC_TRACE(notify_prune(st.pc));
         return;
       }
-      if (!within_operational_budget()) return;
-      std::size_t idx = dis_.index_of_pc(st.pc);
-      if (idx == evm::Disassembly::npos) return;
+      if (careful_) {
+        // Fault-armed runs keep the original per-step check ordering so
+        // injected failures fire on their exact step ordinals.
+        if (!within_operational_budget()) {
+          SIGREC_TRACE(notify_prune(st.pc));
+          return;
+        }
+      } else {
+        // Hot path: the deadline/cancel check is hoisted onto the
+        // deadline_check_interval boundary via a countdown — one decrement
+        // and one predictable branch per step instead of a division.
+        if (--steps_to_check_ == 0) {
+          steps_to_check_ = interval_;
+          if (deadline_expired_fast()) {
+            status_ = RecoveryStatus::DeadlineExceeded;
+            SIGREC_TRACE(notify_prune(st.pc));
+            return;
+          }
+        }
+        // The pool-node cap stays per-step: it must observe every interned
+        // node, and it costs two loads and a compare.
+        if (limits_.budget.max_pool_nodes != 0 &&
+            pool_.size() > limits_.budget.max_pool_nodes) {
+          status_ = RecoveryStatus::MemoryBudgetExhausted;
+          SIGREC_TRACE(notify_prune(st.pc));
+          return;
+        }
+      }
+      if (idx == evm::Disassembly::npos) {
+        SIGREC_TRACE(notify_prune(st.pc));
+        return;
+      }
       const evm::Instruction& inst = insts[idx];
-      if (!step(st, inst, worklist)) return;
+      SIGREC_TRACE(notify_step(st.pc, inst.op));
+      if (!step(st, inst, worklist)) {
+        SIGREC_TRACE(notify_prune(st.pc));
+        return;
+      }
     }
   }
 
@@ -297,6 +703,15 @@ class Runner {
 
   SymValue make_const(const U256& v) { return SymValue{pool_.constant(v), {}, {}, {}}; }
 
+  // Pops two operands, applies `op` with the full provenance / use-recording
+  // / bound-check logic, pushes the result. Shared by the generic step() and
+  // the tight segment loop so the type-evidence rules have one home.
+  // Returns false when the path ends (underflow, stack overflow).
+  bool exec_binary(PathState& st, Opcode op, std::size_t pc);
+
+  // Same for ISZERO/NOT.
+  bool exec_unary(PathState& st, Opcode op, std::size_t pc);
+
   // Executes one instruction. Returns false when the path ends (halt, error,
   // unresolved jump); pushes forked states onto the worklist.
   bool step(PathState& st, const evm::Instruction& inst, std::deque<PathState>& worklist);
@@ -306,18 +721,158 @@ class Runner {
   Limits limits_;
   std::shared_ptr<ExprPool> pool_holder_;
   ExprPool& pool_;
+  std::vector<detail::Segment>* segments_;
+  Tracer* tracer_;
   Trace trace_;
   std::chrono::steady_clock::time_point start_;
   RecoveryStatus status_ = RecoveryStatus::Complete;
   std::string error_;
   bool path_step_capped_ = false;
+  bool careful_ = false;
+  bool deadline_armed_ = false;
+  bool fast_ok_ = false;
+  bool lt_env_consulted_ = false;
+  std::uint64_t interval_ = 256;
+  std::uint64_t steps_to_check_ = 256;
 
   std::vector<GuardInfo> guards_;
   std::map<std::size_t, std::uint32_t> guard_by_pc_;
   std::map<std::pair<std::size_t, ExprPtr>, std::size_t> load_dedup_;
   std::map<std::size_t, std::size_t> copy_dedup_;
-  std::set<std::tuple<int, std::size_t>> use_dedup_;
+  std::vector<std::uint64_t> use_dedup_;  // sorted (kind, pc) keys
+  std::unordered_map<SummaryKey, Summary, SummaryKeyHash> summaries_;
 };
+
+bool Runner::exec_binary(PathState& st, Opcode op, std::size_t pc) {
+  bool ok = true;
+  SymValue a = pop(st, ok);
+  SymValue b = pop(st, ok);
+  SymValue r;
+  r.expr = pool_.binary(op, a.expr, b.expr);
+  r.prov = a.prov;
+  r.prov.merge(b.prov);
+
+  auto const_of = [](const SymValue& v) { return v.expr->const_u64(); };
+  // Provenance flags the rules key on (disabled in the conventional-SE
+  // ablation).
+  if (limits_.type_aware) {
+    if (op == Opcode::MUL) {
+      auto ca = const_of(a);
+      auto cb = const_of(b);
+      bool m32 = (ca && *ca != 0 && *ca % 32 == 0) || (cb && *cb != 0 && *cb % 32 == 0);
+      r.prov.mul32 |= m32;
+    }
+    if (op == Opcode::DIV && const_of(b) == std::optional<std::uint64_t>(32)) {
+      r.prov.div32 = true;
+    }
+  }
+
+  // Type-revealing uses (§3.4 rules) — recorded only for values derived
+  // from the call data; record_use filters on provenance.
+  switch (op) {
+    case Opcode::ADD:
+    case Opcode::SUB:
+    case Opcode::MUL:
+    case Opcode::DIV:
+    case Opcode::MOD:
+    case Opcode::EXP: {
+      Prov p = a.prov;
+      p.merge(b.prov);
+      record_use(UseKind::Arithmetic, pc, p);
+      break;
+    }
+    case Opcode::SDIV:
+    case Opcode::SMOD: {
+      Prov p = a.prov;
+      p.merge(b.prov);
+      record_use(UseKind::SignedOp, pc, p);
+      break;
+    }
+    case Opcode::AND:
+      if (a.expr->is_const() && b.prov.touches_calldata()) {
+        record_use(UseKind::Mask, pc, b.prov, a.expr->value());
+      } else if (b.expr->is_const() && a.prov.touches_calldata()) {
+        record_use(UseKind::Mask, pc, a.prov, b.expr->value());
+      }
+      break;
+    case Opcode::SIGNEXTEND:
+      if (a.expr->is_const() && a.expr->value().fits_u64()) {
+        record_use(UseKind::SignExtend, pc, b.prov, U256(0), a.expr->value().as_u64());
+      }
+      break;
+    case Opcode::BYTE:
+      if (a.expr->is_const()) record_use(UseKind::ByteOp, pc, b.prov);
+      break;
+    case Opcode::SHR:
+      // §7 obfuscation: SHR(k, SHL(k, x)) == x & ones(256-k) — an AND
+      // mask in disguise. Surface it as a Mask use so R11/R16 still fire.
+      if (limits_.semantic_mask_patterns && a.expr->is_const() &&
+          a.expr->value().fits_u64() && a.expr->value().as_u64() < 256 &&
+          b.expr->kind() == ExprKind::Binary && b.expr->op() == Opcode::SHL &&
+          b.expr->child(0) == a.expr && b.prov.touches_calldata()) {
+        unsigned k = static_cast<unsigned>(a.expr->value().as_u64());
+        record_use(UseKind::Mask, pc, b.prov, U256::ones(256 - k));
+      }
+      break;
+    case Opcode::SHL:
+      // SHL(k, SHR(k, x)) == x & (ones(256-k) << k) — a high mask.
+      if (limits_.semantic_mask_patterns && a.expr->is_const() &&
+          a.expr->value().fits_u64() && a.expr->value().as_u64() < 256 &&
+          b.expr->kind() == ExprKind::Binary && b.expr->op() == Opcode::SHR &&
+          b.expr->child(0) == a.expr && b.prov.touches_calldata()) {
+        unsigned k = static_cast<unsigned>(a.expr->value().as_u64());
+        record_use(UseKind::Mask, pc, b.prov, U256::ones(256 - k).shl(k));
+      }
+      break;
+    case Opcode::LT:
+    case Opcode::GT:
+    case Opcode::SLT:
+    case Opcode::SGT: {
+      bool cmp_signed = (op == Opcode::SLT || op == Opcode::SGT);
+      if (a.prov.touches_calldata()) {
+        // A clamp: the checked value comes from the call data (R27-R30).
+        if (b.expr->is_const()) {
+          record_use(UseKind::Compare, pc, a.prov, U256(0), 0, b.expr->value(), cmp_signed);
+        }
+      } else if (op == Opcode::LT) {
+        // Potential array bound check: LT(index, bound) with an index that
+        // carries no call-data value (a loop counter or constant).
+        if (!b.expr->is_const()) lt_env_consulted_ = true;
+        if (b.expr->is_const() || trace_.load_by_result.contains(b.expr)) {
+          LtOrigin o;
+          o.lt_pc = pc;
+          o.bound_symbolic = !b.expr->is_const();
+          if (b.expr->is_const() && b.expr->value().fits_u64()) {
+            o.bound_const = b.expr->value().as_u64();
+          }
+          if (o.bound_symbolic) o.bound_load = trace_.load_by_result.at(b.expr);
+          o.index_slot = a.source_slot;
+          o.index_const = a.expr->is_const();
+          r.lt_origin = o;
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return ok && push(st, std::move(r));
+}
+
+bool Runner::exec_unary(PathState& st, Opcode op, std::size_t pc) {
+  bool ok = true;
+  SymValue a = pop(st, ok);
+  SymValue r;
+  r.expr = pool_.unary(op, a.expr);
+  r.prov = a.prov;
+  r.lt_origin = a.lt_origin;  // negation keeps the bound-check origin
+  if (op == Opcode::ISZERO && a.expr->kind() == ExprKind::Unary &&
+      a.expr->op() == Opcode::ISZERO) {
+    // Two consecutive ISZEROs — the bool normalization (R14).
+    record_use(UseKind::IsZeroPair, pc, a.prov);
+  }
+  return ok && push(st, std::move(r));
+}
 
 bool Runner::step(PathState& st, const evm::Instruction& inst,
                   std::deque<PathState>& worklist) {
@@ -376,133 +931,14 @@ bool Runner::step(PathState& st, const evm::Instruction& inst,
     case Opcode::GT:
     case Opcode::SLT:
     case Opcode::SGT: {
-      SymValue a = pop(st, ok);
-      SymValue b = pop(st, ok);
-      SymValue r;
-      r.expr = pool_.binary(op, a.expr, b.expr);
-      r.prov = a.prov;
-      r.prov.merge(b.prov);
-
-      auto const_of = [](const SymValue& v) { return v.expr->const_u64(); };
-      // Provenance flags the rules key on (disabled in the conventional-SE
-      // ablation).
-      if (limits_.type_aware) {
-        if (op == Opcode::MUL) {
-          auto ca = const_of(a);
-          auto cb = const_of(b);
-          bool m32 = (ca && *ca != 0 && *ca % 32 == 0) || (cb && *cb != 0 && *cb % 32 == 0);
-          r.prov.mul32 |= m32;
-        }
-        if (op == Opcode::DIV && const_of(b) == std::optional<std::uint64_t>(32)) {
-          r.prov.div32 = true;
-        }
-      }
-
-      // Type-revealing uses (§3.4 rules) — recorded only for values derived
-      // from the call data; record_use filters on provenance.
-      switch (op) {
-        case Opcode::ADD:
-        case Opcode::SUB:
-        case Opcode::MUL:
-        case Opcode::DIV:
-        case Opcode::MOD:
-        case Opcode::EXP: {
-          Prov p = a.prov;
-          p.merge(b.prov);
-          record_use(UseKind::Arithmetic, pc, p);
-          break;
-        }
-        case Opcode::SDIV:
-        case Opcode::SMOD: {
-          Prov p = a.prov;
-          p.merge(b.prov);
-          record_use(UseKind::SignedOp, pc, p);
-          break;
-        }
-        case Opcode::AND:
-          if (a.expr->is_const() && b.prov.touches_calldata()) {
-            record_use(UseKind::Mask, pc, b.prov, a.expr->value());
-          } else if (b.expr->is_const() && a.prov.touches_calldata()) {
-            record_use(UseKind::Mask, pc, a.prov, b.expr->value());
-          }
-          break;
-        case Opcode::SIGNEXTEND:
-          if (a.expr->is_const() && a.expr->value().fits_u64()) {
-            record_use(UseKind::SignExtend, pc, b.prov, U256(0), a.expr->value().as_u64());
-          }
-          break;
-        case Opcode::BYTE:
-          if (a.expr->is_const()) record_use(UseKind::ByteOp, pc, b.prov);
-          break;
-        case Opcode::SHR:
-          // §7 obfuscation: SHR(k, SHL(k, x)) == x & ones(256-k) — an AND
-          // mask in disguise. Surface it as a Mask use so R11/R16 still fire.
-          if (limits_.semantic_mask_patterns && a.expr->is_const() &&
-              a.expr->value().fits_u64() && a.expr->value().as_u64() < 256 &&
-              b.expr->kind() == ExprKind::Binary && b.expr->op() == Opcode::SHL &&
-              b.expr->child(0) == a.expr && b.prov.touches_calldata()) {
-            unsigned k = static_cast<unsigned>(a.expr->value().as_u64());
-            record_use(UseKind::Mask, pc, b.prov, U256::ones(256 - k));
-          }
-          break;
-        case Opcode::SHL:
-          // SHL(k, SHR(k, x)) == x & (ones(256-k) << k) — a high mask.
-          if (limits_.semantic_mask_patterns && a.expr->is_const() &&
-              a.expr->value().fits_u64() && a.expr->value().as_u64() < 256 &&
-              b.expr->kind() == ExprKind::Binary && b.expr->op() == Opcode::SHR &&
-              b.expr->child(0) == a.expr && b.prov.touches_calldata()) {
-            unsigned k = static_cast<unsigned>(a.expr->value().as_u64());
-            record_use(UseKind::Mask, pc, b.prov, U256::ones(256 - k).shl(k));
-          }
-          break;
-        case Opcode::LT:
-        case Opcode::GT:
-        case Opcode::SLT:
-        case Opcode::SGT: {
-          bool cmp_signed = (op == Opcode::SLT || op == Opcode::SGT);
-          if (a.prov.touches_calldata()) {
-            // A clamp: the checked value comes from the call data (R27-R30).
-            if (b.expr->is_const()) {
-              record_use(UseKind::Compare, pc, a.prov, U256(0), 0, b.expr->value(), cmp_signed);
-            }
-          } else if (op == Opcode::LT &&
-                     (b.expr->is_const() || trace_.load_by_result.contains(b.expr))) {
-            // Potential array bound check: LT(index, bound) with an index that
-            // carries no call-data value (a loop counter or constant).
-            LtOrigin o;
-            o.lt_pc = pc;
-            o.bound_symbolic = !b.expr->is_const();
-            if (b.expr->is_const() && b.expr->value().fits_u64()) {
-              o.bound_const = b.expr->value().as_u64();
-            }
-            if (o.bound_symbolic) o.bound_load = trace_.load_by_result.at(b.expr);
-            o.index_slot = a.source_slot;
-            o.index_const = a.expr->is_const();
-            r.lt_origin = o;
-          }
-          break;
-        }
-        default:
-          break;
-      }
-      if (!ok || !push(st, std::move(r))) return false;
+      if (!exec_binary(st, op, pc)) return false;
       st.pc = next;
       return true;
     }
 
     case Opcode::ISZERO:
     case Opcode::NOT: {
-      SymValue a = pop(st, ok);
-      SymValue r;
-      r.expr = pool_.unary(op, a.expr);
-      r.prov = a.prov;
-      r.lt_origin = a.lt_origin;  // negation keeps the bound-check origin
-      if (op == Opcode::ISZERO && a.expr->kind() == ExprKind::Unary &&
-          a.expr->op() == Opcode::ISZERO) {
-        // Two consecutive ISZEROs — the bool normalization (R14).
-        record_use(UseKind::IsZeroPair, pc, a.prov);
-      }
-      if (!ok || !push(st, std::move(r))) return false;
+      if (!exec_unary(st, op, pc)) return false;
       st.pc = next;
       return true;
     }
@@ -648,6 +1084,7 @@ bool Runner::step(PathState& st, const evm::Instruction& inst,
       if (!ok) return false;
       auto d = dest.expr->const_u64();
       // Input-dependent jump target: stop the path (§4.2 restriction).
+      // Resolved jumps just redirect pc in place — no state is copied.
       if (!d || !code_.is_jumpdest(*d)) return false;
       st.pc = *d;
       return true;
@@ -667,8 +1104,9 @@ bool Runner::step(PathState& st, const evm::Instruction& inst,
         if (cond.lt_origin->index_slot.has_value()) {
           // Tag the loop counter's slot: all later reads of it carry the
           // check, so item-access locations inherit it (R2/R3's v3).
-          auto it = st.mem.find(*cond.lt_origin->index_slot);
-          if (it != st.mem.end()) it->second.prov.checks.insert(gid);
+          if (SymValue* slot = st.mem.find(*cond.lt_origin->index_slot)) {
+            slot->prov.checks.insert(gid);
+          }
         } else if (cond.lt_origin->index_const) {
           // Straight-line constant-index check: applies to the next
           // call-data access only.
@@ -677,6 +1115,7 @@ bool Runner::step(PathState& st, const evm::Instruction& inst,
       }
 
       if (cond.expr->is_const()) {
+        // Concrete condition: no fork, no copy — pc is redirected in place.
         if (cond.expr->value().is_zero()) {
           st.pc = next;
         } else {
@@ -690,14 +1129,16 @@ bool Runner::step(PathState& st, const evm::Instruction& inst,
       // killing the path — a loop guard exits its loop, an assertion falls
       // through. (Clamp checks inside concrete loops execute many times;
       // dying there would hide every later parameter.)
-      bool may_take = target_valid && st.jumpi_taken[pc] < limits_.max_jumpi_visits;
-      bool may_fall = st.jumpi_fallthrough[pc] < limits_.max_jumpi_visits;
+      JumpiVisits& visits = st.jumpi[pc];
+      bool may_take = target_valid && visits.taken < limits_.max_jumpi_visits;
+      bool may_fall = visits.fallthrough < limits_.max_jumpi_visits;
       if (!limits_.deterministic_single_path && may_take && may_fall) {
-        PathState taken = st;  // copy
-        taken.jumpi_taken[pc]++;
+        SIGREC_TRACE(notify_fork(pc));
+        PathState taken = st;  // the only PathState copy in the executor
+        taken.jumpi[pc].taken++;
         taken.pc = *d;
         worklist.push_back(std::move(taken));
-        st.jumpi_fallthrough[pc]++;
+        visits.fallthrough++;
         st.pc = next;
         return true;
       }
@@ -708,11 +1149,11 @@ bool Runner::step(PathState& st, const evm::Instruction& inst,
                           cond.expr->kind() == ExprKind::Unary &&
                           cond.expr->op() == Opcode::ISZERO;
       if (exit_on_take && target_valid) {
-        st.jumpi_taken[pc]++;
+        visits.taken++;
         st.pc = *d;
         return true;
       }
-      st.jumpi_fallthrough[pc]++;
+      visits.fallthrough++;
       st.pc = next;
       return true;
     }
@@ -747,10 +1188,22 @@ bool Runner::step(PathState& st, const evm::Instruction& inst,
 }  // namespace
 
 SymExecutor::SymExecutor(const evm::Bytecode& code, Limits limits)
-    : code_(code), dis_(code), limits_(limits) {}
+    : code_(code),
+      dis_(code.disassembly()),
+      limits_(limits),
+      segments_(dis_.instructions().size()) {}
 
 Trace SymExecutor::run(std::uint32_t selector) {
-  Runner runner(code_, dis_, limits_, selector);
+  // Recycle the expression arena when nothing else still reads it; a Trace
+  // from a previous run shares ownership, so a caller that kept it alive
+  // simply forces a fresh pool instead of invalidating its expressions.
+  if (pool_ == nullptr || pool_.use_count() > 1) {
+    pool_ = std::make_shared<ExprPool>();
+  } else {
+    pool_->reset();
+  }
+  pool_->set_selector(selector);
+  Runner runner(code_, dis_, limits_, selector, pool_, &segments_, tracer_);
   return runner.run();
 }
 

@@ -13,12 +13,17 @@
 // type-revealing uses (masks, sign-extensions, byte reads, clamps, ...).
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "evm/bytecode.hpp"
 #include "evm/disassembler.hpp"
 #include "symexec/budget.hpp"
 #include "symexec/state.hpp"
 
 namespace sigrec::symexec {
+
+class Tracer;
 
 struct Limits {
   std::uint64_t max_steps_per_path = 40000;
@@ -50,22 +55,67 @@ struct Limits {
   // §7 obfuscation resistance: recognize semantically-equivalent mask
   // encodings (SHL/SHR pairs) in addition to literal AND masks.
   bool semantic_mask_patterns = true;
+
+  // Hot-path fast lane (A/B knob): execute straight-line runs of pure
+  // stack/arithmetic opcodes through a tight interpreter loop and memoize
+  // per-segment summaries keyed by (segment, entry stack shape). Observable
+  // behavior — trace events, statuses, even step counts — is identical with
+  // this on or off; the knob exists so tests can prove that. The fast lane
+  // automatically stands down when exactness demands it (armed fault plans,
+  // pool-node caps, an installed tracer).
+  bool block_summaries = true;
 };
+
+namespace detail {
+
+// Static shape of the maximal straight-line pure-opcode run starting at an
+// instruction index: how many instructions it spans, how deep below the
+// entry stack it reaches, how high above it climbs, and where it exits.
+// Value-independent, so it is computed once per SymExecutor (per contract)
+// and shared by every run.
+struct Segment {
+  std::uint32_t len = 0;       // pure instructions starting here (0 = none)
+  std::uint16_t consumed = 0;  // stack slots read below the entry depth
+  std::uint16_t max_rel = 0;   // peak height above the entry depth
+  std::size_t exit_pc = 0;     // pc of the first instruction after the run
+  bool computed = false;
+};
+
+}  // namespace detail
 
 class SymExecutor {
  public:
   SymExecutor(const evm::Bytecode& code, Limits limits = {});
 
-  // Analyzes the function with the given selector; reusable across calls.
+  // Analyzes the function with the given selector; reusable across calls —
+  // and cheap to reuse: the disassembly is shared via the Bytecode's cache
+  // and the expression arena is recycled between runs (reset, not
+  // reallocated) whenever the previous run's Trace has been dropped.
   // Budget exhaustion never throws — it ends the run with the partial trace
   // collected so far and a non-Complete `Trace::status`. The only exception
   // ever raised is the test-only `FaultPlan::throw_at_path` injection.
+  //
+  // NOT thread-safe: one SymExecutor per thread (each run mutates the
+  // shared pool and the lazily-built segment table).
   [[nodiscard]] Trace run(std::uint32_t selector);
+
+  // Installs an instrumentation chain (non-owning; nullptr uninstalls).
+  // With no tracer installed the hot loop pays one predictable branch per
+  // step; with a tracer, every executed instruction is reported and the
+  // summary fast lane stands down so the tracer sees each step.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  // The expression pool backing the most recent run (shared with its
+  // Trace). Exposed for pool/arena statistics; may be null before any run.
+  [[nodiscard]] const std::shared_ptr<ExprPool>& pool() const { return pool_; }
 
  private:
   const evm::Bytecode& code_;
-  evm::Disassembly dis_;
+  const evm::Disassembly& dis_;
   Limits limits_;
+  Tracer* tracer_ = nullptr;
+  std::shared_ptr<ExprPool> pool_;
+  std::vector<detail::Segment> segments_;  // lazily filled, one per instruction
 };
 
 }  // namespace sigrec::symexec

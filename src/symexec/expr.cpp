@@ -33,65 +33,167 @@ std::string Expr::to_string() const {
   return "?";
 }
 
-std::size_t ExprPool::KeyHash::operator()(const Key& k) const {
-  std::size_t h = static_cast<std::size_t>(k.kind) * 0x9e3779b97f4a7c15ULL;
-  h ^= static_cast<std::size_t>(k.op) + (h << 6);
-  h ^= k.value.hash() + (h << 6);
-  h ^= k.fresh_id + (h << 6);
-  for (ExprPtr c : k.children) {
-    h ^= std::hash<const void*>()(c) + 0x9e3779b9 + (h << 6) + (h >> 2);
-  }
-  return h;
+namespace {
+
+// splitmix64-style finalizer: cheap, and strong enough that the power-of-two
+// open-addressing table stays short-probed.
+inline std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
 }
 
-ExprPtr ExprPool::intern(Expr e) {
-  Key k{e.kind_, e.op_, e.value_, e.fresh_id_, e.children_};
-  auto it = nodes_.find(k);
-  if (it != nodes_.end()) return it->second.get();
-  auto node = std::make_unique<Expr>(std::move(e));
-  ExprPtr p = node.get();
-  nodes_.emplace(std::move(k), std::move(node));
-  return p;
+inline std::size_t hash_node(ExprKind kind, Opcode op, const U256& value,
+                             std::uint64_t fresh_id, ExprPtr c0, ExprPtr c1) {
+  std::uint64_t h = mix((static_cast<std::uint64_t>(kind) << 8) |
+                        static_cast<std::uint64_t>(op));
+  if (kind == ExprKind::Const) h = mix(h ^ value.hash());
+  if (fresh_id != 0) h = mix(h ^ fresh_id);
+  if (c0 != nullptr) h = mix(h ^ reinterpret_cast<std::uintptr_t>(c0));
+  if (c1 != nullptr) h = mix(h ^ reinterpret_cast<std::uintptr_t>(c1));
+  return static_cast<std::size_t>(h);
+}
+
+inline bool same_node(const Expr& a, ExprKind kind, Opcode op, const U256& value,
+                      std::uint64_t fresh_id, ExprPtr c0, ExprPtr c1) {
+  return a.kind() == kind && a.op() == op && a.fresh_id() == fresh_id &&
+         a.child(0) == c0 && a.child(1) == c1 &&
+         (kind != ExprKind::Const || a.value() == value);
+}
+
+}  // namespace
+
+ExprPool::ExprPool() {
+  table_.assign(256, nullptr);
+}
+
+Expr* ExprPool::allocate() {
+  if (chunk_index_ < chunks_.size() && chunk_used_ < kChunkNodes) {
+    return &chunks_[chunk_index_][chunk_used_++];
+  }
+  if (chunk_index_ + 1 < chunks_.size()) {
+    ++chunk_index_;
+    chunk_used_ = 1;
+    return &chunks_[chunk_index_][0];
+  }
+  chunks_.push_back(std::make_unique<Expr[]>(kChunkNodes));
+  chunk_index_ = chunks_.size() - 1;
+  chunk_used_ = 1;
+  return &chunks_[chunk_index_][0];
+}
+
+void ExprPool::grow_table(std::size_t min_capacity) {
+  std::size_t cap = table_.size();
+  while (cap < min_capacity) cap *= 2;
+  std::vector<ExprPtr> fresh_table(cap, nullptr);
+  std::size_t mask = cap - 1;
+  for (ExprPtr node : table_) {
+    if (node == nullptr) continue;
+    std::size_t slot = node->hash() & mask;
+    while (fresh_table[slot] != nullptr) slot = (slot + 1) & mask;
+    fresh_table[slot] = node;
+  }
+  table_ = std::move(fresh_table);
+}
+
+ExprPtr ExprPool::intern(const Expr& proto) {
+  const std::size_t mask = table_.size() - 1;
+  std::size_t slot = proto.hash_ & mask;
+  while (true) {
+    ExprPtr node = table_[slot];
+    if (node == nullptr) break;
+    if (node->hash() == proto.hash_ &&
+        same_node(*node, proto.kind_, proto.op_, proto.value_, proto.fresh_id_,
+                  proto.children_[0], proto.children_[1])) {
+      ++intern_hits_;
+      return node;
+    }
+    slot = (slot + 1) & mask;
+  }
+  ++intern_misses_;
+  Expr* node = allocate();
+  *node = proto;
+  ++live_nodes_;
+  table_[slot] = node;
+  if (++table_count_ * 4 >= table_.size() * 3) grow_table(table_.size() * 2);
+  return node;
+}
+
+void ExprPool::reset() {
+  chunk_index_ = 0;
+  chunk_used_ = 0;
+  live_nodes_ = 0;
+  std::fill(table_.begin(), table_.end(), nullptr);
+  table_count_ = 0;
+  affine_cache_.clear();
+  next_fresh_ = 1;
+  ++resets_;
+}
+
+ExprPool::Stats ExprPool::stats() const {
+  Stats s;
+  s.live_nodes = live_nodes_;
+  s.arena_chunks = chunks_.size();
+  s.arena_bytes = chunks_.size() * kChunkNodes * sizeof(Expr) +
+                  table_.size() * sizeof(ExprPtr);
+  s.intern_hits = intern_hits_;
+  s.intern_misses = intern_misses_;
+  s.resets = resets_;
+  return s;
 }
 
 ExprPtr ExprPool::constant(const U256& v) {
   Expr e;
   e.kind_ = ExprKind::Const;
   e.value_ = v;
-  return intern(std::move(e));
+  e.hash_ = hash_node(e.kind_, e.op_, e.value_, 0, nullptr, nullptr);
+  return intern(e);
 }
 
 ExprPtr ExprPool::selector_word() {
   Expr e;
   e.kind_ = ExprKind::SelectorWord;
-  return intern(std::move(e));
+  e.hash_ = hash_node(e.kind_, e.op_, e.value_, 0, nullptr, nullptr);
+  return intern(e);
 }
 
 ExprPtr ExprPool::calldata_word(ExprPtr loc) {
   Expr e;
   e.kind_ = ExprKind::CalldataWord;
-  e.children_ = {loc};
-  return intern(std::move(e));
+  e.num_children_ = 1;
+  e.children_[0] = loc;
+  e.hash_ = hash_node(e.kind_, e.op_, e.value_, 0, loc, nullptr);
+  return intern(e);
 }
 
 ExprPtr ExprPool::calldata_size() {
   Expr e;
   e.kind_ = ExprKind::CalldataSize;
-  return intern(std::move(e));
+  e.hash_ = hash_node(e.kind_, e.op_, e.value_, 0, nullptr, nullptr);
+  return intern(e);
 }
 
 ExprPtr ExprPool::env(Opcode op) {
   Expr e;
   e.kind_ = ExprKind::Env;
   e.op_ = op;
-  return intern(std::move(e));
+  e.hash_ = hash_node(e.kind_, e.op_, e.value_, 0, nullptr, nullptr);
+  return intern(e);
 }
 
 ExprPtr ExprPool::fresh() {
+  // Fresh symbols are unique by construction: allocate straight from the
+  // arena without probing the intern table (nothing can ever look one up).
   Expr e;
   e.kind_ = ExprKind::Fresh;
   e.fresh_id_ = next_fresh_++;
-  return intern(std::move(e));
+  e.hash_ = hash_node(e.kind_, e.op_, e.value_, e.fresh_id_, nullptr, nullptr);
+  ++intern_misses_;
+  Expr* node = allocate();
+  *node = e;
+  ++live_nodes_;
+  return node;
 }
 
 namespace {
@@ -169,8 +271,11 @@ ExprPtr ExprPool::binary(Opcode op, ExprPtr a, ExprPtr b) {
   Expr e;
   e.kind_ = ExprKind::Binary;
   e.op_ = op;
-  e.children_ = {a, b};
-  return intern(std::move(e));
+  e.num_children_ = 2;
+  e.children_[0] = a;
+  e.children_[1] = b;
+  e.hash_ = hash_node(e.kind_, e.op_, e.value_, 0, a, b);
+  return intern(e);
 }
 
 ExprPtr ExprPool::unary(Opcode op, ExprPtr a) {
@@ -189,8 +294,10 @@ ExprPtr ExprPool::unary(Opcode op, ExprPtr a) {
   Expr e;
   e.kind_ = ExprKind::Unary;
   e.op_ = op;
-  e.children_ = {a};
-  return intern(std::move(e));
+  e.num_children_ = 1;
+  e.children_[0] = a;
+  e.hash_ = hash_node(e.kind_, e.op_, e.value_, 0, a, nullptr);
+  return intern(e);
 }
 
 const AffineForm& ExprPool::affine(ExprPtr e) {
@@ -239,6 +346,11 @@ const AffineForm& ExprPool::affine(ExprPtr e) {
       ++iter;
     }
   }
+  // Bounded memoization: the cache is keyed by interned node, so on runs
+  // with an uncapped pool it could otherwise grow with the pool. When it
+  // fills, start over — references handed out by affine() are only valid
+  // until the next affine() call anyway (callers copy what they keep).
+  if (affine_cache_.size() >= kAffineCacheCap) affine_cache_.clear();
   return affine_cache_.emplace(e, std::move(form)).first->second;
 }
 

@@ -5,6 +5,14 @@
 // on construction. The folder knows the dispatcher idiom — extracting the
 // 4-byte selector from CALLDATALOAD(0) via DIV 2^224 or SHR 224 — so the
 // executor walks dispatchers deterministically when given a target selector.
+//
+// Storage is a bump-pointer arena: nodes have a fixed layout (inline
+// children array, every kind has arity <= 2) and a hash precomputed at
+// construction from the kind/op/value and the child *pointers* (children are
+// interned first, so pointer identity is structural identity). Interning
+// goes through an open-addressing table of node pointers — no per-node
+// malloc, no key copies. `reset()` recycles the arena across the functions
+// of one contract instead of reallocating.
 #pragma once
 
 #include <cstdint>
@@ -40,8 +48,10 @@ class Expr {
   [[nodiscard]] const evm::U256& value() const { return value_; }  // Const
   [[nodiscard]] evm::Opcode op() const { return op_; }             // Binary/Unary/Env
   [[nodiscard]] ExprPtr child(std::size_t i) const { return children_[i]; }
-  [[nodiscard]] std::size_t num_children() const { return children_.size(); }
+  [[nodiscard]] std::size_t num_children() const { return num_children_; }
   [[nodiscard]] std::uint64_t fresh_id() const { return fresh_id_; }
+  // Structural hash, fixed at construction (children hash by pointer).
+  [[nodiscard]] std::size_t hash() const { return hash_; }
 
   [[nodiscard]] bool is_const() const { return kind_ == ExprKind::Const; }
   // Constant that fits in 64 bits, the common case for locations.
@@ -56,9 +66,11 @@ class Expr {
   friend class ExprPool;
   ExprKind kind_ = ExprKind::Const;
   evm::Opcode op_ = evm::Opcode::STOP;
-  evm::U256 value_;
+  std::uint8_t num_children_ = 0;
   std::uint64_t fresh_id_ = 0;
-  std::vector<ExprPtr> children_;
+  std::size_t hash_ = 0;
+  evm::U256 value_;
+  ExprPtr children_[2] = {nullptr, nullptr};
 };
 
 // Affine decomposition of an expression: constant + sum(coeff * atom).
@@ -72,7 +84,7 @@ struct AffineForm {
 
 class ExprPool {
  public:
-  ExprPool() = default;
+  ExprPool();
   ExprPool(const ExprPool&) = delete;
   ExprPool& operator=(const ExprPool&) = delete;
 
@@ -98,31 +110,62 @@ class ExprPool {
   ExprPtr sub(ExprPtr a, ExprPtr b) { return binary(evm::Opcode::SUB, a, b); }
 
   // Affine decomposition (cached). Depth-limited; atoms beyond the limit
-  // stay opaque.
+  // stay opaque. The cache is bounded (kAffineCacheCap entries, cleared
+  // wholesale when full), so the returned reference is only guaranteed
+  // valid until the next affine() call — copy what you keep.
   const AffineForm& affine(ExprPtr e);
 
   // True iff `affine(e)` contains `atom` with a non-zero coefficient.
   bool contains_term(ExprPtr e, ExprPtr atom);
 
-  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  // Live (interned) node count — the quantity `Budget::max_pool_nodes` caps.
+  [[nodiscard]] std::size_t size() const { return live_nodes_; }
+
+  // Recycles the pool for the next function of the same contract: the arena
+  // chunks are kept but rewound, the intern table and the affine cache are
+  // cleared, and fresh-symbol numbering restarts. Every ExprPtr handed out
+  // before the reset is invalidated — callers must not reset while a Trace
+  // (which shares ownership of the pool) still reads its expressions.
+  void reset();
+
+  // Observability for benchmarks and the memory-bound satellite: how much
+  // arena is held, how hot the intern table runs.
+  struct Stats {
+    std::size_t live_nodes = 0;      // interned nodes since the last reset
+    std::size_t arena_chunks = 0;    // allocated chunks (kept across resets)
+    std::size_t arena_bytes = 0;     // total arena footprint in bytes
+    std::uint64_t intern_hits = 0;   // construction found an existing node
+    std::uint64_t intern_misses = 0; // construction allocated a new node
+    std::uint64_t resets = 0;        // lifetime reset() count
+  };
+  [[nodiscard]] Stats stats() const;
 
  private:
-  ExprPtr intern(Expr e);
+  ExprPtr intern(const Expr& proto);
+  Expr* allocate();
+  void grow_table(std::size_t min_capacity);
+
+  static constexpr std::size_t kChunkNodes = 512;
+  // Affine results are a few dozen bytes each; 64Ki entries bounds the cache
+  // near the working-set size of the largest honest runs while keeping the
+  // wholesale-clear fallback essentially unreachable outside stress tests.
+  static constexpr std::size_t kAffineCacheCap = 64 * 1024;
 
   std::uint32_t selector_ = 0;
   std::uint64_t next_fresh_ = 1;
-  struct Key {
-    ExprKind kind;
-    evm::Opcode op;
-    evm::U256 value;
-    std::uint64_t fresh_id;
-    std::vector<ExprPtr> children;
-    bool operator==(const Key&) const = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const;
-  };
-  std::unordered_map<Key, std::unique_ptr<Expr>, KeyHash> nodes_;
+
+  std::vector<std::unique_ptr<Expr[]>> chunks_;
+  std::size_t chunk_index_ = 0;  // chunk currently being filled
+  std::size_t chunk_used_ = 0;   // nodes used in that chunk
+  std::size_t live_nodes_ = 0;
+
+  std::vector<ExprPtr> table_;  // open addressing, power-of-two, nullptr = empty
+  std::size_t table_count_ = 0;
+
+  std::uint64_t intern_hits_ = 0;
+  std::uint64_t intern_misses_ = 0;
+  std::uint64_t resets_ = 0;
+
   std::unordered_map<ExprPtr, AffineForm> affine_cache_;
 };
 

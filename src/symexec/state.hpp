@@ -1,10 +1,12 @@
 // Symbolic machine state and the event trace the TASE rules consume.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,41 @@
 
 namespace sigrec::symexec {
 
+// Sorted, deduplicated id set on contiguous storage. Provenance sets are
+// tiny (almost always zero to two ids) but are copied, merged, and destroyed
+// millions of times per contract as symbolic values move through the stack —
+// a flat vector beats a node-based set on every one of those operations
+// while iterating in the same (ascending) order.
+class IdSet {
+ public:
+  void insert(std::uint32_t id) {
+    auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it == ids_.end() || *it != id) ids_.insert(it, id);
+  }
+  void merge(const IdSet& other) {
+    if (other.ids_.empty()) return;
+    if (ids_.empty()) {
+      ids_ = other.ids_;
+      return;
+    }
+    std::vector<std::uint32_t> merged;
+    merged.reserve(ids_.size() + other.ids_.size());
+    std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(), other.ids_.end(),
+                   std::back_inserter(merged));
+    ids_ = std::move(merged);
+  }
+  [[nodiscard]] bool contains(std::uint32_t id) const {
+    return std::binary_search(ids_.begin(), ids_.end(), id);
+  }
+  [[nodiscard]] bool empty() const { return ids_.empty(); }
+  [[nodiscard]] std::size_t size() const { return ids_.size(); }
+  [[nodiscard]] auto begin() const { return ids_.begin(); }
+  [[nodiscard]] auto end() const { return ids_.end(); }
+
+ private:
+  std::vector<std::uint32_t> ids_;
+};
+
 // Dataflow provenance carried by every symbolic value. The rules in §3 are
 // phrased over "the symbolic expression of loc contains …"; provenance makes
 // those queries robust to constant folding (e.g. the loop-counter iteration
@@ -20,20 +57,20 @@ namespace sigrec::symexec {
 struct Prov {
   // CALLDATALOAD events whose *value* flowed into this value (additively or
   // otherwise) — the "exp(loc) ∘ (offset +)" signal of R2.
-  std::set<std::uint32_t> loads;
+  IdSet loads;
   // CALLDATACOPY regions this value was read back out of (via MLOAD) — the
   // step-3 "parameter-related symbol" marking.
-  std::set<std::uint32_t> copies;
+  IdSet copies;
   // Bound checks (by guard id) that dominate this value's index components —
   // the "LTn ≺ … ≺ LT1 ≺ CALLDATALOAD" signal of R2/R3.
-  std::set<std::uint32_t> checks;
+  IdSet checks;
   bool mul32 = false;  // multiplied by a non-zero multiple of 32 (R2's ×32)
   bool div32 = false;  // divided by 32 — the ceil-rounding signature of R8
 
   void merge(const Prov& other) {
-    loads.insert(other.loads.begin(), other.loads.end());
-    copies.insert(other.copies.begin(), other.copies.end());
-    checks.insert(other.checks.begin(), other.checks.end());
+    loads.merge(other.loads);
+    copies.merge(other.copies);
+    checks.merge(other.checks);
     mul32 |= other.mul32;
     div32 |= other.div32;
   }
@@ -136,8 +173,48 @@ struct Trace {
   std::uint64_t total_steps = 0;
   std::uint64_t paths_explored = 0;
 
+  // Hot-path observability (benchmarks only; not part of the recovered
+  // signature): behavior of the per-run straight-line block-summary memo.
+  // A "hit" replays a previously recorded pure segment without re-walking
+  // it; `summary_steps_skipped` counts the steps that replay covered (they
+  // are still charged to `total_steps`, so step accounting is identical
+  // with the memo on or off).
+  std::uint64_t summary_hits = 0;
+  std::uint64_t summary_misses = 0;
+  std::uint64_t summary_steps_skipped = 0;
+
   // Lookup: result node of CALLDATALOAD -> event id (for num-field bounds).
-  std::map<ExprPtr, std::uint32_t> load_by_result;
+  // A sorted flat map: a run records at most a few dozen loads, and the map
+  // is only probed pointwise — contiguous storage beats any node or bucket
+  // structure at this size.
+  class LoadByResult {
+   public:
+    void emplace(ExprPtr key, std::uint32_t id) {
+      auto it = lower_bound(key);
+      if (it == entries_.end() || it->first != key) entries_.insert(it, {key, id});
+    }
+    [[nodiscard]] bool contains(ExprPtr key) const {
+      auto it = lower_bound(key);
+      return it != entries_.end() && it->first == key;
+    }
+    [[nodiscard]] std::uint32_t at(ExprPtr key) const {
+      auto it = lower_bound(key);
+      if (it == entries_.end() || it->first != key) {
+        throw std::out_of_range("LoadByResult::at: unknown load result");
+      }
+      return it->second;
+    }
+
+   private:
+    [[nodiscard]] std::vector<std::pair<ExprPtr, std::uint32_t>>::const_iterator lower_bound(
+        ExprPtr key) const {
+      return std::lower_bound(
+          entries_.begin(), entries_.end(), key,
+          [](const std::pair<ExprPtr, std::uint32_t>& e, ExprPtr k) { return e.first < k; });
+    }
+    std::vector<std::pair<ExprPtr, std::uint32_t>> entries_;
+  };
+  LoadByResult load_by_result;
 };
 
 // A CALLDATACOPY-created memory region (for MLOAD marking).

@@ -1,0 +1,80 @@
+#include "symexec/tracer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+namespace sigrec::symexec {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Tracer* Tracer::chain(std::unique_ptr<Tracer> next) {
+  Tracer* tail = this;
+  while (tail->next_ != nullptr) tail = tail->next_.get();
+  Tracer* raw = next.get();
+  tail->next_ = std::move(next);
+  return raw;
+}
+
+void OpcodeHistogramTracer::on_step(std::size_t /*pc*/, evm::Opcode op) {
+  ++counts_[static_cast<std::uint8_t>(op)];
+  ++total_steps_;
+}
+
+std::string OpcodeHistogramTracer::top(std::size_t n) const {
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> ranked;
+  for (unsigned i = 0; i < 256; ++i) {
+    if (counts_[i] != 0) ranked.emplace_back(counts_[i], static_cast<std::uint8_t>(i));
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (ranked.size() > n) ranked.resize(n);
+  std::string out;
+  for (const auto& [count, op] : ranked) {
+    if (!out.empty()) out += ' ';
+    out += std::string(evm::op_info(op).name);
+    out += ':';
+    out += std::to_string(count);
+  }
+  return out;
+}
+
+void PhaseTimingTracer::on_run_start(std::uint32_t /*selector*/) {
+  run_start_ = now_seconds();
+  path_start_ = run_start_;
+  in_run_ = true;
+  ++runs_;
+}
+
+void PhaseTimingTracer::on_fork(std::size_t /*pc*/) { ++forks_; }
+
+void PhaseTimingTracer::close_path() {
+  if (!in_run_) return;
+  double now = now_seconds();
+  double elapsed = now - path_start_;
+  path_seconds_ += elapsed;
+  max_path_seconds_ = std::max(max_path_seconds_, elapsed);
+  path_start_ = now;
+  ++paths_;
+}
+
+void PhaseTimingTracer::on_prune(std::size_t /*pc*/) { close_path(); }
+
+void PhaseTimingTracer::on_run_end(const Trace& /*trace*/) {
+  if (!in_run_) return;
+  total_seconds_ += now_seconds() - run_start_;
+  in_run_ = false;
+}
+
+}  // namespace sigrec::symexec

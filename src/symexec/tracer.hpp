@@ -1,0 +1,126 @@
+// Chained instrumentation hook for the symbolic executor.
+//
+// A Tracer observes the executor's hot loop without being paid for when
+// absent: the executor keeps one raw pointer, `nullptr` by default, so the
+// only cost with no tracer installed is a single predictable branch per
+// step (and the hook can be compiled out entirely with
+// SIGREC_DISABLE_TRACER to measure even that). Tracers chain — each one
+// forwards every notification to the next — so a histogram and a timing
+// tracer can observe one run simultaneously.
+//
+// Tracers exist to keep the next optimization round profile-first: the
+// opcode histogram says where steps go, the phase timer says where wall
+// time goes, and `bench_symexec` wires both into a reproducible microbench.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "evm/opcodes.hpp"
+
+namespace sigrec::symexec {
+
+struct Trace;
+
+// True when the executor's hot loop was compiled with tracer notifications
+// (the default); false under SIGREC_DISABLE_TRACER. Defined in executor.cpp
+// so it reflects the flag the dispatch loop was actually built with —
+// bench_symexec records it so two builds can be compared honestly.
+[[nodiscard]] bool tracer_hooks_compiled_in();
+
+class Tracer {
+ public:
+  virtual ~Tracer() = default;
+
+  // Notification entry points called by the executor (and by an upstream
+  // tracer in a chain). Forwarding is handled here so subclasses only
+  // implement the private on_* observers.
+  void notify_run_start(std::uint32_t selector) {
+    on_run_start(selector);
+    if (next_) next_->notify_run_start(selector);
+  }
+  void notify_step(std::size_t pc, evm::Opcode op) {
+    on_step(pc, op);
+    if (next_) next_->notify_step(pc, op);
+  }
+  void notify_fork(std::size_t pc) {
+    on_fork(pc);
+    if (next_) next_->notify_fork(pc);
+  }
+  void notify_prune(std::size_t pc) {
+    on_prune(pc);
+    if (next_) next_->notify_prune(pc);
+  }
+  void notify_run_end(const Trace& trace) {
+    on_run_end(trace);
+    if (next_) next_->notify_run_end(trace);
+  }
+
+  // Appends `next` to the end of this chain and returns its raw pointer
+  // (owned by the chain) so callers can still query the specific tracer.
+  Tracer* chain(std::unique_ptr<Tracer> next);
+
+ private:
+  virtual void on_run_start(std::uint32_t /*selector*/) {}
+  virtual void on_step(std::size_t /*pc*/, evm::Opcode /*op*/) {}
+  virtual void on_fork(std::size_t /*pc*/) {}
+  virtual void on_prune(std::size_t /*pc*/) {}
+  virtual void on_run_end(const Trace& /*trace*/) {}
+
+  std::unique_ptr<Tracer> next_;
+};
+
+// Counts executed opcodes across every observed run. `top(n)` renders the
+// heaviest opcodes — the executor's "where do the steps go" profile.
+class OpcodeHistogramTracer final : public Tracer {
+ public:
+  [[nodiscard]] std::uint64_t total_steps() const { return total_steps_; }
+  [[nodiscard]] std::uint64_t count(evm::Opcode op) const {
+    return counts_[static_cast<std::uint8_t>(op)];
+  }
+  // "PUSH1:1234 MSTORE:99 ..." for the n most-executed opcodes.
+  [[nodiscard]] std::string top(std::size_t n) const;
+
+ private:
+  void on_step(std::size_t pc, evm::Opcode op) override;
+
+  std::array<std::uint64_t, 256> counts_{};
+  std::uint64_t total_steps_ = 0;
+};
+
+// Wall-clock time per execution phase. A run is a sequence of path
+// explorations separated by fork/prune events; the timer attributes time to
+// the path being walked and keeps per-run aggregates.
+class PhaseTimingTracer final : public Tracer {
+ public:
+  [[nodiscard]] std::uint64_t runs() const { return runs_; }
+  [[nodiscard]] std::uint64_t paths() const { return paths_; }
+  [[nodiscard]] std::uint64_t forks() const { return forks_; }
+  [[nodiscard]] double total_seconds() const { return total_seconds_; }
+  [[nodiscard]] double max_path_seconds() const { return max_path_seconds_; }
+  [[nodiscard]] double avg_path_seconds() const {
+    return paths_ == 0 ? 0.0 : path_seconds_ / static_cast<double>(paths_);
+  }
+
+ private:
+  void on_run_start(std::uint32_t selector) override;
+  void on_fork(std::size_t pc) override;
+  void on_prune(std::size_t pc) override;
+  void on_run_end(const Trace& trace) override;
+
+  void close_path();
+
+  std::uint64_t runs_ = 0;
+  std::uint64_t paths_ = 0;
+  std::uint64_t forks_ = 0;
+  double total_seconds_ = 0;
+  double path_seconds_ = 0;
+  double max_path_seconds_ = 0;
+  double run_start_ = 0;
+  double path_start_ = 0;
+  bool in_run_ = false;
+};
+
+}  // namespace sigrec::symexec
