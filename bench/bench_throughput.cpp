@@ -331,6 +331,13 @@ struct FetchResult {
   std::uint64_t rate_limited = 0;
   std::uint64_t bytes = 0;
   bool identical = false;  // faulted canonical == clean canonical
+  // Multi-endpoint failover: the same scan against {dead endpoint, healthy
+  // endpoint} — the breaker must rotate traffic to the survivor.
+  double failover_wall = 0;
+  std::uint64_t failover_requests = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t breaker_trips = 0;
+  bool failover_identical = false;
 };
 
 // Network ingestion: the same scan pulled over loopback JSON-RPC from the
@@ -376,6 +383,24 @@ FetchResult run_rpc_fetch(const std::vector<evm::Bytecode>& codes, unsigned jobs
     f.rate_limited = batch.fetch.rate_limited;
     f.bytes = batch.fetch.bytes;
     f.identical = core::canonical_to_string(batch) == clean_canonical;
+  }
+  {
+    // One endpoint down from the first byte: every batch's first pick is
+    // refused, trips the breaker, and fails over to the healthy node. The
+    // cost over the clean single-endpoint run is the failover tax.
+    test::MockRpcServer dead({});
+    std::string dead_url = dead.url();
+    dead.stop();
+    test::MockRpcServer live(code_by_address);
+    core::RpcOptions multi = rpc;
+    multi.breaker_threshold = 1;
+    core::RpcSource source(std::vector<std::string>{dead_url, live.url()}, addresses, multi);
+    core::BatchResult batch = core::recover_stream(source, opts);
+    f.failover_wall = batch.wall_seconds;
+    f.failover_requests = batch.fetch.requests;
+    f.failovers = batch.fetch.failovers;
+    f.breaker_trips = batch.fetch.breaker_trips;
+    f.failover_identical = core::canonical_to_string(batch) == clean_canonical;
   }
   return f;
 }
@@ -554,13 +579,20 @@ void write_json(const char* path, const std::vector<RunResult>& runs, std::size_
                "  \"rpc_fetch\": {\"clean_wall_seconds\": %.6f, "
                "\"faulted_wall_seconds\": %.6f, \"fetch_seconds\": %.6f, "
                "\"requests\": %llu, \"retries\": %llu, \"rate_limited\": %llu, "
-               "\"bytes\": %llu, \"canonical_identical\": %s}\n",
+               "\"bytes\": %llu, \"canonical_identical\": %s,\n"
+               "                \"failover_wall_seconds\": %.6f, "
+               "\"failover_requests\": %llu, \"failovers\": %llu, "
+               "\"breaker_trips\": %llu, \"failover_identical\": %s}\n",
                fetch.clean_wall, fetch.faulted_wall, fetch.fetch_seconds,
                static_cast<unsigned long long>(fetch.requests),
                static_cast<unsigned long long>(fetch.retries),
                static_cast<unsigned long long>(fetch.rate_limited),
                static_cast<unsigned long long>(fetch.bytes),
-               fetch.identical ? "true" : "false");
+               fetch.identical ? "true" : "false", fetch.failover_wall,
+               static_cast<unsigned long long>(fetch.failover_requests),
+               static_cast<unsigned long long>(fetch.failovers),
+               static_cast<unsigned long long>(fetch.breaker_trips),
+               fetch.failover_identical ? "true" : "false");
   std::fprintf(f,
                "  ,\"fleet\": {\"single_wall_seconds\": %.6f, "
                "\"fleet_wall_seconds\": %.6f, \"coordination_overhead\": %.3f, "
@@ -676,7 +708,15 @@ int main() {
               static_cast<unsigned long long>(fetch.retries),
               static_cast<unsigned long long>(fetch.rate_limited));
   std::printf("  faulted/clean canonical-identical: %s\n", fetch.identical ? "yes" : "NO");
+  std::printf("  %-34s %10.3fs (%llu requests, %llu failovers, %llu breaker trips)\n",
+              "one endpoint down (failover)", fetch.failover_wall,
+              static_cast<unsigned long long>(fetch.failover_requests),
+              static_cast<unsigned long long>(fetch.failovers),
+              static_cast<unsigned long long>(fetch.breaker_trips));
+  std::printf("  failover/clean canonical-identical: %s\n",
+              fetch.failover_identical ? "yes" : "NO");
   deterministic &= fetch.identical;
+  deterministic &= fetch.failover_identical;
 
   // Distributed fleet: in-process coordinator + 2 workers over the full
   // lease protocol (ledger, heartbeats, epoch dirs), merged at the end.

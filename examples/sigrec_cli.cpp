@@ -209,14 +209,20 @@ int usage(const char* argv0) {
                "       %s --merge-shards <dir> [--output|-o <path>]"
                "   # merge shard files into the canonical database\n"
                "       %s --emit-corpus <dir> <n>   # synthesize a test corpus\n"
-               "       %s --rpc <http-url> --addresses <file> [--rpc-timeout-ms <ms>]\n"
-               "          [--rpc-retries <n>] [--rpc-batch <n>] [--rpc-jitter-seed <s>]\n"
-               "          [batch options above]\n"
-               "          # fetch runtime code per address via JSON-RPC eth_getCode\n"
+               "       %s --rpc <http-url> [--rpc <url>...] --addresses <file>\n"
+               "          [--rpc-timeout-ms <ms>] [--rpc-retries <n>] [--rpc-batch <n>]\n"
+               "          [--rpc-jitter-seed <s>] [batch options above]\n"
+               "          # fetch runtime code per address via JSON-RPC eth_getCode;\n"
+               "          # each extra --rpc is a failover endpoint behind a circuit\n"
+               "          # breaker (K transport failures open it, half-open probe\n"
+               "          # after a seeded-jitter cooldown)\n"
                "       %s --fleet <dir> [inputs...] [--workers <n>] [--lease-size <n>]\n"
                "          [--lease-ttl-ms <ms>] [--fleet-chaos <spec>] [batch options]\n"
+               "          [--rpc <url>... --addresses <file> [--rpc-endpoint-pids p1,p2]]\n"
                "          # crash-survivable multi-process scan: leases, heartbeats,\n"
-               "          # re-leasing; exit 3 = completed but degraded (re-leased)\n"
+               "          # re-leasing; exit 3 = completed but degraded (re-leased).\n"
+               "          # with --rpc, workers fetch their lease slices live over the\n"
+               "          # given endpoints; chaos spec grammar adds rpcdown:E@N\n"
                "       %s --fleet <dir> --worker <id> [--heartbeat-ms <ms>]\n"
                "          # one fleet worker process (normally spawned by --fleet)\n"
                "recovers function signatures from EVM runtime bytecode; several\n"
@@ -257,8 +263,9 @@ struct CliOptions {
   double watchdog_ms = 0;
   std::size_t flush_interval = 16;
   // Network ingestion (rpc.hpp): fetch runtime code per address over
-  // JSON-RPC instead of reading local inputs.
-  const char* rpc_url = nullptr;
+  // JSON-RPC instead of reading local inputs. --rpc repeats: every URL is a
+  // failover endpoint behind per-endpoint circuit breakers.
+  std::vector<const char*> rpc_urls;
   const char* addresses_file = nullptr;
   double rpc_timeout_ms = 5000;
   double rpc_retries = 4;
@@ -279,6 +286,10 @@ struct CliOptions {
   const char* fleet_chaos = nullptr;
   double chaos_die_after = 0;
   double chaos_stall_after = 0;
+  // Comma-separated pids backing the --rpc endpoints (same order), the
+  // rpcdown:E@N chaos targets — the harness tells the coordinator which
+  // process to SIGKILL for endpoint E.
+  const char* rpc_endpoint_pids = nullptr;
 };
 
 bool is_stdin_arg(const char* arg) {
@@ -352,6 +363,15 @@ int run_merge(const CliOptions& cli) {
   return 0;
 }
 
+sigrec::core::RpcOptions make_rpc_options(const CliOptions& cli) {
+  sigrec::core::RpcOptions rpc;
+  rpc.timeout_ms = static_cast<int>(cli.rpc_timeout_ms);
+  rpc.max_retries = static_cast<int>(cli.rpc_retries);
+  rpc.batch_size = static_cast<std::size_t>(cli.rpc_batch);
+  rpc.backoff_jitter_seed = static_cast<std::uint64_t>(cli.rpc_jitter_seed);
+  return rpc;
+}
+
 int run_batch(const std::vector<const char*>& inputs, const sigrec::symexec::Limits& limits,
               const CliOptions& cli) {
   using namespace sigrec;
@@ -360,19 +380,16 @@ int run_batch(const std::vector<const char*>& inputs, const sigrec::symexec::Lim
   // A malformed list fails loudly up front (a typo in a 37M-line list must
   // not surface 9 hours in); a dead node degrades per address, not per scan.
   std::unique_ptr<core::ContractSource> source;
-  if (cli.rpc_url != nullptr) {
+  if (!cli.rpc_urls.empty()) {
     std::string error;
     auto addresses = core::load_address_file(cli.addresses_file, &error);
     if (!addresses.has_value()) {
       std::fprintf(stderr, "error: --addresses: %s\n", error.c_str());
       return 2;
     }
-    core::RpcOptions rpc;
-    rpc.timeout_ms = static_cast<int>(cli.rpc_timeout_ms);
-    rpc.max_retries = static_cast<int>(cli.rpc_retries);
-    rpc.batch_size = static_cast<std::size_t>(cli.rpc_batch);
-    rpc.backoff_jitter_seed = static_cast<std::uint64_t>(cli.rpc_jitter_seed);
-    source = std::make_unique<core::RpcSource>(cli.rpc_url, std::move(*addresses), rpc);
+    std::vector<std::string> urls(cli.rpc_urls.begin(), cli.rpc_urls.end());
+    source = std::make_unique<core::RpcSource>(std::move(urls), std::move(*addresses),
+                                               make_rpc_options(cli));
   } else {
     source = make_source(inputs);
   }
@@ -474,7 +491,7 @@ int run_batch(const std::vector<const char*>& inputs, const sigrec::symexec::Lim
                batch.wall_seconds, batch.cpu_seconds, batch.ingest_seconds,
                batch.recover_seconds, batch.write_seconds,
                core::WorkStealingPool::resolve_jobs(cli.jobs), batch.cache.to_string().c_str());
-  if (cli.rpc_url != nullptr) {
+  if (!cli.rpc_urls.empty()) {
     std::fprintf(stderr, "%s\n", batch.fetch.to_string().c_str());
   }
   if (sink.has_value()) {
@@ -509,6 +526,16 @@ int run_fleet_worker(const sigrec::symexec::Limits& limits, const CliOptions& cl
   opts.heartbeat_ms = cli.heartbeat_ms;
   opts.chaos_die_after = static_cast<std::uint64_t>(cli.chaos_die_after);
   opts.chaos_stall_after = static_cast<std::uint64_t>(cli.chaos_stall_after);
+  if (!cli.rpc_urls.empty()) {
+    // Fleet-over-RPC: inputs.list entries are chain addresses, fetched
+    // through these endpoints. Every worker gets a distinct non-zero jitter
+    // seed so a fleet sharing one sick node retries decorrelated instead of
+    // in lockstep — deterministic per worker, offset by any user seed.
+    opts.rpc_urls.assign(cli.rpc_urls.begin(), cli.rpc_urls.end());
+    opts.rpc = make_rpc_options(cli);
+    opts.rpc.backoff_jitter_seed =
+        static_cast<std::uint64_t>(cli.rpc_jitter_seed) + opts.worker_id + 1;
+  }
 
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
@@ -539,6 +566,21 @@ int run_fleet(const char* argv0, const std::vector<const char*>& inputs, const C
     }
     opts.chaos = std::move(*chaos);
   }
+  if (cli.rpc_endpoint_pids != nullptr) {
+    // Comma-separated pids, one per --rpc endpoint in order — the processes
+    // a scripted rpcdown:E@N fault SIGKILLs.
+    std::istringstream in(cli.rpc_endpoint_pids);
+    std::string token;
+    while (std::getline(in, token, ',')) {
+      char* end = nullptr;
+      long pid = std::strtol(token.c_str(), &end, 10);
+      if (end == token.c_str() || *end != '\0' || pid <= 0) {
+        std::fprintf(stderr, "error: --rpc-endpoint-pids: '%s' is not a pid\n", token.c_str());
+        return 2;
+      }
+      opts.rpc_endpoint_pids.push_back(pid);
+    }
+  }
 
   // Engine knobs the workers must share so every lease scans identically.
   char buf[64];
@@ -555,16 +597,39 @@ int run_fleet(const char* argv0, const std::vector<const char*>& inputs, const C
   if (cli.jobs != 0) pass("--jobs", std::to_string(cli.jobs));
   pass("--flush-interval", std::to_string(cli.flush_interval));
   if (!cli.caches) opts.worker_args.push_back("--no-cache");
+  for (const char* url : cli.rpc_urls) pass("--rpc", url);
+  if (!cli.rpc_urls.empty()) {
+    std::snprintf(buf, sizeof buf, "%.6f", cli.rpc_timeout_ms);
+    pass("--rpc-timeout-ms", buf);
+    pass("--rpc-retries", std::to_string(static_cast<int>(cli.rpc_retries)));
+    pass("--rpc-batch", std::to_string(static_cast<int>(cli.rpc_batch)));
+    if (cli.rpc_jitter_seed != 0) {
+      pass("--rpc-jitter-seed",
+           std::to_string(static_cast<std::uint64_t>(cli.rpc_jitter_seed)));
+    }
+  }
 
   // Inputs become the shared inputs.list verbatim (hex entries or file
-  // paths — the lease sources speak LineStreamSource's grammar). An empty
-  // list means a restart: the directory's existing inputs.list is reused.
+  // paths — the lease sources speak LineStreamSource's grammar). In RPC
+  // mode the list is the validated address file instead: the same global
+  // ordinal space, fetched rather than read. An empty list means a restart:
+  // the directory's existing inputs.list is reused.
   std::vector<std::string> entries;
-  for (const char* input : inputs) {
-    if (std::strcmp(input, "--demo") == 0) {
-      entries.push_back(demo_bytecode());
-    } else {
-      entries.emplace_back(input);
+  if (!cli.rpc_urls.empty() && cli.addresses_file != nullptr) {
+    std::string error;
+    auto addresses = core::load_address_file(cli.addresses_file, &error);
+    if (!addresses.has_value()) {
+      std::fprintf(stderr, "error: --addresses: %s\n", error.c_str());
+      return 2;
+    }
+    entries = std::move(*addresses);
+  } else {
+    for (const char* input : inputs) {
+      if (std::strcmp(input, "--demo") == 0) {
+        entries.push_back(demo_bytecode());
+      } else {
+        entries.emplace_back(input);
+      }
     }
   }
 
@@ -670,7 +735,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--merge-shards") == 0 && i + 1 < argc) {
       cli.merge_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--rpc") == 0 && i + 1 < argc) {
-      cli.rpc_url = argv[++i];
+      cli.rpc_urls.push_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--rpc-endpoint-pids") == 0 && i + 1 < argc) {
+      cli.rpc_endpoint_pids = argv[++i];
     } else if (std::strcmp(argv[i], "--addresses") == 0 && i + 1 < argc) {
       cli.addresses_file = argv[++i];
     } else if (std::strcmp(argv[i], "--rpc-timeout-ms") == 0) {
@@ -744,6 +811,18 @@ int main(int argc, char** argv) {
     limits.budget.deadline_seconds = cli.deadline_ms / 1000.0;
     return run_fleet_worker(limits, cli);
   }
+  // --rpc reads addresses, never a stream: --stdin has no address grammar
+  // and an unbounded stream has no global ordinal space to batch over.
+  if (!cli.rpc_urls.empty()) {
+    for (const char* input : inputs) {
+      if (is_stdin_arg(input)) {
+        std::fprintf(stderr,
+                     "error: --rpc cannot read from --stdin; "
+                     "addresses come from --addresses <file>\n");
+        return 2;
+      }
+    }
+  }
   if (cli.fleet_dir != nullptr) {
     for (const char* input : inputs) {
       if (is_stdin_arg(input)) {
@@ -753,21 +832,30 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
-    if (cli.rpc_url != nullptr) {
-      std::fprintf(stderr, "error: --fleet scans local inputs; fetch with --rpc first\n");
+    if (!cli.rpc_urls.empty()) {
+      if (!inputs.empty()) {
+        std::fprintf(stderr,
+                     "error: --fleet --rpc takes its addresses from --addresses <file>, "
+                     "not positional inputs\n");
+        return 2;
+      }
+      // --addresses may be absent on a restart: the directory's existing
+      // inputs.list (written from the original address file) is reused.
+    } else if (cli.addresses_file != nullptr) {
+      std::fprintf(stderr, "error: --addresses needs --rpc <url>\n");
       return 2;
     }
     return run_fleet(argv[0], inputs, cli);
   }
-  if ((cli.rpc_url != nullptr) != (cli.addresses_file != nullptr)) {
+  if (cli.rpc_urls.empty() != (cli.addresses_file == nullptr)) {
     std::fprintf(stderr, "error: --rpc and --addresses go together\n");
     return 2;
   }
-  if (cli.rpc_url != nullptr && !inputs.empty()) {
+  if (!cli.rpc_urls.empty() && !inputs.empty()) {
     std::fprintf(stderr, "error: --rpc takes its inputs from --addresses, not arguments\n");
     return 2;
   }
-  if (inputs.empty() && cli.rpc_url == nullptr) return usage(argv[0]);
+  if (inputs.empty() && cli.rpc_urls.empty()) return usage(argv[0]);
   if (cli.resume && cli.journal_file == nullptr) {
     std::fprintf(stderr, "error: --resume needs --journal <path>\n");
     return 2;
@@ -787,7 +875,7 @@ int main(int argc, char** argv) {
   bool streaming_input = false;
   for (const char* input : inputs) streaming_input |= is_stdin_arg(input);
 
-  if (inputs.size() > 1 || streaming_input || cli.rpc_url != nullptr ||
+  if (inputs.size() > 1 || streaming_input || !cli.rpc_urls.empty() ||
       cli.journal_file != nullptr || cli.cache_file != nullptr ||
       cli.output_file != nullptr || cli.shard_dir != nullptr) {
     if (decode_hex != nullptr) {

@@ -168,6 +168,49 @@ std::optional<std::vector<std::string>> read_fleet_inputs(const std::string& dir
   return entries;
 }
 
+std::string fleet_fetch_stats_path(const std::string& lease_dir) {
+  return lease_dir + "/fetch_stats.db";
+}
+
+bool write_fetch_stats(const std::string& path, const SourceStats& stats) {
+  Encoder enc;
+  enc.put_u64(stats.requests);
+  enc.put_u64(stats.retries);
+  enc.put_u64(stats.rate_limited);
+  enc.put_u64(stats.bytes);
+  enc.put_u64(stats.failed_entries);
+  enc.put_u64(stats.failovers);
+  enc.put_u64(stats.breaker_trips);
+  // Sub-microsecond precision is noise at fleet scale; micros fit a u64.
+  enc.put_u64(static_cast<std::uint64_t>(stats.fetch_seconds * 1e6));
+  std::string framed;
+  append_record(framed, kRecordSourceStats, enc.bytes());
+  return append_file_bytes(path, framed);
+}
+
+std::optional<SourceStats> read_fetch_stats(const std::string& path) {
+  std::optional<std::string> bytes = read_file_bytes(path);
+  if (!bytes.has_value()) return std::nullopt;
+  std::optional<SourceStats> last;
+  std::span<const std::uint8_t> image(reinterpret_cast<const std::uint8_t*>(bytes->data()),
+                                      bytes->size());
+  (void)scan_records(image, [&](std::uint8_t type, Decoder& payload) {
+    if (type != kRecordSourceStats) return true;  // foreign record: not malformed
+    SourceStats s;
+    std::uint64_t micros = 0;
+    if (!(payload.get_u64(s.requests) && payload.get_u64(s.retries) &&
+          payload.get_u64(s.rate_limited) && payload.get_u64(s.bytes) &&
+          payload.get_u64(s.failed_entries) && payload.get_u64(s.failovers) &&
+          payload.get_u64(s.breaker_trips) && payload.get_u64(micros) && payload.exhausted())) {
+      return false;
+    }
+    s.fetch_seconds = static_cast<double>(micros) / 1e6;
+    last = s;
+    return true;
+  });
+  return last;
+}
+
 // --- lease ledger ------------------------------------------------------------
 
 LoadStats LeaseLedger::load() {
@@ -302,6 +345,24 @@ class LeaseSliceSource final : public ContractSource {
 std::unique_ptr<ContractSource> make_lease_source(const std::vector<std::string>& inputs,
                                                   std::uint64_t begin, std::uint64_t end) {
   return std::make_unique<LeaseSliceSource>(inputs, begin, end);
+}
+
+std::unique_ptr<ContractSource> make_lease_source(const std::vector<std::string>& inputs,
+                                                  std::uint64_t begin, std::uint64_t end,
+                                                  const LeaseSourceOptions& net) {
+  if (net.rpc_urls.empty()) return make_lease_source(inputs, begin, end);
+  // The slice's entries are chain addresses; RpcSource emits them with
+  // ordinal base `begin`, so journal/shard keys stay the global ordinals
+  // whichever ingestion path produced them. A malformed entry still owns
+  // its slot — the node answers it authoritatively and it degrades to an
+  // error item, same one-row-per-entry contract as the local path.
+  const std::uint64_t hi = std::min<std::uint64_t>(end, inputs.size());
+  const std::uint64_t lo = std::min<std::uint64_t>(begin, hi);
+  std::vector<std::string> addresses;
+  addresses.reserve(static_cast<std::size_t>(hi - lo));
+  for (std::uint64_t i = lo; i < hi; ++i) addresses.push_back(trim_line(inputs[i]));
+  return std::make_unique<RpcSource>(net.rpc_urls, std::move(addresses), net.rpc,
+                                     static_cast<std::size_t>(lo));
 }
 
 // --- worker: one lease -------------------------------------------------------
@@ -441,8 +502,11 @@ LeaseRunResult run_lease(const WorkerOptions& opts, const Assignment& assignment
     if (fence_tripped()) abandon.store(true, std::memory_order_release);
   };
 
+  LeaseSourceOptions net;
+  net.rpc_urls = opts.rpc_urls;
+  net.rpc = opts.rpc;
   std::unique_ptr<ContractSource> source =
-      make_lease_source(inputs, assignment.begin, assignment.end);
+      make_lease_source(inputs, assignment.begin, assignment.end, net);
   BatchResult scan = recover_stream(*source, batch);
 
   scan_over.store(true, std::memory_order_release);
@@ -451,6 +515,14 @@ LeaseRunResult run_lease(const WorkerOptions& opts, const Assignment& assignment
   (void)journal.flush();
   (void)sink.flush();
   (void)store.compact_from(cache);
+  // Persist this epoch's fetch statistics next to its journal — appended,
+  // so an abandoned attempt's numbers survive for the coordinator's
+  // aggregate even though its scan output is superseded.
+  if (!opts.rpc_urls.empty()) {
+    if (std::optional<SourceStats> fetch = source->stats()) {
+      (void)write_fetch_stats(fleet_fetch_stats_path(epoch_dir), *fetch);
+    }
+  }
 
   result.contracts = done_contracts.load(std::memory_order_relaxed);
   result.failed_functions = scan.health.failed_functions();
@@ -623,6 +695,12 @@ std::optional<FleetChaos> parse_fleet_chaos(const std::string& spec, std::string
       f.worker = worker;
       f.after_completions = after;
       chaos.cont.push_back(f);
+    } else if (kind == "rpcdown") {
+      if (worker == 0) return fail("endpoint index is 1-based");
+      FleetChaos::CoordinatorFault f;
+      f.worker = worker;  // endpoint index
+      f.after_completions = after;
+      chaos.rpcdown.push_back(f);
     } else {
       return fail("unknown fault kind '" + kind + "'");
     }
@@ -867,6 +945,24 @@ void FleetCoordinator::tick(double now_ms) {
 
   observe_beats(now_ms);
 
+  // Network chaos: kill RPC endpoint E once N lease completions were
+  // observed. Fired from tick() — not run() — so in-process harness tests
+  // that drive tick() directly hit the same deterministic point as
+  // process-mode fleets.
+  for (FleetChaos::CoordinatorFault& f : opts_.chaos.rpcdown) {
+    if (f.fired || completions_observed_ < f.after_completions) continue;
+    f.fired = true;
+    if (opts_.on_rpcdown) {
+      opts_.on_rpcdown(f.worker);
+    }
+#ifndef _WIN32
+    else if (f.worker >= 1 && f.worker <= opts_.rpc_endpoint_pids.size()) {
+      const long pid = opts_.rpc_endpoint_pids[f.worker - 1];
+      if (pid > 0) (void)::kill(static_cast<pid_t>(pid), SIGKILL);
+    }
+#endif
+  }
+
   // TTL reclaim: the holder's beat counter has not moved for a full TTL.
   std::vector<std::uint64_t> lapsed;
   for (const auto& [lid, info] : ledger_.leases()) {
@@ -1086,6 +1182,18 @@ FleetReport FleetCoordinator::report() const {
   report.stale_abandons = stale_abandons_;
   report.worker_deaths = worker_deaths_;
   report.ledger_load = ledger_load_;
+  // Sum every lease/epoch's persisted fetch statistics — abandoned epochs
+  // included, since their requests and breaker trips really happened.
+  for (const auto& [lid, info] : ledger_.leases()) {
+    const std::uint64_t last_epoch = std::max(info.epoch, info.completed_epoch);
+    for (std::uint64_t e = 1; e <= last_epoch; ++e) {
+      if (std::optional<SourceStats> fetch =
+              read_fetch_stats(fleet_fetch_stats_path(fleet_lease_dir(opts_.dir, lid, e)))) {
+        report.fetch.accumulate(*fetch);
+        report.any_fetch = true;
+      }
+    }
+  }
   return report;
 }
 
@@ -1097,6 +1205,7 @@ std::string FleetReport::to_string() const {
                     " worker_deaths=" + std::to_string(worker_deaths) +
                     " failed_functions=" + std::to_string(failed_functions) +
                     " ingest_failures=" + std::to_string(ingest_failures);
+  if (any_fetch) out += " | fetch: " + fetch.to_string();
   if (degraded()) out += " DEGRADED";
   return out;
 }

@@ -77,6 +77,7 @@
 
 #include "sigrec/batch.hpp"
 #include "sigrec/persist.hpp"
+#include "sigrec/rpc.hpp"
 #include "sigrec/shard.hpp"
 
 namespace sigrec::core {
@@ -239,6 +240,16 @@ inline constexpr std::uint8_t kAssignShutdown = 2;
                                       const std::vector<std::string>& entries);
 [[nodiscard]] std::optional<std::vector<std::string>> read_fleet_inputs(const std::string& dir);
 
+// Per-lease network fetch statistics, persisted by an RPC-backed worker
+// next to its journal (fetch_stats.db, one kRecordSourceStats record per
+// flush — readers keep the last valid one, same torn-tail tolerance as the
+// heartbeat file). The coordinator sums them across every lease/epoch
+// directory after the merge, so a degraded fleet-over-RPC run is
+// diagnosable from one line.
+[[nodiscard]] std::string fleet_fetch_stats_path(const std::string& lease_dir);
+[[nodiscard]] bool write_fetch_stats(const std::string& path, const SourceStats& stats);
+[[nodiscard]] std::optional<SourceStats> read_fetch_stats(const std::string& path);
+
 // --- worker ------------------------------------------------------------------
 
 struct WorkerOptions {
@@ -266,6 +277,12 @@ struct WorkerOptions {
   // BatchOptions::on_contract_done) — lets in-process tests pause a worker
   // at an exact offset to force a reclaim race without real signals.
   std::function<void(std::uint64_t done_contracts)> on_progress;
+  // Fleet-over-RPC: when non-empty, inputs.list entries are chain addresses
+  // and each lease slice is fetched through an RpcSource over these
+  // endpoints (with per-endpoint circuit breakers and failover) instead of
+  // being read as local hex/paths.
+  std::vector<std::string> rpc_urls;
+  RpcOptions rpc;
 };
 
 // Outcome of executing one lease assignment.
@@ -296,29 +313,36 @@ struct LeaseRunResult {
 // --- coordinator -------------------------------------------------------------
 
 // Scripted fleet chaos, parsed from the CLI spec string:
-//   die:W@N    spawn worker W with chaos_die_after = N
-//   stall:W@N  spawn worker W with chaos_stall_after = N
-//   cont:W@N   SIGCONT worker W once N lease completions were observed
-//   exit@N     kill spawned workers and exit(kFleetExitChaos) after N
-//              lease completions were observed
-// Tokens are comma-separated: "die:1@7,stall:2@5,cont:2@9,exit@6".
+//   die:W@N     spawn worker W with chaos_die_after = N
+//   stall:W@N   spawn worker W with chaos_stall_after = N
+//   cont:W@N    SIGCONT worker W once N lease completions were observed
+//   rpcdown:E@N kill RPC endpoint E (1-based) once N lease completions were
+//               observed — SIGKILL FleetOptions::rpc_endpoint_pids[E-1], or
+//               the on_rpcdown test hook in-process. The network half of
+//               the chaos grammar: proves a lease finishes on the surviving
+//               endpoint with byte-identical output.
+//   exit@N      kill spawned workers and exit(kFleetExitChaos) after N
+//               lease completions were observed
+// Tokens are comma-separated: "die:1@7,stall:2@5,cont:2@9,rpcdown:2@3,exit@6".
 struct FleetChaos {
   struct WorkerFault {
     std::uint64_t worker = 0;
     std::uint64_t after_contracts = 0;
   };
   struct CoordinatorFault {
-    std::uint64_t worker = 0;  // unused for exit
+    std::uint64_t worker = 0;  // endpoint index for rpcdown; unused for exit
     std::uint64_t after_completions = 0;
     bool fired = false;
   };
   std::vector<WorkerFault> die;
   std::vector<WorkerFault> stall;
   std::vector<CoordinatorFault> cont;
+  std::vector<CoordinatorFault> rpcdown;
   std::optional<CoordinatorFault> exit;
 
   [[nodiscard]] bool any() const {
-    return !die.empty() || !stall.empty() || !cont.empty() || exit.has_value();
+    return !die.empty() || !stall.empty() || !cont.empty() || !rpcdown.empty() ||
+           exit.has_value();
   }
 };
 [[nodiscard]] std::optional<FleetChaos> parse_fleet_chaos(const std::string& spec,
@@ -338,6 +362,12 @@ struct FleetOptions {
   int shard_bits = 0;
   double poll_ms = 25;
   FleetChaos chaos;
+  // rpcdown chaos targets: the pid of endpoint E lives at
+  // rpc_endpoint_pids[E-1] and is SIGKILLed when the fault fires. In-process
+  // tests set `on_rpcdown` instead (called with E) to stop a MockRpcServer
+  // without real processes; the hook wins when both are set.
+  std::vector<long> rpc_endpoint_pids;
+  std::function<void(std::uint64_t endpoint)> on_rpcdown;
 };
 
 // Aggregate outcome of a fleet scan, including everything replayed from
@@ -351,6 +381,10 @@ struct FleetReport {
   std::uint64_t failed_functions = 0;
   std::uint64_t ingest_failures = 0;
   LoadStats ledger_load;
+  // Sum of every lease/epoch fetch_stats.db (fleet-over-RPC runs only;
+  // `any_fetch` stays false for local-input fleets).
+  SourceStats fetch;
+  bool any_fetch = false;
 
   // A degraded run completed only by re-leasing work — the output is still
   // byte-identical, but an operator should know the fleet absorbed failures.
@@ -451,10 +485,26 @@ class FleetCoordinator {
   bool init_ok_ = false;
 };
 
+// How a lease slice turns into contracts: empty `rpc_urls` reads inputs as
+// local entries (hex lines / file paths); non-empty treats them as chain
+// addresses fetched through an RpcSource over these endpoints.
+struct LeaseSourceOptions {
+  std::vector<std::string> rpc_urls;
+  RpcOptions rpc;
+};
+
 // The worker-visible half of lease execution, shared with the CLI: build
 // the [begin, end) slice of `inputs` as a ContractSource with global
 // ordinals (hex lines and file paths, LineStreamSource grammar).
 [[nodiscard]] std::unique_ptr<ContractSource> make_lease_source(
     const std::vector<std::string>& inputs, std::uint64_t begin, std::uint64_t end);
+
+// Same, but routed through the network when `net.rpc_urls` is non-empty:
+// the slice's entries become an RpcSource address batch with ordinal base
+// `begin`, so journal/shard keys stay the GLOBAL ordinals whichever path
+// produced them.
+[[nodiscard]] std::unique_ptr<ContractSource> make_lease_source(
+    const std::vector<std::string>& inputs, std::uint64_t begin, std::uint64_t end,
+    const LeaseSourceOptions& net);
 
 }  // namespace sigrec::core

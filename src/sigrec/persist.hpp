@@ -61,6 +61,9 @@ inline constexpr std::uint8_t kRecordSignatureEntry = 3;
 inline constexpr std::uint8_t kRecordLeaseEvent = 4;
 inline constexpr std::uint8_t kRecordWorkerBeat = 5;
 inline constexpr std::uint8_t kRecordAssignment = 6;
+// Per-lease network fetch statistics (SourceStats) a fleet worker persists
+// next to its journal so the coordinator can aggregate them after merge.
+inline constexpr std::uint8_t kRecordSourceStats = 7;
 // Upper bound on a single record's payload; a corrupted length field must
 // not translate into a multi-gigabyte allocation.
 inline constexpr std::uint32_t kMaxRecordPayload = 64u << 20;

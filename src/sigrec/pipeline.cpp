@@ -119,25 +119,23 @@ std::optional<SourceStats> ChainSource::stats() const {
     std::optional<SourceStats> s = part->stats();
     if (!s.has_value()) continue;
     if (!total.has_value()) total.emplace();
-    total->requests += s->requests;
-    total->retries += s->retries;
-    total->rate_limited += s->rate_limited;
-    total->bytes += s->bytes;
-    total->failed_entries += s->failed_entries;
-    total->fetch_seconds += s->fetch_seconds;
+    total->accumulate(*s);
   }
   return total;
 }
 
 std::string SourceStats::to_string() const {
-  char buf[160];
+  char buf[224];
   std::snprintf(buf, sizeof buf,
-                "requests=%llu retries=%llu 429=%llu bytes=%llu failed=%llu fetch=%.3fs",
+                "requests=%llu retries=%llu 429=%llu bytes=%llu failed=%llu "
+                "failovers=%llu breaker_trips=%llu fetch=%.3fs",
                 static_cast<unsigned long long>(requests),
                 static_cast<unsigned long long>(retries),
                 static_cast<unsigned long long>(rate_limited),
                 static_cast<unsigned long long>(bytes),
-                static_cast<unsigned long long>(failed_entries), fetch_seconds);
+                static_cast<unsigned long long>(failed_entries),
+                static_cast<unsigned long long>(failovers),
+                static_cast<unsigned long long>(breaker_trips), fetch_seconds);
   return buf;
 }
 

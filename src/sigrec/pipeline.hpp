@@ -65,7 +65,20 @@ struct SourceStats {
   std::uint64_t rate_limited = 0;    // HTTP 429 responses absorbed
   std::uint64_t bytes = 0;           // response bytes received, headers included
   std::uint64_t failed_entries = 0;  // entries that exhausted the failure budget
+  std::uint64_t failovers = 0;       // attempts routed to a different endpoint
+  std::uint64_t breaker_trips = 0;   // circuit breakers opened (closed -> open)
   double fetch_seconds = 0;          // wall clock spent fetching (incl. backoff)
+
+  void accumulate(const SourceStats& other) {
+    requests += other.requests;
+    retries += other.retries;
+    rate_limited += other.rate_limited;
+    bytes += other.bytes;
+    failed_entries += other.failed_entries;
+    failovers += other.failovers;
+    breaker_trips += other.breaker_trips;
+    fetch_seconds += other.fetch_seconds;
+  }
 
   [[nodiscard]] std::string to_string() const;
 };

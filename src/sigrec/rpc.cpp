@@ -565,14 +565,56 @@ bool http_post(const ParsedUrl& url, std::string_view body, int deadline_ms, Htt
 
 // --- RpcSource ---------------------------------------------------------------
 
-RpcSource::RpcSource(std::string url, std::vector<std::string> addresses, RpcOptions opts)
-    : url_text_(std::move(url)),
-      url_(parse_http_url(url_text_, &url_error_)),
-      addresses_(std::move(addresses)),
+namespace {
+
+// The breaker clock: a steady millisecond counter. Only ever compared
+// against itself (cooldown deadlines), so the epoch is irrelevant.
+std::int64_t steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now().time_since_epoch())
+      .count();
+}
+
+// splitmix64: a fixed, platform-independent hash — the jitter source for
+// both the retry backoff and the breaker cooldown, so a given seed always
+// yields the same schedule (deterministic per worker, decorrelated across
+// workers).
+std::uint64_t splitmix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+RpcSource::RpcSource(std::vector<std::string> urls, std::vector<std::string> addresses,
+                     RpcOptions opts, std::size_t ordinal_base)
+    : addresses_(std::move(addresses)),
       opts_(opts),
+      ordinal_base_(ordinal_base),
       buffer_(opts.prefetch == 0 ? 1 : opts.prefetch) {
+  endpoints_.reserve(urls.size());
+  for (std::string& text : urls) {
+    Endpoint ep;
+    ep.text = std::move(text);
+    ep.url = parse_http_url(ep.text, &ep.parse_error);
+    endpoints_.push_back(std::move(ep));
+  }
+  // Start on the first endpoint that parsed — skipping an invalid URL is
+  // not a failover event.
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (endpoints_[i].url.has_value()) {
+      current_endpoint_ = i;
+      break;
+    }
+  }
   fetcher_ = std::thread([this] { fetch_loop(); });
 }
+
+RpcSource::RpcSource(std::string url, std::vector<std::string> addresses, RpcOptions opts)
+    : RpcSource(std::vector<std::string>{std::move(url)}, std::move(addresses), opts) {}
 
 RpcSource::~RpcSource() {
   stop_.store(true, std::memory_order_relaxed);
@@ -589,6 +631,8 @@ std::optional<SourceStats> RpcSource::stats() const {
   s.rate_limited = rate_limited_.load(std::memory_order_relaxed);
   s.bytes = bytes_.load(std::memory_order_relaxed);
   s.failed_entries = failed_addresses_.load(std::memory_order_relaxed);
+  s.failovers = failovers_.load(std::memory_order_relaxed);
+  s.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
   s.fetch_seconds = static_cast<double>(fetch_micros_.load(std::memory_order_relaxed)) / 1e6;
   return s;
 }
@@ -598,18 +642,129 @@ std::int64_t backoff_delay_ms(const RpcOptions& opts, int attempt, std::uint64_t
   std::int64_t wait_ms = attempt >= 31 ? opts.backoff_cap_ms : (base << (attempt - 1));
   wait_ms = std::min<std::int64_t>(wait_ms, std::max(1, opts.backoff_cap_ms));
   if (opts.backoff_jitter_seed != 0) {
-    // splitmix64 over (seed, sequence): a fixed, platform-independent hash,
-    // so a given seed always yields the same schedule — deterministic per
-    // worker, decorrelated across workers.
-    std::uint64_t x = opts.backoff_jitter_seed * 0x9e3779b97f4a7c15ull + sequence;
-    x ^= x >> 30;
-    x *= 0xbf58476d1ce4e5b9ull;
-    x ^= x >> 27;
-    x *= 0x94d049bb133111ebull;
-    x ^= x >> 31;
+    std::uint64_t x = splitmix64(opts.backoff_jitter_seed * 0x9e3779b97f4a7c15ull + sequence);
     wait_ms += static_cast<std::int64_t>(x % static_cast<std::uint64_t>(wait_ms / 2 + 1));
   }
   return wait_ms;
+}
+
+std::int64_t breaker_cooldown_ms(const RpcOptions& opts, std::uint64_t trip) {
+  std::int64_t base = std::max(1, opts.breaker_cooldown_base_ms);
+  std::int64_t cap = std::max(1, opts.breaker_cooldown_cap_ms);
+  std::uint64_t shift = trip == 0 ? 0 : trip - 1;
+  std::int64_t wait_ms = shift >= 31 ? cap : (base << shift);
+  wait_ms = std::min(wait_ms, cap);
+  if (opts.backoff_jitter_seed != 0) {
+    // A different stream multiplier than backoff_delay_ms's `+ sequence`
+    // term keeps the two jitter streams decorrelated under one seed.
+    std::uint64_t x = splitmix64(opts.backoff_jitter_seed * 0x9e3779b97f4a7c15ull +
+                                 trip * 0xd1342543de82ef95ull);
+    wait_ms += static_cast<std::int64_t>(x % static_cast<std::uint64_t>(wait_ms / 2 + 1));
+  }
+  return wait_ms;
+}
+
+// --- CircuitBreaker ----------------------------------------------------------
+
+bool CircuitBreaker::allow(std::int64_t now_ms) {
+  switch (state_) {
+    case State::Closed:
+      return true;
+    case State::Open:
+      if (now_ms >= open_until_ms_) {
+        state_ = State::HalfOpen;
+        probe_in_flight_ = true;
+        return true;  // the one admitted probe
+      }
+      return false;
+    case State::HalfOpen:
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
+        return true;
+      }
+      return false;
+  }
+  return true;  // unreachable
+}
+
+void CircuitBreaker::record_success() {
+  state_ = State::Closed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+bool CircuitBreaker::record_failure(const RpcOptions& opts, std::int64_t now_ms) {
+  probe_in_flight_ = false;
+  if (opts.breaker_threshold <= 0) return false;  // breaker disabled
+  switch (state_) {
+    case State::HalfOpen:
+      // Failed probe: re-open with a wider cooldown.
+      ++trips_;
+      state_ = State::Open;
+      open_until_ms_ = now_ms + breaker_cooldown_ms(opts, trips_);
+      return true;
+    case State::Open:
+      // A failure recorded while open (defensive — allow() gates these
+      // away): stay open, no new trip.
+      return false;
+    case State::Closed:
+      ++consecutive_failures_;
+      if (consecutive_failures_ >= opts.breaker_threshold) {
+        ++trips_;
+        state_ = State::Open;
+        open_until_ms_ = now_ms + breaker_cooldown_ms(opts, trips_);
+        consecutive_failures_ = 0;
+        return true;
+      }
+      return false;
+  }
+  return false;  // unreachable
+}
+
+void CircuitBreaker::force_probe() {
+  if (state_ == State::Open) {
+    state_ = State::HalfOpen;
+    probe_in_flight_ = true;
+  }
+}
+
+std::optional<std::size_t> RpcSource::pick_endpoint(std::int64_t now_ms) {
+  const std::size_t n = endpoints_.size();
+  // Sticky-first rotation: the current endpoint keeps its traffic while
+  // healthy, so a failover is an event the stats can count, not a
+  // round-robin policy.
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t idx = (current_endpoint_ + step) % n;
+    Endpoint& ep = endpoints_[idx];
+    if (!ep.url.has_value()) continue;
+    if (ep.breaker.allow(now_ms)) {
+      if (idx != current_endpoint_) {
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+        current_endpoint_ = idx;
+      }
+      return idx;
+    }
+  }
+  // Every breaker is open: waiting out every cooldown would stall the whole
+  // batch, so force-probe the endpoint whose cooldown ends soonest. A fully
+  // sick fleet degrades to the retry ladder, never to a deadlock.
+  std::optional<std::size_t> best;
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    Endpoint& ep = endpoints_[idx];
+    if (!ep.url.has_value()) continue;
+    if (!best.has_value() ||
+        ep.breaker.open_until_ms() < endpoints_[*best].breaker.open_until_ms()) {
+      best = idx;
+    }
+  }
+  if (best.has_value()) {
+    endpoints_[*best].breaker.force_probe();
+    if (*best != current_endpoint_) {
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+      current_endpoint_ = *best;
+    }
+  }
+  return best;  // nullopt only when no endpoint has a valid URL
 }
 
 bool RpcSource::backoff_wait(int attempt, std::uint64_t sequence) {
@@ -630,7 +785,7 @@ void RpcSource::fetch_batch(std::size_t begin, std::size_t end, std::vector<Sour
   };
   std::vector<Slot> slots(end - begin);
   for (std::size_t i = 0; i < slots.size(); ++i) {
-    slots[i].item.ordinal = begin + i;
+    slots[i].item.ordinal = ordinal_base_ + begin + i;
     slots[i].item.label = addresses_[begin + i];
   }
   std::string last_error = "no response";
@@ -642,6 +797,18 @@ void RpcSource::fetch_batch(std::size_t begin, std::size_t end, std::vector<Sour
       if (!backoff_wait(attempt, sequence)) break;
     }
     if (stop_.load(std::memory_order_relaxed)) break;
+
+    std::optional<std::size_t> ep_idx = pick_endpoint(steady_now_ms());
+    if (!ep_idx.has_value()) break;  // no valid endpoint; fetch_loop degrades up front
+    Endpoint& ep = endpoints_[*ep_idx];
+    // A transport failure feeds this endpoint's breaker; the next attempt
+    // re-picks, so a tripped endpoint's traffic rotates away immediately.
+    auto transport_failure = [&](std::string why) {
+      last_error = std::move(why);
+      if (ep.breaker.record_failure(opts_, steady_now_ms())) {
+        breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
 
     // Build one JSON-RPC batch over the unresolved addresses, fresh ids per
     // attempt so a late reply to an earlier attempt can never be matched.
@@ -663,24 +830,24 @@ void RpcSource::fetch_batch(std::size_t begin, std::size_t end, std::vector<Sour
     HttpResult http;
     std::string error;
     requests_.fetch_add(1, std::memory_order_relaxed);
-    bool sent = http_post(*url_, body, opts_.timeout_ms, http, &error);
+    bool sent = http_post(*ep.url, body, opts_.timeout_ms, http, &error);
     bytes_.fetch_add(http.bytes, std::memory_order_relaxed);
     if (!sent) {
-      last_error = error;
+      transport_failure(error + " (" + ep.text + ")");
       continue;
     }
     if (http.status == 429) {
       rate_limited_.fetch_add(1, std::memory_order_relaxed);
-      last_error = "HTTP 429 (rate limited)";
+      transport_failure("HTTP 429 (rate limited)");
       continue;
     }
     if (http.status != 200) {
-      last_error = "HTTP " + std::to_string(http.status);
+      transport_failure("HTTP " + std::to_string(http.status));
       continue;
     }
     std::optional<JsonValue> doc = parse_json(http.body);
     if (!doc.has_value()) {
-      last_error = "malformed JSON response";
+      transport_failure("malformed JSON response");
       continue;
     }
     // A single response object is treated as a one-element batch; anything
@@ -691,10 +858,11 @@ void RpcSource::fetch_batch(std::size_t begin, std::size_t end, std::vector<Sour
     } else if (doc->kind == JsonValue::Kind::Object) {
       responses.push_back(std::move(*doc));
     } else {
-      last_error = "JSON-RPC response is neither object nor array";
+      transport_failure("JSON-RPC response is neither object nor array");
       continue;
     }
 
+    std::size_t resolved_this_attempt = 0;
     for (const JsonValue& resp : responses) {
       if (resp.kind != JsonValue::Kind::Object) continue;
       const JsonValue* id = resp.find("id");
@@ -732,7 +900,18 @@ void RpcSource::fetch_batch(std::size_t begin, std::size_t end, std::vector<Sour
         slot.item.error = "response carries neither result nor error";
       }
       slot.resolved = true;
+      ++resolved_this_attempt;
       --unresolved;
+    }
+    // An attempt that resolved at least one address reached a live node —
+    // authoritative answers included, they heal the breaker. A parseable
+    // reply that resolved nothing (wrong ids across the board) is as bad as
+    // a reset: the endpoint is up but not answering us.
+    if (resolved_this_attempt > 0) {
+      ep.breaker.record_success();
+    } else {
+      transport_failure("incomplete batch response (wrong or missing ids)");
+      continue;
     }
     if (unresolved > 0) last_error = "incomplete batch response (wrong or missing ids)";
   }
@@ -752,13 +931,20 @@ void RpcSource::fetch_batch(std::size_t begin, std::size_t end, std::vector<Sour
 }
 
 void RpcSource::fetch_loop() {
-  if (!url_.has_value()) {
-    // A bad URL degrades every address, same one-row-per-entry contract.
+  bool any_valid = false;
+  for (const Endpoint& ep : endpoints_) any_valid = any_valid || ep.url.has_value();
+  if (!any_valid) {
+    // No endpoint parsed (or none was given): every address degrades, same
+    // one-row-per-entry contract as a single bad URL.
+    std::string reason = endpoints_.empty() ? "no RPC endpoint given" : "invalid RPC URL";
+    for (const Endpoint& ep : endpoints_) {
+      if (!ep.parse_error.empty()) reason += "; " + ep.parse_error;
+    }
     for (std::size_t i = 0; i < addresses_.size(); ++i) {
       SourceItem item;
-      item.ordinal = i;
+      item.ordinal = ordinal_base_ + i;
       item.label = addresses_[i];
-      item.error = "invalid RPC URL: " + url_error_;
+      item.error = reason;
       if (!buffer_.push(std::move(item))) break;
     }
     buffer_.close();

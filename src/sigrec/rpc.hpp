@@ -113,6 +113,64 @@ struct RpcOptions;
 [[nodiscard]] std::int64_t backoff_delay_ms(const RpcOptions& opts, int attempt,
                                             std::uint64_t sequence);
 
+// The cooldown an open circuit waits before its half-open probe, after
+// `trip` (1-based) trips of the same endpoint. backoff_delay_ms's sibling —
+// the same pure-function contract (un-jittered ladder
+// min(breaker_cooldown_base_ms << (trip-1), breaker_cooldown_cap_ms), plus
+// a seeded deterministic jitter of up to half the delay when
+// opts.backoff_jitter_seed != 0), so breaker schedules are scriptable in
+// tests and decorrelated across a fleet of workers sharing one sick node.
+[[nodiscard]] std::int64_t breaker_cooldown_ms(const RpcOptions& opts, std::uint64_t trip);
+
+// --- circuit breaker ---------------------------------------------------------
+
+// Per-endpoint health as a deterministic state machine. Time is an explicit
+// parameter everywhere (the caller supplies `now_ms` from whatever clock it
+// owns), so the whole machine is clock-free testable: a test advances a
+// plain integer and observes exact transitions.
+//
+//   Closed ──K consecutive transport failures──▶ Open
+//   Open ──cooldown elapsed (allow() at now >= open_until)──▶ HalfOpen
+//   HalfOpen ──probe succeeds──▶ Closed   (failure streak resets)
+//   HalfOpen ──probe fails──▶ Open        (trip count grows, cooldown widens)
+//
+// Only transport failures feed the breaker. Authoritative answers — JSON-RPC
+// error objects, null results, "0x" EOAs — are successes at this layer: the
+// endpoint answered, the address is simply bad.
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { Closed, Open, HalfOpen };
+
+  // True when a request may be sent now. In Open state this is the probe
+  // gate: once `now_ms` reaches the cooldown deadline the breaker moves to
+  // HalfOpen and admits exactly one probe; further calls return false until
+  // that probe's outcome is recorded.
+  [[nodiscard]] bool allow(std::int64_t now_ms);
+
+  // Records the outcome of a request this breaker admitted.
+  void record_success();
+  // Returns true when this failure tripped the breaker (Closed -> Open or a
+  // failed half-open probe re-opening) — the caller counts breaker trips.
+  bool record_failure(const RpcOptions& opts, std::int64_t now_ms);
+
+  // Force the half-open probe state immediately (used when every endpoint is
+  // open: waiting out every cooldown would stall the whole batch, so the
+  // least-recently-tripped endpoint is probed right away).
+  void force_probe();
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] int consecutive_failures() const { return consecutive_failures_; }
+  [[nodiscard]] std::uint64_t trips() const { return trips_; }
+  [[nodiscard]] std::int64_t open_until_ms() const { return open_until_ms_; }
+
+ private:
+  State state_ = State::Closed;
+  int consecutive_failures_ = 0;
+  std::uint64_t trips_ = 0;
+  std::int64_t open_until_ms_ = 0;
+  bool probe_in_flight_ = false;
+};
+
 struct RpcOptions {
   // Wall-clock budget for one HTTP exchange (connect + send + full read). A
   // slow-loris node that trickles bytes forever is cut off here.
@@ -136,6 +194,15 @@ struct RpcOptions {
   // a given seed, so tests can still script exact schedules, but
   // decorrelated across workers.
   std::uint64_t backoff_jitter_seed = 0;
+  // Circuit breaker: consecutive transport failures on one endpoint before
+  // its breaker opens (0 disables the breaker entirely — every endpoint is
+  // always eligible, the pre-failover behaviour).
+  int breaker_threshold = 3;
+  // Cooldown ladder for an open breaker: the half-open probe happens after
+  // min(breaker_cooldown_base_ms << (trip-1), breaker_cooldown_cap_ms) plus
+  // the seeded jitter (same seed as retry backoff).
+  int breaker_cooldown_base_ms = 200;
+  int breaker_cooldown_cap_ms = 5000;
   // Addresses per JSON-RPC batch request.
   std::size_t batch_size = 16;
   // Decoded items buffered ahead of the consumer (the internal
@@ -146,16 +213,29 @@ struct RpcOptions {
   std::string block_tag = "latest";
 };
 
-// Pull-based ContractSource over a JSON-RPC node. A dedicated fetcher thread
-// issues batched eth_getCode requests and pushes decoded items — in address
-// order, consecutive ordinals from 0 — into a BoundedChannel; next() pops
-// from it, so the ingestion thread of recover_stream sees an ordinary
-// blocking source while fetches run ahead. Ordering is preserved because
-// batches are issued one at a time and resolved positionally before
-// emission; pipelining depth comes from the prefetch buffer, not from
-// overlapping requests.
+// Pull-based ContractSource over one or more JSON-RPC nodes. A dedicated
+// fetcher thread issues batched eth_getCode requests and pushes decoded
+// items — in address order, consecutive ordinals from `ordinal_base` — into
+// a BoundedChannel; next() pops from it, so the ingestion thread of
+// recover_stream sees an ordinary blocking source while fetches run ahead.
+// Ordering is preserved because batches are issued one at a time and
+// resolved positionally before emission; pipelining depth comes from the
+// prefetch buffer, not from overlapping requests.
+//
+// Multi-endpoint failover: each endpoint carries its own CircuitBreaker.
+// Attempts go to the current endpoint while its breaker allows; a transport
+// failure feeds that breaker, and the next attempt rotates to the first
+// endpoint whose breaker admits it (counted as a failover). When every
+// breaker is open, the endpoint with the earliest cooldown deadline is
+// force-probed rather than stalling the batch — a sick fleet degrades to
+// the retry ladder, never to a deadlock. Authoritative responses (error
+// object / null / "0x") resolve addresses on whatever endpoint answered and
+// are never failed over.
 class RpcSource final : public ContractSource {
  public:
+  RpcSource(std::vector<std::string> urls, std::vector<std::string> addresses,
+            RpcOptions opts = {}, std::size_t ordinal_base = 0);
+  // Single-endpoint convenience (the common CLI case).
   RpcSource(std::string url, std::vector<std::string> addresses, RpcOptions opts = {});
   ~RpcSource() override;  // stops and joins the fetcher
 
@@ -166,26 +246,41 @@ class RpcSource final : public ContractSource {
   [[nodiscard]] std::optional<std::size_t> size_hint() const override {
     return addresses_.size();
   }
-  // Fetch metrics (requests, retries, 429s, bytes, fetch seconds) — becomes
-  // BatchResult::fetch after the stream ends.
+  [[nodiscard]] std::size_t ordinal_base() const override { return ordinal_base_; }
+  // Fetch metrics (requests, retries, 429s, bytes, failovers, breaker
+  // trips, fetch seconds) — becomes BatchResult::fetch after the stream
+  // ends.
   [[nodiscard]] std::optional<SourceStats> stats() const override;
 
  private:
+  // One JSON-RPC endpoint plus its health state. Touched only by the
+  // fetcher thread.
+  struct Endpoint {
+    std::string text;        // URL as given (for error messages)
+    std::string parse_error; // non-empty when the URL failed to parse
+    std::optional<ParsedUrl> url;
+    CircuitBreaker breaker;
+  };
+
   void fetch_loop();
-  // Fetches `addresses_[begin, end)` as one JSON-RPC batch with retries;
-  // appends one SourceItem per address, in order, to `out`.
+  // Fetches `addresses_[begin, end)` as one JSON-RPC batch with retries and
+  // endpoint failover; appends one SourceItem per address, in order, to
+  // `out`.
   void fetch_batch(std::size_t begin, std::size_t end, std::vector<SourceItem>& out);
+  // The endpoint index to use for the next attempt, preferring the current
+  // one; rotates (counting a failover) when the current breaker refuses,
+  // and force-probes the earliest-recovering endpoint when all refuse.
+  // Returns nullopt only when no endpoint has a valid URL.
+  [[nodiscard]] std::optional<std::size_t> pick_endpoint(std::int64_t now_ms);
   // Sleeps out backoff_delay_ms(opts_, attempt, sequence); false: stop
   // requested mid-wait.
   bool backoff_wait(int attempt, std::uint64_t sequence);
 
-  const std::string url_text_;
-  // Declared before url_: the url_ initializer writes the parse error here,
-  // so this member must already be constructed.
-  std::string url_error_;
-  std::optional<ParsedUrl> url_;
+  std::vector<Endpoint> endpoints_;
+  std::size_t current_endpoint_ = 0;
   const std::vector<std::string> addresses_;
   const RpcOptions opts_;
+  const std::size_t ordinal_base_;
 
   BoundedChannel<SourceItem> buffer_;
   std::atomic<bool> stop_{false};
@@ -198,6 +293,8 @@ class RpcSource final : public ContractSource {
   std::atomic<std::uint64_t> rate_limited_{0};
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> failed_addresses_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> breaker_trips_{0};
   std::atomic<std::int64_t> fetch_micros_{0};
 
   std::uint64_t next_request_id_ = 1;

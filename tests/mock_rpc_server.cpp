@@ -89,6 +89,17 @@ bool read_request(int fd, std::string& body) {
   }
 }
 
+// Sleeps `ms` in small increments so a stop() request is honored promptly.
+// Returns false when the server began stopping mid-sleep.
+bool sleep_unless_stopping(int ms, const std::atomic<bool>& stopping) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (stopping.load(std::memory_order_relaxed)) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return !stopping.load(std::memory_order_relaxed);
+}
+
 }  // namespace
 
 std::optional<std::vector<Fault>> parse_fault_spec(const std::string& spec, std::string* error) {
@@ -121,6 +132,16 @@ std::optional<std::vector<Fault>> parse_fault_spec(const std::string& spec, std:
       fault.kind = Fault::Kind::Http429;
     } else if (name == "ooo") {
       fault.kind = Fault::Kind::OutOfOrderBatch;
+    } else if (name == "down") {
+      fault.kind = Fault::Kind::DownWindow;
+      fault.chunk = 200;  // default outage window, ms
+    } else if (name == "flap") {
+      fault.kind = Fault::Kind::Flap;
+      fault.chunk = 2;     // default down/up cycles
+      fault.delay_ms = 100;  // default per-half-cycle, ms
+    } else if (name == "blackhole") {
+      fault.kind = Fault::Kind::Blackhole;
+      fault.chunk = 400;  // default silent hold, ms
     } else {
       if (error != nullptr) *error = "unknown fault '" + token + "'";
       return std::nullopt;
@@ -164,6 +185,11 @@ MockRpcServer::MockRpcServer(std::map<std::string, std::string> code_by_address,
 
 MockRpcServer::~MockRpcServer() { stop(); }
 
+bool MockRpcServer::ok() const {
+  std::lock_guard<std::mutex> lock(listen_mutex_);
+  return listen_fd_ >= 0;
+}
+
 std::string MockRpcServer::url() const {
   return "http://127.0.0.1:" + std::to_string(port_);
 }
@@ -174,8 +200,12 @@ void MockRpcServer::stop() {
     if (accept_thread_.joinable()) accept_thread_.join();
     return;
   }
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(listen_mutex_);
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  }
   if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard<std::mutex> lock(listen_mutex_);
   if (listen_fd_ >= 0) ::close(listen_fd_);
   listen_fd_ = -1;
 }
@@ -193,7 +223,13 @@ Fault MockRpcServer::next_fault() {
 
 void MockRpcServer::serve_loop() {
   while (!stopping_.load(std::memory_order_relaxed)) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int lfd;
+    {
+      std::lock_guard<std::mutex> lock(listen_mutex_);
+      lfd = listen_fd_;
+    }
+    if (lfd < 0) break;
+    int fd = ::accept(lfd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // listener shut down
@@ -202,19 +238,83 @@ void MockRpcServer::serve_loop() {
     // A client that stalls mid-request must not wedge the fixture.
     struct timeval tv{5, 0};
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-    handle_connection(fd, next_fault());
+    Fault fault = next_fault();
+    handle_connection(fd, fault);
     ::close(fd);
+    // Listener-level faults fire after the triggering connection is closed:
+    // the accept thread is the only one that touches the listener outside
+    // stop(), so the down window runs right here.
+    if (fault.kind == Fault::Kind::DownWindow) {
+      if (!take_listener_down(static_cast<int>(fault.chunk))) break;
+    } else if (fault.kind == Fault::Kind::Flap) {
+      bool up = true;
+      for (std::size_t cycle = 0; up && cycle < fault.chunk; ++cycle) {
+        up = take_listener_down(fault.delay_ms);
+        // Up half-cycle: the listener exists again, so new connections are
+        // queued in the accept backlog until the flapping subsides.
+        if (up) up = sleep_unless_stopping(fault.delay_ms, stopping_);
+      }
+      if (!up) break;
+    }
   }
+}
+
+bool MockRpcServer::take_listener_down(int window_ms) {
+  {
+    std::lock_guard<std::mutex> lock(listen_mutex_);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  }
+  if (!sleep_unless_stopping(window_ms, stopping_)) return false;
+  // Rebind the SAME port so clients holding the old URL reach the revived
+  // node; SO_REUSEADDR makes the re-bind immune to lingering TIME_WAIT pairs.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(listen_mutex_);
+  if (stopping_.load(std::memory_order_relaxed)) {
+    // stop() already ran its shutdown pass; installing a fresh listener now
+    // would leave the accept loop blocked forever. Fold instead.
+    ::close(fd);
+    return false;
+  }
+  listen_fd_ = fd;
+  return true;
 }
 
 void MockRpcServer::handle_connection(int fd, Fault fault) {
   using core::JsonValue;
-  if (fault.kind == Fault::Kind::ResetAfterAccept) {
+  if (fault.kind == Fault::Kind::ResetAfterAccept || fault.kind == Fault::Kind::DownWindow ||
+      fault.kind == Fault::Kind::Flap) {
     faults_injected_.fetch_add(1, std::memory_order_relaxed);
     // Linger(0) turns close into a hard RST — the "connection reset" a
-    // dying node produces, not a polite FIN.
+    // dying node produces, not a polite FIN. DownWindow and Flap open with
+    // the same RST; the listener outage itself runs in serve_loop after
+    // this connection is disposed of.
     struct linger lg{1, 0};
     ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+    return;
+  }
+  if (fault.kind == Fault::Kind::Blackhole) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    // Accept the batch, read it in full, then say nothing: the client's
+    // receive timeout is the only thing that ends this exchange, exactly
+    // like a node whose upstream died mid-request.
+    std::string swallowed;
+    (void)read_request(fd, swallowed);
+    (void)sleep_unless_stopping(static_cast<int>(fault.chunk), stopping_);
     return;
   }
 

@@ -39,17 +39,30 @@ struct Fault {
     WrongId,           // well-formed responses whose ids match no request
     Http429,           // 429 Too Many Requests, empty body
     OutOfOrderBatch,   // valid batch response, array reversed (spec-legal)
+    DownWindow,        // RST this connection, then close the listener for
+                       // `chunk` ms (connection refused) before rebinding the
+                       // same port — a node that is DOWN, not merely rude
+    Flap,              // `chunk` down/up cycles of `delay_ms` each: the
+                       // listener bounces, connections land refused or queued
+    Blackhole,         // accept, read the (mid-batch) request, then hold the
+                       // socket silently for `chunk` ms — no bytes, no close;
+                       // only the client's own timeout ends the exchange
   };
 
   Kind kind = Kind::None;
-  std::size_t chunk = 16;  // bytes per write for CloseMidResponse / SlowLoris
-  int delay_ms = 5;        // inter-chunk delay for SlowLoris
+  std::size_t chunk = 16;  // bytes per write for CloseMidResponse / SlowLoris;
+                           // window ms for DownWindow / Blackhole; cycle count
+                           // for Flap
+  int delay_ms = 5;        // inter-chunk delay for SlowLoris; per-half-cycle
+                           // ms for Flap
 };
 
 // Parses a comma-separated fault spec — "reset,429,slow:8:20,partial,badjson,
-// wrongid,ooo,none" — into a schedule; slow takes optional :chunk:delay_ms.
-// Returns nullopt (with the bad token in *error) on an unknown token. Shared
-// by tests and the standalone mock node the CI smoke drives.
+// wrongid,ooo,down:250,flap:3:100,blackhole:400,none" — into a schedule; slow
+// takes optional :chunk:delay_ms, down/blackhole an optional :window_ms, flap
+// optional :cycles:half_cycle_ms. Returns nullopt (with the bad token in
+// *error) on an unknown token. Shared by tests and the standalone mock node
+// the CI smoke drives.
 [[nodiscard]] std::optional<std::vector<Fault>> parse_fault_spec(const std::string& spec,
                                                                  std::string* error = nullptr);
 
@@ -66,7 +79,7 @@ class MockRpcServer {
   MockRpcServer(const MockRpcServer&) = delete;
   MockRpcServer& operator=(const MockRpcServer&) = delete;
 
-  [[nodiscard]] bool ok() const { return listen_fd_ >= 0; }
+  [[nodiscard]] bool ok() const;
   [[nodiscard]] std::uint16_t port() const { return port_; }
   [[nodiscard]] std::string url() const;
 
@@ -89,12 +102,19 @@ class MockRpcServer {
   void serve_loop();
   void handle_connection(int fd, Fault fault);
   [[nodiscard]] Fault next_fault();
+  // Closes the listener, sleeps `window_ms` (stopping-aware), rebinds the
+  // same port. Returns false when the server is stopping or the rebind
+  // failed — the accept loop should exit.
+  bool take_listener_down(int window_ms);
 
   std::map<std::string, std::string> code_by_address_;
   mutable std::mutex schedule_mutex_;
   std::vector<Fault> schedule_;
   std::size_t schedule_pos_ = 0;
 
+  // Guards listen_fd_ against the rebind in take_listener_down racing
+  // stop()'s shutdown from another thread.
+  mutable std::mutex listen_mutex_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};

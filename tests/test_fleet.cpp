@@ -20,12 +20,15 @@
 #include <thread>
 #include <vector>
 
+#include <map>
+
 #include "compiler/compile.hpp"
 #include "sigrec/batch.hpp"
 #include "sigrec/fleet.hpp"
 #include "sigrec/persist.hpp"
 #include "sigrec/rpc.hpp"
 #include "sigrec/shard.hpp"
+#include "mock_rpc_server.hpp"
 
 namespace sigrec {
 namespace {
@@ -298,6 +301,25 @@ TEST(FleetChaosTest, RejectsMalformedSpecs) {
   EXPECT_FALSE(core::parse_fleet_chaos("die:x@7", &error).has_value());
   EXPECT_FALSE(core::parse_fleet_chaos("exit@1,exit@2", &error).has_value());
   EXPECT_TRUE(core::parse_fleet_chaos("", &error).has_value());  // empty = no chaos
+}
+
+TEST(FleetChaosTest, ParsesRpcDownTokens) {
+  std::string error;
+  auto chaos = core::parse_fleet_chaos("rpcdown:2@3,die:1@7", &error);
+  ASSERT_TRUE(chaos.has_value()) << error;
+  ASSERT_EQ(chaos->rpcdown.size(), 1u);
+  EXPECT_EQ(chaos->rpcdown[0].worker, 2u);  // endpoint index, 1-based
+  EXPECT_EQ(chaos->rpcdown[0].after_completions, 3u);
+  EXPECT_TRUE(chaos->any());
+
+  // rpcdown alone still counts as chaos (the coordinator must tick it).
+  auto only = core::parse_fleet_chaos("rpcdown:1@2", &error);
+  ASSERT_TRUE(only.has_value()) << error;
+  EXPECT_TRUE(only->any());
+
+  // Endpoint indices are 1-based — 0 is a spec bug, not "the first one".
+  EXPECT_FALSE(core::parse_fleet_chaos("rpcdown:0@3", &error).has_value());
+  EXPECT_FALSE(core::parse_fleet_chaos("rpcdown:1", &error).has_value());
 }
 
 // --- deterministic backoff jitter (rpc.hpp) ----------------------------------
@@ -667,6 +689,155 @@ TEST(FleetIntegrationTest, TwoWorkerFleetMatchesSingleProcessReference) {
   core::LoadStats cache_stats = store.load_into(cache);
   EXPECT_GT(cache_stats.loaded, 0u);
   EXPECT_EQ(cache_stats.skipped(), 0u);
+}
+
+// --- fleet over RPC ----------------------------------------------------------
+
+// Per-lease fetch stats persistence: appended records, last-valid-wins read,
+// missing file is simply "no stats".
+TEST(FleetFetchStatsTest, RoundTripsAndKeepsTheLastRecord) {
+  std::string dir = temp_dir("fetch_stats");
+  std::string path = core::fleet_fetch_stats_path(dir);
+  EXPECT_FALSE(core::read_fetch_stats(path).has_value());  // no file yet
+
+  core::SourceStats first;
+  first.requests = 3;
+  first.retries = 1;
+  ASSERT_TRUE(core::write_fetch_stats(path, first));
+  core::SourceStats second;
+  second.requests = 9;
+  second.retries = 2;
+  second.rate_limited = 1;
+  second.bytes = 4096;
+  second.failed_entries = 1;
+  second.failovers = 2;
+  second.breaker_trips = 1;
+  second.fetch_seconds = 0.25;
+  ASSERT_TRUE(core::write_fetch_stats(path, second));
+
+  auto back = core::read_fetch_stats(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->requests, 9u);
+  EXPECT_EQ(back->retries, 2u);
+  EXPECT_EQ(back->rate_limited, 1u);
+  EXPECT_EQ(back->bytes, 4096u);
+  EXPECT_EQ(back->failed_entries, 1u);
+  EXPECT_EQ(back->failovers, 2u);
+  EXPECT_EQ(back->breaker_trips, 1u);
+  EXPECT_NEAR(back->fetch_seconds, 0.25, 1e-6);
+}
+
+// The tentpole guarantee: a two-worker fleet scanning a live (mock) chain
+// through two endpoints, with endpoint 1 dying mid-run via rpcdown chaos,
+// still completes every lease on the surviving endpoint and merges to output
+// byte-identical to a single-process, single-endpoint reference scan.
+TEST(FleetIntegrationTest, FleetOverRpcSurvivesEndpointDeathMidRun) {
+  std::string dir = temp_dir("fleet_rpc");
+  std::vector<std::string> hex = corpus_lines(9);
+  std::vector<std::string> addresses;
+  std::map<std::string, std::string> code_by_address;
+  for (std::size_t i = 0; i < hex.size(); ++i) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "0x%040zx", i + 1);
+    addresses.push_back(buf);
+    code_by_address[buf] = hex[i];
+  }
+
+  test::MockRpcServer ep1(code_by_address);
+  test::MockRpcServer ep2(code_by_address);
+  ASSERT_TRUE(ep1.ok());
+  ASSERT_TRUE(ep2.ok());
+
+  FleetOptions opts;
+  opts.dir = dir;
+  opts.lease_size = 2;
+  opts.lease_ttl_ms = 60000;
+  opts.shard_bits = 2;
+  std::string error;
+  auto chaos = core::parse_fleet_chaos("rpcdown:1@2", &error);
+  ASSERT_TRUE(chaos.has_value()) << error;
+  opts.chaos = *chaos;
+  std::atomic<int> downs{0};
+  opts.on_rpcdown = [&](std::uint64_t endpoint) {
+    EXPECT_EQ(endpoint, 1u);
+    downs.fetch_add(1);
+    ep1.stop();  // connection refused from here on
+  };
+  FleetCoordinator coordinator(std::move(opts), addresses);
+  ASSERT_TRUE(coordinator.init(&error)) << error;
+  coordinator.add_worker(1);
+  coordinator.add_worker(2);
+
+  std::atomic<bool> stop{false};
+  core::WorkerOptions w1;
+  w1.fleet_dir = dir;
+  w1.worker_id = 1;
+  w1.heartbeat_ms = 5;
+  w1.poll_ms = 2;
+  w1.rpc_urls = {ep1.url(), ep2.url()};
+  w1.rpc.timeout_ms = 2000;
+  w1.rpc.max_retries = 6;
+  w1.rpc.backoff_base_ms = 1;
+  w1.rpc.backoff_cap_ms = 8;
+  w1.rpc.batch_size = 4;
+  w1.rpc.breaker_threshold = 1;  // one refusal rotates traffic away
+  w1.rpc.backoff_jitter_seed = 2;  // worker 1's de-synchronized ladder
+  core::WorkerOptions w2 = w1;
+  w2.worker_id = 2;
+  w2.rpc.backoff_jitter_seed = 3;
+  std::thread t1([&] { (void)core::run_worker(w1, &stop); });
+  std::thread t2([&] { (void)core::run_worker(w2, &stop); });
+
+  double now = 0;
+  while (!coordinator.done() && now < 120000) {
+    coordinator.tick(now);
+    now += 10;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(coordinator.done());
+  for (std::uint64_t w : {1u, 2u}) {
+    Assignment shutdown;
+    shutdown.kind = core::kAssignShutdown;
+    ASSERT_TRUE(core::write_assignment(core::fleet_assignment_path(dir, w), shutdown));
+  }
+  t1.join();
+  t2.join();
+
+  // The chaos actually fired, once.
+  EXPECT_EQ(downs.load(), 1);
+
+  core::MergeStats stats;
+  bool ok = true;
+  std::string merged = coordinator.merge_output("", &stats, &ok);
+  EXPECT_TRUE(ok);
+
+  // Single-process, single-endpoint reference over the same labels.
+  std::string reference;
+  {
+    std::vector<core::HexListSource::Entry> entries;
+    for (std::size_t i = 0; i < hex.size(); ++i) entries.push_back({addresses[i], hex[i]});
+    core::HexListSource source(std::move(entries));
+    core::ShardedSink sink(dir + "/ref_shards", /*shard_bits=*/0);
+    core::BatchOptions batch;
+    batch.sink = &sink;
+    (void)core::recover_stream(source, batch);
+    ASSERT_TRUE(sink.flush());
+    reference = core::merge_shards(sink.files());
+  }
+  EXPECT_EQ(merged, reference);
+
+  core::FleetReport report = coordinator.report();
+  EXPECT_EQ(report.completed, report.leases);
+  // Losing an endpoint is absorbed by failover inside the lease, not by
+  // re-leasing: the run should not even be degraded.
+  EXPECT_FALSE(report.degraded());
+  // The workers' per-lease fetch stats were aggregated into the report...
+  EXPECT_TRUE(report.any_fetch);
+  EXPECT_GE(report.fetch.requests, 5u);  // at least one request per lease
+  // ...including at least one failover off the dead endpoint.
+  EXPECT_GE(report.fetch.failovers, 1u);
+  EXPECT_GE(report.fetch.breaker_trips, 1u);
+  EXPECT_NE(report.to_string().find("fetch:"), std::string::npos) << report.to_string();
 }
 
 }  // namespace

@@ -431,6 +431,273 @@ TEST(RpcBatch, KilledRpcScanResumesByteIdenticallyViaTheJournal) {
   std::remove(journal_path.c_str());
 }
 
+// --- circuit breaker state machine -------------------------------------------
+//
+// The breaker is a pure function of (options, explicit now_ms): no clock is
+// ever read inside it, so every transition below is exact, not "eventually".
+
+using core::CircuitBreaker;
+
+RpcOptions breaker_opts(int threshold = 3, std::uint64_t seed = 0) {
+  RpcOptions opts;
+  opts.breaker_threshold = threshold;
+  opts.breaker_cooldown_base_ms = 100;
+  opts.breaker_cooldown_cap_ms = 1000;
+  opts.backoff_jitter_seed = seed;
+  return opts;
+}
+
+TEST(CircuitBreakerTest, TripsAfterExactlyThresholdConsecutiveFailures) {
+  CircuitBreaker b;
+  RpcOptions opts = breaker_opts(3);
+  EXPECT_TRUE(b.allow(0));
+  EXPECT_FALSE(b.record_failure(opts, 0));
+  EXPECT_FALSE(b.record_failure(opts, 1));
+  EXPECT_EQ(b.state(), CircuitBreaker::State::Closed);
+  EXPECT_TRUE(b.allow(1));  // two failures: still closed, traffic flows
+
+  EXPECT_TRUE(b.record_failure(opts, 2));  // the third trips
+  EXPECT_EQ(b.state(), CircuitBreaker::State::Open);
+  EXPECT_EQ(b.trips(), 1u);
+  // Un-jittered cooldown ladder: trip 1 waits exactly the base.
+  EXPECT_EQ(b.open_until_ms(), 2 + 100);
+  EXPECT_FALSE(b.allow(2));
+  EXPECT_FALSE(b.allow(101));
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheConsecutiveCount) {
+  CircuitBreaker b;
+  RpcOptions opts = breaker_opts(3);
+  EXPECT_FALSE(b.record_failure(opts, 0));
+  EXPECT_FALSE(b.record_failure(opts, 1));
+  b.record_success();
+  // The count restarted: two more failures do not trip...
+  EXPECT_FALSE(b.record_failure(opts, 2));
+  EXPECT_FALSE(b.record_failure(opts, 3));
+  EXPECT_EQ(b.state(), CircuitBreaker::State::Closed);
+  // ...and only a fresh third does.
+  EXPECT_TRUE(b.record_failure(opts, 4));
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsExactlyOneProbe) {
+  CircuitBreaker b;
+  RpcOptions opts = breaker_opts(3);
+  (void)b.record_failure(opts, 0);
+  (void)b.record_failure(opts, 0);
+  ASSERT_TRUE(b.record_failure(opts, 0));  // open until 100
+
+  EXPECT_TRUE(b.allow(100));  // cooldown over: the single admitted probe
+  EXPECT_EQ(b.state(), CircuitBreaker::State::HalfOpen);
+  EXPECT_FALSE(b.allow(100));  // a second caller is NOT admitted
+  EXPECT_FALSE(b.allow(500));  // no matter how late
+
+  b.record_success();  // probe succeeded: closed, counters reset
+  EXPECT_EQ(b.state(), CircuitBreaker::State::Closed);
+  EXPECT_EQ(b.consecutive_failures(), 0);
+  EXPECT_TRUE(b.allow(500));
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensWithAWiderCooldown) {
+  CircuitBreaker b;
+  RpcOptions opts = breaker_opts(3);
+  (void)b.record_failure(opts, 0);
+  (void)b.record_failure(opts, 0);
+  ASSERT_TRUE(b.record_failure(opts, 0));
+  ASSERT_TRUE(b.allow(100));  // the probe
+
+  EXPECT_TRUE(b.record_failure(opts, 100));  // probe failed: trip #2
+  EXPECT_EQ(b.state(), CircuitBreaker::State::Open);
+  EXPECT_EQ(b.trips(), 2u);
+  EXPECT_EQ(b.open_until_ms(), 100 + 200);  // trip 2: base << 1
+
+  // Failures recorded while open (a straggler attempt) neither trip nor
+  // widen the window.
+  EXPECT_FALSE(b.record_failure(opts, 150));
+  EXPECT_EQ(b.trips(), 2u);
+  EXPECT_EQ(b.open_until_ms(), 300);
+}
+
+TEST(CircuitBreakerTest, ThresholdZeroDisablesTheBreaker) {
+  CircuitBreaker b;
+  RpcOptions opts = breaker_opts(0);
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(b.record_failure(opts, i));
+  EXPECT_EQ(b.state(), CircuitBreaker::State::Closed);
+  EXPECT_EQ(b.trips(), 0u);
+  EXPECT_TRUE(b.allow(50));
+}
+
+TEST(CircuitBreakerTest, ForceProbeShortCircuitsAnOpenCooldown) {
+  CircuitBreaker b;
+  RpcOptions opts = breaker_opts(1);
+  ASSERT_TRUE(b.record_failure(opts, 0));  // threshold 1: instant trip
+  ASSERT_EQ(b.state(), CircuitBreaker::State::Open);
+
+  // pick_endpoint's all-breakers-open escape hatch: the forced probe IS the
+  // admitted attempt, so allow() right after still answers false.
+  b.force_probe();
+  EXPECT_EQ(b.state(), CircuitBreaker::State::HalfOpen);
+  EXPECT_FALSE(b.allow(0));
+  b.record_success();
+  EXPECT_EQ(b.state(), CircuitBreaker::State::Closed);
+}
+
+TEST(BreakerCooldown, UnjitteredLadderIsExactAndCapped) {
+  RpcOptions opts = breaker_opts(3, /*seed=*/0);
+  EXPECT_EQ(core::breaker_cooldown_ms(opts, 1), 100);
+  EXPECT_EQ(core::breaker_cooldown_ms(opts, 2), 200);
+  EXPECT_EQ(core::breaker_cooldown_ms(opts, 3), 400);
+  EXPECT_EQ(core::breaker_cooldown_ms(opts, 4), 800);
+  EXPECT_EQ(core::breaker_cooldown_ms(opts, 5), 1000);   // capped
+  EXPECT_EQ(core::breaker_cooldown_ms(opts, 60), 1000);  // shift overflow guard
+}
+
+TEST(BreakerCooldown, JitterIsDeterministicAndBounded) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull, 0xdeadbeefull}) {
+    RpcOptions opts = breaker_opts(3, seed);
+    for (std::uint64_t trip = 1; trip <= 8; ++trip) {
+      std::int64_t ladder = core::breaker_cooldown_ms(breaker_opts(3, 0), trip);
+      std::int64_t a = core::breaker_cooldown_ms(opts, trip);
+      std::int64_t b = core::breaker_cooldown_ms(opts, trip);
+      EXPECT_EQ(a, b) << "same seed+trip must reproduce exactly";
+      EXPECT_GE(a, ladder);
+      EXPECT_LE(a, ladder + ladder / 2) << "jitter adds at most half the ladder";
+    }
+  }
+  // Different seeds must actually spread (at least one trip differs).
+  bool spread = false;
+  for (std::uint64_t trip = 1; trip <= 8 && !spread; ++trip) {
+    spread = core::breaker_cooldown_ms(breaker_opts(3, 1), trip) !=
+             core::breaker_cooldown_ms(breaker_opts(3, 2), trip);
+  }
+  EXPECT_TRUE(spread);
+}
+
+// --- multi-endpoint failover --------------------------------------------------
+
+TEST(RpcMultiEndpoint, FailsOverToTheHealthyEndpointAndSticksThere) {
+  Fixture f = make_fixture(6);
+  MockRpcServer dead({});
+  ASSERT_TRUE(dead.ok());
+  std::string dead_url = dead.url();
+  dead.stop();  // connection refused from the first byte
+  MockRpcServer live(f.code_by_address);
+  ASSERT_TRUE(live.ok());
+
+  RpcOptions opts = fast_opts();
+  opts.breaker_threshold = 1;  // the first refusal trips endpoint 1
+  RpcSource source({dead_url, live.url()}, f.addresses, opts);
+  std::vector<SourceItem> items = drain(source);
+
+  ASSERT_EQ(items.size(), f.addresses.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_FALSE(items[i].failed()) << i << ": " << items[i].error;
+    EXPECT_EQ(items[i].code.to_hex(), f.codes[i].to_hex());
+  }
+
+  auto stats = source.stats();
+  ASSERT_TRUE(stats.has_value());
+  // Exactly one failover (dead → live) and one breaker trip: sticky-first
+  // routing keeps every later batch on the endpoint that worked.
+  EXPECT_EQ(stats->failovers, 1u);
+  EXPECT_EQ(stats->breaker_trips, 1u);
+  EXPECT_GE(stats->retries, 1u);
+  EXPECT_EQ(stats->failed_entries, 0u);
+}
+
+TEST(RpcMultiEndpoint, OrdinalBaseOffsetsTheWholeStream) {
+  Fixture f = make_fixture(3);
+  MockRpcServer server(f.code_by_address);
+  ASSERT_TRUE(server.ok());
+  RpcSource source({server.url()}, f.addresses, fast_opts(), /*ordinal_base=*/100);
+  EXPECT_EQ(source.ordinal_base(), 100u);
+  std::vector<SourceItem> items = drain(source);
+  ASSERT_EQ(items.size(), 3u);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(items[i].ordinal, 100 + i);
+    EXPECT_EQ(items[i].label, f.addresses[i]);
+    EXPECT_FALSE(items[i].failed()) << items[i].error;
+  }
+}
+
+TEST(RpcMultiEndpoint, AllEndpointsInvalidDegradesEveryAddress) {
+  RpcSource source(std::vector<std::string>{"https://nope:1", "ws://also-nope"},
+                   {address_for(0), address_for(1)}, fast_opts());
+  std::vector<SourceItem> items = drain(source);
+  ASSERT_EQ(items.size(), 2u);
+  for (const SourceItem& item : items) {
+    EXPECT_TRUE(item.failed());
+    EXPECT_NE(item.error.find("invalid RPC URL"), std::string::npos) << item.error;
+  }
+}
+
+TEST(RpcMultiEndpoint, EndpointDownWindowIsRiddenOutByRetries) {
+  Fixture f = make_fixture(2);
+  // The first connection is RSTed and the listener then vanishes for 40ms —
+  // connection refused, a genuinely down node — before rebinding the same
+  // port. The retry ladder must ride it out on the single endpoint.
+  MockRpcServer server(f.code_by_address, {{Fault::Kind::DownWindow, 40}});
+  ASSERT_TRUE(server.ok());
+
+  RpcOptions opts = fast_opts();
+  opts.max_retries = 8;
+  opts.backoff_base_ms = 20;
+  opts.backoff_cap_ms = 40;
+  RpcSource source(server.url(), f.addresses, opts);
+  std::vector<SourceItem> items = drain(source);
+
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_FALSE(items[0].failed()) << items[0].error;
+  EXPECT_FALSE(items[1].failed()) << items[1].error;
+  EXPECT_GE(server.faults_injected(), 1u);
+  auto stats = source.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GE(stats->retries, 1u);
+}
+
+TEST(RpcMultiEndpoint, FlappingEndpointIsRiddenOutByRetries) {
+  Fixture f = make_fixture(2);
+  // Two down/up cycles of 20ms each after the first (RSTed) connection.
+  MockRpcServer server(f.code_by_address, {{Fault::Kind::Flap, 2, 20}});
+  ASSERT_TRUE(server.ok());
+
+  RpcOptions opts = fast_opts();
+  opts.max_retries = 10;
+  opts.backoff_base_ms = 15;
+  opts.backoff_cap_ms = 30;
+  RpcSource source(server.url(), f.addresses, opts);
+  std::vector<SourceItem> items = drain(source);
+
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_FALSE(items[0].failed()) << items[0].error;
+  EXPECT_FALSE(items[1].failed()) << items[1].error;
+}
+
+TEST(RpcMultiEndpoint, BlackholedBatchTimesOutThenFailsOver) {
+  Fixture f = make_fixture(4);
+  // Endpoint 1 accepts and reads the batch, then goes silent far longer
+  // than the client's deadline; only the timeout ends the exchange.
+  MockRpcServer dark(f.code_by_address, {{Fault::Kind::Blackhole, 5000}});
+  ASSERT_TRUE(dark.ok());
+  MockRpcServer live(f.code_by_address);
+  ASSERT_TRUE(live.ok());
+
+  RpcOptions opts = fast_opts();
+  opts.timeout_ms = 150;
+  opts.breaker_threshold = 1;
+  RpcSource source({dark.url(), live.url()}, f.addresses, opts);
+  std::vector<SourceItem> items = drain(source);
+
+  ASSERT_EQ(items.size(), f.addresses.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_FALSE(items[i].failed()) << i << ": " << items[i].error;
+    EXPECT_EQ(items[i].code.to_hex(), f.codes[i].to_hex());
+  }
+  auto stats = source.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GE(stats->failovers, 1u);
+  EXPECT_GE(stats->breaker_trips, 1u);
+}
+
 // --- fault-spec parsing (shared with the standalone mock node) ---------------
 
 TEST(MockRpc, ParsesFaultSpecs) {
@@ -453,6 +720,25 @@ TEST(MockRpc, ParsesFaultSpecs) {
   EXPECT_TRUE(test::parse_fault_spec("", &error).has_value());  // empty = honest
   EXPECT_FALSE(test::parse_fault_spec("reset,bogus", &error).has_value());
   EXPECT_NE(error.find("bogus"), std::string::npos);
+}
+
+TEST(MockRpc, ParsesOutageFaultTokensWithDefaults) {
+  std::string error;
+  auto schedule = test::parse_fault_spec("down,down:250,flap,flap:3:40,blackhole,blackhole:120",
+                                         &error);
+  ASSERT_TRUE(schedule.has_value()) << error;
+  ASSERT_EQ(schedule->size(), 6u);
+  EXPECT_EQ((*schedule)[0].kind, Fault::Kind::DownWindow);
+  EXPECT_EQ((*schedule)[0].chunk, 200u);  // default outage window
+  EXPECT_EQ((*schedule)[1].chunk, 250u);
+  EXPECT_EQ((*schedule)[2].kind, Fault::Kind::Flap);
+  EXPECT_EQ((*schedule)[2].chunk, 2u);     // default cycles
+  EXPECT_EQ((*schedule)[2].delay_ms, 100);  // default half-cycle
+  EXPECT_EQ((*schedule)[3].chunk, 3u);
+  EXPECT_EQ((*schedule)[3].delay_ms, 40);
+  EXPECT_EQ((*schedule)[4].kind, Fault::Kind::Blackhole);
+  EXPECT_EQ((*schedule)[4].chunk, 400u);  // default silent hold
+  EXPECT_EQ((*schedule)[5].chunk, 120u);
 }
 
 }  // namespace
