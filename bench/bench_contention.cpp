@@ -1,0 +1,252 @@
+// Contention microbench for the lock-free concurrency substrate: Chase-Lev
+// deque raw ops, pool spawn/steal throughput across worker counts, and memo
+// cache hit latency across stripe counts and thread counts.
+//
+// The reference box is often 1-core, so absolute multi-thread numbers mean
+// little there — what this bench guards is (a) the single-thread fast path
+// (no regression vs the old mutex pool at jobs=1, enforced as a conservative
+// ops/s floor in --smoke) and (b) the correctness counters under maximum
+// interleaving (every task ran exactly once, every lookup hit), which CI runs
+// in both release and TSan matrix jobs.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "evm/keccak.hpp"
+#include "sigrec/cache.hpp"
+#include "sigrec/work_stealing.hpp"
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define SIGREC_BENCH_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define SIGREC_BENCH_SANITIZED 1
+#endif
+#endif
+#ifndef SIGREC_BENCH_SANITIZED
+#define SIGREC_BENCH_SANITIZED 0
+#endif
+
+namespace {
+
+using sigrec::core::ChaseLevDeque;
+using sigrec::core::RecoveryCache;
+using sigrec::core::WorkStealingPool;
+
+double now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+sigrec::evm::Hash256 hash_of_index(std::uint64_t i) {
+  std::uint8_t bytes[8];
+  for (unsigned b = 0; b < 8; ++b) bytes[b] = static_cast<std::uint8_t>(i >> (8 * b));
+  return sigrec::evm::keccak256(std::span<const std::uint8_t>(bytes, sizeof bytes));
+}
+
+// Raw deque: owner-only push/pop pairs (the per-function fan-out hot path).
+double bench_deque_push_pop(std::size_t pairs, bool& ok) {
+  ChaseLevDeque<int> deque;
+  int token = 1;
+  std::size_t popped = 0;
+  double t0 = now_seconds();
+  for (std::size_t i = 0; i < pairs; ++i) {
+    deque.push(&token);
+    if (deque.pop() != nullptr) ++popped;
+  }
+  double dt = now_seconds() - t0;
+  ok = ok && popped == pairs;
+  return static_cast<double>(pairs) / dt;
+}
+
+// Raw deque: one owner streaming pushes, N thieves stealing concurrently.
+double bench_deque_owner_vs_thieves(std::size_t items, unsigned thieves, bool& ok) {
+  ChaseLevDeque<std::atomic<int>> deque;
+  std::vector<std::atomic<int>> cells(items);
+  for (auto& c : cells) c.store(0, std::memory_order_relaxed);
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> claimed{0};
+  std::atomic<std::uint64_t> double_claims{0};
+  auto claim = [&](std::atomic<int>* cell) {
+    if (cell->fetch_add(1, std::memory_order_relaxed) != 0) {
+      double_claims.fetch_add(1, std::memory_order_relaxed);
+    }
+    claimed.fetch_add(1, std::memory_order_relaxed);
+  };
+  double t0 = now_seconds();
+  std::vector<std::thread> pool;
+  pool.reserve(thieves);
+  for (unsigned t = 0; t < thieves; ++t) {
+    pool.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (std::atomic<int>* cell = deque.steal()) claim(cell);
+      }
+      while (std::atomic<int>* cell = deque.steal()) claim(cell);
+    });
+  }
+  for (std::size_t i = 0; i < items; ++i) {
+    deque.push(&cells[i]);
+    if (i % 8 == 0) {
+      if (std::atomic<int>* cell = deque.pop()) claim(cell);
+    }
+  }
+  while (std::atomic<int>* cell = deque.pop()) claim(cell);
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : pool) t.join();
+  double dt = now_seconds() - t0;
+  ok = ok && claimed.load() == items && double_claims.load() == 0;
+  return static_cast<double>(items) / dt;
+}
+
+// Pool end-to-end: external spawn of trivial tasks (admission-path shape).
+double bench_pool_spawn(unsigned workers, std::size_t tasks, bool& ok) {
+  WorkStealingPool pool(workers);
+  std::atomic<std::uint64_t> ran{0};
+  double t0 = now_seconds();
+  for (std::size_t i = 0; i < tasks; ++i) {
+    pool.spawn([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.run();
+  double dt = now_seconds() - t0;
+  ok = ok && ran.load() == tasks;
+  return static_cast<double>(tasks) / dt;
+}
+
+// Pool fan-out: roots spawn leaves internally (lock-free push) and other
+// workers steal — the per-function fan-out path under contention.
+double bench_pool_fanout(unsigned workers, std::size_t roots, std::size_t leaves, bool& ok,
+                         std::uint64_t* steals_out) {
+  WorkStealingPool pool(workers);
+  std::atomic<std::uint64_t> ran{0};
+  double t0 = now_seconds();
+  for (std::size_t r = 0; r < roots; ++r) {
+    pool.spawn([&pool, &ran, leaves] {
+      for (std::size_t l = 0; l < leaves; ++l) {
+        pool.spawn([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  pool.run();
+  double dt = now_seconds() - t0;
+  ok = ok && ran.load() == roots * leaves;
+  if (steals_out != nullptr) *steals_out = pool.steals();
+  return static_cast<double>(roots * leaves) / dt;
+}
+
+// Cache hit path: `threads` readers over a prefilled cache. All lookups hit;
+// what varies is how many stripe mutexes the readers spread across.
+double bench_cache_hits(unsigned stripe_bits, unsigned threads, std::size_t keys,
+                        std::size_t lookups_per_thread, bool& ok) {
+  RecoveryCache cache(stripe_bits);
+  std::vector<sigrec::evm::Hash256> hashes;
+  hashes.reserve(keys);
+  for (std::size_t i = 0; i < keys; ++i) {
+    hashes.push_back(hash_of_index(i));
+    sigrec::core::CachedContract entry;
+    entry.status = sigrec::core::RecoveryStatus::Complete;
+    cache.store_contract(hashes.back(), entry);
+  }
+  std::atomic<std::uint64_t> hits{0};
+  double t0 = now_seconds();
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      std::uint64_t local = 0;
+      for (std::size_t i = 0; i < lookups_per_thread; ++i) {
+        // Stride by a thread-specific odd step so readers walk different
+        // stripe sequences instead of marching in lockstep.
+        std::size_t idx = (i * (2 * t + 1) + t) % keys;
+        if (cache.find_contract(hashes[idx]).has_value()) ++local;
+      }
+      hits.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  double dt = now_seconds() - t0;
+  ok = ok && hits.load() == static_cast<std::uint64_t>(threads) * lookups_per_thread;
+  return static_cast<double>(threads) * static_cast<double>(lookups_per_thread) / dt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  bool ok = true;
+
+  const std::size_t deque_pairs = smoke ? 200000 : 2000000;
+  const std::size_t deque_items = smoke ? 100000 : 1000000;
+  const std::size_t pool_tasks = smoke ? 20000 : 200000;
+  const std::size_t fan_roots = smoke ? 64 : 512;
+  const std::size_t fan_leaves = 32;
+  const std::size_t cache_keys = smoke ? 512 : 4096;
+  const std::size_t cache_lookups = smoke ? 50000 : 500000;
+
+  sigrec::bench::print_header("Chase-Lev deque: raw operations");
+  double pairs_per_s = bench_deque_push_pop(deque_pairs, ok);
+  std::printf("  %-34s %12.0f ops/s\n", "owner push+pop pairs", pairs_per_s);
+  for (unsigned thieves : {1u, 3u, 7u}) {
+    double ops = bench_deque_owner_vs_thieves(deque_items, thieves, ok);
+    char label[64];
+    std::snprintf(label, sizeof label, "1 owner vs %u thieves", thieves);
+    std::printf("  %-34s %12.0f items/s\n", label, ops);
+  }
+
+  sigrec::bench::print_header("Pool: spawn/execute throughput (trivial tasks)");
+  double single_thread_pool = 0;
+  for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    double ops = bench_pool_spawn(workers, pool_tasks, ok);
+    if (workers == 1) single_thread_pool = ops;
+    std::printf("  external spawn, %-17u %12.0f tasks/s\n", workers, ops);
+  }
+  for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    std::uint64_t steals = 0;
+    double ops = bench_pool_fanout(workers, fan_roots, fan_leaves, ok, &steals);
+    std::printf("  fan-out, %-24u %12.0f tasks/s  (%llu steals)\n", workers, ops,
+                static_cast<unsigned long long>(steals));
+  }
+
+  sigrec::bench::print_header("Cache: hit throughput across stripes x threads");
+  for (unsigned stripe_bits : {0u, 4u}) {
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+      double ops = bench_cache_hits(stripe_bits, threads, cache_keys, cache_lookups, ok);
+      char label[64];
+      std::snprintf(label, sizeof label, "stripes=%-3u threads=%u",
+                    1u << stripe_bits, threads);
+      std::printf("  %-34s %12.0f lookups/s  (%.0f ns/hit)\n", label, ops,
+                  1e9 * static_cast<double>(threads) / ops);
+    }
+  }
+
+  std::printf("\n  consistency (exact task/lookup counts): %s\n", ok ? "ok" : "FAILED");
+
+  if (smoke) {
+    // Conservative floors, far below honest release numbers on any hardware
+    // this runs on — they exist to catch order-of-magnitude regressions
+    // (e.g. a lock sneaking back onto the owner's push/pop path), not to
+    // benchmark CI runners. Sanitized builds skip them: TSan's instrumented
+    // atomics are legitimately ~10-50x slower.
+#if !SIGREC_BENCH_SANITIZED
+    constexpr double kPoolFloor = 20000.0;    // tasks/s, jobs=1
+    constexpr double kDequeFloor = 1000000.0; // push+pop pairs/s
+    bool above = single_thread_pool >= kPoolFloor && pairs_per_s >= kDequeFloor;
+    std::printf("  smoke: pool %.0f tasks/s vs floor %.0f, deque %.0f pairs/s vs floor %.0f"
+                " -> %s\n",
+                single_thread_pool, kPoolFloor, pairs_per_s, kDequeFloor,
+                above ? "ok" : "REGRESSION");
+    ok = ok && above;
+#else
+    (void)single_thread_pool;
+    std::printf("  smoke: sanitized build, ops/s floors skipped\n");
+#endif
+  }
+  return ok ? 0 : 1;
+}

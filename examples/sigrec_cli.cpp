@@ -206,6 +206,7 @@ int usage(const char* argv0) {
                " [--cache-file <path>] [--journal <path>] [--resume]\n"
                "          [--output|-o <path>] [--watchdog-ms <ms>]"
                " [--flush-interval <n>] [--shard-dir <dir>] [--shard-bits <0..8>]\n"
+               "          [--pin] [--cache-stripe-bits <0..8>]\n"
                "       %s --merge-shards <dir> [--output|-o <path>]"
                "   # merge shard files into the canonical database\n"
                "       %s --emit-corpus <dir> <n>   # synthesize a test corpus\n"
@@ -236,7 +237,11 @@ int usage(const char* argv0) {
                "--shard-dir appends each recovered function to a selector shard\n"
                "(2^shard-bits files) as contracts finish; --merge-shards renders\n"
                "the shards as one deterministic text database. --output writes\n"
-               "the canonical batch report atomically (temp file + rename).\n",
+               "the canonical batch report atomically (temp file + rename).\n"
+               "--pin pins worker threads round-robin to CPUs (no-op where\n"
+               "unsupported); --cache-stripe-bits sets the memo cache's lock\n"
+               "striping (2^bits stripes, default 4 bits) — results are\n"
+               "identical for any value, only lock contention changes.\n",
                argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
@@ -262,6 +267,10 @@ struct CliOptions {
   const char* merge_dir = nullptr;
   double watchdog_ms = 0;
   std::size_t flush_interval = 16;
+  // Concurrency substrate knobs (see BatchOptions::pin_threads and
+  // RecoveryCache's stripe_bits constructor argument).
+  bool pin = false;
+  int cache_stripe_bits = static_cast<int>(sigrec::core::RecoveryCache::kDefaultStripeBits);
   // Network ingestion (rpc.hpp): fetch runtime code per address over
   // JSON-RPC instead of reading local inputs. --rpc repeats: every URL is a
   // failover endpoint behind per-endpoint circuit breakers.
@@ -396,7 +405,7 @@ int run_batch(const std::vector<const char*>& inputs, const sigrec::symexec::Lim
 
   // Persistent cache: restore before the scan, compact back after it. A
   // corrupt or foreign-version file degrades to a (partially) cold start.
-  core::RecoveryCache persistent_cache;
+  core::RecoveryCache persistent_cache(static_cast<unsigned>(cli.cache_stripe_bits));
   std::optional<core::PersistentCacheStore> store;
   if (cli.cache_file != nullptr) {
     store.emplace(cli.cache_file);
@@ -438,6 +447,8 @@ int run_batch(const std::vector<const char*>& inputs, const sigrec::symexec::Lim
   opts.jobs = cli.jobs;
   opts.contract_cache = cli.caches;
   opts.function_cache = cli.caches;
+  opts.cache_stripe_bits = static_cast<unsigned>(cli.cache_stripe_bits);
+  opts.pin_threads = cli.pin;
   if (store.has_value()) opts.cache = &persistent_cache;
   if (journal.has_value()) opts.journal = &*journal;
   if (sink.has_value()) opts.sink = &*sink;
@@ -521,6 +532,8 @@ int run_fleet_worker(const sigrec::symexec::Limits& limits, const CliOptions& cl
   opts.batch.jobs = cli.jobs == 0 ? 1 : cli.jobs;  // fleets parallelize across processes
   opts.batch.contract_cache = cli.caches;
   opts.batch.function_cache = cli.caches;
+  opts.batch.cache_stripe_bits = static_cast<unsigned>(cli.cache_stripe_bits);
+  opts.batch.pin_threads = cli.pin;
   opts.batch.watchdog_seconds = cli.watchdog_ms / 1000.0;
   opts.flush_interval = cli.flush_interval;
   opts.heartbeat_ms = cli.heartbeat_ms;
@@ -597,6 +610,10 @@ int run_fleet(const char* argv0, const std::vector<const char*>& inputs, const C
   if (cli.jobs != 0) pass("--jobs", std::to_string(cli.jobs));
   pass("--flush-interval", std::to_string(cli.flush_interval));
   if (!cli.caches) opts.worker_args.push_back("--no-cache");
+  if (cli.pin) opts.worker_args.push_back("--pin");
+  if (cli.cache_stripe_bits != static_cast<int>(core::RecoveryCache::kDefaultStripeBits)) {
+    pass("--cache-stripe-bits", std::to_string(cli.cache_stripe_bits));
+  }
   for (const char* url : cli.rpc_urls) pass("--rpc", url);
   if (!cli.rpc_urls.empty()) {
     std::snprintf(buf, sizeof buf, "%.6f", cli.rpc_timeout_ms);
@@ -730,6 +747,16 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
       cli.shard_bits = static_cast<int>(parsed);
+    } else if (std::strcmp(argv[i], "--pin") == 0) {
+      cli.pin = true;
+    } else if (std::strcmp(argv[i], "--cache-stripe-bits") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' ||
+          parsed > static_cast<unsigned long>(core::RecoveryCache::kMaxStripeBits)) {
+        return usage(argv[0]);
+      }
+      cli.cache_stripe_bits = static_cast<int>(parsed);
     } else if (std::strcmp(argv[i], "--shard-dir") == 0 && i + 1 < argc) {
       cli.shard_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--merge-shards") == 0 && i + 1 < argc) {

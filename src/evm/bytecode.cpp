@@ -125,13 +125,22 @@ bool Bytecode::is_jumpdest(std::size_t pc) const {
 }
 
 const Disassembly& Bytecode::disassembly() const {
-  if (dis_ == nullptr) dis_ = std::make_unique<Disassembly>(*this);
+  if (dis_ == nullptr) dis_ = std::make_shared<const Disassembly>(*this);
   return *dis_;
+}
+
+std::shared_ptr<const Disassembly> Bytecode::shared_disassembly() const {
+  if (dis_ == nullptr) dis_ = std::make_shared<const Disassembly>(*this);
+  return dis_;
+}
+
+void Bytecode::adopt_disassembly(std::shared_ptr<const Disassembly> dis) const {
+  if (dis_ == nullptr && dis != nullptr) dis_ = std::move(dis);
 }
 
 void Bytecode::warm_analysis_caches() const {
   if (!jumpdests_ready_) compute_jumpdests();
-  if (dis_ == nullptr) dis_ = std::make_unique<Disassembly>(*this);
+  if (dis_ == nullptr) dis_ = std::make_shared<const Disassembly>(*this);
 }
 
 std::array<std::uint8_t, 32> Bytecode::code_hash() const { return keccak256(code_); }

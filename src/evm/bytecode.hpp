@@ -75,6 +75,22 @@ class Bytecode {
   // disassembly) so that subsequent concurrent reads are race-free.
   void warm_analysis_caches() const;
 
+  // Shared-ownership access to the cached disassembly, forcing the lazy init
+  // if needed. A Disassembly holds no back-reference to the Bytecode it was
+  // built from, so the returned pointer may outlive this object and — since
+  // disassembly is a pure function of the bytes — be adopted by any
+  // byte-identical Bytecode. The batch engine uses this to build each
+  // distinct runtime code's Disassembly once, keyed by code hash, instead of
+  // once per duplicate. Same lazy-init thread-safety caveat as
+  // `disassembly()`.
+  [[nodiscard]] std::shared_ptr<const Disassembly> shared_disassembly() const;
+
+  // Installs a Disassembly computed from byte-identical code (the caller's
+  // contract to verify — content-hash keying upholds it). No-op when `dis`
+  // is null or a disassembly is already cached. Not thread-safe against
+  // concurrent lazy init on the same object.
+  void adopt_disassembly(std::shared_ptr<const Disassembly> dis) const;
+
   // keccak256 of the runtime code — the identity used by the batch engine's
   // contract-level memo cache. Computed on every call (not cached, so it
   // stays safe to call from any thread).
@@ -86,7 +102,10 @@ class Bytecode {
   Bytes code_;
   mutable std::vector<bool> jumpdests_;  // lazily sized to code_.size()
   mutable bool jumpdests_ready_ = false;
-  mutable std::unique_ptr<Disassembly> dis_;  // lazy, never copied
+  // Lazy, never copied by the copy constructor (each copy is an independent
+  // contract identity — see above); shared_ptr so content-hash-equal copies
+  // can adopt one instance via shared_disassembly()/adopt_disassembly().
+  mutable std::shared_ptr<const Disassembly> dis_;
 };
 
 }  // namespace sigrec::evm

@@ -1,6 +1,7 @@
 #include "sigrec/batch.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -129,10 +130,21 @@ class AdmissionSlots {
   std::size_t free_;
 };
 
+// Shard count for the per-run registries below. Power of two; 16 shards is
+// plenty past the pool sizes we run (the admission window is 2x workers, so
+// at most that many contracts contend for registration at once).
+constexpr std::size_t kRegistryShards = 16;
+
 // Shared state of one streaming run for every task on the pool. The registry
 // replaces the dense per-index vectors of the span-based engine: admitted
 // contracts are keyed by source ordinal, which is also the key the journal,
 // the dedup waiter lists, and the watchdog use.
+//
+// Every mutable map is sharded so the admission/claim/publish/retire paths of
+// different contracts never funnel through one mutex: the active registry by
+// ordinal (sequential ordinals round-robin the shards perfectly), the shared
+// disassembly registry by code hash (same uniform-keccak striping the cache
+// uses), and the finished list behind its own dedicated mutex.
 struct StreamContext {
   const BatchOptions& opts;
   const SigRec& tool;  // recover_function is const and thread-safe
@@ -141,12 +153,38 @@ struct StreamContext {
   AdmissionSlots& slots;
   bool watchdog_armed = false;
 
-  std::mutex registry_mutex;
-  // Admitted, unfinished contracts. The watchdog scans this; dedup owners
-  // resolve their waiters' ordinals through it.
-  std::unordered_map<std::size_t, std::shared_ptr<ContractState>> active;
+  // Admitted, unfinished contracts. The watchdog scans these shard by shard;
+  // dedup owners resolve their waiters' ordinals through lookup_active.
+  struct RegistryShard {
+    std::mutex mutex;
+    std::unordered_map<std::size_t, std::shared_ptr<ContractState>> active;
+  };
+  std::array<RegistryShard, kRegistryShards> registry{};
+
+  // One immutable Disassembly per distinct runtime code, shared by every
+  // duplicate in the run (BatchOptions::share_disassembly). Entries are
+  // strong references — a duplicate arriving after its predecessor finished
+  // must still find the instance — bounded by a per-shard cap: on overflow,
+  // entries nobody outside the registry holds are dropped first, so the
+  // working set stays fixed however long the stream runs while anything a
+  // live contract is using survives.
+  struct DisassemblyShard {
+    std::mutex mutex;
+    std::unordered_map<evm::Hash256, std::shared_ptr<const evm::Disassembly>, CodeHashKey> map;
+  };
+  std::array<DisassemblyShard, kRegistryShards> disassembly{};
+  std::atomic<std::uint64_t> disassembly_reuses{0};
+
   // Finished reports in completion order; sorted by ordinal at the end.
-  std::vector<ContractReport> finished;
+  std::mutex finished_mutex{};
+  std::vector<ContractReport> finished{};
+
+  RegistryShard& registry_shard(std::size_t ordinal) {
+    return registry[ordinal & (kRegistryShards - 1)];
+  }
+  DisassemblyShard& disassembly_shard(const evm::Hash256& hash) {
+    return disassembly[CodeHashKey{}(hash) & (kRegistryShards - 1)];
+  }
 };
 
 void run_contract_task(StreamContext& ctx, const std::shared_ptr<ContractState>& state);
@@ -156,9 +194,48 @@ bool stop_requested(const StreamContext& ctx) {
 }
 
 std::shared_ptr<ContractState> lookup_active(StreamContext& ctx, std::size_t ordinal) {
-  std::lock_guard<std::mutex> lock(ctx.registry_mutex);
-  auto it = ctx.active.find(ordinal);
-  return it == ctx.active.end() ? nullptr : it->second;
+  StreamContext::RegistryShard& shard = ctx.registry_shard(ordinal);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.active.find(ordinal);
+  return it == shard.active.end() ? nullptr : it->second;
+}
+
+// Attaches the run-wide shared Disassembly for `hash` to `code`, or — first
+// appearance of this runtime code — disassembles outside any lock and
+// publishes. The shard cap bounds registry memory for arbitrarily long
+// streams: eviction drops idle entries (use_count 1 — nothing but the
+// registry holds them) before anything a live contract still shares.
+void adopt_shared_disassembly(StreamContext& ctx, const evm::Bytecode& code,
+                              const evm::Hash256& hash) {
+  constexpr std::size_t kShardCap = 256;
+  StreamContext::DisassemblyShard& shard = ctx.disassembly_shard(hash);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(hash);
+    if (it != shard.map.end()) {
+      code.adopt_disassembly(it->second);
+      ctx.disassembly_reuses.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  std::shared_ptr<const evm::Disassembly> dis = code.shared_disassembly();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.map.size() >= kShardCap) {
+    for (auto it = shard.map.begin(); it != shard.map.end() && shard.map.size() >= kShardCap;) {
+      if (it->second.use_count() == 1) {
+        it = shard.map.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Every entry still in live use: skip publishing rather than grow past
+    // the cap — this copy keeps its private disassembly and duplicates
+    // rebuild until pressure drops. Capacity is a perf valve, never a leak.
+    if (shard.map.size() >= kShardCap) return;
+  }
+  // A racing duplicate may have published first; try_emplace keeps the
+  // incumbent — both disassemblies are identical, ours stays private.
+  shard.map.try_emplace(hash, std::move(dis));
 }
 
 // Retires a contract: journals the completion (never InternalError — the
@@ -181,9 +258,13 @@ void finish_contract(StreamContext& ctx, const std::shared_ptr<ContractState>& s
     if (ctx.opts.on_contract_done) ctx.opts.on_contract_done(report);
   }
   {
-    std::lock_guard<std::mutex> lock(ctx.registry_mutex);
+    StreamContext::RegistryShard& shard = ctx.registry_shard(state->ordinal);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.active.erase(state->ordinal);
+  }
+  {
+    std::lock_guard<std::mutex> lock(ctx.finished_mutex);
     ctx.finished.push_back(std::move(report));
-    ctx.active.erase(state->ordinal);
   }
   ctx.slots.release();
 }
@@ -405,7 +486,14 @@ void run_contract_task(StreamContext& ctx, const std::shared_ptr<ContractState>&
   // InternalError row. Every non-crash path returns from inside the try.
   try {
     const evm::Bytecode& code = state->code;
-    const bool need_hash = ctx.opts.contract_cache || ctx.opts.journal != nullptr;
+    // Disassembly sharing only pays off when duplicates actually reach the
+    // analysis (no caching at all means every copy works anyway, and the
+    // no-cache config doubles as the honest every-copy-pays baseline in the
+    // benchmarks, so it stays share-free).
+    const bool share_dis =
+        ctx.opts.share_disassembly && (ctx.opts.contract_cache || ctx.opts.function_cache ||
+                                       ctx.opts.journal != nullptr);
+    const bool need_hash = ctx.opts.contract_cache || ctx.opts.journal != nullptr || share_dis;
     if (need_hash) code_hash = code.code_hash();
 
     // Resume: a contract the journal already has (same ordinal, same runtime
@@ -462,6 +550,10 @@ void run_contract_task(StreamContext& ctx, const std::shared_ptr<ContractState>&
       }
     }
     if (ctx.watchdog_armed) state->start_ms.store(now_millis(), std::memory_order_release);
+
+    // Past every short-circuit (replay, cache hit, dedup registration): this
+    // contract will disassemble, so share the run-wide copy for its code.
+    if (share_dis) adopt_shared_disassembly(ctx, code, code_hash);
 
     plan->selectors = extract_function_ids(code);
     plan->body_keys.resize(plan->selectors.size());
@@ -547,14 +639,14 @@ BatchResult recover_stream(ContractSource& source, const BatchOptions& opts) {
   BatchResult batch;
 
   SigRec tool(opts.limits);
-  RecoveryCache local_cache;
+  RecoveryCache local_cache(opts.cache_stripe_bits);
   RecoveryCache& cache = opts.cache != nullptr ? *opts.cache : local_cache;
-  WorkStealingPool pool(WorkStealingPool::resolve_jobs(opts.jobs));
+  WorkStealingPool pool(WorkStealingPool::resolve_jobs(opts.jobs), opts.pin_threads);
   // The admission window: enough in-flight contracts to keep every worker
   // busy while finished ones retire, small enough that the working set stays
   // bounded for arbitrarily long streams.
   AdmissionSlots slots(std::max<std::size_t>(4, 2 * pool.workers()));
-  StreamContext ctx{opts, tool, cache, pool, slots, opts.watchdog_seconds > 0, {}, {}, {}};
+  StreamContext ctx{opts, tool, cache, pool, slots, opts.watchdog_seconds > 0};
 
   double write_seconds_before = opts.sink != nullptr ? opts.sink->write_seconds() : 0;
 
@@ -597,8 +689,9 @@ BatchResult recover_stream(ContractSource& source, const BatchOptions& opts) {
       state->report.ordinal = state->ordinal;
       state->report.label = std::move(item->label);
       {
-        std::lock_guard<std::mutex> lock(ctx.registry_mutex);
-        ctx.active.emplace(state->ordinal, state);
+        StreamContext::RegistryShard& shard = ctx.registry_shard(state->ordinal);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.active.emplace(state->ordinal, state);
       }
       StreamContext* c = &ctx;
       ctx.pool.spawn([c, state] { run_contract_task(*c, state); });
@@ -621,11 +714,16 @@ BatchResult recover_stream(ContractSource& source, const BatchOptions& opts) {
       while (!watchdog_quit.load(std::memory_order_acquire)) {
         std::this_thread::sleep_for(poll);
         std::int64_t now = now_millis();
-        std::lock_guard<std::mutex> lock(ctx.registry_mutex);
-        for (const auto& [ordinal, state] : ctx.active) {
-          std::int64_t started = state->start_ms.load(std::memory_order_acquire);
-          if (started != 0 && now - started >= budget_ms) {
-            state->cancel.store(true, std::memory_order_release);
+        // Shard by shard, never holding more than one registry lock: the
+        // watchdog's scan must not stall concurrent admission/retirement on
+        // unrelated shards.
+        for (StreamContext::RegistryShard& shard : ctx.registry) {
+          std::lock_guard<std::mutex> lock(shard.mutex);
+          for (const auto& [ordinal, state] : shard.active) {
+            std::int64_t started = state->start_ms.load(std::memory_order_acquire);
+            if (started != 0 && now - started >= budget_ms) {
+              state->cancel.store(true, std::memory_order_release);
+            }
           }
         }
       }
@@ -708,6 +806,7 @@ BatchResult recover_stream(ContractSource& source, const BatchOptions& opts) {
     }
   }
   batch.cache = cache.stats();
+  batch.disassembly_reuses = ctx.disassembly_reuses.load(std::memory_order_relaxed);
   batch.wall_seconds = now_seconds() - wall_start;
   return batch;
 }

@@ -117,6 +117,26 @@ struct BatchOptions {
   // when it publishes. Off, duplicate bursts race and first-writer-wins.
   bool in_flight_dedup = true;
 
+  // Lock striping of the per-call cache: the private RecoveryCache is built
+  // with 2^cache_stripe_bits independent stripes (see cache.hpp). Ignored
+  // when `cache` below supplies an external instance — its constructor
+  // already chose. Results are stripe-count-invariant; only contention is.
+  unsigned cache_stripe_bits = RecoveryCache::kDefaultStripeBits;
+
+  // Share one immutable Disassembly per distinct runtime code across all its
+  // duplicates in this run, keyed by code hash (disassembly is a pure
+  // function of the bytes). Off, every contract that reaches symbolic
+  // execution disassembles its own copy. Purely a time/memory trade —
+  // recovery output is identical either way.
+  bool share_disassembly = true;
+
+  // Pin worker threads round-robin to CPUs (worker i -> CPU i mod
+  // hardware_concurrency) for the duration of run(), so a loaded many-core
+  // or multi-socket box stops migrating workers away from their cache-hot
+  // deques. No-op on platforms without affinity support; the calling
+  // thread's original affinity is restored when the batch returns.
+  bool pin_threads = false;
+
   // External cache shared across recover_stream calls — e.g. one restored
   // from a PersistentCacheStore, so a re-run over an already-scanned corpus
   // does zero fresh symbolic execution. nullptr: a private per-call cache.
@@ -255,6 +275,11 @@ struct BatchResult {
   // Hit/miss statistics for this run's memo caches (schedule-dependent, not
   // part of the deterministic view).
   CacheStats cache;
+  // Contracts that adopted another duplicate's Disassembly instead of
+  // re-disassembling (BatchOptions::share_disassembly). Schedule-dependent
+  // like the cache stats: with the contract cache on, most duplicates
+  // short-circuit before ever needing a disassembly.
+  std::uint64_t disassembly_reuses = 0;
 
   [[nodiscard]] bool all_complete() const {
     return health.failed_functions() == 0 &&

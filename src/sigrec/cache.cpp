@@ -18,10 +18,23 @@ std::string CacheStats::to_string() const {
   return buf;
 }
 
+RecoveryCache::RecoveryCache(unsigned stripe_bits) {
+  if (stripe_bits > kMaxStripeBits) stripe_bits = kMaxStripeBits;
+  const std::size_t n = std::size_t{1} << stripe_bits;
+  stripe_mask_ = n - 1;
+  contract_stripes_.reserve(n);
+  function_stripes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    contract_stripes_.push_back(std::make_unique<ContractStripe>());
+    function_stripes_.push_back(std::make_unique<FunctionStripe>());
+  }
+}
+
 std::optional<CachedContract> RecoveryCache::find_contract(const evm::Hash256& code_hash) {
-  std::lock_guard<std::mutex> lock(contract_mutex_);
-  auto it = contracts_.find(code_hash);
-  if (it == contracts_.end()) {
+  ContractStripe& s = *contract_stripes_[stripe_of(code_hash)];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.contracts.find(code_hash);
+  if (it == s.contracts.end()) {
     contract_misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
@@ -31,74 +44,89 @@ std::optional<CachedContract> RecoveryCache::find_contract(const evm::Hash256& c
 
 void RecoveryCache::store_contract(const evm::Hash256& code_hash, const CachedContract& entry) {
   if (entry.status == RecoveryStatus::InternalError) return;
-  std::lock_guard<std::mutex> lock(contract_mutex_);
-  contracts_.try_emplace(code_hash, entry);
+  ContractStripe& s = *contract_stripes_[stripe_of(code_hash)];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.contracts.try_emplace(code_hash, entry);
 }
 
 ContractClaim RecoveryCache::claim_contract(const evm::Hash256& code_hash,
                                             std::size_t waiter_ordinal) {
-  std::lock_guard<std::mutex> lock(contract_mutex_);
-  if (auto it = contracts_.find(code_hash); it != contracts_.end()) {
+  ContractStripe& s = *contract_stripes_[stripe_of(code_hash)];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (auto it = s.contracts.find(code_hash); it != s.contracts.end()) {
     contract_hits_.fetch_add(1, std::memory_order_relaxed);
     return {ClaimKind::Hit, it->second};
   }
-  if (auto it = in_flight_.find(code_hash); it != in_flight_.end()) {
+  if (auto it = s.in_flight.find(code_hash); it != s.in_flight.end()) {
     it->second.push_back(waiter_ordinal);
     contract_inflight_waits_.fetch_add(1, std::memory_order_relaxed);
     return {ClaimKind::Registered, std::nullopt};
   }
-  in_flight_.try_emplace(code_hash);
+  s.in_flight.try_emplace(code_hash);
   contract_misses_.fetch_add(1, std::memory_order_relaxed);
   return {ClaimKind::Owner, std::nullopt};
 }
 
 std::vector<std::size_t> RecoveryCache::publish_contract(const evm::Hash256& code_hash,
                                                          const CachedContract& entry) {
-  std::lock_guard<std::mutex> lock(contract_mutex_);
-  if (entry.status != RecoveryStatus::InternalError) contracts_.try_emplace(code_hash, entry);
+  ContractStripe& s = *contract_stripes_[stripe_of(code_hash)];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (entry.status != RecoveryStatus::InternalError) s.contracts.try_emplace(code_hash, entry);
   std::vector<std::size_t> waiters;
-  if (auto it = in_flight_.find(code_hash); it != in_flight_.end()) {
+  if (auto it = s.in_flight.find(code_hash); it != s.in_flight.end()) {
     waiters = std::move(it->second);
-    in_flight_.erase(it);
+    s.in_flight.erase(it);
   }
   return waiters;
 }
 
 std::vector<std::size_t> RecoveryCache::abandon_contract(const evm::Hash256& code_hash) {
-  std::lock_guard<std::mutex> lock(contract_mutex_);
+  ContractStripe& s = *contract_stripes_[stripe_of(code_hash)];
+  std::lock_guard<std::mutex> lock(s.mutex);
   std::vector<std::size_t> waiters;
-  if (auto it = in_flight_.find(code_hash); it != in_flight_.end()) {
+  if (auto it = s.in_flight.find(code_hash); it != s.in_flight.end()) {
     waiters = std::move(it->second);
-    in_flight_.erase(it);
+    s.in_flight.erase(it);
   }
   return waiters;
 }
 
 void RecoveryCache::preload_contract(const evm::Hash256& code_hash, const CachedContract& entry) {
   if (entry.status == RecoveryStatus::InternalError) return;
-  std::lock_guard<std::mutex> lock(contract_mutex_);
-  if (contracts_.try_emplace(code_hash, entry).second) {
+  ContractStripe& s = *contract_stripes_[stripe_of(code_hash)];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.contracts.try_emplace(code_hash, entry).second) {
     contract_preloaded_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 std::vector<std::pair<evm::Hash256, CachedContract>> RecoveryCache::snapshot_contracts() const {
-  std::lock_guard<std::mutex> lock(contract_mutex_);
+  // Stripe-by-stripe, never holding two stripe locks at once; the result is
+  // a consistent snapshot only when no writer is concurrent, same contract
+  // the single-map version offered (persistence runs after the batch).
   std::vector<std::pair<evm::Hash256, CachedContract>> out;
-  out.reserve(contracts_.size());
-  for (const auto& [hash, entry] : contracts_) out.emplace_back(hash, entry);
+  for (const auto& stripe : contract_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mutex);
+    out.reserve(out.size() + stripe->contracts.size());
+    for (const auto& [hash, entry] : stripe->contracts) out.emplace_back(hash, entry);
+  }
   return out;
 }
 
 std::size_t RecoveryCache::contract_count() const {
-  std::lock_guard<std::mutex> lock(contract_mutex_);
-  return contracts_.size();
+  std::size_t n = 0;
+  for (const auto& stripe : contract_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mutex);
+    n += stripe->contracts.size();
+  }
+  return n;
 }
 
 std::optional<FunctionOutcome> RecoveryCache::find_function(const evm::Hash256& body_key) {
-  std::lock_guard<std::mutex> lock(function_mutex_);
-  auto it = functions_.find(body_key);
-  if (it == functions_.end()) {
+  FunctionStripe& s = *function_stripes_[stripe_of(body_key)];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.functions.find(body_key);
+  if (it == s.functions.end()) {
     function_misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
@@ -108,8 +136,9 @@ std::optional<FunctionOutcome> RecoveryCache::find_function(const evm::Hash256& 
 
 void RecoveryCache::store_function(const evm::Hash256& body_key, const FunctionOutcome& outcome) {
   if (outcome.fn.status == RecoveryStatus::InternalError) return;
-  std::lock_guard<std::mutex> lock(function_mutex_);
-  functions_.try_emplace(body_key, outcome);
+  FunctionStripe& s = *function_stripes_[stripe_of(body_key)];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.functions.try_emplace(body_key, outcome);
 }
 
 CacheStats RecoveryCache::stats() const {

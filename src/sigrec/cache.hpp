@@ -20,9 +20,15 @@
 // shared across batches (BatchOptions::cache) and persisted to disk between
 // processes (see persist.hpp) — callers sharing a cache must keep the
 // `Limits` stable, since keys carry no budget fingerprint. InternalError
-// outcomes are never stored — a crash must not poison its duplicates. Both
-// maps are guarded by plain mutexes; lookups are rare and cheap next to the
-// symbolic runs they save.
+// outcomes are never stored — a crash must not poison its duplicates.
+//
+// The maps are striped by code hash into 2^stripe_bits independent segments
+// (contract and function levels separately), each behind its own mutex, so
+// concurrent workers hitting different hashes never contend — keccak output
+// is uniform, so stripes load-balance for free. Hit/miss/wait counters are
+// plain atomics global to the cache (not per-stripe): stats() reads them
+// with relaxed loads and never touches a stripe lock, so a monitoring thread
+// can sample a cache under full write load without stalling any worker.
 //
 // Concurrent misses on the same code hash deduplicate in flight: the first
 // worker claims ownership and computes, later workers register their source
@@ -35,6 +41,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -90,8 +97,32 @@ struct ContractClaim {
   std::optional<CachedContract> hit;  // set iff kind == Hit
 };
 
+// Bucket hasher for keccak-keyed maps: keccak output is uniformly
+// distributed, so the first 8 bytes are hash enough for a bucket index.
+// Shared with batch.cpp's sharded registries so everything keyed by code
+// hash stripes the same way.
+struct CodeHashKey {
+  std::size_t operator()(const evm::Hash256& h) const {
+    std::size_t v = 0;
+    for (unsigned i = 0; i < sizeof v; ++i) v = (v << 8) | h[i];
+    return v;
+  }
+};
+
 class RecoveryCache {
  public:
+  // Stripe count is 2^stripe_bits, clamped to [0, kMaxStripeBits]. 0 bits
+  // (one stripe) reproduces the old single-mutex layout and is the
+  // contention-regression reference in bench_contention.
+  static constexpr unsigned kDefaultStripeBits = 4;
+  static constexpr unsigned kMaxStripeBits = 8;
+
+  explicit RecoveryCache(unsigned stripe_bits = kDefaultStripeBits);
+
+  [[nodiscard]] unsigned stripe_count() const {
+    return static_cast<unsigned>(contract_stripes_.size());
+  }
+
   // Contract level. `find` counts a hit or miss; `store` keeps the first
   // writer's entry (concurrent duplicate computations produce identical
   // content, so which one lands is immaterial).
@@ -126,26 +157,39 @@ class RecoveryCache {
   [[nodiscard]] std::vector<std::pair<evm::Hash256, CachedContract>> snapshot_contracts() const;
   [[nodiscard]] std::size_t contract_count() const;
 
+  // Lock-free: reads only the global atomic counters (relaxed), never a
+  // stripe mutex — safe to call from a monitoring thread at any rate while
+  // workers are hammering the stripes.
   [[nodiscard]] CacheStats stats() const;
 
  private:
-  struct HashKey {
-    std::size_t operator()(const evm::Hash256& h) const {
-      // keccak output is uniformly distributed; the first 8 bytes are hash
-      // enough for a bucket index.
-      std::size_t v = 0;
-      for (unsigned i = 0; i < sizeof v; ++i) v = (v << 8) | h[i];
-      return v;
-    }
+  // One contract-level stripe: the memo map plus the in-flight dedup table
+  // for the hashes that land here, both under the stripe's own mutex (claim
+  // must see the memo map and in-flight table atomically, so they share).
+  struct ContractStripe {
+    mutable std::mutex mutex;
+    std::unordered_map<evm::Hash256, CachedContract, CodeHashKey> contracts;
+    // Code hashes currently being computed by an owner, with the source
+    // ordinals of every registered waiter.
+    std::unordered_map<evm::Hash256, std::vector<std::size_t>, CodeHashKey> in_flight;
+  };
+  struct FunctionStripe {
+    mutable std::mutex mutex;
+    std::unordered_map<evm::Hash256, FunctionOutcome, CodeHashKey> functions;
   };
 
-  mutable std::mutex contract_mutex_;
-  std::unordered_map<evm::Hash256, CachedContract, HashKey> contracts_;
-  // Code hashes currently being computed by an owner, with the source
-  // ordinals of every registered waiter. Guarded by contract_mutex_.
-  std::unordered_map<evm::Hash256, std::vector<std::size_t>, HashKey> in_flight_;
-  mutable std::mutex function_mutex_;
-  std::unordered_map<evm::Hash256, FunctionOutcome, HashKey> functions_;
+  // Stripe index from bytes 8..15 of the hash — deliberately disjoint from
+  // the bytes CodeHashKey folds for the bucket index, so the intra-stripe
+  // buckets stay uniform within every stripe.
+  [[nodiscard]] std::size_t stripe_of(const evm::Hash256& h) const {
+    std::size_t v = 0;
+    for (unsigned i = 8; i < 16; ++i) v = (v << 8) | h[i];
+    return v & stripe_mask_;
+  }
+
+  std::vector<std::unique_ptr<ContractStripe>> contract_stripes_;
+  std::vector<std::unique_ptr<FunctionStripe>> function_stripes_;
+  std::size_t stripe_mask_ = 0;
   std::atomic<std::uint64_t> contract_hits_{0};
   std::atomic<std::uint64_t> contract_misses_{0};
   std::atomic<std::uint64_t> function_hits_{0};

@@ -2,6 +2,14 @@
 
 #include <thread>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#define SIGREC_HAS_AFFINITY 1
+#else
+#define SIGREC_HAS_AFFINITY 0
+#endif
+
 namespace sigrec::core {
 
 namespace {
@@ -11,12 +19,36 @@ namespace {
 thread_local const WorkStealingPool* tl_pool = nullptr;
 thread_local unsigned tl_worker = 0;
 
+#if SIGREC_HAS_AFFINITY
+// Round-robin pin of the calling thread to CPU (slot % online set size in
+// spirit — we use hardware_concurrency, which is what run() sizes against).
+bool pin_self_to(unsigned slot) {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET((slot % hw) % CPU_SETSIZE, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof set, &set) == 0;
+}
+#endif
+
 }  // namespace
 
-WorkStealingPool::WorkStealingPool(unsigned workers) {
+WorkStealingPool::WorkStealingPool(unsigned workers, bool pin_threads)
+    : pin_threads_(pin_threads) {
   if (workers == 0) workers = 1;
-  queues_.reserve(workers);
-  for (unsigned i = 0; i < workers; ++i) queues_.push_back(std::make_unique<Queue>());
+  locals_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) locals_.push_back(std::make_unique<WorkerState>());
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  // No worker threads are alive here (run() joins before returning), so the
+  // destructor thread may act as every deque's owner. Tasks spawned but never
+  // run (spawn() without a matching run()) are heap cells — free them.
+  for (auto& state : locals_) {
+    while (Task* t = state->deque.pop()) delete t;
+  }
+  for (Task* t : inject_) delete t;
 }
 
 unsigned WorkStealingPool::resolve_jobs(unsigned jobs) {
@@ -25,40 +57,52 @@ unsigned WorkStealingPool::resolve_jobs(unsigned jobs) {
   return hw == 0 ? 1 : hw;
 }
 
+bool WorkStealingPool::pinning_supported() { return SIGREC_HAS_AFFINITY != 0; }
+
+void WorkStealingPool::maybe_pin(unsigned self) const {
+#if SIGREC_HAS_AFFINITY
+  if (pin_threads_) (void)pin_self_to(self);
+#else
+  (void)self;
+#endif
+}
+
+void WorkStealingPool::notify_if_waiting() {
+  // The waiting_ check makes the busy case — every worker occupied, which is
+  // the steady state of a loaded batch — free of the mutex handshake below.
+  // It is sound because both sides use seq_cst: either the caller's counter
+  // update precedes the worker's waiting_ increment in the total order (then
+  // the worker's predicate re-check sees the new state and it never sleeps),
+  // or the worker registered as waiting first (then waiting_ reads nonzero
+  // here and we take the slow path).
+  if (waiting_.load(std::memory_order_seq_cst) != 0) {
+    // Acquiring idle_mutex_ between the state change and the notify closes
+    // the lost-wakeup race: a worker that checked the predicate and is about
+    // to wait holds the mutex, so we block here until it is actually waiting
+    // and guaranteed to receive the notification.
+    { std::lock_guard<std::mutex> lock(idle_mutex_); }
+    idle_cv_.notify_all();
+  }
+}
+
 void WorkStealingPool::spawn(Task task) {
-  bool internal = tl_pool == this;
-  unsigned target =
-      internal ? tl_worker : next_external_.fetch_add(1, std::memory_order_relaxed) % workers();
+  Task* cell = new Task(std::move(task));
   outstanding_.fetch_add(1, std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
-    // Internal spawns go to the back — the owner pops LIFO, so freshly
-    // forked subtasks run (cache-hot) before anything older. External
-    // spawns go to the front, which keeps submission order for the owner
-    // (the back holds the oldest external task) and puts coarse
-    // contract-granularity work where thieves steal.
-    if (internal) {
-      queues_[target]->tasks.push_back(std::move(task));
-    } else {
-      queues_[target]->tasks.push_front(std::move(task));
-    }
+  if (tl_pool == this) {
+    // Hot path: single-owner lock-free push. Freshly forked subtasks are
+    // popped LIFO by the owner (cache-hot) before anything older; thieves
+    // take them FIFO from the other end.
+    locals_[tl_worker]->deque.push(cell);
+  } else {
+    // External spawns (streaming pump, test drivers) funnel through a FIFO
+    // queue drained in submission order — at jobs=1 this keeps contract
+    // tasks executing exactly in admission order, which is what makes
+    // single-worker cache-hit counters deterministic.
+    std::lock_guard<std::mutex> lock(inject_mutex_);
+    inject_.push_back(cell);
   }
   queued_.fetch_add(1, std::memory_order_seq_cst);
-  // Wake an idle worker, if any. The waiting_ check makes the busy case —
-  // every worker occupied, which is the steady state of a loaded batch —
-  // free of the mutex handshake below. It is sound because both sides use
-  // seq_cst: either this queued_ increment precedes the worker's waiting_
-  // increment in the total order (then the worker's predicate re-check sees
-  // queued_ > 0 and it never sleeps), or the worker registered as waiting
-  // first (then waiting_ reads nonzero here and we take the slow path).
-  if (waiting_.load(std::memory_order_seq_cst) != 0) {
-    // Acquiring idle_mutex_ between the state change above and the notify
-    // closes the lost-wakeup race: a worker that checked the predicate and
-    // is about to wait holds the mutex, so we block here until it is
-    // actually waiting and guaranteed to receive the notification.
-    { std::lock_guard<std::mutex> lock(idle_mutex_); }
-    idle_cv_.notify_one();
-  }
+  notify_if_waiting();
 }
 
 void WorkStealingPool::reserve() { outstanding_.fetch_add(1, std::memory_order_release); }
@@ -66,33 +110,34 @@ void WorkStealingPool::reserve() { outstanding_.fetch_add(1, std::memory_order_r
 void WorkStealingPool::release() {
   // Mirrors the completion path in worker_loop: if this token was the last
   // outstanding work, wake the idle workers so run() can return.
-  if (outstanding_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
-    if (waiting_.load(std::memory_order_seq_cst) != 0) {
-      { std::lock_guard<std::mutex> lock(idle_mutex_); }
-      idle_cv_.notify_all();
-    }
-  }
+  if (outstanding_.fetch_sub(1, std::memory_order_seq_cst) == 1) notify_if_waiting();
 }
 
-bool WorkStealingPool::try_pop_own(unsigned self, Task& out) {
-  Queue& q = *queues_[self];
-  std::lock_guard<std::mutex> lock(q.mutex);
-  if (q.tasks.empty()) return false;
-  out = std::move(q.tasks.back());
-  q.tasks.pop_back();
+bool WorkStealingPool::try_pop_own(unsigned self, Task*& out) {
+  out = locals_[self]->deque.pop();
+  if (out == nullptr) return false;
   queued_.fetch_sub(1, std::memory_order_acq_rel);
   return true;
 }
 
-bool WorkStealingPool::try_steal(unsigned self, Task& out) {
+bool WorkStealingPool::try_take_external(Task*& out) {
+  {
+    std::lock_guard<std::mutex> lock(inject_mutex_);
+    if (inject_.empty()) return false;
+    out = inject_.front();
+    inject_.pop_front();
+  }
+  queued_.fetch_sub(1, std::memory_order_acq_rel);
+  return true;
+}
+
+bool WorkStealingPool::try_steal(unsigned self, Task*& out) {
   const unsigned n = workers();
   for (unsigned step = 1; step < n; ++step) {
-    Queue& victim = *queues_[(self + step) % n];
-    std::lock_guard<std::mutex> lock(victim.mutex);
-    if (victim.tasks.empty()) continue;
-    out = std::move(victim.tasks.front());
-    victim.tasks.pop_front();
+    out = locals_[(self + step) % n]->deque.steal();
+    if (out == nullptr) continue;  // empty victim or lost a CAS race — move on
     queued_.fetch_sub(1, std::memory_order_acq_rel);
+    steals_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   return false;
@@ -100,33 +145,33 @@ bool WorkStealingPool::try_steal(unsigned self, Task& out) {
 
 void WorkStealingPool::worker_loop(unsigned self) {
   for (;;) {
-    Task task;
-    if (try_pop_own(self, task) || try_steal(self, task)) {
+    Task* task = nullptr;
+    // Own deque first (cache-hot subtasks), then fresh external work (coarse
+    // contract-granularity units, the same preference the thieves had when
+    // externals sat at the steal end of a shared deque), then steal.
+    if (try_pop_own(self, task) || try_take_external(task) || try_steal(self, task)) {
       try {
-        task();
+        (*task)();
       } catch (...) {
         // Tasks are contractually non-throwing; swallowing here keeps a
         // buggy task from wedging the whole pool behind an exception.
       }
-      if (outstanding_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
-        if (waiting_.load(std::memory_order_seq_cst) != 0) {
-          { std::lock_guard<std::mutex> lock(idle_mutex_); }
-          idle_cv_.notify_all();
-        }
-      }
+      delete task;
+      if (outstanding_.fetch_sub(1, std::memory_order_seq_cst) == 1) notify_if_waiting();
       continue;
     }
-    // Nothing to run or steal: block until a task is queued somewhere or the
-    // pool drains. The wait can't lose a wakeup — spawn and the final
-    // decrement both touch idle_mutex_ after updating the counters, so
-    // either the predicate already sees the change or the notify lands
-    // while this thread is inside wait(). A stale `queued_ > 0` (another
-    // worker grabbed the task first) just loops back to an empty scan.
+    // Nothing to run, inject, or steal: block until a task is queued
+    // somewhere or the pool drains. The wait can't lose a wakeup — spawn and
+    // the final decrement both touch idle_mutex_ after updating the
+    // counters, so either the predicate already sees the change or the
+    // notify lands while this thread is inside wait(). A stale `queued_ > 0`
+    // (another worker grabbed the task first, or a steal CAS lost its race)
+    // just loops back to an empty scan.
     std::unique_lock<std::mutex> lock(idle_mutex_);
     // Register as waiting BEFORE the predicate check (both seq_cst) so a
     // concurrent spawn either sees waiting_ != 0 and notifies, or its
     // queued_ increment is ordered before the check and the wait never
-    // sleeps. See the matching comment in spawn().
+    // sleeps. See the matching comment in notify_if_waiting().
     waiting_.fetch_add(1, std::memory_order_seq_cst);
     idle_cv_.wait(lock, [this] {
       return outstanding_.load(std::memory_order_seq_cst) == 0 ||
@@ -143,12 +188,24 @@ void WorkStealingPool::run() {
   threads.reserve(workers() - 1);
   for (unsigned i = 1; i < workers(); ++i) {
     threads.emplace_back([this, i] {
+      maybe_pin(i);
       tl_pool = this;
       tl_worker = i;
       worker_loop(i);
       tl_pool = nullptr;
     });
   }
+#if SIGREC_HAS_AFFINITY
+  // The caller participates as worker 0; pin it too, but restore its original
+  // mask on exit — run() must not permanently narrow the caller's affinity.
+  cpu_set_t saved_mask;
+  bool have_saved = false;
+  if (pin_threads_) {
+    have_saved =
+        pthread_getaffinity_np(pthread_self(), sizeof saved_mask, &saved_mask) == 0;
+    maybe_pin(0);
+  }
+#endif
   const WorkStealingPool* saved_pool = tl_pool;
   unsigned saved_worker = tl_worker;
   tl_pool = this;
@@ -157,6 +214,11 @@ void WorkStealingPool::run() {
   tl_pool = saved_pool;
   tl_worker = saved_worker;
   for (std::thread& t : threads) t.join();
+#if SIGREC_HAS_AFFINITY
+  if (have_saved) {
+    (void)pthread_setaffinity_np(pthread_self(), sizeof saved_mask, &saved_mask);
+  }
+#endif
 }
 
 }  // namespace sigrec::core

@@ -1,12 +1,17 @@
 // Work-stealing executor pool for chain-scale batch recovery.
 //
-// A fixed set of workers, each owning a deque of tasks: the owner pushes and
-// pops at the back (LIFO, cache-hot), idle workers steal from the front of a
-// victim's deque (FIFO, so thieves grab the oldest — typically largest —
-// unit of work). Recovery tasks are scheduled at contract granularity and,
-// for contracts with many functions, re-spawned at function granularity from
-// inside the contract task; spawned subtasks land on the spawning worker's
-// own deque and are stolen from there.
+// A fixed set of workers, each owning a lock-free Chase-Lev deque: the owner
+// pushes and pops at the bottom (LIFO, cache-hot) without any atomic RMW in
+// the common case, idle workers steal from the top with a single CAS (FIFO,
+// so thieves grab the oldest — typically largest — unit of work). Recovery
+// tasks are scheduled at contract granularity and, for contracts with many
+// functions, re-spawned at function granularity from inside the contract
+// task; spawned subtasks land on the spawning worker's own deque and are
+// stolen from there. Spawns from outside the pool (the streaming pump, test
+// drivers) go through a small mutex-guarded FIFO injection queue — touched
+// once per contract admission, never on the per-function fan-out path — which
+// also keeps single-worker runs executing external tasks in submission order
+// (the determinism contract batch.cpp relies on for jobs=1 cache counters).
 //
 // The pool knows nothing about recovery: tasks are plain callables that must
 // not throw (the batch engine wraps every task in its own isolation
@@ -26,23 +31,150 @@
 
 namespace sigrec::core {
 
+// Chase-Lev work-stealing deque (Chase & Lev, SPAA'05; memory orders after
+// Lê et al., PPoPP'13) over raw pointers. Exactly one owner thread may call
+// push()/pop(); any number of thief threads may call steal() concurrently.
+//
+// Two deliberate deviations from the textbook formulation:
+//  * The racy pop/steal pairs use seq_cst *operations* instead of standalone
+//    atomic_thread_fence: ThreadSanitizer does not model fences, and the CI
+//    TSan job is a hard gate. The cost is one lock-prefixed instruction per
+//    pop on x86 — noise next to a symbolic-execution task.
+//  * Grown buffers are retired, not freed: a thief may still hold a pointer
+//    to the old array, so old buffers stay alive until the deque itself is
+//    destroyed (the standard leak-until-done reclamation; growth doublings
+//    are logarithmic, so retired memory is bounded by ~2x the peak buffer).
+//
+// `top` is monotonically increasing, which makes the steal CAS ABA-free.
+template <typename T>
+class ChaseLevDeque {
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64) {
+    std::size_t cap = 1;
+    while (cap < initial_capacity) cap <<= 1;
+    buffers_.push_back(std::make_unique<Buffer>(cap));
+    buffer_.store(buffers_.back().get(), std::memory_order_relaxed);
+  }
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  // Owner only. Publishes `item` to thieves with a release store on bottom.
+  void push(T* item) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(buf->capacity)) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, item);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  // Owner only. Returns nullptr when empty. The size-1 case races with
+  // steal(); both sides arbitrate with a seq_cst CAS on top.
+  T* pop() {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    // seq_cst store + seq_cst load below replace the store(relaxed) +
+    // fence(seq_cst) pair of the fence-based formulation (TSan models only
+    // the former).
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Deque was already empty; undo the reservation.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T* item = buf->get(b);
+    if (t == b) {
+      // Last element: race a concurrent thief for it.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_seq_cst)) {
+        item = nullptr;  // thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  // Any thread. Returns nullptr when the deque looks empty OR the CAS lost a
+  // race (with the owner's pop of the last element, or another thief);
+  // callers treat nullptr as "try elsewhere", which is always sound — the
+  // pool's idle protocol re-checks the global queued counter before sleeping.
+  T* steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    // Acquire pairs with the owner's release store of bottom in push(), so
+    // the slot written before that store is visible.
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
+    T* item = buf->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst)) {
+      return nullptr;
+    }
+    return item;
+  }
+
+  // Approximate; exact only when no other thread is active (e.g. teardown).
+  [[nodiscard]] bool empty() const {
+    return top_.load(std::memory_order_acquire) >= bottom_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap)
+        : capacity(cap), mask(static_cast<std::int64_t>(cap) - 1),
+          slots(std::make_unique<std::atomic<T*>[]>(cap)) {}
+    std::size_t capacity;
+    std::int64_t mask;
+    std::unique_ptr<std::atomic<T*>[]> slots;
+
+    T* get(std::int64_t i) const { return slots[i & mask].load(std::memory_order_relaxed); }
+    void put(std::int64_t i, T* item) { slots[i & mask].store(item, std::memory_order_relaxed); }
+  };
+
+  // Owner only (called from push). Doubles the buffer, copying the live
+  // window [t, b); the old buffer is retired, not freed (see class comment).
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    buffers_.push_back(std::make_unique<Buffer>(old->capacity * 2));
+    Buffer* fresh = buffers_.back().get();
+    for (std::int64_t i = t; i < b; ++i) fresh->put(i, old->get(i));
+    buffer_.store(fresh, std::memory_order_release);
+    return fresh;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_{nullptr};
+  std::vector<std::unique_ptr<Buffer>> buffers_;  // owner only; all retired + current
+};
+
 class WorkStealingPool {
  public:
   using Task = std::function<void()>;
 
   // `workers` includes the thread that calls run(); it is clamped to >= 1.
-  explicit WorkStealingPool(unsigned workers);
+  // With `pin_threads`, each worker pins itself round-robin to CPU
+  // (worker % hardware_concurrency) via pthread_setaffinity_np; a no-op on
+  // platforms without affinity support (see pinning_supported()).
+  explicit WorkStealingPool(unsigned workers, bool pin_threads = false);
   WorkStealingPool(const WorkStealingPool&) = delete;
   WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+  ~WorkStealingPool();
 
   // 0 -> std::thread::hardware_concurrency() (at least 1), otherwise `jobs`.
   [[nodiscard]] static unsigned resolve_jobs(unsigned jobs);
 
-  // Enqueues a task. Called from outside run(), tasks are distributed
-  // round-robin across the worker deques; called from inside a running
-  // worker, the task is pushed onto that worker's own deque. Tasks must not
-  // throw — an escaping exception is swallowed (and the task counted done)
-  // so the pool can never deadlock on a buggy task.
+  // True when this build/platform can actually pin threads to CPUs.
+  [[nodiscard]] static bool pinning_supported();
+
+  // Enqueues a task. Called from inside a running worker, the task is pushed
+  // onto that worker's own lock-free deque (no lock, no RMW beyond the
+  // counters); called from outside, it goes to the FIFO injection queue that
+  // idle workers drain in submission order. Tasks must not throw — an
+  // escaping exception is swallowed (and the task counted done) so the pool
+  // can never deadlock on a buggy task.
   void spawn(Task task);
 
   // Runs until quiescent. The calling thread participates as worker 0;
@@ -60,7 +192,7 @@ class WorkStealingPool {
   void reserve();
   void release();
 
-  [[nodiscard]] unsigned workers() const { return static_cast<unsigned>(queues_.size()); }
+  [[nodiscard]] unsigned workers() const { return static_cast<unsigned>(locals_.size()); }
 
   // Tasks spawned but not yet finished executing (including their pending
   // transitive spawns). 0 means the pool is quiescent. A monitoring aid —
@@ -70,21 +202,32 @@ class WorkStealingPool {
     return outstanding_.load(std::memory_order_acquire);
   }
 
+  // Successful steals since construction. Schedule-dependent; monitoring and
+  // benchmarking only.
+  [[nodiscard]] std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
  private:
-  struct Queue {
-    std::mutex mutex;
-    std::deque<Task> tasks;
+  // Each worker's deque on its own cache line region so the owner's
+  // bottom/top traffic never false-shares with a neighbor's.
+  struct alignas(64) WorkerState {
+    ChaseLevDeque<Task> deque;
   };
 
-  bool try_pop_own(unsigned self, Task& out);
-  bool try_steal(unsigned self, Task& out);
+  bool try_pop_own(unsigned self, Task*& out);
+  bool try_take_external(Task*& out);
+  bool try_steal(unsigned self, Task*& out);
   void worker_loop(unsigned self);
+  void notify_if_waiting();
+  void maybe_pin(unsigned self) const;
 
-  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::unique_ptr<WorkerState>> locals_;
+  std::mutex inject_mutex_;
+  std::deque<Task*> inject_;  // external spawns, FIFO
+  bool pin_threads_ = false;
   std::atomic<std::uint64_t> outstanding_{0};  // spawned, not yet finished executing
   std::atomic<std::uint64_t> queued_{0};       // spawned, not yet popped/stolen
-  std::atomic<unsigned> next_external_{0};     // round-robin cursor for external spawns
-  std::atomic<unsigned> waiting_{0};           // workers inside the idle wait
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<unsigned> waiting_{0};  // workers inside the idle wait
   std::mutex idle_mutex_;
   std::condition_variable idle_cv_;
 };

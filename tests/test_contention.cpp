@@ -1,0 +1,435 @@
+// The lock-free concurrency substrate: Chase-Lev deque invariants under
+// concurrent push/pop/steal (including the size-1 owner-vs-thief race),
+// striped-cache insert/lookup storms, stripe-count invariance of results and
+// stats, CPU pinning, and shared-disassembly reuse.
+//
+// These suites are deliberately racy by construction — many threads hammering
+// the same deque or cache — and are part of the tier1-concurrency binary, so
+// the TSan CI job runs them under full instrumentation: a missing
+// happens-before edge anywhere in the deque or the stripes shows up here.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "compiler/compile.hpp"
+#include "corpus/datasets.hpp"
+#include "evm/disassembler.hpp"
+#include "sigrec/batch.hpp"
+#include "sigrec/cache.hpp"
+#include "sigrec/work_stealing.hpp"
+
+namespace sigrec {
+namespace {
+
+using core::CachedContract;
+using core::ChaseLevDeque;
+using core::FunctionOutcome;
+using core::RecoveryCache;
+using core::RecoveryStatus;
+
+// A duplicate-heavy corpus: every unique contract appears `dup` times,
+// deterministically interleaved (round-robin over the uniques).
+std::vector<evm::Bytecode> duplicate_corpus(std::size_t uniques, int dup, std::uint64_t seed) {
+  corpus::Corpus ds = corpus::make_open_source_corpus(uniques, seed);
+  std::vector<evm::Bytecode> base = corpus::compile_corpus(ds);
+  std::vector<evm::Bytecode> out;
+  out.reserve(base.size() * static_cast<std::size_t>(dup));
+  for (int round = 0; round < dup; ++round) {
+    for (const evm::Bytecode& code : base) out.push_back(code);
+  }
+  return out;
+}
+
+evm::Hash256 hash_of_index(std::uint64_t i) {
+  std::uint8_t bytes[8];
+  for (unsigned b = 0; b < 8; ++b) bytes[b] = static_cast<std::uint8_t>(i >> (8 * b));
+  return evm::keccak256(std::span<const std::uint8_t>(bytes, sizeof bytes));
+}
+
+// --- Chase-Lev deque, single-threaded invariants -----------------------------
+
+TEST(ChaseLev, OwnerPopsLifo) {
+  ChaseLevDeque<int> deque;
+  int items[3] = {10, 11, 12};
+  for (int& item : items) deque.push(&item);
+  EXPECT_EQ(deque.pop(), &items[2]);
+  EXPECT_EQ(deque.pop(), &items[1]);
+  EXPECT_EQ(deque.pop(), &items[0]);
+  EXPECT_EQ(deque.pop(), nullptr);
+  EXPECT_TRUE(deque.empty());
+}
+
+TEST(ChaseLev, ThiefStealsFifo) {
+  ChaseLevDeque<int> deque;
+  int items[3] = {10, 11, 12};
+  for (int& item : items) deque.push(&item);
+  EXPECT_EQ(deque.steal(), &items[0]);
+  EXPECT_EQ(deque.steal(), &items[1]);
+  EXPECT_EQ(deque.steal(), &items[2]);
+  EXPECT_EQ(deque.steal(), nullptr);
+}
+
+TEST(ChaseLev, GrowthPreservesEveryItemAndOrder) {
+  // Start tiny so the buffer doubles many times mid-stream.
+  ChaseLevDeque<int> deque(/*initial_capacity=*/2);
+  constexpr int kItems = 10000;
+  std::vector<int> values(kItems);
+  for (int i = 0; i < kItems; ++i) {
+    values[i] = i;
+    deque.push(&values[i]);
+  }
+  for (int i = kItems - 1; i >= 0; --i) EXPECT_EQ(deque.pop(), &values[i]);
+  EXPECT_EQ(deque.pop(), nullptr);
+}
+
+TEST(ChaseLev, InterleavedPushPopAcrossTheEmptyBoundary) {
+  ChaseLevDeque<int> deque(2);
+  int item = 7;
+  for (int round = 0; round < 1000; ++round) {
+    deque.push(&item);
+    EXPECT_EQ(deque.pop(), &item);
+    EXPECT_EQ(deque.pop(), nullptr);  // repeated empty pops must stay safe
+  }
+}
+
+// --- Chase-Lev deque, concurrent stress --------------------------------------
+
+// Owner pushes and pops while thieves hammer steal(): every item must be
+// claimed exactly once, by exactly one side. Claims are tracked in an atomic
+// flag per item so a double-claim is detected whichever threads collide.
+TEST(ChaseLev, StressPushPopStealClaimsEveryItemOnce) {
+  constexpr int kItems = 40000;
+  constexpr int kThieves = 3;
+  ChaseLevDeque<std::atomic<int>> deque(8);
+  std::vector<std::atomic<int>> claims(kItems);
+  for (auto& claim : claims) claim.store(0, std::memory_order_relaxed);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> claimed{0};
+  auto claim = [&](std::atomic<int>* item) {
+    EXPECT_EQ(item->fetch_add(1, std::memory_order_relaxed), 0) << "item claimed twice";
+    claimed.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (std::atomic<int>* item = deque.steal()) claim(item);
+      }
+      // Final drain: the owner may have finished pushing after our last look.
+      while (std::atomic<int>* item = deque.steal()) claim(item);
+    });
+  }
+
+  // Owner: push in bursts, pop some back — crossing the size-0 and size-1
+  // boundaries constantly, which is where the seq_cst arbitration lives.
+  for (int i = 0; i < kItems;) {
+    for (int burst = 0; burst < 64 && i < kItems; ++burst, ++i) deque.push(&claims[i]);
+    for (int back = 0; back < 32; ++back) {
+      std::atomic<int>* item = deque.pop();
+      if (item == nullptr) break;
+      claim(item);
+    }
+  }
+  while (std::atomic<int>* item = deque.pop()) claim(item);
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : thieves) t.join();
+
+  EXPECT_EQ(claimed.load(), kItems);
+}
+
+// The classic Chase-Lev hazard: a deque holding exactly one item, popped by
+// the owner while a thief steals. Exactly one side may win each round.
+TEST(ChaseLev, SizeOneOwnerVersusThiefRace) {
+  // Lockstep rounds; the spin-waits yield so the test stays fast on a
+  // single-core runner (each handoff is a scheduler hop there, not a spin).
+  constexpr int kRounds = 2000;
+  ChaseLevDeque<int> deque(2);
+  int token = 1;
+
+  std::atomic<int> phase{0};  // becomes round*2+1 when the round's item is in
+  std::atomic<int> owner_wins{0};
+  std::atomic<int> thief_wins{0};
+  std::atomic<int> thief_round_done{0};
+
+  std::thread thief([&] {
+    for (int round = 0; round < kRounds; ++round) {
+      while (phase.load(std::memory_order_acquire) < round * 2 + 1) {
+        std::this_thread::yield();
+      }
+      if (deque.steal() != nullptr) thief_wins.fetch_add(1, std::memory_order_relaxed);
+      thief_round_done.store(round + 1, std::memory_order_release);
+    }
+  });
+
+  for (int round = 0; round < kRounds; ++round) {
+    deque.push(&token);
+    phase.store(round * 2 + 1, std::memory_order_release);  // both sides go
+    if (deque.pop() != nullptr) owner_wins.fetch_add(1, std::memory_order_relaxed);
+    while (thief_round_done.load(std::memory_order_acquire) < round + 1) {
+      std::this_thread::yield();
+    }
+    // Whoever won, the deque must be empty before the next round.
+    ASSERT_EQ(deque.pop(), nullptr) << "round " << round << " left a residue";
+  }
+  thief.join();
+
+  EXPECT_EQ(owner_wins.load() + thief_wins.load(), kRounds);
+}
+
+// --- pool behavior preserved on the lock-free substrate ----------------------
+
+TEST(Contention, PoolFanOutUnderManyWorkersRunsEveryLeafOnce) {
+  core::WorkStealingPool pool(8);
+  constexpr int kRoots = 64;
+  constexpr int kLeaves = 32;
+  std::vector<std::atomic<int>> hits(kRoots * kLeaves);
+  for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+  for (int r = 0; r < kRoots; ++r) {
+    pool.spawn([&pool, &hits, r] {
+      for (int l = 0; l < kLeaves; ++l) {
+        pool.spawn([&hits, r, l] {
+          hits[static_cast<std::size_t>(r) * kLeaves + l].fetch_add(
+              1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  pool.run();
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(Contention, PinnedPoolRunsIdenticallyToUnpinned) {
+  for (bool pin : {false, true}) {
+    core::WorkStealingPool pool(4, pin);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 256; ++i) {
+      pool.spawn([&pool, &count] { pool.spawn([&count] { ++count; }); });
+    }
+    pool.run();
+    EXPECT_EQ(count.load(), 256) << "pin=" << pin;
+  }
+}
+
+TEST(Contention, PinningSupportReportsAPlatformAnswer) {
+#if defined(__linux__)
+  EXPECT_TRUE(core::WorkStealingPool::pinning_supported());
+#else
+  EXPECT_FALSE(core::WorkStealingPool::pinning_supported());
+#endif
+}
+
+TEST(Contention, StealCounterSeesCrossWorkerTraffic) {
+  // One root spawns all the leaves onto its own deque; with 8 workers the
+  // other seven can only get work by stealing.
+  core::WorkStealingPool pool(8);
+  std::atomic<int> count{0};
+  pool.spawn([&pool, &count] {
+    for (int i = 0; i < 512; ++i) {
+      pool.spawn([&count] {
+        count.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();
+      });
+    }
+  });
+  pool.run();
+  EXPECT_EQ(count.load(), 512);
+  // No exact expectation — scheduling decides how many steals happen — but
+  // the counter must be coherent (bounded by tasks that existed).
+  EXPECT_LE(pool.steals(), 513u);
+}
+
+// --- striped cache storms ----------------------------------------------------
+
+// Threads insert and look up across every stripe concurrently; totals must
+// balance and every stored entry must be retrievable afterwards.
+TEST(Contention, StripedCacheSurvivesMixedStripeInsertLookupStorm) {
+  for (unsigned stripe_bits : {0u, 2u, 4u}) {
+    RecoveryCache cache(stripe_bits);
+    constexpr int kThreads = 8;
+    constexpr int kKeysPerThread = 512;
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&cache, t] {
+        for (int k = 0; k < kKeysPerThread; ++k) {
+          // Half the key space is shared between threads, so stores collide
+          // and first-writer-wins paths run; half is private, so every
+          // thread also exercises uncontended stripes.
+          std::uint64_t id = (k % 2 == 0)
+                                 ? static_cast<std::uint64_t>(k)
+                                 : (static_cast<std::uint64_t>(t) << 32) |
+                                       static_cast<std::uint64_t>(k);
+          evm::Hash256 key = hash_of_index(id);
+          CachedContract entry;
+          entry.status = RecoveryStatus::Complete;
+          entry.error = std::to_string(id);
+          (void)cache.find_contract(key);
+          cache.store_contract(key, entry);
+          FunctionOutcome fn;
+          fn.fn.selector = static_cast<std::uint32_t>(id);
+          (void)cache.find_function(key);
+          cache.store_function(key, fn);
+          // Lock-free stats read while every stripe is under write load.
+          (void)cache.stats();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+
+    // Every key any thread stored must resolve, to the content stored for it
+    // (first writer and all writers agree on the payload per key).
+    for (int t = 0; t < kThreads; ++t) {
+      for (int k = 0; k < kKeysPerThread; ++k) {
+        std::uint64_t id = (k % 2 == 0) ? static_cast<std::uint64_t>(k)
+                                        : (static_cast<std::uint64_t>(t) << 32) |
+                                              static_cast<std::uint64_t>(k);
+        evm::Hash256 key = hash_of_index(id);
+        auto hit = cache.find_contract(key);
+        ASSERT_TRUE(hit.has_value()) << "stripe_bits=" << stripe_bits << " id=" << id;
+        EXPECT_EQ(hit->error, std::to_string(id));
+        auto fn = cache.find_function(key);
+        ASSERT_TRUE(fn.has_value());
+        EXPECT_EQ(fn->fn.selector, static_cast<std::uint32_t>(id));
+      }
+    }
+    core::CacheStats stats = cache.stats();
+    // The storm then the verify pass: lookups = hits + misses must balance.
+    EXPECT_EQ(stats.contract_hits + stats.contract_misses,
+              static_cast<std::uint64_t>(kThreads) * kKeysPerThread * 2);
+  }
+}
+
+TEST(Contention, InFlightDedupWorksOnEveryStripeCount) {
+  for (unsigned stripe_bits : {0u, 4u}) {
+    RecoveryCache cache(stripe_bits);
+    evm::Hash256 key = hash_of_index(99);
+    auto first = cache.claim_contract(key, 1);
+    EXPECT_EQ(first.kind, core::ClaimKind::Owner);
+    auto second = cache.claim_contract(key, 2);
+    EXPECT_EQ(second.kind, core::ClaimKind::Registered);
+    CachedContract entry;
+    entry.status = RecoveryStatus::Complete;
+    std::vector<std::size_t> waiters = cache.publish_contract(key, entry);
+    ASSERT_EQ(waiters.size(), 1u);
+    EXPECT_EQ(waiters[0], 2u);
+    auto third = cache.claim_contract(key, 3);
+    EXPECT_EQ(third.kind, core::ClaimKind::Hit);
+  }
+}
+
+TEST(Contention, StripeCountIsTwoToTheBitsAndClamped) {
+  EXPECT_EQ(RecoveryCache(0).stripe_count(), 1u);
+  EXPECT_EQ(RecoveryCache(4).stripe_count(), 16u);
+  EXPECT_EQ(RecoveryCache(64).stripe_count(),
+            1u << RecoveryCache::kMaxStripeBits);  // clamped, not UB
+}
+
+// --- stripe-count invariance of batch results and stats ----------------------
+
+// The satellite regression: cache statistics (not just canonical output) must
+// not depend on how the cache is striped. At jobs=1 the schedule is fixed, so
+// hit/miss counters are exact and must match stripe-for-stripe.
+TEST(Contention, CacheStatsAreStripeConfigInvariantAtJobs1) {
+  std::vector<evm::Bytecode> codes = duplicate_corpus(8, 3, 616);
+  core::CacheStats reference;
+  std::string reference_canonical;
+  bool first = true;
+  for (unsigned stripe_bits : {0u, 1u, 4u}) {
+    core::BatchOptions opts;
+    opts.jobs = 1;
+    opts.cache_stripe_bits = stripe_bits;
+    core::BatchResult batch = core::recover_batch(codes, opts);
+    if (first) {
+      reference = batch.cache;
+      reference_canonical = core::canonical_to_string(batch);
+      first = false;
+      EXPECT_GT(reference.contract_hits, 0u);
+      continue;
+    }
+    EXPECT_EQ(batch.cache.contract_hits, reference.contract_hits) << stripe_bits;
+    EXPECT_EQ(batch.cache.contract_misses, reference.contract_misses) << stripe_bits;
+    EXPECT_EQ(batch.cache.function_hits, reference.function_hits) << stripe_bits;
+    EXPECT_EQ(batch.cache.function_misses, reference.function_misses) << stripe_bits;
+    EXPECT_EQ(core::canonical_to_string(batch), reference_canonical) << stripe_bits;
+  }
+}
+
+TEST(Contention, CanonicalOutputIdenticalAcrossJobsAndStripesAndPinning) {
+  std::vector<evm::Bytecode> codes = duplicate_corpus(10, 3, 717);
+  std::string reference;
+  for (unsigned jobs : {1u, 8u}) {
+    for (unsigned stripe_bits : {0u, 4u}) {
+      for (bool pin : {false, true}) {
+        core::BatchOptions opts;
+        opts.jobs = jobs;
+        opts.cache_stripe_bits = stripe_bits;
+        opts.pin_threads = pin;
+        std::string canonical = core::canonical_to_string(core::recover_batch(codes, opts));
+        if (reference.empty()) {
+          reference = canonical;
+          ASSERT_FALSE(reference.empty());
+        } else {
+          EXPECT_EQ(canonical, reference)
+              << "jobs=" << jobs << " stripe_bits=" << stripe_bits << " pin=" << pin;
+        }
+      }
+    }
+  }
+}
+
+// --- shared disassembly across duplicates ------------------------------------
+
+TEST(Contention, BytecodeAdoptsASharedDisassemblyOnce) {
+  evm::Bytecode a = *evm::Bytecode::from_hex("0x6080604052600080fd");
+  evm::Bytecode b = a;  // byte-identical copy, no disassembly carried over
+  std::shared_ptr<const evm::Disassembly> dis = a.shared_disassembly();
+  ASSERT_NE(dis, nullptr);
+  EXPECT_EQ(a.shared_disassembly(), dis);  // cached, not rebuilt
+  b.adopt_disassembly(dis);
+  EXPECT_EQ(b.shared_disassembly(), dis);  // adopted instance is served
+  // Adoption never overwrites an existing cache.
+  evm::Bytecode c = a;
+  std::shared_ptr<const evm::Disassembly> own = c.shared_disassembly();
+  c.adopt_disassembly(dis);
+  EXPECT_EQ(c.shared_disassembly(), own);
+}
+
+TEST(Contention, DuplicatesReuseOneDisassemblyWhenOnlyTheFunctionCacheIsOn) {
+  // With the contract cache off, every duplicate reaches the analysis stage —
+  // exactly the configuration where disassembly sharing pays. At jobs=1 the
+  // contracts run strictly in order, so every duplicate after the first of
+  // each unique adopts the registry copy.
+  std::vector<evm::Bytecode> codes = duplicate_corpus(4, 3, 818);
+  core::BatchOptions opts;
+  opts.jobs = 1;
+  opts.contract_cache = false;
+  core::BatchResult shared_run = core::recover_batch(codes, opts);
+  EXPECT_EQ(shared_run.disassembly_reuses, codes.size() - codes.size() / 3);
+
+  opts.share_disassembly = false;
+  core::BatchResult private_run = core::recover_batch(codes, opts);
+  EXPECT_EQ(private_run.disassembly_reuses, 0u);
+  EXPECT_EQ(core::canonical_to_string(shared_run), core::canonical_to_string(private_run));
+}
+
+TEST(Contention, SharingOffByConfigLeavesNoCacheRunsUntouched) {
+  // The no-cache, no-journal configuration is the honest every-copy-pays
+  // baseline; sharing must not silently engage there.
+  std::vector<evm::Bytecode> codes = duplicate_corpus(3, 2, 919);
+  core::BatchOptions opts;
+  opts.jobs = 1;
+  opts.contract_cache = false;
+  opts.function_cache = false;
+  core::BatchResult batch = core::recover_batch(codes, opts);
+  EXPECT_EQ(batch.disassembly_reuses, 0u);
+}
+
+}  // namespace
+}  // namespace sigrec
