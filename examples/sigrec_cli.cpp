@@ -38,6 +38,16 @@
 //                                                 # address over JSON-RPC
 //                                                 # (eth_getCode), batched and
 //                                                 # pipelined ahead of recovery
+//   example_sigrec_cli --compact-shards db --shard-bits 4
+//                                                 # rewrite each shard file as
+//                                                 # an immutable mmap index
+//   example_sigrec_cli --serve 8091 --index-dir db
+//                                                 # HTTP/JSON lookup service
+//                                                 # over the compact indexes
+//                                                 # (SIGHUP hot-reloads them)
+//   example_sigrec_cli --query http://127.0.0.1:8091 0xa9059cbb
+//                                                 # resolve selectors against
+//                                                 # a running lookup service
 //
 // A batch run installs SIGINT/SIGTERM handlers for graceful shutdown:
 // in-flight contracts finish and are journaled, queued ones are skipped, the
@@ -65,6 +75,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -74,6 +85,7 @@
 #include <memory>
 #include <optional>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "abi/decoder.hpp"
@@ -82,6 +94,7 @@
 #include "sigrec/batch.hpp"
 #include "sigrec/fleet.hpp"
 #include "sigrec/journal.hpp"
+#include "sigrec/lookup.hpp"
 #include "sigrec/persist.hpp"
 #include "sigrec/pipeline.hpp"
 #include "sigrec/rpc.hpp"
@@ -97,6 +110,12 @@ namespace {
 std::atomic<bool> g_stop{false};
 
 void handle_stop_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+// Set by SIGHUP while --serve runs: the serve loop hot-reloads the index
+// directory at the next tick (the conventional "re-read your config" signal).
+std::atomic<bool> g_reload{false};
+
+void handle_reload_signal(int) { g_reload.store(true, std::memory_order_relaxed); }
 
 std::optional<std::string> read_input(const char* arg) {
   // A 0x-prefixed string is bytecode; anything else is a filename.
@@ -209,6 +228,15 @@ int usage(const char* argv0) {
                "          [--pin] [--cache-stripe-bits <0..8>]\n"
                "       %s --merge-shards <dir> [--output|-o <path>]"
                "   # merge shard files into the canonical database\n"
+               "       %s --compact-shards <dir> [--shard-bits <0..8>]"
+               "   # rewrite shards as immutable mmap lookup indexes\n"
+               "       %s --serve <port> --index-dir <dir> [--serve-threads <n>]\n"
+               "          # HTTP/JSON selector-lookup service over the compact\n"
+               "          # indexes (port 0 = ephemeral; prints 'SERVING <port>';\n"
+               "          # SIGHUP hot-reloads the index directory in place)\n"
+               "       %s --query <url> <0xselector>...   # resolve selectors\n"
+               "       %s --query <url> --reload [--index-dir <dir>]\n"
+               "          # ask a running service to swap in fresh indexes\n"
                "       %s --emit-corpus <dir> <n>   # synthesize a test corpus\n"
                "       %s --rpc <http-url> [--rpc <url>...] --addresses <file>\n"
                "          [--rpc-timeout-ms <ms>] [--rpc-retries <n>] [--rpc-batch <n>]\n"
@@ -242,7 +270,7 @@ int usage(const char* argv0) {
                "unsupported); --cache-stripe-bits sets the memo cache's lock\n"
                "striping (2^bits stripes, default 4 bits) — results are\n"
                "identical for any value, only lock contention changes.\n",
-               argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -299,6 +327,16 @@ struct CliOptions {
   // rpcdown:E@N chaos targets — the harness tells the coordinator which
   // process to SIGKILL for endpoint E.
   const char* rpc_endpoint_pids = nullptr;
+  // Serving layer (lookup.hpp): --compact-shards rewrites shard files into
+  // mmap indexes, --serve answers selector queries over HTTP/JSON, --query
+  // is the scripted client the CI smoke drives.
+  const char* compact_dir = nullptr;
+  bool serve_mode = false;
+  double serve_port = 0;
+  double serve_threads = 4;
+  const char* index_dir = nullptr;
+  const char* query_url = nullptr;
+  bool query_reload = false;
 };
 
 bool is_stdin_arg(const char* arg) {
@@ -369,6 +407,195 @@ int run_merge(const CliOptions& cli) {
     std::fwrite(merged.data(), 1, merged.size(), stdout);
   }
   std::fprintf(stderr, "merge: %s\n", stats.to_string().c_str());
+  return 0;
+}
+
+// Standalone compaction mode: rewrite every shard file under `dir` into its
+// immutable, mmap-able index file (see lookup.hpp). --shard-bits must match
+// the scan that produced the shards; a mismatch fails loudly rather than
+// building an index that answers the wrong shard.
+int run_compact(const CliOptions& cli) {
+  using namespace sigrec;
+  core::CompactStats stats;
+  std::string error;
+  if (!core::compact_shards(cli.compact_dir, cli.shard_bits, &stats, &error)) {
+    std::fprintf(stderr, "error: --compact-shards: %s\n", error.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "compact: %s\n", stats.to_string().c_str());
+  return 0;
+}
+
+// The lookup service: load the compact indexes, serve until SIGINT/SIGTERM.
+// SIGHUP hot-reloads the index directory in place (freshly recompacted
+// shards swap in atomically; in-flight queries finish on the old
+// generation). Prints "SERVING <port>" on stdout once live — the line the
+// CI smoke scripts scrape, same contract as the mock node's LISTENING.
+int run_serve(const CliOptions& cli) {
+  using namespace sigrec;
+  if (cli.index_dir == nullptr) {
+    std::fprintf(stderr, "error: --serve needs --index-dir <dir>\n");
+    return 2;
+  }
+  core::LookupService service;
+  std::string error;
+  if (!service.load(cli.index_dir, &error)) {
+    std::fprintf(stderr, "error: --serve: %s\n", error.c_str());
+    return 2;
+  }
+  core::LookupServerOptions opts;
+  opts.port = static_cast<std::uint16_t>(cli.serve_port);
+  opts.threads = static_cast<unsigned>(cli.serve_threads);
+  core::LookupServer server(service, opts);
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "error: --serve: %s\n", error.c_str());
+    return 2;
+  }
+  {
+    auto live = service.snapshot();
+    std::fprintf(stderr, "serving %s: %zu index files, %llu selectors, %llu candidates\n",
+                 live->dir.c_str(), live->index->shard_files(),
+                 static_cast<unsigned long long>(live->index->selector_count()),
+                 static_cast<unsigned long long>(live->index->candidate_count()));
+  }
+  std::printf("SERVING %u\n", static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGHUP, handle_reload_signal);
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (g_reload.exchange(false, std::memory_order_relaxed)) {
+      std::string reload_error;
+      if (service.reload(&reload_error)) {
+        auto live = service.snapshot();
+        std::fprintf(stderr, "reloaded: generation %llu\n",
+                     static_cast<unsigned long long>(live->generation));
+      } else {
+        std::fprintf(stderr, "reload failed (old generation keeps serving): %s\n",
+                     reload_error.c_str());
+      }
+    }
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGHUP, SIG_DFL);
+  server.stop();
+  core::LookupServerStats stats = server.stats();
+  std::fprintf(stderr,
+               "served: %llu requests (%llu ok, %llu rejected), %llu selectors "
+               "(%llu hits), %llu reloads\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.served),
+               static_cast<unsigned long long>(stats.bad_requests),
+               static_cast<unsigned long long>(stats.selectors),
+               static_cast<unsigned long long>(stats.hits),
+               static_cast<unsigned long long>(stats.reloads));
+  return 0;
+}
+
+// Scripted query client against a running --serve instance. Selector mode
+// prints one TSV row per candidate — exactly the merge_shards line minus its
+// ordinal column, so CI can diff the output byte-for-byte against
+// `cut -f2- <merged.tsv> | sort -u`. --reload mode POSTs /reload (optionally
+// switching directories with --index-dir).
+int run_query(const std::vector<const char*>& inputs, const CliOptions& cli) {
+  using namespace sigrec;
+  std::string error;
+  auto url = core::parse_http_url(cli.query_url, &error);
+  if (!url.has_value()) {
+    std::fprintf(stderr, "error: --query: %s\n", error.c_str());
+    return 2;
+  }
+
+  if (cli.query_reload) {
+    if (!inputs.empty()) {
+      std::fprintf(stderr, "error: --query --reload takes no selectors\n");
+      return 2;
+    }
+    core::ParsedUrl target = *url;
+    target.path = "/reload";
+    std::string body = "{}";
+    if (cli.index_dir != nullptr) {
+      body = std::string(R"({"dir":")") + core::json_escape(cli.index_dir) + R"("})";
+    }
+    core::HttpResult result;
+    if (!core::http_post(target, body, 5000, result, &error)) {
+      std::fprintf(stderr, "error: --query --reload: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "reload: HTTP %d %s\n", result.status, result.body.c_str());
+    return result.status == 200 ? 0 : 1;
+  }
+
+  if (inputs.empty()) {
+    std::fprintf(stderr, "error: --query needs at least one 0x-selector (or --reload)\n");
+    return 2;
+  }
+  std::string body = R"({"selectors":[)";
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (!core::parse_selector(inputs[i]).has_value()) {
+      std::fprintf(stderr, "error: '%s' is not a selector (want 0x + 8 hex digits)\n",
+                   inputs[i]);
+      return 2;
+    }
+    if (i != 0) body += ',';
+    body += '"';
+    body += inputs[i];
+    body += '"';
+  }
+  body += "]}";
+
+  core::ParsedUrl target = *url;
+  target.path = "/lookup";
+  core::HttpResult result;
+  if (!core::http_post(target, body, 5000, result, &error)) {
+    std::fprintf(stderr, "error: --query: %s\n", error.c_str());
+    return 1;
+  }
+  if (result.status != 200) {
+    std::fprintf(stderr, "error: --query: HTTP %d %s\n", result.status, result.body.c_str());
+    return 1;
+  }
+  auto doc = core::parse_json(result.body);
+  const core::JsonValue* results =
+      doc.has_value() && doc->kind == core::JsonValue::Kind::Object ? doc->find("results")
+                                                                    : nullptr;
+  if (results == nullptr || results->kind != core::JsonValue::Kind::Array) {
+    std::fprintf(stderr, "error: --query: malformed response body\n");
+    return 1;
+  }
+  std::string out;
+  for (const core::JsonValue& entry : results->array) {
+    const core::JsonValue* selector = entry.find("selector");
+    const core::JsonValue* candidates = entry.find("candidates");
+    if (selector == nullptr || candidates == nullptr ||
+        candidates->kind != core::JsonValue::Kind::Array) {
+      std::fprintf(stderr, "error: --query: malformed result entry\n");
+      return 1;
+    }
+    for (const core::JsonValue& candidate : candidates->array) {
+      const core::JsonValue* signature = candidate.find("signature");
+      const core::JsonValue* dialect = candidate.find("dialect");
+      const core::JsonValue* status = candidate.find("status");
+      const core::JsonValue* partial = candidate.find("partial");
+      if (signature == nullptr || dialect == nullptr || status == nullptr) {
+        std::fprintf(stderr, "error: --query: malformed candidate entry\n");
+        return 1;
+      }
+      out += selector->string;
+      out += '\t';
+      out += signature->string;
+      out += '\t';
+      out += dialect->string;
+      out += '\t';
+      out += status->string;
+      if (partial != nullptr && partial->boolean) out += "\tpartial";
+      out += '\n';
+    }
+  }
+  std::fwrite(out.data(), 1, out.size(), stdout);
   return 0;
 }
 
@@ -761,6 +988,21 @@ int main(int argc, char** argv) {
       cli.shard_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--merge-shards") == 0 && i + 1 < argc) {
       cli.merge_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--compact-shards") == 0 && i + 1 < argc) {
+      cli.compact_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      cli.serve_mode = true;
+      if (!number_arg(cli.serve_port) || cli.serve_port > 65535) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--serve-threads") == 0) {
+      if (!number_arg(cli.serve_threads) || cli.serve_threads < 1 || cli.serve_threads > 256) {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--index-dir") == 0 && i + 1 < argc) {
+      cli.index_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--query") == 0 && i + 1 < argc) {
+      cli.query_url = argv[++i];
+    } else if (std::strcmp(argv[i], "--reload") == 0) {
+      cli.query_reload = true;
     } else if (std::strcmp(argv[i], "--rpc") == 0 && i + 1 < argc) {
       cli.rpc_urls.push_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--rpc-endpoint-pids") == 0 && i + 1 < argc) {
@@ -824,6 +1066,29 @@ int main(int argc, char** argv) {
       return 2;
     }
     return run_merge(cli);
+  }
+  if (cli.compact_dir != nullptr) {
+    if (!inputs.empty()) {
+      std::fprintf(stderr, "error: --compact-shards takes no contract inputs\n");
+      return 2;
+    }
+    return run_compact(cli);
+  }
+  if (cli.serve_mode) {
+    if (!inputs.empty()) {
+      std::fprintf(stderr, "error: --serve takes no contract inputs\n");
+      return 2;
+    }
+    return run_serve(cli);
+  }
+  if (cli.query_url != nullptr) return run_query(inputs, cli);
+  if (cli.query_reload) {
+    std::fprintf(stderr, "error: --reload needs --query <url>\n");
+    return 2;
+  }
+  if (cli.index_dir != nullptr) {
+    std::fprintf(stderr, "error: --index-dir needs --serve or --query --reload\n");
+    return 2;
   }
   if (cli.worker_mode) {
     if (cli.fleet_dir == nullptr) {

@@ -1,0 +1,697 @@
+#include "sigrec/lookup.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "symexec/budget.hpp"
+
+namespace sigrec::core {
+
+namespace {
+
+void put_u32_le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t read_u32_le(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof v);  // memcpy: payload offsets are unaligned
+  return v;
+}
+
+std::uint32_t crc_of(std::string_view bytes) {
+  return crc32(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                                             bytes.size()));
+}
+
+std::string_view status_text(std::uint8_t status) {
+  if (status >= symexec::kRecoveryStatusCount) return "unknown";
+  return symexec::status_name(static_cast<RecoveryStatus>(status));
+}
+
+// The sort key a candidate orders by within its selector: the rendered text
+// suffix of its merge_shards line. Tab separators sort below every printable
+// byte, so ordering by this key equals ordering the rendered lines — the
+// property the CI smoke's byte-for-byte diff stands on.
+std::string candidate_sort_key(const SignatureRecord& rec) {
+  std::string key = rec.signature;
+  key += '\t';
+  key += rec.dialect == 1 ? "vyper" : "solidity";
+  key += '\t';
+  key += status_text(rec.status);
+  if (rec.partial != 0) key += "\tpartial";
+  return key;
+}
+
+std::string candidate_blob(const SignatureRecord& rec) {
+  std::string blob;
+  blob.push_back(static_cast<char>(rec.dialect));
+  blob.push_back(static_cast<char>(rec.status));
+  blob.push_back(static_cast<char>(rec.partial));
+  blob.push_back('\0');  // reserved
+  put_u32_le(blob, static_cast<std::uint32_t>(rec.signature.size()));
+  blob += rec.signature;
+  return blob;
+}
+
+// Strict parse of "<prefix>NNN<suffix>" file names; nullopt for anything a
+// ShardedSink or compact_shards would not have written.
+std::optional<std::uint32_t> parse_numbered_file(const std::string& path,
+                                                 std::string_view prefix,
+                                                 std::string_view suffix) {
+  std::size_t slash = path.rfind('/');
+  std::string_view name(path);
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (name.substr(0, prefix.size()) != prefix) return std::nullopt;
+  if (name.substr(name.size() - suffix.size()) != suffix) return std::nullopt;
+  std::string_view digits = name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  std::uint32_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint32_t>(c - '0');
+    if (value > 0xffffu) return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+// --- compact index format ----------------------------------------------------
+
+std::string index_file_name(std::uint32_t shard) {
+  char name[32];
+  std::snprintf(name, sizeof name, "index_%03u.sigidx", shard);
+  return name;
+}
+
+std::vector<std::string> list_index_files(const std::string& dir) {
+  return list_directory(dir, "index_");
+}
+
+std::string build_index_bytes(std::uint32_t shard, int shard_bits,
+                              const std::vector<SignatureRecord>& records) {
+  // Selector -> (sort key -> blob bytes). Both maps are ordered, which IS
+  // the determinism: the layout depends only on the record set.
+  std::map<std::uint32_t, std::map<std::string, std::string>> by_selector;
+  for (const SignatureRecord& rec : records) {
+    by_selector[rec.selector].emplace(candidate_sort_key(rec), candidate_blob(rec));
+  }
+
+  std::string selector_table;
+  std::string ref_table;
+  std::string payload;
+  std::map<std::string, std::uint32_t> blob_offsets;  // dedup, first-use order
+  std::uint64_t candidate_count = 0;
+  for (const auto& [selector, candidates] : by_selector) {
+    put_u32_le(selector_table, selector);
+    put_u32_le(selector_table, static_cast<std::uint32_t>(candidate_count));
+    put_u32_le(selector_table, static_cast<std::uint32_t>(candidates.size()));
+    for (const auto& [key, blob] : candidates) {
+      auto [it, inserted] = blob_offsets.emplace(blob, static_cast<std::uint32_t>(payload.size()));
+      if (inserted) payload += blob;
+      put_u32_le(ref_table, it->second);
+      ++candidate_count;
+    }
+  }
+  // u32 fields must hold the counts; a shard that big is not a real scan.
+  if (by_selector.size() > 0xffffffffull || candidate_count > 0xffffffffull ||
+      payload.size() > 0xffffffffull) {
+    return {};
+  }
+
+  std::string header;
+  header.reserve(kLookupHeaderBytes);
+  put_u32_le(header, kLookupIndexMagic);
+  put_u32_le(header, kLookupIndexVersion);
+  put_u32_le(header, shard);
+  put_u32_le(header, static_cast<std::uint32_t>(shard_bits));
+  put_u32_le(header, static_cast<std::uint32_t>(by_selector.size()));
+  put_u32_le(header, static_cast<std::uint32_t>(candidate_count));
+  put_u32_le(header, static_cast<std::uint32_t>(payload.size()));
+  put_u32_le(header, crc_of(header));
+
+  std::string body = selector_table + ref_table + payload;
+  std::string out = header + body;
+  put_u32_le(out, crc_of(body));
+  return out;
+}
+
+std::string CompactStats::to_string() const {
+  return "shard_files=" + std::to_string(shard_files) +
+         " index_files=" + std::to_string(index_files) + " records=" + std::to_string(records) +
+         " selectors=" + std::to_string(selectors) + " candidates=" + std::to_string(candidates) +
+         " index_bytes=" + std::to_string(index_bytes) + " " + load.to_string();
+}
+
+bool compact_shards(const std::string& dir, int shard_bits, CompactStats* stats,
+                    std::string* error) {
+  auto fail = [error](std::string why) {
+    if (error != nullptr) *error = std::move(why);
+    return false;
+  };
+  if (shard_bits < 0 || shard_bits > kMaxShardBits) {
+    return fail("shard_bits out of range [0, " + std::to_string(kMaxShardBits) + "]");
+  }
+  std::vector<std::string> files = list_shard_files(dir);
+  if (files.empty()) return fail("no shard files under '" + dir + "'");
+
+  CompactStats local;
+  std::set<std::string> written;
+  for (const std::string& path : files) {
+    std::optional<std::uint32_t> shard = parse_numbered_file(path, "shard_", ".sigdb");
+    if (!shard.has_value()) return fail("unrecognized shard file name '" + path + "'");
+    if (*shard >= shard_count(shard_bits)) {
+      return fail("shard file '" + path + "' out of range for shard_bits=" +
+                  std::to_string(shard_bits) + " — was the database routed with more bits?");
+    }
+    std::optional<std::string> bytes = read_file_bytes(path);
+    if (!bytes.has_value()) return fail("cannot read '" + path + "'");
+    ++local.shard_files;
+
+    std::vector<SignatureRecord> records;
+    bool routed_wrong = false;
+    LoadStats file_stats = scan_records(
+        std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(bytes->data()),
+                                      bytes->size()),
+        [&records, &routed_wrong, shard, shard_bits](std::uint8_t type, Decoder& dec) {
+          if (type != kRecordSignatureEntry) return true;  // foreign record: ignore
+          SignatureRecord rec;
+          if (!decode_signature_record(dec, rec)) return false;
+          if (shard_of_selector(rec.selector, shard_bits) != *shard) routed_wrong = true;
+          records.push_back(std::move(rec));
+          return true;
+        });
+    if (routed_wrong) {
+      return fail("record in '" + path + "' does not route to its shard at shard_bits=" +
+                  std::to_string(shard_bits) + " — compact with the bits the scan used");
+    }
+    local.load.loaded += file_stats.loaded;
+    local.load.skipped_checksum += file_stats.skipped_checksum;
+    local.load.skipped_version += file_stats.skipped_version;
+    local.load.skipped_truncated += file_stats.skipped_truncated;
+    local.load.skipped_malformed += file_stats.skipped_malformed;
+    local.load.resync_scans += file_stats.resync_scans;
+    local.records += records.size();
+
+    std::string image = build_index_bytes(*shard, shard_bits, records);
+    if (image.empty()) return fail("index for '" + path + "' exceeds format limits");
+    local.selectors += read_u32_le(reinterpret_cast<const std::uint8_t*>(image.data()) + 16);
+    local.candidates += read_u32_le(reinterpret_cast<const std::uint8_t*>(image.data()) + 20);
+    local.index_bytes += image.size();
+
+    std::string index_path = dir + "/" + index_file_name(*shard);
+    if (!atomic_write_file(index_path, image)) {
+      return fail("cannot write '" + index_path + "'");
+    }
+    written.insert(index_path);
+    ++local.index_files;
+  }
+
+  // A previous compaction with different shard_bits leaves index files this
+  // pass did not rewrite; a reader would reject the mixed set, so clear them.
+  for (const std::string& stale : list_index_files(dir)) {
+    if (written.count(stale) == 0) (void)std::remove(stale.c_str());
+  }
+
+  if (stats != nullptr) *stats = local;
+  return true;
+}
+
+// --- mmap reader -------------------------------------------------------------
+
+std::string_view Candidate::status_name() const { return status_text(status); }
+
+Candidate Candidates::operator[](std::size_t i) const {
+  const std::uint8_t* blob = payload_ + read_u32_le(refs_ + 4 * i);
+  Candidate c;
+  c.dialect = blob[0];
+  c.status = blob[1];
+  c.partial = blob[2] != 0;
+  std::uint32_t len = read_u32_le(blob + 4);
+  c.signature = std::string_view(reinterpret_cast<const char*>(blob + kLookupBlobHeaderBytes), len);
+  return c;
+}
+
+LookupIndex::~LookupIndex() {
+  for (MappedShard& shard : shards_) {
+    if (shard.base != nullptr) {
+      ::munmap(const_cast<std::uint8_t*>(shard.base), shard.bytes);
+    }
+  }
+}
+
+std::shared_ptr<const LookupIndex> LookupIndex::open(const std::string& dir, std::string* error) {
+  auto fail = [error](std::string why) -> std::shared_ptr<const LookupIndex> {
+    if (error != nullptr) *error = std::move(why);
+    return nullptr;
+  };
+  std::vector<std::string> files = list_index_files(dir);
+  if (files.empty()) {
+    return fail("no index files under '" + dir + "' (run --compact-shards first)");
+  }
+
+  std::shared_ptr<LookupIndex> index(new LookupIndex());
+  index->dir_ = dir;
+  int bits = -1;
+  for (const std::string& path : files) {
+    std::optional<std::uint32_t> named_shard = parse_numbered_file(path, "index_", ".sigidx");
+    if (!named_shard.has_value()) return fail("unrecognized index file name '" + path + "'");
+
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return fail("cannot open '" + path + "'");
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      return fail("cannot stat '" + path + "'");
+    }
+    std::size_t bytes = static_cast<std::size_t>(st.st_size);
+    if (bytes < kLookupHeaderBytes + 4) {
+      ::close(fd);
+      return fail("'" + path + "': truncated (smaller than an empty index)");
+    }
+    void* mapping = ::mmap(nullptr, bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping holds its own reference
+    if (mapping == MAP_FAILED) return fail("cannot mmap '" + path + "'");
+    const std::uint8_t* base = static_cast<const std::uint8_t*>(mapping);
+    // Hand the mapping to a MappedShard immediately so every failure path
+    // below unmaps through the destructor.
+    MappedShard pending;
+    pending.base = base;
+    pending.bytes = bytes;
+
+    auto reject = [&](const char* why) -> std::shared_ptr<const LookupIndex> {
+      ::munmap(mapping, bytes);
+      return fail("'" + path + "': " + why);
+    };
+
+    if (read_u32_le(base + 0) != kLookupIndexMagic) return reject("bad magic");
+    if (read_u32_le(base + 4) != kLookupIndexVersion) return reject("unsupported format version");
+    std::uint32_t shard = read_u32_le(base + 8);
+    std::uint32_t shard_bits = read_u32_le(base + 12);
+    std::uint32_t selector_count = read_u32_le(base + 16);
+    std::uint32_t candidate_count = read_u32_le(base + 20);
+    std::uint32_t payload_bytes = read_u32_le(base + 24);
+    std::uint32_t header_crc = read_u32_le(base + 28);
+    if (header_crc != crc32(std::span<const std::uint8_t>(base, 28))) {
+      return reject("header checksum mismatch");
+    }
+    if (shard != *named_shard) return reject("shard number does not match file name");
+    if (shard_bits > static_cast<std::uint32_t>(kMaxShardBits)) return reject("bad shard_bits");
+    if (shard >= shard_count(static_cast<int>(shard_bits))) {
+      return reject("shard number out of range for its shard_bits");
+    }
+    if (bits == -1) {
+      bits = static_cast<int>(shard_bits);
+      index->shards_.resize(shard_count(bits));
+    } else if (bits != static_cast<int>(shard_bits)) {
+      return reject("shard_bits disagrees with the other index files");
+    }
+    if (index->shards_[shard].base != nullptr) return reject("duplicate shard number");
+
+    // Exact size: header + tables + payload + body CRC, in u64 so corrupt
+    // counts cannot wrap the arithmetic into a passing comparison.
+    std::uint64_t expected = kLookupHeaderBytes +
+                             std::uint64_t{selector_count} * kLookupSelectorEntryBytes +
+                             std::uint64_t{candidate_count} * 4 + payload_bytes + 4;
+    if (expected != bytes) return reject("file size does not match its header");
+
+    const std::uint8_t* selectors = base + kLookupHeaderBytes;
+    const std::uint8_t* refs = selectors + std::size_t{selector_count} * kLookupSelectorEntryBytes;
+    const std::uint8_t* payload = refs + std::size_t{candidate_count} * 4;
+    std::uint32_t body_crc = read_u32_le(payload + payload_bytes);
+    std::size_t body_bytes = bytes - kLookupHeaderBytes - 4;
+    if (body_crc != crc32(std::span<const std::uint8_t>(selectors, body_bytes))) {
+      return reject("body checksum mismatch");
+    }
+
+    // Selector table: strictly ascending, refs partitioning exactly.
+    std::uint64_t running = 0;
+    std::uint32_t previous = 0;
+    for (std::uint32_t i = 0; i < selector_count; ++i) {
+      const std::uint8_t* entry = selectors + std::size_t{i} * kLookupSelectorEntryBytes;
+      std::uint32_t selector = read_u32_le(entry);
+      std::uint32_t first_ref = read_u32_le(entry + 4);
+      std::uint32_t ref_count = read_u32_le(entry + 8);
+      if (i != 0 && selector <= previous) return reject("selector table not strictly ascending");
+      if (first_ref != running) return reject("ref ranges do not partition the ref table");
+      if (ref_count == 0) return reject("selector with zero candidates");
+      running += ref_count;
+      if (running > candidate_count) return reject("ref range past the ref table");
+      previous = selector;
+    }
+    if (running != candidate_count) return reject("ref table not fully covered");
+
+    // Payload region: walk blob by blob, recording each valid start. This is
+    // the one load-time allocation; the hot path inherits "every ref points
+    // at a validated blob" and checks nothing.
+    std::vector<std::uint32_t> blob_starts;
+    std::uint64_t pos = 0;
+    while (pos < payload_bytes) {
+      if (pos + kLookupBlobHeaderBytes > payload_bytes) return reject("truncated payload blob");
+      const std::uint8_t* blob = payload + pos;
+      if (blob[0] > 1 || blob[1] >= symexec::kRecoveryStatusCount || blob[2] > 1 ||
+          blob[3] != 0) {
+        return reject("payload blob with out-of-range fields");
+      }
+      std::uint32_t len = read_u32_le(blob + 4);
+      if (len > kMaxSignatureBytes) return reject("oversized signature length");
+      if (pos + kLookupBlobHeaderBytes + len > payload_bytes) {
+        return reject("signature runs past the payload region");
+      }
+      blob_starts.push_back(static_cast<std::uint32_t>(pos));
+      pos += kLookupBlobHeaderBytes + len;
+    }
+    for (std::uint32_t r = 0; r < candidate_count; ++r) {
+      std::uint32_t off = read_u32_le(refs + std::size_t{r} * 4);
+      if (!std::binary_search(blob_starts.begin(), blob_starts.end(), off)) {
+        return reject("ref does not point at a payload blob");
+      }
+    }
+
+    pending.selectors = selectors;
+    pending.refs = refs;
+    pending.payload = payload;
+    pending.selector_count = selector_count;
+    index->shards_[shard] = pending;
+    ++index->mapped_files_;
+    index->selector_count_ += selector_count;
+    index->candidate_count_ += candidate_count;
+  }
+  index->shard_bits_ = bits;
+  return index;
+}
+
+Candidates LookupIndex::lookup(std::uint32_t selector) const {
+  std::uint32_t shard = shard_of_selector(selector, shard_bits_);
+  if (shard >= shards_.size()) return {};
+  const MappedShard& s = shards_[shard];
+  if (s.base == nullptr || s.selector_count == 0) return {};
+  std::size_t lo = 0;
+  std::size_t hi = s.selector_count;
+  while (lo < hi) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    const std::uint8_t* entry = s.selectors + mid * kLookupSelectorEntryBytes;
+    std::uint32_t value = read_u32_le(entry);
+    if (value == selector) {
+      std::uint32_t first_ref = read_u32_le(entry + 4);
+      std::uint32_t ref_count = read_u32_le(entry + 8);
+      return Candidates(s.refs + std::size_t{first_ref} * 4, s.payload, ref_count);
+    }
+    if (value < selector) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {};
+}
+
+// --- hot-swap service --------------------------------------------------------
+
+bool LookupService::load(const std::string& dir, std::string* error) {
+  // Build the whole generation off to the side; the slot is held for one
+  // pointer swap. The displaced generation's refcount drops only after the
+  // slot is released — if this load holds its last reference, the munmap
+  // happens here, never under the slot lock readers spin on.
+  std::lock_guard<std::mutex> lock(reload_mutex_);
+  std::shared_ptr<const LookupIndex> index = LookupIndex::open(dir, error);
+  if (index == nullptr) return false;
+  auto generation = std::make_shared<LookupGeneration>();
+  generation->generation = next_generation_++;
+  generation->dir = dir;
+  generation->index = std::move(index);
+  std::shared_ptr<const LookupGeneration> next = std::move(generation);
+  lock_slot();
+  live_.swap(next);
+  unlock_slot();
+  return true;
+}
+
+bool LookupService::reload(std::string* error) {
+  std::shared_ptr<const LookupGeneration> current = snapshot();
+  if (current == nullptr) {
+    if (error != nullptr) *error = "nothing loaded yet";
+    return false;
+  }
+  return load(current->dir, error);
+}
+
+// --- HTTP query server -------------------------------------------------------
+
+std::string render_candidate_row(std::uint32_t selector, const Candidate& c) {
+  char hex[16];
+  std::snprintf(hex, sizeof hex, "0x%08x", selector);
+  std::string row = hex;
+  row += '\t';
+  row += c.signature;
+  row += '\t';
+  row += c.dialect_name();
+  row += '\t';
+  row += c.status_name();
+  if (c.partial) row += "\tpartial";
+  return row;
+}
+
+std::optional<std::uint32_t> parse_selector(std::string_view text) {
+  if (text.size() != 10 || text.substr(0, 2) != "0x") return std::nullopt;
+  std::uint32_t value = 0;
+  for (char c : text.substr(2)) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return value;
+}
+
+LookupServer::LookupServer(LookupService& service, LookupServerOptions opts)
+    : service_(service),
+      opts_(opts),
+      queue_(opts.accept_backlog == 0 ? 1 : opts.accept_backlog) {}
+
+LookupServer::~LookupServer() { stop(); }
+
+bool LookupServer::start(std::string* error) {
+  if (started_) return true;
+  if (!listener_.bind_loopback(opts_.port, error)) return false;
+  unsigned threads = opts_.threads == 0 ? 1 : opts_.threads;
+  workers_.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+  started_ = true;
+  return true;
+}
+
+void LookupServer::stop() {
+  stopping_.store(true, std::memory_order_release);
+  listener_.close();
+  queue_.close();
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+std::string LookupServer::url() const {
+  return "http://127.0.0.1:" + std::to_string(listener_.port());
+}
+
+LookupServerStats LookupServer::stats() const {
+  LookupServerStats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  s.selectors = selectors_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.reloads = reloads_.load(std::memory_order_relaxed);
+  s.reload_failures = reload_failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void LookupServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = listener_.accept_client(100);
+    if (fd < 0) continue;  // timeout or closed listener; the loop re-checks
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    if (!queue_.push(fd)) ::close(fd);  // queue closed: stopping
+  }
+}
+
+void LookupServer::worker_loop() {
+  while (std::optional<int> fd = queue_.pop()) {
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(*fd);  // drained after stop: dropped unserved
+      continue;
+    }
+    handle_connection(*fd);
+    ::close(*fd);
+  }
+}
+
+void LookupServer::handle_connection(int fd) {
+  HttpRequest request;
+  switch (read_http_request(fd, request, opts_.max_body, opts_.read_timeout_ms)) {
+    case HttpReadResult::Closed:
+      return;  // port probe / health-check connect: benign
+    case HttpReadResult::Timeout:
+      // A slow-loris client is not reading either; close without a reply so
+      // the worker is released the moment the deadline fires.
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    case HttpReadResult::TooLarge:
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      (void)http_send(fd, http_response_message(413, R"({"error":"request too large"})"),
+                      opts_.read_timeout_ms);
+      return;
+    case HttpReadResult::Malformed:
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      (void)http_send(fd, http_response_message(400, R"({"error":"malformed request"})"),
+                      opts_.read_timeout_ms);
+      return;
+    case HttpReadResult::Ok:
+      break;
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  int status = 200;
+  std::string body = handle_request(request, status);
+  if (status == 200) {
+    served_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+  (void)http_send(fd, http_response_message(status, body), opts_.read_timeout_ms);
+}
+
+std::string LookupServer::handle_request(const HttpRequest& request, int& status) {
+  auto answer = [&status](int code, std::string body) {
+    status = code;
+    return body;
+  };
+  auto bad = [&answer](std::string why) {
+    return answer(400, R"({"error":")" + json_escape(why) + R"("})");
+  };
+
+  if (request.path == "/healthz") {
+    if (request.method != "GET") return answer(405, R"({"error":"method not allowed"})");
+    std::shared_ptr<const LookupGeneration> live = service_.snapshot();
+    if (live == nullptr) return answer(500, R"({"ok":false,"error":"no index loaded"})");
+    std::string body = R"({"ok":true,"generation":)" + std::to_string(live->generation);
+    body += R"(,"dir":")" + json_escape(live->dir) + '"';
+    body += R"(,"shards":)" + std::to_string(live->index->shard_files());
+    body += R"(,"selectors":)" + std::to_string(live->index->selector_count());
+    body += R"(,"candidates":)" + std::to_string(live->index->candidate_count());
+    body += '}';
+    return answer(200, std::move(body));
+  }
+
+  if (request.path == "/lookup") {
+    if (request.method != "POST") return answer(405, R"({"error":"method not allowed"})");
+    std::optional<JsonValue> doc = parse_json(request.body);
+    if (!doc.has_value() || doc->kind != JsonValue::Kind::Object) {
+      return bad("body must be a JSON object");
+    }
+    const JsonValue* selectors = doc->find("selectors");
+    if (selectors == nullptr || selectors->kind != JsonValue::Kind::Array) {
+      return bad("missing \"selectors\" array");
+    }
+    if (selectors->array.size() > opts_.max_batch) {
+      return bad("too many selectors (max " + std::to_string(opts_.max_batch) + ")");
+    }
+    std::vector<std::uint32_t> parsed;
+    parsed.reserve(selectors->array.size());
+    for (const JsonValue& entry : selectors->array) {
+      std::optional<std::uint32_t> selector =
+          entry.kind == JsonValue::Kind::String ? parse_selector(entry.string) : std::nullopt;
+      if (!selector.has_value()) {
+        return bad("bad selector '" +
+                   (entry.kind == JsonValue::Kind::String ? entry.string : "<non-string>") +
+                   "' (want 0x + 8 hex digits)");
+      }
+      parsed.push_back(*selector);
+    }
+
+    std::shared_ptr<const LookupGeneration> live = service_.snapshot();
+    if (live == nullptr) return answer(500, R"({"ok":false,"error":"no index loaded"})");
+    std::string body = R"({"generation":)" + std::to_string(live->generation) + R"(,"results":[)";
+    char hex[16];
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+      Candidates candidates = live->index->lookup(parsed[i]);
+      selectors_.fetch_add(1, std::memory_order_relaxed);
+      if (!candidates.empty()) hits_.fetch_add(1, std::memory_order_relaxed);
+      std::snprintf(hex, sizeof hex, "0x%08x", parsed[i]);
+      if (i != 0) body += ',';
+      body += R"({"selector":")";
+      body += hex;
+      body += R"(","candidates":[)";
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        Candidate candidate = candidates[c];
+        if (c != 0) body += ',';
+        body += R"({"signature":")" + json_escape(candidate.signature) + '"';
+        body += R"(,"dialect":")";
+        body += candidate.dialect_name();
+        body += R"(","status":")";
+        body += candidate.status_name();
+        body += R"(","partial":)";
+        body += candidate.partial ? "true" : "false";
+        body += '}';
+      }
+      body += "]}";
+    }
+    body += "]}";
+    return answer(200, std::move(body));
+  }
+
+  if (request.path == "/reload") {
+    if (request.method != "POST") return answer(405, R"({"error":"method not allowed"})");
+    std::string dir;
+    if (!request.body.empty()) {
+      std::optional<JsonValue> doc = parse_json(request.body);
+      if (!doc.has_value() || doc->kind != JsonValue::Kind::Object) {
+        return bad("body must be empty or a JSON object");
+      }
+      if (const JsonValue* d = doc->find("dir"); d != nullptr) {
+        if (d->kind != JsonValue::Kind::String || d->string.empty()) {
+          return bad("\"dir\" must be a non-empty string");
+        }
+        dir = d->string;
+      }
+    }
+    std::string error;
+    bool ok = dir.empty() ? service_.reload(&error) : service_.load(dir, &error);
+    if (!ok) {
+      reload_failures_.fetch_add(1, std::memory_order_relaxed);
+      return answer(500, R"({"ok":false,"error":")" + json_escape(error) + R"("})");
+    }
+    reloads_.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<const LookupGeneration> live = service_.snapshot();
+    return answer(200, R"({"ok":true,"generation":)" +
+                           std::to_string(live == nullptr ? 0 : live->generation) + '}');
+  }
+
+  return answer(404, R"({"error":"not found"})");
+}
+
+}  // namespace sigrec::core

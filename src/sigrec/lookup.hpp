@@ -1,0 +1,360 @@
+// The serving layer: selector -> candidate signatures, online.
+//
+// A finished scan leaves behind shard_NNN.sigdb files — append-only,
+// crash-tolerant, schedule-dependent byte order. Good for writers, wrong for
+// readers: answering one selector means replaying every record. This module
+// promotes the shard set into an online lookup service in three stages:
+//
+//  1. `compact_shards` rewrites each shard file into an immutable
+//     index_NNN.sigidx — a versioned, CRC-covered, selector-sorted index
+//     whose layout is a deterministic function of the record SET (not the
+//     append order), so recompacting the same scan yields byte-identical
+//     files and two fleets that scanned the same corpus can diff their
+//     indexes with cmp.
+//
+//  2. `LookupIndex` mmaps the compact files and answers
+//     `selector -> candidates` by binary search, zero allocation and zero
+//     validation on the hot path: every structural check (CRCs, table
+//     bounds, blob framing, field ranges) happens once at open, and a file
+//     that fails any of them is rejected whole — fail closed, never crash.
+//
+//  3. `LookupService` holds the live LookupIndex behind an atomic
+//     shared_ptr. A hot reload opens the new generation off to the side,
+//     then swaps one pointer; readers that began on the old generation keep
+//     serving from it, and the old mapping is unmapped when the last such
+//     reader drops its reference. A failed reload leaves the old generation
+//     serving. `LookupServer` puts that behind HTTP/JSON (the same in-tree
+//     HTTP/1.1 + JSON machinery RpcSource speaks from the client side) with
+//     a small thread pool, batched queries, /healthz, and /reload.
+//
+// Compact index file layout (all integers little-endian):
+//
+//   offset 0   u32  magic "SIGX"
+//          4   u32  format version
+//          8   u32  shard number (must match the file name)
+//         12   u32  shard_bits the database was routed with
+//         16   u32  selector_count
+//         20   u32  candidate_count (sum of per-selector ref counts)
+//         24   u32  payload_bytes
+//         28   u32  header CRC-32 over bytes [0, 28)
+//         32   selector table: selector_count x {u32 selector,
+//                 u32 first_ref, u32 ref_count} — selectors strictly
+//                 ascending, refs partitioning [0, candidate_count) in order
+//          +   ref table: candidate_count x u32 payload offset
+//          +   payload region: deduped blobs {u8 dialect, u8 status,
+//                 u8 partial, u8 reserved=0, u32 sig_len, sig bytes}
+//          +   u32  body CRC-32 over everything from offset 32 to here
+//
+// Candidates within a selector are ordered by their rendered text suffix
+// (signature, dialect name, status name, partial marker) — the same order
+// `sort` puts the merge_shards lines in — so a scripted client that queries
+// selectors in ascending order reproduces the merged TSV byte-for-byte.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "sigrec/pipeline.hpp"
+#include "sigrec/rpc.hpp"
+#include "sigrec/shard.hpp"
+
+namespace sigrec::core {
+
+// --- compact index format ----------------------------------------------------
+
+inline constexpr std::uint32_t kLookupIndexMagic = 0x58474953u;  // "SIGX" LE
+inline constexpr std::uint32_t kLookupIndexVersion = 1;
+inline constexpr std::size_t kLookupHeaderBytes = 32;
+inline constexpr std::size_t kLookupSelectorEntryBytes = 12;
+inline constexpr std::size_t kLookupBlobHeaderBytes = 8;
+// A signature rendering is a function name plus parameter type names; 1 MiB
+// is far beyond anything the compiler emits, so a bigger length field in a
+// blob is corruption, not data.
+inline constexpr std::uint32_t kMaxSignatureBytes = 1u << 20;
+
+// "index_000.sigidx" … — same fixed-width scheme as shard_file_name, so
+// directory order equals shard order.
+[[nodiscard]] std::string index_file_name(std::uint32_t shard);
+
+// Index files under `dir` (the compact_shards naming scheme), sorted.
+[[nodiscard]] std::vector<std::string> list_index_files(const std::string& dir);
+
+// Builds the compact index image for one shard from its records. Pure and
+// deterministic: the bytes depend only on the record SET (duplicates
+// collapse, order is irrelevant), which is what makes recompaction
+// byte-identical and shard_bits=0 vs 4 comparable. Exposed for tests; the
+// operational entry point is compact_shards below.
+[[nodiscard]] std::string build_index_bytes(std::uint32_t shard, int shard_bits,
+                                            const std::vector<SignatureRecord>& records);
+
+struct CompactStats {
+  LoadStats load;               // tolerant-load counters over the shard files
+  std::uint64_t shard_files = 0;  // shard files read
+  std::uint64_t index_files = 0;  // index files written
+  std::uint64_t records = 0;      // signature records decoded
+  std::uint64_t selectors = 0;    // distinct selectors indexed
+  std::uint64_t candidates = 0;   // candidates after per-selector dedup
+  std::uint64_t index_bytes = 0;  // total bytes across written index files
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Rewrites every shard file under `dir` into its compact index file (written
+// atomically beside it) and removes stale index files a previous compaction
+// with different settings may have left. `shard_bits` must be the value the
+// shards were routed with: every record is checked to route to its file's
+// shard, and a mismatch fails the whole compaction (a database compacted
+// with the wrong bits would silently answer wrong shards). Returns false
+// with `error` set on any failure; on success `stats` says what was built.
+[[nodiscard]] bool compact_shards(const std::string& dir, int shard_bits,
+                                  CompactStats* stats = nullptr, std::string* error = nullptr);
+
+// --- mmap reader -------------------------------------------------------------
+
+// One candidate signature for a selector. `signature` views into the mmap'd
+// payload region — valid for as long as the LookupIndex that produced it.
+struct Candidate {
+  std::string_view signature;
+  std::uint8_t dialect = 0;  // 0 solidity, 1 vyper
+  std::uint8_t status = 0;   // RecoveryStatus
+  bool partial = false;
+
+  [[nodiscard]] std::string_view dialect_name() const {
+    return dialect == 1 ? "vyper" : "solidity";
+  }
+  [[nodiscard]] std::string_view status_name() const;
+};
+
+// A zero-allocation view over one selector's candidates: pointers into the
+// mmap plus a count. Indexing decodes on the fly from the ref and payload
+// tables (both validated at open, so no checks remain here).
+class Candidates {
+ public:
+  Candidates() = default;
+  Candidates(const std::uint8_t* refs, const std::uint8_t* payload, std::size_t count)
+      : refs_(refs), payload_(payload), count_(count) {}
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] Candidate operator[](std::size_t i) const;
+
+ private:
+  const std::uint8_t* refs_ = nullptr;
+  const std::uint8_t* payload_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+// An immutable, mmap-backed view over every index file in a directory.
+// Opening validates each file completely (see layout above); lookups after
+// that touch only the mapped bytes. Thread-safe for any number of concurrent
+// readers — nothing is mutated after open.
+class LookupIndex {
+ public:
+  ~LookupIndex();
+  LookupIndex(const LookupIndex&) = delete;
+  LookupIndex& operator=(const LookupIndex&) = delete;
+
+  // Opens and validates every index_*.sigidx under `dir`. All files must
+  // carry the same shard_bits and distinct in-range shard numbers matching
+  // their names. Returns nullptr with `error` set when the directory has no
+  // index files or any file fails validation — fail closed: a service never
+  // serves from a half-valid index set.
+  [[nodiscard]] static std::shared_ptr<const LookupIndex> open(const std::string& dir,
+                                                               std::string* error = nullptr);
+
+  // The candidates for `selector`, empty when absent. Zero allocation.
+  [[nodiscard]] Candidates lookup(std::uint32_t selector) const;
+
+  [[nodiscard]] int shard_bits() const { return shard_bits_; }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] std::size_t shard_files() const { return mapped_files_; }
+  [[nodiscard]] std::uint64_t selector_count() const { return selector_count_; }
+  [[nodiscard]] std::uint64_t candidate_count() const { return candidate_count_; }
+
+ private:
+  LookupIndex() = default;
+
+  // One mmap'd index file. Absent shards (nothing routed there during the
+  // scan) keep base == nullptr and answer every lookup empty.
+  struct MappedShard {
+    const std::uint8_t* base = nullptr;
+    std::size_t bytes = 0;
+    const std::uint8_t* selectors = nullptr;  // selector table
+    const std::uint8_t* refs = nullptr;       // ref table
+    const std::uint8_t* payload = nullptr;    // payload region
+    std::uint32_t selector_count = 0;
+  };
+
+  std::string dir_;
+  int shard_bits_ = 0;
+  std::size_t mapped_files_ = 0;
+  std::uint64_t selector_count_ = 0;
+  std::uint64_t candidate_count_ = 0;
+  std::vector<MappedShard> shards_;  // indexed by shard number
+};
+
+// --- hot-swap service --------------------------------------------------------
+
+// One loaded generation: the index plus the metadata a response reports.
+// Immutable after publication; readers hold the whole struct via one
+// shared_ptr so generation number, directory, and index can never be
+// observed torn.
+struct LookupGeneration {
+  std::uint64_t generation = 0;
+  std::string dir;
+  std::shared_ptr<const LookupIndex> index;
+};
+
+// The live generation behind an atomic slot. `snapshot()` is the reader
+// hot path: a couple of uncontended atomic ops to copy one shared_ptr —
+// readers never wait on a reload, which builds the new generation entirely
+// off to the side. A failed load never disturbs the serving generation.
+// The old generation's mmap is released when the last reader that grabbed
+// it before the swap drops its snapshot.
+//
+// Not std::atomic<std::shared_ptr>: libstdc++ 12 guards its pointer with a
+// lock bit that load() releases with memory_order_relaxed, so the reader's
+// plain pointer copy and the next store()'s plain pointer write have no
+// happens-before edge — a formal data race TSan rightly reports. This slot
+// is the same lock-bit idea with the orders right: acquire to take the
+// bit, release to drop it, on both paths.
+class LookupService {
+ public:
+  // Loads `dir` and publishes it as the next generation. Serialized against
+  // concurrent load() calls; readers are never blocked behind the build.
+  [[nodiscard]] bool load(const std::string& dir, std::string* error = nullptr);
+
+  // Re-loads the current generation's directory (freshly recompacted shards
+  // picked up in place). False (old generation keeps serving) when nothing
+  // was ever loaded or the directory no longer validates.
+  [[nodiscard]] bool reload(std::string* error = nullptr);
+
+  // The current generation, or nullptr before the first successful load.
+  [[nodiscard]] std::shared_ptr<const LookupGeneration> snapshot() const {
+    lock_slot();
+    std::shared_ptr<const LookupGeneration> copy = live_;
+    unlock_slot();
+    return copy;
+  }
+
+ private:
+  void lock_slot() const {
+    while (slot_lock_.exchange(1, std::memory_order_acquire) != 0) {
+#if defined(__i386__) || defined(__x86_64__)
+      __builtin_ia32_pause();
+#endif
+    }
+  }
+  void unlock_slot() const { slot_lock_.store(0, std::memory_order_release); }
+
+  // Held for a shared_ptr copy or swap only — never across an index open,
+  // a refcount drop to zero, or anything else that can block.
+  mutable std::atomic<unsigned> slot_lock_{0};
+  std::shared_ptr<const LookupGeneration> live_;  // guarded by slot_lock_
+  std::mutex reload_mutex_;            // writers only
+  std::uint64_t next_generation_ = 1;  // guarded by reload_mutex_
+};
+
+// --- HTTP query server -------------------------------------------------------
+
+struct LookupServerOptions {
+  std::uint16_t port = 0;     // 0: ephemeral, read back via port()
+  unsigned threads = 4;       // worker pool size
+  std::size_t max_body = 1u << 20;   // request body cap -> 413 beyond
+  std::size_t max_batch = 1024;      // selectors per /lookup -> 400 beyond
+  int read_timeout_ms = 5000;        // slow-loris cutoff per request
+  std::size_t accept_backlog = 64;   // queued connections ahead of the pool
+};
+
+// Counters the tests assert on; all monotonic, all relaxed.
+struct LookupServerStats {
+  std::uint64_t connections = 0;    // accepted
+  std::uint64_t requests = 0;       // complete HTTP requests parsed
+  std::uint64_t served = 0;         // 200 responses
+  std::uint64_t bad_requests = 0;   // 4xx responses + unparseable connections
+  std::uint64_t selectors = 0;      // selectors looked up
+  std::uint64_t hits = 0;           // lookups with >= 1 candidate
+  std::uint64_t reloads = 0;        // successful /reload swaps
+  std::uint64_t reload_failures = 0;
+};
+
+// HTTP/1.1 front end over a LookupService. One acceptor thread feeds a
+// BoundedChannel of connections; `threads` workers drain it, each handling
+// one request per connection (Connection: close — the same one-exchange
+// contract http_post speaks). Endpoints:
+//
+//   GET  /healthz   {"ok":true,"generation":G,"dir":...,"shards":N,
+//                    "selectors":S,"candidates":C}
+//   POST /lookup    {"selectors":["0x12345678",...]} ->
+//                   {"generation":G,"results":[{"selector":...,
+//                    "candidates":[{"signature":...,"dialect":...,
+//                     "status":...,"partial":...},...]},...]}
+//   POST /reload    {} reloads the current directory; {"dir":"..."} loads a
+//                   new one. 200 with the new generation, or 500 and the
+//                   old generation keeps serving.
+//
+// Malformed requests get 400, unknown paths 404, wrong methods 405,
+// oversized bodies 413 — and the connection is closed either way, so a
+// hostile client costs one worker at most `read_timeout_ms`.
+class LookupServer {
+ public:
+  explicit LookupServer(LookupService& service, LookupServerOptions opts = {});
+  ~LookupServer();  // stop()
+
+  LookupServer(const LookupServer&) = delete;
+  LookupServer& operator=(const LookupServer&) = delete;
+
+  // Binds the listener and starts the pool. False with `error` set when the
+  // port cannot be bound.
+  [[nodiscard]] bool start(std::string* error = nullptr);
+  // Stops accepting, drains queued connections unserved, joins all threads.
+  // Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  [[nodiscard]] std::string url() const;
+  [[nodiscard]] LookupServerStats stats() const;
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void handle_connection(int fd);
+  [[nodiscard]] std::string handle_request(const HttpRequest& request, int& status);
+
+  LookupService& service_;
+  const LookupServerOptions opts_;
+  TcpListener listener_;
+  BoundedChannel<int> queue_;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mutex_;  // serializes the joins in stop()
+  bool started_ = false;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> bad_requests_{0};
+  std::atomic<std::uint64_t> selectors_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> reloads_{0};
+  std::atomic<std::uint64_t> reload_failures_{0};
+};
+
+// Renders one /lookup response line per candidate in the canonical TSV
+// shape (`0x<selector>\t<signature>\t<dialect>\t<status>[\tpartial]`), the
+// exact bytes `merge_shards` emits after its ordinal column — shared by the
+// CLI query client and the golden tests.
+[[nodiscard]] std::string render_candidate_row(std::uint32_t selector, const Candidate& c);
+
+// Strict selector parse: "0x" + exactly 8 hex digits (either case).
+[[nodiscard]] std::optional<std::uint32_t> parse_selector(std::string_view text);
+
+}  // namespace sigrec::core

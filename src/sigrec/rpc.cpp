@@ -1,6 +1,8 @@
 #include "sigrec/rpc.hpp"
 
+#include <arpa/inet.h>
 #include <netdb.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -561,6 +563,145 @@ bool http_post(const ParsedUrl& url, std::string_view body, int deadline_ms, Htt
   }
   result.body = std::move(full_body);
   return true;
+}
+
+// --- HTTP server half --------------------------------------------------------
+
+int open_loopback_listener(std::uint16_t port, std::uint16_t* actual_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  if (actual_port != nullptr) {
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) == 0) {
+      *actual_port = ntohs(addr.sin_port);
+    }
+  }
+  return fd;
+}
+
+HttpReadResult read_http_request(int fd, HttpRequest& request, std::size_t max_body,
+                                 int timeout_ms) {
+  Deadline deadline(timeout_ms);
+  std::string raw;
+  char buf[8192];
+  std::size_t header_end = std::string::npos;
+  std::size_t content_length = 0;
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof buf, MSG_DONTWAIT);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_fd(fd, POLLIN, deadline)) return HttpReadResult::Timeout;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      // EOF (or reset): nothing at all is a benign close; a torn request is
+      // the client's malformation.
+      return raw.empty() ? HttpReadResult::Closed : HttpReadResult::Malformed;
+    }
+    raw.append(buf, static_cast<std::size_t>(n));
+    if (header_end == std::string::npos) {
+      header_end = raw.find("\r\n\r\n");
+      if (header_end == std::string::npos) {
+        if (raw.size() > max_body) return HttpReadResult::TooLarge;
+        continue;
+      }
+      std::string_view headers(raw.data(), header_end);
+      if (std::optional<std::string> cl = find_header(headers, "Content-Length")) {
+        char* end = nullptr;
+        unsigned long long v = std::strtoull(cl->c_str(), &end, 10);
+        if (end == cl->c_str() || *end != '\0') return HttpReadResult::Malformed;
+        if (v > max_body) return HttpReadResult::TooLarge;
+        content_length = static_cast<std::size_t>(v);
+      }
+    }
+    if (raw.size() >= header_end + 4 + content_length) break;
+  }
+
+  // Request line: METHOD SP PATH SP HTTP/1.x
+  std::string_view line(raw.data(), std::min(header_end, raw.find("\r\n")));
+  std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return HttpReadResult::Malformed;
+  std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return HttpReadResult::Malformed;
+  std::string_view proto = line.substr(sp2 + 1);
+  if (proto.substr(0, 7) != "HTTP/1.") return HttpReadResult::Malformed;
+  request.method = std::string(line.substr(0, sp1));
+  request.path = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request.body = raw.substr(header_end + 4, content_length);
+  return HttpReadResult::Ok;
+}
+
+std::string http_response_message(int status, std::string_view body,
+                                  std::string_view content_type) {
+  const char* reason = "Error";
+  switch (status) {
+    case 200: reason = "OK"; break;
+    case 400: reason = "Bad Request"; break;
+    case 404: reason = "Not Found"; break;
+    case 405: reason = "Method Not Allowed"; break;
+    case 408: reason = "Request Timeout"; break;
+    case 413: reason = "Payload Too Large"; break;
+    case 429: reason = "Too Many Requests"; break;
+    case 500: reason = "Internal Server Error"; break;
+    default: break;
+  }
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+  out += "Content-Type: " + std::string(content_type) + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+bool http_send(int fd, std::string_view data, int timeout_ms) {
+  Deadline deadline(timeout_ms);
+  return send_all(fd, data, deadline, nullptr);
+}
+
+bool TcpListener::bind_loopback(std::uint16_t port, std::string* error) {
+  close();
+  std::uint16_t actual = 0;
+  int fd = open_loopback_listener(port, &actual);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = "cannot bind 127.0.0.1:" + std::to_string(port) + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  port_ = actual;
+  fd_.store(fd, std::memory_order_release);
+  return true;
+}
+
+int TcpListener::accept_client(int timeout_ms) {
+  int lfd = fd_.load(std::memory_order_acquire);
+  if (lfd < 0) return -1;
+  Deadline deadline(timeout_ms);
+  if (!wait_fd(lfd, POLLIN, deadline)) return -1;
+  // close() may have raced the poll; a closed listener answers -1, and a
+  // concurrent accept on the dead fd fails with EBADF rather than blocking.
+  if (fd_.load(std::memory_order_acquire) < 0) return -1;
+  int fd = ::accept(lfd, nullptr, nullptr);
+  return fd < 0 ? -1 : fd;
+}
+
+void TcpListener::close() {
+  int lfd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
 }
 
 // --- RpcSource ---------------------------------------------------------------

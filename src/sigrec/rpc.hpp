@@ -100,6 +100,85 @@ struct HttpResult {
 [[nodiscard]] bool http_post(const ParsedUrl& url, std::string_view body, int deadline_ms,
                              HttpResult& result, std::string* error);
 
+// --- HTTP server half --------------------------------------------------------
+//
+// The lookup service (lookup.hpp) and the fault-injecting mock node in the
+// test suite serve the same protocol this file's client speaks, so the
+// server-side primitives live here too: one place owns HTTP/1.1 framing in
+// both directions, and a wire-format fix lands on client, server, and test
+// fixture at once.
+
+// Opens a loopback TCP listener. `port` 0 binds an ephemeral port; the port
+// actually bound is written to `actual_port`. Returns the listening fd, or
+// -1 on failure. SO_REUSEADDR is set so a fixed port survives TIME_WAIT
+// pairs (the mock node's down/flap faults rebind the same port).
+[[nodiscard]] int open_loopback_listener(std::uint16_t port, std::uint16_t* actual_port = nullptr);
+
+// One parsed inbound HTTP request. Headers beyond Content-Length are
+// deliberately not retained — every consumer in this codebase dispatches on
+// method, path, and body alone.
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string body;
+};
+
+enum class HttpReadResult : std::uint8_t {
+  Ok,         // one complete request parsed
+  Closed,     // peer closed before sending anything (keep-alive drain, scans)
+  Timeout,    // deadline expired mid-request (slow-loris client)
+  TooLarge,   // headers or declared body beyond `max_body`
+  Malformed,  // not parseable as an HTTP/1.x request
+};
+
+// Reads one HTTP request from `fd` (blocking or non-blocking socket; waits
+// are poll-based) within `timeout_ms` of wall clock. The request line must
+// be `METHOD SP PATH SP HTTP/1.x`; the body length comes from
+// Content-Length (absent means empty). Bounded everywhere: header block and
+// body are each capped by `max_body`, so a hostile client cannot balloon
+// memory, and a stalled one cannot hold the reader past the deadline.
+[[nodiscard]] HttpReadResult read_http_request(int fd, HttpRequest& request,
+                                               std::size_t max_body, int timeout_ms);
+
+// Renders a complete HTTP/1.1 response (status line, Content-Type,
+// Content-Length, Connection: close, body). Knows the reason phrases this
+// codebase emits; anything else gets a generic one.
+[[nodiscard]] std::string http_response_message(int status, std::string_view body,
+                                                std::string_view content_type =
+                                                    "application/json");
+
+// Sends all of `data` within `timeout_ms`; false on error or timeout. The
+// send path never raises SIGPIPE — a client that resets mid-response costs
+// a false return, not the process.
+[[nodiscard]] bool http_send(int fd, std::string_view data, int timeout_ms);
+
+// RAII loopback listener with poll-based accept, for servers that own a
+// dedicated accept thread and want prompt, race-free shutdown: close() from
+// any thread makes the next accept_client() return -1.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { close(); }
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral). False with `error` set when the
+  // bind fails; a bound listener reports the actual port via port().
+  [[nodiscard]] bool bind_loopback(std::uint16_t port, std::string* error = nullptr);
+
+  // Accepts one connection, waiting at most `timeout_ms`. Returns the
+  // connected fd, or -1 on timeout or after close().
+  [[nodiscard]] int accept_client(int timeout_ms);
+
+  void close();
+  [[nodiscard]] bool ok() const { return fd_.load(std::memory_order_acquire) >= 0; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  std::atomic<int> fd_{-1};
+  std::uint16_t port_ = 0;
+};
+
 // --- RpcSource ---------------------------------------------------------------
 
 struct RpcOptions;

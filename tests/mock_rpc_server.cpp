@@ -1,7 +1,5 @@
 #include "mock_rpc_server.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -45,48 +43,17 @@ bool send_bytes(int fd, const std::string& data, std::size_t chunk, int delay_ms
   return true;
 }
 
-std::string http_response(int status, const std::string& body) {
-  const char* reason = status == 200   ? "OK"
-                       : status == 429 ? "Too Many Requests"
-                                       : "Error";
-  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + std::string(reason) + "\r\n";
-  out += "Content-Type: application/json\r\n";
-  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
-  out += "Connection: close\r\n\r\n";
-  out += body;
-  return out;
-}
-
-// Reads one HTTP request (headers + Content-Length body). The fixture only
-// needs the body; a client that never finishes sending is cut off by the
-// socket's receive timeout.
+// Reads one HTTP request and keeps only the body — the fixture dispatches on
+// JSON-RPC content alone. A client that never finishes sending is cut off by
+// the read deadline.
 bool read_request(int fd, std::string& body) {
-  std::string raw;
-  char buf[4096];
-  std::size_t header_end = std::string::npos;
-  std::size_t content_length = 0;
-  for (;;) {
-    ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return false;
-    raw.append(buf, static_cast<std::size_t>(n));
-    if (raw.size() > (16u << 20)) return false;
-    if (header_end == std::string::npos) {
-      header_end = raw.find("\r\n\r\n");
-      if (header_end != std::string::npos) {
-        std::size_t cl = raw.find("Content-Length:");
-        if (cl == std::string::npos) cl = raw.find("content-length:");
-        if (cl == std::string::npos || cl > header_end) return false;
-        content_length = static_cast<std::size_t>(
-            std::strtoull(raw.c_str() + cl + std::strlen("Content-Length:"), nullptr, 10));
-        if (content_length > (16u << 20)) return false;
-      }
-    }
-    if (header_end != std::string::npos && raw.size() >= header_end + 4 + content_length) {
-      body = raw.substr(header_end + 4, content_length);
-      return true;
-    }
+  core::HttpRequest request;
+  if (core::read_http_request(fd, request, 16u << 20, /*timeout_ms=*/5000) !=
+      core::HttpReadResult::Ok) {
+    return false;
   }
+  body = std::move(request.body);
+  return true;
 }
 
 // Sleeps `ms` in small increments so a stop() request is honored promptly.
@@ -162,24 +129,8 @@ MockRpcServer::MockRpcServer(std::map<std::string, std::string> code_by_address,
   for (auto& [address, code] : code_by_address) {
     code_by_address_.emplace(lowercased(address), std::move(code));
   }
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  listen_fd_ = core::open_loopback_listener(0, &port_);
   if (listen_fd_ < 0) return;
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  struct sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;  // ephemeral
-  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(listen_fd_, 16) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return;
-  }
-  socklen_t len = sizeof addr;
-  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), &len) == 0) {
-    port_ = ntohs(addr.sin_port);
-  }
   accept_thread_ = std::thread([this] { serve_loop(); });
 }
 
@@ -235,9 +186,7 @@ void MockRpcServer::serve_loop() {
       break;  // listener shut down
     }
     connections_.fetch_add(1, std::memory_order_relaxed);
-    // A client that stalls mid-request must not wedge the fixture.
-    struct timeval tv{5, 0};
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    // A client that stalls mid-request is cut off by read_request's deadline.
     Fault fault = next_fault();
     handle_connection(fd, fault);
     ::close(fd);
@@ -269,20 +218,10 @@ bool MockRpcServer::take_listener_down(int window_ms) {
   }
   if (!sleep_unless_stopping(window_ms, stopping_)) return false;
   // Rebind the SAME port so clients holding the old URL reach the revived
-  // node; SO_REUSEADDR makes the re-bind immune to lingering TIME_WAIT pairs.
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  // node; the helper's SO_REUSEADDR makes the re-bind immune to lingering
+  // TIME_WAIT pairs.
+  int fd = core::open_loopback_listener(port_);
   if (fd < 0) return false;
-  int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  struct sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port_);
-  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(fd, 16) != 0) {
-    ::close(fd);
-    return false;
-  }
   std::lock_guard<std::mutex> lock(listen_mutex_);
   if (stopping_.load(std::memory_order_relaxed)) {
     // stop() already ran its shutdown pass; installing a fresh listener now
@@ -323,12 +262,12 @@ void MockRpcServer::handle_connection(int fd, Fault fault) {
 
   if (fault.kind == Fault::Kind::Http429) {
     faults_injected_.fetch_add(1, std::memory_order_relaxed);
-    (void)send_bytes(fd, http_response(429, ""), 0, 0, stopping_);
+    (void)send_bytes(fd, core::http_response_message(429, ""), 0, 0, stopping_);
     return;
   }
   if (fault.kind == Fault::Kind::MalformedJson) {
     faults_injected_.fetch_add(1, std::memory_order_relaxed);
-    (void)send_bytes(fd, http_response(200, "{\"jsonrpc\":\"2.0\",,,not json["), 0, 0,
+    (void)send_bytes(fd, core::http_response_message(200, "{\"jsonrpc\":\"2.0\",,,not json["), 0, 0,
                      stopping_);
     return;
   }
@@ -389,7 +328,7 @@ void MockRpcServer::handle_connection(int fd, Fault fault) {
   } else {
     payload = R"({"jsonrpc":"2.0","id":null,"error":{"code":-32700,"message":"parse error"}})";
   }
-  std::string response = http_response(200, payload);
+  std::string response = core::http_response_message(200, payload);
 
   switch (fault.kind) {
     case Fault::Kind::CloseMidResponse: {

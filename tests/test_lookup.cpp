@@ -1,0 +1,630 @@
+// The compact lookup index: round trip through compact_shards, byte-identical
+// recompaction, binary-search edge cases, merge_shards ground-truth
+// equivalence across shard_bits, and the adversarial tier — truncations,
+// bit flips, and crafted structural bombs must all fail closed at open,
+// never crash, never serve partial data.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sigrec/lookup.hpp"
+#include "sigrec/persist.hpp"
+#include "sigrec/shard.hpp"
+#include "symexec/budget.hpp"
+
+namespace sigrec {
+namespace {
+
+using core::Candidate;
+using core::Candidates;
+using core::CompactStats;
+using core::LookupIndex;
+using core::SignatureRecord;
+
+std::string temp_dir(const char* name) {
+  std::string dir =
+      testing::TempDir() + "sigrec_lookup_" + name + "." + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+void remove_tree(const std::string& dir) {
+  for (const std::string& file : core::list_shard_files(dir)) std::remove(file.c_str());
+  for (const std::string& file : core::list_index_files(dir)) std::remove(file.c_str());
+  ::rmdir(dir.c_str());
+}
+
+SignatureRecord make_record(std::uint32_t selector, const std::string& signature,
+                            std::uint8_t dialect = 0,
+                            core::RecoveryStatus status = core::RecoveryStatus::Complete,
+                            std::uint8_t partial = 0, std::uint64_t ordinal = 0) {
+  SignatureRecord rec;
+  rec.ordinal = ordinal;
+  rec.fn_index = 0;
+  rec.selector = selector;
+  rec.signature = signature;
+  rec.dialect = dialect;
+  rec.status = static_cast<std::uint8_t>(status);
+  rec.partial = partial;
+  return rec;
+}
+
+// Writes `records` as framed shard files under `dir`, routed by `shard_bits`
+// — the on-disk state a finished scan leaves behind.
+void write_shards(const std::string& dir, const std::vector<SignatureRecord>& records,
+                  int shard_bits) {
+  std::map<std::uint32_t, std::string> framed;
+  std::uint64_t ordinal = 0;
+  for (SignatureRecord rec : records) {
+    if (rec.ordinal == 0) rec.ordinal = ++ordinal;  // unique merge identity
+    core::Encoder enc;
+    core::encode_signature_record(enc, rec);
+    core::append_record(framed[core::shard_of_selector(rec.selector, shard_bits)],
+                        core::kRecordSignatureEntry, enc.bytes());
+  }
+  for (const auto& [shard, bytes] : framed) {
+    ASSERT_TRUE(
+        core::append_file_bytes(dir + "/" + core::shard_file_name(shard), bytes));
+  }
+}
+
+std::shared_ptr<const LookupIndex> compact_and_open(const std::string& dir, int shard_bits) {
+  std::string error;
+  EXPECT_TRUE(core::compact_shards(dir, shard_bits, nullptr, &error)) << error;
+  std::shared_ptr<const LookupIndex> index = LookupIndex::open(dir, &error);
+  EXPECT_NE(index, nullptr) << error;
+  return index;
+}
+
+// Renders every candidate of every distinct selector in ascending order —
+// the scripted-client traversal the CI smoke job performs.
+std::string render_all(const LookupIndex& index, const std::vector<SignatureRecord>& records) {
+  std::set<std::uint32_t> selectors;
+  for (const SignatureRecord& rec : records) selectors.insert(rec.selector);
+  std::string out;
+  for (std::uint32_t selector : selectors) {
+    Candidates candidates = index.lookup(selector);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      out += core::render_candidate_row(selector, candidates[i]);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+// The ground truth: merge_shards output with the ordinal column dropped,
+// deduplicated and sorted byte-lexicographically (`cut -f2- | sort -u`).
+std::string merged_ground_truth(const std::string& dir) {
+  std::string merged = core::merge_shards(core::list_shard_files(dir));
+  std::set<std::string> rows;
+  std::size_t pos = 0;
+  while (pos < merged.size()) {
+    std::size_t eol = merged.find('\n', pos);
+    if (eol == std::string::npos) eol = merged.size();
+    std::string line = merged.substr(pos, eol - pos);
+    pos = eol + 1;
+    std::size_t tab = line.find('\t');
+    if (tab != std::string::npos) rows.insert(line.substr(tab + 1));
+  }
+  std::string out;
+  for (const std::string& row : rows) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<SignatureRecord> mixed_corpus() {
+  using core::RecoveryStatus;
+  std::vector<SignatureRecord> records;
+  // Selectors spread across every top nibble so shard_bits=4 populates many
+  // shards; a few selectors carry multiple distinct candidates.
+  records.push_back(make_record(0x00000000u, "0x00000000(uint256)"));
+  records.push_back(make_record(0x00000001u, "0x00000001(address,bytes)"));
+  records.push_back(make_record(0x1badf00du, "0x1badf00d(bool)", 1));
+  records.push_back(make_record(0x22222222u, "0x22222222(string)", 0,
+                                RecoveryStatus::DeadlineExceeded, 1));
+  records.push_back(make_record(0x33333333u, "0x33333333(uint8[4])"));
+  records.push_back(make_record(0x4550a289u, "0x4550a289(bytes,bytes32)"));
+  records.push_back(make_record(0x55555555u, "0x55555555()", 1,
+                                RecoveryStatus::PathBudgetExhausted));
+  records.push_back(make_record(0x66666666u, "0x66666666(int128)"));
+  records.push_back(make_record(0x77777777u, "0x77777777(uint256[],address[])"));
+  records.push_back(make_record(0x8fff0000u, "0x8fff0000(bytes4)"));
+  records.push_back(make_record(0x9abcdef0u, "0x9abcdef0(address)"));
+  records.push_back(make_record(0xa9059cbbu, "0xa9059cbb(address,uint256)"));
+  // Same selector, two dialect candidates — both must come back, in the
+  // rendered-text order.
+  records.push_back(make_record(0xa9059cbbu, "0xa9059cbb(address,uint128)", 1));
+  records.push_back(make_record(0xbbbbbbbbu, "0xbbbbbbbb(string,string)"));
+  records.push_back(make_record(0xccccccccu, "0xcccccccc(uint32)", 0,
+                                RecoveryStatus::StepBudgetExhausted, 1));
+  records.push_back(make_record(0xdeadbeefu, "0xdeadbeef(uint256,uint256)"));
+  records.push_back(make_record(0xeeeeeeeeu, "0xeeeeeeee(bytes)"));
+  records.push_back(make_record(0xffffffffu, "0xffffffff(bool,bool)"));
+  return records;
+}
+
+// Recomputes both CRCs after a deliberate patch, so structural checks — not
+// the checksums — are what reject the crafted image.
+void fix_crcs(std::string& image) {
+  auto span_of = [&image](std::size_t off, std::size_t len) {
+    return std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(image.data()) + off, len);
+  };
+  auto put = [&image](std::size_t off, std::uint32_t v) {
+    std::memcpy(image.data() + off, &v, sizeof v);
+  };
+  put(28, core::crc32(span_of(0, 28)));
+  put(image.size() - 4, core::crc32(span_of(32, image.size() - 36)));
+}
+
+void patch_u32(std::string& image, std::size_t off, std::uint32_t v) {
+  std::memcpy(image.data() + off, &v, sizeof v);
+}
+
+// Writes `image` as the only index file of a fresh dir and reports whether
+// LookupIndex::open accepts it.
+bool opens(const std::string& image, const char* name) {
+  std::string dir = temp_dir(name);
+  EXPECT_TRUE(core::atomic_write_file(dir + "/" + core::index_file_name(0), image));
+  std::string error;
+  std::shared_ptr<const LookupIndex> index = LookupIndex::open(dir, &error);
+  remove_tree(dir);
+  return index != nullptr;
+}
+
+// --- naming ------------------------------------------------------------------
+
+TEST(LookupFormatTest, IndexFileNamesAreFixedWidth) {
+  EXPECT_EQ(core::index_file_name(0), "index_000.sigidx");
+  EXPECT_EQ(core::index_file_name(7), "index_007.sigidx");
+  EXPECT_EQ(core::index_file_name(255), "index_255.sigidx");
+}
+
+// --- round trip --------------------------------------------------------------
+
+TEST(LookupRoundTrip, CompactThenLookupReturnsEveryRecord) {
+  std::string dir = temp_dir("roundtrip");
+  std::vector<SignatureRecord> records = mixed_corpus();
+  write_shards(dir, records, /*shard_bits=*/4);
+
+  CompactStats stats;
+  std::string error;
+  ASSERT_TRUE(core::compact_shards(dir, 4, &stats, &error)) << error;
+  EXPECT_EQ(stats.records, records.size());
+  EXPECT_EQ(stats.candidates, records.size());  // corpus has no duplicates
+  EXPECT_EQ(stats.index_files, stats.shard_files);
+
+  std::shared_ptr<const LookupIndex> index = LookupIndex::open(dir, &error);
+  ASSERT_NE(index, nullptr) << error;
+  EXPECT_EQ(index->shard_bits(), 4);
+  EXPECT_EQ(index->candidate_count(), records.size());
+
+  for (const SignatureRecord& rec : records) {
+    Candidates candidates = index->lookup(rec.selector);
+    ASSERT_FALSE(candidates.empty()) << rec.signature;
+    bool found = false;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      Candidate c = candidates[i];
+      if (c.signature == rec.signature) {
+        found = true;
+        EXPECT_EQ(c.dialect, rec.dialect);
+        EXPECT_EQ(static_cast<std::uint8_t>(c.status), rec.status);
+        EXPECT_EQ(c.partial, rec.partial != 0);
+      }
+    }
+    EXPECT_TRUE(found) << rec.signature;
+  }
+  remove_tree(dir);
+}
+
+TEST(LookupRoundTrip, RecompactionIsByteIdentical) {
+  std::string dir = temp_dir("recompact");
+  std::vector<SignatureRecord> records = mixed_corpus();
+  write_shards(dir, records, 4);
+  ASSERT_TRUE(core::compact_shards(dir, 4));
+
+  std::map<std::string, std::string> first;
+  for (const std::string& file : core::list_index_files(dir)) {
+    first[file] = *core::read_file_bytes(file);
+  }
+  ASSERT_FALSE(first.empty());
+
+  // Rewrite the shard files with the records in reverse order and some
+  // re-appended (a resumed scan); the SET is unchanged, so every index file
+  // must come back byte-identical.
+  for (const std::string& file : core::list_shard_files(dir)) std::remove(file.c_str());
+  std::vector<SignatureRecord> shuffled(records.rbegin(), records.rend());
+  shuffled.push_back(records[3]);
+  shuffled.push_back(records[7]);
+  write_shards(dir, shuffled, 4);
+  ASSERT_TRUE(core::compact_shards(dir, 4));
+
+  for (const auto& [file, bytes] : first) {
+    EXPECT_EQ(*core::read_file_bytes(file), bytes) << file;
+  }
+  remove_tree(dir);
+}
+
+TEST(LookupRoundTrip, BuildIndexBytesDependsOnlyOnTheRecordSet) {
+  std::vector<SignatureRecord> records = mixed_corpus();
+  std::string image = core::build_index_bytes(0, 0, records);
+  ASSERT_FALSE(image.empty());
+
+  std::vector<SignatureRecord> shuffled = records;
+  std::mt19937 rng(7);
+  std::shuffle(shuffled.begin(), shuffled.end(), rng);
+  shuffled.insert(shuffled.end(), records.begin(), records.begin() + 4);  // dupes
+  EXPECT_EQ(core::build_index_bytes(0, 0, shuffled), image);
+
+  // Ordinal and fn_index are merge identity, not lookup payload: changing
+  // them must not move a byte of the index.
+  std::vector<SignatureRecord> renumbered = records;
+  for (SignatureRecord& rec : renumbered) rec.ordinal += 1000;
+  EXPECT_EQ(core::build_index_bytes(0, 0, renumbered), image);
+}
+
+TEST(LookupRoundTrip, EmptyShardYieldsAValidEmptyIndex) {
+  std::string dir = temp_dir("empty");
+  // A scan that recovered nothing still leaves a shard file behind.
+  ASSERT_TRUE(core::append_file_bytes(dir + "/" + core::shard_file_name(0), ""));
+  std::shared_ptr<const LookupIndex> index = compact_and_open(dir, 0);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->selector_count(), 0u);
+  EXPECT_EQ(index->candidate_count(), 0u);
+  EXPECT_TRUE(index->lookup(0x00000000u).empty());
+  EXPECT_TRUE(index->lookup(0xffffffffu).empty());
+  remove_tree(dir);
+}
+
+TEST(LookupRoundTrip, CompactRemovesStaleIndexFiles) {
+  std::string dir = temp_dir("stale");
+  write_shards(dir, mixed_corpus(), 4);
+  ASSERT_TRUE(core::compact_shards(dir, 4));
+  ASSERT_GT(core::list_index_files(dir).size(), 1u);
+
+  // Re-scan the same corpus unsharded: the single new index must be the only
+  // one left, or a reader would mix generations.
+  for (const std::string& file : core::list_shard_files(dir)) std::remove(file.c_str());
+  write_shards(dir, mixed_corpus(), 0);
+  ASSERT_TRUE(core::compact_shards(dir, 0));
+  std::vector<std::string> files = core::list_index_files(dir);
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_NE(files[0].find("index_000"), std::string::npos);
+  remove_tree(dir);
+}
+
+// --- binary search edges -----------------------------------------------------
+
+TEST(LookupBinarySearch, EdgeAndAbsentSelectors) {
+  std::string dir = temp_dir("edges");
+  std::vector<SignatureRecord> records;
+  records.push_back(make_record(0x00000000u, "0x00000000(uint256)"));
+  records.push_back(make_record(0x00000002u, "0x00000002(bool)"));
+  records.push_back(make_record(0x80000000u, "0x80000000(address)"));
+  records.push_back(make_record(0xfffffffeu, "0xfffffffe(bytes)"));
+  records.push_back(make_record(0xffffffffu, "0xffffffff(string)"));
+  write_shards(dir, records, 0);
+  std::shared_ptr<const LookupIndex> index = compact_and_open(dir, 0);
+  ASSERT_NE(index, nullptr);
+
+  for (const SignatureRecord& rec : records) {
+    Candidates candidates = index->lookup(rec.selector);
+    ASSERT_EQ(candidates.size(), 1u) << rec.signature;
+    EXPECT_EQ(candidates[0].signature, rec.signature);
+  }
+  // Absent: below min (impossible here — 0 is present), between neighbors,
+  // and just inside both ends of the table.
+  EXPECT_TRUE(index->lookup(0x00000001u).empty());
+  EXPECT_TRUE(index->lookup(0x00000003u).empty());
+  EXPECT_TRUE(index->lookup(0x7fffffffu).empty());
+  EXPECT_TRUE(index->lookup(0x80000001u).empty());
+  EXPECT_TRUE(index->lookup(0xfffffffdu).empty());
+  remove_tree(dir);
+}
+
+// --- merge_shards equivalence ------------------------------------------------
+
+TEST(LookupEquivalence, ShardBitsZeroAndFourMatchMergeShardsGroundTruth) {
+  std::vector<SignatureRecord> records = mixed_corpus();
+  std::string rendered[2];
+  std::string truth[2];
+  int bits[2] = {0, 4};
+  for (int i = 0; i < 2; ++i) {
+    std::string dir = temp_dir(i == 0 ? "equiv0" : "equiv4");
+    write_shards(dir, records, bits[i]);
+    truth[i] = merged_ground_truth(dir);
+    std::shared_ptr<const LookupIndex> index = compact_and_open(dir, bits[i]);
+    ASSERT_NE(index, nullptr);
+    rendered[i] = render_all(*index, records);
+    remove_tree(dir);
+  }
+  ASSERT_FALSE(truth[0].empty());
+  EXPECT_EQ(rendered[0], truth[0]);  // lookup reproduces the merged TSV
+  EXPECT_EQ(rendered[1], truth[1]);
+  EXPECT_EQ(rendered[0], rendered[1]);  // sharding never changes answers
+  EXPECT_EQ(truth[0], truth[1]);
+}
+
+// --- compaction guards -------------------------------------------------------
+
+TEST(LookupCompactGuards, RejectsRecordsRoutedWithDifferentBits) {
+  std::string dir = temp_dir("wrongbits");
+  // Written unsharded: every selector lands in shard 0, including ones whose
+  // top nibble says shard 15. Compacting with bits=4 must refuse.
+  write_shards(dir, mixed_corpus(), 0);
+  std::string error;
+  EXPECT_FALSE(core::compact_shards(dir, 4, nullptr, &error));
+  EXPECT_FALSE(error.empty());
+  remove_tree(dir);
+}
+
+TEST(LookupCompactGuards, RejectsAnEmptyDirectory) {
+  std::string dir = temp_dir("nodir");
+  std::string error;
+  EXPECT_FALSE(core::compact_shards(dir, 0, nullptr, &error));
+  EXPECT_FALSE(error.empty());
+  remove_tree(dir);
+}
+
+TEST(LookupOpenGuards, RejectsADirectoryWithNoIndexFiles) {
+  std::string dir = temp_dir("noindex");
+  std::string error;
+  EXPECT_EQ(LookupIndex::open(dir, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+  remove_tree(dir);
+}
+
+TEST(LookupOpenGuards, RejectsInconsistentShardBitsAcrossFiles) {
+  std::string dir = temp_dir("mixedbits");
+  write_shards(dir, mixed_corpus(), 4);
+  ASSERT_TRUE(core::compact_shards(dir, 4));
+  std::vector<std::string> files = core::list_index_files(dir);
+  ASSERT_GT(files.size(), 1u);
+  // One file claims it was routed with different bits: the set is no longer
+  // one database, so the whole open must fail.
+  std::string image = *core::read_file_bytes(files[1]);
+  patch_u32(image, 12, 3);
+  fix_crcs(image);
+  ASSERT_TRUE(core::atomic_write_file(files[1], image));
+  std::string error;
+  EXPECT_EQ(LookupIndex::open(dir, &error), nullptr);
+  remove_tree(dir);
+}
+
+TEST(LookupOpenGuards, RejectsAShardNumberThatContradictsTheFileName) {
+  std::string dir = temp_dir("dupshard");
+  write_shards(dir, mixed_corpus(), 4);
+  ASSERT_TRUE(core::compact_shards(dir, 4));
+  std::vector<std::string> files = core::list_index_files(dir);
+  ASSERT_GT(files.size(), 1u);
+  // Copy one shard's image over another file name — the embedded shard
+  // number now contradicts the name, which is how a botched rsync looks.
+  std::string image = *core::read_file_bytes(files[0]);
+  ASSERT_TRUE(core::atomic_write_file(files[1], image));
+  EXPECT_EQ(LookupIndex::open(dir), nullptr);
+  remove_tree(dir);
+}
+
+// --- corruption: truncation and bit flips ------------------------------------
+
+// A small but fully populated image for the exhaustive sweeps: multiple
+// selectors, a shared-payload duplicate, every header field meaningful.
+std::string small_image() {
+  std::vector<SignatureRecord> records;
+  records.push_back(make_record(0x11111111u, "0x11111111(uint256)"));
+  records.push_back(make_record(0x22222222u, "0x22222222(address,bool)", 1));
+  records.push_back(make_record(0x33333333u, "0x33333333(bytes)", 0,
+                                core::RecoveryStatus::DeadlineExceeded, 1));
+  std::string image = core::build_index_bytes(0, 0, records);
+  EXPECT_FALSE(image.empty());
+  return image;
+}
+
+TEST(LookupCorruption, EveryTruncationPointIsRejected) {
+  std::string image = small_image();
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    EXPECT_FALSE(opens(image.substr(0, len), "trunc"))
+        << "truncation to " << len << " bytes was accepted";
+  }
+  EXPECT_TRUE(opens(image, "trunc_full"));
+}
+
+TEST(LookupCorruption, EveryBitFlipIsRejected) {
+  std::string image = small_image();
+  for (std::size_t byte = 0; byte < image.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = image;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      EXPECT_FALSE(opens(flipped, "flip"))
+          << "flip of byte " << byte << " bit " << bit << " was accepted";
+    }
+  }
+}
+
+TEST(LookupCorruption, TrailingGarbageIsRejected) {
+  std::string image = small_image();
+  EXPECT_FALSE(opens(image + std::string(1, '\0'), "tail1"));
+  EXPECT_FALSE(opens(image + "garbage", "tailN"));
+}
+
+// --- corruption: structural bombs with valid checksums -----------------------
+//
+// Bit flips only prove the CRCs work. These images carry deliberately hostile
+// structure UNDER recomputed checksums, so the structural validators are the
+// only line of defense — exactly the adversary a checksum cannot stop.
+
+TEST(LookupCorruption, BadMagicAndVersionAreRejected) {
+  std::string image = small_image();
+  std::string bad = image;
+  patch_u32(bad, 0, 0x4b434148u);  // not "SIGX"
+  fix_crcs(bad);
+  EXPECT_FALSE(opens(bad, "magic"));
+
+  bad = image;
+  patch_u32(bad, 4, core::kLookupIndexVersion + 1);
+  fix_crcs(bad);
+  EXPECT_FALSE(opens(bad, "version"));
+}
+
+TEST(LookupCorruption, OversizedCountBombsAreRejected) {
+  std::string image = small_image();
+  // selector_count far past the file: the u64 size math must reject it
+  // without ever touching unmapped memory.
+  std::string bad = image;
+  patch_u32(bad, 16, 0xffffffffu);
+  fix_crcs(bad);
+  EXPECT_FALSE(opens(bad, "selcount"));
+
+  bad = image;
+  patch_u32(bad, 20, 0xffffffffu);  // candidate_count bomb
+  fix_crcs(bad);
+  EXPECT_FALSE(opens(bad, "candcount"));
+
+  bad = image;
+  patch_u32(bad, 24, 0xffffffffu);  // payload_bytes bomb
+  fix_crcs(bad);
+  EXPECT_FALSE(opens(bad, "paybytes"));
+
+  bad = image;
+  patch_u32(bad, 16, 2);  // one selector short of the truth: size mismatch
+  fix_crcs(bad);
+  EXPECT_FALSE(opens(bad, "seloff"));
+}
+
+TEST(LookupCorruption, RefOffsetBombsAreRejected) {
+  std::string image = small_image();
+  std::uint32_t selector_count = 0;
+  std::uint32_t payload_bytes = 0;
+  std::memcpy(&selector_count, image.data() + 16, 4);
+  std::memcpy(&payload_bytes, image.data() + 24, 4);
+  std::size_t refs_off = core::kLookupHeaderBytes +
+                         std::size_t{selector_count} * core::kLookupSelectorEntryBytes;
+
+  // Past the payload region entirely.
+  std::string bad = image;
+  patch_u32(bad, refs_off, payload_bytes);
+  fix_crcs(bad);
+  EXPECT_FALSE(opens(bad, "refpast"));
+
+  // Into the middle of a blob — framing would misparse, so open must refuse.
+  bad = image;
+  patch_u32(bad, refs_off, 1);
+  fix_crcs(bad);
+  EXPECT_FALSE(opens(bad, "refmid"));
+}
+
+TEST(LookupCorruption, BlobLengthBombIsRejected) {
+  std::string image = small_image();
+  std::uint32_t selector_count = 0;
+  std::uint32_t candidate_count = 0;
+  std::memcpy(&selector_count, image.data() + 16, 4);
+  std::memcpy(&candidate_count, image.data() + 20, 4);
+  std::size_t payload_off = core::kLookupHeaderBytes +
+                            std::size_t{selector_count} * core::kLookupSelectorEntryBytes +
+                            std::size_t{candidate_count} * 4;
+  // First blob's sig_len claims a signature bigger than the file.
+  std::string bad = image;
+  patch_u32(bad, payload_off + 4, 0x7fffffffu);
+  fix_crcs(bad);
+  EXPECT_FALSE(opens(bad, "bloblen"));
+}
+
+TEST(LookupCorruption, UnsortedSelectorTableIsRejected) {
+  std::string image = small_image();
+  // Swap the first two 12-byte selector entries: binary search's precondition
+  // is gone, so open must refuse rather than serve wrong answers.
+  std::string bad = image;
+  char tmp[core::kLookupSelectorEntryBytes];
+  std::memcpy(tmp, bad.data() + 32, sizeof tmp);
+  std::memcpy(bad.data() + 32, bad.data() + 32 + sizeof tmp, sizeof tmp);
+  std::memcpy(bad.data() + 32 + sizeof tmp, tmp, sizeof tmp);
+  fix_crcs(bad);
+  EXPECT_FALSE(opens(bad, "unsorted"));
+}
+
+TEST(LookupCorruption, RefTableThatDoesNotPartitionIsRejected) {
+  std::string image = small_image();
+  // First selector claims two refs: the running partition of
+  // [0, candidate_count) breaks.
+  std::string bad = image;
+  patch_u32(bad, 32 + 8, 2);
+  fix_crcs(bad);
+  EXPECT_FALSE(opens(bad, "partition"));
+}
+
+TEST(LookupCorruption, OutOfRangeCandidateFieldsAreRejected) {
+  std::string image = small_image();
+  std::uint32_t selector_count = 0;
+  std::uint32_t candidate_count = 0;
+  std::memcpy(&selector_count, image.data() + 16, 4);
+  std::memcpy(&candidate_count, image.data() + 20, 4);
+  std::size_t payload_off = core::kLookupHeaderBytes +
+                            std::size_t{selector_count} * core::kLookupSelectorEntryBytes +
+                            std::size_t{candidate_count} * 4;
+  // dialect 9 is neither solidity nor vyper.
+  std::string bad = image;
+  bad[payload_off] = 9;
+  fix_crcs(bad);
+  EXPECT_FALSE(opens(bad, "dialect"));
+
+  // status past kRecoveryStatusCount.
+  bad = image;
+  bad[payload_off + 1] = 99;
+  fix_crcs(bad);
+  EXPECT_FALSE(opens(bad, "status"));
+
+  // reserved byte must stay zero (it is format headroom, not a scratch pad).
+  bad = image;
+  bad[payload_off + 3] = 1;
+  fix_crcs(bad);
+  EXPECT_FALSE(opens(bad, "reserved"));
+}
+
+// --- rendering and parsing ---------------------------------------------------
+
+TEST(LookupUtilTest, ParseSelectorIsStrict) {
+  EXPECT_EQ(core::parse_selector("0x00000000"), 0u);
+  EXPECT_EQ(core::parse_selector("0xa9059cbb"), 0xa9059cbbu);
+  EXPECT_EQ(core::parse_selector("0xDEADBEEF"), 0xdeadbeefu);
+  EXPECT_EQ(core::parse_selector("0xDeadBeef"), 0xdeadbeefu);
+  EXPECT_EQ(core::parse_selector("0xffffffff"), 0xffffffffu);
+
+  EXPECT_FALSE(core::parse_selector("").has_value());
+  EXPECT_FALSE(core::parse_selector("0x").has_value());
+  EXPECT_FALSE(core::parse_selector("a9059cbb").has_value());
+  EXPECT_FALSE(core::parse_selector("0xa9059cb").has_value());    // 7 digits
+  EXPECT_FALSE(core::parse_selector("0xa9059cbb0").has_value());  // 9 digits
+  EXPECT_FALSE(core::parse_selector("0xa9059cbg").has_value());   // bad hex
+  EXPECT_FALSE(core::parse_selector("0x a9059cb").has_value());
+  EXPECT_FALSE(core::parse_selector("0xa9059cbb\n").has_value());
+}
+
+TEST(LookupUtilTest, RenderCandidateRowMatchesTheMergedShape) {
+  Candidate c;
+  c.signature = "0xa9059cbb(address,uint256)";
+  c.dialect = 0;
+  c.status = static_cast<std::uint8_t>(core::RecoveryStatus::Complete);
+  c.partial = false;
+  EXPECT_EQ(core::render_candidate_row(0xa9059cbbu, c),
+            "0xa9059cbb\t0xa9059cbb(address,uint256)\tsolidity\tcomplete");
+  c.dialect = 1;
+  c.status = static_cast<std::uint8_t>(core::RecoveryStatus::DeadlineExceeded);
+  c.partial = true;
+  EXPECT_EQ(core::render_candidate_row(0x00000001u, c),
+            "0x00000001\t0xa9059cbb(address,uint256)\tvyper\tdeadline\tpartial");
+}
+
+}  // namespace
+}  // namespace sigrec

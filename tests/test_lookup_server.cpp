@@ -1,0 +1,388 @@
+// The HTTP front end under hostile clients. MockRpcServer throws its fault
+// vocabulary at OUR client; here the same vocabulary is thrown from the
+// client side at OUR server: malformed JSON, oversized bodies, slow-loris
+// trickles, and hard resets mid-exchange must each cost a 4xx or a closed
+// connection — never a crash, never a wedged worker. Golden request/response
+// pairs under tests/golden/ pin the exact wire bytes.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sigrec/lookup.hpp"
+#include "sigrec/persist.hpp"
+#include "sigrec/rpc.hpp"
+#include "sigrec/shard.hpp"
+
+namespace sigrec {
+namespace {
+
+using core::LookupServer;
+using core::LookupServerOptions;
+using core::LookupService;
+using core::SignatureRecord;
+
+std::string temp_dir(const char* name) {
+  std::string dir =
+      testing::TempDir() + "sigrec_lksrv_" + name + "." + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+void remove_tree(const std::string& dir) {
+  for (const std::string& file : core::list_shard_files(dir)) std::remove(file.c_str());
+  for (const std::string& file : core::list_index_files(dir)) std::remove(file.c_str());
+  ::rmdir(dir.c_str());
+}
+
+// The fixed record set behind every test and every golden file: one plain
+// solidity hit, one vyper partial, plus a selector that stays absent.
+std::string make_fixture_dir(const char* name, const std::string& suffix = "") {
+  std::string dir = temp_dir(name);
+  std::string framed;
+  SignatureRecord rec;
+  rec.ordinal = 1;
+  rec.selector = 0xa9059cbbu;
+  rec.signature = "0xa9059cbb(address,uint256" + suffix + ")";
+  core::Encoder enc;
+  core::encode_signature_record(enc, rec);
+  core::append_record(framed, core::kRecordSignatureEntry, enc.bytes());
+
+  SignatureRecord rec2;
+  rec2.ordinal = 2;
+  rec2.selector = 0xdeadbeefu;
+  rec2.signature = "0xdeadbeef(bool" + suffix + ")";
+  rec2.dialect = 1;
+  rec2.status = static_cast<std::uint8_t>(core::RecoveryStatus::DeadlineExceeded);
+  rec2.partial = 1;
+  core::Encoder enc2;
+  core::encode_signature_record(enc2, rec2);
+  core::append_record(framed, core::kRecordSignatureEntry, enc2.bytes());
+
+  EXPECT_TRUE(core::append_file_bytes(dir + "/" + core::shard_file_name(0), framed));
+  EXPECT_TRUE(core::compact_shards(dir, 0));
+  return dir;
+}
+
+int connect_to(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    ssize_t n = ::send(fd, data.data() + pos, data.size() - pos, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    pos += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Reads until the server closes (its Connection: close contract) or the
+// deadline passes; returns everything received.
+std::string recv_until_close(int fd, int timeout_ms = 5000) {
+  struct timeval tv{timeout_ms / 1000, (timeout_ms % 1000) * 1000};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+// One raw wire exchange: the byte-level client the golden tests need.
+std::string exchange(std::uint16_t port, std::string_view raw_request) {
+  int fd = connect_to(port);
+  EXPECT_GE(fd, 0);
+  if (fd < 0) return {};
+  EXPECT_TRUE(send_all(fd, raw_request));
+  std::string response = recv_until_close(fd);
+  ::close(fd);
+  return response;
+}
+
+int status_of(const std::string& response) {
+  int status = 0;
+  std::sscanf(response.c_str(), "HTTP/1.1 %d", &status);
+  return status;
+}
+
+std::string body_of(const std::string& response) {
+  std::size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? std::string() : response.substr(pos + 4);
+}
+
+std::string post_body(std::string_view path, std::string_view body) {
+  std::string req = "POST ";
+  req += path;
+  req += " HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n";
+  req += body;
+  return req;
+}
+
+// A live server over the fixture directory, torn down with the test.
+struct ServerFixture {
+  std::string dir;
+  LookupService service;
+  std::unique_ptr<LookupServer> server;
+
+  explicit ServerFixture(const char* name, LookupServerOptions opts = {}) {
+    dir = make_fixture_dir(name);
+    EXPECT_TRUE(service.load(dir));
+    opts.threads = opts.threads == 0 ? 2 : opts.threads;
+    server = std::make_unique<LookupServer>(service, opts);
+    std::string error;
+    EXPECT_TRUE(server->start(&error)) << error;
+  }
+  ~ServerFixture() {
+    server->stop();
+    remove_tree(dir);
+  }
+  [[nodiscard]] std::uint16_t port() const { return server->port(); }
+};
+
+// After any abuse, the pool must still answer this within the deadline — the
+// "never wedged" bar every fault test ends on.
+void expect_still_serving(ServerFixture& fx) {
+  std::string response = exchange(
+      fx.port(), post_body("/lookup", R"({"selectors":["0xa9059cbb"]})"));
+  EXPECT_EQ(status_of(response), 200);
+  EXPECT_NE(body_of(response).find("0xa9059cbb(address,uint256)"), std::string::npos);
+}
+
+// --- healthz and the happy path ----------------------------------------------
+
+TEST(LookupServerTest, HealthzReportsTheLiveGeneration) {
+  ServerFixture fx("healthz");
+  std::string response = exchange(fx.port(), "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(status_of(response), 200);
+  std::string body = body_of(response);
+  EXPECT_NE(body.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(body.find("\"generation\":1"), std::string::npos);
+  EXPECT_NE(body.find("\"selectors\":2"), std::string::npos);
+  EXPECT_NE(body.find("\"candidates\":2"), std::string::npos);
+}
+
+TEST(LookupServerTest, LookupAnswersFromTheIndex) {
+  ServerFixture fx("lookup");
+  std::string response = exchange(
+      fx.port(),
+      post_body("/lookup",
+                R"({"selectors":["0xa9059cbb","0x00000001","0xdeadbeef"]})"));
+  ASSERT_EQ(status_of(response), 200);
+  std::optional<core::JsonValue> doc = core::parse_json(body_of(response));
+  ASSERT_TRUE(doc.has_value());
+  const core::JsonValue* results = doc->find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->array.size(), 3u);
+  EXPECT_EQ(results->array[0].find("candidates")->array.size(), 1u);
+  EXPECT_EQ(results->array[1].find("candidates")->array.size(), 0u);  // absent
+  const core::JsonValue& vyper = results->array[2].find("candidates")->array[0];
+  EXPECT_EQ(vyper.find("signature")->string, "0xdeadbeef(bool)");
+  EXPECT_EQ(vyper.find("dialect")->string, "vyper");
+  EXPECT_EQ(vyper.find("status")->string, "deadline");
+  EXPECT_TRUE(vyper.find("partial")->boolean);
+
+  core::LookupServerStats stats = fx.server->stats();
+  EXPECT_EQ(stats.selectors, 3u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.served, 1u);
+}
+
+// --- method / path / body errors ---------------------------------------------
+
+TEST(LookupServerTest, WrongMethodsAndPathsAreRejected) {
+  ServerFixture fx("methods");
+  EXPECT_EQ(status_of(exchange(fx.port(), post_body("/healthz", "{}"))), 405);
+  EXPECT_EQ(status_of(exchange(fx.port(), "GET /lookup HTTP/1.1\r\nHost: t\r\n\r\n")), 405);
+  EXPECT_EQ(status_of(exchange(fx.port(), "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n")), 404);
+  expect_still_serving(fx);
+}
+
+TEST(LookupServerTest, MalformedJsonBodiesGet400) {
+  ServerFixture fx("badjson");
+  // The MalformedJson fault, aimed at the server: syntactically broken,
+  // wrong top-level kind, missing key, wrong element type, bad selector.
+  EXPECT_EQ(status_of(exchange(fx.port(), post_body("/lookup", "not-json{"))), 400);
+  EXPECT_EQ(status_of(exchange(fx.port(), post_body("/lookup", "[1,2,3]"))), 400);
+  EXPECT_EQ(status_of(exchange(fx.port(), post_body("/lookup", "{}"))), 400);
+  EXPECT_EQ(status_of(exchange(fx.port(), post_body("/lookup", R"({"selectors":[42]})"))),
+            400);
+  EXPECT_EQ(status_of(exchange(fx.port(),
+                               post_body("/lookup", R"({"selectors":["0xzz"]})"))),
+            400);
+  // An HTTP-level mangled request (no proper request line) is 400 too.
+  EXPECT_EQ(status_of(exchange(fx.port(), "??\r\n\r\n")), 400);
+  expect_still_serving(fx);
+  EXPECT_GE(fx.server->stats().bad_requests, 6u);
+}
+
+TEST(LookupServerTest, BatchesOverTheLimitGet400) {
+  LookupServerOptions opts;
+  opts.max_batch = 4;
+  ServerFixture fx("batch", opts);
+  std::string body = R"({"selectors":[)";
+  for (int i = 0; i < 5; ++i) {
+    if (i != 0) body += ',';
+    body += "\"0xa9059cbb\"";
+  }
+  body += "]}";
+  EXPECT_EQ(status_of(exchange(fx.port(), post_body("/lookup", body))), 400);
+  expect_still_serving(fx);
+}
+
+TEST(LookupServerTest, OversizedBodiesGet413) {
+  LookupServerOptions opts;
+  opts.max_body = 256;
+  ServerFixture fx("oversize", opts);
+  // Declared large: rejected from the Content-Length alone, without the
+  // server ever buffering the body.
+  std::string response =
+      exchange(fx.port(), post_body("/lookup", std::string(100000, 'x')));
+  EXPECT_EQ(status_of(response), 413);
+  expect_still_serving(fx);
+}
+
+// --- slow-loris and resets ---------------------------------------------------
+
+TEST(LookupServerTest, SlowLorisClientsAreCutOffWithoutWedgingThePool) {
+  LookupServerOptions opts;
+  opts.threads = 2;
+  opts.read_timeout_ms = 150;
+  ServerFixture fx("loris", opts);
+
+  // More stalled connections than workers: if the timeout failed to free
+  // them, the pool would be permanently wedged and the final probe would
+  // hang. Each sends half a request and then nothing.
+  std::vector<int> stalled;
+  for (int i = 0; i < 4; ++i) {
+    int fd = connect_to(fx.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(send_all(fd, "POST /lookup HTTP/1.1\r\nContent-Len"));
+    stalled.push_back(fd);
+  }
+  // The server must close each one once its read deadline passes.
+  for (int fd : stalled) {
+    std::string leftovers = recv_until_close(fd, 3000);
+    EXPECT_TRUE(leftovers.empty());  // cut off silently, no 4xx wasted on it
+    ::close(fd);
+  }
+  expect_still_serving(fx);
+}
+
+TEST(LookupServerTest, ClientResetMidExchangeDoesNotWedgeThePool) {
+  ServerFixture fx("reset");
+  // The ResetAfterAccept fault, client side: SO_LINGER(0) turns close into
+  // a hard RST right after the request is sent, so the server's response
+  // lands on a dead socket.
+  for (int i = 0; i < 6; ++i) {
+    int fd = connect_to(fx.port());
+    ASSERT_GE(fd, 0);
+    struct linger lg{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+    ASSERT_TRUE(send_all(fd, post_body("/lookup", R"({"selectors":["0xa9059cbb"]})")));
+    ::close(fd);  // RST — maybe before, during, or after the server's send
+  }
+  // Connections that reset before the request parsed are benign closes;
+  // either way every worker must come back.
+  expect_still_serving(fx);
+}
+
+// --- hot reload over HTTP ----------------------------------------------------
+
+TEST(LookupServerTest, ReloadSwapsGenerationsWithoutDroppingService) {
+  ServerFixture fx("reload");
+  std::string dir_b = make_fixture_dir("reload_b", ",bytes32");
+
+  // Switch to the second directory.
+  std::string response =
+      exchange(fx.port(), post_body("/reload", "{\"dir\":\"" + dir_b + "\"}"));
+  EXPECT_EQ(status_of(response), 200);
+  EXPECT_NE(body_of(response).find("\"generation\":2"), std::string::npos);
+  response = exchange(fx.port(), post_body("/lookup", R"({"selectors":["0xa9059cbb"]})"));
+  EXPECT_NE(body_of(response).find("0xa9059cbb(address,uint256,bytes32)"),
+            std::string::npos);
+
+  // Empty body re-loads the live directory in place: generation 3, same dir.
+  response = exchange(fx.port(), post_body("/reload", ""));
+  EXPECT_EQ(status_of(response), 200);
+  EXPECT_NE(body_of(response).find("\"generation\":3"), std::string::npos);
+
+  // A reload of a dead directory is a 500 and generation 3 keeps serving.
+  response = exchange(fx.port(),
+                      post_body("/reload", R"({"dir":"/nonexistent/sigrec"})"));
+  EXPECT_EQ(status_of(response), 500);
+  response = exchange(fx.port(), "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(body_of(response).find("\"generation\":3"), std::string::npos);
+
+  core::LookupServerStats stats = fx.server->stats();
+  EXPECT_EQ(stats.reloads, 2u);
+  EXPECT_EQ(stats.reload_failures, 1u);
+  remove_tree(dir_b);
+}
+
+// --- golden wire bytes -------------------------------------------------------
+//
+// The checked-in request files are sent verbatim; the full response — status
+// line, headers, and body — must match the checked-in bytes exactly. Run
+// with SIGREC_REGEN_GOLDEN=1 to rewrite the .response files after an
+// intentional format change.
+
+std::string golden_path(const char* name) {
+  return std::string(SIGREC_TEST_DATA_DIR) + "/golden/" + name;
+}
+
+void check_golden(ServerFixture& fx, const char* stem) {
+  std::optional<std::string> request = core::read_file_bytes(golden_path(stem) + ".request");
+  ASSERT_TRUE(request.has_value()) << stem;
+  std::string response = exchange(fx.port(), *request);
+  ASSERT_FALSE(response.empty()) << stem;
+  if (std::getenv("SIGREC_REGEN_GOLDEN") != nullptr) {
+    ASSERT_TRUE(core::atomic_write_file(golden_path(stem) + ".response", response));
+    return;
+  }
+  std::optional<std::string> expected =
+      core::read_file_bytes(golden_path(stem) + ".response");
+  ASSERT_TRUE(expected.has_value()) << stem;
+  EXPECT_EQ(response, *expected) << stem;
+}
+
+TEST(LookupServerGolden, WireBytesMatchTheCheckedInPairs) {
+  ServerFixture fx("golden");
+  check_golden(fx, "lookup_batch");
+  check_golden(fx, "lookup_malformed");
+  check_golden(fx, "lookup_unknown_path");
+  check_golden(fx, "lookup_wrong_method");
+}
+
+}  // namespace
+}  // namespace sigrec

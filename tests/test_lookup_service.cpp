@@ -1,0 +1,245 @@
+// LookupService under concurrency: readers hammering snapshot()+lookup()
+// while a writer hot-swaps generations must only ever observe fully
+// consistent generations (generation number, directory, and index contents
+// agree), failed reloads must leave the old generation serving, and a
+// retired generation's mapping must be released exactly when its last
+// reader lets go. The TSan job runs this file.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sigrec/lookup.hpp"
+#include "sigrec/persist.hpp"
+#include "sigrec/shard.hpp"
+
+namespace sigrec {
+namespace {
+
+using core::LookupGeneration;
+using core::LookupService;
+using core::SignatureRecord;
+
+std::string temp_dir(const char* name) {
+  std::string dir =
+      testing::TempDir() + "sigrec_lksvc_" + name + "." + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+void remove_tree(const std::string& dir) {
+  for (const std::string& file : core::list_shard_files(dir)) std::remove(file.c_str());
+  for (const std::string& file : core::list_index_files(dir)) std::remove(file.c_str());
+  ::rmdir(dir.c_str());
+}
+
+// Builds a compacted index dir where `marker` is baked into every signature,
+// so a lookup answer identifies which directory it came from.
+std::string make_index_dir(const char* name, const std::string& marker) {
+  std::string dir = temp_dir(name);
+  std::string framed;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    SignatureRecord rec;
+    rec.ordinal = i + 1;
+    rec.selector = 0x10000000u * i + 0x123u;
+    rec.signature = "0xsel" + std::to_string(i) + "(" + marker + ")";
+    core::Encoder enc;
+    core::encode_signature_record(enc, rec);
+    core::append_record(framed, core::kRecordSignatureEntry, enc.bytes());
+  }
+  EXPECT_TRUE(core::append_file_bytes(dir + "/" + core::shard_file_name(0), framed));
+  EXPECT_TRUE(core::compact_shards(dir, 0));
+  return dir;
+}
+
+TEST(LookupServiceTest, SnapshotIsNullBeforeTheFirstLoad) {
+  LookupService service;
+  EXPECT_EQ(service.snapshot(), nullptr);
+  std::string error;
+  EXPECT_FALSE(service.reload(&error));  // nothing to reload yet
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(LookupServiceTest, LoadPublishesMonotonicGenerations) {
+  std::string dir_a = make_index_dir("gen_a", "alpha");
+  std::string dir_b = make_index_dir("gen_b", "beta");
+  LookupService service;
+
+  std::string error;
+  ASSERT_TRUE(service.load(dir_a, &error)) << error;
+  std::shared_ptr<const LookupGeneration> g1 = service.snapshot();
+  ASSERT_NE(g1, nullptr);
+  EXPECT_EQ(g1->generation, 1u);
+  EXPECT_EQ(g1->dir, dir_a);
+  EXPECT_EQ(g1->index->lookup(0x00000123u)[0].signature, "0xsel0(alpha)");
+
+  ASSERT_TRUE(service.load(dir_b, &error)) << error;
+  std::shared_ptr<const LookupGeneration> g2 = service.snapshot();
+  ASSERT_NE(g2, nullptr);
+  EXPECT_EQ(g2->generation, 2u);
+  EXPECT_EQ(g2->index->lookup(0x00000123u)[0].signature, "0xsel0(beta)");
+
+  // Reload re-opens the live generation's directory as generation 3.
+  ASSERT_TRUE(service.reload(&error)) << error;
+  std::shared_ptr<const LookupGeneration> g3 = service.snapshot();
+  ASSERT_NE(g3, nullptr);
+  EXPECT_EQ(g3->generation, 3u);
+  EXPECT_EQ(g3->dir, dir_b);
+
+  // The snapshot taken before the swaps still answers from its own index —
+  // generations are immutable, not updated in place.
+  EXPECT_EQ(g1->index->lookup(0x00000123u)[0].signature, "0xsel0(alpha)");
+
+  remove_tree(dir_a);
+  remove_tree(dir_b);
+}
+
+TEST(LookupServiceTest, FailedLoadAndReloadKeepTheOldGenerationServing) {
+  std::string dir = make_index_dir("keep", "live");
+  LookupService service;
+  std::string error;
+  ASSERT_TRUE(service.load(dir, &error)) << error;
+
+  // A load of a directory with no indexes must not disturb the live one.
+  std::string empty = temp_dir("keep_empty");
+  EXPECT_FALSE(service.load(empty, &error));
+  std::shared_ptr<const LookupGeneration> live = service.snapshot();
+  ASSERT_NE(live, nullptr);
+  EXPECT_EQ(live->generation, 1u);
+  EXPECT_EQ(live->index->lookup(0x00000123u)[0].signature, "0xsel0(live)");
+
+  // Corrupt the on-disk index and reload: validation fails, the mapped old
+  // generation keeps serving (its pages are independent of the file now).
+  std::string path = core::list_index_files(dir)[0];
+  std::string bytes = *core::read_file_bytes(path);
+  bytes[bytes.size() / 2] ^= 0x40;
+  ASSERT_TRUE(core::atomic_write_file(path, bytes));
+  EXPECT_FALSE(service.reload(&error));
+  EXPECT_FALSE(error.empty());
+  live = service.snapshot();
+  ASSERT_NE(live, nullptr);
+  EXPECT_EQ(live->generation, 1u);
+  EXPECT_EQ(live->index->lookup(0x00000123u)[0].signature, "0xsel0(live)");
+
+  remove_tree(dir);
+  remove_tree(empty);
+}
+
+TEST(LookupServiceTest, RetiredGenerationDiesWithItsLastReader) {
+  std::string dir = make_index_dir("retire", "old");
+  LookupService service;
+  ASSERT_TRUE(service.load(dir));
+
+  std::shared_ptr<const LookupGeneration> held = service.snapshot();
+  std::weak_ptr<const LookupGeneration> watch = held;
+  ASSERT_TRUE(service.reload());  // generation 2 takes over
+
+  // The swap alone must not kill generation 1 — a reader still holds it.
+  EXPECT_FALSE(watch.expired());
+  EXPECT_EQ(held->index->lookup(0x00000123u)[0].signature, "0xsel0(old)");
+
+  held.reset();  // last reader lets go -> mapping released
+  EXPECT_TRUE(watch.expired());
+  remove_tree(dir);
+}
+
+// The stress bar: N readers spin on snapshot()+lookup() while the writer
+// flips between two directories. Every observation must be internally
+// consistent — the generation number, the directory, and the bytes the index
+// answers with all agree — and generations never run backwards.
+TEST(LookupServiceStress, ReadersOnlySeeConsistentGenerationsDuringHotSwaps) {
+  std::string dir_a = make_index_dir("stress_a", "alpha");
+  std::string dir_b = make_index_dir("stress_b", "beta");
+  LookupService service;
+  ASSERT_TRUE(service.load(dir_a));
+
+  constexpr int kReaders = 8;
+  constexpr int kSwaps = 60;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> observations{0};
+  std::atomic<int> inconsistencies{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t last_generation = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        std::shared_ptr<const LookupGeneration> live = service.snapshot();
+        if (live == nullptr || live->index == nullptr) {
+          inconsistencies.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (live->generation < last_generation) {
+          inconsistencies.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_generation = live->generation;
+        const std::string expected = live->dir == dir_a ? "alpha" : "beta";
+        for (std::uint32_t i = 0; i < 8; ++i) {
+          core::Candidates candidates = live->index->lookup(0x10000000u * i + 0x123u);
+          if (candidates.size() != 1u ||
+              candidates[0].signature.find(expected) == std::string_view::npos) {
+            inconsistencies.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        observations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (int swap = 0; swap < kSwaps; ++swap) {
+    ASSERT_TRUE(service.load(swap % 2 == 0 ? dir_b : dir_a));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(inconsistencies.load(), 0);
+  EXPECT_GT(observations.load(), 0u);
+  std::shared_ptr<const LookupGeneration> final_live = service.snapshot();
+  ASSERT_NE(final_live, nullptr);
+  EXPECT_EQ(final_live->generation, 1u + kSwaps);
+
+  remove_tree(dir_a);
+  remove_tree(dir_b);
+}
+
+// Concurrent load() calls must serialize cleanly: every generation number is
+// handed out exactly once and the final snapshot is one of the contenders.
+TEST(LookupServiceStress, ConcurrentLoadsSerializeWithoutTearing) {
+  std::string dir_a = make_index_dir("race_a", "alpha");
+  std::string dir_b = make_index_dir("race_b", "beta");
+  LookupService service;
+
+  constexpr int kLoadersPerDir = 4;
+  constexpr int kLoadsEach = 25;
+  std::vector<std::thread> loaders;
+  for (int t = 0; t < kLoadersPerDir * 2; ++t) {
+    const std::string& dir = t % 2 == 0 ? dir_a : dir_b;
+    loaders.emplace_back([&service, &dir] {
+      for (int i = 0; i < kLoadsEach; ++i) ASSERT_TRUE(service.load(dir));
+    });
+  }
+  for (std::thread& t : loaders) t.join();
+
+  std::shared_ptr<const LookupGeneration> live = service.snapshot();
+  ASSERT_NE(live, nullptr);
+  EXPECT_EQ(live->generation,
+            static_cast<std::uint64_t>(kLoadersPerDir) * 2 * kLoadsEach);
+  EXPECT_TRUE(live->dir == dir_a || live->dir == dir_b);
+
+  remove_tree(dir_a);
+  remove_tree(dir_b);
+}
+
+}  // namespace
+}  // namespace sigrec
